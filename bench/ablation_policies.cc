@@ -1,0 +1,146 @@
+// Ablation A3: the §III provider policies — compression, replication,
+// prefetching — measured as fault-latency / capacity / resilience
+// trade-offs on the same re-fault workload.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+using namespace fluid;
+
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+
+struct RunOut {
+  double mean_fault_us = 0;
+  std::uint64_t faults = 0;
+  std::size_t store_bytes = 0;   // bytes the store actually holds
+  double ratio = 0;              // compression ratio (1.0 = none)
+};
+
+// Re-fault workload over sparse (compressible) pages; `seq_fraction` of
+// accesses walk sequentially (what a prefetcher can chew on), the rest are
+// uniform random (what it pollutes the buffer with).
+RunOut Run(kv::KvStore& store, std::size_t prefetch_depth,
+           double seq_fraction = 0.2,
+           std::size_t* compressed_bytes = nullptr) {
+  mem::FramePool pool{8192};
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 128;
+  cfg.prefetch_depth = prefetch_depth;
+  fm::Monitor monitor{cfg, store, pool};
+  mem::UffdRegion region{1, kBase, 2048, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 1);
+  Rng rng{777};
+  SimTime now = 0;
+  // Populate 1024 sparse pages (a few live words each).
+  for (std::size_t i = 0; i < 1024; ++i) {
+    (void)region.Access(kBase + i * kPageSize, true);
+    now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+    (void)region.Access(kBase + i * kPageSize, true);
+    const std::uint64_t v = i * 3 + 1;
+    (void)region.WriteBytes(kBase + i * kPageSize + 64,
+                            std::as_bytes(std::span{&v, 1}));
+  }
+  now = monitor.DrainWrites(now);
+
+  RunOut out;
+  double sum = 0;
+  std::size_t cursor = 0;
+  for (int i = 0; i < 12000; ++i) {
+    std::size_t page;
+    if (rng.NextDouble() < seq_fraction) {
+      page = cursor++ % 1024;  // sequential stretch
+    } else {
+      page = rng.NextBounded(1024);
+    }
+    const VirtAddr addr = kBase + page * kPageSize;
+    auto a = region.Access(addr, false);
+    if (a.kind != mem::AccessKind::kUffdFault) {
+      now += 400;
+      continue;
+    }
+    const SimTime t0 = now;
+    auto f = monitor.HandleFault(rid, addr, now);
+    if (!f.status.ok()) break;
+    now = f.wake_at + 400;
+    sum += ToMicros(f.wake_at - t0);
+    ++out.faults;
+  }
+  out.mean_fault_us = out.faults ? sum / static_cast<double>(out.faults) : 0;
+  out.store_bytes = store.BytesStored();
+  if (compressed_bytes != nullptr && *compressed_bytes != 0)
+    out.ratio = static_cast<double>(out.store_bytes) /
+                static_cast<double>(*compressed_bytes);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation A3: provider policies (compression, replication, "
+                "prefetch) — §III");
+
+  std::printf("\n%-34s %12s %10s %14s\n", "configuration", "fault us",
+              "faults", "store memory");
+
+  {
+    kv::RamcloudStore plain{
+        kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+    RunOut r = Run(plain, 0);
+    std::printf("%-34s %12.2f %10llu %11.1f MB\n", "RAMCloud (baseline)",
+                r.mean_fault_us, (unsigned long long)r.faults,
+                static_cast<double>(r.store_bytes) / 1e6);
+  }
+  {
+    kv::CompressedStore comp{
+        kv::CompressedStoreConfig{.memory_cap_bytes = 1ULL << 30}};
+    RunOut r = Run(comp, 0);
+    std::printf("%-34s %12.2f %10llu %11.3f MB  (ratio %.1fx, %llu zero "
+                "pages elided)\n",
+                "Compressed pool", r.mean_fault_us,
+                (unsigned long long)r.faults,
+                static_cast<double>(comp.CompressedBytes()) / 1e6,
+                comp.CompressionRatio(),
+                (unsigned long long)comp.ZeroPages());
+  }
+  {
+    std::vector<std::unique_ptr<kv::KvStore>> reps;
+    for (int i = 0; i < 3; ++i)
+      reps.push_back(std::make_unique<kv::RamcloudStore>(
+          kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30,
+                             .seed = 42u + static_cast<unsigned>(i)}));
+    kv::ReplicatedStore repl{std::move(reps), /*write_quorum=*/2};
+    RunOut r = Run(repl, 0);
+    std::printf("%-34s %12.2f %10llu %11.1f MB  (x3 replicas, survives any "
+                "single server loss)\n",
+                "Replicated x3", r.mean_fault_us,
+                (unsigned long long)r.faults,
+                3.0 * static_cast<double>(r.store_bytes) / 1e6);
+  }
+  std::printf("\nprefetch sweep (fault us / faults), by workload mix:\n");
+  std::printf("%-10s %22s %22s\n", "depth", "80% sequential", "80% random");
+  for (std::size_t depth : {0u, 2u, 7u}) {
+    kv::RamcloudStore s1{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+    RunOut seq = Run(s1, depth, /*seq_fraction=*/0.8);
+    kv::RamcloudStore s2{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+    RunOut rnd = Run(s2, depth, /*seq_fraction=*/0.2);
+    std::printf("%-10zu %12.2f / %-7llu %12.2f / %-7llu\n", depth,
+                seq.mean_fault_us, (unsigned long long)seq.faults,
+                rnd.mean_fault_us, (unsigned long long)rnd.faults);
+  }
+
+  bench::Note("expected: compression shrinks remote memory by >10x on "
+              "sparse pages for a ~2-3 us codec cost per fault; replication "
+              "costs write fan-out but no read latency; prefetching (with "
+              "stream detection, like OS readahead) cuts sequential-mix "
+              "faults by ~2x at depth 7 while leaving random mixes "
+              "untouched — the detector keeps wasted reads off the store.");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation A2 (DESIGN.md): elastic footprint control and the LRU policy.
+//
+// Part 1 — resize latency: how long the monitor takes to shrink a VM's
+// DRAM footprint by evicting down to a new budget, and how quickly the VM
+// recovers when the budget is raised (hotplug-style growth is free: new
+// pages fault in on demand).
+//
+// Part 2 — the paper's "future optimization" (§V-A): the insertion-ordered
+// LRU never reorders on hits; a true LRU refreshes. We run the same
+// re-fault workload under both policies, quantifying the design choice the
+// paper calls out as a limitation at Graph500 scale factor 22.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+using namespace fluid;
+
+namespace {
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+}
+
+int main() {
+  bench::Header("Ablation A2: footprint resizing and LRU policy");
+
+  // --- Part 1: resize latency ----------------------------------------------------
+  {
+    mem::FramePool pool{32768};
+    kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = 16384;
+    fm::Monitor monitor{cfg, store, pool};
+    mem::UffdRegion region{1, kBase, 16384, pool};
+    const fm::RegionId rid = monitor.RegisterRegion(region, 1);
+    SimTime now = 0;
+    for (std::size_t i = 0; i < 16384; ++i) {
+      (void)region.Access(kBase + i * kPageSize, true);
+      now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+      (void)region.Access(kBase + i * kPageSize, true);
+    }
+    std::printf("\nshrink latency (16384 resident pages to target):\n");
+    std::printf("%-16s %14s %16s\n", "target pages", "evictions", "latency ms");
+    std::size_t current = 16384;
+    for (std::size_t target : {8192u, 2048u, 256u, 16u}) {
+      const SimTime t0 = now;
+      const auto evictions_before = monitor.stats().evictions;
+      now = monitor.SetLruCapacity(target, now);
+      now = monitor.DrainWrites(now);
+      std::printf("%-16zu %14llu %16.2f\n", target,
+                  (unsigned long long)(monitor.stats().evictions -
+                                       evictions_before),
+                  static_cast<double>(now - t0) / 1e6);
+      current = target;
+    }
+    (void)current;
+    bench::Note("shrinking is bounded by remap + batched multi-writes; the "
+                "paper's near-zero-footprint rows rely on this path");
+  }
+
+  // --- Part 2: insertion-order vs true LRU -----------------------------------------
+  {
+    std::printf("\nLRU policy (1024-page buffer, 2048-page WSS, hot set "
+                "re-touched):\n");
+    std::printf("%-18s %14s %16s\n", "policy", "refaults", "mean fault us");
+    for (const bool true_lru : {false, true}) {
+      mem::FramePool pool{16384};
+      kv::RamcloudStore store{
+          kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+      fm::MonitorConfig cfg;
+      cfg.lru_capacity_pages = 1024;
+      cfg.true_lru = true_lru;
+      fm::Monitor monitor{cfg, store, pool};
+      mem::UffdRegion region{1, kBase, 4096, pool};
+      const fm::RegionId rid = monitor.RegisterRegion(region, 1);
+      Rng rng{33};
+      SimTime now = 0;
+      double sum = 0;
+      std::uint64_t faults = 0;
+      // 128 hot pages re-touched between every few cold strides. The hot
+      // set fits comfortably; only a policy that refreshes on touch keeps
+      // it resident. NOTE: with the paper's insertion-order list the
+      // monitor never *sees* resident touches, so true-LRU here models the
+      // "trigger faults for pages not yet evicted" future optimization.
+      for (int i = 0; i < 60000; ++i) {
+        std::size_t page;
+        if (i % 4 != 0) {
+          page = rng.NextBounded(128);  // hot
+        } else {
+          page = 128 + rng.NextBounded(2048 - 128);  // cold
+        }
+        const VirtAddr addr = kBase + page * kPageSize;
+        auto a = region.Access(addr, false);
+        if (a.kind != mem::AccessKind::kUffdFault) {
+          // Monitor-visible touch (the sampled-fault mechanism) for the
+          // true-LRU variant.
+          if (true_lru) monitor.NotifyTouch(rid, addr);
+          now += 200;
+          continue;
+        }
+        const SimTime t0 = now;
+        auto out = monitor.HandleFault(rid, addr, now);
+        if (!out.status.ok()) return 1;
+        now = out.wake_at + 200;
+        (void)region.Access(addr, false);
+        sum += ToMicros(out.wake_at - t0);
+        ++faults;
+      }
+      std::printf("%-18s %14llu %16.2f\n",
+                  true_lru ? "true-lru" : "insertion-order",
+                  (unsigned long long)faults, faults ? sum / faults : 0.0);
+    }
+    bench::Note("the insertion-ordered list evicts hot pages on schedule; "
+                "a recency-aware list avoids those refaults — the penalty "
+                "the paper attributes to its LRU at scale factor 22");
+  }
+  return 0;
+}

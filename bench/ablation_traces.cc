@@ -1,0 +1,88 @@
+// Ablation A4: access-pattern sensitivity. Replays each synthetic trace
+// pattern against FluidMem/RAMCloud and Swap/NVMeoF at the same 4:1
+// WSS:DRAM overcommit — the capacity-planning view an operator would use
+// to decide which tenants tolerate a small local footprint.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/testbed.h"
+#include "workloads/trace.h"
+
+using namespace fluid;
+
+namespace {
+
+struct Cell {
+  double mean_us = 0;
+  double fault_rate = 0;
+};
+
+Cell RunPattern(wl::Backend backend, wl::AccessPattern pattern,
+                std::size_t prefetch) {
+  wl::TestbedConfig tb;
+  tb.local_dram_pages = 512;
+  tb.vm_app_pages = 2048;
+  tb.monitor.prefetch_depth = prefetch;
+  wl::Testbed bed{backend, tb};
+  SimTime now = bed.Boot(0);
+
+  std::vector<wl::TracePhase> phases;
+  wl::TracePhase warm;  // make every page 'seen' first
+  warm.pattern = wl::AccessPattern::kSequential;
+  warm.pages = 2048;
+  warm.accesses = 2048;
+  warm.write_fraction = 1.0;
+  phases.push_back(warm);
+  wl::TracePhase measured;
+  measured.pattern = pattern;
+  measured.pages = 2048;
+  measured.accesses = 12000;
+  measured.write_fraction = 0.3;
+  phases.push_back(measured);
+
+  wl::TraceResult r =
+      wl::ReplayTrace(bed.memory(), bed.layout().app_base, phases, now);
+  Cell out;
+  if (!r.status.ok() || r.verify_failures != 0) {
+    std::printf("trace failed: %s (%llu verify failures)\n",
+                r.status.ToString().c_str(),
+                (unsigned long long)r.verify_failures);
+    return out;
+  }
+  const wl::PhaseResult& pr = r.phases[1];
+  out.mean_us = pr.latency.MeanUs();
+  out.fault_rate = static_cast<double>(pr.faults) /
+                   static_cast<double>(pr.latency.Count());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation A4: access-pattern sensitivity (WSS 4x DRAM)");
+  bench::Note("mean access latency (us) / fault rate per access; trace "
+              "replayer verifies every read against stamped contents");
+
+  constexpr wl::AccessPattern kPatterns[] = {
+      wl::AccessPattern::kSequential, wl::AccessPattern::kUniform,
+      wl::AccessPattern::kZipfian, wl::AccessPattern::kStrided,
+      wl::AccessPattern::kPointerChase,
+  };
+
+  std::printf("\n%-15s %20s %20s %24s\n", "pattern", "FluidMem/RAMCloud",
+              "Swap/NVMeoF", "FluidMem + prefetch 7");
+  for (const auto p : kPatterns) {
+    const Cell fluid = RunPattern(wl::Backend::kFluidRamcloud, p, 0);
+    const Cell swap = RunPattern(wl::Backend::kSwapNvmeof, p, 0);
+    const Cell pf = RunPattern(wl::Backend::kFluidRamcloud, p, 7);
+    std::printf("%-15s %12.2f / %4.2f %13.2f / %4.2f %17.2f / %4.2f\n",
+                wl::PatternName(p).data(), fluid.mean_us, fluid.fault_rate,
+                swap.mean_us, swap.fault_rate, pf.mean_us, pf.fault_rate);
+  }
+
+  bench::Note("expected: FluidMem leads on every pattern (Fig. 3's per-"
+              "fault advantage); zipfian hot sets fault least; pointer "
+              "chases fault most and gain nothing from prefetch, while "
+              "sequential sweeps nearly stop faulting with it");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the experiment-reproduction binaries: each bench
+// regenerates one table or figure of the paper and prints paper-reported
+// values next to measured ones so the comparison is visible in the output
+// (EXPERIMENTS.md records the same numbers).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace fluid::bench {
+
+inline void Header(std::string_view title) {
+  std::printf("\n================================================================\n");
+  std::printf("%.*s\n", static_cast<int>(title.size()), title.data());
+  std::printf("================================================================\n");
+}
+
+inline void Note(std::string_view text) {
+  std::printf("-- %.*s\n", static_cast<int>(text.size()), text.data());
+}
+
+// Relative deviation helper for paper-vs-measured summaries.
+inline double RelErr(double measured, double paper) {
+  return paper == 0 ? 0.0 : (measured - paper) / paper * 100.0;
+}
+
+}  // namespace fluid::bench

@@ -1,0 +1,91 @@
+// Figure 3: CDFs of pmbench page-access latencies inside a VM, for the six
+// mechanism x backend configurations (§VI-B).
+//
+// Paper setup: 4 GB pmbench WSS, 1 GB local DRAM, 50% reads, 100 s. The
+// reproduction preserves the WSS:DRAM ratio (4:1) at 1/64 scale and prints
+// each configuration's mean latency against the paper's (the parenthesised
+// values in Fig. 3) plus CDF sample points for plotting.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/pmbench.h"
+#include "workloads/testbed.h"
+
+using namespace fluid;
+
+namespace {
+
+struct Row {
+  wl::Backend backend;
+  double paper_mean_us;
+};
+
+constexpr Row kRows[] = {
+    {wl::Backend::kFluidDram, 24.84},    {wl::Backend::kFluidRamcloud, 24.87},
+    {wl::Backend::kFluidMemcached, 65.79}, {wl::Backend::kSwapDram, 26.34},
+    {wl::Backend::kSwapNvmeof, 41.73},   {wl::Backend::kSwapSsd, 106.56},
+};
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Figure 3: pmbench access-latency CDFs (6 configurations)");
+  bench::Note("scale: 1/64 of the paper (WSS 64 MB : DRAM 16 MB = 4:1, as "
+              "4 GB : 1 GB); 50% reads; virtual time");
+
+  std::printf("\n%-22s %14s %14s %14s %14s %9s\n", "configuration",
+              "mean read(us)", "mean write(us)", "mean all(us)",
+              "paper mean(us)", "dev(%)");
+
+  std::vector<std::pair<const Row*, wl::PmbenchResult>> results;
+  for (const Row& row : kRows) {
+    wl::TestbedConfig cfg;
+    cfg.local_dram_pages = 4096;   // "1 GB"
+    cfg.vm_app_pages = 18432;
+    wl::Testbed bed{row.backend, cfg};
+    SimTime now = bed.Boot(0);
+
+    wl::PmbenchConfig pm;
+    pm.base = bed.layout().app_base;
+    pm.wss_pages = 16384;          // "4 GB"
+    pm.duration = 10 * kSecond;    // enough samples for stable tails
+    pm.max_accesses = 600'000;
+    wl::PmbenchResult r = wl::RunPmbench(bed.memory(), pm, now);
+    if (!r.status.ok()) {
+      std::printf("%-22s FAILED: %s\n", wl::BackendName(row.backend).data(),
+                  r.status.ToString().c_str());
+      return 1;
+    }
+    if (r.verify_failures != 0) {
+      std::printf("%-22s DATA CORRUPTION (%llu pages)\n",
+                  wl::BackendName(row.backend).data(),
+                  (unsigned long long)r.verify_failures);
+      return 1;
+    }
+    std::printf("%-22s %14.2f %14.2f %14.2f %14.2f %8.1f%%\n",
+                wl::BackendName(row.backend).data(), r.read_latency.MeanUs(),
+                r.write_latency.MeanUs(), r.MeanUs(), row.paper_mean_us,
+                bench::RelErr(r.MeanUs(), row.paper_mean_us));
+    results.emplace_back(&row, std::move(r));
+  }
+
+  // CDF sample points (the plotted curves), decimated for readability.
+  std::printf("\nCDF sample points (latency_us cumulative_fraction), "
+              "read accesses:\n");
+  for (auto& [row, r] : results) {
+    std::printf("# %s\n", wl::BackendName(row->backend).data());
+    const auto cdf = r.read_latency.CdfUs();
+    const std::size_t stride = cdf.size() > 24 ? cdf.size() / 24 : 1;
+    for (std::size_t i = 0; i < cdf.size(); i += stride)
+      std::printf("  %10.2f %8.4f\n", cdf[i].first, cdf[i].second);
+    if (!cdf.empty())
+      std::printf("  %10.2f %8.4f\n", cdf.back().first, cdf.back().second);
+  }
+
+  bench::Note("expected shape: FluidMem DRAM ~= FluidMem RAMCloud < Swap "
+              "DRAM < Swap NVMeoF < FluidMem Memcached < Swap SSD; ~25% of "
+              "accesses resolve under 10 us (the local-DRAM fraction)");
+  return 0;
+}

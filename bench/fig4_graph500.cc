@@ -1,0 +1,167 @@
+// Figure 4: Graph500 TEPS across working-set sizes and backends (§VI-D1).
+//
+// Paper setup: 2-vCPU VM, 1 GB local DRAM, sequential reference BFS, scale
+// factors 20-23 (WSS 60% -> 480% of DRAM), harmonic mean over 64 roots.
+// The reproduction preserves the WSS:DRAM ratios at reduced absolute scale
+// (scale 11-14 against a DRAM allotment sized so scale 11 is ~60% of it)
+// and runs 4 roots per trial; TEPS numbers are therefore comparable in
+// *shape*, not absolute magnitude (DESIGN.md §4).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/graph500.h"
+#include "workloads/testbed.h"
+
+using namespace fluid;
+
+namespace {
+
+constexpr wl::Backend kBackends[] = {
+    wl::Backend::kFluidDram,   wl::Backend::kFluidRamcloud,
+    wl::Backend::kFluidMemcached, wl::Backend::kSwapDram,
+    wl::Backend::kSwapNvmeof,  wl::Backend::kSwapSsd,
+};
+
+// Paper Fig. 4 approximate bar heights (millions of TEPS) for reference.
+struct PaperRow {
+  int paper_scale;
+  double wss_pct;
+  double values[6];  // same order as kBackends
+};
+constexpr PaperRow kPaper[] = {
+    {20, 60, {54.0, 53.0, 52.0, 55.0, 55.0, 54.0}},
+    {21, 120, {17.5, 13.0, 6.5, 8.0, 5.5, 2.0}},
+    {22, 240, {8.5, 7.5, 3.5, 10.0, 5.0, 1.5}},
+    {23, 480, {6.5, 5.5, 2.5, 8.0, 4.0, 1.0}},
+};
+
+double RunOne(wl::Backend backend, int scale, std::size_t dram_pages,
+              double* fault_rate) {
+  wl::Graph500Config gcfg;
+  gcfg.scale = scale;
+  gcfg.bfs_roots = 4;
+  gcfg.seed = 101;
+  wl::CsrGraph graph = wl::BuildGraph(gcfg);
+
+  wl::TestbedConfig tb;
+  tb.local_dram_pages = dram_pages;
+  tb.vm_app_pages = graph.total_pages + 128;
+  wl::Testbed bed{backend, tb};
+
+  // Rebase the graph into the VM's app range.
+  const VirtAddr base = bed.layout().app_base;
+  const VirtAddr delta = base - graph.base;
+  graph.base += delta;
+  graph.xadj_base += delta;
+  graph.adj_base += delta;
+  graph.parent_base += delta;
+  graph.queue_base += delta;
+  gcfg.base = base;
+
+  // Cached guest accesses cost nanoseconds; the BFS arithmetic is charged
+  // separately per edge.
+  const auto fast_hit = LatencyDist::Constant(0.004);
+  if (bed.fluid_vm() != nullptr) bed.fluid_vm()->SetHitCost(fast_hit);
+  if (bed.swap_vm() != nullptr) bed.swap_vm()->SetHitCost(fast_hit);
+
+  // Guest daemons, cron jobs and page-cache activity cycle through the OS
+  // boot footprint on a timescale comparable to the benchmark. This is the
+  // §II asymmetry in action: when memory is tight, a re-touched file-backed
+  // OS page comes back from the guest's SSD *filesystem* under swap (swap
+  // space cannot hold file pages), but from the fast remote store under
+  // FluidMem — and unused kernel pages can leave DRAM only under FluidMem.
+  const vm::OsCensus& census = bed.census();
+  const vm::VmLayout& layout = bed.layout();
+  std::vector<std::pair<VirtAddr, bool>> os_pages;  // (addr, is_write)
+  auto add_range = [&](VirtAddr range_base, std::size_t pages, bool write) {
+    for (std::size_t i = 0; i < pages; ++i)
+      os_pages.emplace_back(range_base + i * kPageSize, write);
+  };
+  add_range(layout.kernel_base, census.kernel_pages, /*write=*/true);
+  add_range(layout.unevictable_base, census.unevictable_pages, true);
+  add_range(layout.os_anon_base, census.anon_pages, true);
+  add_range(layout.os_file_base, census.file_pages, /*write=*/false);
+  // Every tick the daemons re-touch a hot subset of the footprint (under
+  // swap the referenced bits keep it in the guest's active list, stealing
+  // DRAM from the application; under FluidMem the insertion-ordered LRU
+  // cycles it through remote memory) plus a slowly rotating window of cold
+  // pages (file pages come back from the SSD under swap, §II).
+  const std::size_t hot_count = os_pages.size() * 60 / 100;
+  gcfg.periodic_interval = 2 * kMillisecond;
+  auto cursor = std::make_shared<std::size_t>(0);
+  gcfg.periodic_work = [&bed, os_pages, hot_count, cursor](SimTime now) {
+    for (std::size_t i = 0; i < hot_count; ++i) {
+      const auto& [addr, write] = os_pages[i];
+      now = bed.memory().Touch(addr, write, now).done;
+    }
+    constexpr std::size_t kColdWindow = 10;
+    const std::size_t cold_count = os_pages.size() - hot_count;
+    for (std::size_t i = 0; i < kColdWindow && cold_count > 0; ++i) {
+      const auto& [addr, write] =
+          os_pages[hot_count + (*cursor % cold_count)];
+      ++*cursor;
+      now = bed.memory().Touch(addr, write, now).done;
+    }
+    return now;
+  };
+
+  SimTime now = bed.Boot(0);
+  now = wl::PopulateGraph(bed.memory(), graph, now);
+  wl::Graph500Result r = wl::RunGraph500(bed.memory(), graph, gcfg, now);
+  if (!r.status.ok()) {
+    std::printf("RunGraph500 failed: %s\n", r.status.ToString().c_str());
+    return -1.0;
+  }
+  if (fault_rate != nullptr) {
+    std::int64_t edges = 0;
+    for (const auto& t : r.trials) edges += t.edges_traversed;
+    *fault_rate = edges > 0 ? 0.0 : 0.0;  // placeholder; per-backend stats differ
+  }
+  return r.HarmonicMeanTeps() / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 4: Graph500 harmonic-mean TEPS (millions)");
+  bench::Note("scale 11-14 stands in for the paper's 20-23; DRAM sized so "
+              "the smallest graph is ~60% of it; 4 BFS roots per trial");
+
+  // Size DRAM so the scale-11 graph occupies ~60% of it.
+  wl::Graph500Config probe;
+  probe.scale = 11;
+  const std::size_t graph_pages = wl::BuildGraph(probe).total_pages;
+  const std::size_t dram_pages = graph_pages * 100 / 60;
+  std::printf("graph pages at scale 11: %zu; DRAM allotment: %zu pages\n",
+              graph_pages, dram_pages);
+
+  std::printf("\n%-8s %-8s", "scale", "WSS%");
+  for (const auto b : kBackends) std::printf(" %18s", wl::BackendName(b).data());
+  std::printf("\n");
+
+  for (int i = 0; i < 4; ++i) {
+    const int scale = 11 + i;
+    const PaperRow& paper = kPaper[i];
+    std::printf("%-8d %-8.0f", scale, paper.wss_pct);
+    std::fflush(stdout);
+    for (const auto b : kBackends) {
+      const double teps = RunOne(b, scale, dram_pages, nullptr);
+      std::printf(" %18.2f", teps);
+      std::fflush(stdout);
+    }
+    std::printf("\n%-8s %-8s", "", "(paper)");
+    for (double v : paper.values) std::printf(" %18.1f", v);
+    std::printf("  <- paper scale %d\n", paper.paper_scale);
+  }
+
+  bench::Note("expected shape: (a) all backends equal at 60% WSS with a "
+              "small FluidMem first-touch overhead; (b) at 120% FluidMem "
+              "clearly ahead of swap on every backend (cold OS pages moved "
+              "to remote memory), FluidMem Memcached > Swap NVMeoF/SSD; "
+              "(c,d) FluidMem RAMCloud > Swap NVMeoF, while Swap DRAM edges "
+              "out FluidMem DRAM (kswapd picks better victims than the "
+              "insertion-ordered LRU)");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 5: YCSB 1 KB read-only latency on the MongoDB/WiredTiger-like
+// document store — Swap (NVMeoF) vs FluidMem (RAMCloud), cache sizes 1-3 GB
+// against 1 GB of DRAM (§VI-D2).
+//
+// Paper setup: 5 GB dataset on SSD; WiredTiger-style record cache of
+// 1/2/3 GB inside a VM limited to 1 GB of local DRAM (swap: VM memory =
+// 1 GB + swap space; FluidMem: VM memory 4 GB, LRU list 1 GB). Read-only
+// YCSB workload C with zipfian keys. The reproduction scales all sizes by
+// 1/100 and prints both the latency time-course (the plotted lines) and
+// the averages the paper quotes in the legend.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/docstore.h"
+#include "workloads/testbed.h"
+
+using namespace fluid;
+
+namespace {
+
+struct CacheCase {
+  std::size_t cache_records;  // scaled records in cache
+  const char* label;
+  double paper_swap_us;
+  double paper_fluid_us;
+};
+
+// Scale: 1/100 of the paper. 5 GB dataset -> 50k records; 1 GB -> 10k.
+constexpr std::size_t kRecords = 50'000;
+constexpr std::size_t kRecordBytes = 1024;
+constexpr std::size_t kDramPages = 2560;  // "1 GB"
+
+constexpr CacheCase kCases[] = {
+    {10'000, "1GB cache", 1040.0, 534.0},
+    {20'000, "2GB cache", 905.0, 494.0},
+    {30'000, "3GB cache", 631.0, 463.0},
+};
+
+struct RunOut {
+  double avg_us = 0;
+  std::vector<std::pair<double, double>> timeline;
+  std::uint64_t hits = 0, misses = 0;
+};
+
+RunOut RunOne(wl::Backend backend, std::size_t cache_records) {
+  const std::size_t cache_pages =
+      cache_records * kRecordBytes / kPageSize + 64;
+  const std::size_t index_pages = kRecords * 8 / kPageSize + 2;
+  // VM memory: the paper gives the FluidMem VM 4 GB (1 GB boot + hotplug)
+  // while the swap VM has only its 1 GB of DRAM. The difference shows up
+  // as the guest page cache available beyond the WT cache and heap.
+  const std::size_t vm_pages = wl::IsFluid(backend) ? 4 * kDramPages
+                                                    : kDramPages;
+  const std::size_t used = cache_pages + index_pages + 3072 + 128;
+  const std::size_t pagecache_pages =
+      vm_pages > used + 832 ? vm_pages - used - 768 : 64;
+
+  wl::TestbedConfig tb;
+  tb.local_dram_pages = kDramPages;
+  tb.vm_app_pages = used + pagecache_pages;
+  wl::Testbed bed{backend, tb};
+
+  auto disk = blk::MakeSsdDevice(1 << 18);  // the guest's data disk
+
+  wl::DocstoreConfig cfg;
+  cfg.record_count = kRecords;
+  cfg.record_bytes = kRecordBytes;
+  cfg.cache_bytes = cache_records * kRecordBytes;
+  cfg.cache_base = bed.layout().app_base;
+  cfg.pagecache_pages = pagecache_pages;
+  wl::DocStore store{cfg, bed.memory(), disk};
+
+  SimTime now = bed.Boot(0);
+  now = store.Load(now);
+
+  wl::YcsbConfig yc;
+  yc.operations = 300'000;
+  yc.timeline_buckets = 40;
+  wl::YcsbResult r = wl::RunYcsbC(store, yc, now);
+  RunOut out;
+  if (!r.status.ok()) {
+    std::printf("YCSB failed: %s\n", r.status.ToString().c_str());
+    return out;
+  }
+  out.avg_us = r.latency.MeanUs();
+  out.timeline = std::move(r.timeline);
+  out.hits = r.cache_hits;
+  out.misses = r.cache_misses;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Figure 5: YCSB-C 1KB read latency, MongoDB-like store (us)");
+  bench::Note("scale 1/100: 50k x 1KB records on SSD, DRAM '1GB' = 2560 "
+              "pages; swap over NVMeoF vs FluidMem over RAMCloud");
+
+  std::printf("\n%-12s %22s %22s\n", "", "Swap (NVMeoF)", "FluidMem (RAMCloud)");
+  std::printf("%-12s %10s %11s %10s %11s  %s\n", "cache", "avg us",
+              "paper us", "avg us", "paper us", "hit-rate swap/fluid");
+
+  std::vector<std::pair<const CacheCase*, std::pair<RunOut, RunOut>>> all;
+  for (const CacheCase& c : kCases) {
+    RunOut swap_out = RunOne(wl::Backend::kSwapNvmeof, c.cache_records);
+    RunOut fluid_out = RunOne(wl::Backend::kFluidRamcloud, c.cache_records);
+    std::printf("%-12s %10.0f %11.0f %10.0f %11.0f  %4.2f / %4.2f\n", c.label,
+                swap_out.avg_us, c.paper_swap_us, fluid_out.avg_us,
+                c.paper_fluid_us,
+                static_cast<double>(swap_out.hits) /
+                    static_cast<double>(swap_out.hits + swap_out.misses),
+                static_cast<double>(fluid_out.hits) /
+                    static_cast<double>(fluid_out.hits + fluid_out.misses));
+    all.emplace_back(&c, std::make_pair(std::move(swap_out),
+                                        std::move(fluid_out)));
+  }
+
+  std::printf("\nTime-course (runtime_s mean_latency_us), as plotted:\n");
+  for (auto& [c, pair] : all) {
+    std::printf("# swap-nvmeof %s\n", c->label);
+    for (const auto& [sec, us] : pair.first.timeline)
+      std::printf("  %8.2f %10.1f\n", sec, us);
+    std::printf("# fluidmem-ramcloud %s\n", c->label);
+    for (const auto& [sec, us] : pair.second.timeline)
+      std::printf("  %8.2f %10.1f\n", sec, us);
+  }
+
+  bench::Note("expected shape: FluidMem is faster at every cache size; the "
+              "swap configuration cannot stabilise its working set (noisy, "
+              "36-95% higher averages), while FluidMem improves smoothly "
+              "with cache size");
+  return 0;
+}

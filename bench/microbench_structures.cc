@@ -1,0 +1,121 @@
+// Real-time microbenchmarks (google-benchmark) of the data structures on
+// FluidMem's fault-handling critical path. Unlike the fig*/table* binaries
+// — which regenerate the paper's results in virtual time — these measure
+// the *wall-clock* cost of this implementation's structures, the numbers a
+// production deployment of the monitor would care about.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "fluidmem/lru_buffer.h"
+#include "fluidmem/page_tracker.h"
+#include "fluidmem/write_list.h"
+#include "kvstore/memcached.h"
+#include "kvstore/ramcloud.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+
+namespace fluid {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+
+void BM_LruInsertEvict(benchmark::State& state) {
+  fm::LruBuffer lru{static_cast<std::size_t>(state.range(0))};
+  std::uint64_t page = 0;
+  fm::PageRef victim;
+  for (auto _ : state) {
+    if (lru.NeedsEvictionBeforeInsert()) {
+      benchmark::DoNotOptimize(lru.PopVictim(&victim));
+    }
+    lru.Insert(fm::PageRef{0, (page++ % (1u << 20)) * kPageSize});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruInsertEvict)->Arg(1024)->Arg(262144);
+
+void BM_PageTrackerLookup(benchmark::State& state) {
+  fm::PageTracker tracker;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i)
+    tracker.MarkRemote(fm::PageRef{0, i * kPageSize});
+  Rng rng{1};
+  for (auto _ : state) {
+    const fm::PageRef p{0, rng.NextBounded(n) * kPageSize};
+    benchmark::DoNotOptimize(tracker.LocationOf(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTrackerLookup)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_WriteListEnqueueBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  fm::WriteList wl;
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i)
+      wl.Enqueue(fm::PageRef{0, (page++) * kPageSize},
+                 static_cast<FrameId>(i), 0);
+    benchmark::DoNotOptimize(wl.TakeBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_WriteListEnqueueBatch)->Arg(32)->Arg(128);
+
+void BM_UffdFaultResolveCycle(benchmark::State& state) {
+  // The data-plane work of one fault: zeropage install, write upgrade,
+  // remap out, copy back.
+  mem::FramePool pool{64};
+  mem::UffdRegion region{1, kBase, 16, pool};
+  std::array<std::byte, kPageSize> buf{};
+  for (auto _ : state) {
+    (void)region.ZeroPage(kBase);
+    (void)region.Access(kBase, true);  // upgrade: allocates + zeroes
+    auto frame = region.Remap(kBase);
+    benchmark::DoNotOptimize(frame);
+    (void)region.Copy(kBase, buf);
+    auto frame2 = region.Remap(kBase);
+    if (frame.ok()) pool.Free(*frame);
+    if (frame2.ok()) pool.Free(*frame2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UffdFaultResolveCycle);
+
+void BM_RamcloudPutGet(benchmark::State& state) {
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  std::array<std::byte, kPageSize> page{};
+  std::array<std::byte, kPageSize> out{};
+  std::uint64_t i = 0;
+  SimTime now = 0;
+  for (auto _ : state) {
+    const kv::Key key = kv::MakePageKey(kBase + (i++ % 4096) * kPageSize);
+    now = store.Put(1, key, page, now).complete_at;
+    now = store.Get(1, key, out, now).complete_at;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RamcloudPutGet);
+
+void BM_MemcachedPutGet(benchmark::State& state) {
+  kv::MemcachedStore store{
+      kv::MemcachedConfig{.memory_cap_bytes = 1ULL << 30}};
+  std::array<std::byte, kPageSize> page{};
+  std::array<std::byte, kPageSize> out{};
+  std::uint64_t i = 0;
+  SimTime now = 0;
+  for (auto _ : state) {
+    const kv::Key key = kv::MakePageKey(kBase + (i++ % 4096) * kPageSize);
+    now = store.Put(1, key, page, now).complete_at;
+    now = store.Get(1, key, out, now).complete_at;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MemcachedPutGet);
+
+}  // namespace
+}  // namespace fluid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Table II: average page-fault latencies measured from the application with
+// various FluidMem optimizations (§VI-C).
+//
+// Paper setup: a simple test program linked with libuserfault — no
+// virtualisation layer — reading/writing a memory region sequentially or
+// randomly, timed inside the kernel's fault handler via perf. We reproduce
+// that by disabling the KVM exit cost (kvm_mode=false with a 1.0
+// full-virtualisation factor = a plain process) and sweeping the four
+// optimization settings over DRAM and RAMCloud backends.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/local_store.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+using namespace fluid;
+
+namespace {
+
+struct OptRow {
+  const char* name;
+  bool async_read;
+  bool async_write;
+  // Paper values, us: {dram_seq, dram_rand, rc_seq, rc_rand}
+  double paper[4];
+};
+
+constexpr OptRow kRows[] = {
+    {"Default", false, false, {27.25, 28.15, 66.71, 58.70}},
+    {"Async Read", true, false, {25.26, 25.00, 51.08, 49.33}},
+    {"Async Write", false, true, {23.67, 30.26, 42.88, 43.40}},
+    {"Async Read/Write", true, true, {21.30, 24.37, 29.47, 29.20}},
+};
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr std::size_t kRegionPages = 2048;
+constexpr std::size_t kLruPages = 512;
+
+double MeanFaultUs(bool use_ramcloud, bool async_read, bool async_write,
+                   bool sequential) {
+  mem::FramePool pool{8192};
+  std::unique_ptr<kv::KvStore> store;
+  if (use_ramcloud)
+    store = std::make_unique<kv::RamcloudStore>(
+        kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30});
+  else
+    store = std::make_unique<kv::LocalDramStore>();
+
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = kLruPages;
+  cfg.write_batch_pages = 32;
+  cfg.async_read = async_read;
+  cfg.async_write = async_write;
+  cfg.kvm_mode = false;  // no virtualisation layer (plain process)...
+  cfg.costs.full_virt_factor = 1.0;  // ...at native speed
+  fm::Monitor monitor{cfg, *store, pool};
+  mem::UffdRegion region{1, kBase, kRegionPages, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 1);
+
+  Rng rng{99};
+  SimTime now = 0;
+  // Warm pass: touch the whole region (write) so pages exist and the LRU
+  // is saturated; then the measured pass re-faults evicted pages.
+  for (std::size_t i = 0; i < kRegionPages; ++i) {
+    (void)region.Access(kBase + i * kPageSize, true);
+    now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+    (void)region.Access(kBase + i * kPageSize, true);
+  }
+
+  double sum = 0;
+  int n = 0;
+  std::size_t cursor = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const std::size_t page = sequential
+                                 ? (cursor++ % kRegionPages)
+                                 : rng.NextBounded(kRegionPages);
+    const VirtAddr addr = kBase + page * kPageSize;
+    const bool is_write = (i % 2) == 0;
+    auto a = region.Access(addr, is_write);
+    if (a.kind != mem::AccessKind::kUffdFault) {
+      now += 150;  // between-access think time
+      continue;
+    }
+    const SimTime t0 = now;
+    auto out = monitor.HandleFault(rid, addr, now);
+    if (!out.status.ok()) return -1.0;
+    now = out.wake_at + 150;
+    (void)region.Access(addr, is_write);
+    sum += ToMicros(out.wake_at - t0);
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table II: page-fault latency vs optimizations (us)");
+  bench::Note("no virtualisation layer (process linked with libuserfault); "
+              "region 4x the local buffer so every fault also evicts");
+
+  std::printf("\n%-18s | %21s | %21s | paper (DRAM seq/rand, RC seq/rand)\n",
+              "", "FluidMem DRAM", "FluidMem RAMCloud");
+  std::printf("%-18s | %10s %10s | %10s %10s |\n", "optimization", "seq",
+              "rand", "seq", "rand");
+  for (const OptRow& row : kRows) {
+    const double dram_seq = MeanFaultUs(false, row.async_read, row.async_write, true);
+    const double dram_rand = MeanFaultUs(false, row.async_read, row.async_write, false);
+    const double rc_seq = MeanFaultUs(true, row.async_read, row.async_write, true);
+    const double rc_rand = MeanFaultUs(true, row.async_read, row.async_write, false);
+    std::printf("%-18s | %10.2f %10.2f | %10.2f %10.2f | %6.2f %6.2f %6.2f %6.2f\n",
+                row.name, dram_seq, dram_rand, rc_seq, rc_rand, row.paper[0],
+                row.paper[1], row.paper[2], row.paper[3]);
+  }
+
+  bench::Note("expected shape: each asynchronous optimization shaves the "
+              "RAMCloud critical path; combined they roughly halve Default "
+              "(66.71 -> 29.47 in the paper); DRAM improves too, showing "
+              "the interleaving helps even without network latency");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Remote-memory-assisted VM migration (§VII): because a FluidMem VM's pages
+// already live in a shared store, moving the VM between hypervisors only
+// moves the *resident* set — and a pre-shrunk VM moves in near-zero time.
+//
+//   $ ./live_migration
+#include <cstdio>
+
+#include "fluidmem/migration.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/ramcloud.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+
+using namespace fluid;
+
+namespace {
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+
+fm::MonitorConfig HostConfig(std::uint64_t seed) {
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 4096;
+  cfg.seed = seed;
+  return cfg;
+}
+}  // namespace
+
+int main() {
+  std::printf("== VM migration over shared remote memory ==\n\n");
+
+  // Two hypervisors sharing one RAMCloud.
+  mem::FramePool pool_a{16384}, pool_b{16384};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  fm::Monitor host_a{HostConfig(1), store, pool_a};
+  fm::Monitor host_b{HostConfig(2), store, pool_b};
+
+  // A VM runs on host A and dirties 2048 pages.
+  mem::UffdRegion vm_a{4242, kBase, 4096, pool_a};
+  const fm::RegionId rid_a = host_a.RegisterRegion(vm_a, /*partition=*/5);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 2048; ++i) {
+    (void)vm_a.Access(kBase + i * kPageSize, true);
+    now = host_a.HandleFault(rid_a, kBase + i * kPageSize, now).wake_at;
+    (void)vm_a.Access(kBase + i * kPageSize, true);
+    const std::uint64_t v = i * 31 + 5;
+    (void)vm_a.WriteBytes(kBase + i * kPageSize,
+                          std::as_bytes(std::span{&v, 1}));
+  }
+  std::printf("VM on host A: %zu resident pages, %zu store objects\n",
+              host_a.ResidentPages(), store.ObjectCount());
+
+  // --- Scenario 1: migrate hot (full resident set must flush). -------------
+  mem::UffdRegion vm_b{4242, kBase, 4096, pool_b};
+  fm::MigrationResult hot =
+      fm::MigrateRegion(host_a, rid_a, host_b, vm_b, 5, now);
+  if (!hot.status.ok()) {
+    std::printf("migration failed: %s\n", hot.status.ToString().c_str());
+    return 1;
+  }
+  now = hot.resumed_at;
+  std::printf("\nhot migration:  %zu pages flushed, downtime %.2f ms\n",
+              hot.pages_flushed, static_cast<double>(hot.downtime) / 1e6);
+
+  // Verify on host B (demand faults pull everything from the store).
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < 2048; ++i) {
+    (void)vm_b.Access(kBase + i * kPageSize, false);
+    auto f = host_b.HandleFault(hot.target_region, kBase + i * kPageSize, now);
+    if (!f.status.ok()) break;
+    now = f.wake_at;
+    std::uint64_t got = 0;
+    (void)vm_b.ReadBytes(kBase + i * kPageSize,
+                         std::as_writable_bytes(std::span{&got, 1}));
+    if (got == i * 31 + 5) ++ok;
+  }
+  std::printf("after resume:   %zu/2048 pages verified on host B\n", ok);
+
+  // --- Scenario 2: shrink first (Table III), then migrate back. ------------
+  now = host_b.SetLruCapacity(64, now);  // provider squeezes the idle VM
+  mem::UffdRegion vm_a2{4242, kBase, 4096, pool_a};
+  fm::MigrationResult cold = fm::MigrateRegion(
+      host_b, hot.target_region, host_a, vm_a2, 5, now);
+  if (!cold.status.ok()) {
+    std::printf("migration back failed: %s\n", cold.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncold migration (pre-shrunk to 64 pages): %zu pages "
+              "flushed, downtime %.3f ms  (%.0fx less)\n",
+              cold.pages_flushed, static_cast<double>(cold.downtime) / 1e6,
+              static_cast<double>(hot.downtime) /
+                  static_cast<double>(cold.downtime));
+  std::printf("\nthe synergy the paper points at: disaggregated memory makes "
+              "the VM's footprint — and its migration cost — a provider "
+              "knob.\n");
+  return ok == 2048 ? 0 : 1;
+}

@@ -1,0 +1,172 @@
+// Block devices backing the swap baseline (paper §VI-A).
+//
+// The evaluation compares swap on three media:
+//   * /dev/pmem0 — a DRAM-backed persistent-memory block device (the
+//     "Swap DRAM" lower bound standing in for Infiniswap-to-local-DRAM);
+//   * an NVMe-over-Fabrics target whose storage is remote DRAM, reached
+//     over FDR InfiniBand;
+//   * a local SATA SSD partition.
+// Each device stores real 4 KB blocks (sparsely) and charges a service time
+// from its latency model plus FIFO queueing on its command queue; NVMeoF
+// additionally pays the fabric round trip.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dist.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/transport.h"
+#include "sim/timeline.h"
+
+namespace fluid::blk {
+
+// Linear block address in 4 KB units.
+using BlockNum = std::uint64_t;
+
+struct BlockIoResult {
+  Status status;
+  SimTime complete_at = 0;
+};
+
+struct BlockDeviceParams {
+  std::string name;
+  std::size_t capacity_blocks = (20ULL << 30) / kPageSize;  // 20 GB as in §VI-B
+  LatencyDist read_service;
+  LatencyDist write_service;
+  // Fabric RTT per command; disengaged for local devices.
+  std::optional<net::Transport> fabric;
+  std::uint64_t seed = 46;
+};
+
+class BlockDevice {
+ public:
+  explicit BlockDevice(BlockDeviceParams params)
+      : params_(std::move(params)), rng_(params_.seed) {}
+
+  std::string_view name() const noexcept { return params_.name; }
+  std::size_t capacity_blocks() const noexcept { return params_.capacity_blocks; }
+
+  BlockIoResult Read(BlockNum block, std::span<std::byte, kPageSize> out,
+                     SimTime now) {
+    if (block >= params_.capacity_blocks)
+      return {Status::InvalidArgument("block out of range"), now};
+    auto it = blocks_.find(block);
+    if (it == blocks_.end()) {
+      // Reading a never-written block returns zeroes, like a zeroed device.
+      std::memset(out.data(), 0, kPageSize);
+    } else {
+      std::memcpy(out.data(), it->second.data(), kPageSize);
+    }
+    ++reads_;
+    return {Status::Ok(), Complete(now, params_.read_service, kPageSize)};
+  }
+
+  BlockIoResult Write(BlockNum block, std::span<const std::byte, kPageSize> in,
+                      SimTime now) {
+    if (block >= params_.capacity_blocks)
+      return {Status::InvalidArgument("block out of range"), now};
+    auto& buf = blocks_[block];
+    buf.assign(in.begin(), in.end());
+    ++writes_;
+    return {Status::Ok(), Complete(now, params_.write_service, kPageSize)};
+  }
+
+  // Data-only read with no timing or queue effects: used when a model
+  // layer (e.g. the guest page cache) already holds the block logically
+  // and only the bytes are needed for verification.
+  Status Peek(BlockNum block, std::span<std::byte, kPageSize> out) const {
+    if (block >= params_.capacity_blocks)
+      return Status::InvalidArgument("block out of range");
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+      std::memset(out.data(), 0, kPageSize);
+    else
+      std::memcpy(out.data(), it->second.data(), kPageSize);
+    return Status::Ok();
+  }
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+  std::size_t blocks_written() const noexcept { return blocks_.size(); }
+  const Timeline& queue() const noexcept { return queue_; }
+
+ private:
+  SimTime Complete(SimTime now, const LatencyDist& service,
+                   std::size_t bytes) {
+    SimTime submit = now;
+    SimDuration fabric_out = 0, fabric_back = 0;
+    if (params_.fabric) {
+      const SimDuration rtt = params_.fabric->SampleRtt(64, bytes, rng_);
+      fabric_out = rtt / 2;
+      fabric_back = rtt - fabric_out;
+    }
+    const auto svc = queue_.Occupy(submit + fabric_out, service.Sample(rng_));
+    return svc.end + fabric_back;
+  }
+
+  BlockDeviceParams params_;
+  Rng rng_;
+  Timeline queue_;
+  std::unordered_map<BlockNum, std::vector<std::byte>> blocks_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+// --- Calibrated device models -----------------------------------------------
+
+// Local DRAM-backed pmem block device: service is essentially a page copy
+// plus block-layer completion; no fabric.
+inline BlockDevice MakePmemDevice(std::size_t capacity_blocks =
+                                      (20ULL << 30) / kPageSize) {
+  return BlockDevice{BlockDeviceParams{
+      .name = "pmem-dram",
+      .capacity_blocks = capacity_blocks,
+      .read_service = LatencyDist::Normal(3.2, 0.4, 1.5),
+      .write_service = LatencyDist::Normal(3.0, 0.4, 1.5),
+      .fabric = std::nullopt,
+      .seed = 47,
+  }};
+}
+
+// NVMe over Fabrics to a remote DRAM target (/dev/pmem0 on the target, FDR
+// InfiniBand in between). The paper measured ~41.7 us average swap faults on
+// this device (Fig. 3e).
+inline BlockDevice MakeNvmeofDevice(std::size_t capacity_blocks =
+                                        (20ULL << 30) / kPageSize) {
+  return BlockDevice{BlockDeviceParams{
+      .name = "nvmeof-dram",
+      .capacity_blocks = capacity_blocks,
+      // Target-side NVMe command processing + pmem copy + completion path.
+      .read_service = LatencyDist::Normal(9.0, 1.2, 4.0),
+      .write_service = LatencyDist::Normal(8.5, 1.2, 4.0),
+      .fabric = net::MakeVerbsTransport(),
+      .seed = 48,
+  }};
+}
+
+// Local SATA SSD: tens-of-microseconds flash reads with a long tail
+// (garbage collection), ~100 us average swap faults (Fig. 3f).
+inline BlockDevice MakeSsdDevice(std::size_t capacity_blocks =
+                                     (20ULL << 30) / kPageSize) {
+  return BlockDevice{BlockDeviceParams{
+      .name = "ssd",
+      .capacity_blocks = capacity_blocks,
+      // Reads hit flash (long tail from GC); writes land in the drive's
+      // DRAM buffer and complete quickly.
+      .read_service = LatencyDist::Lognormal(78.0, 0.30, 30.0),
+      .write_service = LatencyDist::Lognormal(18.0, 0.40, 8.0),
+      .fabric = std::nullopt,
+      .seed = 49,
+  }};
+}
+
+}  // namespace fluid::blk

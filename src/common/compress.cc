@@ -1,0 +1,186 @@
+#include "common/compress.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace fluid {
+
+namespace {
+
+constexpr std::byte kTagStored{0};
+constexpr std::byte kTagLz{1};
+constexpr std::byte kTagZero{2};
+
+// Token layout (after the tag byte):
+//   0x00..0x3F  literal run of (token + 1) bytes (1..64); bytes follow
+//   0x80..0xFF  match: length = (token & 0x7F) + 4 (4..131), followed by a
+//               2-byte little-endian back-distance (1..65535)
+//   0x40..0x7F  reserved (decode error)
+constexpr int kMinMatch = 4;
+constexpr int kMaxMatch = 131;
+constexpr std::size_t kMaxLiteralRun = 64;
+
+std::uint32_t Hash4(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 20;  // 12-bit hash
+}
+
+// Generated at first use; CRC-32C polynomial (Castagnoli, 0x1EDC6F41).
+const std::array<std::uint32_t, 256>& Crc32cTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data) noexcept {
+  const auto& table = Crc32cTable();
+  std::uint32_t crc = ~0u;
+  for (std::byte b : data)
+    crc = (crc >> 8) ^
+          table[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  return ~crc;
+}
+
+bool IsAllZero(std::span<const std::byte> data) noexcept {
+  for (std::byte b : data)
+    if (b != std::byte{0}) return false;
+  return true;
+}
+
+std::size_t Compress(std::span<const std::byte> in,
+                     std::vector<std::byte>& out) {
+  out.clear();
+  if (IsAllZero(in)) {
+    out.push_back(kTagZero);
+    return out.size();
+  }
+
+  out.push_back(kTagLz);
+  std::array<std::int32_t, 4096> head;
+  head.fill(-1);
+
+  const std::byte* base = in.data();
+  const std::size_t n = in.size();
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = literal_start;
+    while (pos < end) {
+      const std::size_t run = std::min(kMaxLiteralRun, end - pos);
+      out.push_back(static_cast<std::byte>(run - 1));
+      out.insert(out.end(), base + pos, base + pos + run);
+      pos += run;
+    }
+  };
+
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = Hash4(base + i);
+    const std::int32_t cand = head[h];
+    head[h] = static_cast<std::int32_t>(i);
+
+    std::size_t match_len = 0;
+    if (cand >= 0) {
+      const std::size_t dist = i - static_cast<std::size_t>(cand);
+      if (dist >= 1 && dist <= 0xffff &&
+          std::memcmp(base + cand, base + i, kMinMatch) == 0) {
+        match_len = kMinMatch;
+        const std::size_t limit =
+            std::min<std::size_t>(kMaxMatch, n - i);
+        while (match_len < limit &&
+               base[static_cast<std::size_t>(cand) + match_len] ==
+                   base[i + match_len])
+          ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(i);
+      const std::size_t dist = i - static_cast<std::size_t>(cand);
+      out.push_back(static_cast<std::byte>(
+          0x80u | static_cast<std::uint32_t>(match_len - kMinMatch)));
+      out.push_back(static_cast<std::byte>(dist & 0xff));
+      out.push_back(static_cast<std::byte>((dist >> 8) & 0xff));
+      // Insert hash entries inside the match so later data can find it.
+      const std::size_t step = match_len > 16 ? 4 : 1;
+      for (std::size_t k = 1; k < match_len && i + k + 4 <= n; k += step)
+        head[Hash4(base + i + k)] = static_cast<std::int32_t>(i + k);
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+
+  if (out.size() >= n + 1) {
+    // Incompressible: store raw.
+    out.clear();
+    out.push_back(kTagStored);
+    out.insert(out.end(), in.begin(), in.end());
+  }
+  return out.size();
+}
+
+Status Decompress(std::span<const std::byte> in, std::span<std::byte> out) {
+  if (in.empty()) return Status::InvalidArgument("empty compressed data");
+  const std::byte tag = in[0];
+  const std::byte* src = in.data() + 1;
+  const std::size_t nsrc = in.size() - 1;
+
+  if (tag == kTagZero) {
+    std::memset(out.data(), 0, out.size());
+    return Status::Ok();
+  }
+  if (tag == kTagStored) {
+    if (nsrc != out.size())
+      return Status::InvalidArgument("stored size mismatch");
+    std::memcpy(out.data(), src, nsrc);
+    return Status::Ok();
+  }
+  if (tag != kTagLz) return Status::InvalidArgument("unknown format tag");
+
+  std::size_t si = 0;
+  std::size_t di = 0;
+  while (si < nsrc) {
+    const auto token = static_cast<std::uint32_t>(src[si++]);
+    if (token < 0x40u) {
+      const std::size_t run = token + 1;
+      if (si + run > nsrc || di + run > out.size())
+        return Status::InvalidArgument("corrupt literal run");
+      std::memcpy(out.data() + di, src + si, run);
+      si += run;
+      di += run;
+    } else if (token >= 0x80u) {
+      if (si + 2 > nsrc) return Status::InvalidArgument("truncated match");
+      const std::size_t len = (token & 0x7fu) + kMinMatch;
+      const std::size_t dist = static_cast<std::size_t>(src[si]) |
+                               (static_cast<std::size_t>(src[si + 1]) << 8);
+      si += 2;
+      if (dist == 0 || dist > di || di + len > out.size())
+        return Status::InvalidArgument("corrupt match");
+      // Byte-by-byte: overlapping matches (RLE) are valid and common.
+      for (std::size_t k = 0; k < len; ++k, ++di)
+        out[di] = out[di - dist];
+    } else {
+      return Status::InvalidArgument("reserved token");
+    }
+  }
+  if (di != out.size())
+    return Status::InvalidArgument("decompressed size mismatch");
+  return Status::Ok();
+}
+
+}  // namespace fluid

@@ -1,0 +1,51 @@
+// Page compression codec (the §III provider customization: "Some examples
+// are page compression or replication across remote servers").
+//
+// A self-contained LZ77-family byte compressor tuned for 4 KB memory
+// pages: greedy matching against a 4-byte-hash chain over a 4 KB window,
+// literals/match tokens in an LZ4-like layout. Typical VM pages (zeroed
+// regions, page tables, text with repeated opcodes) compress well; the
+// codec guarantees correctness for arbitrary input by falling back to
+// stored (uncompressed) form when compression would expand.
+//
+// Also provides CRC-32C for end-to-end page integrity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fluid {
+
+// --- CRC-32C (Castagnoli), bitwise-free table implementation -----------------
+
+std::uint32_t Crc32c(std::span<const std::byte> data) noexcept;
+
+// --- page codec -----------------------------------------------------------------
+
+// Compresses `in` into `out` (resized). The encoding is:
+//   byte 0: format tag — 0 = stored, 1 = lz, 2 = all-zero page
+//   stored: tag + raw bytes
+//   zero:   tag only (the decoder materialises in.size() zero bytes given
+//           the expected size)
+//   lz:     sequence of tokens:
+//             literal run:  0x00llllll  (6-bit length-1, then bytes;
+//                           0x3f escapes to an extension byte)
+//             match:        0x40+ token: 2-byte little-endian offset
+//                           (1..4095) and length 4..259
+// Returns the compressed size. Never fails.
+std::size_t Compress(std::span<const std::byte> in,
+                     std::vector<std::byte>& out);
+
+// Decompresses into `out` (must be pre-sized to the expected decompressed
+// size — pages are fixed-size, so the caller always knows it).
+Status Decompress(std::span<const std::byte> in, std::span<std::byte> out);
+
+// True if every byte is zero (fast path: evicted zero pages need not be
+// stored at all).
+bool IsAllZero(std::span<const std::byte> data) noexcept;
+
+}  // namespace fluid

@@ -1,0 +1,117 @@
+// Latency distributions for the cost model.
+//
+// Every timed component in the simulation (a userfaultfd ioctl, a NIC
+// round-trip, an SSD read) draws its service time from a LatencyDist.
+// Distributions are small value types; sampling takes the caller's Rng so
+// that a model object can stay const and the experiment owns determinism.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fluid {
+
+// A clamped distribution family sufficient for the latencies in the paper:
+//  - kConstant:  always `mean`.
+//  - kNormal:    N(mean, sigma) clamped to [floor, ceil].
+//  - kLognormal: exp(N(mu, s)) parameterised by (median=mean, sigma factor),
+//                good for device tails (SSD, TLB shootdown IPIs).
+//  - kBimodal:   `mean` with prob (1-p_tail), `tail` with prob p_tail — used
+//                for operations with a rare expensive path (UFFD_REMAP's
+//                interprocessor interrupt in Table I).
+class LatencyDist {
+ public:
+  constexpr LatencyDist() = default;
+
+  static constexpr LatencyDist Constant(double us) {
+    LatencyDist d;
+    d.kind_ = Kind::kConstant;
+    d.a_ = us;
+    return d;
+  }
+
+  static constexpr LatencyDist Normal(double mean_us, double sigma_us,
+                                      double floor_us = 0.05) {
+    LatencyDist d;
+    d.kind_ = Kind::kNormal;
+    d.a_ = mean_us;
+    d.b_ = sigma_us;
+    d.c_ = floor_us;
+    return d;
+  }
+
+  // median_us: the 50th percentile; sigma_log: std-dev of the underlying
+  // normal in log-space (0.25 ~ mild tail, 0.6 ~ heavy SSD-like tail).
+  static constexpr LatencyDist Lognormal(double median_us, double sigma_log,
+                                         double floor_us = 0.05) {
+    LatencyDist d;
+    d.kind_ = Kind::kLognormal;
+    d.a_ = median_us;
+    d.b_ = sigma_log;
+    d.c_ = floor_us;
+    return d;
+  }
+
+  static constexpr LatencyDist Bimodal(double common_us, double tail_us,
+                                       double p_tail, double jitter_frac = 0.1) {
+    LatencyDist d;
+    d.kind_ = Kind::kBimodal;
+    d.a_ = common_us;
+    d.b_ = tail_us;
+    d.c_ = p_tail;
+    d.e_ = jitter_frac;
+    return d;
+  }
+
+  // Sample a duration in nanoseconds.
+  SimDuration Sample(Rng& rng) const noexcept {
+    double us = 0.0;
+    switch (kind_) {
+      case Kind::kConstant:
+        us = a_;
+        break;
+      case Kind::kNormal:
+        us = std::max(c_, a_ + b_ * rng.NextGaussian());
+        break;
+      case Kind::kLognormal:
+        us = std::max(c_, a_ * std::exp(b_ * rng.NextGaussian()));
+        break;
+      case Kind::kBimodal: {
+        const double base = (rng.NextDouble() < c_) ? b_ : a_;
+        us = std::max(0.01, base * (1.0 + e_ * rng.NextGaussian()));
+        break;
+      }
+    }
+    return FromMicros(us);
+  }
+
+  // Expected value in microseconds (exact for constant/normal/bimodal,
+  // analytic for lognormal). Used by tests and by planning heuristics.
+  double MeanUs() const noexcept {
+    switch (kind_) {
+      case Kind::kConstant:
+        return a_;
+      case Kind::kNormal:
+        return a_;  // clamping bias ignored (sigma << mean in our configs)
+      case Kind::kLognormal:
+        return a_ * std::exp(b_ * b_ / 2.0);
+      case Kind::kBimodal:
+        return a_ * (1.0 - c_) + b_ * c_;
+    }
+    return 0.0;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kConstant, kNormal, kLognormal, kBimodal };
+  Kind kind_ = Kind::kConstant;
+  double a_ = 0.0;  // mean / median / common value (us)
+  double b_ = 0.0;  // sigma / sigma_log / tail value (us)
+  double c_ = 0.0;  // floor / p_tail
+  double e_ = 0.0;  // jitter fraction (bimodal)
+};
+
+}  // namespace fluid

@@ -1,0 +1,121 @@
+// Log-bucketed latency histogram with exact moment tracking.
+//
+// Used everywhere a latency distribution is reported: Figure 3's CDFs,
+// Table I's per-codepath avg/stdev/99th, Figure 5's time-courses.
+// Buckets are log-spaced so the 0.1 us .. 1 s range that the paper plots is
+// covered with bounded memory; mean/stdev are computed from exact running
+// sums so they do not suffer bucketing error.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fluid {
+
+class LatencyHistogram {
+ public:
+  // Buckets span [min_ns, max_ns) with `buckets_per_decade` log-spaced
+  // buckets per power of ten. Values outside the range clamp to the
+  // first/last bucket.
+  explicit LatencyHistogram(double min_ns = 10.0, double max_ns = 1e10,
+                            int buckets_per_decade = 40)
+      : min_ns_(min_ns),
+        log_min_(std::log10(min_ns)),
+        scale_(buckets_per_decade) {
+    const int decades = static_cast<int>(std::ceil(std::log10(max_ns / min_ns)));
+    counts_.assign(static_cast<std::size_t>(decades) * buckets_per_decade + 1, 0);
+  }
+
+  void Record(SimDuration ns) {
+    const double v = static_cast<double>(ns);
+    counts_[BucketOf(v)]++;
+    n_++;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_seen_ = std::min(min_seen_, v);
+    max_seen_ = std::max(max_seen_, v);
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    // Requires identical bucket layout; used to combine per-thread stats.
+    for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+
+  std::uint64_t Count() const noexcept { return n_; }
+  double MeanNs() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double MeanUs() const noexcept { return MeanNs() / 1000.0; }
+  double MinNs() const noexcept { return n_ ? min_seen_ : 0.0; }
+  double MaxNs() const noexcept { return n_ ? max_seen_ : 0.0; }
+
+  double StdevNs() const noexcept {
+    if (n_ < 2) return 0.0;
+    const double mean = MeanNs();
+    const double var =
+        std::max(0.0, sum_sq_ / static_cast<double>(n_) - mean * mean);
+    return std::sqrt(var);
+  }
+  double StdevUs() const noexcept { return StdevNs() / 1000.0; }
+
+  // Approximate p-quantile (0 < p <= 1) from bucket boundaries.
+  double QuantileNs(double p) const noexcept {
+    if (n_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(n_)));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      acc += counts_[i];
+      if (acc >= target) return BucketUpperNs(i);
+    }
+    return max_seen_;
+  }
+  double QuantileUs(double p) const noexcept { return QuantileNs(p) / 1000.0; }
+
+  // CDF sample points (bucket upper edge in us, cumulative fraction).
+  // Skips empty leading/trailing regions. Used to print Figure 3.
+  std::vector<std::pair<double, double>> CdfUs() const {
+    std::vector<std::pair<double, double>> out;
+    if (n_ == 0) return out;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      acc += counts_[i];
+      out.emplace_back(BucketUpperNs(i) / 1000.0,
+                       static_cast<double>(acc) / static_cast<double>(n_));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t BucketOf(double v) const noexcept {
+    if (v <= min_ns_) return 0;
+    const double b = (std::log10(v) - log_min_) * scale_;
+    const auto i = static_cast<std::size_t>(b);
+    return std::min(i, counts_.size() - 1);
+  }
+  double BucketUpperNs(std::size_t i) const noexcept {
+    return std::pow(10.0, log_min_ + static_cast<double>(i + 1) / scale_);
+  }
+
+  double min_ns_;
+  double log_min_;
+  double scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_seen_ = 1e300;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace fluid

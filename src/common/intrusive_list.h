@@ -1,0 +1,106 @@
+// Intrusive doubly-linked list used by the LRU structures.
+//
+// The monitor's LRU buffer and the guest kernel's active/inactive lists move
+// entries between list positions on every fault; an intrusive list makes
+// splice/remove O(1) with zero allocation, and lets one node live in exactly
+// one list at a time (enforced in debug builds).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace fluid {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const noexcept { return prev != nullptr; }
+
+  void Unlink() noexcept {
+    assert(linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = next = nullptr;
+  }
+};
+
+// T must derive from ListNode (optionally through a tag member — pass a
+// member-pointer-free design: we simply require public inheritance).
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() noexcept {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const noexcept { return head_.next == &head_; }
+  std::size_t size() const noexcept { return size_; }
+
+  // Most-recently-used end.
+  void PushBack(T& node) noexcept {
+    ListNode& n = node;
+    assert(!n.linked());
+    n.prev = head_.prev;
+    n.next = &head_;
+    head_.prev->next = &n;
+    head_.prev = &n;
+    ++size_;
+  }
+
+  // Least-recently-used end.
+  void PushFront(T& node) noexcept {
+    ListNode& n = node;
+    assert(!n.linked());
+    n.next = head_.next;
+    n.prev = &head_;
+    head_.next->prev = &n;
+    head_.next = &n;
+    ++size_;
+  }
+
+  T* Front() noexcept {
+    return empty() ? nullptr : static_cast<T*>(head_.next);
+  }
+  T* Back() noexcept {
+    return empty() ? nullptr : static_cast<T*>(head_.prev);
+  }
+
+  T* PopFront() noexcept {
+    if (empty()) return nullptr;
+    T* n = Front();
+    Remove(*n);
+    return n;
+  }
+
+  void Remove(T& node) noexcept {
+    static_cast<ListNode&>(node).Unlink();
+    assert(size_ > 0);
+    --size_;
+  }
+
+  // Move to the MRU end (classic LRU "touch").
+  void MoveToBack(T& node) noexcept {
+    Remove(node);
+    PushBack(node);
+  }
+
+  template <typename F>
+  void ForEach(F&& f) {
+    for (ListNode* n = head_.next; n != &head_;) {
+      ListNode* next = n->next;  // allow f to unlink n
+      f(*static_cast<T*>(n));
+      n = next;
+    }
+  }
+
+ private:
+  ListNode head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fluid

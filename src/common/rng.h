@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// We use xoshiro256** (public-domain, Blackman & Vigna) rather than
+// std::mt19937 because it is faster, has a tiny state that copies cheaply
+// into every model object, and gives identical streams on every platform —
+// the whole evaluation must be bit-reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace fluid {
+
+// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedf1d0ULL) noexcept { Reseed(seed); }
+
+  constexpr void Reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's method.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the distribution unbiased enough for simulation
+    // (rejection step omitted intentionally; bias is < 2^-64 * bound).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  // Standard normal via Box-Muller (no cached second value; simplicity over
+  // the ~2x micro-optimisation).
+  double NextGaussian() noexcept {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Derive an independent child stream (for per-component RNGs).
+  Rng Fork() noexcept {
+    Rng child{0};
+    std::uint64_t sm = (*this)();
+    for (auto& w : child.s_) w = SplitMix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace fluid

@@ -1,0 +1,120 @@
+// Lightweight Status / StatusOr error handling.
+//
+// Error handling follows the Core Guidelines' advice for libraries whose
+// callers need to branch on failures that are expected in normal operation
+// (a missing key, a full buffer): return a value, don't throw. Exceptions
+// remain in play for programming errors via assertions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fluid {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,        // key/page/object absent
+  kAlreadyExists,   // create-if-absent lost the race
+  kInvalidArgument,
+  kResourceExhausted,  // out of frames / slots / partitions
+  kUnavailable,        // replica down, quorum lost, device offline
+  kFailedPrecondition,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m = "") { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status ResourceExhausted(std::string m = "") { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status FailedPrecondition(std::string m = "") { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m = "") { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status Internal(std::string m = "") { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string ToString() const {
+    std::string s{StatusCodeName(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value-or-status union in the spirit of std::expected (not yet available
+// in the toolchain's standard library).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status s) : rep_(std::move(s)) {  // NOLINT: implicit by design
+    assert(!std::get<Status>(rep_).ok() && "OK status without a value");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace fluid

@@ -1,0 +1,67 @@
+// Fundamental types shared across the FluidMem reproduction.
+//
+// All simulated time is kept in nanoseconds as a 64-bit unsigned integer
+// (SimTime). Helper literals and conversions to/from microseconds are
+// provided because the paper reports everything in microseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fluid {
+
+// --- Time ------------------------------------------------------------------
+
+// Virtual (simulated) time in nanoseconds since experiment start.
+using SimTime = std::uint64_t;
+// A duration in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr SimDuration FromMicros(double us) noexcept {
+  return us <= 0 ? 0 : static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+// --- Memory ----------------------------------------------------------------
+
+// The x86-64 base page size the whole system operates on (the paper's unit
+// of disaggregation).
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageShift = 12;
+
+// A guest/process virtual address. FluidMem keys pages by the upper 52 bits
+// of this address (see kvstore/key_codec.h).
+using VirtAddr = std::uint64_t;
+
+// Virtual page number: VirtAddr >> kPageShift.
+using PageNum = std::uint64_t;
+
+constexpr PageNum PageOf(VirtAddr a) noexcept { return a >> kPageShift; }
+constexpr VirtAddr AddrOf(PageNum p) noexcept { return p << kPageShift; }
+constexpr VirtAddr PageAlignDown(VirtAddr a) noexcept { return a & ~(kPageSize - 1); }
+
+// Identifier of a local DRAM frame inside a FramePool.
+using FrameId = std::uint32_t;
+inline constexpr FrameId kInvalidFrame = ~FrameId{0};
+
+// --- Identity --------------------------------------------------------------
+
+// A process id of the faulting hypervisor process (e.g. QEMU); used together
+// with a hypervisor id and a nonce to derive a virtual partition (paper SIV).
+using ProcessId = std::uint32_t;
+using HypervisorId = std::uint32_t;
+
+// Partition index inside a key-value store. The paper packs this into the
+// low 12 bits of the 64-bit key ("virtual partition"); stores with native
+// partition support address them directly.
+using PartitionId = std::uint16_t;
+inline constexpr PartitionId kMaxVirtualPartitions = 4096;  // 12 bits
+
+}  // namespace fluid

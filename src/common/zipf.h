@@ -1,0 +1,59 @@
+// Zipfian sampler (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD '94) — the distribution YCSB uses for its
+// request keys. theta=0.99 is YCSB's default skew.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace fluid {
+
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Sample an item in [0, n).
+  std::uint64_t Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    // Exact for small n; sampled harmonic approximation for large n keeps
+    // construction O(1e6) bounded.
+    double sum = 0.0;
+    if (n <= 1'000'000) {
+      for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      return sum;
+    }
+    for (std::uint64_t i = 1; i <= 1'000'000; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    // Integral tail approximation.
+    const double a = 1e6, b = static_cast<double>(n);
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+           (1.0 - theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace fluid

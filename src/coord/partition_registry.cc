@@ -1,0 +1,82 @@
+#include "coord/partition_registry.h"
+
+namespace fluid::coord {
+
+AllocationResult PartitionRegistry::Allocate(const VmIdentity& id,
+                                             SimTime now,
+                                             SessionId session) {
+  AllocationResult out;
+
+  // Idempotence: if this identity already holds a partition, return it.
+  TableOpResult existing = table_->Read(IdKey(id), now);
+  now = existing.complete_at;
+  if (existing.status.ok()) {
+    out.status = Status::Ok();
+    out.partition =
+        static_cast<PartitionId>(std::stoul(existing.data.value));
+    out.complete_at = now;
+    return out;
+  }
+  if (existing.status.code() == StatusCode::kUnavailable) {
+    out.status = existing.status;
+    out.complete_at = now;
+    return out;
+  }
+
+  // Probe for a free index, serialized by create-if-absent on the table.
+  const PartitionId start = ProbeStart(id);
+  for (std::uint32_t i = 0; i < kMaxVirtualPartitions; ++i) {
+    const auto candidate = static_cast<PartitionId>(
+        (start + i) % kMaxVirtualPartitions);
+    TableOpResult claim =
+        table_->Create(AllocKey(candidate), id.ToString(), now, session);
+    now = claim.complete_at;
+    if (claim.status.ok()) {
+      // Record the reverse mapping; roll back the claim if it fails.
+      TableOpResult rev =
+          table_->Create(IdKey(id), std::to_string(candidate), now, session);
+      now = rev.complete_at;
+      if (!rev.status.ok()) {
+        (void)table_->Delete(AllocKey(candidate), now);
+        out.status = rev.status;
+        out.complete_at = now;
+        return out;
+      }
+      out.status = Status::Ok();
+      out.partition = candidate;
+      out.complete_at = now;
+      return out;
+    }
+    if (claim.status.code() == StatusCode::kUnavailable) {
+      out.status = claim.status;
+      out.complete_at = now;
+      return out;
+    }
+    // kAlreadyExists: lost the race for this index; probe the next one.
+  }
+  out.status = Status::ResourceExhausted("all 4096 virtual partitions taken");
+  out.complete_at = now;
+  return out;
+}
+
+Status PartitionRegistry::Release(const VmIdentity& id, SimTime now) {
+  TableOpResult rev = table_->Read(IdKey(id), now);
+  now = rev.complete_at;
+  if (!rev.status.ok()) return rev.status;
+  const auto partition =
+      static_cast<PartitionId>(std::stoul(rev.data.value));
+  TableOpResult d1 = table_->Delete(AllocKey(partition), now);
+  now = d1.complete_at;
+  TableOpResult d2 = table_->Delete(IdKey(id), now);
+  if (!d1.status.ok()) return d1.status;
+  return d2.status;
+}
+
+std::optional<PartitionId> PartitionRegistry::Find(const VmIdentity& id,
+                                                   SimTime now) const {
+  TableOpResult r = table_->Read(IdKey(id), now);
+  if (!r.status.ok()) return std::nullopt;
+  return static_cast<PartitionId>(std::stoul(r.data.value));
+}
+
+}  // namespace fluid::coord

@@ -1,0 +1,88 @@
+// PartitionRegistry: globally-unique virtual-partition allocation (paper §IV).
+//
+// "The index is created using the process PID, a hypervisor ID, and a nonce,
+//  where global uniqueness is ensured by a replicated and globally
+//  consistent table stored in Zookeeper."
+//
+// Every VM (one uffd region == one QEMU process) gets a 12-bit partition
+// index so that multiple VMs can share one key-value store without key
+// collisions. Allocation is create-if-absent on "alloc/<idx>" entries in the
+// ReplicatedTable: two monitors racing for the same index are serialized by
+// the table, and the loser probes the next candidate. An identity entry
+// ("id/<pid>:<hypervisor>:<nonce>") makes allocation idempotent across
+// monitor restarts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "coord/replicated_table.h"
+
+namespace fluid::coord {
+
+struct VmIdentity {
+  ProcessId pid = 0;
+  HypervisorId hypervisor = 0;
+  std::uint64_t nonce = 0;
+
+  std::string ToString() const {
+    return std::to_string(pid) + ":" + std::to_string(hypervisor) + ":" +
+           std::to_string(nonce);
+  }
+};
+
+struct AllocationResult {
+  Status status;
+  PartitionId partition = 0;
+  SimTime complete_at = 0;
+};
+
+class PartitionRegistry {
+ public:
+  explicit PartitionRegistry(ReplicatedTable& table) : table_(&table) {}
+
+  // Allocate (or re-find) the partition for this identity. With a live
+  // `session`, the allocation is EPHEMERAL: if the owning monitor stops
+  // heartbeating (host crash), the table reaps the entries and the
+  // partition index becomes reusable — no leaked partitions.
+  AllocationResult Allocate(const VmIdentity& id, SimTime now,
+                            SessionId session = kNoSession);
+
+  // Release a partition on VM shutdown.
+  Status Release(const VmIdentity& id, SimTime now);
+
+  // Look up without allocating.
+  std::optional<PartitionId> Find(const VmIdentity& id, SimTime now) const;
+
+  std::size_t AllocatedCount() const {
+    return table_->KeysWithPrefix("alloc/").size();
+  }
+
+ private:
+  static std::string AllocKey(PartitionId p) {
+    return "alloc/" + std::to_string(p);
+  }
+  static std::string IdKey(const VmIdentity& id) {
+    return "id/" + id.ToString();
+  }
+
+  // Deterministic starting probe point: hash the identity so allocations
+  // from different hypervisors spread over the 12-bit space instead of
+  // contending on index 0.
+  static PartitionId ProbeStart(const VmIdentity& id) {
+    std::uint64_t x = (static_cast<std::uint64_t>(id.pid) << 32) ^
+                      (static_cast<std::uint64_t>(id.hypervisor) << 13) ^
+                      id.nonce;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return static_cast<PartitionId>(x % kMaxVirtualPartitions);
+  }
+
+  ReplicatedTable* table_;
+};
+
+}  // namespace fluid::coord

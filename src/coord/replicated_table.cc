@@ -1,0 +1,221 @@
+#include "coord/replicated_table.h"
+
+#include <algorithm>
+
+namespace fluid::coord {
+
+StatusOr<SimTime> ReplicatedTable::Commit(const std::string& key, SimTime now) {
+  if (!HasQuorum()) return Status::Unavailable("quorum lost");
+  // Fan out to all alive replicas; the op commits when the median (majority)
+  // acknowledgement arrives.
+  std::vector<SimDuration> acks;
+  auto it = committed_.find(key);
+  for (Replica& r : replicas_) {
+    if (!r.alive) continue;
+    if (it == committed_.end())
+      r.state.erase(key);
+    else
+      r.state[key] = it->second;
+    acks.push_back(config_.replica_rtt.Sample(rng_));
+  }
+  const std::size_t majority =
+      static_cast<std::size_t>(config_.replica_count / 2 + 1);
+  std::sort(acks.begin(), acks.end());
+  // acks.size() >= majority guaranteed by HasQuorum().
+  return now + acks[majority - 1];
+}
+
+SessionId ReplicatedTable::OpenSession(SimTime now) {
+  const SessionId id = next_session_++;
+  sessions_[id] = Session{now, true, {}};
+  return id;
+}
+
+Status ReplicatedTable::Heartbeat(SessionId session, SimTime now) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open)
+    return Status::NotFound("no such session");
+  if (now > it->second.last_heartbeat + config_.session_timeout)
+    return Status::DeadlineExceeded("session already expired");
+  it->second.last_heartbeat = now;
+  return Status::Ok();
+}
+
+bool ReplicatedTable::SessionAlive(SessionId session, SimTime now) const {
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second.open &&
+         now <= it->second.last_heartbeat + config_.session_timeout;
+}
+
+Status ReplicatedTable::CloseSession(SessionId session, SimTime now) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.open)
+    return Status::NotFound("no such session");
+  for (const std::string& key : it->second.ephemerals)
+    (void)Delete(key, now);
+  it->second.open = false;
+  it->second.ephemerals.clear();
+  return Status::Ok();
+}
+
+std::size_t ReplicatedTable::ExpireSessions(SimTime now) {
+  std::size_t reaped = 0;
+  for (auto& [id, s] : sessions_) {
+    if (!s.open || now <= s.last_heartbeat + config_.session_timeout)
+      continue;
+    for (const std::string& key : s.ephemerals) {
+      if (Delete(key, now).status.ok()) ++reaped;
+    }
+    s.open = false;
+    s.ephemerals.clear();
+  }
+  return reaped;
+}
+
+TableOpResult ReplicatedTable::Create(const std::string& key,
+                                      std::string value, SimTime now,
+                                      SessionId session) {
+  TableOpResult r;
+  if (session != kNoSession && !SessionAlive(session, now)) {
+    r.status = Status::FailedPrecondition("session expired or unknown");
+    r.complete_at = now;
+    return r;
+  }
+  if (committed_.contains(key)) {
+    r.status = Status::AlreadyExists(key);
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  committed_[key] = Versioned{std::move(value), 1};
+  auto commit = Commit(key, now);
+  if (!commit.ok()) {
+    committed_.erase(key);  // not durable; roll back
+    r.status = commit.status();
+    r.complete_at = now;
+    return r;
+  }
+  r.status = Status::Ok();
+  r.complete_at = *commit;
+  r.data = committed_[key];
+  if (session != kNoSession) sessions_[session].ephemerals.push_back(key);
+  return r;
+}
+
+TableOpResult ReplicatedTable::Read(const std::string& key, SimTime now) {
+  TableOpResult r;
+  r.complete_at = now + config_.replica_rtt.Sample(rng_);
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    r.status = Status::NotFound(key);
+    return r;
+  }
+  if (!HasQuorum()) {
+    // A linearizable read requires a quorum round (sync + read).
+    r.status = Status::Unavailable("quorum lost");
+    return r;
+  }
+  r.status = Status::Ok();
+  r.data = it->second;
+  return r;
+}
+
+TableOpResult ReplicatedTable::Update(const std::string& key,
+                                      std::string value,
+                                      std::uint64_t expected_version,
+                                      SimTime now) {
+  TableOpResult r;
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    r.status = Status::NotFound(key);
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  if (it->second.version != expected_version) {
+    r.status = Status::FailedPrecondition("version mismatch");
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  const Versioned saved = it->second;
+  it->second = Versioned{std::move(value), expected_version + 1};
+  auto commit = Commit(key, now);
+  if (!commit.ok()) {
+    it->second = saved;
+    r.status = commit.status();
+    r.complete_at = now;
+    return r;
+  }
+  r.status = Status::Ok();
+  r.complete_at = *commit;
+  r.data = it->second;
+  return r;
+}
+
+TableOpResult ReplicatedTable::Delete(const std::string& key, SimTime now) {
+  TableOpResult r;
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    r.status = Status::NotFound(key);
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  const Versioned saved = it->second;
+  committed_.erase(it);
+  auto commit = Commit(key, now);
+  if (!commit.ok()) {
+    committed_[key] = saved;
+    r.status = commit.status();
+    r.complete_at = now;
+    return r;
+  }
+  r.status = Status::Ok();
+  r.complete_at = *commit;
+  return r;
+}
+
+std::vector<std::string> ReplicatedTable::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = committed_.lower_bound(prefix); it != committed_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void ReplicatedTable::CrashReplica(int idx) {
+  if (idx >= 0 && idx < static_cast<int>(replicas_.size())) {
+    replicas_[static_cast<std::size_t>(idx)].alive = false;
+    replicas_[static_cast<std::size_t>(idx)].state.clear();
+  }
+}
+
+void ReplicatedTable::RestoreReplica(int idx) {
+  if (idx >= 0 && idx < static_cast<int>(replicas_.size())) {
+    Replica& r = replicas_[static_cast<std::size_t>(idx)];
+    r.alive = true;
+    r.state = committed_;  // snapshot sync from the leader
+  }
+}
+
+int ReplicatedTable::AliveReplicas() const {
+  int n = 0;
+  for (const Replica& r : replicas_)
+    if (r.alive) ++n;
+  return n;
+}
+
+bool ReplicatedTable::ReplicasConsistent() const {
+  for (const Replica& r : replicas_) {
+    if (!r.alive) continue;
+    if (r.state.size() != committed_.size()) return false;
+    for (const auto& [k, v] : r.state) {
+      auto it = committed_.find(k);
+      if (it == committed_.end() || it->second.version != v.version ||
+          it->second.value != v.value)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fluid::coord

@@ -1,0 +1,132 @@
+// ReplicatedTable: a ZooKeeper-stand-in providing a replicated, versioned,
+// globally consistent key → value table.
+//
+// The paper (§IV) ensures global uniqueness of virtual-partition indices
+// with "a replicated and globally consistent table stored in Zookeeper".
+// We reproduce the coordination *contract* FluidMem relies on — linearizable
+// create-if-absent, versioned compare-and-set, liveness while a majority of
+// replicas is up — with a primary that commits an operation once a majority
+// of replicas acknowledge it. This is deliberately not a full ZAB/Paxos
+// implementation (DESIGN.md §5): there is a single fixed primary, and the
+// interesting behaviours for FluidMem (uniqueness under concurrent
+// allocation, unavailability below quorum, recovery of state from replicas)
+// are all present and tested.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/dist.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fluid::coord {
+
+struct Versioned {
+  std::string value;
+  std::uint64_t version = 0;  // starts at 1 on create
+};
+
+struct TableOpResult {
+  Status status;
+  SimTime complete_at = 0;
+  Versioned data;  // valid for reads and successful writes
+};
+
+struct ReplicatedTableConfig {
+  int replica_count = 3;  // typical ZooKeeper ensemble
+  LatencyDist replica_rtt = LatencyDist::Lognormal(120.0, 0.3, 50.0);  // us
+  // Ephemeral-node session timeout: a client that stops heartbeating for
+  // this long loses its session, and every ephemeral key it created is
+  // deleted — how ZooKeeper cleans up after crashed FluidMem monitors.
+  SimDuration session_timeout = 10 * kSecond;
+  std::uint64_t seed = 45;
+};
+
+using SessionId = std::uint64_t;
+inline constexpr SessionId kNoSession = 0;
+
+class ReplicatedTable {
+ public:
+  explicit ReplicatedTable(ReplicatedTableConfig config = {})
+      : config_(config), rng_(config.seed),
+        replicas_(static_cast<std::size_t>(config.replica_count)) {}
+
+  // --- client operations (linearizable; go through the primary) ------------
+
+  // Create key; kAlreadyExists if present. New version is 1. Passing a
+  // live session makes the node EPHEMERAL: it is deleted automatically
+  // when the session expires.
+  TableOpResult Create(const std::string& key, std::string value, SimTime now,
+                       SessionId session = kNoSession);
+
+  // Read current value; kNotFound if absent.
+  TableOpResult Read(const std::string& key, SimTime now);
+
+  // Compare-and-set: succeeds only if current version == expected_version.
+  // kFailedPrecondition on version mismatch, kNotFound if absent.
+  TableOpResult Update(const std::string& key, std::string value,
+                       std::uint64_t expected_version, SimTime now);
+
+  // Delete regardless of version; kNotFound if absent.
+  TableOpResult Delete(const std::string& key, SimTime now);
+
+  // List keys with a prefix (directory-style scan, like getChildren).
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  // --- sessions & ephemeral nodes ---------------------------------------------
+
+  // Open a client session (monitor startup). Sessions stay alive while
+  // heartbeats arrive within session_timeout of each other.
+  SessionId OpenSession(SimTime now);
+  Status Heartbeat(SessionId session, SimTime now);
+  // Close cleanly: ephemeral nodes are removed immediately.
+  Status CloseSession(SessionId session, SimTime now);
+  bool SessionAlive(SessionId session, SimTime now) const;
+  // Expire sessions whose last heartbeat is older than the timeout,
+  // deleting their ephemeral nodes. Returns how many keys were reaped.
+  std::size_t ExpireSessions(SimTime now);
+
+  // --- fault injection -------------------------------------------------------
+
+  void CrashReplica(int idx);
+  // A restarted replica re-syncs from the primary's committed state.
+  void RestoreReplica(int idx);
+  int AliveReplicas() const;
+  bool HasQuorum() const {
+    return AliveReplicas() >= config_.replica_count / 2 + 1;
+  }
+
+  // Verify all alive replicas hold identical committed state (test hook).
+  bool ReplicasConsistent() const;
+
+  std::size_t Size() const { return committed_.size(); }
+
+ private:
+  struct Replica {
+    bool alive = true;
+    std::map<std::string, Versioned> state;
+  };
+
+  // Replicate the committed state of `key` (or its absence) to a majority;
+  // returns the commit completion time, or kUnavailable if below quorum.
+  StatusOr<SimTime> Commit(const std::string& key, SimTime now);
+
+  ReplicatedTableConfig config_;
+  Rng rng_;
+  std::map<std::string, Versioned> committed_;  // the primary's state
+  std::vector<Replica> replicas_;
+
+  struct Session {
+    SimTime last_heartbeat = 0;
+    bool open = false;
+    std::vector<std::string> ephemerals;
+  };
+  SessionId next_session_ = 1;
+  std::map<SessionId, Session> sessions_;
+};
+
+}  // namespace fluid::coord

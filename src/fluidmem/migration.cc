@@ -1,0 +1,184 @@
+#include "fluidmem/migration.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace fluid::fm {
+
+PreCopyMigrator::PreCopyMigrator(Monitor& source, RegionId source_region_id)
+    : source_(&source), rid_(source_region_id) {}
+
+PreCopyMigrator::Round PreCopyMigrator::CopyPages(
+    const std::vector<VirtAddr>& pages, SimTime now) {
+  Round r;
+  mem::UffdRegion* region = source_->region_of(rid_);
+  if (region == nullptr) {
+    r.status = Status::InvalidArgument("unknown region");
+    r.done = now;
+    return r;
+  }
+  const PartitionId partition = source_->partition_of(rid_);
+  kv::KvStore& store = source_->store();
+
+  // Copy page contents to the store in multi-write batches. Unlike
+  // eviction, the pages STAY mapped in the VM (copy, not move).
+  constexpr std::size_t kBatch = 32;
+  std::array<std::array<std::byte, kPageSize>, kBatch> bufs;
+  std::vector<kv::KvWrite> writes;
+  SimTime t = now;
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    writes.clear();
+    const std::size_t n = std::min(kBatch, pages.size() - i);
+    for (std::size_t k = 0; k < n; ++k) {
+      const VirtAddr addr = pages[i + k];
+      if (!region->ReadBytes(addr, bufs[k]).ok()) continue;  // raced away
+      writes.push_back(kv::KvWrite{kv::MakePageKey(addr), bufs[k]});
+    }
+    if (!writes.empty()) {
+      kv::OpResult mp = store.MultiPut(partition, writes, t);
+      if (!mp.status.ok()) {
+        r.status = mp.status;
+        r.done = mp.complete_at;
+        return r;
+      }
+      t = mp.complete_at;
+      r.pages_copied += writes.size();
+    }
+    i += n;
+  }
+  r.status = Status::Ok();
+  r.done = t;
+  return r;
+}
+
+PreCopyMigrator::Round PreCopyMigrator::CopyRound(SimTime now) {
+  mem::UffdRegion* region = source_->region_of(rid_);
+  if (region == nullptr)
+    return Round{Status::InvalidArgument("unknown region"), now, 0};
+  std::vector<VirtAddr> pages;
+  if (!first_round_done_) {
+    pages = region->PresentPageAddresses();
+    (void)region->CollectDirtyPages();  // the full copy supersedes them
+    first_round_done_ = true;
+  } else {
+    pages = region->CollectDirtyPages();
+  }
+  Round r = CopyPages(pages, now);
+  if (r.status.ok()) {
+    ++rounds_;
+    total_copied_ += r.pages_copied;
+  }
+  return r;
+}
+
+MigrationResult PreCopyMigrator::Finalize(Monitor& target,
+                                          mem::UffdRegion& target_region,
+                                          PartitionId partition, SimTime now,
+                                          const MigrationConfig& config) {
+  MigrationResult out;
+  if (target_region.PresentPages() != 0) {
+    out.status =
+        Status::FailedPrecondition("destination region must be empty");
+    out.resumed_at = now;
+    return out;
+  }
+  const SimTime pause_start = now;
+
+  // Stop-and-copy: the final dirty residue (plus anything never copied).
+  Round final_round = CopyRound(now);
+  if (!final_round.status.ok()) {
+    out.status = final_round.status;
+    out.resumed_at = final_round.done;
+    return out;
+  }
+  SimTime t = final_round.done;
+  out.pages_flushed = final_round.pages_copied;
+
+  // Any pages still buffered on the source's write list must be durable.
+  t = source_->DrainWrites(t);
+
+  // Metadata: every page the source ever tracked, plus the pages that were
+  // only ever resident (never evicted) and thus unknown to the tracker's
+  // remote set — after the copy they all live in the store.
+  std::vector<VirtAddr> tracked;
+  source_->tracker().ForEachInRegion(
+      rid_, [&tracked](const PageRef& p, PageLocation) {
+        tracked.push_back(p.addr);
+      });
+  out.pages_tracked = tracked.size();
+  t += config.handshake +
+       static_cast<SimDuration>(tracked.size()) * config.metadata_ns_per_page;
+
+  out.target_region = target.RegisterRegion(target_region, partition);
+  for (const VirtAddr addr : tracked)
+    target.ImportRemotePage(out.target_region, addr);
+
+  Status rel = source_->UnregisterRegion(rid_, t, /*drop_partition=*/false);
+  if (!rel.ok()) {
+    out.status = rel;
+    out.resumed_at = t;
+    return out;
+  }
+  out.status = Status::Ok();
+  out.downtime = t - pause_start;
+  out.resumed_at = t;
+  return out;
+}
+
+MigrationResult MigrateRegion(Monitor& source, RegionId source_region_id,
+                              Monitor& target, mem::UffdRegion& target_region,
+                              PartitionId partition, SimTime now,
+                              const MigrationConfig& config) {
+  MigrationResult out;
+  if (target_region.PresentPages() != 0) {
+    out.status =
+        Status::FailedPrecondition("destination region must be empty");
+    out.resumed_at = now;
+    return out;
+  }
+
+  const SimTime pause_start = now;
+
+  // 1. Pause point: push the VM's resident pages to the shared store. The
+  //    page contents never touch the migration channel — they travel
+  //    through remote memory, which both hypervisors already reach.
+  const std::size_t resident_before = source.ResidentPages();
+  SimTime t = source.FlushRegion(source_region_id, now);
+  // Conservative: count what left this region (other VMs' pages stayed).
+  out.pages_flushed = resident_before - source.ResidentPages();
+
+  // 2. Transfer the pagetracker metadata (page numbers only).
+  std::vector<VirtAddr> tracked;
+  source.tracker().ForEachInRegion(
+      source_region_id, [&tracked](const PageRef& p, PageLocation loc) {
+        // After FlushRegion everything live is kRemote; defensive filter.
+        if (loc == PageLocation::kRemote) tracked.push_back(p.addr);
+      });
+  out.pages_tracked = tracked.size();
+  t += config.handshake +
+       static_cast<SimDuration>(tracked.size()) * config.metadata_ns_per_page;
+
+  // 3. Register the destination region and adopt the metadata; the VM
+  //    resumes there with a zero local footprint.
+  out.target_region = target.RegisterRegion(target_region, partition);
+  for (const VirtAddr addr : tracked)
+    target.ImportRemotePage(out.target_region, addr);
+
+  // 4. Release the source side, keeping the partition's objects alive.
+  Status rel = source.UnregisterRegion(source_region_id, t,
+                                       /*drop_partition=*/false);
+  if (!rel.ok()) {
+    out.status = rel;
+    out.resumed_at = t;
+    return out;
+  }
+
+  out.status = Status::Ok();
+  out.downtime = t - pause_start;
+  out.resumed_at = t;
+  return out;
+}
+
+}  // namespace fluid::fm

@@ -1,0 +1,98 @@
+// Remote-memory-assisted VM migration (paper §VII).
+//
+// "LM and memory disaggregation are complementary since LM is capable of
+//  moving execution and memory disaggregation can offload memory from the
+//  hypervisor."
+//
+// With FluidMem, migrating a VM between hypervisors barely moves any data:
+//   1. the source monitor flushes the VM's resident pages to the shared
+//      key-value store (exactly the footprint-shrink path of Table III) —
+//      this is the only part the VM is paused for;
+//   2. the page-tracker metadata (which pages exist and that they are all
+//      remote) transfers to the destination monitor;
+//   3. the VM resumes on the destination with an empty local footprint and
+//      post-copy-style demand-faults its working set back from the store —
+//      the same first-class path every FluidMem fault takes.
+// Downtime is proportional to the VM's *resident* set, so a VM that was
+// already shrunk migrates in near-zero time — the synergy the paper points
+// at.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "fluidmem/monitor.h"
+#include "mem/uffd.h"
+
+namespace fluid::fm {
+
+struct MigrationResult {
+  Status status;
+  RegionId target_region = 0;
+  SimDuration downtime = 0;        // VM paused: flush + metadata transfer
+  std::size_t pages_flushed = 0;   // resident pages pushed to the store
+  std::size_t pages_tracked = 0;   // metadata entries transferred
+  SimTime resumed_at = 0;          // VM running on the destination
+};
+
+struct MigrationConfig {
+  // Metadata wire cost per tracked page (key + location over the fabric).
+  SimDuration metadata_ns_per_page = 24;
+  // Control-plane handshake (QMP-style prepare/activate round trips).
+  SimDuration handshake = 250 * kMicrosecond;
+};
+
+// --- Pre-copy migration -------------------------------------------------------
+//
+// The complementary strategy (QEMU's default): copy the VM's pages to the
+// shared store in the background WHILE it keeps running, using soft-dirty
+// tracking to re-copy what the guest touches, and only pause for the final
+// (small) dirty residue plus metadata. Downtime is proportional to the
+// write rate, not the resident set — at the cost of copying hot pages more
+// than once.
+class PreCopyMigrator {
+ public:
+  PreCopyMigrator(Monitor& source, RegionId source_region_id);
+
+  struct Round {
+    Status status;
+    SimTime done = 0;
+    std::size_t pages_copied = 0;  // dirty (or, first round, all present)
+  };
+
+  // One background copy round; the VM keeps running between rounds (the
+  // driver interleaves guest work). Subsequent rounds copy only pages
+  // dirtied since the previous round.
+  Round CopyRound(SimTime now);
+
+  // Stop-and-copy the residue and switch over to `target`. The downtime in
+  // the result covers only this final round + metadata + handshake.
+  MigrationResult Finalize(Monitor& target, mem::UffdRegion& target_region,
+                           PartitionId partition, SimTime now,
+                           const MigrationConfig& config = {});
+
+  std::size_t rounds_run() const noexcept { return rounds_; }
+  std::size_t total_pages_copied() const noexcept { return total_copied_; }
+
+ private:
+  Round CopyPages(const std::vector<VirtAddr>& pages, SimTime now);
+
+  Monitor* source_;
+  RegionId rid_;
+  std::size_t rounds_ = 0;
+  std::size_t total_copied_ = 0;
+  bool first_round_done_ = false;
+};
+
+// Move the VM behind `source_region_id` from `source` to `target`. The
+// destination region must be fresh (no pages) and both monitors must share
+// a store holding `partition`'s pages (the normal FluidMem deployment).
+// On success the source region is unregistered WITHOUT dropping the
+// partition, and the returned target_region is live on `target`.
+MigrationResult MigrateRegion(Monitor& source, RegionId source_region_id,
+                              Monitor& target, mem::UffdRegion& target_region,
+                              PartitionId partition, SimTime now,
+                              const MigrationConfig& config = {});
+
+}  // namespace fluid::fm

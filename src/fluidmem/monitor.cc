@@ -1,0 +1,593 @@
+#include "fluidmem/monitor.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <vector>
+
+namespace fluid::fm {
+
+Monitor::Monitor(MonitorConfig config, kv::KvStore& store,
+                 mem::FramePool& pool)
+    : config_(config),
+      store_(&store),
+      pool_(&pool),
+      rng_(config.seed),
+      lru_(config.lru_capacity_pages, config.true_lru) {}
+
+RegionId Monitor::RegisterRegion(mem::UffdRegion& region,
+                                 PartitionId partition) {
+  regions_.push_back(RegionInfo{&region, partition, true});
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+Status Monitor::UnregisterRegion(RegionId id, SimTime now,
+                                 bool drop_partition) {
+  if (id >= regions_.size() || !regions_[id].active)
+    return Status::InvalidArgument("unknown region");
+  // Make sure no write for this region is still buffered, then forget
+  // everything we tracked (and, on shutdown, drop the store's objects).
+  now = DrainWrites(now);
+  RetireCompleted(now);
+  // Remove the region's pages from the LRU without evicting to the store
+  // (the VM is gone; its memory is discarded). Order of survivors is kept.
+  PageRef victim;
+  std::vector<PageRef> keep;
+  while (lru_.PopVictim(&victim)) {
+    if (victim.region != id) keep.push_back(victim);
+  }
+  for (const PageRef& p : keep) lru_.Insert(p);
+  tracker_.ForgetRegion(id);
+  if (drop_partition)
+    (void)store_->DropPartition(regions_[id].partition, now);
+  regions_[id].active = false;
+  regions_[id].region = nullptr;
+  return Status::Ok();
+}
+
+SimTime Monitor::FlushRegion(RegionId id, SimTime now) {
+  if (id >= regions_.size() || !regions_[id].active) return now;
+  RegionInfo& ri = regions_[id];
+  // Pull the region's pages out of the LRU, preserving the order of the
+  // survivors, then evict each one onto the write list.
+  PageRef victim;
+  std::vector<PageRef> keep;
+  std::vector<PageRef> mine;
+  while (lru_.PopVictim(&victim)) {
+    (victim.region == id ? mine : keep).push_back(victim);
+  }
+  for (const PageRef& p : keep) lru_.Insert(p);
+
+  SimTime t = monitor_.EarliestStart(now);
+  const SimTime start = t;
+  for (const PageRef& p : mine) {
+    t = ChargeProfiled(t, config_.costs.uffd_remap_sync, CodePath::kUffdRemap);
+    auto frame = ri.region->Remap(p.addr);
+    if (!frame.ok()) {
+      tracker_.Forget(p);
+      continue;
+    }
+    ++stats_.evictions;
+    write_list_.Enqueue(p, *frame, t);
+    tracker_.MarkWriteList(p);
+    FlushIfNeeded(t);
+  }
+  monitor_.Occupy(start, t > start ? t - start : 0);
+  return DrainWrites(t);
+}
+
+SimDuration Monitor::SampleCost(const LatencyDist& d) {
+  SimDuration s = d.Sample(rng_);
+  if (!config_.kvm_mode)
+    s = static_cast<SimDuration>(static_cast<double>(s) *
+                                 config_.costs.full_virt_factor);
+  return s;
+}
+
+SimTime Monitor::Charge(SimTime t, const LatencyDist& d) {
+  return t + SampleCost(d);
+}
+
+SimTime Monitor::ChargeProfiled(SimTime t, const LatencyDist& d,
+                                CodePath path) {
+  const SimDuration s = SampleCost(d);
+  profiler_.Record(path, s);
+  return t + s;
+}
+
+void Monitor::RetireCompleted(SimTime now) {
+  for (const PendingWrite& w : write_list_.RetireCompleted(now)) {
+    pool_->Free(w.frame);
+    tracker_.MarkRemote(w.page);
+  }
+}
+
+void Monitor::FlushIfNeeded(SimTime now, bool force) {
+  // Lazy model of the periodic flush thread: post batches while the list
+  // has a full batch, anything stale, or we are draining.
+  while (write_list_.PendingCount() > 0 &&
+         (force || write_list_.PendingCount() >= config_.write_batch_pages ||
+          write_list_.OldestPendingAge(now) >= config_.flush_max_age)) {
+    std::vector<PendingWrite> batch =
+        write_list_.TakeBatch(config_.write_batch_pages);
+    if (batch.empty()) break;
+    // Batches group writes "belonging to the same userfaultfd region"
+    // (§V-B): split by region before posting.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const PendingWrite& a, const PendingWrite& b) {
+                       return a.page.region < b.page.region;
+                     });
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      std::size_t j = i;
+      while (j < batch.size() && batch[j].page.region == batch[i].page.region)
+        ++j;
+      const RegionId rid = batch[i].page.region;
+      const PartitionId partition = regions_[rid].partition;
+
+      std::vector<kv::KvWrite> writes;
+      writes.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        writes.push_back(kv::KvWrite{
+            KeyFor(batch[k].page),
+            std::span<const std::byte, kPageSize>{pool_->Data(batch[k].frame)}});
+      }
+      const SimTime start = flusher_.EarliestStart(now);
+      kv::OpResult mp = store_->MultiPut(partition, writes, start);
+      flusher_.Occupy(now, mp.issue_done > now ? mp.issue_done - now : 0);
+      profiler_.Record(
+          CodePath::kWritePage,
+          (mp.complete_at - start) / std::max<std::size_t>(1, j - i));
+      if (!mp.status.ok()) ++stats_.lost_page_errors;
+
+      InFlightBatch posted;
+      posted.complete_at = mp.complete_at;
+      for (std::size_t k = i; k < j; ++k) {
+        posted.writes.push_back(batch[k]);
+        tracker_.MarkInFlight(batch[k].page);
+      }
+      write_list_.AddInFlight(std::move(posted));
+      ++stats_.flush_batches;
+      stats_.flushed_pages += j - i;
+      i = j;
+    }
+  }
+}
+
+bool Monitor::PopVictimFor(RegionId faulting_region, PageRef* victim) {
+  // Quota enforcement: a region over (or at) its quota pays for its own
+  // growth; everyone else shares the global insertion-ordered list.
+  if (faulting_region < regions_.size()) {
+    const RegionInfo& ri = regions_[faulting_region];
+    if (ri.quota_pages != 0 &&
+        lru_.RegionCount(faulting_region) >= ri.quota_pages) {
+      if (lru_.PopVictimOfRegion(faulting_region, victim)) return true;
+    }
+  }
+  return lru_.PopVictim(victim);
+}
+
+SimTime Monitor::EvictOne(SimTime t, bool sync_write, bool remap_overlapped) {
+  return EvictOneFor(kGlobalVictim, t, sync_write, remap_overlapped);
+}
+
+SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
+                             bool sync_write, bool remap_overlapped) {
+  PageRef victim;
+  if (!PopVictimFor(faulting_region, &victim)) return t;
+  RegionInfo& ri = regions_[victim.region];
+  assert(ri.active);
+
+  // UFFD_REMAP: page-table move out of the VM into a monitor-owned frame.
+  // When issued while the faulting vCPU is suspended waiting on a network
+  // read (the async-read interleave), fewer TLB-shootdown IPIs are needed
+  // and the call returns in ~2 us; otherwise it pays the full 4-5 us
+  // synchronisation (§V-B).
+  t = ChargeProfiled(t,
+                     remap_overlapped ? config_.costs.uffd_remap_async
+                                      : config_.costs.uffd_remap_sync,
+                     CodePath::kUffdRemap);
+  auto frame = ri.region->Remap(victim.addr);
+  if (!frame.ok()) {
+    // The page vanished from the region (duplicate event race); nothing to
+    // write back.
+    tracker_.Forget(victim);
+    return t;
+  }
+  ++stats_.evictions;
+  // Bookkeeping for the evicted page's new location in the pagetracker.
+  t = ChargeProfiled(t, config_.costs.insert_page_hash,
+                     CodePath::kInsertPageHashNode);
+
+  if (sync_write) {
+    // Table II "Default"/"Async Read": WRITE_PAGE on the critical path.
+    const SimTime start = t;
+    t = Charge(t, config_.costs.write_page_overhead);
+    kv::OpResult put = store_->Put(
+        ri.partition, KeyFor(victim),
+        std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
+    t = put.complete_at;
+    profiler_.Record(CodePath::kWritePage, t - start);
+    if (!put.status.ok()) ++stats_.lost_page_errors;
+    pool_->Free(*frame);
+    tracker_.MarkRemote(victim);
+  } else {
+    write_list_.Enqueue(victim, *frame, t);
+    tracker_.MarkWriteList(victim);
+  }
+  return t;
+}
+
+FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
+                                  SimTime fault_time) {
+  FaultOutcome out;
+  if (id >= regions_.size() || !regions_[id].active) {
+    out.status = Status::InvalidArgument("unknown region");
+    out.wake_at = fault_time;
+    return out;
+  }
+  RegionInfo& ri = regions_[id];
+  addr = PageAlignDown(addr);
+  const PageRef p{id, addr};
+  ++stats_.faults;
+
+  // Table III: under KVM, fault handling can itself fault; below a minimal
+  // residency the recursion cannot make progress.
+  if (config_.kvm_mode && lru_.capacity() < config_.kvm_min_resident) {
+    out.status = Status::DeadlineExceeded("KVM recursive page fault deadlock");
+    out.deadlocked = true;
+    out.wake_at = fault_time;
+    return out;
+  }
+
+  // Guest exit + kernel userfaultfd handling + event delivery (Fig. 2,
+  // steps 1-3), then FIFO onto the monitor thread.
+  SimTime t = fault_time;
+  if (config_.kvm_mode) t = Charge(t, config_.costs.kvm_exit_entry);
+  t = Charge(t, config_.costs.uffd_event_delivery);
+  const SimTime mon_start = monitor_.EarliestStart(t);
+  t = Charge(mon_start, config_.costs.dispatch);
+
+  RetireCompleted(t);
+
+  const bool first = !tracker_.Seen(p);
+  out.first_access = first;
+
+  // Inserting this page will push the buffer — or this region's quota —
+  // over budget.
+  const bool need_evict =
+      lru_.NeedsEvictionBeforeInsert() ||
+      (ri.quota_pages != 0 && lru_.RegionCount(id) >= ri.quota_pages);
+
+  // Completes the fault at wake time `wake`, then runs deferred eviction
+  // work on the monitor thread and reserves the monitor's busy window.
+  auto Finish = [&](SimTime wake) -> FaultOutcome {
+    if (need_evict && config_.async_write) {
+      // Asynchronous (blue) path of Fig. 2: the eviction happens after the
+      // guest resumed, on the background (flush) thread so the monitor can
+      // take the next fault immediately.
+      const SimTime ev_start = flusher_.EarliestStart(wake);
+      const SimTime ev_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
+                                          /*remap_overlapped=*/false);
+      flusher_.Occupy(ev_start, ev_done > ev_start ? ev_done - ev_start : 0);
+      FlushIfNeeded(ev_done);
+    }
+    monitor_.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
+    out.status = Status::Ok();
+    out.wake_at = wake;
+    return out;
+  };
+  auto Fail = [&](Status s, SimTime at) -> FaultOutcome {
+    monitor_.Occupy(mon_start, at > mon_start ? at - mon_start : 0);
+    out.status = std::move(s);
+    out.wake_at = at;
+    return out;
+  };
+
+  if (first) {
+    ++stats_.first_access_faults;
+    // Pagetracker feature (Fig. 2 step 4): never read the store for a
+    // first-time access — install the zero page.
+    t = ChargeProfiled(t, config_.costs.insert_page_hash,
+                       CodePath::kInsertPageHashNode);
+    if (need_evict && !config_.async_write)
+      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+    t = ChargeProfiled(t, config_.costs.uffd_zeropage, CodePath::kUffdZeropage);
+    Status zp = ri.region->ZeroPage(addr);
+    if (!zp.ok() && zp.code() != StatusCode::kAlreadyExists)
+      return Fail(std::move(zp), t);
+    t = ChargeProfiled(t, config_.costs.insert_lru,
+                       CodePath::kInsertLruCacheNode);
+    lru_.Insert(p);
+    tracker_.MarkResident(p);
+    t = Charge(t, config_.costs.wake);
+    return Finish(t);
+  }
+
+  // ---- page seen before: in the write list, in flight, or remote.
+  // The hash lookup that classifies the page is part of dispatch;
+  // UPDATE_PAGE_CACHE is the bookkeeping write, charged per branch so an
+  // asynchronous remote read can overlap it with the network wait.
+  ++stats_.refaults;
+  const LatencyDist& upc = config_.costs.update_page_cache;
+
+  switch (tracker_.LocationOf(p)) {
+    case PageLocation::kResident: {
+      // Raced with in-kernel resolution (zero-page write upgrade) or a
+      // duplicate event; nothing to install.
+      t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      lru_.Touch(p);
+      t = Charge(t, config_.costs.wake);
+      // No LRU insert happened; cancel any deferred eviction.
+      monitor_.Occupy(mon_start, t > mon_start ? t - mon_start : 0);
+      out.status = Status::Ok();
+      out.wake_at = t;
+      return out;
+    }
+
+    case PageLocation::kWriteList: {
+      // Steal: shortcut both round trips (§V-B).
+      t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      std::optional<FrameId> frame = write_list_.Steal(p);
+      assert(frame.has_value());
+      ++stats_.steals;
+      out.stolen = true;
+      if (need_evict && !config_.async_write)
+      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+      t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+      (void)ri.region->Copy(
+          addr, std::span<const std::byte, kPageSize>{pool_->Data(*frame)});
+      pool_->Free(*frame);
+      t = ChargeProfiled(t, config_.costs.insert_lru,
+                         CodePath::kInsertLruCacheNode);
+      lru_.Insert(p);
+      tracker_.MarkResident(p);
+      t = Charge(t, config_.costs.wake);
+      return Finish(t);
+    }
+
+    case PageLocation::kInFlight: {
+      // "There is no other choice than to wait for the write to complete.
+      //  However, the critical path will resume immediately once the
+      //  pending write has completed." — then copy from the buffered frame.
+      t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      auto steal = write_list_.StealInFlight(p);
+      assert(steal.has_value());
+      ++stats_.inflight_waits;
+      out.waited_in_flight = true;
+      t = std::max(t, steal->first);
+      if (need_evict && !config_.async_write)
+      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+      t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+      (void)ri.region->Copy(
+          addr,
+          std::span<const std::byte, kPageSize>{pool_->Data(steal->second)});
+      pool_->Free(steal->second);
+      t = ChargeProfiled(t, config_.costs.insert_lru,
+                         CodePath::kInsertLruCacheNode);
+      lru_.Insert(p);
+      tracker_.MarkResident(p);
+      t = Charge(t, config_.costs.wake);
+      return Finish(t);
+    }
+
+    case PageLocation::kRemote: {
+      const kv::Key key = KeyFor(p);
+      const SimTime read_start = t;
+      bool evict_deferred_flag = false;
+      if (config_.async_read) {
+        // Top half: post the read, then run the eviction *and* the fault's
+        // bookkeeping (LRU insert, tracker update, buffer prep) during the
+        // network wait (§V-B "asynchronous reads": UFFD_REMAP executes
+        // while the vCPU thread is already suspended and the read is in
+        // flight). Only UFFDIO_COPY truly needs the data.
+        t = Charge(t, config_.costs.read_page_overhead);
+        kv::OpResult rd = store_->Get(
+            ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
+        if (!rd.status.ok()) {
+          ++stats_.lost_page_errors;
+          return Fail(rd.status, rd.complete_at);
+        }
+        t = rd.issue_done;
+        t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+        if (need_evict) {
+          if (!config_.async_write) {
+            // Sync writeback: the eviction (and its store write) stays on
+            // the fault path, overlapping the read wait.
+            t = EvictOneFor(id, t, /*sync_write=*/true,
+                            /*remap_overlapped=*/true);
+          } else if (t < rd.complete_at) {
+            // The read is still in flight: evict for free in its shadow.
+            t = EvictOneFor(id, t, /*sync_write=*/false,
+                            /*remap_overlapped=*/true);
+          } else {
+            // Data already arrived (fast backend): do not delay the wake;
+            // evict after the guest resumes.
+            evict_deferred_flag = true;
+          }
+        }
+        t = ChargeProfiled(t, config_.costs.insert_lru,
+                           CodePath::kInsertLruCacheNode);
+        lru_.Insert(p);
+        tracker_.MarkResident(p);
+        // Bottom half: wait for the data if it has not arrived yet.
+        t = std::max(t, rd.complete_at);
+        // READ_PAGE profiles the store read itself (top half through data
+        // arrival), not whatever work overlapped it.
+        profiler_.Record(CodePath::kReadPage, rd.complete_at - read_start);
+        t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+        (void)ri.region->Copy(
+            addr, std::span<const std::byte, kPageSize>{scratch_});
+      } else {
+        // Synchronous read, then (optionally synchronous) eviction.
+        t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+        t = Charge(t, config_.costs.read_page_overhead);
+        kv::OpResult rd = store_->Get(
+            ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
+        if (!rd.status.ok()) {
+          ++stats_.lost_page_errors;
+          return Fail(rd.status, rd.complete_at);
+        }
+        t = rd.complete_at;
+        profiler_.Record(CodePath::kReadPage, t - read_start);
+        // With synchronous writeback the eviction blocks the fault; with
+        // the write list it is deferred until after the wake (Fig. 2's
+        // blue path), handled below.
+        if (need_evict && !config_.async_write)
+          t = EvictOneFor(id, t, /*sync_write=*/true,
+                          /*remap_overlapped=*/false);
+        t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+        (void)ri.region->Copy(
+            addr, std::span<const std::byte, kPageSize>{scratch_});
+        t = ChargeProfiled(t, config_.costs.insert_lru,
+                           CodePath::kInsertLruCacheNode);
+        lru_.Insert(p);
+        tracker_.MarkResident(p);
+      }
+      t = Charge(t, config_.costs.wake);
+      const SimTime wake = t;
+      SimTime background_done = wake;
+      const bool deferred_evict_pending =
+          need_evict && config_.async_write &&
+          (!config_.async_read || evict_deferred_flag);
+      if (deferred_evict_pending) {
+        // The eviction could not overlap anything useful: run it after the
+        // guest resumed (Fig. 2's blue path), off the monitor's fault loop.
+        const SimTime ev_start = flusher_.EarliestStart(wake);
+        background_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
+                                      /*remap_overlapped=*/false);
+        flusher_.Occupy(ev_start, background_done > ev_start
+                                      ? background_done - ev_start
+                                      : 0);
+      }
+      monitor_.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
+      FlushIfNeeded(background_done);
+      PrefetchAfter(id, addr, wake);
+      out.status = Status::Ok();
+      out.wake_at = wake;
+      return out;
+    }
+  }
+  return Fail(Status::Internal("unreachable"), t);
+}
+
+void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
+  if (config_.prefetch_depth == 0) return;
+  RegionInfo& ri = regions_[id];
+
+  // Stream detection (what hardware and OS readahead both do): only fetch
+  // ahead once the region shows consecutive-page faults; random faults
+  // must not pollute the buffer or queue useless reads on the store.
+  const bool sequential = addr == ri.last_remote_fault + kPageSize ||
+                          addr == ri.last_remote_fault;  // re-fault of the
+                                                         // window end
+  ri.seq_streak = sequential ? ri.seq_streak + 1 : 0;
+  ri.last_remote_fault = addr;
+  if (ri.seq_streak < 2) return;
+
+  // Collect the fetchable window: pages the VM has used before that are
+  // safely remote. Never-touched pages keep their first-fault (zero-fill)
+  // semantics, and write-list pages are already local.
+  std::vector<PageRef> candidates;
+  for (std::size_t d = 1; d <= config_.prefetch_depth; ++d) {
+    const VirtAddr next = addr + d * kPageSize;
+    if (!ri.region->Contains(next)) break;
+    const PageRef p{id, next};
+    if (tracker_.Seen(p) && tracker_.LocationOf(p) == PageLocation::kRemote)
+      candidates.push_back(p);
+  }
+  if (candidates.empty()) return;
+
+  SimTime t = flusher_.EarliestStart(now);
+  const SimTime start = t;
+
+  // One multiRead round trip for the whole window (RAMCloud §4; other
+  // stores fall back to pipelined singles through the default adapter).
+  std::vector<std::array<std::byte, kPageSize>> bufs(candidates.size());
+  std::vector<kv::KvRead> reads;
+  reads.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    reads.push_back(kv::KvRead{KeyFor(candidates[i]), bufs[i], {}});
+  kv::OpResult mg = store_->MultiGet(ri.partition, reads, t);
+  t = mg.issue_done;
+
+  PageRef last_installed{};
+  bool any = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!reads[i].status.ok()) continue;  // lost race or store hiccup: skip
+    // Make room first so the insert cannot overflow the budget.
+    if (lru_.NeedsEvictionBeforeInsert())
+      t = EvictOneFor(id, t, /*sync_write=*/false, /*remap_overlapped=*/true);
+    Status cp = ri.region->Copy(
+        candidates[i].addr, std::span<const std::byte, kPageSize>{bufs[i]});
+    if (!cp.ok()) continue;  // raced with an in-kernel install
+    lru_.Insert(candidates[i]);
+    tracker_.MarkResident(candidates[i]);
+    ++stats_.prefetched_pages;
+    last_installed = candidates[i];
+    any = true;
+  }
+  if (any) {
+    // Readahead-window extension: the next fault at the end of the
+    // prefetched run continues the stream rather than resetting it.
+    ri.last_remote_fault = last_installed.addr;
+    ri.seq_streak = 2;
+  }
+  t = std::max(t, mg.complete_at);
+  t = Charge(t, config_.costs.uffd_copy);  // batch install bookkeeping
+  flusher_.Occupy(start, t > start ? t - start : 0);
+  FlushIfNeeded(t);
+}
+
+SimTime Monitor::SetLruCapacity(std::size_t pages, SimTime now) {
+  lru_.SetCapacity(pages);
+  SimTime t = monitor_.EarliestStart(now);
+  const SimTime start = t;
+  while (lru_.OverCapacity()) {
+    t = EvictOne(t, /*sync_write=*/false, /*remap_overlapped=*/false);
+    FlushIfNeeded(t);
+  }
+  monitor_.Occupy(start, t > start ? t - start : 0);
+  return t;
+}
+
+SimTime Monitor::SetRegionQuota(RegionId id, std::size_t pages,
+                                SimTime now) {
+  if (id >= regions_.size() || !regions_[id].active) return now;
+  regions_[id].quota_pages = pages;
+  SimTime t = monitor_.EarliestStart(now);
+  const SimTime start = t;
+  while (pages != 0 && lru_.RegionCount(id) > pages) {
+    PageRef victim;
+    if (!lru_.PopVictimOfRegion(id, &victim)) break;
+    // Same eviction flow as EvictOne, for a specific victim.
+    t = ChargeProfiled(t, config_.costs.uffd_remap_sync, CodePath::kUffdRemap);
+    auto frame = regions_[id].region->Remap(victim.addr);
+    if (!frame.ok()) {
+      tracker_.Forget(victim);
+      continue;
+    }
+    ++stats_.evictions;
+    t = ChargeProfiled(t, config_.costs.insert_page_hash,
+                       CodePath::kInsertPageHashNode);
+    write_list_.Enqueue(victim, *frame, t);
+    tracker_.MarkWriteList(victim);
+    FlushIfNeeded(t);
+  }
+  monitor_.Occupy(start, t > start ? t - start : 0);
+  return t;
+}
+
+void Monitor::PumpBackground(SimTime now) {
+  RetireCompleted(now);
+  FlushIfNeeded(now);
+}
+
+SimTime Monitor::DrainWrites(SimTime now) {
+  FlushIfNeeded(now, /*force=*/true);
+  SimTime done = std::max(now, write_list_.LatestCompletion());
+  RetireCompleted(done);
+  return done;
+}
+
+}  // namespace fluid::fm

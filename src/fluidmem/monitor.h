@@ -1,0 +1,240 @@
+// The FluidMem monitor process (paper §V).
+//
+// The monitor is the user-space page-fault handler: it waits on userfaultfd
+// events from every registered VM region, resolves each fault against local
+// DRAM / the write list / the remote key-value store, enforces the global
+// LRU budget by evicting pages via UFFD_REMAP, and runs the asynchronous
+// writeback machinery (write list + flush batching + steal shortcut).
+//
+// Concurrency model: the real monitor is an epoll loop plus a flush thread.
+// Here both are Timelines in virtual time — the monitor serializes fault
+// handling (a burst of faults queues), and the flush thread's multi-writes
+// overlap with fault handling, which is precisely the asynchrony the paper's
+// optimizations exploit. All data movement is real: page bytes travel
+// VM frame -> write-list frame -> key-value store -> back, and the test
+// suite round-trips contents through every path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "fluidmem/cost_model.h"
+#include "fluidmem/lru_buffer.h"
+#include "fluidmem/page_tracker.h"
+#include "fluidmem/page_key.h"
+#include "fluidmem/write_list.h"
+#include "kvstore/kvstore.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+#include "sim/timeline.h"
+
+namespace fluid::fm {
+
+struct MonitorConfig {
+  // Pages held in DRAM across all registered VMs (the resizable LRU).
+  std::size_t lru_capacity_pages = 1024;
+  // Enable the "future optimization": refresh LRU order on monitor-visible
+  // hits. Off by default to match the paper (§V-A).
+  bool true_lru = false;
+
+  // Asynchronous-writeback batch size and the stale-descriptor flush age.
+  std::size_t write_batch_pages = 32;
+  SimDuration flush_max_age = 200 * kMicrosecond;
+
+  // §V-B optimizations (Table II rows).
+  bool async_read = true;
+  bool async_write = true;
+
+  // Sequential fault-ahead: on a remote fault at page p, fetch up to
+  // `prefetch_depth` following pages that are also remote, off the fault's
+  // critical path (a §III-style user-space policy; 0 disables).
+  std::size_t prefetch_depth = 0;
+
+  // KVM hardware-assisted virtualisation vs full (TCG) virtualisation.
+  // KVM fault handling can recurse into further faults; below
+  // kvm_min_resident pages the recursion cannot terminate (Table III's
+  // 1-page row requires full virtualisation).
+  bool kvm_mode = true;
+  std::size_t kvm_min_resident = 4;
+
+  MonitorCostModel costs;
+  std::uint64_t seed = 7;
+};
+
+struct FaultOutcome {
+  Status status;
+  SimTime wake_at = 0;      // vCPU resumes execution here
+  bool first_access = false;
+  bool stolen = false;       // resolved from the pending write list
+  bool waited_in_flight = false;
+  bool deadlocked = false;   // KVM recursive-fault deadlock (Table III)
+};
+
+struct MonitorStats {
+  std::uint64_t faults = 0;
+  std::uint64_t first_access_faults = 0;
+  std::uint64_t refaults = 0;          // page read back from store
+  std::uint64_t steals = 0;
+  std::uint64_t inflight_waits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t flush_batches = 0;
+  std::uint64_t flushed_pages = 0;
+  std::uint64_t prefetched_pages = 0;
+  std::uint64_t lost_page_errors = 0;  // store lost an evicted page
+};
+
+class Monitor {
+ public:
+  Monitor(MonitorConfig config, kv::KvStore& store, mem::FramePool& pool);
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // --- region lifecycle --------------------------------------------------------
+
+  // Watch a region's userfaultfd; pages are stored under `partition`.
+  RegionId RegisterRegion(mem::UffdRegion& region, PartitionId partition);
+
+  // Stop watching: all tracking state is forgotten. With `drop_partition`
+  // (the default; VM shutdown) the store's objects are deleted too;
+  // migration passes false so the destination monitor inherits them.
+  Status UnregisterRegion(RegionId id, SimTime now,
+                          bool drop_partition = true);
+
+  // Push every resident page of one region to the store and wait (the
+  // per-VM footprint-to-zero path; used by migration). Returns when all
+  // writes are durable.
+  SimTime FlushRegion(RegionId id, SimTime now);
+
+  // Adopt tracking metadata for a page whose contents already sit in the
+  // store under this monitor's view of `id`'s partition (migration import).
+  void ImportRemotePage(RegionId id, VirtAddr addr) {
+    tracker_.MarkRemote(PageRef{id, PageAlignDown(addr)});
+  }
+
+  // --- the fault path ------------------------------------------------------------
+
+  // Handle one userfaultfd event that fired at `fault_time`. Returns the
+  // outcome with the vCPU wake time; the caller re-issues the access.
+  FaultOutcome HandleFault(RegionId id, VirtAddr addr, SimTime fault_time);
+
+  // --- management ----------------------------------------------------------------
+
+  // Resize the DRAM budget. Shrinking synchronously evicts down to the new
+  // capacity; returns when the monitor finished the transition.
+  SimTime SetLruCapacity(std::size_t pages, SimTime now);
+  std::size_t LruCapacity() const { return lru_.capacity(); }
+  std::size_t ResidentPages() const { return lru_.size(); }
+
+  // Per-tenant fairness: cap one region's share of the buffer. When the
+  // region is over its quota, its own oldest page is evicted instead of the
+  // global head — a noisy tenant cannot squeeze out its neighbours.
+  // 0 removes the quota. Shrinking evicts down to the quota synchronously.
+  SimTime SetRegionQuota(RegionId id, std::size_t pages, SimTime now);
+  std::size_t RegionResidentPages(RegionId id) const {
+    return lru_.RegionCount(id);
+  }
+
+  // Hook for §V-A's "future optimization" ("trigger faults for pages not
+  // yet evicted"): lets a driver report resident-page touches so a
+  // true-LRU policy can refresh recency. No-op with the paper's
+  // insertion-ordered list.
+  void NotifyTouch(RegionId id, VirtAddr addr) {
+    lru_.Touch(PageRef{id, PageAlignDown(addr)});
+  }
+
+  // Drive background work (flush stale writes, retire batches) without a
+  // fault; the real flush thread wakes periodically.
+  void PumpBackground(SimTime now);
+
+  // Force every pending write out to the store and wait; used on shutdown
+  // and by tests asserting durability.
+  SimTime DrainWrites(SimTime now);
+
+  // Introspection used by the migration machinery.
+  mem::UffdRegion* region_of(RegionId id) noexcept {
+    return id < regions_.size() && regions_[id].active
+               ? regions_[id].region
+               : nullptr;
+  }
+  PartitionId partition_of(RegionId id) const noexcept {
+    return id < regions_.size() ? regions_[id].partition : 0;
+  }
+
+  const MonitorStats& stats() const noexcept { return stats_; }
+  const Profiler& profiler() const noexcept { return profiler_; }
+  const WriteList& write_list() const noexcept { return write_list_; }
+  const PageTracker& tracker() const noexcept { return tracker_; }
+  kv::KvStore& store() noexcept { return *store_; }
+  const Timeline& monitor_timeline() const noexcept { return monitor_; }
+
+ private:
+  struct RegionInfo {
+    mem::UffdRegion* region = nullptr;
+    PartitionId partition = 0;
+    bool active = false;
+    // Per-tenant DRAM quota (pages); 0 = unlimited (global budget only).
+    std::size_t quota_pages = 0;
+    // Sequential-stream detector state for the prefetcher.
+    VirtAddr last_remote_fault = 0;
+    std::uint32_t seq_streak = 0;
+  };
+
+  // Sample a cost (scaled for full virtualisation) and record it.
+  SimDuration SampleCost(const LatencyDist& d);
+  SimTime Charge(SimTime t, const LatencyDist& d);
+  SimTime ChargeProfiled(SimTime t, const LatencyDist& d, CodePath path);
+
+  // Retire completed flush batches: frames return to the pool and pages
+  // become kRemote.
+  void RetireCompleted(SimTime now);
+
+  // Sentinel: no specific faulting region (management-path evictions).
+  static constexpr RegionId kGlobalVictim = ~RegionId{0};
+
+  // Pick the eviction victim honouring the faulting region's quota.
+  bool PopVictimFor(RegionId faulting_region, PageRef* victim);
+  SimTime EvictOneFor(RegionId faulting_region, SimTime t, bool sync_write,
+                      bool remap_overlapped);
+
+  // Evict the LRU victim. If `sync_write`, the store write happens on the
+  // caller's critical path (Table II "Default"/"Async Read" rows); else the
+  // page goes on the write list. `remap_overlapped` means the REMAP runs
+  // while the faulting vCPU is suspended on an in-flight read (cheap TLB
+  // sync, §V-B). Returns the caller-visible finish time.
+  SimTime EvictOne(SimTime t, bool sync_write, bool remap_overlapped);
+
+  // Post pending writes as multi-write batches when full or stale.
+  void FlushIfNeeded(SimTime now, bool force = false);
+
+  // Fault-ahead: fetch up to prefetch_depth pages following `addr` that
+  // currently live in the store; runs on the background thread.
+  void PrefetchAfter(RegionId id, VirtAddr addr, SimTime now);
+
+  kv::Key KeyFor(const PageRef& p) const { return kv::MakePageKey(p.addr); }
+
+  MonitorConfig config_;
+  kv::KvStore* store_;
+  mem::FramePool* pool_;
+  Rng rng_;
+
+  std::vector<RegionInfo> regions_;
+  LruBuffer lru_;
+  PageTracker tracker_;
+  WriteList write_list_;
+
+  Timeline monitor_;  // the epoll/fault-handling thread
+  Timeline flusher_;  // the writeback thread
+
+  MonitorStats stats_;
+  Profiler profiler_;
+
+  alignas(16) std::array<std::byte, kPageSize> scratch_{};
+};
+
+}  // namespace fluid::fm

@@ -1,0 +1,34 @@
+// Identity of a tracked page inside the monitor.
+//
+// The monitor can watch several uffd regions (one per VM); a page is
+// identified by the region it belongs to plus its page-aligned address.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace fluid::fm {
+
+// Index of a registered region within one monitor (small and dense).
+using RegionId = std::uint32_t;
+
+struct PageRef {
+  RegionId region = 0;
+  VirtAddr addr = 0;  // page aligned
+
+  bool operator==(const PageRef&) const = default;
+};
+
+struct PageRefHash {
+  std::size_t operator()(const PageRef& p) const noexcept {
+    std::uint64_t x = p.addr ^ (static_cast<std::uint64_t>(p.region) << 52);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace fluid::fm

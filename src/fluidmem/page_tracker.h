@@ -1,0 +1,84 @@
+// The pagetracker: the monitor's hash of every page it has ever seen
+// (paper §V-A, Fig. 2 step 4).
+//
+// "The monitor keeps a list of already seen pages to avoid reads from the
+//  remote key-value store for first-time accesses."
+//
+// Beyond first-seen tracking, the tracker records where a page's contents
+// currently live, which is what makes the write-list "steal" shortcut and
+// the in-flight wait (§V-B) implementable:
+//   kResident   — mapped in the VM (zero page or private frame);
+//   kWriteList  — evicted, buffered, awaiting the flush thread;
+//   kInFlight   — inside a multi-write batch the flush thread has posted;
+//   kRemote     — safely in the key-value store.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "fluidmem/page_key.h"
+
+namespace fluid::fm {
+
+enum class PageLocation : std::uint8_t {
+  kResident,
+  kWriteList,
+  kInFlight,
+  kRemote,
+};
+
+class PageTracker {
+ public:
+  // Returns true if the page was already known (i.e. NOT a first access).
+  bool Seen(const PageRef& p) const { return map_.contains(p); }
+
+  PageLocation LocationOf(const PageRef& p) const {
+    auto it = map_.find(p);
+    // Unknown pages are "resident by zero-page" only after MarkResident;
+    // callers must check Seen() first. Defensive default:
+    return it == map_.end() ? PageLocation::kRemote : it->second;
+  }
+
+  void MarkResident(const PageRef& p) { map_[p] = PageLocation::kResident; }
+  void MarkWriteList(const PageRef& p) { map_[p] = PageLocation::kWriteList; }
+  void MarkInFlight(const PageRef& p) { map_[p] = PageLocation::kInFlight; }
+  void MarkRemote(const PageRef& p) { map_[p] = PageLocation::kRemote; }
+
+  void Forget(const PageRef& p) { map_.erase(p); }
+
+  // Drop every page belonging to `region` (VM shutdown); returns count.
+  std::size_t ForgetRegion(RegionId region) {
+    std::size_t n = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->first.region == region) {
+        it = map_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
+  std::size_t Size() const noexcept { return map_.size(); }
+
+  // Visit every tracked page of one region (migration metadata scan).
+  template <typename F>
+  void ForEachInRegion(RegionId region, F&& f) const {
+    for (const auto& [p, loc] : map_)
+      if (p.region == region) f(p, loc);
+  }
+
+  std::size_t CountIn(PageLocation loc) const {
+    std::size_t n = 0;
+    for (const auto& [p, l] : map_)
+      if (l == loc) ++n;
+    return n;
+  }
+
+ private:
+  std::unordered_map<PageRef, PageLocation, PageRefHash> map_;
+};
+
+}  // namespace fluid::fm

@@ -1,0 +1,163 @@
+// The asynchronous write list (paper §V-B, Fig. 2 steps 6-8).
+//
+// "Rather than waiting for the write to complete before handling the next
+//  page fault, the critical path in the monitor only evicts the page from
+//  the VM and puts the page on a write list before moving on to the next
+//  fault. A separate thread periodically flushes the write list to the
+//  key-value store when its size has reached a configured batch size of
+//  pages or a stale file descriptor has been found."
+//
+// Entries hold the *frame* the page was UFFD_REMAP'ed into — zero-copy:
+// the bytes move straight from the VM's page table into the flush batch.
+// The page fault handler may STEAL an entry to resolve a re-fault without
+// any network round trip; a page inside a posted (in-flight) batch cannot
+// be stolen and the fault must wait for the batch to complete.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "fluidmem/page_key.h"
+
+namespace fluid::fm {
+
+struct PendingWrite {
+  PageRef page;
+  FrameId frame = kInvalidFrame;
+  SimTime enqueued_at = 0;
+};
+
+struct InFlightBatch {
+  std::vector<PendingWrite> writes;
+  SimTime complete_at = 0;
+};
+
+class WriteList {
+ public:
+  // --- pending (not yet posted) ------------------------------------------------
+
+  void Enqueue(const PageRef& p, FrameId frame, SimTime now) {
+    pending_.push_back(PendingWrite{p, frame, now});
+    pending_index_[p] = frame;
+  }
+
+  bool ContainsPending(const PageRef& p) const {
+    return pending_index_.contains(p);
+  }
+
+  // Steal: remove the entry and hand its frame back to the fault handler.
+  std::optional<FrameId> Steal(const PageRef& p) {
+    auto it = pending_index_.find(p);
+    if (it == pending_index_.end()) return std::nullopt;
+    const FrameId f = it->second;
+    pending_index_.erase(it);
+    for (auto dit = pending_.begin(); dit != pending_.end(); ++dit) {
+      if (dit->page == p) {
+        pending_.erase(dit);
+        break;
+      }
+    }
+    ++steals_;
+    return f;
+  }
+
+  std::size_t PendingCount() const noexcept { return pending_.size(); }
+  SimTime OldestPendingAge(SimTime now) const {
+    return pending_.empty() ? 0 : now - pending_.front().enqueued_at;
+  }
+
+  // Pull up to `max_batch` entries to post as one multi-write.
+  std::vector<PendingWrite> TakeBatch(std::size_t max_batch) {
+    std::vector<PendingWrite> batch;
+    const std::size_t n = std::min(max_batch, pending_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(pending_.front());
+      pending_index_.erase(pending_.front().page);
+      pending_.pop_front();
+    }
+    return batch;
+  }
+
+  // --- in-flight (posted, awaiting completion) ----------------------------------
+
+  void AddInFlight(InFlightBatch batch) {
+    for (const PendingWrite& w : batch.writes)
+      inflight_index_[w.page] = batch.complete_at;
+    inflight_.push_back(std::move(batch));
+  }
+
+  // If `p` is inside a posted batch, when does that batch complete?
+  std::optional<SimTime> InFlightCompletion(const PageRef& p) const {
+    auto it = inflight_index_.find(p);
+    if (it == inflight_index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Retire batches whose completion time has passed; the caller recycles
+  // the frames into the zero-copy buffer pool and marks pages kRemote.
+  std::vector<PendingWrite> RetireCompleted(SimTime now) {
+    std::vector<PendingWrite> done;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (it->complete_at <= now) {
+        for (const PendingWrite& w : it->writes) {
+          done.push_back(w);
+          inflight_index_.erase(w.page);
+        }
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return done;
+  }
+
+  // A fault hit a page inside a posted batch: the handler must wait until
+  // the batch completes (the returned time), after which it may copy the
+  // page straight from the still-buffered frame — no network round trip
+  // (§V-B). The entry is removed; the caller owns the frame.
+  std::optional<std::pair<SimTime, FrameId>> StealInFlight(const PageRef& p) {
+    auto it = inflight_index_.find(p);
+    if (it == inflight_index_.end()) return std::nullopt;
+    const SimTime complete_at = it->second;
+    inflight_index_.erase(it);
+    for (InFlightBatch& b : inflight_) {
+      for (auto wit = b.writes.begin(); wit != b.writes.end(); ++wit) {
+        if (wit->page == p) {
+          const FrameId f = wit->frame;
+          b.writes.erase(wit);
+          return std::make_pair(complete_at, f);
+        }
+      }
+    }
+    return std::nullopt;  // unreachable if indices are consistent
+  }
+
+  std::size_t InFlightCount() const noexcept {
+    return inflight_index_.size();
+  }
+
+  // Completion time of the last posted batch (0 when none in flight).
+  SimTime LatestCompletion() const noexcept {
+    SimTime latest = 0;
+    for (const InFlightBatch& b : inflight_)
+      latest = std::max(latest, b.complete_at);
+    return latest;
+  }
+  std::uint64_t StealCount() const noexcept { return steals_; }
+
+ private:
+  std::deque<PendingWrite> pending_;
+  std::unordered_map<PageRef, FrameId, PageRefHash> pending_index_;
+  std::deque<InFlightBatch> inflight_;
+  std::unordered_map<PageRef, SimTime, PageRefHash> inflight_index_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace fluid::fm

@@ -1,0 +1,263 @@
+#include "kvstore/decorators.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fluid::kv {
+
+// --- CompressedStore ---------------------------------------------------------------
+
+CompressedStore::CompressedStore(CompressedStoreConfig config,
+                                 net::Transport transport)
+    : config_(config), transport_(std::move(transport)), rng_(config.seed) {}
+
+OpResult CompressedStore::TimedOp(SimTime now, std::size_t req_bytes,
+                                  std::size_t resp_bytes,
+                                  SimDuration extra_cpu, Status status) {
+  OpResult r;
+  r.status = std::move(status);
+  r.issue_done = now + extra_cpu + config_.client_issue.Sample(rng_);
+  const SimDuration rtt = transport_.SampleRtt(req_bytes, resp_bytes, rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(r.issue_done + half_out,
+                                  config_.server_service.Sample(rng_));
+  r.complete_at = svc.end + (rtt - half_out);
+  return r;
+}
+
+StatusOr<std::size_t> CompressedStore::StoreObject(
+    Key folded, std::span<const std::byte, kPageSize> value) {
+  Object obj;
+  Compress(value, obj.compressed);
+  if (config_.verify_checksums) obj.crc = Crc32c(value);
+  if (obj.compressed.size() == 1) ++zero_pages_;  // zero-page elision
+
+  auto it = map_.find(folded);
+  const std::size_t old_size =
+      it == map_.end() ? 0 : it->second.compressed.size();
+  const std::size_t new_total =
+      compressed_bytes_ - old_size + obj.compressed.size();
+  if (new_total > config_.memory_cap_bytes)
+    return Status::ResourceExhausted("compressed pool full");
+  const std::size_t wire = obj.compressed.size();
+  compressed_bytes_ = new_total;
+  map_[folded] = std::move(obj);
+  return wire;
+}
+
+OpResult CompressedStore::Put(PartitionId partition, Key key,
+                              std::span<const std::byte, kPageSize> value,
+                              SimTime now) {
+  ++stats_.puts;
+  auto wire = StoreObject(FoldPartition(key, partition), value);
+  if (!wire.ok())
+    return TimedOp(now, 64, 32, config_.compress_cpu.Sample(rng_),
+                   wire.status());
+  return TimedOp(now, *wire + 40, 32, config_.compress_cpu.Sample(rng_),
+                 Status::Ok());
+}
+
+OpResult CompressedStore::Get(PartitionId partition, Key key,
+                              std::span<std::byte, kPageSize> out,
+                              SimTime now) {
+  ++stats_.gets;
+  auto it = map_.find(FoldPartition(key, partition));
+  if (it == map_.end())
+    return TimedOp(now, 32, 32, 0, Status::NotFound("no such page"));
+  Status s = Decompress(it->second.compressed, out);
+  if (s.ok() && config_.verify_checksums && Crc32c(out) != it->second.crc) {
+    ++checksum_failures_;
+    s = Status::Internal("page checksum mismatch");
+  }
+  return TimedOp(now, 32, it->second.compressed.size() + 40,
+                 config_.decompress_cpu.Sample(rng_), std::move(s));
+}
+
+OpResult CompressedStore::Remove(PartitionId partition, Key key,
+                                 SimTime now) {
+  ++stats_.removes;
+  auto it = map_.find(FoldPartition(key, partition));
+  if (it == map_.end())
+    return TimedOp(now, 32, 32, 0, Status::NotFound(""));
+  compressed_bytes_ -= it->second.compressed.size();
+  map_.erase(it);
+  return TimedOp(now, 32, 32, 0, Status::Ok());
+}
+
+OpResult CompressedStore::MultiPut(PartitionId partition,
+                                   std::span<const KvWrite> writes,
+                                   SimTime now) {
+  ++stats_.multi_write_batches;
+  stats_.multi_write_objects += writes.size();
+  Status s = Status::Ok();
+  std::size_t wire_total = 0;
+  SimDuration cpu = 0;
+  for (const KvWrite& w : writes) {
+    cpu += config_.compress_cpu.Sample(rng_);
+    auto wire = StoreObject(FoldPartition(w.key, partition), w.value);
+    if (!wire.ok())
+      s = wire.status();
+    else
+      wire_total += *wire + 40;
+  }
+  OpResult r;
+  r.status = std::move(s);
+  r.issue_done = now + cpu + config_.client_issue.Sample(rng_);
+  const SimDuration rtt =
+      transport_.SampleBatchRtt(writes.size(),
+                                writes.empty() ? 0 : wire_total / writes.size(),
+                                rng_);
+  SimDuration service = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i)
+    service += config_.server_service.Sample(rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(r.issue_done + half_out, service);
+  r.complete_at = svc.end + (rtt - half_out);
+  return r;
+}
+
+OpResult CompressedStore::DropPartition(PartitionId partition, SimTime now) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (KeyPartition(it->first) == partition) {
+      compressed_bytes_ -= it->second.compressed.size();
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return TimedOp(now, 32, 32, 0, Status::Ok());
+}
+
+bool CompressedStore::Contains(PartitionId partition, Key key) const {
+  return map_.contains(FoldPartition(key, partition));
+}
+
+// --- ReplicatedStore --------------------------------------------------------------------
+
+ReplicatedStore::ReplicatedStore(
+    std::vector<std::unique_ptr<KvStore>> replicas, int write_quorum)
+    : replicas_(std::move(replicas)), write_quorum_(write_quorum) {}
+
+bool ReplicatedStore::has_native_partitions() const {
+  for (const auto& r : replicas_)
+    if (!r->has_native_partitions()) return false;
+  return true;
+}
+
+OpResult ReplicatedStore::Put(PartitionId partition, Key key,
+                              std::span<const std::byte, kPageSize> value,
+                              SimTime now) {
+  ++agg_stats_.puts;
+  OpResult agg;
+  agg.issue_done = now;
+  agg.complete_at = now;
+  int acks = 0;
+  for (auto& r : replicas_) {
+    OpResult one = r->Put(partition, key, value, now);
+    agg.issue_done = std::max(agg.issue_done, one.issue_done);
+    agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    if (one.status.ok()) ++acks;
+  }
+  if (acks >= write_quorum_) {
+    if (acks < static_cast<int>(replicas_.size())) ++rstats_.degraded_writes;
+    agg.status = Status::Ok();
+  } else {
+    ++rstats_.write_failures;
+    agg.status = Status::Unavailable("below write quorum");
+  }
+  return agg;
+}
+
+OpResult ReplicatedStore::Get(PartitionId partition, Key key,
+                              std::span<std::byte, kPageSize> out,
+                              SimTime now) {
+  ++agg_stats_.gets;
+  // Try replicas in order; cumulative time reflects failover attempts.
+  SimTime t = now;
+  OpResult last;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    last = replicas_[i]->Get(partition, key, out, t);
+    if (last.status.ok()) {
+      if (i > 0) ++rstats_.failovers;
+      return last;
+    }
+    // kNotFound on the primary is authoritative only if the replica is
+    // healthy; on kUnavailable, keep trying.
+    if (last.status.code() == StatusCode::kNotFound) return last;
+    t = last.complete_at;
+  }
+  return last;
+}
+
+OpResult ReplicatedStore::Remove(PartitionId partition, Key key,
+                                 SimTime now) {
+  ++agg_stats_.removes;
+  OpResult agg;
+  agg.issue_done = now;
+  agg.complete_at = now;
+  agg.status = Status::NotFound("");
+  for (auto& r : replicas_) {
+    OpResult one = r->Remove(partition, key, now);
+    agg.issue_done = std::max(agg.issue_done, one.issue_done);
+    agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    if (one.status.ok()) agg.status = Status::Ok();
+  }
+  return agg;
+}
+
+OpResult ReplicatedStore::MultiPut(PartitionId partition,
+                                   std::span<const KvWrite> writes,
+                                   SimTime now) {
+  ++agg_stats_.multi_write_batches;
+  agg_stats_.multi_write_objects += writes.size();
+  OpResult agg;
+  agg.issue_done = now;
+  agg.complete_at = now;
+  int acks = 0;
+  for (auto& r : replicas_) {
+    OpResult one = r->MultiPut(partition, writes, now);
+    agg.issue_done = std::max(agg.issue_done, one.issue_done);
+    agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    if (one.status.ok()) ++acks;
+  }
+  if (acks >= write_quorum_) {
+    if (acks < static_cast<int>(replicas_.size())) ++rstats_.degraded_writes;
+    agg.status = Status::Ok();
+  } else {
+    ++rstats_.write_failures;
+    agg.status = Status::Unavailable("below write quorum");
+  }
+  return agg;
+}
+
+OpResult ReplicatedStore::DropPartition(PartitionId partition, SimTime now) {
+  OpResult agg;
+  agg.issue_done = now;
+  agg.complete_at = now;
+  agg.status = Status::Ok();
+  for (auto& r : replicas_) {
+    OpResult one = r->DropPartition(partition, now);
+    agg.complete_at = std::max(agg.complete_at, one.complete_at);
+  }
+  return agg;
+}
+
+bool ReplicatedStore::Contains(PartitionId partition, Key key) const {
+  for (const auto& r : replicas_)
+    if (r->Contains(partition, key)) return true;
+  return false;
+}
+
+std::size_t ReplicatedStore::ObjectCount() const {
+  std::size_t m = 0;
+  for (const auto& r : replicas_) m = std::max(m, r->ObjectCount());
+  return m;
+}
+
+std::size_t ReplicatedStore::BytesStored() const {
+  std::size_t m = 0;
+  for (const auto& r : replicas_) m = std::max(m, r->BytesStored());
+  return m;
+}
+
+}  // namespace fluid::kv

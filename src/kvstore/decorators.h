@@ -1,0 +1,218 @@
+// Key-value store decorators for the provider customizations §III names:
+// "Cloud providers can further benefit from the flexibility that comes
+//  from handling memory paging in user space to rapidly deploy a variety
+//  of customizations ... Some examples are page compression or replication
+//  across remote servers."
+//
+//   * CompressedStore — a remote memory pool that stores pages compressed
+//     (LZ + zero-page elision + CRC-32C integrity), charging compression
+//     CPU on the client and shrinking both memory use and wire bytes.
+//   * ReplicatedStore — mirrors every write across N inner stores and
+//     fails reads over to a surviving replica; the monitor keeps working
+//     through the loss of any minority of memory servers.
+//   * FlakyStore — fault injection: wraps any store and can be taken down
+//     (kUnavailable) or made lossy; used by the failure tests and by
+//     ReplicatedStore's own test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/compress.h"
+#include "common/dist.h"
+#include "common/rng.h"
+#include "kvstore/kvstore.h"
+#include "net/transport.h"
+#include "sim/timeline.h"
+
+namespace fluid::kv {
+
+// --- CompressedStore ---------------------------------------------------------------
+
+struct CompressedStoreConfig {
+  std::size_t memory_cap_bytes = 256ULL << 20;  // cap on COMPRESSED bytes
+  // Client-side codec cost per 4 KB page.
+  LatencyDist compress_cpu = LatencyDist::Normal(3.2, 0.5, 1.5);
+  LatencyDist decompress_cpu = LatencyDist::Normal(1.6, 0.3, 0.8);
+  LatencyDist server_service = LatencyDist::Normal(0.9, 0.15, 0.3);
+  LatencyDist client_issue = LatencyDist::Normal(0.5, 0.1, 0.2);
+  bool verify_checksums = true;
+  std::uint64_t seed = 52;
+};
+
+class CompressedStore final : public KvStore {
+ public:
+  explicit CompressedStore(CompressedStoreConfig config,
+                           net::Transport transport = net::MakeVerbsTransport());
+
+  std::string_view name() const override { return "compressed"; }
+  bool has_native_partitions() const override { return true; }
+
+  OpResult Put(PartitionId partition, Key key,
+               std::span<const std::byte, kPageSize> value,
+               SimTime now) override;
+  OpResult Get(PartitionId partition, Key key,
+               std::span<std::byte, kPageSize> out, SimTime now) override;
+  OpResult Remove(PartitionId partition, Key key, SimTime now) override;
+  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+                    SimTime now) override;
+  OpResult DropPartition(PartitionId partition, SimTime now) override;
+
+  bool Contains(PartitionId partition, Key key) const override;
+  std::size_t ObjectCount() const override { return map_.size(); }
+  // Logical bytes stored (pages * 4 KB), as other stores report.
+  std::size_t BytesStored() const override { return map_.size() * kPageSize; }
+  const StoreStats& stats() const override { return stats_; }
+
+  // --- compression telemetry -----------------------------------------------------
+  std::size_t CompressedBytes() const noexcept { return compressed_bytes_; }
+  double CompressionRatio() const noexcept {
+    return compressed_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(BytesStored()) /
+                     static_cast<double>(compressed_bytes_);
+  }
+  std::uint64_t ZeroPages() const noexcept { return zero_pages_; }
+  std::uint64_t ChecksumFailures() const noexcept { return checksum_failures_; }
+
+ private:
+  struct Object {
+    std::vector<std::byte> compressed;
+    std::uint32_t crc = 0;
+  };
+  // One round trip carrying `wire_bytes`; data already applied.
+  OpResult TimedOp(SimTime now, std::size_t req_bytes, std::size_t resp_bytes,
+                   SimDuration extra_cpu, Status status);
+  StatusOr<std::size_t> StoreObject(Key folded,
+                                    std::span<const std::byte, kPageSize> value);
+
+  CompressedStoreConfig config_;
+  net::Transport transport_;
+  Timeline server_;
+  Rng rng_;
+  std::unordered_map<Key, Object> map_;
+  std::size_t compressed_bytes_ = 0;
+  std::uint64_t zero_pages_ = 0;
+  std::uint64_t checksum_failures_ = 0;
+  StoreStats stats_;
+};
+
+// --- FlakyStore -----------------------------------------------------------------------
+
+// Fault-injection decorator. Not a model of a real system — a test harness
+// for everything above it.
+class FlakyStore final : public KvStore {
+ public:
+  explicit FlakyStore(std::unique_ptr<KvStore> inner,
+                      std::uint64_t seed = 53)
+      : inner_(std::move(inner)), rng_(seed) {}
+
+  void set_down(bool down) noexcept { down_ = down; }
+  bool down() const noexcept { return down_; }
+  // Probability that any single operation fails with kUnavailable.
+  void set_failure_probability(double p) noexcept { fail_p_ = p; }
+  KvStore& inner() noexcept { return *inner_; }
+
+  std::string_view name() const override { return "flaky"; }
+  bool has_native_partitions() const override {
+    return inner_->has_native_partitions();
+  }
+
+  OpResult Put(PartitionId partition, Key key,
+               std::span<const std::byte, kPageSize> value,
+               SimTime now) override {
+    if (ShouldFail()) return Unavailable(now);
+    return inner_->Put(partition, key, value, now);
+  }
+  OpResult Get(PartitionId partition, Key key,
+               std::span<std::byte, kPageSize> out, SimTime now) override {
+    if (ShouldFail()) return Unavailable(now);
+    return inner_->Get(partition, key, out, now);
+  }
+  OpResult Remove(PartitionId partition, Key key, SimTime now) override {
+    if (ShouldFail()) return Unavailable(now);
+    return inner_->Remove(partition, key, now);
+  }
+  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+                    SimTime now) override {
+    if (ShouldFail()) return Unavailable(now);
+    return inner_->MultiPut(partition, writes, now);
+  }
+  OpResult DropPartition(PartitionId partition, SimTime now) override {
+    if (ShouldFail()) return Unavailable(now);
+    return inner_->DropPartition(partition, now);
+  }
+
+  bool Contains(PartitionId partition, Key key) const override {
+    return !down_ && inner_->Contains(partition, key);
+  }
+  std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_->BytesStored(); }
+  const StoreStats& stats() const override { return inner_->stats(); }
+
+ private:
+  bool ShouldFail() {
+    return down_ || (fail_p_ > 0.0 && rng_.NextDouble() < fail_p_);
+  }
+  static OpResult Unavailable(SimTime now) {
+    // A failed RPC still costs a timeout-ish delay before the caller knows.
+    return OpResult{Status::Unavailable("injected failure"),
+                    now + 50 * kMicrosecond, now + 50 * kMicrosecond};
+  }
+
+  std::unique_ptr<KvStore> inner_;
+  Rng rng_;
+  bool down_ = false;
+  double fail_p_ = 0.0;
+};
+
+// --- ReplicatedStore --------------------------------------------------------------------
+
+struct ReplicatedStoreStats {
+  std::uint64_t failovers = 0;        // reads served by a non-primary
+  std::uint64_t degraded_writes = 0;  // writes that missed >=1 replica
+  std::uint64_t write_failures = 0;   // writes below the ack quorum
+};
+
+// Mirrors writes to every replica; a write succeeds if at least
+// `write_quorum` replicas acknowledge. Reads try replicas in order.
+class ReplicatedStore final : public KvStore {
+ public:
+  ReplicatedStore(std::vector<std::unique_ptr<KvStore>> replicas,
+                  int write_quorum = 1);
+
+  std::string_view name() const override { return "replicated"; }
+  bool has_native_partitions() const override;
+
+  OpResult Put(PartitionId partition, Key key,
+               std::span<const std::byte, kPageSize> value,
+               SimTime now) override;
+  OpResult Get(PartitionId partition, Key key,
+               std::span<std::byte, kPageSize> out, SimTime now) override;
+  OpResult Remove(PartitionId partition, Key key, SimTime now) override;
+  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+                    SimTime now) override;
+  OpResult DropPartition(PartitionId partition, SimTime now) override;
+
+  bool Contains(PartitionId partition, Key key) const override;
+  std::size_t ObjectCount() const override;
+  std::size_t BytesStored() const override;
+  const StoreStats& stats() const override { return agg_stats_; }
+
+  KvStore& replica(std::size_t i) noexcept { return *replicas_[i]; }
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  const ReplicatedStoreStats& replication_stats() const noexcept {
+    return rstats_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<KvStore>> replicas_;
+  int write_quorum_;
+  ReplicatedStoreStats rstats_;
+  mutable StoreStats agg_stats_;
+};
+
+}  // namespace fluid::kv

@@ -1,0 +1,37 @@
+// Key encoding for remote-memory pages (paper §IV).
+//
+// "The key is a 64-bit integer matching the first 52 bits of the virtual
+//  memory address used by the faulting application. [...] To support other
+//  key-value stores without partition support, we use the remaining 12 bits
+//  to index a 'virtual partition'."
+//
+// So a key is the page-aligned virtual address with a 12-bit partition index
+// folded into the low (page-offset) bits. Stores with native partitions
+// (RAMCloud tablets) receive the partition separately and a key with zero
+// low bits; stores without (Memcached) fold the partition in.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fluid::kv {
+
+using Key = std::uint64_t;
+
+inline constexpr Key kPartitionMask = 0xfffULL;  // low 12 bits
+
+constexpr Key MakePageKey(VirtAddr addr) noexcept {
+  return addr & ~kPartitionMask;  // first 52 bits of the address
+}
+
+constexpr Key FoldPartition(Key page_key, PartitionId partition) noexcept {
+  return (page_key & ~kPartitionMask) | (partition & kPartitionMask);
+}
+
+constexpr VirtAddr KeyAddr(Key k) noexcept { return k & ~kPartitionMask; }
+constexpr PartitionId KeyPartition(Key k) noexcept {
+  return static_cast<PartitionId>(k & kPartitionMask);
+}
+
+}  // namespace fluid::kv

@@ -1,0 +1,108 @@
+// Generic key-value store API (paper §IV).
+//
+// "FluidMem interfaces with key-value stores via a generic API that supports
+//  partitions and allows multiple VMs to share the same key-value store."
+//
+// Operations return an OpResult carrying two virtual-time stamps:
+//   issue_done  — when the *caller's* CPU is free again (the client-side
+//                 "top half": building and posting the request);
+//   complete_at — when the result is available (the "bottom half").
+// A synchronous caller advances its clock to complete_at; an asynchronous
+// caller (the monitor's interleaved read, §V-B) continues other work after
+// issue_done and only waits at the point it needs the data. Data effects
+// are applied eagerly — virtual time in a single-threaded simulation makes
+// that sound — so tests can assert on contents without a scheduler.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kvstore/key_codec.h"
+
+namespace fluid::kv {
+
+struct OpResult {
+  Status status;
+  SimTime issue_done = 0;
+  SimTime complete_at = 0;
+};
+
+struct KvWrite {
+  Key key = 0;
+  std::span<const std::byte, kPageSize> value;
+};
+
+// One slot of a batched read (RAMCloud multiRead). `status` is per-object:
+// a batch can succeed while individual keys are kNotFound.
+struct KvRead {
+  Key key = 0;
+  std::span<std::byte, kPageSize> out;
+  Status status;
+};
+
+struct StoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t multi_write_batches = 0;
+  std::uint64_t multi_write_objects = 0;
+  std::uint64_t evictions = 0;  // store-internal (Memcached slab LRU)
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual bool has_native_partitions() const = 0;
+
+  // Store one 4 KB page under (partition, key).
+  virtual OpResult Put(PartitionId partition, Key key,
+                       std::span<const std::byte, kPageSize> value,
+                       SimTime now) = 0;
+
+  // Fetch into `out`. kNotFound if absent.
+  virtual OpResult Get(PartitionId partition, Key key,
+                       std::span<std::byte, kPageSize> out, SimTime now) = 0;
+
+  virtual OpResult Remove(PartitionId partition, Key key, SimTime now) = 0;
+
+  // Batched write (RAMCloud multiWrite). All writes must target one
+  // partition — the batching FluidMem performs groups by uffd region.
+  virtual OpResult MultiPut(PartitionId partition,
+                            std::span<const KvWrite> writes, SimTime now) = 0;
+
+  // Batched read (RAMCloud multiRead). The default adapter issues
+  // sequential Gets; stores with native batch support (RAMCloud) override
+  // it to pay one round trip. Per-object status lands in each KvRead.
+  virtual OpResult MultiGet(PartitionId partition, std::span<KvRead> reads,
+                            SimTime now) {
+    OpResult agg;
+    agg.status = Status::Ok();
+    agg.issue_done = now;
+    agg.complete_at = now;
+    SimTime t = now;
+    for (KvRead& r : reads) {
+      OpResult one = Get(partition, r.key, r.out, t);
+      r.status = one.status;
+      t = one.complete_at;
+      agg.issue_done = std::max(agg.issue_done, one.issue_done);
+      agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    }
+    return agg;
+  }
+
+  // Drop every object in a partition (VM shutdown).
+  virtual OpResult DropPartition(PartitionId partition, SimTime now) = 0;
+
+  virtual bool Contains(PartitionId partition, Key key) const = 0;
+  virtual std::size_t ObjectCount() const = 0;
+  virtual std::size_t BytesStored() const = 0;
+  virtual const StoreStats& stats() const = 0;
+};
+
+}  // namespace fluid::kv

@@ -1,0 +1,105 @@
+// LocalDramStore: a same-host DRAM key-value store.
+//
+// This is the "FluidMem DRAM" backend of Figs. 3 and 4 — the control
+// configuration that isolates the cost of FluidMem's fault-handling
+// machinery from network latency. A put/get is a hash operation plus a page
+// copy; timing comes from the local "transport" (function call + memcpy).
+#pragma once
+
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dist.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "kvstore/kvstore.h"
+#include "net/transport.h"
+
+namespace fluid::kv {
+
+struct LocalStoreConfig {
+  std::size_t memory_cap_bytes = 1ULL << 30;
+  LatencyDist op_cost = LatencyDist::Normal(0.9, 0.15, 0.3);
+  std::uint64_t seed = 44;
+};
+
+class LocalDramStore final : public KvStore {
+ public:
+  explicit LocalDramStore(LocalStoreConfig config = {})
+      : config_(config), rng_(config.seed) {}
+
+  std::string_view name() const override { return "local-dram"; }
+  bool has_native_partitions() const override { return true; }
+
+  OpResult Put(PartitionId partition, Key key,
+               std::span<const std::byte, kPageSize> value,
+               SimTime now) override {
+    ++stats_.puts;
+    const Key k = FoldPartition(key, partition);
+    if (!map_.contains(k) &&
+        (map_.size() + 1) * kPageSize > config_.memory_cap_bytes)
+      return Done(now, Status::ResourceExhausted("local store full"));
+    map_[k].assign(value.begin(), value.end());
+    return Done(now, Status::Ok());
+  }
+
+  OpResult Get(PartitionId partition, Key key,
+               std::span<std::byte, kPageSize> out, SimTime now) override {
+    ++stats_.gets;
+    auto it = map_.find(FoldPartition(key, partition));
+    if (it == map_.end()) return Done(now, Status::NotFound(""));
+    std::memcpy(out.data(), it->second.data(), kPageSize);
+    return Done(now, Status::Ok());
+  }
+
+  OpResult Remove(PartitionId partition, Key key, SimTime now) override {
+    ++stats_.removes;
+    const bool erased = map_.erase(FoldPartition(key, partition)) > 0;
+    return Done(now, erased ? Status::Ok() : Status::NotFound(""));
+  }
+
+  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+                    SimTime now) override {
+    ++stats_.multi_write_batches;
+    stats_.multi_write_objects += writes.size();
+    Status s = Status::Ok();
+    SimTime t = now;
+    for (const KvWrite& w : writes) {
+      OpResult one = Put(partition, w.key, w.value, t);
+      --stats_.puts;
+      t = one.complete_at;
+      if (!one.status.ok()) s = one.status;
+    }
+    return OpResult{std::move(s), t, t};
+  }
+
+  OpResult DropPartition(PartitionId partition, SimTime now) override {
+    for (auto it = map_.begin(); it != map_.end();) {
+      it = (KeyPartition(it->first) == partition) ? map_.erase(it)
+                                                  : std::next(it);
+    }
+    return Done(now, Status::Ok());
+  }
+
+  bool Contains(PartitionId partition, Key key) const override {
+    return map_.contains(FoldPartition(key, partition));
+  }
+  std::size_t ObjectCount() const override { return map_.size(); }
+  std::size_t BytesStored() const override { return map_.size() * kPageSize; }
+  const StoreStats& stats() const override { return stats_; }
+
+ private:
+  OpResult Done(SimTime now, Status s) {
+    const SimTime end = now + config_.op_cost.Sample(rng_);
+    return OpResult{std::move(s), end, end};
+  }
+
+  LocalStoreConfig config_;
+  Rng rng_;
+  std::unordered_map<Key, std::vector<std::byte>> map_;
+  StoreStats stats_;
+};
+
+}  // namespace fluid::kv

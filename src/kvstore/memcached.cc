@@ -1,0 +1,135 @@
+#include "kvstore/memcached.h"
+
+#include <cstring>
+
+namespace fluid::kv {
+
+MemcachedStore::MemcachedStore(MemcachedConfig config, net::Transport transport)
+    : config_(config), transport_(std::move(transport)), rng_(config.seed) {}
+
+OpResult MemcachedStore::TimedOp(SimTime now, std::size_t req_bytes,
+                                 std::size_t resp_bytes, Status status) {
+  OpResult r;
+  r.status = std::move(status);
+  r.issue_done = now + config_.client_issue.Sample(rng_);
+  const SimDuration rtt = transport_.SampleRtt(req_bytes, resp_bytes, rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(r.issue_done + half_out,
+                                  config_.service.Sample(rng_));
+  r.complete_at = svc.end + (rtt - half_out);
+  return r;
+}
+
+bool MemcachedStore::EnsureChunkAvailable() {
+  if (items_.size() < chunks_allocated_) return true;
+  // Grow by one slab if under the memory cap.
+  if ((slab_count_ + 1) * config_.slab_bytes <= config_.memory_cap_bytes) {
+    ++slab_count_;
+    chunks_allocated_ += config_.slab_bytes / kChunkBytes;
+    return items_.size() < chunks_allocated_;
+  }
+  // At cap: evict the LRU item of this (the only used) class.
+  if (lru_.empty()) return false;
+  const Item& victim = lru_.back();
+  items_.erase(victim.key);
+  lru_.pop_back();
+  ++stats_.evictions;
+  return true;
+}
+
+OpResult MemcachedStore::Put(PartitionId partition, Key key,
+                             std::span<const std::byte, kPageSize> value,
+                             SimTime now) {
+  ++stats_.puts;
+  const Key k = FoldPartition(key, partition);
+  Status s = Status::Ok();
+  auto it = items_.find(k);
+  if (it != items_.end()) {
+    it->second->data.assign(value.begin(), value.end());
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  } else if (!EnsureChunkAvailable()) {
+    s = Status::ResourceExhausted("memcached out of memory");
+  } else {
+    lru_.push_front(Item{k, {value.begin(), value.end()}});
+    items_[k] = lru_.begin();
+  }
+  return TimedOp(now, kChunkBytes, 16, std::move(s));
+}
+
+OpResult MemcachedStore::Get(PartitionId partition, Key key,
+                             std::span<std::byte, kPageSize> out,
+                             SimTime now) {
+  ++stats_.gets;
+  const Key k = FoldPartition(key, partition);
+  Status s = Status::Ok();
+  auto it = items_.find(k);
+  if (it == items_.end()) {
+    s = Status::NotFound("cache miss");
+  } else {
+    std::memcpy(out.data(), it->second->data.data(), kPageSize);
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  }
+  return TimedOp(now, 32, s.ok() ? kChunkBytes : 16, std::move(s));
+}
+
+OpResult MemcachedStore::Remove(PartitionId partition, Key key, SimTime now) {
+  ++stats_.removes;
+  const Key k = FoldPartition(key, partition);
+  Status s = Status::Ok();
+  auto it = items_.find(k);
+  if (it == items_.end()) {
+    s = Status::NotFound("no such item");
+  } else {
+    lru_.erase(it->second);
+    items_.erase(it);
+  }
+  return TimedOp(now, 32, 16, std::move(s));
+}
+
+OpResult MemcachedStore::MultiPut(PartitionId partition,
+                                  std::span<const KvWrite> writes,
+                                  SimTime now) {
+  // No server-side batching: issue pipelined singles. The client pays one
+  // issue cost per write but requests overlap in flight; completion is the
+  // last response. This is why the paper notes asynchronous writeback "is
+  // most beneficial when slower network transports are used ... such as
+  // TCP with Memcached" — batching off the critical path hides this cost.
+  ++stats_.multi_write_batches;
+  stats_.multi_write_objects += writes.size();
+  OpResult agg;
+  agg.status = Status::Ok();
+  agg.issue_done = now;
+  agg.complete_at = now;
+  SimTime issue_cursor = now;
+  for (const KvWrite& w : writes) {
+    OpResult one = Put(partition, w.key, w.value, issue_cursor);
+    // Puts through this path should not double-count in stats_.puts; undo.
+    --stats_.puts;
+    issue_cursor = one.issue_done;
+    agg.issue_done = one.issue_done;
+    agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    if (!one.status.ok()) agg.status = one.status;
+  }
+  return agg;
+}
+
+OpResult MemcachedStore::DropPartition(PartitionId partition, SimTime now) {
+  // No native partitions: scan keys whose folded low bits match.
+  std::size_t dropped = 0;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (KeyPartition(it->first) == partition) {
+      lru_.erase(it->second);
+      it = items_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return TimedOp(now, 32, 16, Status::Ok());
+}
+
+bool MemcachedStore::Contains(PartitionId partition, Key key) const {
+  return items_.contains(FoldPartition(key, partition));
+}
+
+}  // namespace fluid::kv

@@ -1,0 +1,372 @@
+#include "kvstore/ramcloud.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fluid::kv {
+
+namespace {
+// Per-object metadata on the wire and in the log (key, tablet, version,
+// checksum) — approximates RAMCloud's object header.
+constexpr std::size_t kObjectOverhead = 30;
+constexpr std::size_t kLoggedSize = kPageSize + kObjectOverhead;
+}  // namespace
+
+RamcloudStore::RamcloudStore(RamcloudConfig config, net::Transport transport)
+    : config_(config), transport_(std::move(transport)), rng_(config.seed) {
+  OpenNewHead();
+  backups_.resize(static_cast<std::size_t>(
+      config.backup_count < 0 ? 0 : config.backup_count));
+}
+
+void RamcloudStore::MirrorToBackups(BackupRecord record) {
+  for (std::size_t i = 0; i < backups_.size(); ++i) {
+    if (!backups_[i].alive) continue;
+    if (i + 1 == backups_.size()) {
+      backups_[i].log.push_back(std::move(record));
+      return;
+    }
+    backups_[i].log.push_back(record);
+  }
+}
+
+SimDuration RamcloudStore::BackupAckDelay() {
+  if (backups_.empty()) return 0;
+  // Replicas are written in parallel; the master waits for the slowest.
+  SimDuration worst = 0;
+  for (const Backup& b : backups_) {
+    if (!b.alive) continue;
+    worst = std::max(worst, config_.backup_rtt.Sample(rng_));
+  }
+  return worst;
+}
+
+void RamcloudStore::CrashMaster() {
+  crashed_ = true;
+  segments_.clear();
+  free_segments_.clear();
+  hash_.clear();
+  live_bytes_ = 0;
+  allocated_bytes_ = 0;
+  object_count_ = 0;
+  head_segment_ = 0;
+}
+
+void RamcloudStore::CrashBackup(int index) {
+  if (index >= 0 && index < static_cast<int>(backups_.size())) {
+    backups_[static_cast<std::size_t>(index)].alive = false;
+    backups_[static_cast<std::size_t>(index)].log.clear();
+  }
+}
+
+std::size_t RamcloudStore::BackupRecordCount() const {
+  for (const Backup& b : backups_)
+    if (b.alive) return b.log.size();
+  return 0;
+}
+
+StatusOr<SimTime> RamcloudStore::Recover(SimTime now) {
+  if (!crashed_) return now;
+  const Backup* source = nullptr;
+  for (const Backup& b : backups_)
+    if (b.alive) {
+      source = &b;
+      break;
+    }
+  if (source == nullptr)
+    return Status::Unavailable("no surviving backup to recover from");
+
+  // Rebuild the log: replay records in sequence order (backups store them
+  // in append order already). Tombstones delete; later objects supersede.
+  crashed_ = false;
+  OpenNewHead();
+  SimTime t = now;
+  for (const BackupRecord& rec : source->log) {
+    t += config_.replay_per_record.Sample(rng_);
+    if (rec.tombstone) {
+      KillExisting(rec.partition, rec.key);
+    } else {
+      // Replay without re-mirroring (the records are already durable):
+      // temporarily detach the backups.
+      std::vector<Backup> saved;
+      saved.swap(backups_);
+      (void)AppendObject(rec.partition, rec.key, rec.data);
+      saved.swap(backups_);
+    }
+  }
+  return t;
+}
+
+void RamcloudStore::OpenNewHead() {
+  if (!free_segments_.empty()) {
+    head_segment_ = free_segments_.back();
+    free_segments_.pop_back();
+    Segment& s = segments_[head_segment_];
+    s.entries.clear();
+    s.bytes = 0;
+    s.dead_bytes = 0;
+    s.sealed = false;
+    return;
+  }
+  segments_.emplace_back();
+  head_segment_ = static_cast<std::uint32_t>(segments_.size() - 1);
+}
+
+void RamcloudStore::KillExisting(PartitionId partition, Key key) {
+  auto it = hash_.find(KeyId{partition, key});
+  if (it == hash_.end()) return;
+  Segment& seg = segments_[it->second.segment];
+  Entry& e = seg.entries[it->second.index];
+  if (e.live) {
+    e.live = false;
+    e.data.clear();
+    e.data.shrink_to_fit();
+    seg.dead_bytes += kLoggedSize;
+    live_bytes_ -= kPageSize;
+    --object_count_;
+  }
+  hash_.erase(it);
+}
+
+Status RamcloudStore::AppendObject(PartitionId partition, Key key,
+                                   std::span<const std::byte> value) {
+  if (!backups_.empty()) {
+    BackupRecord rec;
+    rec.seq = next_seq_++;
+    rec.partition = partition;
+    rec.key = key;
+    rec.data.assign(value.begin(), value.end());
+    MirrorToBackups(std::move(rec));
+  }
+  KillExisting(partition, key);
+  // Admission: refuse when even cleaning could not make room.
+  if (live_bytes_ + kLoggedSize > config_.memory_cap_bytes)
+    return Status::ResourceExhausted("ramcloud log full of live data");
+
+  Segment* head = &segments_[head_segment_];
+  if (head->bytes + kLoggedSize > config_.segment_bytes) {
+    head->sealed = true;
+    OpenNewHead();
+    head = &segments_[head_segment_];
+  }
+  Entry e;
+  e.partition = partition;
+  e.key = key;
+  e.live = true;
+  e.data.assign(value.begin(), value.end());
+  head->entries.push_back(std::move(e));
+  head->bytes += kLoggedSize;
+  allocated_bytes_ += kLoggedSize;
+  live_bytes_ += kPageSize;
+  ++object_count_;
+  hash_[KeyId{partition, key}] =
+      Loc{head_segment_, static_cast<std::uint32_t>(head->entries.size() - 1)};
+  MaybeClean();
+  return Status::Ok();
+}
+
+void RamcloudStore::MaybeClean() {
+  // The cleaner runs on server CPU off the critical path; we reproduce its
+  // *space* behaviour (relocating live objects out of the dirtiest sealed
+  // segment), which is what lets a bounded log absorb unbounded eviction
+  // traffic.
+  while (static_cast<double>(allocated_bytes_) >
+         config_.cleaner_start_utilization *
+             static_cast<double>(config_.memory_cap_bytes)) {
+    // Pick the sealed segment with the most dead bytes.
+    std::uint32_t victim = ~0u;
+    std::size_t best_dead = 0;
+    for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+      if (i == head_segment_ || !segments_[i].sealed) continue;
+      if (segments_[i].dead_bytes > best_dead) {
+        best_dead = segments_[i].dead_bytes;
+        victim = i;
+      }
+    }
+    if (victim == ~0u || best_dead == 0) return;  // nothing reclaimable
+
+    Segment& seg = segments_[victim];
+    // Relocate live entries to the head of the log.
+    for (std::uint32_t idx = 0; idx < seg.entries.size(); ++idx) {
+      Entry& e = seg.entries[idx];
+      if (!e.live) continue;
+      Segment* head = &segments_[head_segment_];
+      if (head->bytes + kLoggedSize > config_.segment_bytes) {
+        head->sealed = true;
+        OpenNewHead();
+        head = &segments_[head_segment_];
+      }
+      head->entries.push_back(std::move(e));
+      head->bytes += kLoggedSize;
+      allocated_bytes_ += kLoggedSize;
+      hash_[KeyId{head->entries.back().partition, head->entries.back().key}] =
+          Loc{head_segment_,
+              static_cast<std::uint32_t>(head->entries.size() - 1)};
+      e.live = false;
+    }
+    allocated_bytes_ -= seg.bytes;
+    seg.entries.clear();
+    seg.bytes = 0;
+    seg.dead_bytes = 0;
+    seg.sealed = false;
+    free_segments_.push_back(victim);
+    ++cleaner_passes_;
+  }
+}
+
+OpResult RamcloudStore::TimedOp(SimTime now, std::size_t req_bytes,
+                                std::size_t resp_bytes, SimDuration service,
+                                Status status) {
+  OpResult r;
+  r.status = std::move(status);
+  r.issue_done = now + config_.client_issue.Sample(rng_);
+  const SimDuration rtt = transport_.SampleRtt(req_bytes, resp_bytes, rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(r.issue_done + half_out, service);
+  r.complete_at = svc.end + (rtt - half_out);
+  return r;
+}
+
+OpResult RamcloudStore::Put(PartitionId partition, Key key,
+                            std::span<const std::byte, kPageSize> value,
+                            SimTime now) {
+  ++stats_.puts;
+  if (crashed_)
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  Status s = AppendObject(partition, key, value);
+  OpResult r = TimedOp(now, kLoggedSize, 32, config_.service.Sample(rng_),
+                       std::move(s));
+  r.complete_at += BackupAckDelay();
+  return r;
+}
+
+OpResult RamcloudStore::Get(PartitionId partition, Key key,
+                            std::span<std::byte, kPageSize> out, SimTime now) {
+  ++stats_.gets;
+  if (crashed_)
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  Status s = Status::Ok();
+  auto it = hash_.find(KeyId{partition, key});
+  if (it == hash_.end()) {
+    s = Status::NotFound("no such object");
+  } else {
+    const Entry& e =
+        segments_[it->second.segment].entries[it->second.index];
+    std::memcpy(out.data(), e.data.data(), kPageSize);
+  }
+  return TimedOp(now, 32, s.ok() ? kLoggedSize : 32,
+                 config_.service.Sample(rng_), std::move(s));
+}
+
+OpResult RamcloudStore::Remove(PartitionId partition, Key key, SimTime now) {
+  ++stats_.removes;
+  if (crashed_)
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  Status s = Status::Ok();
+  if (!Contains(partition, key)) s = Status::NotFound("no such object");
+  if (s.ok() && !backups_.empty()) {
+    BackupRecord rec;
+    rec.seq = next_seq_++;
+    rec.partition = partition;
+    rec.key = key;
+    rec.tombstone = true;
+    MirrorToBackups(std::move(rec));
+  }
+  KillExisting(partition, key);
+  return TimedOp(now, 32, 32, config_.service.Sample(rng_), std::move(s));
+}
+
+OpResult RamcloudStore::MultiPut(PartitionId partition,
+                                 std::span<const KvWrite> writes,
+                                 SimTime now) {
+  if (crashed_) {
+    ++stats_.multi_write_batches;
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  }
+  ++stats_.multi_write_batches;
+  stats_.multi_write_objects += writes.size();
+  Status s = Status::Ok();
+  for (const KvWrite& w : writes) {
+    Status one = AppendObject(partition, w.key, w.value);
+    if (!one.ok()) s = one;  // report last failure; earlier writes stick
+  }
+  OpResult r;
+  r.status = std::move(s);
+  r.issue_done = now + config_.client_issue.Sample(rng_);
+  SimDuration service = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i)
+    service += config_.service.Sample(rng_);
+  const SimDuration rtt =
+      transport_.SampleBatchRtt(writes.size(), kLoggedSize, rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(r.issue_done + half_out, service);
+  r.complete_at = svc.end + (rtt - half_out) + BackupAckDelay();
+  return r;
+}
+
+OpResult RamcloudStore::MultiGet(PartitionId partition,
+                                 std::span<KvRead> reads, SimTime now) {
+  if (crashed_) {
+    for (KvRead& r : reads) r.status = Status::Unavailable("master crashed");
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  }
+  stats_.gets += reads.size();
+  std::size_t found = 0;
+  for (KvRead& r : reads) {
+    auto it = hash_.find(KeyId{partition, r.key});
+    if (it == hash_.end()) {
+      r.status = Status::NotFound("no such object");
+      continue;
+    }
+    const Entry& e = segments_[it->second.segment].entries[it->second.index];
+    std::memcpy(r.out.data(), e.data.data(), kPageSize);
+    r.status = Status::Ok();
+    ++found;
+  }
+  OpResult agg;
+  agg.status = Status::Ok();
+  agg.issue_done = now + config_.client_issue.Sample(rng_);
+  SimDuration service = 0;
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    service += config_.service.Sample(rng_);
+  const SimDuration rtt = transport_.SampleBatchRtt(
+      std::max<std::size_t>(1, found), kLoggedSize, rng_);
+  const SimDuration half_out = rtt / 2;
+  const auto svc = server_.Occupy(agg.issue_done + half_out, service);
+  agg.complete_at = svc.end + (rtt - half_out);
+  return agg;
+}
+
+OpResult RamcloudStore::DropPartition(PartitionId partition, SimTime now) {
+  if (crashed_)
+    return OpResult{Status::Unavailable("master crashed"), now, now};
+  if (!backups_.empty()) {
+    // Tombstone every live object of the tablet so recovery won't revive it.
+    for (const auto& [kid, loc] : hash_) {
+      if (kid.partition != partition) continue;
+      BackupRecord rec;
+      rec.seq = next_seq_++;
+      rec.partition = kid.partition;
+      rec.key = kid.key;
+      rec.tombstone = true;
+      MirrorToBackups(std::move(rec));
+    }
+  }
+  std::vector<KeyId> doomed;
+  doomed.reserve(hash_.size());
+  for (const auto& [kid, loc] : hash_)
+    if (kid.partition == partition) doomed.push_back(kid);
+  for (const KeyId& kid : doomed) KillExisting(kid.partition, kid.key);
+  MaybeClean();
+  // One control RPC; the server-side scan is proportional to tablet size
+  // but runs off any fault critical path.
+  return TimedOp(now, 32, 32,
+                 config_.service.Sample(rng_) * (1 + doomed.size() / 64),
+                 Status::Ok());
+}
+
+bool RamcloudStore::Contains(PartitionId partition, Key key) const {
+  return hash_.contains(KeyId{partition, key});
+}
+
+}  // namespace fluid::kv

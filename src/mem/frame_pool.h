@@ -1,0 +1,82 @@
+// FramePool: the hypervisor's local DRAM, divided into 4 KB frames.
+//
+// Page *contents* in this reproduction are real bytes — evicting a page to a
+// key-value store and faulting it back must round-trip the data, otherwise
+// the correctness properties the tests assert (no lost or torn pages) would
+// be vacuous. A FramePool owns one contiguous allocation and hands out
+// frame ids; everything above it (page tables, the monitor's zero-copy
+// buffers, the swap cache) refers to frames by id.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fluid::mem {
+
+class FramePool {
+ public:
+  explicit FramePool(std::size_t frame_count)
+      : storage_(frame_count * kPageSize), free_list_() {
+    free_list_.reserve(frame_count);
+    // Hand out low frame ids first: push in reverse.
+    for (std::size_t i = frame_count; i-- > 0;)
+      free_list_.push_back(static_cast<FrameId>(i));
+  }
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  std::size_t capacity() const noexcept { return storage_.size() / kPageSize; }
+  std::size_t in_use() const noexcept { return capacity() - free_list_.size(); }
+  std::size_t available() const noexcept { return free_list_.size(); }
+
+  StatusOr<FrameId> Allocate() {
+    if (free_list_.empty())
+      return Status::ResourceExhausted("frame pool empty");
+    const FrameId f = free_list_.back();
+    free_list_.pop_back();
+    return f;
+  }
+
+  // Allocate and zero-fill (what the kernel does for an anonymous page).
+  StatusOr<FrameId> AllocateZeroed() {
+    auto f = Allocate();
+    if (f.ok()) std::memset(Data(*f).data(), 0, kPageSize);
+    return f;
+  }
+
+  void Free(FrameId f) {
+    assert(f < capacity());
+    free_list_.push_back(f);
+  }
+
+  std::span<std::byte, kPageSize> Data(FrameId f) noexcept {
+    assert(f < capacity());
+    return std::span<std::byte, kPageSize>{&storage_[f * kPageSize], kPageSize};
+  }
+  std::span<const std::byte, kPageSize> Data(FrameId f) const noexcept {
+    assert(f < capacity());
+    return std::span<const std::byte, kPageSize>{&storage_[f * kPageSize],
+                                                 kPageSize};
+  }
+
+  bool IsZeroFilled(FrameId f) const noexcept {
+    const auto d = Data(f);
+    for (std::byte b : d)
+      if (b != std::byte{0}) return false;
+    return true;
+  }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::vector<FrameId> free_list_;
+};
+
+}  // namespace fluid::mem

@@ -1,0 +1,199 @@
+#include "mem/uffd.h"
+
+#include <cstring>
+
+namespace fluid::mem {
+
+Status UffdRegion::CheckInRange(VirtAddr addr) const {
+  if (!Contains(addr))
+    return Status::InvalidArgument("address outside registered region");
+  return Status::Ok();
+}
+
+Pte* UffdRegion::Find(VirtAddr addr) {
+  auto it = ptes_.find(PageOf(addr));
+  return it == ptes_.end() ? nullptr : &it->second;
+}
+
+const Pte* UffdRegion::Find(VirtAddr addr) const {
+  auto it = ptes_.find(PageOf(addr));
+  return it == ptes_.end() ? nullptr : &it->second;
+}
+
+AccessResult UffdRegion::Access(VirtAddr addr, bool is_write) {
+  addr = PageAlignDown(addr);
+  if (!Contains(addr)) {
+    // A real access outside any VMA would SIGSEGV; in the model this is a
+    // programming error in the workload driver.
+    return AccessResult{AccessKind::kUffdFault,
+                        FaultEvent{addr, pid_, is_write}};
+  }
+  Pte* pte = Find(addr);
+  if (pte == nullptr || pte->state == PteState::kNotMapped) {
+    // Missing page: the vCPU halts and an event is queued on the uffd.
+    return AccessResult{AccessKind::kUffdFault,
+                        FaultEvent{addr, pid_, is_write}};
+  }
+  pte->referenced = true;
+  if (pte->state == PteState::kZeroPage) {
+    if (!is_write) return AccessResult{AccessKind::kHit, {}};
+    // Write to the CoW zero page: the kernel resolves this *itself* with a
+    // regular minor fault that installs a private zeroed frame. No uffd
+    // event fires (paper §V-A footnote 1).
+    auto frame = pool_->AllocateZeroed();
+    if (!frame.ok()) {
+      // Out of local frames: surface as a uffd fault so the driver can run
+      // reclaim; the kernel analogue is direct reclaim inside the fault.
+      return AccessResult{AccessKind::kUffdFault,
+                          FaultEvent{addr, pid_, is_write}};
+    }
+    pte->state = PteState::kMapped;
+    pte->frame = *frame;
+    pte->dirty = true;
+    ++resident_frames_;
+    return AccessResult{AccessKind::kMinorZero, {}};
+  }
+  // kMapped
+  if (is_write) pte->dirty = true;
+  return AccessResult{AccessKind::kHit, {}};
+}
+
+Status UffdRegion::ReadBytes(VirtAddr addr, std::span<std::byte> out) const {
+  if (auto s = CheckInRange(addr); !s.ok()) return s;
+  const Pte* pte = Find(PageAlignDown(addr));
+  if (pte == nullptr || pte->state == PteState::kNotMapped)
+    return Status::FailedPrecondition("page not present");
+  const std::size_t off = addr & (kPageSize - 1);
+  if (off + out.size() > kPageSize)
+    return Status::InvalidArgument("read crosses page boundary");
+  if (pte->state == PteState::kZeroPage) {
+    std::memset(out.data(), 0, out.size());
+    return Status::Ok();
+  }
+  const auto src = pool_->Data(pte->frame);
+  std::memcpy(out.data(), src.data() + off, out.size());
+  return Status::Ok();
+}
+
+Status UffdRegion::WriteBytes(VirtAddr addr, std::span<const std::byte> in) {
+  if (auto s = CheckInRange(addr); !s.ok()) return s;
+  Pte* pte = Find(PageAlignDown(addr));
+  if (pte == nullptr || pte->state != PteState::kMapped)
+    return Status::FailedPrecondition(
+        "page not writable (not present or zero-page; Access() first)");
+  const std::size_t off = addr & (kPageSize - 1);
+  if (off + in.size() > kPageSize)
+    return Status::InvalidArgument("write crosses page boundary");
+  auto dst = pool_->Data(pte->frame);
+  std::memcpy(dst.data() + off, in.data(), in.size());
+  pte->dirty = true;
+  return Status::Ok();
+}
+
+Status UffdRegion::ZeroPage(VirtAddr addr) {
+  if (auto s = CheckInRange(addr); !s.ok()) return s;
+  addr = PageAlignDown(addr);
+  Pte& pte = ptes_[PageOf(addr)];
+  if (pte.state != PteState::kNotMapped)
+    return Status::AlreadyExists("page already present (EEXIST)");
+  pte.state = PteState::kZeroPage;
+  pte.frame = kInvalidFrame;
+  pte.dirty = false;
+  pte.referenced = true;
+  ++present_pages_;
+  return Status::Ok();
+}
+
+Status UffdRegion::Copy(VirtAddr addr,
+                        std::span<const std::byte, kPageSize> src) {
+  if (auto s = CheckInRange(addr); !s.ok()) return s;
+  addr = PageAlignDown(addr);
+  Pte& pte = ptes_[PageOf(addr)];
+  if (pte.state != PteState::kNotMapped)
+    return Status::AlreadyExists("page already present (EEXIST)");
+  auto frame = pool_->Allocate();
+  if (!frame.ok()) return frame.status();
+  std::memcpy(pool_->Data(*frame).data(), src.data(), kPageSize);
+  pte.state = PteState::kMapped;
+  pte.frame = *frame;
+  pte.dirty = false;
+  pte.referenced = true;
+  ++resident_frames_;
+  ++present_pages_;
+  return Status::Ok();
+}
+
+StatusOr<FrameId> UffdRegion::Remap(VirtAddr addr) {
+  if (auto s = CheckInRange(addr); !s.ok()) return s;
+  addr = PageAlignDown(addr);
+  Pte* pte = Find(addr);
+  if (pte == nullptr || pte->state == PteState::kNotMapped)
+    return Status::NotFound("page not present");
+  FrameId out;
+  if (pte->state == PteState::kZeroPage) {
+    // No private frame exists; the page's logical contents are zero.
+    auto frame = pool_->AllocateZeroed();
+    if (!frame.ok()) return frame.status();
+    out = *frame;
+  } else {
+    out = pte->frame;
+    --resident_frames_;
+  }
+  pte->state = PteState::kNotMapped;
+  pte->frame = kInvalidFrame;
+  pte->dirty = false;
+  --present_pages_;
+  return out;
+}
+
+PteState UffdRegion::StateOf(VirtAddr addr) const {
+  const Pte* pte = Find(PageAlignDown(addr));
+  return pte == nullptr ? PteState::kNotMapped : pte->state;
+}
+
+bool UffdRegion::IsDirty(VirtAddr addr) const {
+  const Pte* pte = Find(PageAlignDown(addr));
+  return pte != nullptr && pte->dirty;
+}
+
+std::size_t UffdRegion::ClearReferencedBits() {
+  std::size_t n = 0;
+  for (auto& [pn, pte] : ptes_) {
+    if (pte.referenced) {
+      pte.referenced = false;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<VirtAddr> UffdRegion::CollectDirtyPages() {
+  std::vector<VirtAddr> out;
+  for (auto& [pn, pte] : ptes_) {
+    if (pte.state == PteState::kMapped && pte.dirty) {
+      pte.dirty = false;
+      out.push_back(AddrOf(pn));
+    }
+  }
+  return out;
+}
+
+std::vector<VirtAddr> UffdRegion::PresentPageAddresses() const {
+  std::vector<VirtAddr> out;
+  out.reserve(present_pages_);
+  for (const auto& [pn, pte] : ptes_) {
+    if (pte.state != PteState::kNotMapped) out.push_back(AddrOf(pn));
+  }
+  return out;
+}
+
+void UffdRegion::ReleaseAllFrames() {
+  for (auto& [pn, pte] : ptes_) {
+    if (pte.state == PteState::kMapped) pool_->Free(pte.frame);
+  }
+  ptes_.clear();
+  resident_frames_ = 0;
+  present_pages_ = 0;
+}
+
+}  // namespace fluid::mem

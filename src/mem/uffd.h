@@ -1,0 +1,155 @@
+// A user-space model of Linux userfaultfd(2) over a registered VM region.
+//
+// FluidMem's entire mechanism rests on four kernel facilities (§III–§V):
+//   1. registering a memory region so that *first* faults on every page are
+//      delivered to user space as events on a file descriptor;
+//   2. UFFDIO_ZEROPAGE — resolve a fault by mapping the shared CoW zero
+//      page (a later write then takes a regular in-kernel minor fault that
+//      allocates a private frame);
+//   3. UFFDIO_COPY — resolve a fault by copying provided bytes into a fresh
+//      frame mapped at the faulting address;
+//   4. UFFD_REMAP (the authors' proposed ioctl) — *move* a mapped page out
+//      of the region by page-table manipulation only, surrendering the
+//      frame to the caller; requires a TLB shootdown (IPI) on KVM guests.
+//
+// UffdRegion reproduces the state machine of those operations exactly
+// (including zero-page copy-on-write and "fault while evicted" races) but
+// performs no timing itself: callers charge virtual time from a cost model
+// so the same region can be driven synchronously in unit tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/frame_pool.h"
+
+namespace fluid::mem {
+
+enum class PteState : std::uint8_t {
+  kNotMapped,  // never touched, or moved out by UFFD_REMAP
+  kZeroPage,   // maps the shared CoW zero page (no frame)
+  kMapped,     // a private frame holds the contents
+};
+
+struct Pte {
+  PteState state = PteState::kNotMapped;
+  FrameId frame = kInvalidFrame;
+  bool dirty = false;     // written since the frame was installed
+  bool referenced = false;  // touched since last cleared (for reclaim models)
+};
+
+// What happened when the vCPU touched an address.
+enum class AccessKind : std::uint8_t {
+  kHit,        // present; no kernel involvement
+  kMinorZero,  // zero-page write: in-kernel allocation, no uffd event
+  kUffdFault,  // missing: vCPU halted, event delivered to the uffd reader
+};
+
+struct FaultEvent {
+  VirtAddr addr = 0;  // page-aligned
+  ProcessId pid = 0;
+  bool is_write = false;
+};
+
+struct AccessResult {
+  AccessKind kind = AccessKind::kHit;
+  FaultEvent event;  // valid only when kind == kUffdFault
+};
+
+class UffdRegion {
+ public:
+  // Registers [base, base + page_count * kPageSize) for the process `pid`.
+  UffdRegion(ProcessId pid, VirtAddr base, std::size_t page_count,
+             FramePool& pool)
+      : pid_(pid), base_(PageAlignDown(base)), page_count_(page_count),
+        pool_(&pool) {}
+
+  UffdRegion(const UffdRegion&) = delete;
+  UffdRegion& operator=(const UffdRegion&) = delete;
+  ~UffdRegion() { ReleaseAllFrames(); }
+
+  // Memory hotplug (paper §III): QEMU registers the hot-added DIMM with the
+  // same wrapper, extending the region the monitor watches. The new pages
+  // start unmapped, so their first access faults like any other.
+  void Expand(std::size_t extra_pages) noexcept { page_count_ += extra_pages; }
+
+  ProcessId pid() const noexcept { return pid_; }
+  VirtAddr base() const noexcept { return base_; }
+  std::size_t page_count() const noexcept { return page_count_; }
+  bool Contains(VirtAddr a) const noexcept {
+    return a >= base_ && a < base_ + page_count_ * kPageSize;
+  }
+
+  // ---- vCPU side ------------------------------------------------------------
+
+  // Model one memory access. On kUffdFault the caller must halt the vCPU,
+  // deliver the event to the monitor, and re-issue the access after wake.
+  AccessResult Access(VirtAddr addr, bool is_write);
+
+  // Read/write page contents through the mapping (valid only when present).
+  // Writes mark the PTE dirty, as the MMU would.
+  Status ReadBytes(VirtAddr addr, std::span<std::byte> out) const;
+  Status WriteBytes(VirtAddr addr, std::span<const std::byte> in);
+
+  // ---- monitor (ioctl) side ---------------------------------------------------
+
+  // UFFDIO_ZEROPAGE: map the shared zero page at the faulting address.
+  // Fails with kAlreadyExists if the page is already present (the kernel's
+  // -EEXIST, which the monitor must tolerate on duplicate events).
+  Status ZeroPage(VirtAddr addr);
+
+  // UFFDIO_COPY: allocate a frame, copy `src` into it, map it.
+  Status Copy(VirtAddr addr, std::span<const std::byte, kPageSize> src);
+
+  // UFFD_REMAP (proposed): unmap the page and transfer its frame to the
+  // caller without copying. A zero-page mapping materialises a zeroed frame
+  // first (its logical contents are all-zero). Fails with kNotFound if the
+  // page is not present.
+  StatusOr<FrameId> Remap(VirtAddr addr);
+
+  // ---- inspection -------------------------------------------------------------
+
+  PteState StateOf(VirtAddr addr) const;
+  bool IsPresent(VirtAddr addr) const {
+    const PteState s = StateOf(addr);
+    return s == PteState::kMapped || s == PteState::kZeroPage;
+  }
+  bool IsDirty(VirtAddr addr) const;
+  // Frames currently held by this region (the VM's resident footprint).
+  std::size_t ResidentFrames() const noexcept { return resident_frames_; }
+  // Present pages including zero-page mappings.
+  std::size_t PresentPages() const noexcept { return present_pages_; }
+
+  // Clear all referenced bits, returning how many were set (reclaim models).
+  std::size_t ClearReferencedBits();
+
+  // Soft-dirty tracking (pre-copy migration): return the addresses of all
+  // present pages written since the last collection, clearing their dirty
+  // bits. Zero-page mappings are never dirty.
+  std::vector<VirtAddr> CollectDirtyPages();
+
+  // Addresses of all present pages (zero-page or mapped), for the initial
+  // pre-copy round.
+  std::vector<VirtAddr> PresentPageAddresses() const;
+
+ private:
+  Pte* Find(VirtAddr addr);
+  const Pte* Find(VirtAddr addr) const;
+  Status CheckInRange(VirtAddr addr) const;
+  void ReleaseAllFrames();
+
+  ProcessId pid_;
+  VirtAddr base_;
+  std::size_t page_count_;
+  FramePool* pool_;
+  std::unordered_map<PageNum, Pte> ptes_;
+  std::size_t resident_frames_ = 0;
+  std::size_t present_pages_ = 0;
+};
+
+}  // namespace fluid::mem

@@ -1,0 +1,116 @@
+// Network transport latency models.
+//
+// The paper's test platform (§VI-A) connects nodes with FDR InfiniBand
+// (56 Gb/s, Mellanox ConnectX-3). Three transports appear in the
+// evaluation:
+//   * native verbs      — RAMCloud's InfiniBand transport and NVMeoF
+//   * IP-over-IB (TCP)  — the Memcached backend
+//   * local             — same-host DRAM ("backend" for the DRAM configs)
+//
+// A Transport charges the round-trip cost of one request/response pair:
+// a base RTT sample (propagation + switching + endpoint processing, with
+// jitter) plus serialisation time for the bytes moved. Batched operations
+// (RAMCloud multi-write) pay the base RTT once and a per-object increment
+// after the first, which is what makes asynchronous batching profitable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/dist.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fluid::net {
+
+struct TransportParams {
+  std::string name;
+  LatencyDist base_rtt;          // endpoint-to-endpoint round trip, no payload
+  double gbps = 56.0;            // serialisation bandwidth
+  LatencyDist per_object_extra;  // added per additional object in a batch
+  // Extra host-side CPU per request (kernel TCP stack for IPoIB; ~0 for
+  // kernel-bypass verbs). Charged on the caller's timeline by users.
+  LatencyDist host_cpu;
+};
+
+class Transport {
+ public:
+  explicit Transport(TransportParams params) : params_(std::move(params)) {}
+
+  std::string_view name() const noexcept { return params_.name; }
+
+  // Wire time for `bytes` at the link bandwidth.
+  SimDuration SerializationTime(std::size_t bytes) const noexcept {
+    const double ns = static_cast<double>(bytes) * 8.0 / params_.gbps;
+    return static_cast<SimDuration>(ns);
+  }
+
+  // Full RTT of a request with `req_bytes` out and `resp_bytes` back.
+  SimDuration SampleRtt(std::size_t req_bytes, std::size_t resp_bytes,
+                        Rng& rng) const noexcept {
+    return params_.base_rtt.Sample(rng) + SerializationTime(req_bytes) +
+           SerializationTime(resp_bytes) + params_.host_cpu.Sample(rng);
+  }
+
+  // RTT of a batch of `n` objects of `obj_bytes` each in one direction.
+  // The base RTT and host CPU are paid once; each object beyond the first
+  // adds serialisation plus a small per-object server increment.
+  SimDuration SampleBatchRtt(std::size_t n, std::size_t obj_bytes,
+                             Rng& rng) const noexcept {
+    if (n == 0) return 0;
+    SimDuration t = params_.base_rtt.Sample(rng) + params_.host_cpu.Sample(rng) +
+                    SerializationTime(n * obj_bytes);
+    for (std::size_t i = 1; i < n; ++i) t += params_.per_object_extra.Sample(rng);
+    return t;
+  }
+
+  double MeanRttUs(std::size_t bytes) const noexcept {
+    return params_.base_rtt.MeanUs() + params_.host_cpu.MeanUs() +
+           ToMicros(SerializationTime(bytes));
+  }
+
+ private:
+  TransportParams params_;
+};
+
+// --- Calibrated instances ----------------------------------------------------
+
+// Same-host "transport": a function call plus a page copy.
+inline Transport MakeLocalTransport() {
+  return Transport{TransportParams{
+      .name = "local",
+      .base_rtt = LatencyDist::Normal(0.3, 0.05, 0.1),
+      .gbps = 200.0,  // DRAM copy bandwidth, not a NIC
+      .per_object_extra = LatencyDist::Constant(0.2),
+      .host_cpu = LatencyDist::Constant(0.0),
+  }};
+}
+
+// FDR InfiniBand with kernel-bypass verbs (RAMCloud / NVMeoF data path).
+// RAMCloud reads of a 4 KB page took ~10 us of network wait in the paper
+// (§V-B "a page read from RAMCloud involved waiting (10 us)").
+inline Transport MakeVerbsTransport() {
+  return Transport{TransportParams{
+      .name = "verbs-fdr",
+      .base_rtt = LatencyDist::Lognormal(7.6, 0.18, 3.8),
+      .gbps = 56.0,
+      .per_object_extra = LatencyDist::Normal(0.9, 0.15, 0.3),
+      .host_cpu = LatencyDist::Constant(0.0),
+  }};
+}
+
+// TCP over IPoIB: the Memcached backend. Kernel socket stack on both ends
+// dominates; effective RTT for a 4 KB get lands near 50 us, matching the
+// 65.79 us average fault latency of Fig. 3(c).
+inline Transport MakeIpoibTcpTransport() {
+  return Transport{TransportParams{
+      .name = "ipoib-tcp",
+      .base_rtt = LatencyDist::Lognormal(48.0, 0.22, 22.0),
+      .gbps = 20.0,  // IPoIB achieves a fraction of native IB bandwidth
+      .per_object_extra = LatencyDist::Normal(2.5, 0.5, 1.0),
+      .host_cpu = LatencyDist::Normal(6.0, 1.0, 2.0),
+  }};
+}
+
+}  // namespace fluid::net

@@ -1,0 +1,62 @@
+// PagedMemory: the mechanism-neutral face of a VM's memory.
+//
+// Workloads (pmbench, Graph500, the document store) run against this
+// interface so the same benchmark code measures both mechanisms:
+//   * FluidVm   — all VM memory registered with the FluidMem monitor;
+//   * SwapVm    — fixed local DRAM plus a swap block device.
+// Touch() models one memory access and returns its completion time in
+// virtual time; ReadBytes/WriteBytes move real data through whatever frame
+// currently backs the page.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fluid::paging {
+
+struct TouchResult {
+  Status status;
+  SimTime done = 0;
+  bool fault = false;        // any non-resident access
+  bool major_fault = false;  // required remote/disk data
+  bool deadlocked = false;   // Table III: KVM recursive-fault deadlock
+};
+
+class PagedMemory {
+ public:
+  virtual ~PagedMemory() = default;
+
+  virtual TouchResult Touch(VirtAddr addr, bool is_write, SimTime now) = 0;
+
+  // Data plane; the page must be resident (call Touch first).
+  virtual Status ReadBytes(VirtAddr addr, std::span<std::byte> out) = 0;
+  virtual Status WriteBytes(VirtAddr addr, std::span<const std::byte> in) = 0;
+
+  virtual std::string_view mechanism() const = 0;
+
+  // Pages currently held in local DRAM (the VM's footprint on the host).
+  virtual std::size_t ResidentPages() const = 0;
+
+  // --- convenience: access + data in one call --------------------------------
+
+  // Load `out.size()` bytes at addr (must not cross a page boundary).
+  TouchResult Load(VirtAddr addr, std::span<std::byte> out, SimTime now) {
+    TouchResult r = Touch(addr, /*is_write=*/false, now);
+    if (!r.status.ok()) return r;
+    if (Status s = ReadBytes(addr, out); !s.ok()) r.status = s;
+    return r;
+  }
+
+  TouchResult Store(VirtAddr addr, std::span<const std::byte> in,
+                    SimTime now) {
+    TouchResult r = Touch(addr, /*is_write=*/true, now);
+    if (!r.status.ok()) return r;
+    if (Status s = WriteBytes(addr, in); !s.ok()) r.status = s;
+    return r;
+  }
+};
+
+}  // namespace fluid::paging

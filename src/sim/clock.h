@@ -1,0 +1,34 @@
+// Virtual clock for the discrete-event cost model.
+//
+// The reproduction executes real data-structure operations but charges
+// *virtual* time. A SimClock only moves forward; components advance it as
+// the workload's critical path progresses. Background activity (the flush
+// thread, kswapd) is modelled on separate Timelines (see timeline.h) and
+// only intersects the clock through explicit waits.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/types.h"
+
+namespace fluid {
+
+class SimClock {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  void Advance(SimDuration d) noexcept { now_ += d; }
+
+  void AdvanceTo(SimTime t) noexcept {
+    // Monotone: waiting for something already complete costs nothing.
+    now_ = std::max(now_, t);
+  }
+
+  void Reset() noexcept { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace fluid

@@ -1,0 +1,50 @@
+// Optional event tracing.
+//
+// A Tracer records (virtual time, category, message) triples when enabled.
+// It is intentionally dumb: experiments and tests that want to assert on
+// event ordering (e.g. "eviction overlapped the network read") attach one
+// and inspect the log; production-style benchmark runs leave it disabled so
+// tracing never perturbs results.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fluid {
+
+class Tracer {
+ public:
+  struct Event {
+    SimTime at;
+    std::string category;
+    std::string message;
+  };
+
+  void Enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void Record(SimTime at, std::string_view category, std::string_view message) {
+    if (!enabled_) return;
+    events_.push_back(Event{at, std::string{category}, std::string{message}});
+  }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  void Clear() noexcept { events_.clear(); }
+
+  // Count events in a category; convenience for tests.
+  std::size_t CountCategory(std::string_view category) const noexcept {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.category == category) ++n;
+    return n;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace fluid

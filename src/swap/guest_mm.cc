@@ -1,0 +1,328 @@
+#include "swap/guest_mm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fluid::swap {
+
+GuestKernelMm::GuestKernelMm(GuestMmConfig config,
+                             blk::BlockDevice& swap_device,
+                             blk::BlockDevice& fs_device)
+    : config_(config),
+      pool_(config.dram_frames),
+      swap_(swap_device),
+      fs_(&fs_device),
+      rng_(config.seed) {}
+
+void GuestKernelMm::DefineRange(VirtAddr base, std::size_t pages,
+                                PageClass cls) {
+  base = PageAlignDown(base);
+  for (std::size_t i = 0; i < pages; ++i) {
+    GuestPage& p = pages_[PageOf(base) + i];
+    p.cls = cls;
+    if (cls == PageClass::kFile) {
+      // Each file page has a stable block on the guest's disk.
+      p.slot = next_file_block_++;
+    }
+  }
+}
+
+SimTime GuestKernelMm::TouchRange(VirtAddr base, std::size_t pages,
+                                  SimTime now) {
+  base = PageAlignDown(base);
+  for (std::size_t i = 0; i < pages; ++i) {
+    GuestAccessResult r = Access(base + i * kPageSize, /*is_write=*/false, now);
+    now = r.done;
+  }
+  return now;
+}
+
+GuestKernelMm::GuestPage* GuestKernelMm::Find(VirtAddr addr) {
+  auto it = pages_.find(PageOf(addr));
+  return it == pages_.end() ? nullptr : &it->second;
+}
+const GuestKernelMm::GuestPage* GuestKernelMm::Find(VirtAddr addr) const {
+  auto it = pages_.find(PageOf(addr));
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void GuestKernelMm::AgeActiveList() {
+  // Move a chunk of cold pages from the active tail (oldest) to the
+  // inactive list, clearing referenced bits — the second-chance feed.
+  // Linux only deactivates when the inactive list is low relative to the
+  // active list (inactive_ratio); while a use-once stream keeps inactive
+  // full, the promoted working set is never even scanned.
+  if (inactive_.size() >= active_.size() && !inactive_.empty()) return;
+  constexpr std::size_t kAgeBatch = 32;
+  for (std::size_t i = 0; i < kAgeBatch; ++i) {
+    GuestPage* p = active_.Front();
+    if (p == nullptr) return;
+    active_.Remove(*p);
+    if (p->referenced) {
+      // Recently used: rotate to the young end of the active list.
+      p->referenced = false;
+      p->on_active = true;
+      active_.PushBack(*p);
+    } else {
+      p->on_active = false;
+      inactive_.PushBack(*p);
+    }
+  }
+}
+
+bool GuestKernelMm::ShrinkInactiveOnce(SimTime& t, bool direct) {
+  // Scan the inactive list from the cold end, honouring second chances.
+  constexpr std::size_t kMaxScan = 64;
+  for (std::size_t scanned = 0; scanned < kMaxScan; ++scanned) {
+    GuestPage* p = inactive_.Front();
+    if (p == nullptr) {
+      AgeActiveList();
+      p = inactive_.Front();
+      if (p == nullptr) return false;
+    }
+    t += config_.costs.reclaim_per_page.Sample(rng_);
+    inactive_.Remove(*p);
+    if (p->referenced) {
+      // Second chance: promote back to active.
+      p->referenced = false;
+      p->on_active = true;
+      active_.PushBack(*p);
+      continue;
+    }
+
+    // Evict this page.
+    if (p->cls == PageClass::kAnon) {
+      t += config_.costs.writeback_setup.Sample(rng_);
+      auto out = swap_.WriteOut(
+          std::span<const std::byte, kPageSize>{pool_.Data(p->frame)}, t);
+      if (!out.status.ok()) {
+        // Swap full: the page is unreclaimable for now; park it on active
+        // so the scan does not spin on it.
+        p->on_active = true;
+        active_.PushBack(*p);
+        ++stats_.oom_kills;  // allocation pressure with no swap left
+        return false;
+      }
+      // Direct reclaim must wait for the writeback IO before the frame can
+      // be reused — the latency cliff of Fig. 5a. kswapd fires and forgets.
+      if (direct) t = std::max(t, out.io_complete_at);
+      p->state = GuestPage::State::kSwapped;
+      p->slot = out.slot;
+      ++stats_.swap_outs;
+    } else {  // kFile
+      if (p->dirty) {
+        t += config_.costs.writeback_setup.Sample(rng_);
+        auto io = fs_->Write(
+            p->slot,
+            std::span<const std::byte, kPageSize>{pool_.Data(p->frame)}, t);
+        if (direct) t = std::max(t, io.complete_at);
+        ++stats_.file_writebacks;
+      } else {
+        ++stats_.file_drops;
+      }
+      p->state = GuestPage::State::kOnDisk;
+    }
+    pool_.Free(p->frame);
+    p->frame = kInvalidFrame;
+    p->dirty = false;
+    return true;
+  }
+  return false;
+}
+
+std::size_t GuestKernelMm::Reclaim(std::size_t target_free, bool direct,
+                                   SimTime& now) {
+  std::size_t freed = 0;
+  SimTime t = now;
+  std::size_t stall = 0;
+  while (pool_.available() < target_free) {
+    if (ShrinkInactiveOnce(t, direct)) {
+      ++freed;
+      stall = 0;
+    } else {
+      AgeActiveList();
+      if (++stall > 4) break;  // nothing reclaimable: OOM territory
+    }
+    ++reclaim_cycles_;
+    if (reclaim_cycles_ % 8 == 0) AgeActiveList();
+  }
+  if (direct) now = t;
+  return freed;
+}
+
+StatusOr<FrameId> GuestKernelMm::AllocateFrame(SimTime& now,
+                                               bool* direct_reclaimed) {
+  const auto low = static_cast<std::size_t>(std::max(
+      4.0, config_.low_watermark_frac *
+               static_cast<double>(config_.dram_frames)));
+  const auto high = static_cast<std::size_t>(std::max(
+      8.0, config_.high_watermark_frac *
+               static_cast<double>(config_.dram_frames)));
+
+  if (pool_.available() == 0) {
+    // Direct reclaim on the faulting task's critical path.
+    ++stats_.direct_reclaims;
+    if (direct_reclaimed != nullptr) *direct_reclaimed = true;
+    Reclaim(/*target_free=*/1, /*direct=*/true, now);
+    if (pool_.available() == 0) {
+      ++stats_.oom_kills;
+      return Status::ResourceExhausted("guest OOM: nothing reclaimable");
+    }
+  } else if (pool_.available() < low) {
+    // Wake kswapd: reclaims up to the high watermark on its own timeline.
+    ++stats_.kswapd_runs;
+    SimTime kt = kswapd_.EarliestStart(now);
+    const SimTime k0 = kt;
+    Reclaim(high, /*direct=*/false, kt);
+    kswapd_.Occupy(k0, kt > k0 ? kt - k0 : 0);
+  }
+  return pool_.Allocate();
+}
+
+GuestAccessResult GuestKernelMm::Access(VirtAddr addr, bool is_write,
+                                        SimTime now) {
+  GuestAccessResult out;
+  GuestPage* p = Find(addr);
+  if (p == nullptr) {
+    out.status = Status::InvalidArgument("access outside any defined range");
+    out.done = now;
+    return out;
+  }
+
+  if (p->state == GuestPage::State::kResident) {
+    p->referenced = true;
+    if (is_write) p->dirty = true;
+    ++stats_.hits;
+    out.status = Status::Ok();
+    out.done = now + config_.costs.hit.Sample(rng_);
+    return out;
+  }
+
+  SimTime t = now + config_.costs.fault_entry.Sample(rng_);
+
+  if (p->state == GuestPage::State::kUntouched &&
+      p->cls != PageClass::kFile) {
+    // Anonymous/kernel first touch: zero-fill minor fault.
+    bool direct = false;
+    auto frame = AllocateFrame(t, &direct);
+    if (!frame.ok()) {
+      out.status = frame.status();
+      out.done = t;
+      return out;
+    }
+    std::memset(pool_.Data(*frame).data(), 0, kPageSize);
+    t += config_.costs.minor_fault.Sample(rng_);
+    p->frame = *frame;
+    p->state = GuestPage::State::kResident;
+    p->referenced = false;  // must be re-referenced to earn promotion
+    p->dirty = is_write;
+    if (p->cls == PageClass::kAnon || p->cls == PageClass::kFile) {
+      // Use-once heuristic: new pages enter the INACTIVE list and are
+      // promoted to active only if referenced again before reclaim scans
+      // them — streaming pages never make it, the working set does.
+      p->on_active = false;
+      inactive_.PushBack(*p);
+    } else {
+      ++resident_pinned_;  // kernel/unevictable: off the reclaim lists
+    }
+    ++stats_.minor_faults;
+    out.minor_fault = true;
+    out.status = Status::Ok();
+    out.done = t;
+    return out;
+  }
+
+  // Major fault: contents come from the swap device or the filesystem.
+  ++stats_.major_faults;
+  out.major_fault = true;
+  t += config_.costs.swapcache_lookup.Sample(rng_);
+  bool direct = false;
+  auto frame = AllocateFrame(t, &direct);
+  if (!frame.ok()) {
+    out.status = frame.status();
+    out.done = t;
+    return out;
+  }
+
+  t += config_.costs.block_submit.Sample(rng_);
+  t += config_.costs.virtio_host.Sample(rng_);
+  std::span<std::byte, kPageSize> dst{pool_.Data(*frame)};
+  if (p->state == GuestPage::State::kSwapped) {
+    auto io = swap_.ReadIn(p->slot, dst, t);
+    if (!io.status.ok()) {
+      pool_.Free(*frame);
+      out.status = io.status;
+      out.done = t;
+      return out;
+    }
+    t = io.io_complete_at;
+    ++stats_.swap_ins;
+  } else {
+    // kOnDisk file page, or first touch of a file page (page-cache miss).
+    auto io = fs_->Read(p->slot, dst, t);
+    if (!io.status.ok()) {
+      pool_.Free(*frame);
+      out.status = io.status;
+      out.done = t;
+      return out;
+    }
+    t = io.complete_at;
+  }
+  t += config_.costs.virtio_host.Sample(rng_);
+  t += config_.costs.page_ops.Sample(rng_);
+
+  p->frame = *frame;
+  p->state = GuestPage::State::kResident;
+  p->referenced = false;  // use-once: prove reuse before promotion
+  p->dirty = is_write;
+  if (p->cls == PageClass::kAnon || p->cls == PageClass::kFile) {
+    p->on_active = false;
+    inactive_.PushBack(*p);
+  } else {
+    ++resident_pinned_;
+  }
+  out.status = Status::Ok();
+  out.done = t;
+  return out;
+}
+
+SimTime GuestKernelMm::BalloonReclaim(std::size_t target_resident_frames,
+                                      SimTime now) {
+  SimTime t = now;
+  std::size_t stall = 0;
+  while (pool_.in_use() > target_resident_frames) {
+    if (ShrinkInactiveOnce(t, /*direct=*/true)) {
+      stall = 0;
+    } else {
+      AgeActiveList();
+      if (++stall > 4) break;  // only pinned pages remain: the balloon floor
+    }
+  }
+  return t;
+}
+
+Status GuestKernelMm::ReadBytes(VirtAddr addr, std::span<std::byte> out) const {
+  const GuestPage* p = Find(addr);
+  if (p == nullptr || p->state != GuestPage::State::kResident)
+    return Status::FailedPrecondition("page not resident");
+  const std::size_t off = addr & (kPageSize - 1);
+  if (off + out.size() > kPageSize)
+    return Status::InvalidArgument("read crosses page boundary");
+  std::memcpy(out.data(), pool_.Data(p->frame).data() + off, out.size());
+  return Status::Ok();
+}
+
+Status GuestKernelMm::WriteBytes(VirtAddr addr,
+                                 std::span<const std::byte> in) {
+  GuestPage* p = Find(addr);
+  if (p == nullptr || p->state != GuestPage::State::kResident)
+    return Status::FailedPrecondition("page not resident");
+  const std::size_t off = addr & (kPageSize - 1);
+  if (off + in.size() > kPageSize)
+    return Status::InvalidArgument("write crosses page boundary");
+  std::memcpy(pool_.Data(p->frame).data() + off, in.data(), in.size());
+  p->dirty = true;
+  return Status::Ok();
+}
+
+}  // namespace fluid::swap

@@ -1,0 +1,201 @@
+// GuestKernelMm: the guest kernel's memory manager for the swap baseline.
+//
+// This is the comparison system of the paper: a VM with a fixed local DRAM
+// allotment whose overflow goes through the Linux swap interface to a block
+// device (remote DRAM / NVMeoF / SSD). It reproduces the mechanisms whose
+// *limits* motivate FluidMem (§II):
+//
+//   * page classes — only ANONYMOUS pages are swappable. File-backed pages
+//     are written back to the filesystem (the guest's disk), and kernel or
+//     unevictable (mlocked/pinned) pages can never leave DRAM. This is
+//     partial memory disaggregation: with 1 GB of DRAM, the OS's resident
+//     kernel/pinned footprint permanently subtracts from what the
+//     application can keep local (visible in Fig. 4b).
+//   * active/inactive second-chance reclaim — kswapd runs when free memory
+//     dips below the low watermark and scans the inactive list, giving
+//     referenced pages another round; the paper credits exactly this
+//     mechanism for swap's better victim selection at scale factor 22.
+//   * direct reclaim — when an allocation finds no free frame, the faulting
+//     task reclaims synchronously, possibly waiting on dirty-page
+//     writeback; this is the latency cliff MongoDB hits in Fig. 5a.
+//   * a deeper software path per fault — swap-cache lookup, bio submission
+//     through the guest block layer, virtio to the host, O_DIRECT host IO
+//     (cache mode "none", §VI-D1) — which is why even DRAM-backed swap is
+//     slower per fault than FluidMem's DRAM backend in Fig. 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "blockdev/block_device.h"
+#include "common/dist.h"
+#include "common/histogram.h"
+#include "common/intrusive_list.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/frame_pool.h"
+#include "sim/timeline.h"
+#include "swap/swap_space.h"
+
+namespace fluid::swap {
+
+enum class PageClass : std::uint8_t {
+  kAnon,         // heap/stack: swappable
+  kFile,         // page cache / mapped files: written back to the fs, not swap
+  kKernel,       // kernel text/slab: never reclaimed
+  kUnevictable,  // mlocked / pinned: never reclaimed
+};
+
+struct SwapCostModel {
+  LatencyDist hit = LatencyDist::Normal(0.18, 0.05, 0.05);
+  // First-touch anonymous minor fault: allocate + zero + map.
+  LatencyDist minor_fault = LatencyDist::Normal(2.2, 0.4, 1.0);
+  // Guest page-fault entry, vma walk, swap-entry decode.
+  LatencyDist fault_entry = LatencyDist::Normal(2.6, 0.35, 1.2);
+  LatencyDist swapcache_lookup = LatencyDist::Normal(1.2, 0.2, 0.5);
+  // bio allocation + submission through the guest block layer.
+  LatencyDist block_submit = LatencyDist::Normal(4.5, 0.6, 2.0);
+  // virtio-blk to the host and O_DIRECT host-side processing (§VI-D1 uses
+  // cache mode "none"), paid on both submit and completion.
+  LatencyDist virtio_host = LatencyDist::Normal(7.5, 1.0, 3.5);
+  // Frame allocation, page copy, PTE install, fault return.
+  LatencyDist page_ops = LatencyDist::Normal(3.8, 0.6, 1.8);
+  // Reclaim scan cost per page looked at.
+  LatencyDist reclaim_per_page = LatencyDist::Normal(0.30, 0.05, 0.1);
+  // Setting up writeback of one dirty page.
+  LatencyDist writeback_setup = LatencyDist::Normal(2.2, 0.4, 1.0);
+};
+
+struct GuestMmConfig {
+  std::size_t dram_frames = 1024;  // the VM's local memory allotment
+  // Free-memory watermarks as page counts (Linux scales these with zone
+  // size; we take fractions of the allotment).
+  double low_watermark_frac = 0.02;
+  double high_watermark_frac = 0.05;
+  // vm.swappiness = 100 (paper §VI-D2): reclaim anon as eagerly as file.
+  int swappiness = 100;
+  SwapCostModel costs;
+  std::uint64_t seed = 11;
+};
+
+struct GuestAccessResult {
+  Status status;
+  SimTime done = 0;
+  bool major_fault = false;  // swap-in or filesystem read
+  bool minor_fault = false;  // first touch / zero-fill
+};
+
+struct GuestMmStats {
+  std::uint64_t hits = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t swap_ins = 0;
+  std::uint64_t swap_outs = 0;
+  std::uint64_t file_writebacks = 0;
+  std::uint64_t file_drops = 0;
+  std::uint64_t kswapd_runs = 0;
+  std::uint64_t direct_reclaims = 0;
+  std::uint64_t oom_kills = 0;
+};
+
+class GuestKernelMm {
+ public:
+  GuestKernelMm(GuestMmConfig config, blk::BlockDevice& swap_device,
+                blk::BlockDevice& fs_device);
+
+  GuestKernelMm(const GuestKernelMm&) = delete;
+  GuestKernelMm& operator=(const GuestKernelMm&) = delete;
+
+  // Declare an address range with a page class. Pages materialise on first
+  // touch; kernel/unevictable ranges can be pre-faulted with TouchRange.
+  void DefineRange(VirtAddr base, std::size_t pages, PageClass cls);
+
+  // Fault-in a whole range (used to model boot: the kernel's own footprint
+  // becomes resident before the workload starts).
+  SimTime TouchRange(VirtAddr base, std::size_t pages, SimTime now);
+
+  // One guest memory access.
+  GuestAccessResult Access(VirtAddr addr, bool is_write, SimTime now);
+
+  // Data plane (page must be resident; Access() first).
+  Status ReadBytes(VirtAddr addr, std::span<std::byte> out) const;
+  Status WriteBytes(VirtAddr addr, std::span<const std::byte> in);
+
+  // Balloon driver support (Table III): inflating the balloon pins pages
+  // inside the guest, forcing reclaim of everything else. The achievable
+  // floor is limited by the pinned footprint — the paper measured 64.75 MB
+  // (20480 pages) as the balloon's maximum. Returns when reclaim finished;
+  // ResidentFrames() afterwards reports the achieved footprint.
+  SimTime BalloonReclaim(std::size_t target_resident_frames, SimTime now);
+
+  // Override the resident-access cost (see vm::FluidVm::SetHitCost).
+  void SetHitCost(LatencyDist d) noexcept { config_.costs.hit = d; }
+
+  std::size_t ResidentFrames() const noexcept { return pool_.in_use(); }
+  std::size_t FreeFrames() const noexcept { return pool_.available(); }
+  std::size_t ResidentPinned() const noexcept { return resident_pinned_; }
+  const GuestMmStats& stats() const noexcept { return stats_; }
+  const SwapSpace& swap() const noexcept { return swap_; }
+
+ private:
+  struct GuestPage : ListNode {
+    PageClass cls = PageClass::kAnon;
+    enum class State : std::uint8_t {
+      kUntouched,
+      kResident,
+      kSwapped,   // anon, contents in a swap slot
+      kOnDisk,    // file, contents back on the filesystem
+    } state = State::kUntouched;
+    FrameId frame = kInvalidFrame;
+    blk::BlockNum slot = 0;   // swap slot or file block
+    bool dirty = false;
+    bool referenced = false;
+    bool on_active = false;   // which LRU list the page sits on
+  };
+
+  GuestPage* Find(VirtAddr addr);
+  const GuestPage* Find(VirtAddr addr) const;
+
+  // Allocate a frame; runs kswapd/direct reclaim as the watermarks demand.
+  // Returns the allocation completion time via `now` (in/out).
+  StatusOr<FrameId> AllocateFrame(SimTime& now, bool* direct_reclaimed);
+
+  // Reclaim until free >= target_free. If `direct`, the cost lands on the
+  // caller's clock (`now` advances); otherwise it runs on the kswapd
+  // timeline. Returns frames freed.
+  std::size_t Reclaim(std::size_t target_free, bool direct, SimTime& now);
+
+  // Evict one reclaimable page from the inactive tail (second chance).
+  // Returns true if a frame was freed; advances `t` by the reclaim work.
+  bool ShrinkInactiveOnce(SimTime& t, bool direct);
+
+  void AgeActiveList();
+
+  SimDuration DeviceRoundTrip(blk::BlockDevice& dev, bool is_read,
+                              std::span<std::byte, kPageSize> rbuf,
+                              std::span<const std::byte, kPageSize> wbuf,
+                              blk::BlockNum block, SimTime now,
+                              SimTime* complete);
+
+  GuestMmConfig config_;
+  mem::FramePool pool_;
+  SwapSpace swap_;
+  blk::BlockDevice* fs_;
+  Rng rng_;
+  Timeline kswapd_;
+
+  std::unordered_map<PageNum, GuestPage> pages_;
+  IntrusiveList<GuestPage> active_;
+  IntrusiveList<GuestPage> inactive_;
+  std::size_t resident_pinned_ = 0;
+  std::uint64_t reclaim_cycles_ = 0;
+  blk::BlockNum next_file_block_ = 0;
+
+  GuestMmStats stats_;
+  alignas(16) std::array<std::byte, kPageSize> iobuf_{};
+};
+
+}  // namespace fluid::swap

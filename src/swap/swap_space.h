@@ -1,0 +1,72 @@
+// SwapSpace: swap-slot management over a block device.
+//
+// The swap baseline (Infiniswap-style network swap, §II and §VI-A) places a
+// block device — DRAM pmem, an NVMeoF target, or an SSD partition — behind
+// the kernel swap interface. SwapSpace owns the slot allocator and the
+// mapping discipline: a page's slot is assigned at swap-out and freed at
+// swap-in (no swap-cache retention, readahead disabled as in §VI-D2's
+// configuration).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fluid::swap {
+
+class SwapSpace {
+ public:
+  explicit SwapSpace(blk::BlockDevice& device)
+      : device_(&device), free_slots_() {
+    free_slots_.reserve(device.capacity_blocks());
+    for (std::size_t i = device.capacity_blocks(); i-- > 0;)
+      free_slots_.push_back(static_cast<blk::BlockNum>(i));
+  }
+
+  SwapSpace(const SwapSpace&) = delete;
+  SwapSpace& operator=(const SwapSpace&) = delete;
+
+  std::size_t FreeSlots() const noexcept { return free_slots_.size(); }
+  std::size_t Capacity() const noexcept { return device_->capacity_blocks(); }
+  std::size_t UsedSlots() const noexcept {
+    return Capacity() - free_slots_.size();
+  }
+
+  // Write a page out; returns the slot and the IO completion time.
+  struct SwapOut {
+    Status status;
+    blk::BlockNum slot = 0;
+    SimTime io_complete_at = 0;
+  };
+  SwapOut WriteOut(std::span<const std::byte, kPageSize> page, SimTime now) {
+    if (free_slots_.empty())
+      return {Status::ResourceExhausted("swap space full"), 0, now};
+    const blk::BlockNum slot = free_slots_.back();
+    free_slots_.pop_back();
+    auto io = device_->Write(slot, page, now);
+    return {io.status, slot, io.complete_at};
+  }
+
+  // Read a page back in and release its slot.
+  struct SwapIn {
+    Status status;
+    SimTime io_complete_at = 0;
+  };
+  SwapIn ReadIn(blk::BlockNum slot, std::span<std::byte, kPageSize> out,
+                SimTime now) {
+    auto io = device_->Read(slot, out, now);
+    free_slots_.push_back(slot);
+    return {io.status, io.complete_at};
+  }
+
+  blk::BlockDevice& device() noexcept { return *device_; }
+
+ private:
+  blk::BlockDevice* device_;
+  std::vector<blk::BlockNum> free_slots_;
+};
+
+}  // namespace fluid::swap

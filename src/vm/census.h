@@ -1,0 +1,83 @@
+// Guest OS page census and address-space layout.
+//
+// Table III of the paper measures a freshly-booted VM at 81042 resident
+// pages (316.57 MB). The census splits that footprint into the page classes
+// whose *reclaim* treatment differs (§II): kernel pages and unevictable
+// pages can never be swapped; file-backed pages (executables, page cache)
+// write back to the guest's own disk, not to the swap device; only
+// anonymous pages reach remote memory through swap. FluidMem, by contrast,
+// treats all of them as plain uffd pages.
+//
+// The exact split is not published; we use a breakdown representative of a
+// minimal CentOS 7 guest (documented substitution, DESIGN.md §1):
+// 12 % kernel, 52 % file-backed (page cache + binaries), 30 % anonymous
+// (daemon heaps), 6 % unevictable — consistent with Table III's balloon
+// experiment, where the balloon reclaims down to 64.75 MB, so the pinned
+// floor must sit below 20480 pages. A small
+// "hot" fraction of the OS footprint is re-touched periodically by
+// background daemons; the rest goes cold after boot — that cold majority is
+// precisely what FluidMem pushes to remote memory and swap cannot (Fig. 4b).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace fluid::vm {
+
+struct OsCensus {
+  std::size_t kernel_pages = 0;
+  std::size_t file_pages = 0;
+  std::size_t anon_pages = 0;
+  std::size_t unevictable_pages = 0;
+
+  constexpr std::size_t TotalPages() const noexcept {
+    return kernel_pages + file_pages + anon_pages + unevictable_pages;
+  }
+  constexpr std::size_t PinnedPages() const noexcept {
+    return kernel_pages + unevictable_pages;
+  }
+};
+
+// The paper's boot footprint, scaled down by `divisor` (see DESIGN.md §4 on
+// scale substitution). divisor=1 reproduces Table III's 81042 pages.
+constexpr OsCensus MakeBootCensus(std::size_t divisor = 1) noexcept {
+  const std::size_t total = 81042 / (divisor == 0 ? 1 : divisor);
+  OsCensus c;
+  c.kernel_pages = total * 12 / 100;
+  c.file_pages = total * 52 / 100;
+  c.anon_pages = total * 30 / 100;
+  c.unevictable_pages = total - c.kernel_pages - c.file_pages - c.anon_pages;
+  return c;
+}
+
+// Address-space layout of a VM: OS ranges first, application heap after.
+// All addresses are guest-virtual as seen by the faulting QEMU process.
+struct VmLayout {
+  VirtAddr kernel_base = 0;
+  VirtAddr unevictable_base = 0;
+  VirtAddr os_anon_base = 0;
+  VirtAddr os_file_base = 0;
+  VirtAddr app_base = 0;
+  std::size_t app_pages = 0;
+  std::size_t total_pages = 0;
+
+  VirtAddr AppAddr(std::size_t page_index) const noexcept {
+    return app_base + page_index * kPageSize;
+  }
+};
+
+constexpr VmLayout MakeLayout(const OsCensus& census, std::size_t app_pages,
+                              VirtAddr base = 0x7f0000000000ULL) noexcept {
+  VmLayout l;
+  l.kernel_base = base;
+  l.unevictable_base = l.kernel_base + census.kernel_pages * kPageSize;
+  l.os_anon_base = l.unevictable_base + census.unevictable_pages * kPageSize;
+  l.os_file_base = l.os_anon_base + census.anon_pages * kPageSize;
+  l.app_base = l.os_file_base + census.file_pages * kPageSize;
+  l.app_pages = app_pages;
+  l.total_pages = census.TotalPages() + app_pages;
+  return l;
+}
+
+}  // namespace fluid::vm

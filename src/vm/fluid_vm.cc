@@ -1,0 +1,98 @@
+#include "vm/fluid_vm.h"
+
+namespace fluid::vm {
+
+paging::TouchResult FluidVm::Touch(VirtAddr addr, bool is_write, SimTime now) {
+  paging::TouchResult out;
+  const fm::MonitorCostModel& costs = costs_;
+  mem::AccessResult a = region_.Access(addr, is_write);
+  switch (a.kind) {
+    case mem::AccessKind::kHit:
+      out.status = Status::Ok();
+      out.done = now + costs.hit.Sample(rng_);
+      return out;
+    case mem::AccessKind::kMinorZero:
+      // Zero-page write upgrade, resolved in-kernel without the monitor.
+      out.status = Status::Ok();
+      out.done = now + costs.minor_zero_fault.Sample(rng_);
+      out.fault = true;
+      return out;
+    case mem::AccessKind::kUffdFault: {
+      out.fault = true;
+      fm::FaultOutcome f = monitor_->HandleFault(region_id_, addr, now);
+      if (f.deadlocked) {
+        out.deadlocked = true;
+        out.status = f.status;
+        out.done = f.wake_at;
+        return out;
+      }
+      if (!f.status.ok()) {
+        out.status = f.status;
+        out.done = f.wake_at;
+        return out;
+      }
+      out.major_fault = !f.first_access;
+      // The vCPU retries the access after wake; it now hits the installed
+      // page (or takes the in-kernel zero-page upgrade for writes).
+      SimTime t = f.wake_at;
+      mem::AccessResult retry = region_.Access(addr, is_write);
+      switch (retry.kind) {
+        case mem::AccessKind::kHit:
+          t += costs.hit.Sample(rng_);
+          break;
+        case mem::AccessKind::kMinorZero:
+          t += costs.minor_zero_fault.Sample(rng_);
+          break;
+        case mem::AccessKind::kUffdFault:
+          // Should not happen: the monitor just installed the page.
+          out.status = Status::Internal("fault after resolution");
+          out.done = t;
+          return out;
+      }
+      out.status = Status::Ok();
+      out.done = t;
+      return out;
+    }
+  }
+  out.status = Status::Internal("unreachable");
+  out.done = now;
+  return out;
+}
+
+SimTime FluidVm::BootOs(SimTime now) {
+  // Touch every OS page once. Kernel and unevictable pages are written
+  // (they hold live data structures); file pages are read (text segments);
+  // OS anonymous pages are written (daemon heaps).
+  auto touch_range = [&](VirtAddr base, std::size_t pages, bool write) {
+    for (std::size_t i = 0; i < pages; ++i) {
+      paging::TouchResult r = Touch(base + i * kPageSize, write, now);
+      now = r.done;
+    }
+  };
+  touch_range(layout_.kernel_base, census_.kernel_pages, /*write=*/true);
+  touch_range(layout_.unevictable_base, census_.unevictable_pages, true);
+  touch_range(layout_.os_anon_base, census_.anon_pages, true);
+  touch_range(layout_.os_file_base, census_.file_pages, /*write=*/false);
+  return now;
+}
+
+SimTime FluidVm::OsJitter(SimTime now, double hot_fraction) {
+  // Daemons and timers re-touch a deterministic "hot" slice of the OS
+  // footprint: the first hot_fraction of each range (boot order makes the
+  // early pages the long-lived daemons).
+  auto touch_head = [&](VirtAddr base, std::size_t pages, bool write) {
+    const auto hot = static_cast<std::size_t>(
+        hot_fraction * static_cast<double>(pages));
+    for (std::size_t i = 0; i < hot; ++i) {
+      paging::TouchResult r = Touch(base + i * kPageSize, write, now);
+      now = r.done;
+    }
+  };
+  touch_head(layout_.kernel_base, census_.kernel_pages, true);
+  touch_head(layout_.unevictable_base, census_.unevictable_pages, true);
+  touch_head(layout_.os_anon_base, census_.anon_pages, true);
+  touch_head(layout_.os_file_base, census_.file_pages, false);
+  return now;
+}
+
+}  // namespace fluid::vm

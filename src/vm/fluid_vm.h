@@ -1,0 +1,102 @@
+// FluidVm: an unmodified VM whose entire memory is registered with the
+// FluidMem monitor (the right-hand VM of Fig. 1).
+//
+// The VM's guest-physical memory is one userfaultfd region inside the QEMU
+// process; every class of guest page — kernel, file-backed, anonymous,
+// mlocked — faults through the monitor identically, which is what makes the
+// disaggregation *full*. The local DRAM footprint is whatever the monitor's
+// LRU allows, independent of the VM's configured memory size, and memory
+// hotplug simply extends the registered region.
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+#include "paging/paged_memory.h"
+#include "vm/census.h"
+
+namespace fluid::vm {
+
+class FluidVm final : public paging::PagedMemory {
+ public:
+  // `pool` is the hypervisor's frame pool (shared with the monitor's
+  // zero-copy buffers); `monitor` may serve several FluidVms.
+  FluidVm(const OsCensus& census, std::size_t app_pages,
+          fm::Monitor& monitor, mem::FramePool& pool, ProcessId pid,
+          PartitionId partition, std::uint64_t seed = 21)
+      : census_(census),
+        layout_(MakeLayout(census, app_pages)),
+        region_(pid, layout_.kernel_base, layout_.total_pages, pool),
+        monitor_(&monitor),
+        rng_(seed) {
+    region_id_ = monitor_->RegisterRegion(region_, partition);
+  }
+
+  // --- PagedMemory -------------------------------------------------------------
+
+  paging::TouchResult Touch(VirtAddr addr, bool is_write,
+                            SimTime now) override;
+  Status ReadBytes(VirtAddr addr, std::span<std::byte> out) override {
+    return region_.ReadBytes(addr, out);
+  }
+  Status WriteBytes(VirtAddr addr, std::span<const std::byte> in) override {
+    return region_.WriteBytes(addr, in);
+  }
+  std::string_view mechanism() const override { return "fluidmem"; }
+  std::size_t ResidentPages() const override { return region_.PresentPages(); }
+
+  // --- VM lifecycle --------------------------------------------------------------
+
+  // Boot: the OS touches its whole footprint once (kernel init, daemons,
+  // page-cache fill). Returns the boot completion time.
+  SimTime BootOs(SimTime now);
+
+  // Background OS activity: re-touch a hot fraction of the OS working set.
+  SimTime OsJitter(SimTime now, double hot_fraction = 0.05);
+
+  // Memory hotplug (paper §III / Fig. 1 left VM): grow the VM.
+  void HotplugAdd(std::size_t extra_pages) {
+    region_.Expand(extra_pages);
+    layout_.app_pages += extra_pages;
+    layout_.total_pages += extra_pages;
+  }
+
+  // Provider-side footprint control: resize the monitor's LRU.
+  SimTime SetLocalFootprint(std::size_t pages, SimTime now) {
+    return monitor_->SetLruCapacity(pages, now);
+  }
+
+  SimTime Shutdown(SimTime now) {
+    (void)monitor_->UnregisterRegion(region_id_, now);
+    return now;
+  }
+
+  // Workloads that model their own per-access CPU (Graph500 charges
+  // cpu_ns_per_edge) override the resident-access cost: a cached in-guest
+  // access is nanoseconds, unlike pmbench's measured ~0.2 us per request.
+  void SetHitCost(LatencyDist d) noexcept {
+    costs_.hit = d;
+    costs_.minor_zero_fault = d;  // scaled the same way
+  }
+
+  const VmLayout& layout() const noexcept { return layout_; }
+  const OsCensus& census() const noexcept { return census_; }
+  fm::Monitor& monitor() noexcept { return *monitor_; }
+  mem::UffdRegion& region() noexcept { return region_; }
+  fm::RegionId region_id() const noexcept { return region_id_; }
+
+ private:
+  OsCensus census_;
+  VmLayout layout_;
+  mem::UffdRegion region_;
+  fm::Monitor* monitor_;
+  fm::RegionId region_id_ = 0;
+  Rng rng_;
+  // Guest-side access costs (hit, in-kernel zero-page upgrade).
+  fm::MonitorCostModel costs_;
+};
+
+}  // namespace fluid::vm

@@ -1,0 +1,178 @@
+// HybridVm: the LEFT-hand VM of the paper's Figure 1 — "a normal VM can
+// add extra FluidMem memory via memory hotplug".
+//
+// The VM boots with ordinary hypervisor DRAM (its base memory is managed by
+// the host kernel like any process memory: always resident, never passes
+// through the monitor) and later hot-adds a DIMM whose backing is a
+// FluidMem-registered region. The guest kernel sees one flat physical
+// address space; only accesses beyond the base trap to the monitor. This is
+// the incremental-adoption deployment: providers can bolt remote memory
+// onto running VMs without re-provisioning them, at the cost of the base
+// memory being pinned (only the hotplugged part is disaggregated — partial
+// by construction, which is why the right-hand VM exists).
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+#include "paging/paged_memory.h"
+#include "vm/census.h"
+
+namespace fluid::vm {
+
+class HybridVm final : public paging::PagedMemory {
+ public:
+  // The VM boots with `base_pages` of plain DRAM (the census must fit in
+  // it — a normal VM boots from local memory). Hot-added memory starts at
+  // zero pages; call HotplugAdd().
+  HybridVm(const OsCensus& census, std::size_t base_pages,
+           fm::Monitor& monitor, mem::FramePool& pool, ProcessId pid,
+           PartitionId partition, std::uint64_t seed = 23)
+      : census_(census),
+        layout_(MakeLayout(census, 0)),
+        base_pages_(base_pages),
+        base_resident_(base_pages, false),
+        // The FluidMem region covers the hotplug area only, which begins
+        // right after the base memory.
+        region_(pid, layout_.kernel_base + base_pages * kPageSize,
+                /*page_count=*/0, pool),
+        monitor_(&monitor),
+        rng_(seed) {
+    region_id_ = monitor_->RegisterRegion(region_, partition);
+  }
+
+  // --- PagedMemory -------------------------------------------------------------
+
+  paging::TouchResult Touch(VirtAddr addr, bool is_write,
+                            SimTime now) override {
+    if (InBase(addr)) {
+      // Plain kernel-managed DRAM: first touch is an ordinary minor fault,
+      // later accesses are hits; the monitor never sees it.
+      paging::TouchResult r;
+      const std::size_t idx = BaseIndex(addr);
+      if (!base_resident_[idx]) {
+        base_resident_[idx] = true;
+        ++base_resident_count_;
+        r.fault = true;
+        r.done = now + costs_.minor_zero_fault.Sample(rng_);
+      } else {
+        r.done = now + costs_.hit.Sample(rng_);
+      }
+      r.status = Status::Ok();
+      return r;
+    }
+    if (!region_.Contains(PageAlignDown(addr))) {
+      return paging::TouchResult{
+          Status::InvalidArgument("beyond hotplugged memory"), now};
+    }
+    return FluidTouch(addr, is_write, now);
+  }
+
+  Status ReadBytes(VirtAddr addr, std::span<std::byte> out) override {
+    if (InBase(addr)) {
+      // Base memory contents are modelled as zero unless shadowed; workloads
+      // that need data integrity run in the hotplug range. Keep semantics
+      // simple: reads return zeroes.
+      std::fill(out.begin(), out.end(), std::byte{0});
+      return Status::Ok();
+    }
+    return region_.ReadBytes(addr, out);
+  }
+  Status WriteBytes(VirtAddr addr, std::span<const std::byte> in) override {
+    if (InBase(addr))
+      return Status::FailedPrecondition(
+          "base-memory data plane not modelled; use the hotplug range");
+    return region_.WriteBytes(addr, in);
+  }
+
+  std::string_view mechanism() const override { return "fluidmem-hybrid"; }
+  std::size_t ResidentPages() const override {
+    return base_resident_count_ + region_.PresentPages();
+  }
+
+  // --- lifecycle -----------------------------------------------------------------
+
+  SimTime BootOs(SimTime now) {
+    // The whole OS census boots inside base memory (ordinary minor faults).
+    for (std::size_t i = 0; i < census_.TotalPages() && i < base_pages_; ++i)
+      now = Touch(layout_.kernel_base + i * kPageSize, true, now).done;
+    return now;
+  }
+
+  // Hot-add `pages` of FluidMem-backed memory (Fig. 1 left VM).
+  void HotplugAdd(std::size_t pages) {
+    region_.Expand(pages);
+    hotplug_pages_ += pages;
+  }
+
+  std::size_t base_pages() const noexcept { return base_pages_; }
+  std::size_t hotplug_pages() const noexcept { return hotplug_pages_; }
+  VirtAddr hotplug_base() const noexcept { return region_.base(); }
+  fm::Monitor& monitor() noexcept { return *monitor_; }
+  fm::RegionId region_id() const noexcept { return region_id_; }
+  const VmLayout& layout() const noexcept { return layout_; }
+
+ private:
+  bool InBase(VirtAddr addr) const noexcept {
+    return addr >= layout_.kernel_base &&
+           addr < layout_.kernel_base + base_pages_ * kPageSize;
+  }
+  std::size_t BaseIndex(VirtAddr addr) const noexcept {
+    return (PageAlignDown(addr) - layout_.kernel_base) / kPageSize;
+  }
+
+  paging::TouchResult FluidTouch(VirtAddr addr, bool is_write, SimTime now) {
+    paging::TouchResult out;
+    mem::AccessResult a = region_.Access(addr, is_write);
+    switch (a.kind) {
+      case mem::AccessKind::kHit:
+        out.status = Status::Ok();
+        out.done = now + costs_.hit.Sample(rng_);
+        return out;
+      case mem::AccessKind::kMinorZero:
+        out.status = Status::Ok();
+        out.done = now + costs_.minor_zero_fault.Sample(rng_);
+        out.fault = true;
+        return out;
+      case mem::AccessKind::kUffdFault: {
+        out.fault = true;
+        fm::FaultOutcome f = monitor_->HandleFault(region_id_, addr, now);
+        out.deadlocked = f.deadlocked;
+        if (!f.status.ok()) {
+          out.status = f.status;
+          out.done = f.wake_at;
+          return out;
+        }
+        out.major_fault = !f.first_access;
+        SimTime t = f.wake_at;
+        mem::AccessResult retry = region_.Access(addr, is_write);
+        t += (retry.kind == mem::AccessKind::kMinorZero
+                  ? costs_.minor_zero_fault.Sample(rng_)
+                  : costs_.hit.Sample(rng_));
+        out.status = Status::Ok();
+        out.done = t;
+        return out;
+      }
+    }
+    out.status = Status::Internal("unreachable");
+    out.done = now;
+    return out;
+  }
+
+  OsCensus census_;
+  VmLayout layout_;
+  std::size_t base_pages_;
+  std::vector<bool> base_resident_;
+  std::size_t base_resident_count_ = 0;
+  std::size_t hotplug_pages_ = 0;
+  mem::UffdRegion region_;
+  fm::Monitor* monitor_;
+  fm::RegionId region_id_ = 0;
+  Rng rng_;
+  fm::MonitorCostModel costs_;
+};
+
+}  // namespace fluid::vm

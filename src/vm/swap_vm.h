@@ -1,0 +1,117 @@
+// SwapVm: the comparison VM — fixed local DRAM plus remote paging through
+// the Linux swap interface (Infiniswap-style, §II and §VI-A).
+//
+// The VM's guest kernel manages residency itself (GuestKernelMm): only
+// anonymous pages can reach the swap block device; file-backed pages write
+// back to the guest's disk; kernel/unevictable pages are stuck in DRAM.
+// A balloon driver is available for provider-initiated shrinking, with the
+// cooperation requirement and the 64 MB floor Table III measures.
+#pragma once
+
+#include <string_view>
+
+#include "blockdev/block_device.h"
+#include "paging/paged_memory.h"
+#include "swap/guest_mm.h"
+#include "vm/census.h"
+
+namespace fluid::vm {
+
+class SwapVm final : public paging::PagedMemory {
+ public:
+  // `dram_frames`: the VM's local memory allotment. `swap_device` is the
+  // medium under comparison; `fs_device` is the guest's own disk (always
+  // SSD in the paper's testbed).
+  SwapVm(const OsCensus& census, std::size_t app_pages,
+         std::size_t dram_frames, blk::BlockDevice& swap_device,
+         blk::BlockDevice& fs_device,
+         swap::SwapCostModel costs = {}, std::uint64_t seed = 22)
+      : census_(census), layout_(MakeLayout(census, app_pages)),
+        mm_(swap::GuestMmConfig{.dram_frames = dram_frames,
+                                .costs = costs,
+                                .seed = seed},
+            swap_device, fs_device) {
+    mm_.DefineRange(layout_.kernel_base, census.kernel_pages,
+                    swap::PageClass::kKernel);
+    mm_.DefineRange(layout_.unevictable_base, census.unevictable_pages,
+                    swap::PageClass::kUnevictable);
+    mm_.DefineRange(layout_.os_anon_base, census.anon_pages,
+                    swap::PageClass::kAnon);
+    mm_.DefineRange(layout_.os_file_base, census.file_pages,
+                    swap::PageClass::kFile);
+    mm_.DefineRange(layout_.app_base, app_pages, swap::PageClass::kAnon);
+  }
+
+  // --- PagedMemory -------------------------------------------------------------
+
+  paging::TouchResult Touch(VirtAddr addr, bool is_write,
+                            SimTime now) override {
+    swap::GuestAccessResult r = mm_.Access(addr, is_write, now);
+    paging::TouchResult out;
+    out.status = r.status;
+    out.done = r.done;
+    out.fault = r.minor_fault || r.major_fault;
+    out.major_fault = r.major_fault;
+    return out;
+  }
+  Status ReadBytes(VirtAddr addr, std::span<std::byte> out) override {
+    return mm_.ReadBytes(addr, out);
+  }
+  Status WriteBytes(VirtAddr addr, std::span<const std::byte> in) override {
+    return mm_.WriteBytes(addr, in);
+  }
+  std::string_view mechanism() const override { return "swap"; }
+  std::size_t ResidentPages() const override { return mm_.ResidentFrames(); }
+
+  // --- VM lifecycle --------------------------------------------------------------
+
+  SimTime BootOs(SimTime now) {
+    now = mm_.TouchRange(layout_.kernel_base, census_.kernel_pages, now);
+    now = mm_.TouchRange(layout_.unevictable_base, census_.unevictable_pages,
+                         now);
+    now = mm_.TouchRange(layout_.os_anon_base, census_.anon_pages, now);
+    now = mm_.TouchRange(layout_.os_file_base, census_.file_pages, now);
+    return now;
+  }
+
+  SimTime OsJitter(SimTime now, double hot_fraction = 0.05) {
+    auto touch_head = [&](VirtAddr base, std::size_t pages, bool write) {
+      const auto hot = static_cast<std::size_t>(
+          hot_fraction * static_cast<double>(pages));
+      for (std::size_t i = 0; i < hot; ++i) {
+        auto r = mm_.Access(base + i * kPageSize, write, now);
+        now = r.done;
+      }
+    };
+    touch_head(layout_.kernel_base, census_.kernel_pages, true);
+    touch_head(layout_.unevictable_base, census_.unevictable_pages, true);
+    touch_head(layout_.os_anon_base, census_.anon_pages, true);
+    touch_head(layout_.os_file_base, census_.file_pages, false);
+    return now;
+  }
+
+  // Balloon inflate: provider asks the guest driver to return pages.
+  // Requires guest cooperation (that is the point of Table III's row 2),
+  // and the driver itself caps how far it can deflate the guest: the paper
+  // measured a 20480-page (64.75 MB) floor. `driver_floor_pages` scales
+  // with the census divisor in scaled testbeds.
+  SimTime BalloonInflate(std::size_t target_resident_pages, SimTime now,
+                         std::size_t driver_floor_pages = 20480) {
+    return mm_.BalloonReclaim(
+        std::max(target_resident_pages, driver_floor_pages), now);
+  }
+
+  // See FluidVm::SetHitCost.
+  void SetHitCost(LatencyDist d) noexcept { mm_.SetHitCost(d); }
+
+  const VmLayout& layout() const noexcept { return layout_; }
+  const OsCensus& census() const noexcept { return census_; }
+  swap::GuestKernelMm& mm() noexcept { return mm_; }
+
+ private:
+  OsCensus census_;
+  VmLayout layout_;
+  swap::GuestKernelMm mm_;
+};
+
+}  // namespace fluid::vm

@@ -1,0 +1,256 @@
+#include "workloads/docstore.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace fluid::wl {
+
+DocStore::DocStore(DocstoreConfig config, paging::PagedMemory& memory,
+                   blk::BlockDevice& disk)
+    : config_(config),
+      memory_(&memory),
+      disk_(&disk),
+      rng_(config.seed),
+      cache_slots_(config.cache_bytes / config.record_bytes),
+      records_per_block_(kPageSize / config.record_bytes) {
+  free_slots_.reserve(cache_slots_);
+  for (std::size_t i = cache_slots_; i-- > 0;) free_slots_.push_back(i);
+  pc_free_.reserve(config_.pagecache_pages);
+  for (std::size_t i = config_.pagecache_pages; i-- > 0;)
+    pc_free_.push_back(i);
+}
+
+SimTime DocStore::Load(SimTime now) {
+  // Write every record's block once; records are stamped with their id so
+  // reads can be verified end to end.
+  std::array<std::byte, kPageSize> block{};
+  const std::size_t blocks =
+      (config_.record_count + records_per_block_ - 1) / records_per_block_;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t r = 0; r < records_per_block_; ++r) {
+      const std::uint64_t id = b * records_per_block_ + r;
+      std::memcpy(block.data() + r * config_.record_bytes, &id, 8);
+    }
+    auto io = disk_->Write(b, block, now);
+    now = io.complete_at;
+  }
+  return now;
+}
+
+DocStore::ReadResult DocStore::Read(std::uint64_t record_id, SimTime now) {
+  ReadResult out;
+  if (record_id >= config_.record_count) {
+    out.status = Status::InvalidArgument("record id out of range");
+    out.done = now;
+    return out;
+  }
+
+  now += config_.server_op.Sample(rng_);
+
+  // Index descent: the b-tree root stays hot; the leaf page depends on the
+  // key. Then a few mongod heap pages (BSON scratch, session state) — all
+  // of them ordinary VM memory that may fault under memory pressure.
+  {
+    paging::TouchResult t =
+        memory_->Touch(IndexBase(), /*is_write=*/false, now);
+    if (!t.status.ok()) return ReadResult{t.status, t.done, false};
+    now = t.done;
+    const VirtAddr leaf =
+        IndexBase() + kPageSize + (record_id * 8 / kPageSize) * kPageSize;
+    t = memory_->Touch(leaf, /*is_write=*/false, now);
+    if (!t.status.ok()) return ReadResult{t.status, t.done, false};
+    now = t.done;
+    for (std::size_t i = 0; i < config_.heap_touches_per_op; ++i) {
+      heap_cursor_ = (heap_cursor_ + 37) % config_.heap_pages;
+      t = memory_->Touch(HeapBase() + heap_cursor_ * kPageSize,
+                         /*is_write=*/true, now);
+      if (!t.status.ok()) return ReadResult{t.status, t.done, false};
+      now = t.done;
+    }
+  }
+
+  auto it = slot_of_.find(record_id);
+  if (it != slot_of_.end()) {
+    // Cache hit: the record lives in the cache arena — touching it may
+    // still page-fault, which is the whole point of Fig. 5.
+    ++hits_;
+    out.cache_hit = true;
+    paging::TouchResult t =
+        memory_->Touch(SlotAddr(it->second), /*is_write=*/false, now);
+    if (!t.status.ok()) {
+      out.status = t.status;
+      out.done = t.done;
+      return out;
+    }
+    now = t.done;
+    lru_.splice(lru_.begin(), lru_, lru_pos_[record_id]);
+    out.status = Status::Ok();
+    out.done = now;
+    return out;
+  }
+
+  // Miss in the WT cache: first try the guest's filesystem page cache —
+  // native memory (possibly remote under FluidMem), no disk IO — then the
+  // disk.
+  ++misses_;
+  const blk::BlockNum bnum = BlockOf(record_id);
+  std::array<std::byte, kPageSize> block;
+  auto pc_it = pc_slot_of_.find(bnum);
+  if (pc_it != pc_slot_of_.end()) {
+    ++pc_hits_;
+    paging::TouchResult t = memory_->Touch(
+        PageCacheBase() + pc_it->second * kPageSize, /*is_write=*/false, now);
+    if (!t.status.ok()) {
+      out.status = t.status;
+      out.done = t.done;
+      return out;
+    }
+    now = t.done + config_.pagecache_cpu.Sample(rng_);
+    pc_lru_.splice(pc_lru_.begin(), pc_lru_, pc_pos_[bnum]);
+    // Contents still come from the disk model (the pc arena's bytes are
+    // not separately stored); the stamp check below validates the mapping.
+    if (Status s = disk_->Peek(bnum, block); !s.ok()) {
+      out.status = s;
+      out.done = now;
+      return out;
+    }
+  } else {
+    auto io = disk_->Read(bnum, block, now);
+    if (!io.status.ok()) {
+      out.status = io.status;
+      out.done = io.complete_at;
+      return out;
+    }
+    now = io.complete_at + config_.miss_cpu.Sample(rng_);
+    // Install the block into the guest page cache.
+    if (config_.pagecache_pages > 0) {
+      std::size_t pc_slot;
+      if (!pc_free_.empty()) {
+        pc_slot = pc_free_.back();
+        pc_free_.pop_back();
+      } else {
+        const blk::BlockNum victim = pc_lru_.back();
+        pc_lru_.pop_back();
+        pc_pos_.erase(victim);
+        auto vit = pc_slot_of_.find(victim);
+        pc_slot = vit->second;
+        pc_slot_of_.erase(vit);
+      }
+      paging::TouchResult t = memory_->Touch(
+          PageCacheBase() + pc_slot * kPageSize, /*is_write=*/true, now);
+      if (!t.status.ok()) {
+        out.status = t.status;
+        out.done = t.done;
+        return out;
+      }
+      now = t.done;
+      pc_slot_of_[bnum] = pc_slot;
+      pc_lru_.push_front(bnum);
+      pc_pos_[bnum] = pc_lru_.begin();
+    }
+  }
+
+  // Verify the stamped id (catches block-mapping bugs).
+  std::uint64_t stamped;
+  std::memcpy(&stamped,
+              block.data() +
+                  (record_id % records_per_block_) * config_.record_bytes,
+              8);
+  if (stamped != record_id) {
+    out.status = Status::Internal("record stamp mismatch");
+    out.done = now;
+    return out;
+  }
+
+  // Evict LRU records if the cache is full. The eviction server must READ
+  // the victim's slot to reconcile it — if the guest (or the monitor)
+  // paged that cold slot out, this faults it back in just to throw it
+  // away: the double-paging pathology behind Fig. 5a's instability ("the
+  // poor interaction between the WiredTiger storage engine's memory cache
+  // and kswapd").
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    auto vit = slot_of_.find(victim);
+    slot = vit->second;
+    slot_of_.erase(vit);
+    paging::TouchResult vt =
+        memory_->Touch(SlotAddr(slot), /*is_write=*/false, now);
+    if (!vt.status.ok()) {
+      out.status = vt.status;
+      out.done = vt.done;
+      return out;
+    }
+    now = vt.done;
+  }
+
+  // Fill the slot: a write into the cache arena.
+  paging::TouchResult t = memory_->Touch(SlotAddr(slot), /*is_write=*/true, now);
+  if (!t.status.ok()) {
+    out.status = t.status;
+    out.done = t.done;
+    return out;
+  }
+  now = t.done;
+
+  slot_of_[record_id] = slot;
+  lru_.push_front(record_id);
+  lru_pos_[record_id] = lru_.begin();
+  out.status = Status::Ok();
+  out.done = now;
+  return out;
+}
+
+YcsbResult RunYcsbC(DocStore& store, const YcsbConfig& config, SimTime start) {
+  YcsbResult result;
+  Rng rng{config.seed};
+  ZipfGenerator zipf{store.RecordCount(), config.zipf_theta};
+
+  const std::uint64_t hits0 = store.CacheHits();
+  const std::uint64_t misses0 = store.CacheMisses();
+
+  const std::uint64_t per_bucket =
+      std::max<std::uint64_t>(1, config.operations / config.timeline_buckets);
+  SimTime now = start;
+  double bucket_sum_us = 0.0;
+  std::uint64_t bucket_n = 0;
+
+  for (std::uint64_t op = 0; op < config.operations; ++op) {
+    const std::uint64_t id = zipf.Next(rng);
+    const SimTime t0 = now;
+    DocStore::ReadResult r = store.Read(id, now);
+    if (!r.status.ok()) {
+      result.status = r.status;
+      return result;
+    }
+    now = r.done;
+    const SimDuration lat = now - t0;
+    result.latency.Record(lat);
+    bucket_sum_us += ToMicros(lat);
+    if (++bucket_n == per_bucket) {
+      result.timeline.emplace_back(
+          static_cast<double>(now - start) / 1e9,
+          bucket_sum_us / static_cast<double>(bucket_n));
+      bucket_sum_us = 0.0;
+      bucket_n = 0;
+    }
+  }
+  if (bucket_n > 0) {
+    result.timeline.emplace_back(static_cast<double>(now - start) / 1e9,
+                                 bucket_sum_us / static_cast<double>(bucket_n));
+  }
+
+  result.cache_hits = store.CacheHits() - hits0;
+  result.cache_misses = store.CacheMisses() - misses0;
+  result.finished = now;
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace fluid::wl

@@ -1,0 +1,166 @@
+// A MongoDB-like document store with a WiredTiger-style application cache,
+// plus the YCSB workload-C (read-only) driver — §VI-D2 / Fig. 5.
+//
+// The mechanism under study: WiredTiger manages its own record cache of a
+// configured size, oblivious to how much of the VM's memory is actually in
+// local DRAM. When the cache exceeds DRAM, every cache *hit* can still be a
+// page fault — under swap this collides with kswapd ("the poor interaction
+// between the WiredTiger storage engine's memory cache and kswapd") and
+// latency never stabilises; under FluidMem the hotplugged memory looks
+// native, faults are cheaper, and cold OS pages are out of the way.
+//
+// The store keeps records on a block device (the guest's disk) and caches
+// them in a cache arena laid out in the VM's paged address space: cache
+// slot i occupies bytes [i*record, (i+1)*record) from `cache_base`. Every
+// cache hit or fill touches the slot's page through PagedMemory.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/dist.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "paging/paged_memory.h"
+
+namespace fluid::wl {
+
+struct DocstoreConfig {
+  std::size_t record_count = 50'000;
+  std::size_t record_bytes = 1024;  // YCSB's 1 KB records
+  std::size_t cache_bytes = 10ULL << 20;
+  VirtAddr cache_base = 0;
+  double zipf_theta = 0.99;
+  // Server-side CPU per request: parse, BSON, b-tree descent.
+  LatencyDist server_op = LatencyDist::Normal(110.0, 15.0, 60.0);
+  // Extra disk-path CPU on a cache miss: block decompress, page image
+  // reconstruction (WiredTiger reads are more than a raw block read).
+  LatencyDist miss_cpu = LatencyDist::Normal(700.0, 90.0, 300.0);
+  // Pages of mongod heap (BSON scratch, session state, WT internals)
+  // touched per request, rotating over `heap_pages`. These — plus the
+  // b-tree index pages — are what make *every* request feel memory
+  // pressure, not just the record copy.
+  std::size_t heap_touches_per_op = 8;
+  std::size_t heap_pages = 3072;
+  // Guest filesystem page cache (one 4 KB disk block per page), sized by
+  // the VM's memory beyond the WT cache. This is §VI-D2's decisive
+  // asymmetry: the FluidMem VM has 4 GB of native memory, so WT misses are
+  // frequently absorbed by the guest page cache (a remote-memory fault at
+  // worst); the 1 GB swap VM has almost none, and every WT miss is a disk
+  // read. "FluidMem ... transparently provides the storage engine with
+  // native memory capacity."
+  std::size_t pagecache_pages = 64;
+  // CPU to serve a read from the guest page cache (copy + fs lookup).
+  LatencyDist pagecache_cpu = LatencyDist::Normal(35.0, 6.0, 15.0);
+  std::uint64_t seed = 303;
+};
+
+class DocStore {
+ public:
+  DocStore(DocstoreConfig config, paging::PagedMemory& memory,
+           blk::BlockDevice& disk);
+
+  // Bulk-load all records to disk (the YCSB load phase).
+  SimTime Load(SimTime now);
+
+  struct ReadResult {
+    Status status;
+    SimTime done = 0;
+    bool cache_hit = false;
+  };
+  ReadResult Read(std::uint64_t record_id, SimTime now);
+
+  std::size_t RecordCount() const noexcept { return config_.record_count; }
+  // Arena layout after the record cache: [cache][index][heap].
+  VirtAddr IndexBase() const noexcept {
+    const std::size_t cache_pages =
+        (cache_slots_ * config_.record_bytes + kPageSize - 1) / kPageSize;
+    return config_.cache_base + cache_pages * kPageSize;
+  }
+  VirtAddr HeapBase() const noexcept {
+    const std::size_t index_pages =
+        (config_.record_count * 8 + kPageSize - 1) / kPageSize + 1;
+    return IndexBase() + index_pages * kPageSize;
+  }
+  VirtAddr PageCacheBase() const noexcept {
+    return HeapBase() + config_.heap_pages * kPageSize;
+  }
+  // Total pages the store needs in the VM's address space.
+  std::size_t ArenaPages() const noexcept {
+    return static_cast<std::size_t>(PageCacheBase() - config_.cache_base) /
+               kPageSize +
+           config_.pagecache_pages;
+  }
+  std::uint64_t PageCacheHits() const noexcept { return pc_hits_; }
+  std::size_t CacheRecords() const noexcept { return lru_.size(); }
+  std::size_t CacheCapacityRecords() const noexcept {
+    return cache_slots_;
+  }
+  std::uint64_t CacheHits() const noexcept { return hits_; }
+  std::uint64_t CacheMisses() const noexcept { return misses_; }
+
+ private:
+  VirtAddr SlotAddr(std::size_t slot) const noexcept {
+    return config_.cache_base + slot * config_.record_bytes;
+  }
+  blk::BlockNum BlockOf(std::uint64_t record_id) const noexcept {
+    return record_id / records_per_block_;
+  }
+
+  DocstoreConfig config_;
+  paging::PagedMemory* memory_;
+  blk::BlockDevice* disk_;
+  Rng rng_;
+
+  std::size_t cache_slots_;
+  std::size_t records_per_block_;
+
+  // Record cache: id -> slot, LRU order, free slots.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      lru_pos_;
+  std::vector<std::size_t> free_slots_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t pc_hits_ = 0;
+  std::size_t heap_cursor_ = 0;
+
+  // Guest page cache state: disk block -> cache slot, LRU order.
+  std::unordered_map<blk::BlockNum, std::size_t> pc_slot_of_;
+  std::list<blk::BlockNum> pc_lru_;
+  std::unordered_map<blk::BlockNum, std::list<blk::BlockNum>::iterator>
+      pc_pos_;
+  std::vector<std::size_t> pc_free_;
+};
+
+// --- YCSB workload C ---------------------------------------------------------
+
+struct YcsbConfig {
+  std::uint64_t operations = 100'000;
+  double zipf_theta = 0.99;
+  std::size_t timeline_buckets = 60;
+  std::uint64_t seed = 304;
+};
+
+struct YcsbResult {
+  Status status;
+  LatencyHistogram latency;
+  // (virtual runtime seconds, mean latency us) per bucket — Fig. 5's lines.
+  std::vector<std::pair<double, double>> timeline;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  SimTime finished = 0;
+};
+
+YcsbResult RunYcsbC(DocStore& store, const YcsbConfig& config, SimTime start);
+
+}  // namespace fluid::wl

@@ -1,0 +1,197 @@
+#include "workloads/graph500.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fluid::wl {
+
+namespace {
+
+// One R-MAT edge with the Graph500 initiator matrix.
+std::pair<std::int64_t, std::int64_t> KroneckerEdge(int scale, Rng& rng) {
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // D = 0.05
+  std::int64_t src = 0, dst = 0;
+  for (int bit = 0; bit < scale; ++bit) {
+    const double r = rng.NextDouble();
+    int quad;
+    if (r < kA) quad = 0;
+    else if (r < kA + kB) quad = 1;
+    else if (r < kA + kB + kC) quad = 2;
+    else quad = 3;
+    src = (src << 1) | (quad >> 1);
+    dst = (dst << 1) | (quad & 1);
+  }
+  return {src, dst};
+}
+
+}  // namespace
+
+CsrGraph BuildGraph(const Graph500Config& config) {
+  Rng rng{config.seed};
+  CsrGraph g;
+  g.num_vertices = std::int64_t{1} << config.scale;
+  g.num_edges = g.num_vertices * config.edge_factor;
+
+  // Generate the edge list (both directions for the CSR).
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges));
+  for (std::int64_t i = 0; i < g.num_edges; ++i) {
+    auto [s, d] = KroneckerEdge(config.scale, rng);
+    if (s == d) continue;  // self-loops are skipped by the reference code
+    edges.emplace_back(s, d);
+  }
+
+  // Degree count (both directions), then CSR fill.
+  g.xadj.assign(static_cast<std::size_t>(g.num_vertices) + 1, 0);
+  for (const auto& [s, d] : edges) {
+    ++g.xadj[static_cast<std::size_t>(s) + 1];
+    ++g.xadj[static_cast<std::size_t>(d) + 1];
+  }
+  for (std::size_t v = 1; v < g.xadj.size(); ++v) g.xadj[v] += g.xadj[v - 1];
+  g.adjncy.assign(static_cast<std::size_t>(g.xadj.back()), 0);
+  std::vector<std::int64_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (const auto& [s, d] : edges) {
+    g.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(s)]++)] = d;
+    g.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(d)]++)] = s;
+  }
+
+  // Paged layout.
+  g.base = config.base;
+  const auto pages_for = [](std::size_t bytes) {
+    return (bytes + kPageSize - 1) / kPageSize;
+  };
+  const std::size_t xadj_pages = pages_for(g.xadj.size() * 8);
+  const std::size_t adj_pages = pages_for(g.adjncy.size() * 8);
+  const std::size_t parent_pages =
+      pages_for(static_cast<std::size_t>(g.num_vertices) * 8);
+  const std::size_t queue_pages = parent_pages;
+  g.xadj_base = g.base;
+  g.adj_base = g.xadj_base + xadj_pages * kPageSize;
+  g.parent_base = g.adj_base + adj_pages * kPageSize;
+  g.queue_base = g.parent_base + parent_pages * kPageSize;
+  g.total_pages = xadj_pages + adj_pages + parent_pages + queue_pages;
+  return g;
+}
+
+SimTime PopulateGraph(paging::PagedMemory& memory, const CsrGraph& graph,
+                      SimTime now) {
+  // Graph construction streams the CSR arrays: one write-touch per page.
+  const std::size_t data_pages =
+      static_cast<std::size_t>(graph.queue_base - graph.base) / kPageSize;
+  for (std::size_t i = 0; i < data_pages; ++i) {
+    paging::TouchResult r =
+        memory.Touch(graph.base + i * kPageSize, /*is_write=*/true, now);
+    if (!r.status.ok()) return r.done;
+    now = r.done;
+  }
+  return now;
+}
+
+Graph500Result RunGraph500(paging::PagedMemory& memory, const CsrGraph& graph,
+                           const Graph500Config& config, SimTime start) {
+  Graph500Result result;
+  Rng rng{config.seed ^ 0xb0b5ULL};
+  SimTime now = start;
+
+  // BFS state kept natively; page touches model its memory traffic.
+  std::vector<std::int64_t> parent(
+      static_cast<std::size_t>(graph.num_vertices));
+
+  const auto touch = [&](VirtAddr base, std::int64_t index,
+                         bool is_write) -> Status {
+    const VirtAddr addr =
+        base + static_cast<VirtAddr>(index) * 8;  // 8-byte elements
+    paging::TouchResult r = memory.Touch(addr, is_write, now);
+    now = r.done;
+    return r.status;
+  };
+
+  // Sample roots with degree > 0, as the reference code does.
+  std::vector<std::int64_t> roots;
+  while (static_cast<int>(roots.size()) < config.bfs_roots) {
+    const auto v = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(graph.num_vertices)));
+    if (graph.xadj[static_cast<std::size_t>(v) + 1] -
+            graph.xadj[static_cast<std::size_t>(v)] >
+        0)
+      roots.push_back(v);
+  }
+
+  const double edge_cpu = config.cpu_ns_per_edge;
+  SimTime next_tick = now + config.periodic_interval;
+  const auto maybe_background = [&]() {
+    if (!config.periodic_work) return;
+    while (now >= next_tick) {
+      now = config.periodic_work(now);
+      next_tick += config.periodic_interval;
+    }
+  };
+  for (const std::int64_t root : roots) {
+    BfsTrial trial;
+    trial.root = root;
+    const SimTime t0 = now;
+
+    std::fill(parent.begin(), parent.end(), -1);
+    parent[static_cast<std::size_t>(root)] = root;
+    std::deque<std::int64_t> queue{root};
+
+    while (!queue.empty()) {
+      maybe_background();
+      const std::int64_t u = queue.front();
+      queue.pop_front();
+      if (Status s = touch(graph.queue_base, u % graph.num_vertices, false);
+          !s.ok()) {
+        result.status = s;
+        return result;
+      }
+      // Row lookup touches xadj.
+      if (Status s = touch(graph.xadj_base, u, false); !s.ok()) {
+        result.status = s;
+        return result;
+      }
+      const auto row_begin =
+          static_cast<std::size_t>(graph.xadj[static_cast<std::size_t>(u)]);
+      const auto row_end = static_cast<std::size_t>(
+          graph.xadj[static_cast<std::size_t>(u) + 1]);
+      PageNum last_adj_page = ~PageNum{0};
+      for (std::size_t e = row_begin; e < row_end; ++e) {
+        // Adjacency is scanned sequentially: touch per page, not per edge.
+        const VirtAddr eaddr = graph.adj_base + e * 8;
+        if (PageOf(eaddr) != last_adj_page) {
+          last_adj_page = PageOf(eaddr);
+          paging::TouchResult r = memory.Touch(eaddr, false, now);
+          if (!r.status.ok()) {
+            result.status = r.status;
+            return result;
+          }
+          now = r.done;
+        }
+        const std::int64_t v = graph.adjncy[e];
+        // The parent check is the irregular (random) access that makes BFS
+        // memory bound.
+        if (Status s = touch(graph.parent_base, v, false); !s.ok()) {
+          result.status = s;
+          return result;
+        }
+        now += static_cast<SimDuration>(edge_cpu);
+        ++trial.edges_traversed;
+        if (parent[static_cast<std::size_t>(v)] == -1) {
+          parent[static_cast<std::size_t>(v)] = u;
+          if (Status s = touch(graph.parent_base, v, true); !s.ok()) {
+            result.status = s;
+            return result;
+          }
+          queue.push_back(v);
+        }
+      }
+    }
+    trial.elapsed = now - t0;
+    result.trials.push_back(trial);
+  }
+
+  result.finished = now;
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace fluid::wl

@@ -1,0 +1,103 @@
+// Graph500 (sequential reference implementation) — §VI-D1.
+//
+// "The benchmark creates a graph in memory of configurable size and then
+//  performs 64 consecutive BFS traversals. ... Performance is measured
+//  using the metric (millions of) traversed edges per second (TEPS). For
+//  each configuration, the harmonic mean of TEPS for the 64 trials is
+//  reported."
+//
+// The reproduction generates the standard Kronecker (R-MAT) edge list with
+// the Graph500 initiator (A=0.57, B=0.19, C=0.19, D=0.05, edge factor 16),
+// builds a CSR representation laid out in the VM's paged address space, and
+// runs the sequential top-down BFS. Every array element access touches its
+// page through PagedMemory, so the TEPS number reflects the mechanism's
+// fault behaviour; the graph data itself is kept natively for speed (the
+// data plane is exercised by pmbench and the test suite — DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "paging/paged_memory.h"
+
+namespace fluid::wl {
+
+struct Graph500Config {
+  int scale = 14;        // 2^scale vertices
+  int edge_factor = 16;  // edges per vertex
+  int bfs_roots = 64;
+  VirtAddr base = 0;     // where the graph lives in the VM address space
+  // CPU cost per traversed edge beyond memory accesses (the BFS arithmetic
+  // itself); calibrated so the all-local configuration lands near Fig. 4a's
+  // ~55M TEPS.
+  double cpu_ns_per_edge = 7.0;
+  // Background guest activity: invoked whenever `periodic_interval` of
+  // virtual time passes inside the BFS, returning the new time. Models the
+  // OS daemons that keep re-touching parts of the boot footprint — the
+  // traffic that distinguishes full from partial disaggregation (§VI-D1).
+  std::function<SimTime(SimTime)> periodic_work;
+  SimDuration periodic_interval = 10 * kMillisecond;
+  std::uint64_t seed = 101;
+};
+
+// CSR graph, generated natively; addresses map its arrays into the VM.
+struct CsrGraph {
+  std::int64_t num_vertices = 0;
+  std::int64_t num_edges = 0;  // undirected input edges
+  std::vector<std::int64_t> xadj;   // size V+1
+  std::vector<std::int64_t> adjncy; // size 2E (both directions)
+
+  // Paged layout: [xadj][adjncy][parent][queue] back to back.
+  VirtAddr base = 0;
+  VirtAddr xadj_base = 0;
+  VirtAddr adj_base = 0;
+  VirtAddr parent_base = 0;
+  VirtAddr queue_base = 0;
+  std::size_t total_pages = 0;
+};
+
+// Kronecker edge generator + CSR build.
+CsrGraph BuildGraph(const Graph500Config& config);
+
+struct BfsTrial {
+  std::int64_t root = 0;
+  std::int64_t edges_traversed = 0;
+  SimDuration elapsed = 0;
+  double Teps() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(edges_traversed) /
+                              (static_cast<double>(elapsed) / 1e9);
+  }
+};
+
+struct Graph500Result {
+  Status status;
+  std::vector<BfsTrial> trials;
+  SimTime finished = 0;
+
+  // The official metric: harmonic mean TEPS over all trials.
+  double HarmonicMeanTeps() const {
+    if (trials.empty()) return 0.0;
+    double denom = 0.0;
+    for (const BfsTrial& t : trials) {
+      const double teps = t.Teps();
+      if (teps <= 0.0) return 0.0;
+      denom += 1.0 / teps;
+    }
+    return static_cast<double>(trials.size()) / denom;
+  }
+};
+
+// Construction phase: stream the graph arrays into paged memory (writes).
+SimTime PopulateGraph(paging::PagedMemory& memory, const CsrGraph& graph,
+                      SimTime now);
+
+// Run the BFS trials. Roots are sampled from vertices with degree > 0.
+Graph500Result RunGraph500(paging::PagedMemory& memory, const CsrGraph& graph,
+                           const Graph500Config& config, SimTime start);
+
+}  // namespace fluid::wl

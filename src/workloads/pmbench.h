@@ -1,0 +1,58 @@
+// pmbench: the paging micro-benchmark of §VI-B (Yang & Seymour 2018).
+//
+// "The working set size (WSS) was set by a 4 GB allocation from pmbench.
+//  First, pmbench warms up the cache by accessing all pages once, and then
+//  randomly makes 4 KB requests at a 50% read to write ratio for 100 s."
+//
+// The reproduction runs the same phases against a PagedMemory (either VM
+// flavour), recording one latency sample per access, split into read and
+// write histograms — the data behind Fig. 3's CDFs. Accesses carry real
+// data: each write stamps the page with a pattern derived from its page
+// number and a generation counter, and reads verify the stamp, so a paging
+// bug (lost page, torn eviction) fails the run rather than skewing a curve.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "paging/paged_memory.h"
+
+namespace fluid::wl {
+
+struct PmbenchConfig {
+  VirtAddr base = 0;          // start of the benchmark allocation
+  std::size_t wss_pages = 0;  // allocation size in pages
+  SimDuration duration = 100 * kSecond;  // measured phase (virtual time)
+  double read_ratio = 0.5;
+  // Safety valve so a mis-sized run cannot spin forever in real time.
+  std::uint64_t max_accesses = 50'000'000;
+  std::uint64_t seed = 99;
+};
+
+struct PmbenchResult {
+  Status status;
+  LatencyHistogram read_latency;
+  LatencyHistogram write_latency;
+  std::uint64_t accesses = 0;
+  std::uint64_t verify_failures = 0;
+  SimTime warmup_done = 0;
+  SimTime finished = 0;
+
+  double MeanUs() const {
+    const double n = static_cast<double>(read_latency.Count()) +
+                     static_cast<double>(write_latency.Count());
+    if (n == 0) return 0.0;
+    return (read_latency.MeanUs() * static_cast<double>(read_latency.Count()) +
+            write_latency.MeanUs() *
+                static_cast<double>(write_latency.Count())) /
+           n;
+  }
+};
+
+PmbenchResult RunPmbench(paging::PagedMemory& memory,
+                         const PmbenchConfig& config, SimTime start);
+
+}  // namespace fluid::wl

@@ -1,0 +1,182 @@
+// Testbed: one-stop wiring of the paper's six evaluation configurations
+// (§VI-A): {FluidMem, Swap} x {DRAM, fast-network store, slow store}.
+//
+//   FluidMem backends: local DRAM store, RAMCloud over verbs, Memcached
+//                      over IPoIB TCP.
+//   Swap backends:     /dev/pmem0 (local DRAM), NVMeoF to remote DRAM,
+//                      local SSD. The guest's own filesystem is always on
+//                      the SSD.
+//
+// A Testbed owns every substrate object (frame pool, store, devices,
+// monitor, VM) with consistent scaling: `local_dram_pages` plays the role
+// of the paper's 1 GB hypervisor DRAM, and the OS census is scaled to the
+// same kernel:DRAM proportion as the testbed hardware (~30 %).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "blockdev/block_device.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/local_store.h"
+#include "kvstore/memcached.h"
+#include "kvstore/ramcloud.h"
+#include "mem/frame_pool.h"
+#include "paging/paged_memory.h"
+#include "vm/census.h"
+#include "vm/fluid_vm.h"
+#include "vm/swap_vm.h"
+
+namespace fluid::wl {
+
+enum class Backend {
+  kFluidDram,
+  kFluidRamcloud,
+  kFluidMemcached,
+  kSwapDram,
+  kSwapNvmeof,
+  kSwapSsd,
+};
+
+constexpr std::string_view BackendName(Backend b) noexcept {
+  switch (b) {
+    case Backend::kFluidDram: return "FluidMem DRAM";
+    case Backend::kFluidRamcloud: return "FluidMem RAMCloud";
+    case Backend::kFluidMemcached: return "FluidMem Memcached";
+    case Backend::kSwapDram: return "Swap DRAM";
+    case Backend::kSwapNvmeof: return "Swap NVMeoF";
+    case Backend::kSwapSsd: return "Swap SSD";
+  }
+  return "?";
+}
+
+constexpr bool IsFluid(Backend b) noexcept {
+  return b == Backend::kFluidDram || b == Backend::kFluidRamcloud ||
+         b == Backend::kFluidMemcached;
+}
+
+struct TestbedConfig {
+  // The hypervisor-local DRAM granted to the VM (the paper's 1 GB).
+  std::size_t local_dram_pages = 4096;
+  // Application pages in the VM's address space (hotplugged for FluidMem;
+  // part of the 4-5 GB VM memory in the paper).
+  std::size_t vm_app_pages = 16384;
+  // OS boot footprint in pages; 0 means "scale the paper's 81042-page
+  // census to ~30% of local DRAM", matching the testbed proportion.
+  std::size_t os_footprint_pages = 0;
+  // Remote store / swap device capacity, as multiples of local DRAM.
+  std::size_t store_cap_dram_multiple = 20;
+  fm::MonitorConfig monitor;  // lru_capacity_pages is overwritten
+  swap::SwapCostModel swap_costs;
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  Testbed(Backend backend, const TestbedConfig& config)
+      : backend_(backend), config_(config) {
+    const std::size_t os_pages =
+        config.os_footprint_pages != 0
+            ? config.os_footprint_pages
+            : config.local_dram_pages * 30 / 100;
+    // MakeBootCensus divides 81042 by the divisor.
+    const std::size_t divisor =
+        std::max<std::size_t>(1, 81042 / std::max<std::size_t>(1, os_pages));
+    census_ = vm::MakeBootCensus(divisor);
+
+    const std::size_t store_cap_bytes =
+        config.store_cap_dram_multiple * config.local_dram_pages * kPageSize;
+
+    if (IsFluid(backend)) {
+      switch (backend) {
+        case Backend::kFluidDram:
+          store_ = std::make_unique<kv::LocalDramStore>(kv::LocalStoreConfig{
+              .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
+          break;
+        case Backend::kFluidRamcloud:
+          store_ = std::make_unique<kv::RamcloudStore>(kv::RamcloudConfig{
+              .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
+          break;
+        default:
+          store_ = std::make_unique<kv::MemcachedStore>(kv::MemcachedConfig{
+              .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
+          break;
+      }
+      // Frames: the LRU budget plus monitor-side buffers (write list,
+      // in-flight batches) plus slack for transient zero-page upgrades.
+      pool_ = std::make_unique<mem::FramePool>(config.local_dram_pages +
+                                               8192);
+      fm::MonitorConfig mc = config.monitor;
+      mc.lru_capacity_pages = config.local_dram_pages;
+      monitor_ = std::make_unique<fm::Monitor>(mc, *store_, *pool_);
+      fluid_vm_ = std::make_unique<vm::FluidVm>(
+          census_, config.vm_app_pages, *monitor_, *pool_,
+          /*pid=*/1234, /*partition=*/7, config.seed + 21);
+      memory_ = fluid_vm_.get();
+    } else {
+      const std::size_t dev_blocks =
+          config.store_cap_dram_multiple * config.local_dram_pages;
+      switch (backend) {
+        case Backend::kSwapDram:
+          swap_dev_ = std::make_unique<blk::BlockDevice>(
+              blk::MakePmemDevice(dev_blocks));
+          break;
+        case Backend::kSwapNvmeof:
+          swap_dev_ = std::make_unique<blk::BlockDevice>(
+              blk::MakeNvmeofDevice(dev_blocks));
+          break;
+        default:
+          swap_dev_ = std::make_unique<blk::BlockDevice>(
+              blk::MakeSsdDevice(dev_blocks));
+          break;
+      }
+      fs_dev_ = std::make_unique<blk::BlockDevice>(
+          blk::MakeSsdDevice(dev_blocks));
+      swap_vm_ = std::make_unique<vm::SwapVm>(
+          census_, config.vm_app_pages, config.local_dram_pages, *swap_dev_,
+          *fs_dev_, config.swap_costs, config.seed + 22);
+      memory_ = swap_vm_.get();
+    }
+  }
+
+  Backend backend() const noexcept { return backend_; }
+  std::string_view name() const noexcept { return BackendName(backend_); }
+
+  paging::PagedMemory& memory() noexcept { return *memory_; }
+  const vm::VmLayout& layout() const noexcept {
+    return fluid_vm_ ? fluid_vm_->layout() : swap_vm_->layout();
+  }
+  const vm::OsCensus& census() const noexcept { return census_; }
+
+  vm::FluidVm* fluid_vm() noexcept { return fluid_vm_.get(); }
+  vm::SwapVm* swap_vm() noexcept { return swap_vm_.get(); }
+  fm::Monitor* monitor() noexcept { return monitor_.get(); }
+  kv::KvStore* store() noexcept { return store_.get(); }
+
+  // Boot the guest OS (touch its census once).
+  SimTime Boot(SimTime now) {
+    return fluid_vm_ ? fluid_vm_->BootOs(now) : swap_vm_->BootOs(now);
+  }
+
+ private:
+  Backend backend_;
+  TestbedConfig config_;
+  vm::OsCensus census_;
+
+  // FluidMem side
+  std::unique_ptr<kv::KvStore> store_;
+  std::unique_ptr<mem::FramePool> pool_;
+  std::unique_ptr<fm::Monitor> monitor_;
+  std::unique_ptr<vm::FluidVm> fluid_vm_;
+
+  // Swap side
+  std::unique_ptr<blk::BlockDevice> swap_dev_;
+  std::unique_ptr<blk::BlockDevice> fs_dev_;
+  std::unique_ptr<vm::SwapVm> swap_vm_;
+
+  paging::PagedMemory* memory_ = nullptr;
+};
+
+}  // namespace fluid::wl

@@ -1,0 +1,144 @@
+#include "workloads/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+namespace fluid::wl {
+
+namespace {
+
+std::uint64_t Stamp(std::size_t page, std::uint64_t gen) noexcept {
+  std::uint64_t x = page * 0x9e3779b97f4a7c15ULL + gen * 0x165667b19e3779f9ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+std::vector<TraceAccess> GeneratePhase(const TracePhase& phase,
+                                       std::uint64_t seed) {
+  std::vector<TraceAccess> out;
+  out.reserve(phase.accesses);
+  Rng rng{seed};
+  const std::size_t n = std::max<std::size_t>(1, phase.pages);
+
+  switch (phase.pattern) {
+    case AccessPattern::kSequential: {
+      for (std::uint64_t i = 0; i < phase.accesses; ++i)
+        out.push_back(TraceAccess{
+            phase.first_page + static_cast<std::size_t>(i % n),
+            rng.NextDouble() < phase.write_fraction});
+      break;
+    }
+    case AccessPattern::kUniform: {
+      for (std::uint64_t i = 0; i < phase.accesses; ++i)
+        out.push_back(TraceAccess{
+            phase.first_page + static_cast<std::size_t>(rng.NextBounded(n)),
+            rng.NextDouble() < phase.write_fraction});
+      break;
+    }
+    case AccessPattern::kZipfian: {
+      ZipfGenerator zipf{n, 0.99};
+      for (std::uint64_t i = 0; i < phase.accesses; ++i)
+        out.push_back(TraceAccess{
+            phase.first_page + static_cast<std::size_t>(zipf.Next(rng)),
+            rng.NextDouble() < phase.write_fraction});
+      break;
+    }
+    case AccessPattern::kStrided: {
+      std::size_t pos = 0;
+      const std::size_t stride = std::max<std::size_t>(1, phase.stride_pages);
+      for (std::uint64_t i = 0; i < phase.accesses; ++i) {
+        out.push_back(TraceAccess{phase.first_page + pos,
+                                  rng.NextDouble() < phase.write_fraction});
+        pos = (pos + stride) % n;
+      }
+      break;
+    }
+    case AccessPattern::kPointerChase: {
+      // A random cycle over the range: each access depends on the last, the
+      // worst case for any prefetcher.
+      std::vector<std::size_t> perm(n);
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      for (std::size_t i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+      std::size_t pos = 0;
+      for (std::uint64_t i = 0; i < phase.accesses; ++i) {
+        out.push_back(TraceAccess{phase.first_page + pos,
+                                  rng.NextDouble() < phase.write_fraction});
+        pos = perm[pos];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+TraceResult ReplayTrace(paging::PagedMemory& memory, VirtAddr base,
+                        const std::vector<TracePhase>& phases,
+                        SimTime start, std::uint64_t seed) {
+  TraceResult result;
+  SimTime now = start;
+
+  // Generation counter per page (for stamp verification); indexed from the
+  // lowest page any phase names.
+  std::size_t max_page = 0;
+  for (const TracePhase& ph : phases)
+    max_page = std::max(max_page, ph.first_page + ph.pages);
+  std::vector<std::uint64_t> generation(max_page, 0);
+  std::vector<bool> written(max_page, false);
+
+  std::uint64_t phase_seed = seed;
+  for (const TracePhase& ph : phases) {
+    PhaseResult pr;
+    pr.pattern = ph.pattern;
+    const auto accesses = GeneratePhase(ph, phase_seed++);
+    for (const TraceAccess& a : accesses) {
+      const VirtAddr addr = base + a.page * kPageSize;
+      const SimTime t0 = now;
+      bool faulted = false;
+      if (a.is_write) {
+        const std::uint64_t gen = ++generation[a.page];
+        const std::uint64_t stamp = Stamp(a.page, gen);
+        std::array<std::byte, 8> buf;
+        std::memcpy(buf.data(), &stamp, 8);
+        paging::TouchResult r = memory.Store(addr, buf, now);
+        if (!r.status.ok()) {
+          result.status = r.status;
+          return result;
+        }
+        written[a.page] = true;
+        faulted = r.fault;
+        now = r.done;
+      } else {
+        std::array<std::byte, 8> buf;
+        paging::TouchResult r = memory.Load(addr, buf, now);
+        if (!r.status.ok()) {
+          result.status = r.status;
+          return result;
+        }
+        now = r.done;
+        std::uint64_t got;
+        std::memcpy(&got, buf.data(), 8);
+        // Unwritten pages read back zero-fill; written ones their stamp.
+        const std::uint64_t expect =
+            written[a.page] ? Stamp(a.page, generation[a.page]) : 0;
+        if (got != expect) ++result.verify_failures;
+        faulted = r.fault;
+      }
+      if (faulted) ++pr.faults;
+      pr.latency.Record(now - t0);
+    }
+    pr.finished = now;
+    result.phases.push_back(std::move(pr));
+  }
+  result.finished = now;
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace fluid::wl

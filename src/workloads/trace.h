@@ -1,0 +1,85 @@
+// Synthetic access traces and a trace replayer.
+//
+// The paper's workloads (pmbench, BFS, YCSB) each hard-code one access
+// pattern. Production memory traces mix phases: sequential scans, zipfian
+// hot sets, uniform noise, strided walks, and pointer chases. This module
+// generates such multi-phase traces deterministically and replays them
+// against any PagedMemory, reporting per-phase latency — the tool a
+// FluidMem operator would use to size LRU budgets for a tenant's real
+// behaviour before committing DRAM to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "paging/paged_memory.h"
+
+namespace fluid::wl {
+
+enum class AccessPattern : std::uint8_t {
+  kSequential,   // linear sweep, wrapping
+  kUniform,      // uniform random
+  kZipfian,      // hot-set skew (theta 0.99)
+  kStrided,      // fixed stride (e.g. column walk), wrapping
+  kPointerChase, // pseudo-random permutation walk (dependent accesses)
+};
+
+constexpr std::string_view PatternName(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kUniform: return "uniform";
+    case AccessPattern::kZipfian: return "zipfian";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kPointerChase: return "pointer-chase";
+  }
+  return "?";
+}
+
+struct TracePhase {
+  AccessPattern pattern = AccessPattern::kUniform;
+  std::uint64_t accesses = 10'000;
+  // Page range [first_page, first_page + pages) within the trace region.
+  std::size_t first_page = 0;
+  std::size_t pages = 1024;
+  double write_fraction = 0.3;
+  std::size_t stride_pages = 17;  // for kStrided (coprime with pages helps)
+};
+
+struct TraceAccess {
+  std::size_t page = 0;
+  bool is_write = false;
+};
+
+// Generate the flat access list for a phase (deterministic in `seed`).
+std::vector<TraceAccess> GeneratePhase(const TracePhase& phase,
+                                       std::uint64_t seed);
+
+struct PhaseResult {
+  AccessPattern pattern;
+  LatencyHistogram latency;
+  std::uint64_t faults = 0;
+  SimTime finished = 0;
+};
+
+struct TraceResult {
+  Status status;
+  std::vector<PhaseResult> phases;
+  SimTime finished = 0;
+  std::uint64_t verify_failures = 0;
+};
+
+// Replay phases back to back at `base` in the VM's address space. Writes
+// stamp pages (page number + running generation); reads verify, so a
+// paging bug surfaces as verify_failures.
+TraceResult ReplayTrace(paging::PagedMemory& memory, VirtAddr base,
+                        const std::vector<TracePhase>& phases,
+                        SimTime start, std::uint64_t seed = 1701);
+
+}  // namespace fluid::wl

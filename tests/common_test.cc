@@ -1,0 +1,316 @@
+// Unit tests for src/common: RNG, distributions, histograms, status,
+// intrusive list, Zipf sampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/dist.h"
+#include "common/histogram.h"
+#include "common/intrusive_list.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace fluid {
+namespace {
+
+// --- time helpers ------------------------------------------------------------
+
+TEST(Types, MicrosRoundTrip) {
+  EXPECT_EQ(FromMicros(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(ToMicros(kSecond), 1e6);
+  EXPECT_EQ(FromMicros(-5.0), 0u);
+}
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(PageOf(0x12345678), 0x12345678u >> 12);
+  EXPECT_EQ(AddrOf(PageOf(0x12345678)), PageAlignDown(0x12345678));
+  EXPECT_EQ(PageAlignDown(kPageSize + 17), kPageSize);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng r{9};
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 4096ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng r{11};
+  std::vector<int> counts(10, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[r.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kN / 10 * 0.9);
+    EXPECT_LT(c, kN / 10 * 1.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r{13};
+  double sum = 0, sum_sq = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = r.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{42};
+  Rng child = a.Fork();
+  // Child should not replay the parent's stream.
+  Rng b{42};
+  (void)b();  // same position as parent post-fork
+  EXPECT_NE(child(), b());
+}
+
+// --- distributions ---------------------------------------------------------------
+
+TEST(LatencyDist, ConstantIsExact) {
+  Rng r{1};
+  const auto d = LatencyDist::Constant(3.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.Sample(r), FromMicros(3.5));
+  EXPECT_DOUBLE_EQ(d.MeanUs(), 3.5);
+}
+
+struct DistCase {
+  LatencyDist dist;
+  double expected_mean_us;
+  double tolerance_frac;
+};
+
+class DistMeanTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistMeanTest, EmpiricalMeanMatchesAnalytic) {
+  Rng r{99};
+  const auto& [dist, expected, tol] = GetParam();
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += ToMicros(dist.Sample(r));
+  EXPECT_NEAR(sum / kN, expected, expected * tol);
+  EXPECT_NEAR(dist.MeanUs(), expected, expected * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistMeanTest,
+    ::testing::Values(
+        DistCase{LatencyDist::Constant(5.0), 5.0, 0.001},
+        DistCase{LatencyDist::Normal(10.0, 1.0), 10.0, 0.02},
+        DistCase{LatencyDist::Lognormal(8.0, 0.25),
+                 8.0 * std::exp(0.25 * 0.25 / 2), 0.03},
+        DistCase{LatencyDist::Bimodal(2.0, 20.0, 0.1), 2.0 * 0.9 + 20.0 * 0.1,
+                 0.05}));
+
+TEST(LatencyDist, NormalRespectsFloor) {
+  Rng r{3};
+  const auto d = LatencyDist::Normal(1.0, 5.0, 0.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.Sample(r), FromMicros(0.5));
+}
+
+TEST(LatencyDist, BimodalHasTail) {
+  Rng r{5};
+  const auto d = LatencyDist::Bimodal(2.0, 20.0, 0.05, 0.0);
+  int tails = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (d.Sample(r) > FromMicros(10.0)) ++tails;
+  EXPECT_GT(tails, 300);
+  EXPECT_LT(tails, 800);
+}
+
+// --- histogram --------------------------------------------------------------------
+
+TEST(LatencyHistogram, MomentsAreExact) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(2000);
+  h.Record(3000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 2000.0);
+  EXPECT_NEAR(h.StdevNs(), std::sqrt(2.0 / 3.0) * 1000, 1e-6);
+  EXPECT_DOUBLE_EQ(h.MinNs(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.MaxNs(), 3000.0);
+}
+
+TEST(LatencyHistogram, QuantilesBracketTheData) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<SimDuration>(i * 100));
+  // p50 should land near 50us = 50000ns within bucket resolution.
+  EXPECT_NEAR(h.QuantileNs(0.5), 50000, 50000 * 0.1);
+  EXPECT_NEAR(h.QuantileNs(0.99), 99000, 99000 * 0.1);
+}
+
+TEST(LatencyHistogram, CdfIsMonotoneAndEndsAtOne) {
+  LatencyHistogram h;
+  Rng r{17};
+  for (int i = 0; i < 10000; ++i) h.Record(100 + r.NextBounded(1000000));
+  auto cdf = h.CdfUs();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0;
+  for (const auto& [us, frac] : cdf) {
+    EXPECT_GE(frac, prev);
+    prev = frac;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.Record(1000);
+  b.Record(3000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.MeanNs(), 2000.0);
+}
+
+// --- status ------------------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  const Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: key 42");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::Unavailable("down");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+// --- intrusive list -------------------------------------------------------------------
+
+struct TestNode : ListNode {
+  int id = 0;
+};
+
+TEST(IntrusiveList, FifoOrder) {
+  IntrusiveList<TestNode> list;
+  TestNode nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].id = i;
+    list.PushBack(nodes[i]);
+  }
+  EXPECT_EQ(list.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    TestNode* n = list.PopFront();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->id, i);
+  }
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, RemoveFromMiddle) {
+  IntrusiveList<TestNode> list;
+  TestNode a, b, c;
+  a.id = 1; b.id = 2; c.id = 3;
+  list.PushBack(a);
+  list.PushBack(b);
+  list.PushBack(c);
+  list.Remove(b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront()->id, 1);
+  EXPECT_EQ(list.PopFront()->id, 3);
+}
+
+TEST(IntrusiveList, MoveToBackRefreshes) {
+  IntrusiveList<TestNode> list;
+  TestNode a, b;
+  a.id = 1; b.id = 2;
+  list.PushBack(a);
+  list.PushBack(b);
+  list.MoveToBack(a);
+  EXPECT_EQ(list.PopFront()->id, 2);
+  EXPECT_EQ(list.PopFront()->id, 1);
+}
+
+TEST(IntrusiveList, ForEachAllowsUnlink) {
+  IntrusiveList<TestNode> list;
+  TestNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    nodes[i].id = i;
+    list.PushBack(nodes[i]);
+  }
+  list.ForEach([&](TestNode& n) {
+    if (n.id % 2 == 0) list.Remove(n);
+  });
+  EXPECT_EQ(list.size(), 2u);
+}
+
+// --- zipf ----------------------------------------------------------------------------
+
+TEST(Zipf, StaysInRange) {
+  Rng r{23};
+  ZipfGenerator z{1000, 0.99};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(r), 1000u);
+}
+
+TEST(Zipf, IsSkewedTowardHead) {
+  Rng r{29};
+  ZipfGenerator z{10000, 0.99};
+  int head = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (z.Next(r) < 100) ++head;  // top 1% of keys
+  // Zipf(0.99) sends a large share of traffic to the head; uniform would
+  // give 1%.
+  EXPECT_GT(head, kN / 5);
+}
+
+TEST(Zipf, ThetaZeroIsNearlyUniform) {
+  Rng r{31};
+  ZipfGenerator z{100, 0.01};
+  std::vector<int> counts(100, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[z.Next(r)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 600);
+  EXPECT_LT(*mx, 1600);
+}
+
+}  // namespace
+}  // namespace fluid

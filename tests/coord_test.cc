@@ -1,0 +1,271 @@
+// Tests for the coordination layer: the ZooKeeper-stand-in replicated table
+// and the virtual-partition registry (paper §IV's global-uniqueness scheme).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "coord/partition_registry.h"
+#include "coord/replicated_table.h"
+
+namespace fluid::coord {
+namespace {
+
+// --- replicated table ------------------------------------------------------------
+
+TEST(ReplicatedTable, CreateReadRoundTrip) {
+  ReplicatedTable t;
+  auto c = t.Create("k", "v", 0);
+  ASSERT_TRUE(c.status.ok());
+  EXPECT_EQ(c.data.version, 1u);
+  EXPECT_GT(c.complete_at, 0u);
+
+  auto r = t.Read("k", c.complete_at);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data.value, "v");
+  EXPECT_EQ(r.data.version, 1u);
+}
+
+TEST(ReplicatedTable, CreateIsExclusive) {
+  ReplicatedTable t;
+  ASSERT_TRUE(t.Create("k", "a", 0).status.ok());
+  EXPECT_EQ(t.Create("k", "b", 0).status.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.Read("k", 0).data.value, "a");
+}
+
+TEST(ReplicatedTable, CasUpdateEnforcesVersion) {
+  ReplicatedTable t;
+  (void)t.Create("k", "v1", 0);
+  // Wrong expected version fails.
+  EXPECT_EQ(t.Update("k", "v2", 7, 0).status.code(),
+            StatusCode::kFailedPrecondition);
+  // Right version succeeds and bumps it.
+  auto u = t.Update("k", "v2", 1, 0);
+  ASSERT_TRUE(u.status.ok());
+  EXPECT_EQ(u.data.version, 2u);
+  // Replaying the same CAS fails (lost-update protection).
+  EXPECT_EQ(t.Update("k", "v3", 1, 0).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicatedTable, DeleteRemovesAndReports) {
+  ReplicatedTable t;
+  (void)t.Create("k", "v", 0);
+  ASSERT_TRUE(t.Delete("k", 0).status.ok());
+  EXPECT_EQ(t.Read("k", 0).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.Delete("k", 0).status.code(), StatusCode::kNotFound);
+}
+
+TEST(ReplicatedTable, PrefixScan) {
+  ReplicatedTable t;
+  (void)t.Create("alloc/1", "a", 0);
+  (void)t.Create("alloc/2", "b", 0);
+  (void)t.Create("id/x", "c", 0);
+  auto keys = t.KeysWithPrefix("alloc/");
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(ReplicatedTable, ReplicasStayConsistent) {
+  ReplicatedTable t;
+  for (int i = 0; i < 20; ++i)
+    (void)t.Create("k" + std::to_string(i), std::to_string(i), 0);
+  (void)t.Update("k3", "new", 1, 0);
+  (void)t.Delete("k7", 0);
+  EXPECT_TRUE(t.ReplicasConsistent());
+}
+
+TEST(ReplicatedTable, ToleratesMinorityCrash) {
+  ReplicatedTable t{ReplicatedTableConfig{.replica_count = 3}};
+  t.CrashReplica(0);
+  EXPECT_TRUE(t.HasQuorum());
+  ASSERT_TRUE(t.Create("k", "v", 0).status.ok());
+  EXPECT_TRUE(t.ReplicasConsistent());
+}
+
+TEST(ReplicatedTable, UnavailableBelowQuorum) {
+  ReplicatedTable t{ReplicatedTableConfig{.replica_count = 3}};
+  (void)t.Create("k", "v", 0);
+  t.CrashReplica(0);
+  t.CrashReplica(1);
+  EXPECT_FALSE(t.HasQuorum());
+  EXPECT_EQ(t.Create("k2", "v", 0).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(t.Read("k", 0).status.code(), StatusCode::kUnavailable);
+  // The failed create must not leave residue once quorum returns.
+  t.RestoreReplica(0);
+  EXPECT_TRUE(t.HasQuorum());
+  EXPECT_EQ(t.Read("k2", 0).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(t.Create("k2", "v", 0).status.ok());
+}
+
+TEST(ReplicatedTable, RestoredReplicaResyncs) {
+  ReplicatedTable t;
+  (void)t.Create("k1", "v1", 0);
+  t.CrashReplica(2);
+  (void)t.Create("k2", "v2", 0);
+  t.RestoreReplica(2);
+  EXPECT_TRUE(t.ReplicasConsistent());
+}
+
+TEST(ReplicatedTable, WritesTakeQuorumTime) {
+  ReplicatedTable t;
+  auto c = t.Create("k", "v", 1000);
+  // Commit needs at least a replica round trip (~50 us floor in the model).
+  EXPECT_GE(c.complete_at - 1000, FromMicros(50.0));
+}
+
+// --- partition registry -------------------------------------------------------------
+
+TEST(PartitionRegistry, AllocatesAndFinds) {
+  ReplicatedTable t;
+  PartitionRegistry reg{t};
+  const VmIdentity id{100, 1, 555};
+  auto a = reg.Allocate(id, 0);
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_LT(a.partition, kMaxVirtualPartitions);
+  auto found = reg.Find(id, a.complete_at);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, a.partition);
+}
+
+TEST(PartitionRegistry, AllocationIsIdempotent) {
+  ReplicatedTable t;
+  PartitionRegistry reg{t};
+  const VmIdentity id{100, 1, 555};
+  auto a1 = reg.Allocate(id, 0);
+  auto a2 = reg.Allocate(id, a1.complete_at);
+  ASSERT_TRUE(a2.status.ok());
+  EXPECT_EQ(a1.partition, a2.partition);
+  EXPECT_EQ(reg.AllocatedCount(), 1u);
+}
+
+TEST(PartitionRegistry, DistinctIdentitiesGetDistinctPartitions) {
+  // The paper's uniqueness property, as a property test: hundreds of VMs
+  // across several hypervisors must never collide.
+  ReplicatedTable t;
+  PartitionRegistry reg{t};
+  std::set<PartitionId> seen;
+  SimTime now = 0;
+  for (std::uint32_t hv = 0; hv < 8; ++hv) {
+    for (std::uint32_t pid = 0; pid < 50; ++pid) {
+      auto a = reg.Allocate(VmIdentity{pid, hv, pid * 7919u + hv}, now);
+      ASSERT_TRUE(a.status.ok());
+      now = a.complete_at;
+      EXPECT_TRUE(seen.insert(a.partition).second)
+          << "collision on partition " << a.partition;
+    }
+  }
+  EXPECT_EQ(reg.AllocatedCount(), 400u);
+}
+
+TEST(PartitionRegistry, ReleaseMakesPartitionReusable) {
+  ReplicatedTable t;
+  PartitionRegistry reg{t};
+  const VmIdentity a{1, 1, 1};
+  auto alloc = reg.Allocate(a, 0);
+  ASSERT_TRUE(alloc.status.ok());
+  ASSERT_TRUE(reg.Release(a, alloc.complete_at).ok());
+  EXPECT_EQ(reg.AllocatedCount(), 0u);
+  EXPECT_FALSE(reg.Find(a, 0).has_value());
+  // A new identity that probes the same start index can take the slot.
+  auto again = reg.Allocate(a, 0);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.partition, alloc.partition);
+}
+
+TEST(PartitionRegistry, ProbesPastCollisions) {
+  ReplicatedTable t;
+  PartitionRegistry reg{t};
+  const VmIdentity a{1, 1, 1};
+  auto first = reg.Allocate(a, 0);
+  ASSERT_TRUE(first.status.ok());
+  // Forge an identity whose probe start collides by pre-claiming the next
+  // 4095 slots is overkill; instead verify two identities with the same
+  // probe start (same hash inputs except nonce tweak until collision) stay
+  // unique.
+  SimTime now = first.complete_at;
+  for (std::uint32_t nonce = 2; nonce < 40; ++nonce) {
+    auto b = reg.Allocate(VmIdentity{1, 1, nonce}, now);
+    ASSERT_TRUE(b.status.ok());
+    now = b.complete_at;
+    EXPECT_NE(b.partition, first.partition);
+  }
+}
+
+TEST(PartitionRegistry, UnavailableWithoutQuorum) {
+  ReplicatedTable t{ReplicatedTableConfig{.replica_count = 3}};
+  t.CrashReplica(0);
+  t.CrashReplica(1);
+  PartitionRegistry reg{t};
+  auto a = reg.Allocate(VmIdentity{1, 1, 1}, 0);
+  EXPECT_EQ(a.status.code(), StatusCode::kUnavailable);
+}
+
+// --- sessions & ephemeral nodes --------------------------------------------------
+
+TEST(Sessions, HeartbeatKeepsSessionAlive) {
+  ReplicatedTable t{ReplicatedTableConfig{.session_timeout = 1 * kSecond}};
+  const SessionId s = t.OpenSession(0);
+  EXPECT_TRUE(t.SessionAlive(s, 500 * kMillisecond));
+  ASSERT_TRUE(t.Heartbeat(s, 900 * kMillisecond).ok());
+  EXPECT_TRUE(t.SessionAlive(s, 1800 * kMillisecond));
+  EXPECT_FALSE(t.SessionAlive(s, 3 * kSecond));
+}
+
+TEST(Sessions, LateHeartbeatIsRejected) {
+  ReplicatedTable t{ReplicatedTableConfig{.session_timeout = 1 * kSecond}};
+  const SessionId s = t.OpenSession(0);
+  EXPECT_EQ(t.Heartbeat(s, 5 * kSecond).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Sessions, EphemeralNodesDieWithTheSession) {
+  ReplicatedTable t{ReplicatedTableConfig{.session_timeout = 1 * kSecond}};
+  const SessionId s = t.OpenSession(0);
+  ASSERT_TRUE(t.Create("eph/a", "1", 0, s).status.ok());
+  ASSERT_TRUE(t.Create("persist/b", "2", 0).status.ok());
+  // No heartbeat: the session dies; only the ephemeral key is reaped.
+  EXPECT_EQ(t.ExpireSessions(5 * kSecond), 1u);
+  EXPECT_EQ(t.Read("eph/a", 5 * kSecond).status.code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(t.Read("persist/b", 5 * kSecond).status.ok());
+  EXPECT_TRUE(t.ReplicasConsistent());
+}
+
+TEST(Sessions, CloseReapsImmediately) {
+  ReplicatedTable t;
+  const SessionId s = t.OpenSession(0);
+  ASSERT_TRUE(t.Create("eph/x", "1", 0, s).status.ok());
+  ASSERT_TRUE(t.CloseSession(s, 100).ok());
+  EXPECT_EQ(t.Read("eph/x", 200).status.code(), StatusCode::kNotFound);
+}
+
+TEST(Sessions, CreateWithDeadSessionFails) {
+  ReplicatedTable t{ReplicatedTableConfig{.session_timeout = 1 * kSecond}};
+  const SessionId s = t.OpenSession(0);
+  auto r = t.Create("eph/late", "1", 10 * kSecond, s);
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PartitionRegistry, CrashedMonitorsPartitionsAreReaped) {
+  // The leak-proofing story: a monitor allocates partitions under its
+  // session; the host dies (no heartbeats); the registry space recovers.
+  ReplicatedTable t{ReplicatedTableConfig{.session_timeout = 2 * kSecond}};
+  PartitionRegistry reg{t};
+  const SessionId s = t.OpenSession(0);
+  SimTime now = 0;
+  for (std::uint32_t pid = 0; pid < 5; ++pid) {
+    auto a = reg.Allocate(VmIdentity{pid, 1, pid}, now, s);
+    ASSERT_TRUE(a.status.ok());
+    now = a.complete_at;
+  }
+  EXPECT_EQ(reg.AllocatedCount(), 5u);
+  // Host dies; the ensemble reaps both alloc/ and id/ ephemeral nodes.
+  EXPECT_GT(t.ExpireSessions(now + 10 * kSecond), 0u);
+  EXPECT_EQ(reg.AllocatedCount(), 0u);
+  // The same identities can re-allocate under a fresh session.
+  const SessionId s2 = t.OpenSession(now + 10 * kSecond);
+  auto again = reg.Allocate(VmIdentity{0, 1, 0}, now + 10 * kSecond, s2);
+  EXPECT_TRUE(again.status.ok());
+}
+
+}  // namespace
+}  // namespace fluid::coord

@@ -1,0 +1,207 @@
+// Cross-cutting coverage: testbed wiring over every backend, docstore page
+// cache, census scaling sweeps, flush-age behaviour, and API edges not
+// owned by any single-module suite.
+#include <gtest/gtest.h>
+
+#include "fluidmem/monitor.h"
+#include "kvstore/local_store.h"
+#include "mem/uffd.h"
+#include "workloads/docstore.h"
+#include "workloads/testbed.h"
+
+namespace fluid {
+namespace {
+
+// --- Testbed wiring over all six configurations ------------------------------------
+
+class TestbedWiring : public ::testing::TestWithParam<wl::Backend> {};
+
+TEST_P(TestbedWiring, BootsAndExposesTheRightMechanism) {
+  wl::TestbedConfig cfg;
+  cfg.local_dram_pages = 256;
+  cfg.vm_app_pages = 512;
+  wl::Testbed bed{GetParam(), cfg};
+  EXPECT_EQ(bed.name(), wl::BackendName(GetParam()));
+  const SimTime booted = bed.Boot(0);
+  EXPECT_GT(booted, 0u);
+  EXPECT_GT(bed.memory().ResidentPages(), 0u);
+  if (wl::IsFluid(GetParam())) {
+    ASSERT_NE(bed.fluid_vm(), nullptr);
+    EXPECT_EQ(bed.swap_vm(), nullptr);
+    EXPECT_EQ(bed.memory().mechanism(), "fluidmem");
+    ASSERT_NE(bed.store(), nullptr);
+    // The census scales to ~30% of local DRAM.
+    EXPECT_NEAR(static_cast<double>(bed.census().TotalPages()),
+                0.30 * 256, 16.0);
+  } else {
+    ASSERT_NE(bed.swap_vm(), nullptr);
+    EXPECT_EQ(bed.fluid_vm(), nullptr);
+    EXPECT_EQ(bed.memory().mechanism(), "swap");
+    // The swap VM cannot exceed its DRAM allotment.
+    EXPECT_LE(bed.memory().ResidentPages(), 256u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TestbedWiring,
+    ::testing::Values(wl::Backend::kFluidDram, wl::Backend::kFluidRamcloud,
+                      wl::Backend::kFluidMemcached, wl::Backend::kSwapDram,
+                      wl::Backend::kSwapNvmeof, wl::Backend::kSwapSsd),
+    [](const auto& info) {
+      std::string n{wl::BackendName(info.param)};
+      for (char& c : n)
+        if (c == ' ') c = '_';
+      return n;
+    });
+
+// --- DocStore guest page cache ------------------------------------------------------
+
+struct DocRig {
+  wl::TestbedConfig tb;
+  wl::Testbed bed;
+  blk::BlockDevice disk = blk::MakeSsdDevice(8192);
+
+  DocRig() : tb(MakeTb()), bed(wl::Backend::kFluidDram, tb) {}
+  static wl::TestbedConfig MakeTb() {
+    wl::TestbedConfig tb;
+    tb.local_dram_pages = 2048;
+    tb.vm_app_pages = 4096;
+    return tb;
+  }
+};
+
+TEST(DocstorePageCache, RepeatMissesHitThePageCache) {
+  DocRig rig;
+  wl::DocstoreConfig cfg;
+  cfg.record_count = 2000;
+  cfg.cache_bytes = 64 * 1024;  // tiny WT cache: 64 records
+  cfg.cache_base = rig.bed.layout().app_base;
+  cfg.heap_pages = 64;
+  cfg.pagecache_pages = 512;  // big page cache
+  wl::DocStore store{cfg, rig.bed.memory(), rig.disk};
+  SimTime now = rig.bed.Boot(0);
+  now = store.Load(now);
+
+  // Two sweeps over 400 records: the WT cache (64) can't hold them, the
+  // page cache (512 blocks = 2048 records) can.
+  for (int sweep = 0; sweep < 2; ++sweep)
+    for (std::uint64_t id = 0; id < 400; ++id)
+      now = store.Read(id, now).done;
+  EXPECT_GT(store.PageCacheHits(), 300u);
+}
+
+TEST(DocstorePageCache, DisabledCacheMeansEveryMissHitsDisk) {
+  DocRig rig;
+  wl::DocstoreConfig cfg;
+  cfg.record_count = 1000;
+  cfg.cache_bytes = 64 * 1024;
+  cfg.cache_base = rig.bed.layout().app_base;
+  cfg.heap_pages = 64;
+  cfg.pagecache_pages = 0;
+  wl::DocStore store{cfg, rig.bed.memory(), rig.disk};
+  SimTime now = rig.bed.Boot(0);
+  now = store.Load(now);
+  const auto reads_before = rig.disk.reads();
+  for (int sweep = 0; sweep < 2; ++sweep)
+    for (std::uint64_t id = 0; id < 200; ++id)
+      now = store.Read(id, now).done;
+  EXPECT_EQ(store.PageCacheHits(), 0u);
+  EXPECT_GT(rig.disk.reads(), reads_before + 300);
+}
+
+// --- census scaling property ---------------------------------------------------------
+
+class CensusSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CensusSweep, PartitionAndScaleInvariants) {
+  const std::size_t divisor = GetParam();
+  const vm::OsCensus c = vm::MakeBootCensus(divisor);
+  EXPECT_EQ(c.TotalPages(), 81042u / divisor);
+  EXPECT_EQ(c.kernel_pages + c.file_pages + c.anon_pages +
+                c.unevictable_pages,
+            c.TotalPages());
+  // Pinned fraction stays under the balloon floor proportion (Table III).
+  EXPECT_LT(c.PinnedPages(), c.TotalPages() * 20 / 100 + 2);
+  // Layout covers exactly census + app pages, contiguously.
+  const vm::VmLayout l = vm::MakeLayout(c, 128);
+  EXPECT_EQ((l.app_base - l.kernel_base) / kPageSize, c.TotalPages());
+  EXPECT_EQ(l.AppAddr(0), l.app_base);
+  EXPECT_EQ(l.AppAddr(5), l.app_base + 5 * kPageSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CensusSweep,
+                         ::testing::Values(1u, 4u, 64u, 300u, 1000u));
+
+// --- monitor flush-age behaviour ------------------------------------------------------
+
+TEST(Monitor, StaleWritesFlushByAgeViaPump) {
+  mem::FramePool pool{1024};
+  kv::LocalDramStore store;
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 4;
+  cfg.write_batch_pages = 100;            // never fills
+  cfg.flush_max_age = 1 * kMillisecond;   // but ages out fast
+  fm::Monitor monitor{cfg, store, pool};
+  constexpr VirtAddr kBase = 0x7f0000000000ULL;
+  mem::UffdRegion region{1, kBase, 64, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 1);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    (void)region.Access(kBase + i * kPageSize, true);
+    now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+    (void)region.Access(kBase + i * kPageSize, true);
+  }
+  ASSERT_GT(monitor.write_list().PendingCount(), 0u);
+  // The periodic flush thread wakes long after the age threshold.
+  monitor.PumpBackground(now + 10 * kMillisecond);
+  EXPECT_EQ(monitor.write_list().PendingCount(), 0u);
+  EXPECT_GT(monitor.stats().flush_batches, 0u);
+}
+
+TEST(Monitor, RegionIntrospectionAccessors) {
+  mem::FramePool pool{64};
+  kv::LocalDramStore store;
+  fm::Monitor monitor{fm::MonitorConfig{}, store, pool};
+  constexpr VirtAddr kBase = 0x7f0000000000ULL;
+  mem::UffdRegion region{1, kBase, 8, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 17);
+  EXPECT_EQ(monitor.region_of(rid), &region);
+  EXPECT_EQ(monitor.partition_of(rid), 17);
+  EXPECT_EQ(monitor.region_of(rid + 1), nullptr);
+}
+
+// --- misc edges ----------------------------------------------------------------------
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng{5};
+  for (int i = 0; i < 5000; ++i)
+    h.Record(100 + rng.NextBounded(10'000'000));
+  double prev = 0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double q = h.QuantileNs(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  // Quantiles report bucket upper edges, which can slightly exceed the
+  // exact max; allow one bucket's width of slack (~6% per decade/40).
+  EXPECT_GE(h.MaxNs() * 1.07, prev);
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Transport, MeanRttTracksEmpiricalMean) {
+  auto t = net::MakeVerbsTransport();
+  Rng rng{3};
+  double sum = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += ToMicros(t.SampleRtt(0, 4096, rng));
+  EXPECT_NEAR(sum / kN, t.MeanRttUs(4096), t.MeanRttUs(4096) * 0.05);
+}
+
+}  // namespace
+}  // namespace fluid

@@ -1,0 +1,251 @@
+// Tests for the §III policy decorators: CompressedStore, ReplicatedStore,
+// FlakyStore — including the monitor running end-to-end over each.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/local_store.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+namespace fluid::kv {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr Key KeyAt(std::uint64_t i) {
+  return MakePageKey(kBase + i * kPageSize);
+}
+
+std::array<std::byte, kPageSize> PatternPage(std::uint32_t seed,
+                                             int redundancy = 8) {
+  std::array<std::byte, kPageSize> page{};
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    page[i] = static_cast<std::byte>((seed + i / redundancy) & 0xff);
+  return page;
+}
+
+// --- CompressedStore ----------------------------------------------------------
+
+TEST(CompressedStore, RoundTripAndRatio) {
+  CompressedStore store{CompressedStoreConfig{}};
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i, 64), now).complete_at;
+  EXPECT_EQ(store.ObjectCount(), 64u);
+  EXPECT_GT(store.CompressionRatio(), 4.0);  // redundant pages shrink hard
+  std::array<std::byte, kPageSize> out{};
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.Get(1, KeyAt(i), out, now).status.ok());
+    const auto expect = PatternPage(i, 64);
+    EXPECT_EQ(0, std::memcmp(out.data(), expect.data(), kPageSize));
+  }
+  EXPECT_EQ(store.ChecksumFailures(), 0u);
+}
+
+TEST(CompressedStore, ZeroPagesAreElided) {
+  CompressedStore store{CompressedStoreConfig{}};
+  std::array<std::byte, kPageSize> zero{};
+  (void)store.Put(1, KeyAt(0), zero, 0);
+  EXPECT_EQ(store.ZeroPages(), 1u);
+  EXPECT_LT(store.CompressedBytes(), 8u);
+}
+
+TEST(CompressedStore, CapCountsCompressedBytes) {
+  CompressedStoreConfig cfg;
+  cfg.memory_cap_bytes = 2 * kPageSize;  // tiny cap on compressed size
+  CompressedStore store{cfg};
+  SimTime now = 0;
+  // Highly compressible pages: dozens fit even in a 2-page cap.
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    auto put = store.Put(1, KeyAt(i), PatternPage(i, 1024), now);
+    ASSERT_TRUE(put.status.ok()) << i;
+    now = put.complete_at;
+  }
+  // Incompressible pages exhaust it immediately.
+  Rng rng{9};
+  std::array<std::byte, kPageSize> noise;
+  for (auto& b : noise) b = static_cast<std::byte>(rng());
+  (void)store.Put(1, KeyAt(100), noise, now);
+  auto second = store.Put(1, KeyAt(101), noise, now);
+  EXPECT_EQ(second.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CompressedStore, MonitorRunsOverIt) {
+  // The whole fault path over a compressed remote pool: data integrity and
+  // the zero-page elision for evicted untouched pages.
+  mem::FramePool pool{2048};
+  CompressedStore store{CompressedStoreConfig{}};
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 16;
+  fm::Monitor monitor{cfg, store, pool};
+  mem::UffdRegion region{1, kBase, 256, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 3);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    (void)region.Access(kBase + i * kPageSize, true);
+    now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+    (void)region.Access(kBase + i * kPageSize, true);
+    const std::uint64_t v = i * 77 + 1;
+    ASSERT_TRUE(region
+                    .WriteBytes(kBase + i * kPageSize + 8,
+                                std::as_bytes(std::span{&v, 1}))
+                    .ok());
+  }
+  now = monitor.DrainWrites(now);
+  EXPECT_GT(store.CompressionRatio(), 10.0);  // sparse pages
+  // Read everything back through faults.
+  for (std::size_t i = 0; i < 128; ++i) {
+    auto a = region.Access(kBase + i * kPageSize, false);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      auto out = monitor.HandleFault(rid, kBase + i * kPageSize, now);
+      ASSERT_TRUE(out.status.ok()) << i;
+      now = out.wake_at;
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(region
+                    .ReadBytes(kBase + i * kPageSize + 8,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    EXPECT_EQ(got, i * 77 + 1) << "page " << i;
+  }
+}
+
+// --- FlakyStore ----------------------------------------------------------------
+
+TEST(FlakyStore, PassesThroughWhenHealthy) {
+  FlakyStore store{std::make_unique<LocalDramStore>()};
+  const auto page = PatternPage(1);
+  ASSERT_TRUE(store.Put(1, KeyAt(0), page, 0).status.ok());
+  std::array<std::byte, kPageSize> out{};
+  ASSERT_TRUE(store.Get(1, KeyAt(0), out, 0).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+}
+
+TEST(FlakyStore, DownMeansUnavailable) {
+  FlakyStore store{std::make_unique<LocalDramStore>()};
+  store.set_down(true);
+  std::array<std::byte, kPageSize> out{};
+  EXPECT_EQ(store.Get(1, KeyAt(0), out, 0).status.code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(store.Put(1, KeyAt(0), PatternPage(1), 0).status.code(),
+            StatusCode::kUnavailable);
+  store.set_down(false);
+  EXPECT_TRUE(store.Put(1, KeyAt(0), PatternPage(1), 0).status.ok());
+}
+
+TEST(FlakyStore, ProbabilisticFailuresHappen) {
+  FlakyStore store{std::make_unique<LocalDramStore>()};
+  store.set_failure_probability(0.5);
+  int failures = 0;
+  std::array<std::byte, kPageSize> out{};
+  for (int i = 0; i < 200; ++i)
+    if (store.Get(1, KeyAt(999), out, 0).status.code() ==
+        StatusCode::kUnavailable)
+      ++failures;  // healthy path returns kNotFound instead
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 160);
+}
+
+// --- ReplicatedStore -------------------------------------------------------------
+
+std::unique_ptr<ReplicatedStore> MakeTriplicated() {
+  std::vector<std::unique_ptr<KvStore>> reps;
+  for (int i = 0; i < 3; ++i)
+    reps.push_back(std::make_unique<FlakyStore>(
+        std::make_unique<LocalDramStore>(), 60 + i));
+  return std::make_unique<ReplicatedStore>(std::move(reps),
+                                           /*write_quorum=*/2);
+}
+
+TEST(ReplicatedStore, WritesReachAllReplicas) {
+  auto store = MakeTriplicated();
+  (void)store->Put(1, KeyAt(0), PatternPage(5), 0);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_TRUE(store->replica(i).Contains(1, KeyAt(0)));
+}
+
+TEST(ReplicatedStore, ReadsFailOverWhenPrimaryDies) {
+  auto store = MakeTriplicated();
+  const auto page = PatternPage(6);
+  (void)store->Put(1, KeyAt(0), page, 0);
+  static_cast<FlakyStore&>(store->replica(0)).set_down(true);
+  std::array<std::byte, kPageSize> out{};
+  auto get = store->Get(1, KeyAt(0), out, 1000);
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+  EXPECT_GT(store->replication_stats().failovers, 0u);
+}
+
+TEST(ReplicatedStore, WritesDegradeThenFailBelowQuorum) {
+  auto store = MakeTriplicated();
+  static_cast<FlakyStore&>(store->replica(0)).set_down(true);
+  ASSERT_TRUE(store->Put(1, KeyAt(0), PatternPage(7), 0).status.ok());
+  EXPECT_GT(store->replication_stats().degraded_writes, 0u);
+  static_cast<FlakyStore&>(store->replica(1)).set_down(true);
+  auto put = store->Put(1, KeyAt(1), PatternPage(8), 0);
+  EXPECT_EQ(put.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(store->replication_stats().write_failures, 0u);
+}
+
+TEST(ReplicatedStore, MonitorSurvivesReplicaLossMidWorkload) {
+  mem::FramePool pool{2048};
+  auto store = MakeTriplicated();
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 16;
+  fm::Monitor monitor{cfg, *store, pool};
+  mem::UffdRegion region{1, kBase, 256, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 3);
+  SimTime now = 0;
+
+  // Populate 64 marked pages (48 evicted to the replicas).
+  for (std::size_t i = 0; i < 64; ++i) {
+    (void)region.Access(kBase + i * kPageSize, true);
+    now = monitor.HandleFault(rid, kBase + i * kPageSize, now).wake_at;
+    (void)region.Access(kBase + i * kPageSize, true);
+    const std::uint64_t v = i + 1000;
+    ASSERT_TRUE(region
+                    .WriteBytes(kBase + i * kPageSize,
+                                std::as_bytes(std::span{&v, 1}))
+                    .ok());
+  }
+  now = monitor.DrainWrites(now);
+
+  // A memory server dies. Every page must still fault back correctly.
+  static_cast<FlakyStore&>(store->replica(1)).set_down(true);
+  for (std::size_t i = 0; i < 64; ++i) {
+    auto a = region.Access(kBase + i * kPageSize, false);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      auto out = monitor.HandleFault(rid, kBase + i * kPageSize, now);
+      ASSERT_TRUE(out.status.ok()) << "page " << i;
+      now = out.wake_at;
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(region
+                    .ReadBytes(kBase + i * kPageSize,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    EXPECT_EQ(got, i + 1000);
+  }
+  EXPECT_EQ(monitor.stats().lost_page_errors, 0u);
+}
+
+// Replication composes with compression: compressed replicas.
+TEST(ReplicatedStore, ComposesWithCompression) {
+  std::vector<std::unique_ptr<KvStore>> reps;
+  for (int i = 0; i < 2; ++i)
+    reps.push_back(
+        std::make_unique<CompressedStore>(CompressedStoreConfig{}));
+  ReplicatedStore store{std::move(reps), 2};
+  const auto page = PatternPage(9, 128);
+  ASSERT_TRUE(store.Put(1, KeyAt(0), page, 0).status.ok());
+  std::array<std::byte, kPageSize> out{};
+  ASSERT_TRUE(store.Get(1, KeyAt(0), out, 0).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+}
+
+}  // namespace
+}  // namespace fluid::kv

@@ -1,0 +1,362 @@
+// Randomized property tests ("fuzz with invariants"): long deterministic
+// random op sequences against each subsystem, checking the structural
+// invariants and data integrity after every step. Seeds are parameterized
+// so several independent sequences run per suite.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/local_store.h"
+#include "kvstore/memcached.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+#include "swap/guest_mm.h"
+#include "workloads/testbed.h"
+
+namespace fluid {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+
+// --- UffdRegion fuzz: no frame leaks, states always consistent ---------------------
+
+class UffdFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UffdFuzz, RandomOpsNeverLeakFrames) {
+  mem::FramePool pool{512};
+  constexpr std::size_t kPages = 64;
+  mem::UffdRegion region{1, kBase, kPages, pool};
+  Rng rng{GetParam()};
+  // Frames we hold after Remap (the "monitor buffer").
+  std::vector<FrameId> held;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t page = rng.NextBounded(kPages);
+    const VirtAddr addr = PageAddr(page);
+    switch (rng.NextBounded(5)) {
+      case 0: {  // access
+        const bool write = rng.NextBounded(2) == 1;
+        const auto r = region.Access(addr, write);
+        if (r.kind == mem::AccessKind::kUffdFault)
+          EXPECT_FALSE(region.IsPresent(addr));
+        break;
+      }
+      case 1: {  // zeropage
+        const Status s = region.ZeroPage(addr);
+        EXPECT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists);
+        break;
+      }
+      case 2: {  // copy
+        std::array<std::byte, kPageSize> buf;
+        buf.fill(static_cast<std::byte>(step & 0xff));
+        const Status s = region.Copy(addr, buf);
+        EXPECT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists);
+        break;
+      }
+      case 3: {  // remap out
+        auto f = region.Remap(addr);
+        if (f.ok()) {
+          held.push_back(*f);
+          EXPECT_FALSE(region.IsPresent(addr));
+        } else {
+          EXPECT_EQ(f.status().code(), StatusCode::kNotFound);
+        }
+        break;
+      }
+      case 4: {  // release a held frame
+        if (!held.empty()) {
+          pool.Free(held.back());
+          held.pop_back();
+        }
+        break;
+      }
+    }
+    // INVARIANT: every allocated frame is accounted for — either mapped in
+    // the region or held by "the monitor".
+    ASSERT_EQ(pool.in_use(), region.ResidentFrames() + held.size())
+        << "frame leak at step " << step;
+    ASSERT_LE(region.PresentPages(), kPages);
+  }
+  for (FrameId f : held) pool.Free(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UffdFuzz,
+                         ::testing::Values(1ull, 77ull, 4096ull, 31337ull));
+
+// --- KV store differential fuzz: every store vs a reference map --------------------
+
+class StoreFuzz
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+ protected:
+  static std::unique_ptr<kv::KvStore> Make(const std::string& kind) {
+    if (kind == "ramcloud")
+      return std::make_unique<kv::RamcloudStore>(kv::RamcloudConfig{
+          .memory_cap_bytes = 64ULL << 20, .segment_bytes = 96 * 4096});
+    if (kind == "memcached")
+      return std::make_unique<kv::MemcachedStore>(
+          kv::MemcachedConfig{.memory_cap_bytes = 64ULL << 20});
+    if (kind == "compressed")
+      return std::make_unique<kv::CompressedStore>(
+          kv::CompressedStoreConfig{.memory_cap_bytes = 64ULL << 20});
+    return std::make_unique<kv::LocalDramStore>();
+  }
+};
+
+TEST_P(StoreFuzz, MatchesReferenceMap) {
+  auto store = Make(std::get<0>(GetParam()));
+  Rng rng{std::get<1>(GetParam())};
+  // Reference: (partition, page index) -> seed of the stored pattern.
+  std::map<std::pair<PartitionId, std::size_t>, std::uint32_t> ref;
+
+  auto pattern = [](std::uint32_t seed) {
+    std::array<std::byte, kPageSize> p;
+    for (std::size_t i = 0; i < kPageSize; ++i)
+      p[i] = static_cast<std::byte>((seed * 97 + i / 8) & 0xff);
+    return p;
+  };
+
+  SimTime now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const PartitionId part = static_cast<PartitionId>(rng.NextBounded(3));
+    const std::size_t page = rng.NextBounded(256);
+    const kv::Key key = kv::MakePageKey(PageAddr(page));
+    switch (rng.NextBounded(4)) {
+      case 0: {  // put
+        const auto seed = static_cast<std::uint32_t>(rng());
+        auto r = store->Put(part, key, pattern(seed), now);
+        ASSERT_TRUE(r.status.ok());
+        now = r.complete_at;
+        ref[{part, page}] = seed;
+        break;
+      }
+      case 1: {  // get + verify
+        std::array<std::byte, kPageSize> out{};
+        auto r = store->Get(part, key, out, now);
+        now = r.complete_at;
+        auto it = ref.find({part, page});
+        if (it == ref.end()) {
+          ASSERT_EQ(r.status.code(), StatusCode::kNotFound) << step;
+        } else {
+          ASSERT_TRUE(r.status.ok()) << step;
+          const auto expect = pattern(it->second);
+          ASSERT_EQ(0, std::memcmp(out.data(), expect.data(), kPageSize))
+              << "step " << step;
+        }
+        break;
+      }
+      case 2: {  // remove
+        auto r = store->Remove(part, key, now);
+        now = r.complete_at;
+        const bool existed = ref.erase({part, page}) > 0;
+        ASSERT_EQ(r.status.ok(), existed) << step;
+        break;
+      }
+      case 3: {  // multiput a small batch
+        std::vector<std::array<std::byte, kPageSize>> pages;
+        std::vector<kv::KvWrite> writes;
+        const std::size_t n = 1 + rng.NextBounded(6);
+        pages.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t p2 = rng.NextBounded(256);
+          const auto seed = static_cast<std::uint32_t>(rng());
+          pages.push_back(pattern(seed));
+          writes.push_back(
+              kv::KvWrite{kv::MakePageKey(PageAddr(p2)), pages.back()});
+          ref[{part, p2}] = seed;
+        }
+        // Duplicate keys in one batch apply in order (last writer wins),
+        // matching the in-order ref updates above.
+        auto r = store->MultiPut(part, writes, now);
+        ASSERT_TRUE(r.status.ok());
+        now = r.complete_at;
+        break;
+      }
+    }
+    // INVARIANT: object count matches the reference exactly.
+    ASSERT_EQ(store->ObjectCount(), ref.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StoresAndSeeds, StoreFuzz,
+    ::testing::Combine(::testing::Values("ramcloud", "memcached", "local",
+                                         "compressed"),
+                       ::testing::Values(5ull, 999ull)),
+    [](const auto& info) {
+      return std::string{std::get<0>(info.param)} + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Monitor fuzz: faults, resizes, quotas, drains — nothing breaks ----------------
+
+class MonitorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonitorFuzz, RandomDriverPreservesEveryInvariant) {
+  mem::FramePool pool{4096};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = 64;
+  cfg.write_batch_pages = 8;
+  fm::Monitor monitor{cfg, store, pool};
+  constexpr std::size_t kPages = 256;
+  mem::UffdRegion region{1, kBase, kPages, pool};
+  const fm::RegionId rid = monitor.RegisterRegion(region, 3);
+
+  Rng rng{GetParam()};
+  std::map<std::size_t, std::uint64_t> ref;  // page -> last written value
+  SimTime now = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2: {  // write a page
+        const std::size_t page = rng.NextBounded(kPages);
+        auto a = region.Access(PageAddr(page), true);
+        if (a.kind == mem::AccessKind::kUffdFault) {
+          auto out = monitor.HandleFault(rid, PageAddr(page), now);
+          ASSERT_TRUE(out.status.ok()) << step;
+          now = out.wake_at;
+          (void)region.Access(PageAddr(page), true);
+        }
+        const std::uint64_t v = (static_cast<std::uint64_t>(step) << 20) | page;
+        ASSERT_TRUE(region
+                        .WriteBytes(PageAddr(page) + 24,
+                                    std::as_bytes(std::span{&v, 1}))
+                        .ok());
+        ref[page] = v;
+        break;
+      }
+      case 3:
+      case 4: {  // read + verify a page
+        const std::size_t page = rng.NextBounded(kPages);
+        auto a = region.Access(PageAddr(page), false);
+        if (a.kind == mem::AccessKind::kUffdFault) {
+          auto out = monitor.HandleFault(rid, PageAddr(page), now);
+          ASSERT_TRUE(out.status.ok()) << step;
+          now = out.wake_at;
+        }
+        std::uint64_t got = 0;
+        ASSERT_TRUE(region
+                        .ReadBytes(PageAddr(page) + 24,
+                                   std::as_writable_bytes(std::span{&got, 1}))
+                        .ok());
+        auto it = ref.find(page);
+        ASSERT_EQ(got, it == ref.end() ? 0u : it->second)
+            << "page " << page << " step " << step;
+        break;
+      }
+      case 5: {  // resize the buffer
+        const std::size_t cap = 8 + rng.NextBounded(128);
+        now = monitor.SetLruCapacity(cap, now);
+        ASSERT_LE(monitor.ResidentPages(), cap) << step;
+        break;
+      }
+      case 6: {  // toggle a quota
+        const std::size_t q = rng.NextBounded(2) == 0
+                                  ? 0
+                                  : 4 + rng.NextBounded(64);
+        now = monitor.SetRegionQuota(rid, q, now);
+        if (q != 0) ASSERT_LE(monitor.RegionResidentPages(rid), q) << step;
+        break;
+      }
+      case 7: {  // background pump / drain
+        if (rng.NextBounded(4) == 0)
+          now = monitor.DrainWrites(now);
+        else
+          monitor.PumpBackground(now);
+        break;
+      }
+    }
+    // INVARIANTS (every step):
+    ASSERT_LE(monitor.ResidentPages(), monitor.LruCapacity()) << step;
+    ASSERT_EQ(monitor.stats().lost_page_errors, 0u) << step;
+    // Frame accounting: frames in use = region-resident frames + write
+    // buffers (pending + in-flight).
+    ASSERT_EQ(pool.in_use(),
+              region.ResidentFrames() + monitor.write_list().PendingCount() +
+                  monitor.write_list().InFlightCount())
+        << "frame accounting broke at step " << step;
+  }
+
+  // Final sweep: every page ever written still holds its value.
+  now = monitor.DrainWrites(now);
+  for (const auto& [page, v] : ref) {
+    auto a = region.Access(PageAddr(page), false);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      auto out = monitor.HandleFault(rid, PageAddr(page), now);
+      ASSERT_TRUE(out.status.ok());
+      now = out.wake_at;
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(region
+                    .ReadBytes(PageAddr(page) + 24,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    ASSERT_EQ(got, v) << "final sweep page " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorFuzz,
+                         ::testing::Values(21ull, 1213ull, 808017ull));
+
+// --- Swap guest fuzz: reclaim under chaos keeps its promises ------------------------
+
+class SwapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwapFuzz, GuestReclaimNeverLosesDataOrPinnedPages) {
+  blk::BlockDevice swap_dev = blk::MakePmemDevice(8192);
+  blk::BlockDevice fs_dev = blk::MakeSsdDevice(8192);
+  swap::GuestKernelMm mm{swap::GuestMmConfig{.dram_frames = 96}, swap_dev,
+                         fs_dev};
+  constexpr std::size_t kPinned = 16;
+  constexpr std::size_t kAnon = 256;
+  mm.DefineRange(PageAddr(0), kPinned, swap::PageClass::kKernel);
+  mm.DefineRange(PageAddr(kPinned), kAnon, swap::PageClass::kAnon);
+  SimTime now = mm.TouchRange(PageAddr(0), kPinned, 0);
+  ASSERT_EQ(mm.ResidentPinned(), kPinned);
+
+  Rng rng{GetParam()};
+  std::map<std::size_t, std::uint64_t> ref;
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t page = kPinned + rng.NextBounded(kAnon);
+    const bool write = rng.NextBounded(2) == 1;
+    auto r = mm.Access(PageAddr(page), write, now);
+    ASSERT_TRUE(r.status.ok()) << step;
+    now = r.done;
+    if (write) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(step) << 16) | page;
+      ASSERT_TRUE(mm.WriteBytes(PageAddr(page) + 32,
+                                std::as_bytes(std::span{&v, 1}))
+                      .ok());
+      ref[page] = v;
+    } else {
+      std::uint64_t got = 0;
+      ASSERT_TRUE(mm.ReadBytes(PageAddr(page) + 32,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                      .ok());
+      auto it = ref.find(page);
+      ASSERT_EQ(got, it == ref.end() ? 0u : it->second) << "step " << step;
+    }
+    // INVARIANTS: DRAM budget respected; pinned pages never reclaimed.
+    ASSERT_LE(mm.ResidentFrames(), 96u) << step;
+    ASSERT_EQ(mm.ResidentPinned(), kPinned) << step;
+    // Occasional balloon squeeze and recovery.
+    if (step % 700 == 699) {
+      now = mm.BalloonReclaim(kPinned + 8, now);
+      ASSERT_GE(mm.ResidentFrames(), kPinned) << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwapFuzz,
+                         ::testing::Values(3ull, 456ull, 78910ull));
+
+}  // namespace
+}  // namespace fluid

@@ -1,0 +1,119 @@
+// Tests for HybridVm — the Fig. 1 left-hand deployment: a normal VM with
+// FluidMem memory hot-added on top of kernel-managed base DRAM.
+#include <gtest/gtest.h>
+
+#include "kvstore/ramcloud.h"
+#include "vm/hybrid_vm.h"
+
+namespace fluid::vm {
+namespace {
+
+struct Rig {
+  OsCensus census = MakeBootCensus(400);  // ~200 pages, fits in base
+  mem::FramePool pool{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  fm::Monitor monitor;
+  HybridVm vm;
+
+  explicit Rig(std::size_t base_pages = 512, std::size_t lru = 128)
+      : monitor(MakeCfg(lru), store, pool),
+        vm(census, base_pages, monitor, pool, /*pid=*/55, /*partition=*/4) {}
+
+  static fm::MonitorConfig MakeCfg(std::size_t lru) {
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru;
+    return cfg;
+  }
+};
+
+TEST(HybridVm, BootStaysEntirelyInBaseMemory) {
+  Rig rig;
+  SimTime now = rig.vm.BootOs(0);
+  EXPECT_GT(now, 0u);
+  EXPECT_EQ(rig.monitor.stats().faults, 0u);  // monitor never involved
+  EXPECT_EQ(rig.vm.ResidentPages(), rig.census.TotalPages());
+}
+
+TEST(HybridVm, HotplugMemoryFaultsThroughTheMonitor) {
+  Rig rig;
+  SimTime now = rig.vm.BootOs(0);
+  rig.vm.HotplugAdd(1024);
+  const VirtAddr hp = rig.vm.hotplug_base();
+  auto r = rig.vm.Touch(hp, true, now);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.fault);
+  EXPECT_EQ(rig.monitor.stats().faults, 1u);
+  now = r.done;
+  auto hit = rig.vm.Touch(hp, true, now);
+  EXPECT_FALSE(hit.fault);
+}
+
+TEST(HybridVm, AccessBeyondHotplugIsRejected) {
+  Rig rig;
+  rig.vm.HotplugAdd(16);
+  const VirtAddr past = rig.vm.hotplug_base() + 16 * kPageSize;
+  EXPECT_EQ(rig.vm.Touch(past, false, 0).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HybridVm, BaseMemoryNeverLeavesDramUnderPressure) {
+  // The structural limit of the hybrid deployment: only the hotplugged
+  // part is disaggregated. Hammer the hotplug region far beyond the LRU —
+  // base memory stays fully resident.
+  Rig rig{/*base=*/512, /*lru=*/64};
+  SimTime now = rig.vm.BootOs(0);
+  rig.vm.HotplugAdd(2048);
+  const std::size_t base_resident_before =
+      rig.vm.ResidentPages() - 0;  // all base so far
+  for (std::size_t i = 0; i < 2048; ++i) {
+    auto r = rig.vm.Touch(rig.vm.hotplug_base() + i * kPageSize, true, now);
+    ASSERT_TRUE(r.status.ok());
+    now = r.done;
+  }
+  // Hotplug residency is bounded by the monitor's LRU; base is untouched.
+  EXPECT_LE(rig.vm.ResidentPages(),
+            base_resident_before + rig.monitor.LruCapacity());
+  EXPECT_GE(rig.vm.ResidentPages(), rig.census.TotalPages());
+  EXPECT_GT(rig.monitor.stats().evictions, 1900u);
+}
+
+TEST(HybridVm, HotplugDataRoundTripsThroughTheStore) {
+  Rig rig{512, 32};
+  SimTime now = rig.vm.BootOs(0);
+  rig.vm.HotplugAdd(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    const VirtAddr a = rig.vm.hotplug_base() + i * kPageSize;
+    const std::uint64_t v = i * 13 + 1;
+    auto r = rig.vm.Store(a, std::as_bytes(std::span{&v, 1}), now);
+    ASSERT_TRUE(r.status.ok());
+    now = r.done;
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    const VirtAddr a = rig.vm.hotplug_base() + i * kPageSize;
+    std::uint64_t got = 0;
+    auto r = rig.vm.Load(a, std::as_writable_bytes(std::span{&got, 1}), now);
+    ASSERT_TRUE(r.status.ok());
+    now = r.done;
+    EXPECT_EQ(got, i * 13 + 1) << "page " << i;
+  }
+}
+
+TEST(HybridVm, MixedAccessCostsDiffer) {
+  // Base hits are cheap; hotplug faults carry the full monitor path.
+  Rig rig{512, 16};
+  SimTime now = rig.vm.BootOs(0);
+  rig.vm.HotplugAdd(256);
+  // Fill hotplug so further touches are remote re-faults.
+  for (std::size_t i = 0; i < 256; ++i)
+    now = rig.vm.Touch(rig.vm.hotplug_base() + i * kPageSize, true, now).done;
+  const SimTime t0 = now;
+  now = rig.vm.Touch(rig.vm.layout().kernel_base, false, now).done;
+  const SimDuration base_cost = now - t0;
+  const SimTime t1 = now;
+  now = rig.vm.Touch(rig.vm.hotplug_base(), false, now).done;  // evicted
+  const SimDuration remote_cost = now - t1;
+  EXPECT_GT(remote_cost, base_cost * 10);
+}
+
+}  // namespace
+}  // namespace fluid::vm

@@ -1,0 +1,244 @@
+// Integration tests across modules: several VMs sharing one key-value
+// store through the virtual-partition registry, end-to-end data integrity
+// under footprint churn, workload determinism, and the full-vs-partial
+// disaggregation contrast the paper is built around.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coord/partition_registry.h"
+#include "coord/replicated_table.h"
+#include "kvstore/memcached.h"
+#include "kvstore/ramcloud.h"
+#include "mem/frame_pool.h"
+#include "vm/fluid_vm.h"
+#include "vm/swap_vm.h"
+#include "workloads/docstore.h"
+#include "workloads/graph500.h"
+#include "workloads/pmbench.h"
+#include "workloads/testbed.h"
+
+namespace fluid {
+namespace {
+
+// --- multiple VMs, one store, registry-allocated partitions -------------------------
+
+struct Cloud {
+  coord::ReplicatedTable table;
+  coord::PartitionRegistry registry{table};
+  mem::FramePool pool{32768};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  fm::Monitor monitor;
+  std::vector<std::unique_ptr<vm::FluidVm>> vms;
+  SimTime now = 0;
+
+  explicit Cloud(std::size_t lru_pages = 512)
+      : monitor(MakeConfig(lru_pages), store, pool) {}
+
+  static fm::MonitorConfig MakeConfig(std::size_t lru) {
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru;
+    return cfg;
+  }
+
+  vm::FluidVm& SpawnVm(ProcessId pid, HypervisorId hv) {
+    auto alloc = registry.Allocate(coord::VmIdentity{pid, hv, pid * 31u}, now);
+    EXPECT_TRUE(alloc.status.ok());
+    now = alloc.complete_at;
+    vms.push_back(std::make_unique<vm::FluidVm>(
+        vm::MakeBootCensus(800), 1024, monitor, pool, pid, alloc.partition,
+        pid));
+    return *vms.back();
+  }
+};
+
+TEST(MultiVm, SharedStoreKeepsVmsIsolated) {
+  Cloud cloud{256};
+  vm::FluidVm& a = cloud.SpawnVm(100, 1);
+  vm::FluidVm& b = cloud.SpawnVm(200, 1);
+  SimTime now = cloud.now;
+  now = a.BootOs(now);
+  now = b.BootOs(now);
+
+  // Both VMs write different data at the SAME guest-virtual addresses —
+  // only the partition index separates their pages in the shared store.
+  for (std::size_t i = 0; i < 512; ++i) {
+    const std::uint64_t va = 0xA000 + i;
+    const std::uint64_t vb = 0xB000 + i;
+    now = a.Store(a.layout().AppAddr(i), std::as_bytes(std::span{&va, 1}),
+                  now).done;
+    now = b.Store(b.layout().AppAddr(i), std::as_bytes(std::span{&vb, 1}),
+                  now).done;
+  }
+  // The shared LRU (256 pages) forced most of both VMs remote.
+  EXPECT_GT(cloud.monitor.stats().evictions, 500u);
+
+  // Read back and verify no cross-VM bleed.
+  for (std::size_t i = 0; i < 512; ++i) {
+    std::uint64_t got = 0;
+    now = a.Load(a.layout().AppAddr(i),
+                 std::as_writable_bytes(std::span{&got, 1}), now).done;
+    ASSERT_EQ(got, 0xA000 + i) << "VM A page " << i;
+    now = b.Load(b.layout().AppAddr(i),
+                 std::as_writable_bytes(std::span{&got, 1}), now).done;
+    ASSERT_EQ(got, 0xB000 + i) << "VM B page " << i;
+  }
+}
+
+TEST(MultiVm, ShutdownDropsOnlyThatVmsPages) {
+  Cloud cloud{128};
+  vm::FluidVm& a = cloud.SpawnVm(100, 1);
+  vm::FluidVm& b = cloud.SpawnVm(200, 1);
+  SimTime now = cloud.now;
+  const std::uint64_t marker = 0x5ca1ab1e;
+  for (std::size_t i = 0; i < 256; ++i) {
+    now = a.Store(a.layout().AppAddr(i), std::as_bytes(std::span{&marker, 1}),
+                  now).done;
+    now = b.Store(b.layout().AppAddr(i), std::as_bytes(std::span{&marker, 1}),
+                  now).done;
+  }
+  now = cloud.monitor.DrainWrites(now);
+  const std::size_t objects_before = cloud.store.ObjectCount();
+  ASSERT_GT(objects_before, 0u);
+  now = a.Shutdown(now);
+  EXPECT_LT(cloud.store.ObjectCount(), objects_before);
+  // B's pages still read back fine.
+  std::uint64_t got = 0;
+  now = b.Load(b.layout().AppAddr(3),
+               std::as_writable_bytes(std::span{&got, 1}), now).done;
+  EXPECT_EQ(got, marker);
+}
+
+TEST(MultiVm, RegistryPartitionsSurviveReplicaCrash) {
+  Cloud cloud{256};
+  cloud.table.CrashReplica(1);
+  vm::FluidVm& a = cloud.SpawnVm(300, 2);  // quorum of 2/3 still up
+  SimTime now = a.BootOs(cloud.now);
+  std::uint64_t v = 42;
+  auto r = a.Store(a.layout().AppAddr(0), std::as_bytes(std::span{&v, 1}),
+                   now);
+  EXPECT_TRUE(r.status.ok());
+  cloud.table.RestoreReplica(1);
+  EXPECT_TRUE(cloud.table.ReplicasConsistent());
+}
+
+// --- data integrity under violent footprint churn ------------------------------------
+
+TEST(Integration, FootprintChurnNeverCorruptsData) {
+  wl::TestbedConfig tb;
+  tb.local_dram_pages = 512;
+  tb.vm_app_pages = 2048;
+  wl::Testbed bed{wl::Backend::kFluidRamcloud, tb};
+  SimTime now = bed.Boot(0);
+  const vm::VmLayout& layout = bed.layout();
+
+  // Fill app memory with addressed markers.
+  for (std::size_t i = 0; i < 2048; ++i) {
+    const std::uint64_t v = i * 0x9e3779b9ULL + 1;
+    now = bed.memory().Store(layout.AppAddr(i),
+                             std::as_bytes(std::span{&v, 1}), now).done;
+  }
+  // Thrash the footprint while reading.
+  Rng rng{404};
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t cap = 16 + rng.NextBounded(1024);
+    now = bed.fluid_vm()->SetLocalFootprint(cap, now);
+    for (int k = 0; k < 64; ++k) {
+      const std::size_t i = rng.NextBounded(2048);
+      std::uint64_t got = 0;
+      auto r = bed.memory().Load(layout.AppAddr(i),
+                                 std::as_writable_bytes(std::span{&got, 1}),
+                                 now);
+      ASSERT_TRUE(r.status.ok());
+      now = r.done;
+      ASSERT_EQ(got, i * 0x9e3779b9ULL + 1)
+          << "round " << round << " page " << i << " cap " << cap;
+    }
+  }
+  EXPECT_EQ(bed.fluid_vm()->monitor().stats().lost_page_errors, 0u);
+}
+
+// --- the headline contrast: full vs partial disaggregation ---------------------------
+
+TEST(Integration, OnlyFluidMemReachesNearZeroFootprint) {
+  const vm::OsCensus census = vm::MakeBootCensus(400);
+
+  // FluidMem: footprint shrinks below the pinned OS set, VM keeps working.
+  mem::FramePool pool{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{}};
+  fm::MonitorConfig mc;
+  mc.lru_capacity_pages = 1024;
+  fm::Monitor monitor{mc, store, pool};
+  vm::FluidVm fvm{census, 256, monitor, pool, 1, 1};
+  SimTime now = fvm.BootOs(0);
+  now = fvm.SetLocalFootprint(8, now);
+  EXPECT_LE(fvm.ResidentPages(), 8u);
+
+  // Swap: the balloon cannot go below the pinned footprint.
+  blk::BlockDevice swap_dev = blk::MakePmemDevice(8192);
+  blk::BlockDevice fs_dev = blk::MakeSsdDevice(8192);
+  vm::SwapVm svm{census, 256, 1024, swap_dev, fs_dev};
+  now = svm.BootOs(0);
+  now = svm.BalloonInflate(8, now, /*driver_floor_pages=*/0);
+  EXPECT_GE(svm.ResidentPages(), census.PinnedPages());
+  EXPECT_GT(svm.ResidentPages(), fvm.ResidentPages());
+}
+
+// --- determinism across the full stack ----------------------------------------------
+
+TEST(Integration, Graph500RunsAreDeterministic) {
+  auto run = [] {
+    wl::Graph500Config gcfg;
+    gcfg.scale = 9;
+    gcfg.bfs_roots = 2;
+    wl::CsrGraph graph = wl::BuildGraph(gcfg);
+    wl::TestbedConfig tb;
+    tb.local_dram_pages = 128;
+    tb.vm_app_pages = graph.total_pages + 64;
+    wl::Testbed bed{wl::Backend::kFluidRamcloud, tb};
+    const VirtAddr delta = bed.layout().app_base - graph.base;
+    graph.base += delta;
+    graph.xadj_base += delta;
+    graph.adj_base += delta;
+    graph.parent_base += delta;
+    graph.queue_base += delta;
+    gcfg.base = graph.base;
+    SimTime now = bed.Boot(0);
+    now = wl::PopulateGraph(bed.memory(), graph, now);
+    return wl::RunGraph500(bed.memory(), graph, gcfg, now);
+  };
+  const wl::Graph500Result a = run();
+  const wl::Graph500Result b = run();
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_DOUBLE_EQ(a.HarmonicMeanTeps(), b.HarmonicMeanTeps());
+  EXPECT_EQ(a.finished, b.finished);
+}
+
+TEST(Integration, DocstoreVerifiesUnderBothMechanisms) {
+  for (const wl::Backend backend :
+       {wl::Backend::kFluidRamcloud, wl::Backend::kSwapNvmeof}) {
+    wl::TestbedConfig tb;
+    tb.local_dram_pages = 512;
+    tb.vm_app_pages = 4096;
+    wl::Testbed bed{backend, tb};
+    auto disk = blk::MakeSsdDevice(8192);
+    wl::DocstoreConfig cfg;
+    cfg.record_count = 2000;
+    cfg.cache_bytes = 512 * 1024;
+    cfg.cache_base = bed.layout().app_base;
+    cfg.heap_pages = 128;
+    cfg.pagecache_pages = 256;
+    wl::DocStore store{cfg, bed.memory(), disk};
+    SimTime now = bed.Boot(0);
+    now = store.Load(now);
+    wl::YcsbConfig yc;
+    yc.operations = 4000;
+    wl::YcsbResult r = wl::RunYcsbC(store, yc, now);
+    ASSERT_TRUE(r.status.ok()) << wl::BackendName(backend);
+    EXPECT_EQ(r.latency.Count(), 4000u);
+  }
+}
+
+}  // namespace
+}  // namespace fluid

@@ -1,0 +1,377 @@
+// Tests for the key-value store backends: the generic contract (run against
+// all three stores through a parameterized suite), plus store-specific
+// behaviour (RAMCloud's log cleaner, Memcached's slab LRU).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "kvstore/decorators.h"
+#include "kvstore/key_codec.h"
+#include "kvstore/kvstore.h"
+#include "kvstore/local_store.h"
+#include "kvstore/memcached.h"
+#include "kvstore/ramcloud.h"
+
+namespace fluid::kv {
+namespace {
+
+std::array<std::byte, kPageSize> PatternPage(std::uint32_t seed) {
+  std::array<std::byte, kPageSize> page;
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    page[i] = static_cast<std::byte>((seed * 31 + i) & 0xff);
+  return page;
+}
+
+constexpr Key KeyAt(std::uint64_t i) {
+  return MakePageKey(0x7f0000000000ULL + i * kPageSize);
+}
+
+// --- key codec -----------------------------------------------------------------
+
+TEST(KeyCodec, PageKeyKeepsHigh52Bits) {
+  const VirtAddr addr = 0x7f1234567123ULL;
+  EXPECT_EQ(MakePageKey(addr), 0x7f1234567000ULL);
+}
+
+TEST(KeyCodec, FoldAndExtractPartition) {
+  const Key page = MakePageKey(0x7f1234567000ULL);
+  const Key k = FoldPartition(page, 0xabc);
+  EXPECT_EQ(KeyPartition(k), 0xabc);
+  EXPECT_EQ(KeyAddr(k), 0x7f1234567000ULL);
+}
+
+TEST(KeyCodec, DistinctPartitionsDistinctKeys) {
+  const Key page = MakePageKey(0x7f0000001000ULL);
+  EXPECT_NE(FoldPartition(page, 1), FoldPartition(page, 2));
+}
+
+// --- generic store contract ------------------------------------------------------
+
+using StoreFactory = std::function<std::unique_ptr<KvStore>()>;
+
+class StoreContractTest
+    : public ::testing::TestWithParam<std::pair<const char*, StoreFactory>> {
+ protected:
+  void SetUp() override { store_ = GetParam().second(); }
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_P(StoreContractTest, PutGetRoundTrip) {
+  const auto page = PatternPage(1);
+  auto put = store_->Put(3, KeyAt(0), page, 1000);
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_GE(put.complete_at, put.issue_done);
+  EXPECT_GE(put.issue_done, 1000u);
+
+  std::array<std::byte, kPageSize> out{};
+  auto get = store_->Get(3, KeyAt(0), out, put.complete_at);
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+}
+
+TEST_P(StoreContractTest, GetMissingIsNotFound) {
+  std::array<std::byte, kPageSize> out{};
+  auto get = store_->Get(3, KeyAt(9), out, 0);
+  EXPECT_EQ(get.status.code(), StatusCode::kNotFound);
+}
+
+TEST_P(StoreContractTest, OverwriteReplacesValue) {
+  const auto v1 = PatternPage(1);
+  const auto v2 = PatternPage(2);
+  (void)store_->Put(3, KeyAt(0), v1, 0);
+  (void)store_->Put(3, KeyAt(0), v2, 100);
+  std::array<std::byte, kPageSize> out{};
+  ASSERT_TRUE(store_->Get(3, KeyAt(0), out, 200).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), v2.data(), kPageSize));
+  EXPECT_EQ(store_->ObjectCount(), 1u);
+}
+
+TEST_P(StoreContractTest, RemoveDeletes) {
+  (void)store_->Put(3, KeyAt(0), PatternPage(1), 0);
+  ASSERT_TRUE(store_->Remove(3, KeyAt(0), 10).status.ok());
+  EXPECT_FALSE(store_->Contains(3, KeyAt(0)));
+  EXPECT_EQ(store_->Remove(3, KeyAt(0), 20).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(StoreContractTest, PartitionsIsolateKeys) {
+  const auto v1 = PatternPage(11);
+  const auto v2 = PatternPage(22);
+  (void)store_->Put(1, KeyAt(0), v1, 0);
+  (void)store_->Put(2, KeyAt(0), v2, 0);
+  std::array<std::byte, kPageSize> out{};
+  ASSERT_TRUE(store_->Get(1, KeyAt(0), out, 100).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), v1.data(), kPageSize));
+  ASSERT_TRUE(store_->Get(2, KeyAt(0), out, 100).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), v2.data(), kPageSize));
+}
+
+TEST_P(StoreContractTest, DropPartitionOnlyDropsThatPartition) {
+  (void)store_->Put(1, KeyAt(0), PatternPage(1), 0);
+  (void)store_->Put(1, KeyAt(1), PatternPage(2), 0);
+  (void)store_->Put(2, KeyAt(0), PatternPage(3), 0);
+  ASSERT_TRUE(store_->DropPartition(1, 100).status.ok());
+  EXPECT_FALSE(store_->Contains(1, KeyAt(0)));
+  EXPECT_FALSE(store_->Contains(1, KeyAt(1)));
+  EXPECT_TRUE(store_->Contains(2, KeyAt(0)));
+}
+
+TEST_P(StoreContractTest, MultiPutStoresAllAndCompletesOnce) {
+  std::array<std::array<std::byte, kPageSize>, 8> pages;
+  std::vector<KvWrite> writes;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    pages[i] = PatternPage(i + 40);
+    writes.push_back(KvWrite{KeyAt(i), pages[i]});
+  }
+  auto mp = store_->MultiPut(5, writes, 1000);
+  ASSERT_TRUE(mp.status.ok());
+  EXPECT_GE(mp.complete_at, mp.issue_done);
+  std::array<std::byte, kPageSize> out{};
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store_->Get(5, KeyAt(i), out, mp.complete_at).status.ok());
+    EXPECT_EQ(0, std::memcmp(out.data(), pages[i].data(), kPageSize));
+  }
+  EXPECT_EQ(store_->stats().multi_write_objects, 8u);
+}
+
+TEST_P(StoreContractTest, MultiGetMixesHitsAndMisses) {
+  std::array<std::array<std::byte, kPageSize>, 4> stored;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    stored[i] = PatternPage(i + 60);
+    (void)store_->Put(2, KeyAt(i), stored[i], 0);
+  }
+  std::array<std::array<std::byte, kPageSize>, 6> outs{};
+  std::vector<KvRead> reads;
+  for (std::uint32_t i = 0; i < 6; ++i)
+    reads.push_back(KvRead{KeyAt(i), outs[i], {}});  // keys 4,5 missing
+  auto mg = store_->MultiGet(2, reads, 1000);
+  EXPECT_GE(mg.complete_at, mg.issue_done);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(reads[i].status.ok()) << i;
+    EXPECT_EQ(0, std::memcmp(outs[i].data(), stored[i].data(), kPageSize));
+  }
+  EXPECT_EQ(reads[4].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(reads[5].status.code(), StatusCode::kNotFound);
+}
+
+TEST_P(StoreContractTest, EmptyMultiGetIsHarmless) {
+  auto mg = store_->MultiGet(1, {}, 500);
+  EXPECT_TRUE(mg.status.ok());
+  EXPECT_GE(mg.complete_at, 500u);
+}
+
+TEST_P(StoreContractTest, TimeNeverRunsBackwards) {
+  SimTime now = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto put = store_->Put(1, KeyAt(i), PatternPage(i), now);
+    EXPECT_GE(put.issue_done, now);
+    EXPECT_GE(put.complete_at, put.issue_done);
+    now = put.complete_at;
+  }
+}
+
+TEST_P(StoreContractTest, StatsCountOperations) {
+  (void)store_->Put(1, KeyAt(0), PatternPage(0), 0);
+  std::array<std::byte, kPageSize> out{};
+  (void)store_->Get(1, KeyAt(0), out, 0);
+  (void)store_->Get(1, KeyAt(1), out, 0);
+  (void)store_->Remove(1, KeyAt(0), 0);
+  EXPECT_EQ(store_->stats().puts, 1u);
+  EXPECT_EQ(store_->stats().gets, 2u);
+  EXPECT_EQ(store_->stats().removes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreContractTest,
+    ::testing::Values(
+        std::pair<const char*, StoreFactory>{
+            "ramcloud",
+            [] {
+              return std::make_unique<RamcloudStore>(RamcloudConfig{});
+            }},
+        std::pair<const char*, StoreFactory>{
+            "memcached",
+            [] {
+              return std::make_unique<MemcachedStore>(MemcachedConfig{});
+            }},
+        std::pair<const char*, StoreFactory>{
+            "local",
+            [] { return std::make_unique<LocalDramStore>(); }},
+        std::pair<const char*, StoreFactory>{
+            "compressed",
+            [] {
+              return std::make_unique<CompressedStore>(
+                  CompressedStoreConfig{});
+            }},
+        std::pair<const char*, StoreFactory>{
+            "replicated",
+            [] {
+              std::vector<std::unique_ptr<KvStore>> reps;
+              reps.push_back(std::make_unique<LocalDramStore>());
+              reps.push_back(std::make_unique<LocalDramStore>(
+                  LocalStoreConfig{.seed = 99}));
+              return std::make_unique<ReplicatedStore>(std::move(reps), 2);
+            }}),
+    [](const auto& info) { return std::string{info.param.first}; });
+
+// --- RAMCloud specifics --------------------------------------------------------------
+
+TEST(Ramcloud, CleanerReclaimsDeadSpace) {
+  // A small log hammered with overwrites: without the cleaner the log
+  // would exceed its cap; with it, allocation stays bounded and data stays
+  // correct.
+  RamcloudConfig cfg;
+  cfg.memory_cap_bytes = 64 * (kPageSize + 64);  // room for ~64 objects
+  cfg.segment_bytes = 8 * (kPageSize + 64);
+  RamcloudStore store{cfg};
+  std::array<std::byte, kPageSize> out{};
+  SimTime now = 0;
+  for (std::uint32_t round = 0; round < 40; ++round) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      auto put = store.Put(1, KeyAt(i), PatternPage(round * 16 + i), now);
+      ASSERT_TRUE(put.status.ok()) << "round " << round << " key " << i;
+      now = put.complete_at;
+    }
+  }
+  EXPECT_GT(store.CleanerPasses(), 0u);
+  EXPECT_LE(store.AllocatedLogBytes(), cfg.memory_cap_bytes);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store.Get(1, KeyAt(i), out, now).status.ok());
+    const auto expect = PatternPage(39 * 16 + i);
+    EXPECT_EQ(0, std::memcmp(out.data(), expect.data(), kPageSize));
+  }
+}
+
+TEST(Ramcloud, RefusesWhenFullOfLiveData) {
+  RamcloudConfig cfg;
+  cfg.memory_cap_bytes = 8 * (kPageSize + 64);
+  cfg.segment_bytes = 4 * (kPageSize + 64);
+  RamcloudStore store{cfg};
+  SimTime now = 0;
+  Status last = Status::Ok();
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    auto put = store.Put(1, KeyAt(i), PatternPage(i), now);
+    now = put.complete_at;
+    if (!put.status.ok()) {
+      last = put.status;
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Ramcloud, LogUtilizationReflectsOverwrites) {
+  RamcloudStore store{RamcloudConfig{}};
+  SimTime now = 0;
+  for (int i = 0; i < 10; ++i)
+    now = store.Put(1, KeyAt(0), PatternPage(i), now).complete_at;
+  // 1 live object, 10 appended: utilization well below 1.
+  EXPECT_LT(store.LogUtilization(), 0.5);
+  EXPECT_EQ(store.ObjectCount(), 1u);
+}
+
+// --- Memcached specifics ---------------------------------------------------------------
+
+TEST(Memcached, EvictsLruWhenFull) {
+  MemcachedConfig cfg;
+  cfg.slab_bytes = 8 * MemcachedStore::kChunkBytes;
+  cfg.memory_cap_bytes = cfg.slab_bytes;  // one slab: 8 chunks
+  MemcachedStore store{cfg};
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 12; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  EXPECT_EQ(store.ObjectCount(), 8u);
+  EXPECT_GT(store.stats().evictions, 0u);
+  // The oldest keys are gone; the newest survive.
+  EXPECT_FALSE(store.Contains(1, KeyAt(0)));
+  EXPECT_TRUE(store.Contains(1, KeyAt(11)));
+}
+
+TEST(Memcached, GetRefreshesLruPosition) {
+  MemcachedConfig cfg;
+  cfg.slab_bytes = 4 * MemcachedStore::kChunkBytes;
+  cfg.memory_cap_bytes = cfg.slab_bytes;
+  MemcachedStore store{cfg};
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 4; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  // Touch key 0 so it becomes MRU, then insert one more.
+  std::array<std::byte, kPageSize> out{};
+  now = store.Get(1, KeyAt(0), out, now).complete_at;
+  now = store.Put(1, KeyAt(4), PatternPage(4), now).complete_at;
+  EXPECT_TRUE(store.Contains(1, KeyAt(0)));   // refreshed
+  EXPECT_FALSE(store.Contains(1, KeyAt(1)));  // evicted instead
+}
+
+TEST(Memcached, GrowsSlabsUpToCap) {
+  MemcachedConfig cfg;
+  cfg.slab_bytes = 4 * MemcachedStore::kChunkBytes;
+  cfg.memory_cap_bytes = 3 * cfg.slab_bytes;
+  MemcachedStore store{cfg};
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 12; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  EXPECT_EQ(store.SlabCount(), 3u);
+  EXPECT_EQ(store.ObjectCount(), 12u);
+}
+
+TEST(Ramcloud, MultiReadBeatsSequentialGets) {
+  // The native batch pays one round trip; N singles pay N.
+  RamcloudStore store{RamcloudConfig{}};
+  SimTime now = 0;
+  constexpr std::size_t kN = 16;
+  for (std::uint32_t i = 0; i < kN; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+
+  std::array<std::array<std::byte, kPageSize>, kN> outs{};
+  std::vector<KvRead> reads;
+  for (std::uint32_t i = 0; i < kN; ++i)
+    reads.push_back(KvRead{KeyAt(i), outs[i], {}});
+  const SimTime t0 = now + kMillisecond;
+  auto mg = store.MultiGet(1, reads, t0);
+  const SimDuration batched = mg.complete_at - t0;
+
+  SimTime t = t0 + kSecond;  // far from the batch: clean server queue
+  const SimTime t1 = t;
+  for (std::uint32_t i = 0; i < kN; ++i)
+    t = store.Get(1, KeyAt(i), outs[i], t).complete_at;
+  const SimDuration singles = t - t1;
+  EXPECT_LT(batched * 2, singles);
+}
+
+TEST(Ramcloud, MultiGetFailsClosedWhenCrashed) {
+  RamcloudStore store{RamcloudConfig{}};
+  (void)store.Put(1, KeyAt(0), PatternPage(0), 0);
+  store.CrashMaster();
+  std::array<std::byte, kPageSize> out{};
+  std::vector<KvRead> reads{KvRead{KeyAt(0), out, {}}};
+  auto mg = store.MultiGet(1, reads, 0);
+  EXPECT_EQ(mg.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(reads[0].status.code(), StatusCode::kUnavailable);
+}
+
+TEST(Memcached, SlowerThanRamcloudPerGet) {
+  // The TCP/IPoIB transport must make Memcached reads measurably slower
+  // than RAMCloud's verbs reads (the Fig. 3 backend ordering).
+  RamcloudStore rc{RamcloudConfig{}};
+  MemcachedStore mc{MemcachedConfig{}};
+  std::array<std::byte, kPageSize> out{};
+  (void)rc.Put(1, KeyAt(0), PatternPage(0), 0);
+  (void)mc.Put(1, KeyAt(0), PatternPage(0), 0);
+  double rc_sum = 0, mc_sum = 0;
+  SimTime t = 1'000'000'000;  // past the puts
+  for (int i = 0; i < 500; ++i) {
+    auto g1 = rc.Get(1, KeyAt(0), out, t);
+    auto g2 = mc.Get(1, KeyAt(0), out, t);
+    rc_sum += static_cast<double>(g1.complete_at - t);
+    mc_sum += static_cast<double>(g2.complete_at - t);
+    t += 1'000'000;
+  }
+  EXPECT_GT(mc_sum, rc_sum * 2.5);
+}
+
+}  // namespace
+}  // namespace fluid::kv

@@ -1,0 +1,243 @@
+// Unit tests for the memory substrate: FramePool and the userfaultfd model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+
+namespace fluid::mem {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+
+std::array<std::byte, kPageSize> PatternPage(std::uint8_t seed) {
+  std::array<std::byte, kPageSize> page;
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    page[i] = static_cast<std::byte>((seed + i * 7) & 0xff);
+  return page;
+}
+
+// --- FramePool -----------------------------------------------------------------
+
+TEST(FramePool, AllocUntilExhaustion) {
+  FramePool pool{4};
+  EXPECT_EQ(pool.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto f = pool.Allocate();
+    ASSERT_TRUE(f.ok());
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  auto f = pool.Allocate();
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FramePool, FreeReturnsCapacity) {
+  FramePool pool{2};
+  auto a = pool.Allocate();
+  auto b = pool.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.Free(*a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_TRUE(pool.Allocate().ok());
+}
+
+TEST(FramePool, AllocateZeroedIsZero) {
+  FramePool pool{2};
+  auto a = pool.Allocate();
+  ASSERT_TRUE(a.ok());
+  std::memset(pool.Data(*a).data(), 0xab, kPageSize);
+  pool.Free(*a);
+  auto b = pool.AllocateZeroed();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(pool.IsZeroFilled(*b));
+}
+
+TEST(FramePool, DataIsIsolatedPerFrame) {
+  FramePool pool{2};
+  auto a = pool.Allocate();
+  auto b = pool.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::memset(pool.Data(*a).data(), 0x11, kPageSize);
+  std::memset(pool.Data(*b).data(), 0x22, kPageSize);
+  EXPECT_EQ(pool.Data(*a)[kPageSize - 1], std::byte{0x11});
+  EXPECT_EQ(pool.Data(*b)[0], std::byte{0x22});
+}
+
+// --- UffdRegion ------------------------------------------------------------------
+
+class UffdTest : public ::testing::Test {
+ protected:
+  FramePool pool_{64};
+  UffdRegion region_{42, kBase, 16, pool_};
+};
+
+TEST_F(UffdTest, FirstAccessFaults) {
+  auto r = region_.Access(kBase, false);
+  EXPECT_EQ(r.kind, AccessKind::kUffdFault);
+  EXPECT_EQ(r.event.addr, kBase);
+  EXPECT_EQ(r.event.pid, 42u);
+  EXPECT_FALSE(r.event.is_write);
+}
+
+TEST_F(UffdTest, FaultAddressIsPageAligned) {
+  auto r = region_.Access(kBase + 3 * kPageSize + 123, true);
+  EXPECT_EQ(r.kind, AccessKind::kUffdFault);
+  EXPECT_EQ(r.event.addr, kBase + 3 * kPageSize);
+  EXPECT_TRUE(r.event.is_write);
+}
+
+TEST_F(UffdTest, ZeroPageResolvesReads) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  EXPECT_EQ(region_.Access(kBase, false).kind, AccessKind::kHit);
+  std::array<std::byte, 16> buf;
+  buf.fill(std::byte{0xff});
+  ASSERT_TRUE(region_.ReadBytes(kBase + 100, buf).ok());
+  for (std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+  // Zero-page mappings consume no frame.
+  EXPECT_EQ(region_.ResidentFrames(), 0u);
+  EXPECT_EQ(region_.PresentPages(), 1u);
+}
+
+TEST_F(UffdTest, ZeroPageWriteUpgradesInKernel) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  auto r = region_.Access(kBase, true);
+  EXPECT_EQ(r.kind, AccessKind::kMinorZero);
+  EXPECT_EQ(region_.StateOf(kBase), PteState::kMapped);
+  EXPECT_EQ(region_.ResidentFrames(), 1u);
+  EXPECT_TRUE(region_.IsDirty(kBase));
+  // Subsequent accesses hit.
+  EXPECT_EQ(region_.Access(kBase, true).kind, AccessKind::kHit);
+}
+
+TEST_F(UffdTest, ZeroPageDoubleInstallIsEexist) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  const Status s = region_.ZeroPage(kBase);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(UffdTest, CopyInstallsContents) {
+  const auto page = PatternPage(5);
+  ASSERT_TRUE(region_.Copy(kBase + kPageSize, page).ok());
+  EXPECT_EQ(region_.Access(kBase + kPageSize, false).kind, AccessKind::kHit);
+  std::array<std::byte, 32> buf;
+  ASSERT_TRUE(region_.ReadBytes(kBase + kPageSize + 64, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), page.data() + 64, 32));
+  EXPECT_FALSE(region_.IsDirty(kBase + kPageSize));  // installed, not written
+}
+
+TEST_F(UffdTest, CopyOnPresentPageIsEexist) {
+  const auto page = PatternPage(6);
+  ASSERT_TRUE(region_.Copy(kBase, page).ok());
+  EXPECT_EQ(region_.Copy(kBase, page).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(UffdTest, RemapMovesContentsOut) {
+  const auto page = PatternPage(7);
+  ASSERT_TRUE(region_.Copy(kBase, page).ok());
+  auto frame = region_.Remap(kBase);
+  ASSERT_TRUE(frame.ok());
+  // Frame holds the exact bytes; the page is gone from the region.
+  EXPECT_EQ(0, std::memcmp(pool_.Data(*frame).data(), page.data(), kPageSize));
+  EXPECT_EQ(region_.StateOf(kBase), PteState::kNotMapped);
+  EXPECT_EQ(region_.Access(kBase, false).kind, AccessKind::kUffdFault);
+  EXPECT_EQ(region_.ResidentFrames(), 0u);
+  pool_.Free(*frame);
+}
+
+TEST_F(UffdTest, RemapOfZeroPageMaterialisesZeroFrame) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  auto frame = region_.Remap(kBase);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(pool_.IsZeroFilled(*frame));
+  pool_.Free(*frame);
+}
+
+TEST_F(UffdTest, RemapOfMissingPageIsNotFound) {
+  auto frame = region_.Remap(kBase);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(UffdTest, RoundTripPreservesData) {
+  // copy -> write -> remap -> copy back: the write must survive.
+  const auto page = PatternPage(8);
+  ASSERT_TRUE(region_.Copy(kBase, page).ok());
+  const std::uint64_t marker = 0xdeadbeefcafef00dULL;
+  ASSERT_EQ(region_.Access(kBase, true).kind, AccessKind::kHit);
+  ASSERT_TRUE(
+      region_.WriteBytes(kBase + 8, std::as_bytes(std::span{&marker, 1}))
+          .ok());
+  auto frame = region_.Remap(kBase);
+  ASSERT_TRUE(frame.ok());
+  std::array<std::byte, kPageSize> stash;
+  std::memcpy(stash.data(), pool_.Data(*frame).data(), kPageSize);
+  pool_.Free(*frame);
+  ASSERT_TRUE(region_.Copy(kBase, stash).ok());
+  std::uint64_t got = 0;
+  ASSERT_TRUE(
+      region_.ReadBytes(kBase + 8, std::as_writable_bytes(std::span{&got, 1}))
+          .ok());
+  EXPECT_EQ(got, marker);
+}
+
+TEST_F(UffdTest, CrossPageAccessRejected) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  std::array<std::byte, 32> buf;
+  EXPECT_EQ(region_.ReadBytes(kBase + kPageSize - 8, buf).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(UffdTest, OutOfRangeIoctlsRejected) {
+  const VirtAddr outside = kBase + 16 * kPageSize;
+  EXPECT_EQ(region_.ZeroPage(outside).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(region_.Remap(outside).ok());
+}
+
+TEST_F(UffdTest, ExpandAddsFaultablePages) {
+  const VirtAddr extra = kBase + 16 * kPageSize;
+  EXPECT_FALSE(region_.Contains(extra));
+  region_.Expand(4);
+  EXPECT_TRUE(region_.Contains(extra));
+  EXPECT_EQ(region_.Access(extra, false).kind, AccessKind::kUffdFault);
+  EXPECT_TRUE(region_.ZeroPage(extra).ok());
+}
+
+TEST_F(UffdTest, ReferencedBitsClearAndCount) {
+  ASSERT_TRUE(region_.ZeroPage(kBase).ok());
+  ASSERT_TRUE(region_.ZeroPage(kBase + kPageSize).ok());
+  (void)region_.Access(kBase, false);
+  EXPECT_GE(region_.ClearReferencedBits(), 1u);
+  EXPECT_EQ(region_.ClearReferencedBits(), 0u);
+}
+
+TEST_F(UffdTest, DestructorReleasesFrames) {
+  const std::size_t before = pool_.in_use();
+  {
+    UffdRegion r2{43, kBase + (1ULL << 30), 8, pool_};
+    const auto page = PatternPage(9);
+    ASSERT_TRUE(r2.Copy(kBase + (1ULL << 30), page).ok());
+    EXPECT_EQ(pool_.in_use(), before + 1);
+  }
+  EXPECT_EQ(pool_.in_use(), before);
+}
+
+// Exhaustion: when the pool is dry, a zero-page write upgrade surfaces as a
+// uffd fault so the driver can reclaim.
+TEST(UffdExhaustion, ZeroUpgradeWithoutFramesFaults) {
+  FramePool tiny{1};
+  UffdRegion region{1, kBase, 4, tiny};
+  ASSERT_TRUE(region.ZeroPage(kBase).ok());
+  ASSERT_TRUE(region.ZeroPage(kBase + kPageSize).ok());
+  EXPECT_EQ(region.Access(kBase, true).kind, AccessKind::kMinorZero);
+  // Pool now empty; the second upgrade cannot allocate.
+  EXPECT_EQ(region.Access(kBase + kPageSize, true).kind,
+            AccessKind::kUffdFault);
+}
+
+}  // namespace
+}  // namespace fluid::mem

@@ -1,0 +1,443 @@
+// Tests for the fault-ahead prefetcher and remote-memory-assisted VM
+// migration — the §V-A/§VII extension features.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "fluidmem/migration.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+namespace fluid::fm {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+
+struct Rig {
+  mem::FramePool pool{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  Monitor monitor;
+  mem::UffdRegion region;
+  RegionId rid;
+
+  explicit Rig(MonitorConfig cfg, std::size_t region_pages = 2048)
+      : monitor(cfg, store, pool),
+        region(77, kBase, region_pages, pool),
+        rid(monitor.RegisterRegion(region, /*partition=*/3)) {}
+
+  // Populate `n` pages with markers and push them all remote.
+  SimTime Populate(std::size_t n, SimTime now) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)region.Access(PageAddr(i), true);
+      now = monitor.HandleFault(rid, PageAddr(i), now).wake_at;
+      (void)region.Access(PageAddr(i), true);
+      const std::uint64_t v = 0xF00D0000 + i;
+      EXPECT_TRUE(region
+                      .WriteBytes(PageAddr(i) + 8,
+                                  std::as_bytes(std::span{&v, 1}))
+                      .ok());
+    }
+    now = monitor.FlushRegion(rid, now);
+    return now;
+  }
+
+  // Sequential read sweep; returns (faults, end time).
+  std::pair<std::uint64_t, SimTime> Sweep(std::size_t n, SimTime now) {
+    std::uint64_t faults = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto a = region.Access(PageAddr(i), false);
+      if (a.kind == mem::AccessKind::kUffdFault) {
+        ++faults;
+        auto out = monitor.HandleFault(rid, PageAddr(i), now);
+        EXPECT_TRUE(out.status.ok());
+        now = out.wake_at;
+        (void)region.Access(PageAddr(i), false);
+      }
+      std::uint64_t got = 0;
+      EXPECT_TRUE(region
+                      .ReadBytes(PageAddr(i) + 8,
+                                 std::as_writable_bytes(std::span{&got, 1}))
+                      .ok());
+      EXPECT_EQ(got, 0xF00D0000 + i) << "page " << i;
+      now += 200;
+    }
+    return {faults, now};
+  }
+};
+
+MonitorConfig Config(std::size_t prefetch, std::size_t lru = 256) {
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = lru;
+  cfg.prefetch_depth = prefetch;
+  return cfg;
+}
+
+// --- prefetch -------------------------------------------------------------------
+
+TEST(Prefetch, SequentialSweepTakesFarFewerFaults) {
+  Rig base{Config(0)};
+  SimTime now0 = base.Populate(1024, 0);
+  const auto [faults0, end0] = base.Sweep(1024, now0 + kMillisecond);
+
+  Rig pf{Config(7)};
+  SimTime now1 = pf.Populate(1024, 0);
+  const auto [faults1, end1] = pf.Sweep(1024, now1 + kMillisecond);
+
+  EXPECT_EQ(faults0, 1024u);             // every page faults without it
+  EXPECT_LT(faults1, faults0 / 4);       // depth 7: ~1 fault per 8 pages
+  EXPECT_GT(pf.monitor.stats().prefetched_pages, 700u);
+}
+
+TEST(Prefetch, NeverTouchesUnseenPages) {
+  // First-touch semantics must be preserved: prefetching past the frontier
+  // of ever-touched pages would wrongly materialise zero pages.
+  Rig rig{Config(8)};
+  SimTime now = rig.Populate(64, 0);  // pages 0..63 exist remotely
+  // Fault page 60: prefetch may reach 61..63 but must stop there.
+  (void)rig.region.Access(PageAddr(60), false);
+  now = rig.monitor.HandleFault(rig.rid, PageAddr(60), now).wake_at;
+  for (std::size_t i = 64; i < 72; ++i)
+    EXPECT_FALSE(rig.region.IsPresent(PageAddr(i))) << "page " << i;
+  EXPECT_FALSE(rig.monitor.tracker().Seen(PageRef{rig.rid, PageAddr(64)}));
+}
+
+TEST(Prefetch, RespectsLruBudget) {
+  Rig rig{Config(8, /*lru=*/32)};
+  SimTime now = rig.Populate(512, 0);
+  (void)rig.Sweep(512, now + kMillisecond);
+  EXPECT_LE(rig.monitor.ResidentPages(), 32u);
+}
+
+TEST(Prefetch, RandomWorkloadStaysCorrect) {
+  Rig rig{Config(4, 64)};
+  SimTime now = rig.Populate(512, 0);
+  Rng rng{1234};
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t page = rng.NextBounded(512);
+    auto a = rig.region.Access(PageAddr(page), false);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      auto out = rig.monitor.HandleFault(rig.rid, PageAddr(page), now);
+      ASSERT_TRUE(out.status.ok());
+      now = out.wake_at;
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(rig.region
+                    .ReadBytes(PageAddr(page) + 8,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    ASSERT_EQ(got, 0xF00D0000 + page);
+    now += 300;
+  }
+  EXPECT_EQ(rig.monitor.stats().lost_page_errors, 0u);
+}
+
+// --- FlushRegion -----------------------------------------------------------------
+
+TEST(FlushRegion, PushesEverythingAndOnlyThatRegion) {
+  mem::FramePool pool{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = 512;
+  Monitor monitor{cfg, store, pool};
+  mem::UffdRegion ra{1, kBase, 256, pool};
+  mem::UffdRegion rb{2, kBase, 256, pool};
+  const RegionId ida = monitor.RegisterRegion(ra, 1);
+  const RegionId idb = monitor.RegisterRegion(rb, 2);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    (void)ra.Access(PageAddr(i), true);
+    now = monitor.HandleFault(ida, PageAddr(i), now).wake_at;
+    (void)ra.Access(PageAddr(i), true);
+    (void)rb.Access(PageAddr(i), true);
+    now = monitor.HandleFault(idb, PageAddr(i), now).wake_at;
+    (void)rb.Access(PageAddr(i), true);
+  }
+  EXPECT_EQ(monitor.ResidentPages(), 128u);
+  now = monitor.FlushRegion(ida, now);
+  EXPECT_EQ(monitor.ResidentPages(), 64u);  // region B untouched
+  EXPECT_EQ(ra.PresentPages(), 0u);
+  EXPECT_EQ(rb.PresentPages(), 64u);
+  // All of A's pages durable in the store under partition 1.
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_TRUE(store.Contains(1, kv::MakePageKey(PageAddr(i))));
+}
+
+// --- migration -------------------------------------------------------------------
+
+struct TwoHosts {
+  mem::FramePool pool_a{8192};
+  mem::FramePool pool_b{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+  Monitor host_a;
+  Monitor host_b;
+
+  TwoHosts()
+      : host_a(MakeCfg(11), store, pool_a),
+        host_b(MakeCfg(12), store, pool_b) {}
+
+  static MonitorConfig MakeCfg(std::uint64_t seed) {
+    MonitorConfig cfg;
+    cfg.lru_capacity_pages = 512;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+TEST(Migration, VmMovesWithDataIntact) {
+  TwoHosts hosts;
+  mem::UffdRegion src{100, kBase, 512, hosts.pool_a};
+  const RegionId src_id = hosts.host_a.RegisterRegion(src, /*partition=*/9);
+
+  // Run the VM on host A: 256 marked pages.
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    (void)src.Access(PageAddr(i), true);
+    now = hosts.host_a.HandleFault(src_id, PageAddr(i), now).wake_at;
+    (void)src.Access(PageAddr(i), true);
+    const std::uint64_t v = 0xAB000000 + i;
+    ASSERT_TRUE(src.WriteBytes(PageAddr(i) + 16,
+                               std::as_bytes(std::span{&v, 1}))
+                    .ok());
+  }
+
+  // Migrate to host B.
+  mem::UffdRegion dst{100, kBase, 512, hosts.pool_b};
+  MigrationResult mig =
+      MigrateRegion(hosts.host_a, src_id, hosts.host_b, dst, 9, now);
+  ASSERT_TRUE(mig.status.ok());
+  EXPECT_EQ(mig.pages_flushed, 256u);
+  EXPECT_EQ(mig.pages_tracked, 256u);
+  EXPECT_GT(mig.downtime, 0u);
+  now = mig.resumed_at;
+
+  // The VM resumes on host B with an empty footprint; everything demand
+  // faults back with correct contents.
+  EXPECT_EQ(hosts.host_b.ResidentPages(), 0u);
+  for (std::size_t i = 0; i < 256; ++i) {
+    auto a = dst.Access(PageAddr(i), false);
+    ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    auto out = hosts.host_b.HandleFault(mig.target_region, PageAddr(i), now);
+    ASSERT_TRUE(out.status.ok()) << "page " << i;
+    EXPECT_FALSE(out.first_access) << "metadata lost: page treated as new";
+    now = out.wake_at;
+    std::uint64_t got = 0;
+    ASSERT_TRUE(dst.ReadBytes(PageAddr(i) + 16,
+                              std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    EXPECT_EQ(got, 0xAB000000 + i);
+  }
+  // Faults on the dead source region are rejected.
+  EXPECT_FALSE(hosts.host_a.HandleFault(src_id, PageAddr(0), now).status.ok());
+}
+
+TEST(Migration, DowntimeScalesWithResidentSet) {
+  auto downtime_for = [](std::size_t resident) {
+    TwoHosts hosts;
+    mem::UffdRegion src{100, kBase, 2048, hosts.pool_a};
+    const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+    SimTime now = 0;
+    for (std::size_t i = 0; i < resident; ++i) {
+      (void)src.Access(PageAddr(i), true);
+      now = hosts.host_a.HandleFault(sid, PageAddr(i), now).wake_at;
+      (void)src.Access(PageAddr(i), true);
+    }
+    mem::UffdRegion dst{100, kBase, 2048, hosts.pool_b};
+    MigrationResult mig =
+        MigrateRegion(hosts.host_a, sid, hosts.host_b, dst, 9, now);
+    EXPECT_TRUE(mig.status.ok());
+    return mig.downtime;
+  };
+  const SimDuration small = downtime_for(16);
+  const SimDuration large = downtime_for(500);
+  EXPECT_GT(large, small * 4);
+  // A pre-shrunk VM (Table III style) migrates in well under 10 ms here.
+  EXPECT_LT(small, 10 * kMillisecond);
+}
+
+TEST(Migration, RejectsDirtyDestination) {
+  TwoHosts hosts;
+  mem::UffdRegion src{100, kBase, 64, hosts.pool_a};
+  const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+  mem::UffdRegion dst{100, kBase, 64, hosts.pool_b};
+  ASSERT_TRUE(dst.ZeroPage(kBase).ok());  // destination not empty
+  MigrationResult mig =
+      MigrateRegion(hosts.host_a, sid, hosts.host_b, dst, 9, 0);
+  EXPECT_EQ(mig.status.code(), StatusCode::kFailedPrecondition);
+  // Source still alive.
+  (void)src.Access(PageAddr(0), true);
+  EXPECT_TRUE(hosts.host_a.HandleFault(sid, PageAddr(0), 0).status.ok());
+}
+
+TEST(Migration, RoundTripBackToOriginalHost) {
+  TwoHosts hosts;
+  mem::UffdRegion r1{100, kBase, 128, hosts.pool_a};
+  const RegionId id1 = hosts.host_a.RegisterRegion(r1, 9);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    (void)r1.Access(PageAddr(i), true);
+    now = hosts.host_a.HandleFault(id1, PageAddr(i), now).wake_at;
+    (void)r1.Access(PageAddr(i), true);
+    const std::uint64_t v = i ^ 0x5555;
+    ASSERT_TRUE(r1.WriteBytes(PageAddr(i), std::as_bytes(std::span{&v, 1}))
+                    .ok());
+  }
+  mem::UffdRegion r2{100, kBase, 128, hosts.pool_b};
+  auto m1 = MigrateRegion(hosts.host_a, id1, hosts.host_b, r2, 9, now);
+  ASSERT_TRUE(m1.status.ok());
+  now = m1.resumed_at;
+  // Touch half the pages on B (they fault in), then migrate back.
+  for (std::size_t i = 0; i < 32; ++i) {
+    (void)r2.Access(PageAddr(i), false);
+    now = hosts.host_b.HandleFault(m1.target_region, PageAddr(i), now).wake_at;
+  }
+  mem::UffdRegion r3{100, kBase, 128, hosts.pool_a};
+  auto m2 = MigrateRegion(hosts.host_b, m1.target_region, hosts.host_a, r3, 9,
+                          now);
+  ASSERT_TRUE(m2.status.ok());
+  now = m2.resumed_at;
+  for (std::size_t i = 0; i < 64; ++i) {
+    (void)r3.Access(PageAddr(i), false);
+    auto out = hosts.host_a.HandleFault(m2.target_region, PageAddr(i), now);
+    ASSERT_TRUE(out.status.ok());
+    now = out.wake_at;
+    std::uint64_t got = 0;
+    ASSERT_TRUE(r3.ReadBytes(PageAddr(i),
+                             std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    EXPECT_EQ(got, i ^ 0x5555u);
+  }
+}
+
+// --- pre-copy migration --------------------------------------------------------
+
+TEST(PreCopyMigration, RoundsConvergeAndDataSurvives) {
+  TwoHosts hosts;
+  mem::UffdRegion src{100, kBase, 1024, hosts.pool_a};
+  const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+  SimTime now = 0;
+  auto write_page = [&](std::size_t i, std::uint64_t v) {
+    auto a = src.Access(PageAddr(i), true);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      now = hosts.host_a.HandleFault(sid, PageAddr(i), now).wake_at;
+      (void)src.Access(PageAddr(i), true);
+    }
+    ASSERT_TRUE(
+        src.WriteBytes(PageAddr(i), std::as_bytes(std::span{&v, 1})).ok());
+  };
+  for (std::size_t i = 0; i < 512; ++i) write_page(i, 0xCC000000 + i);
+
+  PreCopyMigrator mig{hosts.host_a, sid};
+  auto r1 = mig.CopyRound(now);
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.pages_copied, 512u);  // full resident set
+  now = r1.done;
+
+  // The guest keeps running: dirties a small hot set between rounds.
+  for (std::size_t i = 0; i < 32; ++i) write_page(i, 0xDD000000 + i);
+  auto r2 = mig.CopyRound(now);
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.pages_copied, 32u);  // only the re-dirtied pages
+  now = r2.done;
+
+  // A few more writes, then the switchover.
+  for (std::size_t i = 0; i < 8; ++i) write_page(i, 0xEE000000 + i);
+  mem::UffdRegion dst{100, kBase, 1024, hosts.pool_b};
+  MigrationResult fin = mig.Finalize(hosts.host_b, dst, 9, now);
+  ASSERT_TRUE(fin.status.ok());
+  EXPECT_EQ(fin.pages_flushed, 8u);  // final residue only
+  now = fin.resumed_at;
+
+  for (std::size_t i = 0; i < 512; ++i) {
+    (void)dst.Access(PageAddr(i), false);
+    auto f = hosts.host_b.HandleFault(fin.target_region, PageAddr(i), now);
+    ASSERT_TRUE(f.status.ok()) << i;
+    now = f.wake_at;
+    std::uint64_t got = 0;
+    ASSERT_TRUE(dst.ReadBytes(PageAddr(i),
+                              std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    const std::uint64_t expect = i < 8    ? 0xEE000000 + i
+                                 : i < 32 ? 0xDD000000 + i
+                                          : 0xCC000000 + i;
+    EXPECT_EQ(got, expect) << "page " << i;
+  }
+}
+
+TEST(PreCopyMigration, DowntimeBeatsPostCopyForHotVms) {
+  // A large resident set with a small write rate: pre-copy's pause covers
+  // only the residue, while stop-and-evict (MigrateRegion) flushes all of
+  // it while paused.
+  auto post_copy_downtime = [] {
+    TwoHosts hosts;
+    mem::UffdRegion src{100, kBase, 2048, hosts.pool_a};
+    const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+    SimTime now = 0;
+    for (std::size_t i = 0; i < 1024; ++i) {
+      (void)src.Access(PageAddr(i), true);
+      now = hosts.host_a.HandleFault(sid, PageAddr(i), now).wake_at;
+      (void)src.Access(PageAddr(i), true);
+    }
+    mem::UffdRegion dst{100, kBase, 2048, hosts.pool_b};
+    auto m = MigrateRegion(hosts.host_a, sid, hosts.host_b, dst, 9, now);
+    EXPECT_TRUE(m.status.ok());
+    return m.downtime;
+  };
+  auto pre_copy_downtime = []() -> SimDuration {
+    TwoHosts hosts;
+    mem::UffdRegion src{100, kBase, 2048, hosts.pool_a};
+    const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+    SimTime now = 0;
+    for (std::size_t i = 0; i < 1024; ++i) {
+      (void)src.Access(PageAddr(i), true);
+      now = hosts.host_a.HandleFault(sid, PageAddr(i), now).wake_at;
+      (void)src.Access(PageAddr(i), true);
+    }
+    PreCopyMigrator mig{hosts.host_a, sid};
+    auto r = mig.CopyRound(now);
+    now = r.done;
+    // Guest dirties 16 still-resident pages during the background copy
+    // (the most recently faulted ones; older pages were FIFO-evicted).
+    for (std::size_t i = 1008; i < 1024; ++i) {
+      const std::uint64_t v = i;
+      EXPECT_TRUE(
+          src.WriteBytes(PageAddr(i), std::as_bytes(std::span{&v, 1})).ok());
+    }
+    mem::UffdRegion dst{100, kBase, 2048, hosts.pool_b};
+    auto m = mig.Finalize(hosts.host_b, dst, 9, now);
+    EXPECT_TRUE(m.status.ok());
+    EXPECT_EQ(m.pages_flushed, 16u);
+    return m.downtime;
+  };
+  EXPECT_LT(pre_copy_downtime() * 3, post_copy_downtime());
+}
+
+TEST(PreCopyMigration, CopiesMoreTotalBytesThanStopAndEvict) {
+  // The classic trade-off: hot pages are copied repeatedly.
+  TwoHosts hosts;
+  mem::UffdRegion src{100, kBase, 512, hosts.pool_a};
+  const RegionId sid = hosts.host_a.RegisterRegion(src, 9);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    (void)src.Access(PageAddr(i), true);
+    now = hosts.host_a.HandleFault(sid, PageAddr(i), now).wake_at;
+    (void)src.Access(PageAddr(i), true);
+  }
+  PreCopyMigrator mig{hosts.host_a, sid};
+  for (int round = 0; round < 4; ++round) {
+    now = mig.CopyRound(now).done;
+    for (std::size_t i = 0; i < 64; ++i) {  // same hot pages every round
+      const std::uint64_t v = round;
+      (void)src.WriteBytes(PageAddr(i), std::as_bytes(std::span{&v, 1}));
+    }
+  }
+  mem::UffdRegion dst{100, kBase, 512, hosts.pool_b};
+  auto m = mig.Finalize(hosts.host_b, dst, 9, now);
+  ASSERT_TRUE(m.status.ok());
+  EXPECT_GT(mig.total_pages_copied(), 256u + 3 * 64u - 1);
+}
+
+}  // namespace
+}  // namespace fluid::fm

@@ -1,0 +1,107 @@
+// Tests for per-region DRAM quotas: multi-tenant fairness on the shared
+// monitor LRU (a provider policy built on §III's flexibility argument).
+#include <gtest/gtest.h>
+
+#include "fluidmem/monitor.h"
+#include "kvstore/local_store.h"
+#include "mem/uffd.h"
+
+namespace fluid::fm {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+
+struct TwoTenants {
+  mem::FramePool pool{8192};
+  kv::LocalDramStore store;
+  Monitor monitor;
+  mem::UffdRegion a{1, kBase, 1024, pool};
+  mem::UffdRegion b{2, kBase, 1024, pool};
+  RegionId ida, idb;
+
+  explicit TwoTenants(std::size_t lru = 128)
+      : monitor(MakeCfg(lru), store, pool),
+        ida(monitor.RegisterRegion(a, 1)),
+        idb(monitor.RegisterRegion(b, 2)) {}
+
+  static MonitorConfig MakeCfg(std::size_t lru) {
+    MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru;
+    return cfg;
+  }
+
+  SimTime Touch(mem::UffdRegion& r, RegionId id, std::size_t page,
+                SimTime now) {
+    auto acc = r.Access(PageAddr(page), true);
+    if (acc.kind == mem::AccessKind::kUffdFault) {
+      auto out = monitor.HandleFault(id, PageAddr(page), now);
+      EXPECT_TRUE(out.status.ok());
+      now = out.wake_at;
+      (void)r.Access(PageAddr(page), true);
+    }
+    return now;
+  }
+};
+
+TEST(RegionQuota, NoisyTenantCannotEvictNeighbour) {
+  TwoTenants t{128};
+  SimTime now = 0;
+  // Tenant B establishes a 40-page working set.
+  for (std::size_t i = 0; i < 40; ++i) now = t.Touch(t.b, t.idb, i, now);
+  // Cap tenant A at 64 pages, then let it stream 800 pages.
+  now = t.monitor.SetRegionQuota(t.ida, 64, now);
+  for (std::size_t i = 0; i < 800; ++i) now = t.Touch(t.a, t.ida, i, now);
+  // A is bounded by its quota; B is untouched.
+  EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 64u);
+  EXPECT_EQ(t.monitor.RegionResidentPages(t.idb), 40u);
+}
+
+TEST(RegionQuota, WithoutQuotaTheStreamEvictsEveryone) {
+  TwoTenants t{128};
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 40; ++i) now = t.Touch(t.b, t.idb, i, now);
+  for (std::size_t i = 0; i < 800; ++i) now = t.Touch(t.a, t.ida, i, now);
+  // The control: global insertion-order eviction squeezed B out.
+  EXPECT_LT(t.monitor.RegionResidentPages(t.idb), 5u);
+}
+
+TEST(RegionQuota, ShrinkingQuotaEvictsImmediately) {
+  TwoTenants t{256};
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 100; ++i) now = t.Touch(t.a, t.ida, i, now);
+  EXPECT_EQ(t.monitor.RegionResidentPages(t.ida), 100u);
+  now = t.monitor.SetRegionQuota(t.ida, 16, now);
+  EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 16u);
+  // Data still correct after the squeeze.
+  now = t.monitor.DrainWrites(now);
+  for (std::size_t i = 0; i < 100; i += 7) now = t.Touch(t.a, t.ida, i, now);
+  EXPECT_EQ(t.monitor.stats().lost_page_errors, 0u);
+}
+
+TEST(RegionQuota, RemovingQuotaRestoresGlobalSharing) {
+  TwoTenants t{256};
+  SimTime now = 0;
+  now = t.monitor.SetRegionQuota(t.ida, 8, now);
+  for (std::size_t i = 0; i < 64; ++i) now = t.Touch(t.a, t.ida, i, now);
+  EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 8u);
+  now = t.monitor.SetRegionQuota(t.ida, 0, now);  // lift the cap
+  for (std::size_t i = 64; i < 160; ++i) now = t.Touch(t.a, t.ida, i, now);
+  EXPECT_GT(t.monitor.RegionResidentPages(t.ida), 8u);
+}
+
+TEST(RegionQuota, QuotaEvictionPreservesOtherRegionsOrder) {
+  TwoTenants t{256};
+  SimTime now = 0;
+  // Interleave: B pages 0..9, A pages 0..9, B pages 10..19.
+  for (std::size_t i = 0; i < 10; ++i) now = t.Touch(t.b, t.idb, i, now);
+  for (std::size_t i = 0; i < 10; ++i) now = t.Touch(t.a, t.ida, i, now);
+  for (std::size_t i = 10; i < 20; ++i) now = t.Touch(t.b, t.idb, i, now);
+  // Quota-squeeze A to 2: only A's pages leave.
+  now = t.monitor.SetRegionQuota(t.ida, 2, now);
+  EXPECT_EQ(t.monitor.RegionResidentPages(t.idb), 20u);
+  EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 2u);
+}
+
+}  // namespace
+}  // namespace fluid::fm

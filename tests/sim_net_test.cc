@@ -1,0 +1,125 @@
+// Unit tests for the simulation kernel (clock, timelines, tracer) and the
+// network transport models.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/transport.h"
+#include "sim/clock.h"
+#include "sim/timeline.h"
+#include "sim/trace.h"
+
+namespace fluid {
+namespace {
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.Advance(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(50);  // never goes backwards
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(250);
+  EXPECT_EQ(c.now(), 250u);
+}
+
+TEST(Timeline, IdleResourceStartsImmediately) {
+  Timeline t;
+  const auto iv = t.Occupy(1000, 500);
+  EXPECT_EQ(iv.start, 1000u);
+  EXPECT_EQ(iv.end, 1500u);
+  EXPECT_EQ(t.free_at(), 1500u);
+}
+
+TEST(Timeline, BusyResourceQueuesFifo) {
+  Timeline t;
+  (void)t.Occupy(0, 1000);
+  const auto second = t.Occupy(100, 200);  // submitted while busy
+  EXPECT_EQ(second.start, 1000u);
+  EXPECT_EQ(second.end, 1200u);
+}
+
+TEST(Timeline, GapsDoNotAccumulateBusyTime) {
+  Timeline t;
+  (void)t.Occupy(0, 100);
+  (void)t.Occupy(10000, 100);
+  EXPECT_EQ(t.busy_total(), 200u);
+  EXPECT_NEAR(t.Utilization(20000), 0.01, 1e-9);
+}
+
+TEST(Timeline, EarliestStartDoesNotReserve) {
+  Timeline t;
+  (void)t.Occupy(0, 1000);
+  EXPECT_EQ(t.EarliestStart(500), 1000u);
+  EXPECT_EQ(t.free_at(), 1000u);  // unchanged
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tr;
+  tr.Record(1, "cat", "msg");
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(Tracer, EnabledRecordsAndCounts) {
+  Tracer tr;
+  tr.Enable();
+  tr.Record(1, "evict", "page 1");
+  tr.Record(2, "evict", "page 2");
+  tr.Record(3, "fault", "page 3");
+  EXPECT_EQ(tr.events().size(), 3u);
+  EXPECT_EQ(tr.CountCategory("evict"), 2u);
+}
+
+// --- transports ----------------------------------------------------------------
+
+TEST(Transport, SerializationScalesWithBytes) {
+  auto t = net::MakeVerbsTransport();
+  EXPECT_EQ(t.SerializationTime(0), 0u);
+  // 4 KB at 56 Gb/s is ~585 ns.
+  EXPECT_NEAR(static_cast<double>(t.SerializationTime(4096)), 585.0, 10.0);
+}
+
+TEST(Transport, OrderingMatchesTheTestbed) {
+  // local < verbs < IPoIB-TCP for a 4 KB read, by a wide margin.
+  Rng r{7};
+  auto local = net::MakeLocalTransport();
+  auto verbs = net::MakeVerbsTransport();
+  auto tcp = net::MakeIpoibTcpTransport();
+  double lsum = 0, vsum = 0, tsum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lsum += static_cast<double>(local.SampleRtt(32, 4096, r));
+    vsum += static_cast<double>(verbs.SampleRtt(32, 4096, r));
+    tsum += static_cast<double>(tcp.SampleRtt(32, 4096, r));
+  }
+  EXPECT_LT(lsum * 5, vsum);
+  EXPECT_LT(vsum * 3, tsum);
+}
+
+TEST(Transport, BatchIsCheaperThanSingles) {
+  Rng r{8};
+  auto verbs = net::MakeVerbsTransport();
+  constexpr std::size_t kBatch = 32;
+  double batched = 0, single = 0;
+  for (int i = 0; i < 500; ++i) {
+    batched += static_cast<double>(verbs.SampleBatchRtt(kBatch, 4096, r));
+    for (std::size_t j = 0; j < kBatch; ++j)
+      single += static_cast<double>(verbs.SampleRtt(4096, 32, r));
+  }
+  EXPECT_LT(batched * 3, single);
+}
+
+TEST(Transport, VerbsReadNearTenMicros) {
+  // §V-B: "a page read from RAMCloud involved waiting (10 us) for the
+  // network transport".
+  Rng r{9};
+  auto verbs = net::MakeVerbsTransport();
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    sum += ToMicros(verbs.SampleRtt(32, 4096, r));
+  const double mean = sum / kN;
+  EXPECT_GT(mean, 7.0);
+  EXPECT_LT(mean, 12.0);
+}
+
+}  // namespace
+}  // namespace fluid

@@ -1,0 +1,269 @@
+// Tests for the swap baseline: block devices, swap space, and the guest
+// kernel memory manager (page classes, active/inactive reclaim, balloon).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "blockdev/block_device.h"
+#include "swap/guest_mm.h"
+#include "swap/swap_space.h"
+
+namespace fluid::swap {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+
+std::array<std::byte, kPageSize> PatternPage(std::uint8_t seed) {
+  std::array<std::byte, kPageSize> page;
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    page[i] = static_cast<std::byte>((seed + i * 3) & 0xff);
+  return page;
+}
+
+// --- block devices -----------------------------------------------------------
+
+TEST(BlockDevice, UnwrittenBlocksReadZero) {
+  auto dev = blk::MakePmemDevice(16);
+  std::array<std::byte, kPageSize> buf;
+  buf.fill(std::byte{0xff});
+  auto io = dev.Read(3, buf, 0);
+  ASSERT_TRUE(io.status.ok());
+  for (std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(BlockDevice, WriteReadRoundTrip) {
+  auto dev = blk::MakeSsdDevice(16);
+  const auto page = PatternPage(9);
+  auto w = dev.Write(5, page, 0);
+  ASSERT_TRUE(w.status.ok());
+  std::array<std::byte, kPageSize> buf{};
+  auto r = dev.Read(5, buf, w.complete_at);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), page.data(), kPageSize));
+}
+
+TEST(BlockDevice, OutOfRangeRejected) {
+  auto dev = blk::MakePmemDevice(4);
+  std::array<std::byte, kPageSize> buf{};
+  EXPECT_EQ(dev.Read(4, buf, 0).status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dev.Write(99, buf, 0).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BlockDevice, QueueSerialisesCommands) {
+  auto dev = blk::MakeSsdDevice(16);
+  std::array<std::byte, kPageSize> buf{};
+  auto a = dev.Read(0, buf, 0);
+  auto b = dev.Read(1, buf, 0);  // issued at the same instant
+  EXPECT_GE(b.complete_at, a.complete_at);
+}
+
+TEST(BlockDevice, LatencyOrderingPmemNvmeofSsd) {
+  auto pmem = blk::MakePmemDevice(1024);
+  auto nvmeof = blk::MakeNvmeofDevice(1024);
+  auto ssd = blk::MakeSsdDevice(1024);
+  std::array<std::byte, kPageSize> buf{};
+  double p = 0, n = 0, s = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += 10 * kMillisecond;  // idle between commands: no queueing
+    p += static_cast<double>(pmem.Read(i % 1024, buf, t).complete_at - t);
+    n += static_cast<double>(nvmeof.Read(i % 1024, buf, t).complete_at - t);
+    s += static_cast<double>(ssd.Read(i % 1024, buf, t).complete_at - t);
+  }
+  EXPECT_LT(p * 2, n);
+  EXPECT_LT(n * 2, s);
+}
+
+// --- swap space ----------------------------------------------------------------
+
+TEST(SwapSpace, SlotRoundTripAndRelease) {
+  auto dev = blk::MakePmemDevice(8);
+  SwapSpace swap{dev};
+  EXPECT_EQ(swap.FreeSlots(), 8u);
+  const auto page = PatternPage(1);
+  auto out = swap.WriteOut(page, 0);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(swap.FreeSlots(), 7u);
+  std::array<std::byte, kPageSize> buf{};
+  auto in = swap.ReadIn(out.slot, buf, out.io_complete_at);
+  ASSERT_TRUE(in.status.ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), page.data(), kPageSize));
+  EXPECT_EQ(swap.FreeSlots(), 8u);  // slot freed on swap-in
+}
+
+TEST(SwapSpace, ExhaustsCleanly) {
+  auto dev = blk::MakePmemDevice(2);
+  SwapSpace swap{dev};
+  const auto page = PatternPage(2);
+  ASSERT_TRUE(swap.WriteOut(page, 0).status.ok());
+  ASSERT_TRUE(swap.WriteOut(page, 0).status.ok());
+  EXPECT_EQ(swap.WriteOut(page, 0).status.code(),
+            StatusCode::kResourceExhausted);
+}
+
+// --- guest kernel mm ----------------------------------------------------------------
+
+struct MmFixture {
+  blk::BlockDevice swap_dev = blk::MakePmemDevice(4096);
+  blk::BlockDevice fs_dev = blk::MakeSsdDevice(4096);
+  GuestKernelMm mm;
+  explicit MmFixture(std::size_t dram = 64)
+      : mm(GuestMmConfig{.dram_frames = dram}, swap_dev, fs_dev) {}
+};
+
+TEST(GuestMm, FirstTouchIsMinorFault) {
+  MmFixture f;
+  f.mm.DefineRange(kBase, 8, PageClass::kAnon);
+  auto r = f.mm.Access(kBase, true, 0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.minor_fault);
+  EXPECT_FALSE(r.major_fault);
+  auto r2 = f.mm.Access(kBase, false, r.done);
+  EXPECT_FALSE(r2.minor_fault);
+  EXPECT_GT(f.mm.stats().hits, 0u);
+}
+
+TEST(GuestMm, AnonSwapRoundTripPreservesData) {
+  MmFixture f{16};
+  f.mm.DefineRange(kBase, 64, PageClass::kAnon);
+  const std::uint64_t marker = 0x1122334455667788ULL;
+  SimTime now = 0;
+  // Write a marker into page 0, then touch enough pages to force it out.
+  now = f.mm.Access(kBase, true, now).done;
+  ASSERT_TRUE(
+      f.mm.WriteBytes(kBase + 8, std::as_bytes(std::span{&marker, 1})).ok());
+  for (std::size_t i = 1; i < 64; ++i)
+    now = f.mm.Access(kBase + i * kPageSize, true, now).done;
+  EXPECT_GT(f.mm.stats().swap_outs, 0u);
+  // Fault page 0 back in: data must survive the device round trip.
+  auto r = f.mm.Access(kBase, false, now);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.major_fault);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(
+      f.mm.ReadBytes(kBase + 8, std::as_writable_bytes(std::span{&got, 1}))
+          .ok());
+  EXPECT_EQ(got, marker);
+  EXPECT_GT(f.mm.stats().swap_ins, 0u);
+}
+
+TEST(GuestMm, FilePagesWriteBackToFilesystemNotSwap) {
+  MmFixture f{16};
+  f.mm.DefineRange(kBase, 64, PageClass::kFile);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 64; ++i)
+    now = f.mm.Access(kBase + i * kPageSize, /*is_write=*/true, now).done;
+  // Reclaim must have used the fs device, never swap.
+  EXPECT_EQ(f.mm.stats().swap_outs, 0u);
+  EXPECT_GT(f.mm.stats().file_writebacks, 0u);
+  EXPECT_EQ(f.mm.swap().UsedSlots(), 0u);
+  EXPECT_GT(f.fs_dev.writes(), 0u);
+}
+
+TEST(GuestMm, CleanFilePagesAreDroppedNotWritten) {
+  MmFixture f{16};
+  f.mm.DefineRange(kBase, 64, PageClass::kFile);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 64; ++i)
+    now = f.mm.Access(kBase + i * kPageSize, /*is_write=*/false, now).done;
+  EXPECT_GT(f.mm.stats().file_drops, 0u);
+  EXPECT_EQ(f.mm.stats().file_writebacks, 0u);
+}
+
+TEST(GuestMm, KernelAndUnevictablePagesNeverLeaveDram) {
+  // The partial-disaggregation limit (§II): hammer the VM with anon
+  // pressure; pinned pages stay resident throughout.
+  MmFixture f{32};
+  f.mm.DefineRange(kBase, 8, PageClass::kKernel);
+  f.mm.DefineRange(kBase + 8 * kPageSize, 8, PageClass::kUnevictable);
+  f.mm.DefineRange(kBase + 16 * kPageSize, 256, PageClass::kAnon);
+  SimTime now = f.mm.TouchRange(kBase, 16, 0);
+  EXPECT_EQ(f.mm.ResidentPinned(), 16u);
+  for (int round = 0; round < 3; ++round)
+    for (std::size_t i = 0; i < 256; ++i)
+      now = f.mm.Access(kBase + (16 + i) * kPageSize, true, now).done;
+  // Pinned pages still resident: re-access them with zero major faults.
+  const auto majors_before = f.mm.stats().major_faults;
+  now = f.mm.TouchRange(kBase, 16, now);
+  EXPECT_EQ(f.mm.stats().major_faults, majors_before);
+  EXPECT_EQ(f.mm.ResidentPinned(), 16u);
+}
+
+TEST(GuestMm, SecondChanceKeepsHotPages) {
+  // Re-referenced pages survive reclaim; cold pages go out.
+  MmFixture f{32};
+  f.mm.DefineRange(kBase, 128, PageClass::kAnon);
+  SimTime now = 0;
+  // Establish 8 hot pages, touched between every batch of cold pages.
+  for (std::size_t i = 0; i < 128; ++i) {
+    now = f.mm.Access(kBase + i * kPageSize, true, now).done;
+    if (i % 4 == 0)
+      for (std::size_t h = 0; h < 8; ++h)
+        now = f.mm.Access(kBase + h * kPageSize, false, now).done;
+  }
+  // Hot pages should mostly still be resident.
+  const auto majors_before = f.mm.stats().major_faults;
+  for (std::size_t h = 0; h < 8; ++h)
+    now = f.mm.Access(kBase + h * kPageSize, false, now).done;
+  EXPECT_LE(f.mm.stats().major_faults - majors_before, 2u);
+}
+
+TEST(GuestMm, DirectReclaimKicksInUnderPressure) {
+  MmFixture f{16};
+  f.mm.DefineRange(kBase, 256, PageClass::kAnon);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 256; ++i)
+    now = f.mm.Access(kBase + i * kPageSize, true, now).done;
+  EXPECT_GT(f.mm.stats().kswapd_runs + f.mm.stats().direct_reclaims, 0u);
+  EXPECT_LE(f.mm.ResidentFrames(), 16u);
+}
+
+TEST(GuestMm, MajorFaultCostsMoreThanMinor) {
+  MmFixture f{16};
+  f.mm.DefineRange(kBase, 64, PageClass::kAnon);
+  SimTime now = 0;
+  SimDuration minor_cost = 0, major_cost = 0;
+  auto r = f.mm.Access(kBase, true, now);
+  minor_cost = r.done - now;
+  now = r.done;
+  for (std::size_t i = 1; i < 64; ++i)
+    now = f.mm.Access(kBase + i * kPageSize, true, now).done;
+  const SimTime t0 = now;
+  r = f.mm.Access(kBase, false, now);
+  ASSERT_TRUE(r.major_fault);
+  major_cost = r.done - t0;
+  EXPECT_GT(major_cost, 2 * minor_cost);
+}
+
+TEST(GuestMm, OomWhenSwapAndReclaimExhausted) {
+  blk::BlockDevice tiny_swap = blk::MakePmemDevice(4);
+  blk::BlockDevice fs = blk::MakeSsdDevice(64);
+  GuestKernelMm mm{GuestMmConfig{.dram_frames = 8}, tiny_swap, fs};
+  mm.DefineRange(kBase, 64, PageClass::kAnon);
+  SimTime now = 0;
+  Status last = Status::Ok();
+  for (std::size_t i = 0; i < 64 && last.ok(); ++i) {
+    auto r = mm.Access(kBase + i * kPageSize, true, now);
+    last = r.status;
+    now = r.done;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(mm.stats().oom_kills, 0u);
+}
+
+TEST(GuestMm, BalloonShrinksToFloorButNotBelowPinned) {
+  MmFixture f{128};
+  f.mm.DefineRange(kBase, 16, PageClass::kKernel);
+  f.mm.DefineRange(kBase + 16 * kPageSize, 64, PageClass::kAnon);
+  SimTime now = f.mm.TouchRange(kBase, 80, 0);
+  EXPECT_GE(f.mm.ResidentFrames(), 80u);
+  // Ask the balloon for a 4-page footprint: it can only evict reclaimables.
+  now = f.mm.BalloonReclaim(4, now);
+  EXPECT_LE(f.mm.ResidentFrames(), 17u);  // anon gone (some slack)
+  EXPECT_GE(f.mm.ResidentFrames(), 16u);  // pinned floor holds
+}
+
+}  // namespace
+}  // namespace fluid::swap

@@ -1,0 +1,179 @@
+// Tests for the VM layer: census/layout, FluidVm (full disaggregation,
+// hotplug, footprint control) and SwapVm (partial disaggregation, balloon).
+#include <gtest/gtest.h>
+
+#include "blockdev/block_device.h"
+#include "kvstore/ramcloud.h"
+#include "vm/census.h"
+#include "vm/fluid_vm.h"
+#include "vm/swap_vm.h"
+
+namespace fluid::vm {
+namespace {
+
+TEST(Census, FullScaleMatchesTableThree) {
+  const OsCensus c = MakeBootCensus(1);
+  EXPECT_EQ(c.TotalPages(), 81042u);  // 316.57 MB
+  EXPECT_GT(c.kernel_pages, 0u);
+  EXPECT_GT(c.file_pages, 0u);
+  EXPECT_GT(c.unevictable_pages, 0u);
+}
+
+TEST(Census, ScalingPreservesTotal) {
+  const OsCensus c = MakeBootCensus(100);
+  EXPECT_EQ(c.TotalPages(), 810u);
+  EXPECT_EQ(c.kernel_pages + c.file_pages + c.anon_pages +
+                c.unevictable_pages,
+            c.TotalPages());
+}
+
+TEST(Census, LayoutRangesAreContiguousAndDisjoint) {
+  const OsCensus c = MakeBootCensus(100);
+  const VmLayout l = MakeLayout(c, 512);
+  EXPECT_EQ(l.unevictable_base, l.kernel_base + c.kernel_pages * kPageSize);
+  EXPECT_EQ(l.os_anon_base,
+            l.unevictable_base + c.unevictable_pages * kPageSize);
+  EXPECT_EQ(l.os_file_base, l.os_anon_base + c.anon_pages * kPageSize);
+  EXPECT_EQ(l.app_base, l.os_file_base + c.file_pages * kPageSize);
+  EXPECT_EQ(l.total_pages, c.TotalPages() + 512);
+}
+
+struct FluidFixture {
+  OsCensus census = MakeBootCensus(300);  // ~270 OS pages
+  mem::FramePool pool{8192};
+  kv::RamcloudStore store{kv::RamcloudConfig{}};
+  fm::Monitor monitor;
+  FluidVm vm;
+
+  explicit FluidFixture(std::size_t lru = 512, std::size_t app_pages = 1024)
+      : monitor(MakeConfig(lru), store, pool),
+        vm(census, app_pages, monitor, pool, /*pid=*/9, /*partition=*/2) {}
+
+  static fm::MonitorConfig MakeConfig(std::size_t lru) {
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru;
+    return cfg;
+  }
+};
+
+TEST(FluidVm, BootMakesOsResident) {
+  FluidFixture f;
+  const SimTime done = f.vm.BootOs(0);
+  EXPECT_GT(done, 0u);
+  EXPECT_EQ(f.vm.ResidentPages(), f.census.TotalPages());
+  EXPECT_EQ(f.monitor.stats().first_access_faults, f.census.TotalPages());
+}
+
+TEST(FluidVm, AllOsPageClassesAreEvictable) {
+  // The core "full disaggregation" property: shrink the footprint below
+  // the OS census — kernel and unevictable pages leave DRAM too, which
+  // swap can never do.
+  FluidFixture f;
+  SimTime now = f.vm.BootOs(0);
+  now = f.vm.SetLocalFootprint(16, now);
+  EXPECT_LE(f.vm.ResidentPages(), 16u);
+  EXPECT_LT(f.vm.ResidentPages(), f.census.PinnedPages());
+  // The VM still works: kernel pages fault back in on demand.
+  auto r = f.vm.Touch(f.vm.layout().kernel_base, false, now);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(FluidVm, TouchReportsFaultKinds) {
+  FluidFixture f;
+  const VirtAddr a = f.vm.layout().AppAddr(0);
+  auto first = f.vm.Touch(a, false, 0);
+  EXPECT_TRUE(first.fault);
+  EXPECT_FALSE(first.major_fault);  // zero-fill, no store read
+  auto hit = f.vm.Touch(a, false, first.done);
+  EXPECT_FALSE(hit.fault);
+  EXPECT_LT(hit.done - first.done, FromMicros(2.0));
+}
+
+TEST(FluidVm, WriteAfterZeroPageUpgradesOnce) {
+  FluidFixture f;
+  const VirtAddr a = f.vm.layout().AppAddr(3);
+  auto r1 = f.vm.Touch(a, false, 0);   // read: zero page
+  auto r2 = f.vm.Touch(a, true, r1.done);  // write: in-kernel upgrade
+  EXPECT_TRUE(r2.fault);
+  EXPECT_FALSE(r2.major_fault);
+  auto r3 = f.vm.Touch(a, true, r2.done);
+  EXPECT_FALSE(r3.fault);
+}
+
+TEST(FluidVm, HotplugGrowsAddressSpace) {
+  FluidFixture f;
+  const std::size_t before = f.vm.layout().app_pages;
+  const VirtAddr new_page = f.vm.layout().AppAddr(before);
+  EXPECT_FALSE(f.vm.region().Contains(new_page));
+  f.vm.HotplugAdd(256);
+  EXPECT_EQ(f.vm.layout().app_pages, before + 256);
+  auto r = f.vm.Touch(new_page, true, 0);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(FluidVm, DataSurvivesFootprintCycling) {
+  FluidFixture f{/*lru=*/256};
+  SimTime now = f.vm.BootOs(0);
+  const VirtAddr a = f.vm.layout().AppAddr(7);
+  const std::uint64_t v = 0xfeedface12345678ULL;
+  now = f.vm.Store(a, std::as_bytes(std::span{&v, 1}), now).done;
+  now = f.vm.SetLocalFootprint(16, now);
+  now = f.vm.SetLocalFootprint(256, now);
+  std::uint64_t got = 0;
+  auto r = f.vm.Load(a, std::as_writable_bytes(std::span{&got, 1}), now);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(got, v);
+}
+
+struct SwapFixture {
+  OsCensus census = MakeBootCensus(300);
+  blk::BlockDevice swap_dev = blk::MakePmemDevice(16384);
+  blk::BlockDevice fs_dev = blk::MakeSsdDevice(16384);
+  SwapVm vm;
+
+  explicit SwapFixture(std::size_t dram = 512, std::size_t app_pages = 1024)
+      : vm(census, app_pages, dram, swap_dev, fs_dev) {}
+};
+
+TEST(SwapVm, BootFitsInDram) {
+  SwapFixture f;
+  (void)f.vm.BootOs(0);
+  EXPECT_LE(f.vm.ResidentPages(), 512u);
+  EXPECT_GE(f.vm.ResidentPages(), f.census.TotalPages() * 9 / 10);
+}
+
+TEST(SwapVm, CannotShrinkBelowPinnedFootprint) {
+  // The partial-disaggregation limit, mirrored against FluidVm's test.
+  SwapFixture f;
+  SimTime now = f.vm.BootOs(0);
+  now = f.vm.BalloonInflate(4, now);
+  EXPECT_GE(f.vm.ResidentPages(), f.census.PinnedPages());
+}
+
+TEST(SwapVm, AppPressureSwapsAnonButKeepsPinned) {
+  SwapFixture f{/*dram=*/512, /*app_pages=*/2048};
+  SimTime now = f.vm.BootOs(0);
+  for (std::size_t i = 0; i < 2048; ++i)
+    now = f.vm.Touch(f.vm.layout().AppAddr(i), true, now).done;
+  EXPECT_GT(f.vm.mm().stats().swap_outs, 0u);
+  EXPECT_EQ(f.vm.mm().ResidentPinned(), f.census.PinnedPages());
+  EXPECT_LE(f.vm.ResidentPages(), 512u);
+}
+
+TEST(SwapVm, DataSurvivesSwapPressure) {
+  SwapFixture f{/*dram=*/256, /*app_pages=*/1024};
+  SimTime now = f.vm.BootOs(0);
+  const VirtAddr a = f.vm.layout().AppAddr(0);
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  now = f.vm.Store(a, std::as_bytes(std::span{&v, 1}), now).done;
+  for (std::size_t i = 1; i < 1024; ++i)
+    now = f.vm.Touch(f.vm.layout().AppAddr(i), true, now).done;
+  std::uint64_t got = 0;
+  auto r = f.vm.Load(a, std::as_writable_bytes(std::span{&got, 1}), now);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.major_fault);
+  EXPECT_EQ(got, v);
+}
+
+}  // namespace
+}  // namespace fluid::vm

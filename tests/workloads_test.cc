@@ -1,0 +1,352 @@
+// Tests for the workloads: pmbench, Graph500, the document store + YCSB,
+// and the Table III responsiveness probes — including cross-mechanism
+// properties run over all six testbed backends.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/docstore.h"
+#include "workloads/graph500.h"
+#include "workloads/pmbench.h"
+#include "workloads/responsiveness.h"
+#include "workloads/testbed.h"
+
+namespace fluid::wl {
+namespace {
+
+// --- pmbench over every backend ---------------------------------------------------
+
+class PmbenchBackendTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(PmbenchBackendTest, VerifiesDataAndRecordsLatencies) {
+  TestbedConfig cfg;
+  cfg.local_dram_pages = 256;
+  cfg.vm_app_pages = 1024;
+  Testbed bed{GetParam(), cfg};
+  SimTime now = bed.Boot(0);
+
+  PmbenchConfig pm;
+  pm.base = bed.layout().app_base;
+  pm.wss_pages = 1024;  // 4x local DRAM, as in the paper
+  pm.duration = 200 * kMillisecond;
+  PmbenchResult r = RunPmbench(bed.memory(), pm, now);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.verify_failures, 0u) << "paging lost or corrupted data";
+  EXPECT_GT(r.accesses, 1000u);
+  EXPECT_GT(r.read_latency.Count(), 0u);
+  EXPECT_GT(r.write_latency.Count(), 0u);
+  EXPECT_GT(r.MeanUs(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, PmbenchBackendTest,
+    ::testing::Values(Backend::kFluidDram, Backend::kFluidRamcloud,
+                      Backend::kFluidMemcached, Backend::kSwapDram,
+                      Backend::kSwapNvmeof, Backend::kSwapSsd),
+    [](const auto& info) {
+      std::string n{BackendName(info.param)};
+      for (char& c : n)
+        if (c == ' ') c = '_';
+      return n;
+    });
+
+TEST(Pmbench, BackendOrderingMatchesFigureThree) {
+  // Average access latency: FluidMem RAMCloud ~ FluidMem DRAM <
+  // Swap NVMeoF < Swap SSD; FluidMem RAMCloud beats Swap NVMeoF by a
+  // meaningful margin (the paper reports 40%).
+  auto mean_for = [](Backend b) {
+    TestbedConfig cfg;
+    cfg.local_dram_pages = 256;
+    cfg.vm_app_pages = 1024;
+    Testbed bed{b, cfg};
+    SimTime now = bed.Boot(0);
+    PmbenchConfig pm;
+    pm.base = bed.layout().app_base;
+    pm.wss_pages = 1024;
+    pm.duration = 300 * kMillisecond;
+    PmbenchResult r = RunPmbench(bed.memory(), pm, now);
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.verify_failures, 0u);
+    return r.MeanUs();
+  };
+  const double fluid_rc = mean_for(Backend::kFluidRamcloud);
+  const double swap_nvmeof = mean_for(Backend::kSwapNvmeof);
+  const double swap_ssd = mean_for(Backend::kSwapSsd);
+  EXPECT_LT(fluid_rc, swap_nvmeof * 0.8);
+  EXPECT_LT(swap_nvmeof, swap_ssd);
+}
+
+TEST(Pmbench, DeterministicForFixedSeed) {
+  auto run = [] {
+    TestbedConfig cfg;
+    cfg.local_dram_pages = 128;
+    cfg.vm_app_pages = 512;
+    Testbed bed{Backend::kFluidRamcloud, cfg};
+    SimTime now = bed.Boot(0);
+    PmbenchConfig pm;
+    pm.base = bed.layout().app_base;
+    pm.wss_pages = 512;
+    pm.duration = 50 * kMillisecond;
+    return RunPmbench(bed.memory(), pm, now);
+  };
+  const PmbenchResult a = run();
+  const PmbenchResult b = run();
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_DOUBLE_EQ(a.MeanUs(), b.MeanUs());
+  EXPECT_EQ(a.finished, b.finished);
+}
+
+// --- Graph500 ---------------------------------------------------------------------
+
+TEST(Graph500, CsrIsWellFormed) {
+  Graph500Config cfg;
+  cfg.scale = 10;
+  const CsrGraph g = BuildGraph(cfg);
+  EXPECT_EQ(g.num_vertices, 1024);
+  ASSERT_EQ(g.xadj.size(), 1025u);
+  // xadj monotone; adjacency totals twice the kept edges.
+  for (std::size_t v = 1; v < g.xadj.size(); ++v)
+    EXPECT_GE(g.xadj[v], g.xadj[v - 1]);
+  EXPECT_EQ(static_cast<std::int64_t>(g.adjncy.size()), g.xadj.back());
+  // Every adjacency entry is a valid vertex.
+  for (std::int64_t v : g.adjncy) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, g.num_vertices);
+  }
+}
+
+TEST(Graph500, CsrIsSymmetric) {
+  Graph500Config cfg;
+  cfg.scale = 8;
+  const CsrGraph g = BuildGraph(cfg);
+  // Count (u,v) and (v,u) occurrences — an undirected CSR has equal counts.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> dir;
+  for (std::int64_t u = 0; u < g.num_vertices; ++u)
+    for (auto e = g.xadj[u]; e < g.xadj[u + 1]; ++e)
+      ++dir[{u, g.adjncy[static_cast<std::size_t>(e)]}];
+  for (const auto& [uv, n] : dir) {
+    auto it = dir.find({uv.second, uv.first});
+    ASSERT_NE(it, dir.end());
+    EXPECT_EQ(it->second, n);
+  }
+}
+
+TEST(Graph500, BfsProducesPositiveTeps) {
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.bfs_roots = 4;
+  const CsrGraph g = BuildGraph(cfg);
+
+  TestbedConfig tb;
+  tb.local_dram_pages = 4096;  // everything local
+  tb.vm_app_pages = g.total_pages + 64;
+  Testbed bed{Backend::kFluidDram, tb};
+  Graph500Config run_cfg = cfg;
+  run_cfg.base = bed.layout().app_base;
+  CsrGraph placed = g;
+  placed.base = run_cfg.base;
+  placed.xadj_base += run_cfg.base - g.base;
+  placed.adj_base += run_cfg.base - g.base;
+  placed.parent_base += run_cfg.base - g.base;
+  placed.queue_base += run_cfg.base - g.base;
+
+  SimTime now = bed.Boot(0);
+  now = PopulateGraph(bed.memory(), placed, now);
+  Graph500Result r = RunGraph500(bed.memory(), placed, run_cfg, now);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.trials.size(), 4u);
+  for (const BfsTrial& t : r.trials) {
+    EXPECT_GT(t.edges_traversed, 0);
+    EXPECT_GT(t.Teps(), 0.0);
+  }
+  EXPECT_GT(r.HarmonicMeanTeps(), 0.0);
+}
+
+TEST(Graph500, HarmonicMeanIsBelowArithmetic) {
+  Graph500Result r;
+  r.trials.push_back(BfsTrial{0, 1000, 1000});   // 1e9 teps
+  r.trials.push_back(BfsTrial{1, 1000, 10000});  // 1e8 teps
+  const double hm = r.HarmonicMeanTeps();
+  EXPECT_GT(hm, 0.0);
+  EXPECT_LT(hm, (1e9 + 1e8) / 2);
+}
+
+// --- docstore / YCSB -----------------------------------------------------------------
+
+TEST(Docstore, ReadsVerifyAgainstDisk) {
+  TestbedConfig tb;
+  tb.local_dram_pages = 512;
+  tb.vm_app_pages = 2048;
+  Testbed bed{Backend::kFluidRamcloud, tb};
+  auto disk = blk::MakeSsdDevice(8192);
+
+  DocstoreConfig cfg;
+  cfg.record_count = 4000;
+  cfg.cache_bytes = 1ULL << 20;  // 1024 records
+  cfg.cache_base = bed.layout().app_base;
+  cfg.heap_pages = 128;
+  cfg.pagecache_pages = 128;
+  DocStore store{cfg, bed.memory(), disk};
+  ASSERT_LE(store.ArenaPages(), tb.vm_app_pages);
+  SimTime now = bed.Boot(0);
+  now = store.Load(now);
+
+  // Read a spread of records; every one must verify its stamp (checked
+  // internally — errors surface as !ok).
+  for (std::uint64_t id = 0; id < 4000; id += 37) {
+    auto r = store.Read(id, now);
+    ASSERT_TRUE(r.status.ok()) << "record " << id;
+    now = r.done;
+  }
+  EXPECT_GT(store.CacheMisses(), 0u);
+}
+
+TEST(Docstore, CacheHitsAreCheaperThanMisses) {
+  TestbedConfig tb;
+  tb.local_dram_pages = 2048;
+  tb.vm_app_pages = 4096;
+  Testbed bed{Backend::kFluidDram, tb};
+  auto disk = blk::MakeSsdDevice(8192);
+  DocstoreConfig cfg;
+  cfg.record_count = 1000;
+  cfg.cache_bytes = 2ULL << 20;
+  cfg.cache_base = bed.layout().app_base;
+  cfg.heap_pages = 128;
+  cfg.pagecache_pages = 128;
+  DocStore store{cfg, bed.memory(), disk};
+  SimTime now = bed.Boot(0);
+  now = store.Load(now);
+
+  auto miss = store.Read(1, now);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.cache_hit);
+  auto hit = store.Read(1, miss.done);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_LT(hit.done - miss.done, miss.done - now);
+}
+
+TEST(Docstore, LruEvictionBoundsCache) {
+  TestbedConfig tb;
+  tb.local_dram_pages = 2048;
+  tb.vm_app_pages = 4096;
+  Testbed bed{Backend::kFluidDram, tb};
+  auto disk = blk::MakeSsdDevice(8192);
+  DocstoreConfig cfg;
+  cfg.record_count = 2000;
+  cfg.cache_bytes = 256 * 1024;  // 256 records
+  cfg.cache_base = bed.layout().app_base;
+  cfg.heap_pages = 128;
+  cfg.pagecache_pages = 128;
+  DocStore store{cfg, bed.memory(), disk};
+  SimTime now = bed.Boot(0);
+  now = store.Load(now);
+  for (std::uint64_t id = 0; id < 2000; ++id) now = store.Read(id, now).done;
+  EXPECT_LE(store.CacheRecords(), store.CacheCapacityRecords());
+}
+
+TEST(Ycsb, TimelineAndHistogramPopulated) {
+  TestbedConfig tb;
+  tb.local_dram_pages = 512;
+  tb.vm_app_pages = 2048;
+  Testbed bed{Backend::kFluidRamcloud, tb};
+  auto disk = blk::MakeSsdDevice(8192);
+  DocstoreConfig cfg;
+  cfg.record_count = 4000;
+  cfg.cache_bytes = 1ULL << 20;
+  cfg.cache_base = bed.layout().app_base;
+  cfg.heap_pages = 128;
+  cfg.pagecache_pages = 128;
+  DocStore store{cfg, bed.memory(), disk};
+  SimTime now = bed.Boot(0);
+  now = store.Load(now);
+
+  YcsbConfig yc;
+  yc.operations = 5000;
+  yc.timeline_buckets = 10;
+  YcsbResult r = RunYcsbC(store, yc, now);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.latency.Count(), 5000u);
+  EXPECT_GE(r.timeline.size(), 10u);
+  EXPECT_EQ(r.cache_hits + r.cache_misses, 5000u);
+  // Zipf(0.99) on a cache 1/4 the dataset: hits must dominate misses.
+  EXPECT_GT(r.cache_hits, r.cache_misses);
+}
+
+// --- responsiveness (Table III) -------------------------------------------------------
+
+struct ResponsivenessRig {
+  TestbedConfig tb;
+  Testbed bed;
+  SimTime now;
+
+  ResponsivenessRig()
+      : tb(MakeTb()), bed(Backend::kFluidRamcloud, tb), now(bed.Boot(0)) {}
+
+  static TestbedConfig MakeTb() {
+    TestbedConfig tb;
+    tb.local_dram_pages = 1024;
+    tb.vm_app_pages = 512;
+    return tb;
+  }
+
+  OpOutcome RunAt(std::size_t footprint_pages, const GuestOp& op) {
+    now = bed.fluid_vm()->SetLocalFootprint(footprint_pages, now);
+    return RunGuestOp(bed.memory(), op, now);
+  }
+};
+
+TEST(Responsiveness, SshWorksAtItsWorkingSetSize) {
+  ResponsivenessRig rig;
+  const auto op = SshLoginOp(rig.bed.layout().app_base);
+  OpOutcome out = rig.RunAt(180, op);
+  EXPECT_TRUE(out.responded) << "elapsed " << ToMicros(out.elapsed) << "us";
+  EXPECT_FALSE(out.deadlocked);
+}
+
+TEST(Responsiveness, SshTimesOutBelowWorkingSet) {
+  ResponsivenessRig rig;
+  const auto op = SshLoginOp(rig.bed.layout().app_base);
+  OpOutcome out = rig.RunAt(80, op);
+  EXPECT_FALSE(out.responded);
+  EXPECT_FALSE(out.deadlocked);
+}
+
+TEST(Responsiveness, IcmpWorksAtEightyPagesButNotBelow) {
+  ResponsivenessRig rig;
+  const auto op = IcmpEchoOp(rig.bed.layout().app_base);
+  EXPECT_TRUE(rig.RunAt(80, op).responded);
+  EXPECT_FALSE(rig.RunAt(40, op).responded);
+}
+
+TEST(Responsiveness, RevivedByIncreasingFootprint) {
+  ResponsivenessRig rig;
+  const auto op = IcmpEchoOp(rig.bed.layout().app_base);
+  ASSERT_FALSE(rig.RunAt(40, op).responded);
+  EXPECT_TRUE(rig.RunAt(1024, op).responded);
+}
+
+TEST(Responsiveness, OnePageDeadlocksUnderKvm) {
+  ResponsivenessRig rig;
+  const auto op = IcmpEchoOp(rig.bed.layout().app_base);
+  OpOutcome out = rig.RunAt(1, op);
+  EXPECT_TRUE(out.deadlocked);
+}
+
+TEST(Responsiveness, OnePageSurvivesUnderFullVirtualization) {
+  TestbedConfig tb = ResponsivenessRig::MakeTb();
+  tb.monitor.kvm_mode = false;  // QEMU TCG
+  Testbed bed{Backend::kFluidRamcloud, tb};
+  SimTime now = bed.Boot(0);
+  now = bed.fluid_vm()->SetLocalFootprint(1, now);
+  const auto op = IcmpEchoOp(bed.layout().app_base);
+  OpOutcome out = RunGuestOp(bed.memory(), op, now);
+  EXPECT_FALSE(out.deadlocked);   // functional...
+  EXPECT_FALSE(out.responded);    // ...but non-responsive (Table III)
+  // Revivable: raise the footprint and it answers again.
+  now = bed.fluid_vm()->SetLocalFootprint(1024, now + out.elapsed);
+  EXPECT_TRUE(RunGuestOp(bed.memory(), op, now).responded);
+}
+
+}  // namespace
+}  // namespace fluid::wl
