@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_traces.dir/ablation_traces.cc.o"
+  "CMakeFiles/ablation_traces.dir/ablation_traces.cc.o.d"
+  "ablation_traces"
+  "ablation_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_graph500.dir/fig4_graph500.cc.o"
+  "CMakeFiles/fig4_graph500.dir/fig4_graph500.cc.o.d"
+  "fig4_graph500"
+  "fig4_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

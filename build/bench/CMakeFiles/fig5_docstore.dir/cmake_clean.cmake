@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_docstore.dir/fig5_docstore.cc.o"
+  "CMakeFiles/fig5_docstore.dir/fig5_docstore.cc.o.d"
+  "fig5_docstore"
+  "fig5_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

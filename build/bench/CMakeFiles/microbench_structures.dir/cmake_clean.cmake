@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_structures.dir/microbench_structures.cc.o"
+  "CMakeFiles/microbench_structures.dir/microbench_structures.cc.o.d"
+  "microbench_structures"
+  "microbench_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

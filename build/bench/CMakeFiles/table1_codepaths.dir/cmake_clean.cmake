@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_codepaths.dir/table1_codepaths.cc.o"
+  "CMakeFiles/table1_codepaths.dir/table1_codepaths.cc.o.d"
+  "table1_codepaths"
+  "table1_codepaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_codepaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_footprint.cc" "bench/CMakeFiles/table3_footprint.dir/table3_footprint.cc.o" "gcc" "bench/CMakeFiles/table3_footprint.dir/table3_footprint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fluid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/fluid_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fluid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluidmem/CMakeFiles/fluid_fluidmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/fluid_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/fluid_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fluid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fluid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_footprint.dir/table3_footprint.cc.o"
+  "CMakeFiles/table3_footprint.dir/table3_footprint.cc.o.d"
+  "table3_footprint"
+  "table3_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_store.dir/document_store.cpp.o"
+  "CMakeFiles/document_store.dir/document_store.cpp.o.d"
+  "document_store"
+  "document_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("mem")
+subdirs("kvstore")
+subdirs("coord")
+subdirs("blockdev")
+subdirs("swap")
+subdirs("vm")
+subdirs("fluidmem")
+subdirs("paging")
+subdirs("workloads")

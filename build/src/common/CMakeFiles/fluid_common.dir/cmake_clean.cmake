@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_common.dir/compress.cc.o"
+  "CMakeFiles/fluid_common.dir/compress.cc.o.d"
+  "libfluid_common.a"
+  "libfluid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_coord.dir/partition_registry.cc.o"
+  "CMakeFiles/fluid_coord.dir/partition_registry.cc.o.d"
+  "CMakeFiles/fluid_coord.dir/replicated_table.cc.o"
+  "CMakeFiles/fluid_coord.dir/replicated_table.cc.o.d"
+  "libfluid_coord.a"
+  "libfluid_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

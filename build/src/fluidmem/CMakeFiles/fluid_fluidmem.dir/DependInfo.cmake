@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluidmem/migration.cc" "src/fluidmem/CMakeFiles/fluid_fluidmem.dir/migration.cc.o" "gcc" "src/fluidmem/CMakeFiles/fluid_fluidmem.dir/migration.cc.o.d"
+  "/root/repo/src/fluidmem/monitor.cc" "src/fluidmem/CMakeFiles/fluid_fluidmem.dir/monitor.cc.o" "gcc" "src/fluidmem/CMakeFiles/fluid_fluidmem.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fluid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fluid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/fluid_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_fluidmem.dir/migration.cc.o"
+  "CMakeFiles/fluid_fluidmem.dir/migration.cc.o.d"
+  "CMakeFiles/fluid_fluidmem.dir/monitor.cc.o"
+  "CMakeFiles/fluid_fluidmem.dir/monitor.cc.o.d"
+  "libfluid_fluidmem.a"
+  "libfluid_fluidmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_fluidmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

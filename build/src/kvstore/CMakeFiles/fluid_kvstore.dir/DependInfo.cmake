@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/decorators.cc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/decorators.cc.o" "gcc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/decorators.cc.o.d"
+  "/root/repo/src/kvstore/memcached.cc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/memcached.cc.o" "gcc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/memcached.cc.o.d"
+  "/root/repo/src/kvstore/ramcloud.cc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/ramcloud.cc.o" "gcc" "src/kvstore/CMakeFiles/fluid_kvstore.dir/ramcloud.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fluid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

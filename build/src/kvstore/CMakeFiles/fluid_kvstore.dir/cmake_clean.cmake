@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_kvstore.dir/decorators.cc.o"
+  "CMakeFiles/fluid_kvstore.dir/decorators.cc.o.d"
+  "CMakeFiles/fluid_kvstore.dir/memcached.cc.o"
+  "CMakeFiles/fluid_kvstore.dir/memcached.cc.o.d"
+  "CMakeFiles/fluid_kvstore.dir/ramcloud.cc.o"
+  "CMakeFiles/fluid_kvstore.dir/ramcloud.cc.o.d"
+  "libfluid_kvstore.a"
+  "libfluid_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_mem.dir/uffd.cc.o"
+  "CMakeFiles/fluid_mem.dir/uffd.cc.o.d"
+  "libfluid_mem.a"
+  "libfluid_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

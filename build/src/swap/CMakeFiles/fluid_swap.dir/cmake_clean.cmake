@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_swap.dir/guest_mm.cc.o"
+  "CMakeFiles/fluid_swap.dir/guest_mm.cc.o.d"
+  "libfluid_swap.a"
+  "libfluid_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfluid_swap.a"
+)

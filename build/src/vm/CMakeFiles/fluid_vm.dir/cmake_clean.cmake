@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_vm.dir/fluid_vm.cc.o"
+  "CMakeFiles/fluid_vm.dir/fluid_vm.cc.o.d"
+  "libfluid_vm.a"
+  "libfluid_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

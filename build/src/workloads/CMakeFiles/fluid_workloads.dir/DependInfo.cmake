@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/docstore.cc" "src/workloads/CMakeFiles/fluid_workloads.dir/docstore.cc.o" "gcc" "src/workloads/CMakeFiles/fluid_workloads.dir/docstore.cc.o.d"
+  "/root/repo/src/workloads/graph500.cc" "src/workloads/CMakeFiles/fluid_workloads.dir/graph500.cc.o" "gcc" "src/workloads/CMakeFiles/fluid_workloads.dir/graph500.cc.o.d"
+  "/root/repo/src/workloads/pmbench.cc" "src/workloads/CMakeFiles/fluid_workloads.dir/pmbench.cc.o" "gcc" "src/workloads/CMakeFiles/fluid_workloads.dir/pmbench.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/fluid_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/fluid_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fluid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fluid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluidmem/CMakeFiles/fluid_fluidmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/fluid_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/fluid_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fluid_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_workloads.dir/docstore.cc.o"
+  "CMakeFiles/fluid_workloads.dir/docstore.cc.o.d"
+  "CMakeFiles/fluid_workloads.dir/graph500.cc.o"
+  "CMakeFiles/fluid_workloads.dir/graph500.cc.o.d"
+  "CMakeFiles/fluid_workloads.dir/pmbench.cc.o"
+  "CMakeFiles/fluid_workloads.dir/pmbench.cc.o.d"
+  "CMakeFiles/fluid_workloads.dir/trace.cc.o"
+  "CMakeFiles/fluid_workloads.dir/trace.cc.o.d"
+  "libfluid_workloads.a"
+  "libfluid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

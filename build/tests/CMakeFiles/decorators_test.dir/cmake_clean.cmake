@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decorators_test.dir/decorators_test.cc.o"
+  "CMakeFiles/decorators_test.dir/decorators_test.cc.o.d"
+  "decorators_test"
+  "decorators_test.pdb"
+  "decorators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decorators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidmem_test.dir/fluidmem_test.cc.o"
+  "CMakeFiles/fluidmem_test.dir/fluidmem_test.cc.o.d"
+  "fluidmem_test"
+  "fluidmem_test.pdb"
+  "fluidmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_migration_test.dir/prefetch_migration_test.cc.o"
+  "CMakeFiles/prefetch_migration_test.dir/prefetch_migration_test.cc.o.d"
+  "prefetch_migration_test"
+  "prefetch_migration_test.pdb"
+  "prefetch_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramcloud_recovery_test.dir/ramcloud_recovery_test.cc.o"
+  "CMakeFiles/ramcloud_recovery_test.dir/ramcloud_recovery_test.cc.o.d"
+  "ramcloud_recovery_test"
+  "ramcloud_recovery_test.pdb"
+  "ramcloud_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramcloud_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

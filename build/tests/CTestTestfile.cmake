@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_net_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_test[1]_include.cmake")
+include("/root/repo/build/tests/swap_test[1]_include.cmake")
+include("/root/repo/build/tests/fluidmem_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/decorators_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/ramcloud_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/quota_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
