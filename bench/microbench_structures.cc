@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <vector>
 
 #include "common/rng.h"
 #include "fluidmem/lru_buffer.h"
@@ -34,6 +35,54 @@ void BM_LruInsertEvict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruInsertEvict)->Arg(1024)->Arg(262144);
+
+// Per-tenant victim selection must be O(1): the per-op cost stays flat as
+// UNRELATED regions' page counts grow 10x per step. (The seed's
+// PopVictimOfRegion was a ForEach scan of the whole global list, so this
+// same loop degraded linearly with the noise count.) The noise pages sit at
+// the cold end of the global list, exactly where a scan pays most.
+void BM_LruPopVictimOfRegion(benchmark::State& state) {
+  const std::size_t noise_pages = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTargetPages = 1024;
+  constexpr fm::RegionId kTarget = 0;
+  fm::LruBuffer lru{noise_pages + kTargetPages + 1};
+  for (std::size_t i = 0; i < noise_pages; ++i)
+    lru.Insert(fm::PageRef{static_cast<fm::RegionId>(1 + i % 16),
+                           kBase + i * kPageSize});
+  for (std::size_t i = 0; i < kTargetPages; ++i)
+    lru.Insert(fm::PageRef{kTarget, kBase + i * kPageSize});
+  fm::PageRef victim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lru.PopVictimOfRegion(kTarget, &victim));
+    lru.Insert(victim);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruPopVictimOfRegion)->Arg(4096)->Arg(40960)->Arg(409600);
+
+// FlushRegion/UnregisterRegion/SetLruCapacity extraction: pulling one
+// region out of the buffer costs O(pages-in-region), flat as the other
+// tenants grow 10x per step. (The seed popped and reinserted the ENTIRE
+// global list to do this.)
+void BM_LruExtractRegion(benchmark::State& state) {
+  const std::size_t noise_pages = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTargetPages = 256;
+  constexpr fm::RegionId kTarget = 0;
+  fm::LruBuffer lru{noise_pages + kTargetPages};
+  for (std::size_t i = 0; i < noise_pages; ++i)
+    lru.Insert(fm::PageRef{static_cast<fm::RegionId>(1 + i % 16),
+                           kBase + i * kPageSize});
+  for (std::size_t i = 0; i < kTargetPages; ++i)
+    lru.Insert(fm::PageRef{kTarget, kBase + i * kPageSize});
+  for (auto _ : state) {
+    std::vector<fm::PageRef> mine = lru.ExtractRegion(kTarget);
+    benchmark::DoNotOptimize(mine);
+    for (const fm::PageRef& p : mine) lru.Insert(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTargetPages));
+}
+BENCHMARK(BM_LruExtractRegion)->Arg(4096)->Arg(40960)->Arg(409600);
 
 void BM_PageTrackerLookup(benchmark::State& state) {
   fm::PageTracker tracker;

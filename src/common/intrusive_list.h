@@ -2,8 +2,16 @@
 //
 // The monitor's LRU buffer and the guest kernel's active/inactive lists move
 // entries between list positions on every fault; an intrusive list makes
-// splice/remove O(1) with zero allocation, and lets one node live in exactly
-// one list at a time (enforced in debug builds).
+// splice/remove O(1) with zero allocation.
+//
+// Hooks are *tagged* so one node can sit on several lists at once: the
+// monitor's region-indexed LRU threads every page through the global
+// insertion-order list AND a per-region sublist simultaneously. A node type
+// inherits one `ListHook<Tag>` per list it participates in; each
+// `IntrusiveList<T, Tag>` manipulates only its own hook. Membership per
+// hook is still exclusive (enforced in debug builds). The untagged
+// `ListNode` / `IntrusiveList<T>` spellings keep single-list users working
+// unchanged.
 #pragma once
 
 #include <cassert>
@@ -11,9 +19,10 @@
 
 namespace fluid {
 
-struct ListNode {
-  ListNode* prev = nullptr;
-  ListNode* next = nullptr;
+template <typename Tag>
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
 
   bool linked() const noexcept { return prev != nullptr; }
 
@@ -25,10 +34,16 @@ struct ListNode {
   }
 };
 
-// T must derive from ListNode (optionally through a tag member — pass a
-// member-pointer-free design: we simply require public inheritance).
-template <typename T>
+// Tag for single-list node types that don't care about multi-list support.
+struct DefaultListTag {};
+using ListNode = ListHook<DefaultListTag>;
+
+// T must publicly inherit ListHook<Tag> (directly; the hook type selects
+// which of a node's hooks this list threads through).
+template <typename T, typename Tag = DefaultListTag>
 class IntrusiveList {
+  using Hook = ListHook<Tag>;
+
  public:
   IntrusiveList() noexcept {
     head_.prev = &head_;
@@ -43,7 +58,7 @@ class IntrusiveList {
 
   // Most-recently-used end.
   void PushBack(T& node) noexcept {
-    ListNode& n = node;
+    Hook& n = node;
     assert(!n.linked());
     n.prev = head_.prev;
     n.next = &head_;
@@ -54,7 +69,7 @@ class IntrusiveList {
 
   // Least-recently-used end.
   void PushFront(T& node) noexcept {
-    ListNode& n = node;
+    Hook& n = node;
     assert(!n.linked());
     n.next = head_.next;
     n.prev = &head_;
@@ -78,7 +93,7 @@ class IntrusiveList {
   }
 
   void Remove(T& node) noexcept {
-    static_cast<ListNode&>(node).Unlink();
+    static_cast<Hook&>(node).Unlink();
     assert(size_ > 0);
     --size_;
   }
@@ -91,15 +106,15 @@ class IntrusiveList {
 
   template <typename F>
   void ForEach(F&& f) {
-    for (ListNode* n = head_.next; n != &head_;) {
-      ListNode* next = n->next;  // allow f to unlink n
+    for (Hook* n = head_.next; n != &head_;) {
+      Hook* next = n->next;  // allow f to unlink n
       f(*static_cast<T*>(n));
       n = next;
     }
   }
 
  private:
-  ListNode head_;
+  Hook head_;
   std::size_t size_ = 0;
 };
 

@@ -14,12 +14,20 @@
 // the Fig. 4 benches show the same penalty — while a `true_lru` switch
 // enables the "future optimization" the paper mentions, used by the
 // ablation bench.
+//
+// Region index: every node is threaded through TWO intrusive lists — the
+// global insertion-order list and a per-region sublist in the same
+// insertion order. Per-tenant operations (quota eviction, flush, teardown)
+// walk only the region's own sublist, so PopVictimOfRegion is O(1) and
+// ExtractRegion is O(pages-in-region) regardless of how many pages other
+// tenants hold.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/intrusive_list.h"
 #include "fluidmem/page_key.h"
@@ -54,16 +62,19 @@ class LruBuffer {
     auto n = std::make_unique<Node>();
     n->page = p;
     list_.PushBack(*n);
-    ++region_count_[p.region];
+    region_lists_[p.region].PushBack(*n);
     nodes_.emplace(p, std::move(n));
   }
 
   // A resident access observed by the monitor. With the paper's
-  // insertion-order list this is a no-op; with true_lru it refreshes.
+  // insertion-order list this is a no-op; with true_lru it refreshes both
+  // the global position and the page's position within its region.
   void Touch(const PageRef& p) {
     if (!true_lru_) return;
     auto it = nodes_.find(p);
-    if (it != nodes_.end()) list_.MoveToBack(*it->second);
+    if (it == nodes_.end()) return;
+    list_.MoveToBack(*it->second);
+    region_lists_[p.region].MoveToBack(*it->second);
   }
 
   // Pop the eviction candidate (the list head = oldest insertion), or
@@ -72,30 +83,46 @@ class LruBuffer {
     Node* n = list_.PopFront();
     if (n == nullptr) return false;
     *out = n->page;
-    --region_count_[n->page.region];
-    nodes_.erase(n->page);
+    Erase(n);
     return true;
   }
 
   // Pop the oldest page OF ONE REGION (per-tenant quota enforcement); the
-  // order of other regions' pages is untouched.
+  // order of other regions' pages is untouched. O(1): the region sublist's
+  // head is the region's oldest insertion.
   bool PopVictimOfRegion(RegionId region, PageRef* out) {
-    Node* found = nullptr;
-    list_.ForEach([&](Node& n) {
-      if (found == nullptr && n.page.region == region) found = &n;
-    });
-    if (found == nullptr) return false;
-    list_.Remove(*found);
-    *out = found->page;
-    --region_count_[region];
-    nodes_.erase(found->page);
+    auto it = region_lists_.find(region);
+    if (it == region_lists_.end()) return false;
+    Node* n = it->second.Front();
+    if (n == nullptr) return false;
+    list_.Remove(*n);
+    *out = n->page;
+    Erase(n);
     return true;
+  }
+
+  // Remove every page of one region, in insertion order, without touching
+  // the positions of any other region's pages. O(pages-in-region): used by
+  // FlushRegion and UnregisterRegion instead of rebuilding the whole list.
+  std::vector<PageRef> ExtractRegion(RegionId region) {
+    std::vector<PageRef> out;
+    auto it = region_lists_.find(region);
+    if (it == region_lists_.end()) return out;
+    out.reserve(it->second.size());
+    while (Node* n = it->second.Front()) {
+      out.push_back(n->page);
+      list_.Remove(*n);
+      it->second.Remove(*n);
+      nodes_.erase(n->page);
+    }
+    region_lists_.erase(it);
+    return out;
   }
 
   // Pages a region currently holds in the buffer.
   std::size_t RegionCount(RegionId region) const {
-    auto it = region_count_.find(region);
-    return it == region_count_.end() ? 0 : it->second;
+    auto it = region_lists_.find(region);
+    return it == region_lists_.end() ? 0 : it->second.size();
   }
 
   // Remove a specific page (VM shutdown, page freed by other means).
@@ -103,8 +130,7 @@ class LruBuffer {
     auto it = nodes_.find(p);
     if (it == nodes_.end()) return false;
     list_.Remove(*it->second);
-    --region_count_[p.region];
-    nodes_.erase(it);
+    Erase(it->second.get());
     return true;
   }
 
@@ -115,15 +141,28 @@ class LruBuffer {
   }
 
  private:
-  struct Node : ListNode {
+  struct GlobalTag {};
+  struct RegionTag {};
+
+  struct Node : ListHook<GlobalTag>, ListHook<RegionTag> {
     PageRef page;
   };
 
+  // Drop `n` from its region sublist and the node map; the caller has
+  // already unlinked it from the global list.
+  void Erase(Node* n) {
+    auto rit = region_lists_.find(n->page.region);
+    rit->second.Remove(*n);
+    if (rit->second.empty()) region_lists_.erase(rit);
+    nodes_.erase(n->page);
+  }
+
   std::size_t capacity_;
   bool true_lru_;
-  IntrusiveList<Node> list_;
+  IntrusiveList<Node, GlobalTag> list_;
+  // Node-based map: sublists are self-referential and must never move.
+  std::unordered_map<RegionId, IntrusiveList<Node, RegionTag>> region_lists_;
   std::unordered_map<PageRef, std::unique_ptr<Node>, PageRefHash> nodes_;
-  std::unordered_map<RegionId, std::size_t> region_count_;
 };
 
 }  // namespace fluid::fm

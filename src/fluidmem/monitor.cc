@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <utility>
 #include <vector>
 
 namespace fluid::fm {
@@ -25,18 +26,21 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
                                  bool drop_partition) {
   if (id >= regions_.size() || !regions_[id].active)
     return Status::InvalidArgument("unknown region");
-  // Make sure no write for this region is still buffered, then forget
-  // everything we tracked (and, on shutdown, drop the store's objects).
-  now = DrainWrites(now);
-  RetireCompleted(now);
-  // Remove the region's pages from the LRU without evicting to the store
-  // (the VM is gone; its memory is discarded). Order of survivors is kept.
-  PageRef victim;
-  std::vector<PageRef> keep;
-  while (lru_.PopVictim(&victim)) {
-    if (victim.region != id) keep.push_back(victim);
+  if (drop_partition) {
+    // VM shutdown: the partition is deleted below, so any write still
+    // buffered for this region is writing dead data — discard the entries
+    // and recycle their frames instead of paying store round trips.
+    for (FrameId f : write_list_.DiscardRegion(id)) pool_->Free(f);
+    RetireCompleted(now);
+  } else {
+    // Migration hand-off: the destination inherits the partition, so the
+    // region's buffered writes must become durable first.
+    now = DrainWrites(now);
+    RetireCompleted(now);
   }
-  for (const PageRef& p : keep) lru_.Insert(p);
+  // Extract the region's pages from the LRU without evicting to the store
+  // (the VM is gone; its memory is discarded). Survivors never move.
+  (void)lru_.ExtractRegion(id);
   tracker_.ForgetRegion(id);
   if (drop_partition)
     (void)store_->DropPartition(regions_[id].partition, now);
@@ -47,31 +51,19 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
 
 SimTime Monitor::FlushRegion(RegionId id, SimTime now) {
   if (id >= regions_.size() || !regions_[id].active) return now;
-  RegionInfo& ri = regions_[id];
-  // Pull the region's pages out of the LRU, preserving the order of the
-  // survivors, then evict each one onto the write list.
-  PageRef victim;
-  std::vector<PageRef> keep;
-  std::vector<PageRef> mine;
-  while (lru_.PopVictim(&victim)) {
-    (victim.region == id ? mine : keep).push_back(victim);
-  }
-  for (const PageRef& p : keep) lru_.Insert(p);
+  // Extract only this region's pages — other tenants' LRU positions are
+  // untouched — then remap them all onto the write list and post the lot
+  // as full multi-write batches.
+  const std::vector<PageRef> mine = lru_.ExtractRegion(id);
 
   SimTime t = monitor_.EarliestStart(now);
   const SimTime start = t;
   for (const PageRef& p : mine) {
-    t = ChargeProfiled(t, config_.costs.uffd_remap_sync, CodePath::kUffdRemap);
-    auto frame = ri.region->Remap(p.addr);
-    if (!frame.ok()) {
-      tracker_.Forget(p);
-      continue;
-    }
-    ++stats_.evictions;
-    write_list_.Enqueue(p, *frame, t);
-    tracker_.MarkWriteList(p);
-    FlushIfNeeded(t);
+    t = EvictToWriteList(p, t, /*remap_overlapped=*/false);
+    FlushIfNeeded(t);  // posts a full batch whenever one accumulates,
+                       // overlapping flush issue with the remap loop
   }
+  FlushIfNeeded(t);
   monitor_.Occupy(start, t > start ? t - start : 0);
   return DrainWrites(t);
 }
@@ -134,7 +126,10 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
       }
       const SimTime start = flusher_.EarliestStart(now);
       kv::OpResult mp = store_->MultiPut(partition, writes, start);
-      flusher_.Occupy(now, mp.issue_done > now ? mp.issue_done - now : 0);
+      // Charge the flusher for the issue work only (start -> issue_done).
+      // Charging from `now` would double-count the queueing delay already
+      // encoded in `start` and compound across batches posted back to back.
+      flusher_.Occupy(now, mp.issue_done > start ? mp.issue_done - start : 0);
       profiler_.Record(
           CodePath::kWritePage,
           (mp.complete_at - start) / std::max<std::size_t>(1, j - i));
@@ -167,14 +162,12 @@ bool Monitor::PopVictimFor(RegionId faulting_region, PageRef* victim) {
   return lru_.PopVictim(victim);
 }
 
-SimTime Monitor::EvictOne(SimTime t, bool sync_write, bool remap_overlapped) {
-  return EvictOneFor(kGlobalVictim, t, sync_write, remap_overlapped);
-}
-
 SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
                              bool sync_write, bool remap_overlapped) {
   PageRef victim;
   if (!PopVictimFor(faulting_region, &victim)) return t;
+  if (!sync_write) return EvictToWriteList(victim, t, remap_overlapped);
+
   RegionInfo& ri = regions_[victim.region];
   assert(ri.active);
 
@@ -199,22 +192,40 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
   t = ChargeProfiled(t, config_.costs.insert_page_hash,
                      CodePath::kInsertPageHashNode);
 
-  if (sync_write) {
-    // Table II "Default"/"Async Read": WRITE_PAGE on the critical path.
-    const SimTime start = t;
-    t = Charge(t, config_.costs.write_page_overhead);
-    kv::OpResult put = store_->Put(
-        ri.partition, KeyFor(victim),
-        std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
-    t = put.complete_at;
-    profiler_.Record(CodePath::kWritePage, t - start);
-    if (!put.status.ok()) ++stats_.lost_page_errors;
-    pool_->Free(*frame);
-    tracker_.MarkRemote(victim);
-  } else {
-    write_list_.Enqueue(victim, *frame, t);
-    tracker_.MarkWriteList(victim);
+  // Table II "Default"/"Async Read": WRITE_PAGE on the critical path.
+  const SimTime start = t;
+  t = Charge(t, config_.costs.write_page_overhead);
+  kv::OpResult put = store_->Put(
+      ri.partition, KeyFor(victim),
+      std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
+  t = put.complete_at;
+  profiler_.Record(CodePath::kWritePage, t - start);
+  if (!put.status.ok()) ++stats_.lost_page_errors;
+  pool_->Free(*frame);
+  tracker_.MarkRemote(victim);
+  return t;
+}
+
+SimTime Monitor::EvictToWriteList(const PageRef& victim, SimTime t,
+                                  bool remap_overlapped) {
+  RegionInfo& ri = regions_[victim.region];
+  assert(ri.active);
+  t = ChargeProfiled(t,
+                     remap_overlapped ? config_.costs.uffd_remap_async
+                                      : config_.costs.uffd_remap_sync,
+                     CodePath::kUffdRemap);
+  auto frame = ri.region->Remap(victim.addr);
+  if (!frame.ok()) {
+    // The page vanished from the region (duplicate event race); nothing to
+    // write back.
+    tracker_.Forget(victim);
+    return t;
   }
+  ++stats_.evictions;
+  t = ChargeProfiled(t, config_.costs.insert_page_hash,
+                     CodePath::kInsertPageHashNode);
+  write_list_.Enqueue(victim, *frame, t);
+  tracker_.MarkWriteList(victim);
   return t;
 }
 
@@ -311,7 +322,28 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
   ++stats_.refaults;
   const LatencyDist& upc = config_.costs.update_page_cache;
 
-  switch (tracker_.LocationOf(p)) {
+  // Resolve the tracker's claim against the write list up front. If the
+  // two ever desync (tracker says buffered, write list has no entry), fall
+  // back to the remote-read path instead of dereferencing an empty
+  // optional — in release builds that was undefined behaviour.
+  PageLocation location = tracker_.LocationOf(p);
+  std::optional<FrameId> stolen_frame;
+  std::optional<std::pair<SimTime, FrameId>> inflight_steal;
+  if (location == PageLocation::kWriteList) {
+    stolen_frame = write_list_.Steal(p);
+    if (!stolen_frame.has_value()) {
+      ++stats_.tracker_desyncs;
+      location = PageLocation::kRemote;
+    }
+  } else if (location == PageLocation::kInFlight) {
+    inflight_steal = write_list_.StealInFlight(p);
+    if (!inflight_steal.has_value()) {
+      ++stats_.tracker_desyncs;
+      location = PageLocation::kRemote;
+    }
+  }
+
+  switch (location) {
     case PageLocation::kResident: {
       // Raced with in-kernel resolution (zero-page write upgrade) or a
       // duplicate event; nothing to install.
@@ -328,8 +360,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
     case PageLocation::kWriteList: {
       // Steal: shortcut both round trips (§V-B).
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
-      std::optional<FrameId> frame = write_list_.Steal(p);
-      assert(frame.has_value());
+      const std::optional<FrameId>& frame = stolen_frame;
       ++stats_.steals;
       out.stolen = true;
       if (need_evict && !config_.async_write)
@@ -351,8 +382,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       //  However, the critical path will resume immediately once the
       //  pending write has completed." — then copy from the buffered frame.
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
-      auto steal = write_list_.StealInFlight(p);
-      assert(steal.has_value());
+      const auto& steal = inflight_steal;
       ++stats_.inflight_waits;
       out.waited_in_flight = true;
       t = std::max(t, steal->first);
@@ -515,8 +545,15 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
   bool any = false;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (!reads[i].status.ok()) continue;  // lost race or store hiccup: skip
-    // Make room first so the insert cannot overflow the budget.
-    if (lru_.NeedsEvictionBeforeInsert())
+    // Make room first so the insert cannot overflow the budget — neither
+    // the global one nor this region's quota. Prefetched pages count
+    // against the faulting tenant exactly like demand-faulted ones;
+    // otherwise a streaming tenant's readahead squeezes out its
+    // neighbours. PopVictimFor picks the region's own oldest page when the
+    // quota is the binding constraint.
+    const bool over_quota =
+        ri.quota_pages != 0 && lru_.RegionCount(id) >= ri.quota_pages;
+    if (lru_.NeedsEvictionBeforeInsert() || over_quota)
       t = EvictOneFor(id, t, /*sync_write=*/false, /*remap_overlapped=*/true);
     Status cp = ri.region->Copy(
         candidates[i].addr, std::span<const std::byte, kPageSize>{bufs[i]});
@@ -543,8 +580,15 @@ SimTime Monitor::SetLruCapacity(std::size_t pages, SimTime now) {
   lru_.SetCapacity(pages);
   SimTime t = monitor_.EarliestStart(now);
   const SimTime start = t;
-  while (lru_.OverCapacity()) {
-    t = EvictOne(t, /*sync_write=*/false, /*remap_overlapped=*/false);
+  // Collect every victim first (the LRU must not be mutated mid-scan),
+  // then remap them in one pass; the flusher posts full multi-write
+  // batches as they accumulate, overlapping with the remap loop.
+  std::vector<PageRef> victims;
+  PageRef victim;
+  while (lru_.OverCapacity() && lru_.PopVictim(&victim))
+    victims.push_back(victim);
+  for (const PageRef& p : victims) {
+    t = EvictToWriteList(p, t, /*remap_overlapped=*/false);
     FlushIfNeeded(t);
   }
   monitor_.Occupy(start, t > start ? t - start : 0);
@@ -557,21 +601,15 @@ SimTime Monitor::SetRegionQuota(RegionId id, std::size_t pages,
   regions_[id].quota_pages = pages;
   SimTime t = monitor_.EarliestStart(now);
   const SimTime start = t;
-  while (pages != 0 && lru_.RegionCount(id) > pages) {
-    PageRef victim;
-    if (!lru_.PopVictimOfRegion(id, &victim)) break;
-    // Same eviction flow as EvictOne, for a specific victim.
-    t = ChargeProfiled(t, config_.costs.uffd_remap_sync, CodePath::kUffdRemap);
-    auto frame = regions_[id].region->Remap(victim.addr);
-    if (!frame.ok()) {
-      tracker_.Forget(victim);
-      continue;
-    }
-    ++stats_.evictions;
-    t = ChargeProfiled(t, config_.costs.insert_page_hash,
-                       CodePath::kInsertPageHashNode);
-    write_list_.Enqueue(victim, *frame, t);
-    tracker_.MarkWriteList(victim);
+  // Same batch shape as SetLruCapacity, drawing victims from the region's
+  // own sublist (O(1) each) so other tenants' pages never move.
+  std::vector<PageRef> victims;
+  PageRef victim;
+  while (pages != 0 && lru_.RegionCount(id) > pages &&
+         lru_.PopVictimOfRegion(id, &victim))
+    victims.push_back(victim);
+  for (const PageRef& p : victims) {
+    t = EvictToWriteList(p, t, /*remap_overlapped=*/false);
     FlushIfNeeded(t);
   }
   monitor_.Occupy(start, t > start ? t - start : 0);

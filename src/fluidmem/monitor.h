@@ -86,6 +86,9 @@ struct MonitorStats {
   std::uint64_t flushed_pages = 0;
   std::uint64_t prefetched_pages = 0;
   std::uint64_t lost_page_errors = 0;  // store lost an evicted page
+  // Tracker said write-list/in-flight but the write list had no entry; the
+  // fault fell back to a remote read instead of crashing (release-UB fix).
+  std::uint64_t tracker_desyncs = 0;
 };
 
 class Monitor {
@@ -194,20 +197,25 @@ class Monitor {
   // become kRemote.
   void RetireCompleted(SimTime now);
 
-  // Sentinel: no specific faulting region (management-path evictions).
-  static constexpr RegionId kGlobalVictim = ~RegionId{0};
-
   // Pick the eviction victim honouring the faulting region's quota.
   bool PopVictimFor(RegionId faulting_region, PageRef* victim);
+
+  // Evict the LRU victim (per PopVictimFor). If `sync_write`, the store
+  // write happens on the caller's critical path (Table II "Default"/
+  // "Async Read" rows); else the page goes on the write list.
+  // `remap_overlapped` means the REMAP runs while the faulting vCPU is
+  // suspended on an in-flight read (cheap TLB sync, §V-B). Returns the
+  // caller-visible finish time.
   SimTime EvictOneFor(RegionId faulting_region, SimTime t, bool sync_write,
                       bool remap_overlapped);
 
-  // Evict the LRU victim. If `sync_write`, the store write happens on the
-  // caller's critical path (Table II "Default"/"Async Read" rows); else the
-  // page goes on the write list. `remap_overlapped` means the REMAP runs
-  // while the faulting vCPU is suspended on an in-flight read (cheap TLB
-  // sync, §V-B). Returns the caller-visible finish time.
-  SimTime EvictOne(SimTime t, bool sync_write, bool remap_overlapped);
+  // Remap an already-chosen victim out of its VM and onto the write list
+  // (the asynchronous-writeback half of EvictOneFor). The management paths
+  // (SetLruCapacity, SetRegionQuota, FlushRegion) collect victims first and
+  // run this in a loop, then post the whole set as multi-write batches with
+  // one FlushIfNeeded pass.
+  SimTime EvictToWriteList(const PageRef& victim, SimTime t,
+                           bool remap_overlapped);
 
   // Post pending writes as multi-write batches when full or stale.
   void FlushIfNeeded(SimTime now, bool force = false);
@@ -235,6 +243,10 @@ class Monitor {
   Profiler profiler_;
 
   alignas(16) std::array<std::byte, kPageSize> scratch_{};
+
+  // White-box access for regression tests that must corrupt internal state
+  // (e.g. force a tracker/write-list desync) through no public path.
+  friend struct MonitorTestPeer;
 };
 
 }  // namespace fluid::fm

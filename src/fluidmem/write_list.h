@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <iterator>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -68,8 +69,15 @@ class WriteList {
   }
 
   std::size_t PendingCount() const noexcept { return pending_.size(); }
+
+  // Age of the oldest pending entry. Entries can carry enqueue times ahead
+  // of `now` (the flush thread's timeline runs ahead of the monitor's);
+  // those are brand new, age 0 — never let unsigned subtraction underflow
+  // into an "ancient" age that triggers a spurious flush.
   SimTime OldestPendingAge(SimTime now) const {
-    return pending_.empty() ? 0 : now - pending_.front().enqueued_at;
+    if (pending_.empty()) return 0;
+    const SimTime at = pending_.front().enqueued_at;
+    return at >= now ? 0 : now - at;
   }
 
   // Pull up to `max_batch` entries to post as one multi-write.
@@ -141,6 +149,37 @@ class WriteList {
 
   std::size_t InFlightCount() const noexcept {
     return inflight_index_.size();
+  }
+
+  // Drop every buffered write (pending AND in-flight) belonging to one
+  // region, returning the frames for the caller to recycle. Used on VM
+  // shutdown: the partition is about to be deleted, so flushing these
+  // writes would pay network round trips for data that is already dead.
+  std::vector<FrameId> DiscardRegion(RegionId region) {
+    std::vector<FrameId> frames;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->page.region == region) {
+        frames.push_back(it->frame);
+        pending_index_.erase(it->page);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto bit = inflight_.begin(); bit != inflight_.end();) {
+      auto& writes = bit->writes;
+      for (auto wit = writes.begin(); wit != writes.end();) {
+        if (wit->page.region == region) {
+          frames.push_back(wit->frame);
+          inflight_index_.erase(wit->page);
+          wit = writes.erase(wit);
+        } else {
+          ++wit;
+        }
+      }
+      bit = writes.empty() ? inflight_.erase(bit) : std::next(bit);
+    }
+    return frames;
   }
 
   // Completion time of the last posted batch (0 when none in flight).

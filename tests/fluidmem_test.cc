@@ -4,8 +4,10 @@
 // orderings).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <vector>
 
 #include "fluidmem/lru_buffer.h"
 #include "fluidmem/monitor.h"
@@ -17,6 +19,14 @@
 #include "mem/uffd.h"
 
 namespace fluid::fm {
+
+// Reaches the monitor's internals to corrupt state no public path can (the
+// desync regression tests must make the tracker disagree with the write
+// list).
+struct MonitorTestPeer {
+  static PageTracker& tracker(Monitor& m) { return m.tracker_; }
+};
+
 namespace {
 
 constexpr VirtAddr kBase = 0x7f0000000000ULL;
@@ -74,6 +84,75 @@ TEST(LruBuffer, RegionsKeepDistinctPages) {
   EXPECT_EQ(lru.size(), 2u);
   EXPECT_TRUE(lru.Contains(Ref(0, 0)));
   EXPECT_TRUE(lru.Contains(Ref(0, 1)));
+}
+
+// --- LruBuffer region index -------------------------------------------------------
+
+TEST(LruBuffer, PopVictimOfRegionTakesThatRegionsOldest) {
+  LruBuffer lru{8};
+  lru.Insert(Ref(0, 0));
+  lru.Insert(Ref(1, 1));
+  lru.Insert(Ref(2, 0));
+  lru.Insert(Ref(3, 1));
+  PageRef v;
+  ASSERT_TRUE(lru.PopVictimOfRegion(1, &v));
+  EXPECT_EQ(v, Ref(1, 1));
+  // The global order of everything else is untouched.
+  ASSERT_TRUE(lru.PopVictim(&v));
+  EXPECT_EQ(v, Ref(0, 0));
+  ASSERT_TRUE(lru.PopVictim(&v));
+  EXPECT_EQ(v, Ref(2, 0));
+  ASSERT_TRUE(lru.PopVictim(&v));
+  EXPECT_EQ(v, Ref(3, 1));
+  EXPECT_FALSE(lru.PopVictimOfRegion(1, &v));
+  EXPECT_FALSE(lru.PopVictimOfRegion(42, &v));
+}
+
+TEST(LruBuffer, ExtractRegionPreservesSurvivorOrder) {
+  LruBuffer lru{16};
+  for (std::size_t i = 0; i < 4; ++i) {
+    lru.Insert(Ref(i, 0));
+    lru.Insert(Ref(i, 1));
+  }
+  std::vector<PageRef> mine = lru.ExtractRegion(1);
+  ASSERT_EQ(mine.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(mine[i], Ref(i, 1));  // region pages come out in fault order
+  EXPECT_EQ(lru.RegionCount(1), 0u);
+  EXPECT_EQ(lru.size(), 4u);
+  PageRef v;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(lru.PopVictim(&v));
+    EXPECT_EQ(v, Ref(i, 0));
+  }
+  EXPECT_TRUE(lru.ExtractRegion(0).empty());
+}
+
+TEST(LruBuffer, RegionCountTracksEveryMutation) {
+  LruBuffer lru{8};
+  lru.Insert(Ref(0, 3));
+  lru.Insert(Ref(1, 3));
+  lru.Insert(Ref(2, 5));
+  EXPECT_EQ(lru.RegionCount(3), 2u);
+  EXPECT_EQ(lru.RegionCount(5), 1u);
+  PageRef v;
+  ASSERT_TRUE(lru.PopVictim(&v));  // global head is a region-3 page
+  EXPECT_EQ(lru.RegionCount(3), 1u);
+  EXPECT_TRUE(lru.Remove(Ref(1, 3)));
+  EXPECT_EQ(lru.RegionCount(3), 0u);
+  EXPECT_EQ(lru.RegionCount(5), 1u);
+  lru.Insert(Ref(7, 3));  // a drained region fills again
+  EXPECT_EQ(lru.RegionCount(3), 1u);
+}
+
+TEST(LruBuffer, TrueLruTouchRefreshesRegionOrderToo) {
+  LruBuffer lru{8, /*true_lru=*/true};
+  lru.Insert(Ref(0, 1));
+  lru.Insert(Ref(1, 1));
+  lru.Touch(Ref(0, 1));
+  PageRef v;
+  ASSERT_TRUE(lru.PopVictimOfRegion(1, &v));
+  EXPECT_EQ(v, Ref(1, 1));  // region sublist refreshed along with global
 }
 
 // --- PageTracker ----------------------------------------------------------------
@@ -164,6 +243,44 @@ TEST(WriteList, OldestPendingAge) {
   wl.Enqueue(Ref(0), 1, 100);
   wl.Enqueue(Ref(1), 2, 300);
   EXPECT_EQ(wl.OldestPendingAge(500), 400u);
+}
+
+TEST(WriteList, OldestPendingAgeClampsFutureEnqueueTimes) {
+  // The flush thread's timeline can run ahead of the monitor's `now`, so
+  // entries may carry enqueue times in the future. Their age is 0 — the
+  // seed's unsigned subtraction underflowed to an enormous age and
+  // triggered spurious flushes from PumpBackground.
+  WriteList wl;
+  wl.Enqueue(Ref(0), 1, 1000);
+  EXPECT_EQ(wl.OldestPendingAge(400), 0u);
+  EXPECT_EQ(wl.OldestPendingAge(1000), 0u);
+  EXPECT_EQ(wl.OldestPendingAge(1600), 600u);
+}
+
+TEST(WriteList, DiscardRegionDropsPendingAndInFlight) {
+  WriteList wl;
+  wl.Enqueue(Ref(0, 1), 10, 0);
+  wl.Enqueue(Ref(1, 2), 11, 0);
+  wl.Enqueue(Ref(2, 1), 12, 0);
+  InFlightBatch b;
+  b.complete_at = 100;
+  b.writes.push_back(PendingWrite{Ref(3, 1), 13, 0});
+  b.writes.push_back(PendingWrite{Ref(4, 2), 14, 0});
+  wl.AddInFlight(std::move(b));
+  std::vector<FrameId> frames = wl.DiscardRegion(1);
+  std::sort(frames.begin(), frames.end());
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], 10u);
+  EXPECT_EQ(frames[1], 12u);
+  EXPECT_EQ(frames[2], 13u);
+  // The surviving region's entries are intact.
+  EXPECT_FALSE(wl.ContainsPending(Ref(0, 1)));
+  EXPECT_TRUE(wl.ContainsPending(Ref(1, 2)));
+  EXPECT_EQ(wl.PendingCount(), 1u);
+  EXPECT_EQ(wl.InFlightCount(), 1u);
+  auto done = wl.RetireCompleted(100);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].page, Ref(4, 2));
 }
 
 // --- Monitor fixture -------------------------------------------------------------
@@ -335,6 +452,72 @@ TEST(Monitor, DrainWritesMakesStoreDurable) {
   EXPECT_EQ(f.monitor.write_list().PendingCount(), 0u);
   EXPECT_EQ(f.monitor.write_list().InFlightCount(), 0u);
   EXPECT_EQ(f.monitor.tracker().CountIn(PageLocation::kWriteList), 0u);
+}
+
+TEST(Monitor, WriteListDesyncFallsBackToRemoteRead) {
+  MonitorFixture f;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    now = f.Fault(i, now, true).wake_at;
+    f.WriteMarker(i, 0xEE00 + i);
+  }
+  now = f.monitor.DrainWrites(now);  // page 0 evicted and durably remote
+  ASSERT_EQ(f.monitor.tracker().LocationOf(Ref(0, f.rid)),
+            PageLocation::kRemote);
+  // Corrupt the tracker: it claims page 0 is still buffered on the write
+  // list while the write list has no such entry. The seed dereferenced the
+  // empty optional (assert in debug, UB in release); the monitor must fall
+  // back to the remote-read path and count the desync.
+  MonitorTestPeer::tracker(f.monitor).MarkWriteList(Ref(0, f.rid));
+  auto out = f.Fault(0, now);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_FALSE(out.stolen);
+  EXPECT_EQ(f.monitor.stats().tracker_desyncs, 1u);
+  EXPECT_EQ(f.ReadMarker(0), 0xEE00u);
+}
+
+TEST(Monitor, InFlightDesyncFallsBackToRemoteRead) {
+  MonitorFixture f;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    now = f.Fault(i, now, true).wake_at;
+    f.WriteMarker(i, 0xEF00 + i);
+  }
+  now = f.monitor.DrainWrites(now);
+  ASSERT_EQ(f.monitor.tracker().LocationOf(Ref(0, f.rid)),
+            PageLocation::kRemote);
+  MonitorTestPeer::tracker(f.monitor).MarkInFlight(Ref(0, f.rid));
+  auto out = f.Fault(0, now);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_FALSE(out.waited_in_flight);
+  EXPECT_EQ(f.monitor.stats().tracker_desyncs, 1u);
+  EXPECT_EQ(f.ReadMarker(0), 0xEF00u);
+}
+
+TEST(Monitor, UnregisterDiscardsDyingRegionsBufferedWrites) {
+  MonitorConfig cfg = MonitorFixture::DefaultConfig();
+  cfg.write_batch_pages = 1000;  // nothing flushes on its own
+  cfg.flush_max_age = 100 * kSecond;
+  MonitorFixture f{cfg};
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    now = f.Fault(i, now, true).wake_at;
+    f.WriteMarker(i, i);
+  }
+  // 12 evictions are buffered, none posted.
+  ASSERT_EQ(f.monitor.write_list().PendingCount(), 12u);
+  const auto puts_before = f.store.stats().puts;
+  const auto batches_before = f.store.stats().multi_write_batches;
+  const std::size_t in_use_before = f.pool.in_use();
+  ASSERT_TRUE(f.monitor.UnregisterRegion(f.rid, now).ok());
+  // Shutdown must not pay store round trips for a partition that is being
+  // deleted (the seed drained the whole write list first)...
+  EXPECT_EQ(f.store.stats().puts, puts_before);
+  EXPECT_EQ(f.store.stats().multi_write_batches, batches_before);
+  // ...and every buffered frame goes back to the pool.
+  EXPECT_EQ(f.monitor.write_list().PendingCount(), 0u);
+  EXPECT_EQ(f.monitor.write_list().InFlightCount(), 0u);
+  EXPECT_EQ(f.pool.in_use(), in_use_before - 12);
 }
 
 TEST(Monitor, UnregisterDropsPartition) {

@@ -20,8 +20,10 @@ struct TwoTenants {
   mem::UffdRegion b{2, kBase, 1024, pool};
   RegionId ida, idb;
 
-  explicit TwoTenants(std::size_t lru = 128)
-      : monitor(MakeCfg(lru), store, pool),
+  explicit TwoTenants(std::size_t lru = 128) : TwoTenants(MakeCfg(lru)) {}
+
+  explicit TwoTenants(MonitorConfig cfg)
+      : monitor(cfg, store, pool),
         ida(monitor.RegisterRegion(a, 1)),
         idb(monitor.RegisterRegion(b, 2)) {}
 
@@ -101,6 +103,59 @@ TEST(RegionQuota, QuotaEvictionPreservesOtherRegionsOrder) {
   now = t.monitor.SetRegionQuota(t.ida, 2, now);
   EXPECT_EQ(t.monitor.RegionResidentPages(t.idb), 20u);
   EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 2u);
+}
+
+TEST(RegionQuota, PrefetchCannotPushRegionPastQuota) {
+  // Sequential streaming triggers the fault-ahead prefetcher; prefetched
+  // installs must count against the streaming tenant's quota exactly like
+  // demand faults (the seed checked only global capacity, so readahead
+  // silently blew past the quota and squeezed the neighbour).
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = 128;
+  cfg.prefetch_depth = 8;
+  TwoTenants t{cfg};
+  SimTime now = 0;
+  // Tenant B holds its working set; tenant A gets a tight cap.
+  for (std::size_t i = 0; i < 40; ++i) now = t.Touch(t.b, t.idb, i, now);
+  now = t.monitor.SetRegionQuota(t.ida, 16, now);
+  // First pass makes A's pages remote; later passes re-fault them
+  // sequentially, so the prefetcher fetches ahead on every fault.
+  for (std::size_t i = 0; i < 64; ++i) now = t.Touch(t.a, t.ida, i, now);
+  now = t.monitor.DrainWrites(now);
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      now = t.Touch(t.a, t.ida, i, now);
+      ASSERT_LE(t.monitor.RegionResidentPages(t.ida), 16u)
+          << "pass " << pass << " page " << i;
+    }
+    now = t.monitor.DrainWrites(now);
+  }
+  EXPECT_GT(t.monitor.stats().prefetched_pages, 0u);
+  EXPECT_EQ(t.monitor.RegionResidentPages(t.idb), 40u);
+}
+
+TEST(RegionQuota, BatchedQuotaShrinkPostsFullBatches) {
+  // Shrinking a quota collects all victims first and posts them as full
+  // multi-write batches instead of one FlushIfNeeded pass per page.
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = 256;
+  cfg.write_batch_pages = 32;
+  TwoTenants t{cfg};
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 128; ++i) now = t.Touch(t.a, t.ida, i, now);
+  const auto batches_before = t.store.stats().multi_write_batches;
+  const auto objects_before = t.store.stats().multi_write_objects;
+  now = t.monitor.SetRegionQuota(t.ida, 16, now);
+  EXPECT_LE(t.monitor.RegionResidentPages(t.ida), 16u);
+  now = t.monitor.DrainWrites(now);
+  // 112 evictions in 32-page batches: at most ceil(112/32) = 4 posts (the
+  // seed's per-page FlushIfNeeded shape still batched, but paid a full
+  // flush scan per eviction; this pins the batched contract).
+  const auto batches = t.store.stats().multi_write_batches - batches_before;
+  const auto objects = t.store.stats().multi_write_objects - objects_before;
+  EXPECT_EQ(objects, 112u);
+  EXPECT_LE(batches, 4u);
+  EXPECT_EQ(t.monitor.stats().lost_page_errors, 0u);
 }
 
 }  // namespace
