@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite plus a bounded chaos sweep.
+#
+# 1. RelWithDebInfo build, full ctest         (the tier-1 gate)
+# 2. ASan+UBSan build, `chaos`-labeled suites (fault injection + oracle)
+#
+# Everything is deterministic — the chaos suites run fixed seeds wired into
+# tests/chaos_test.cc — so a red run here reproduces locally with the same
+# command, and any chaos failure prints its (seed, FaultPlan) pair.
+# Budget: the two ctest invocations together stay well under 60 s.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "==> tier-1: configure + build (RelWithDebInfo)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${jobs}"
+
+echo "==> tier-1: full test suite"
+ctest --preset default -j "${jobs}"
+
+echo "==> chaos: configure + build (ASan+UBSan)"
+cmake --preset sanitize >/dev/null
+cmake --build --preset sanitize -j "${jobs}"
+
+echo "==> chaos: fixed-seed sweep under sanitizers (label: chaos)"
+ctest --preset chaos-sanitize -j "${jobs}"
+
+echo "==> CI green"

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/dist.h"
+#include "common/fault_hook.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -55,10 +56,22 @@ class BlockDevice {
   std::string_view name() const noexcept { return params_.name; }
   std::size_t capacity_blocks() const noexcept { return params_.capacity_blocks; }
 
+  // Chaos harness: command-level fault injection. A stall decision adds
+  // service time (firmware GC pause, fabric congestion); a fail decision
+  // completes the command with kUnavailable after a timeout-ish delay
+  // without touching the medium.
+  void set_fault_hook(FaultHookPtr hook) noexcept { hook_ = std::move(hook); }
+
   BlockIoResult Read(BlockNum block, std::span<std::byte, kPageSize> out,
                      SimTime now) {
     if (block >= params_.capacity_blocks)
       return {Status::InvalidArgument("block out of range"), now};
+    const FaultDecision fd = Inject(FaultSite::kBlockRead, now);
+    if (fd.fail) {
+      ++io_errors_;
+      return {Status::Unavailable("injected device failure"),
+              now + fd.extra_latency + kIoErrorDelay};
+    }
     auto it = blocks_.find(block);
     if (it == blocks_.end()) {
       // Reading a never-written block returns zeroes, like a zeroed device.
@@ -67,17 +80,25 @@ class BlockDevice {
       std::memcpy(out.data(), it->second.data(), kPageSize);
     }
     ++reads_;
-    return {Status::Ok(), Complete(now, params_.read_service, kPageSize)};
+    return {Status::Ok(),
+            Complete(now, params_.read_service, kPageSize, fd.extra_latency)};
   }
 
   BlockIoResult Write(BlockNum block, std::span<const std::byte, kPageSize> in,
                       SimTime now) {
     if (block >= params_.capacity_blocks)
       return {Status::InvalidArgument("block out of range"), now};
+    const FaultDecision fd = Inject(FaultSite::kBlockWrite, now);
+    if (fd.fail) {
+      ++io_errors_;
+      return {Status::Unavailable("injected device failure"),
+              now + fd.extra_latency + kIoErrorDelay};
+    }
     auto& buf = blocks_[block];
     buf.assign(in.begin(), in.end());
     ++writes_;
-    return {Status::Ok(), Complete(now, params_.write_service, kPageSize)};
+    return {Status::Ok(),
+            Complete(now, params_.write_service, kPageSize, fd.extra_latency)};
   }
 
   // Data-only read with no timing or queue effects: used when a model
@@ -96,12 +117,21 @@ class BlockDevice {
 
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t io_errors() const noexcept { return io_errors_; }
   std::size_t blocks_written() const noexcept { return blocks_.size(); }
   const Timeline& queue() const noexcept { return queue_; }
 
  private:
+  // A failed command still holds the submitter for an abort/timeout window
+  // before the error surfaces.
+  static constexpr SimDuration kIoErrorDelay = 100 * kMicrosecond;
+
+  FaultDecision Inject(FaultSite site, SimTime now) {
+    return hook_ ? hook_->OnOp(site, now) : FaultDecision{};
+  }
+
   SimTime Complete(SimTime now, const LatencyDist& service,
-                   std::size_t bytes) {
+                   std::size_t bytes, SimDuration stall = 0) {
     SimTime submit = now;
     SimDuration fabric_out = 0, fabric_back = 0;
     if (params_.fabric) {
@@ -109,16 +139,21 @@ class BlockDevice {
       fabric_out = rtt / 2;
       fabric_back = rtt - fabric_out;
     }
-    const auto svc = queue_.Occupy(submit + fabric_out, service.Sample(rng_));
+    // A stall occupies the command queue — queued commands behind a
+    // stalled one wait too, exactly how a GC pause behaves.
+    const auto svc =
+        queue_.Occupy(submit + fabric_out, service.Sample(rng_) + stall);
     return svc.end + fabric_back;
   }
 
   BlockDeviceParams params_;
   Rng rng_;
   Timeline queue_;
+  FaultHookPtr hook_;
   std::unordered_map<BlockNum, std::vector<std::byte>> blocks_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t io_errors_ = 0;
 };
 
 // --- Calibrated device models -----------------------------------------------

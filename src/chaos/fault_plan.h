@@ -1,0 +1,86 @@
+// FaultPlan: the declarative half of the chaos harness.
+//
+// A plan describes, per fault site, how often operations fail outright,
+// how often they stall (latency spike) and by how much, and an optional
+// hard outage window expressed in *op-id* space. Together with the
+// injection seed, a plan fully determines every fault a run experiences:
+// any failing run is replayable from its (seed, plan) pair, which every
+// failure report prints (see RunReport::Report in harness.h).
+//
+// Outage windows are keyed on op ids rather than virtual time so that
+// shrinking an op sequence (which compresses virtual time unpredictably)
+// keeps the outage aligned with the same logical operations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/fault_hook.h"
+#include "common/types.h"
+
+namespace fluid::chaos {
+
+struct SiteFaults {
+  // Independent per-operation probabilities, decided by a hash of
+  // (plan seed, site, op id, per-op call index) — see FaultInjector.
+  double fail_p = 0.0;
+  double stall_p = 0.0;
+  SimDuration stall = 0;  // extra latency when a stall fires
+  // Hard outage: every op with outage_from <= id < outage_to fails at this
+  // site. from == to (default) disables the window.
+  std::uint32_t outage_from = 0;
+  std::uint32_t outage_to = 0;
+
+  bool active() const noexcept {
+    return fail_p > 0.0 || stall_p > 0.0 || outage_to > outage_from;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  // injection-decision seed (NOT the workload seed)
+  std::array<SiteFaults, kFaultSiteCount> site{};
+
+  SiteFaults& at(FaultSite s) { return site[static_cast<std::size_t>(s)]; }
+  const SiteFaults& at(FaultSite s) const {
+    return site[static_cast<std::size_t>(s)];
+  }
+
+  // Compact single-line description, e.g.
+  //   "plan{seed=7 store.multiput[fail_p=0 outage=40..120] net.rtt[stall_p=0.1/25us]}"
+  // Printed in every failure report so a human can reconstruct the run.
+  std::string ToString() const {
+    std::string out = "plan{seed=" + std::to_string(seed);
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+      const SiteFaults& f = site[i];
+      if (!f.active()) continue;
+      out += ' ';
+      out += FaultSiteName(static_cast<FaultSite>(i));
+      out += '[';
+      bool first = true;
+      auto sep = [&] {
+        if (!first) out += ' ';
+        first = false;
+      };
+      if (f.fail_p > 0.0) {
+        sep();
+        out += "fail_p=" + std::to_string(f.fail_p);
+      }
+      if (f.stall_p > 0.0) {
+        sep();
+        out += "stall_p=" + std::to_string(f.stall_p) + "/" +
+               std::to_string(ToMicros(f.stall)) + "us";
+      }
+      if (f.outage_to > f.outage_from) {
+        sep();
+        out += "outage=" + std::to_string(f.outage_from) + ".." +
+               std::to_string(f.outage_to);
+      }
+      out += ']';
+    }
+    out += '}';
+    return out;
+  }
+};
+
+}  // namespace fluid::chaos

@@ -1,0 +1,438 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "chaos/injected_store.h"
+#include "common/rng.h"
+#include "kvstore/key_codec.h"
+#include "kvstore/local_store.h"
+#include "kvstore/ramcloud.h"
+
+namespace fluid::chaos {
+
+namespace {
+
+std::string Hex(VirtAddr a) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
+}
+
+}  // namespace
+
+// --- stack construction ------------------------------------------------------
+
+Stack::Stack(const ScenarioOptions& opt)
+    // Region frames + write-list slack: eviction moves frames from the
+    // region to the write list without freeing, so at peak both sides hold
+    // frames at once.
+    : pool(opt.pages * 2 + 64),
+      injector(std::make_shared<FaultInjector>(opt.plan)) {
+  switch (opt.store) {
+    case StoreKind::kLocalDram: {
+      kv::LocalStoreConfig lc;
+      lc.seed = opt.seed ^ 0x10c41ULL;
+      store = std::make_unique<InjectedStore>(
+          std::make_unique<kv::LocalDramStore>(lc), injector);
+      break;
+    }
+    case StoreKind::kRamcloud: {
+      kv::RamcloudConfig rc;
+      rc.seed = opt.seed ^ 0x4ac10dULL;
+      store = std::make_unique<InjectedStore>(
+          std::make_unique<kv::RamcloudStore>(rc), injector);
+      break;
+    }
+    case StoreKind::kReplicated: {
+      // Three replicas sharing ONE injector: the per-site call counter
+      // advances per consultation, so each replica draws an independent
+      // decision for the same logical op.
+      std::vector<std::unique_ptr<kv::KvStore>> reps;
+      for (std::uint64_t i = 0; i < 3; ++i) {
+        kv::LocalStoreConfig lc;
+        lc.seed = opt.seed * 3 + i;
+        reps.push_back(std::make_unique<InjectedStore>(
+            std::make_unique<kv::LocalDramStore>(lc), injector));
+      }
+      auto rs =
+          std::make_unique<kv::ReplicatedStore>(std::move(reps),
+                                                /*write_quorum=*/2);
+      replicated = rs.get();
+      store = std::move(rs);
+      break;
+    }
+  }
+
+  fm::MonitorConfig mc;
+  mc.lru_capacity_pages = opt.lru_capacity;
+  mc.write_batch_pages = opt.write_batch;
+  mc.prefetch_depth = opt.prefetch_depth;
+  mc.seed = opt.seed ^ 0xc0ffeeULL;
+  monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
+  region = std::make_unique<mem::UffdRegion>(/*pid=*/100, kBase, opt.pages,
+                                             pool);
+  rid = monitor->RegisterRegion(*region, kPartition);
+}
+
+StackView Stack::View() {
+  StackView v;
+  v.monitor = monitor.get();
+  v.pool = &pool;
+  v.regions = {{rid, region.get()}};
+  v.store = store.get();
+  return v;
+}
+
+// --- workload generation -----------------------------------------------------
+
+std::vector<Op> GenerateOps(const ScenarioOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<Op> ops;
+  ops.reserve(opt.num_ops);
+  const std::uint64_t hot_set = std::max<std::uint64_t>(1, opt.pages / 4);
+  for (std::uint32_t i = 0; i < opt.num_ops; ++i) {
+    Op op;
+    op.id = i;
+    // 70% of touches land in a hot quarter of the region so pages cycle
+    // through resident -> write-list steal -> remote refault, the paths
+    // where torn or stale contents would hide.
+    const auto pick_page = [&]() -> std::uint32_t {
+      const std::uint64_t space =
+          rng.NextDouble() < 0.7 ? hot_set : opt.pages;
+      return static_cast<std::uint32_t>(rng.NextBounded(space));
+    };
+    const double r = rng.NextDouble();
+    if (r < 0.45) {
+      op.kind = OpKind::kWrite;
+      op.page = pick_page();
+      op.value = rng();
+    } else if (r < 0.80) {
+      op.kind = OpKind::kRead;
+      op.page = pick_page();
+    } else if (r < 0.90) {
+      op.kind = OpKind::kPump;
+    } else if (r < 0.97) {
+      op.kind = OpKind::kDrain;
+    } else {
+      op.kind = OpKind::kResize;
+      op.value = rng();
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// --- execution ---------------------------------------------------------------
+
+bool EnsureResident(Stack& stack, VirtAddr addr, bool is_write, SimTime& now) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto access = stack.region->Access(addr, is_write);
+    if (access.kind != mem::AccessKind::kUffdFault) return true;
+    const auto outcome = stack.monitor->HandleFault(stack.rid, addr, now);
+    now = std::max(now, outcome.wake_at);
+    if (outcome.deadlocked) return false;
+    // A failed fault (store outage) is retryable: back off and re-issue,
+    // as the guest would. Deterministic for a given plan.
+    if (!outcome.status.ok()) now += 100 * kMicrosecond;
+  }
+  return stack.region->Access(addr, is_write).kind !=
+         mem::AccessKind::kUffdFault;
+}
+
+std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
+                                       ChaosStats* stats) {
+  // Verification observes; it must not perturb. Pause injection for the
+  // duration (per-site call counters still advance, preserving replay).
+  stack.injector->set_paused(true);
+  struct Unpause {
+    FaultInjector* inj;
+    ~Unpause() { inj->set_paused(false); }
+  } unpause{stack.injector.get()};
+
+  if (stats) ++stats->invariant_checks;
+  if (auto violation = CheckInvariants(stack.View())) return violation;
+
+  const fm::PageTracker& tracker = stack.monitor->tracker();
+  const fm::WriteList& wl = stack.monitor->write_list();
+  std::unordered_map<fm::PageRef, FrameId, fm::PageRefHash> buffered;
+  wl.ForEachPending(
+      [&](const fm::PendingWrite& w) { buffered[w.page] = w.frame; });
+  wl.ForEachInFlight(
+      [&](const fm::PendingWrite& w, bool) { buffered[w.page] = w.frame; });
+
+  std::optional<std::string> bad;
+  std::array<std::byte, kPageSize> buf;
+  stack.shadow.ForEach([&](VirtAddr addr,
+                           const std::array<std::byte, kPageSize>& want) {
+    if (bad) return;
+    const fm::PageRef p{stack.rid, addr};
+    if (!tracker.Seen(p)) {
+      bad = "written page " + Hex(addr) + " unknown to the tracker";
+      return;
+    }
+    switch (tracker.LocationOf(p)) {
+      case fm::PageLocation::kResident: {
+        const Status s = stack.region->ReadBytes(addr, buf);
+        if (!s.ok()) {
+          bad = "resident page " + Hex(addr) + " unreadable: " + s.ToString();
+          return;
+        }
+        break;
+      }
+      case fm::PageLocation::kWriteList:
+      case fm::PageLocation::kInFlight: {
+        // Buffered frames hold the authoritative bytes whether or not the
+        // posted batch succeeded — a failed batch keeps its frame.
+        auto it = buffered.find(p);
+        if (it == buffered.end()) {
+          bad = "buffered page " + Hex(addr) + " has no write-list frame";
+          return;
+        }
+        const auto data = stack.pool.Data(it->second);
+        std::memcpy(buf.data(), data.data(), kPageSize);
+        break;
+      }
+      case fm::PageLocation::kRemote: {
+        auto r = stack.store->Get(stack.monitor->partition_of(stack.rid),
+                                  kv::MakePageKey(addr), buf, now);
+        now = std::max(now, r.complete_at);
+        if (r.status.code() == StatusCode::kUnavailable) {
+          // A replicated store's failure detector may still be inside its
+          // suspect window from pre-quiesce faults; step past it and probe
+          // again before declaring the page unreadable.
+          now += 5 * kMillisecond;
+          r = stack.store->Get(stack.monitor->partition_of(stack.rid),
+                               kv::MakePageKey(addr), buf, now);
+          now = std::max(now, r.complete_at);
+        }
+        if (!r.status.ok()) {
+          bad = "remote page " + Hex(addr) +
+                " unreadable with injection paused: " + r.status.ToString();
+          return;
+        }
+        break;
+      }
+    }
+    if (stats) ++stats->pages_verified;
+    if (std::memcmp(buf.data(), want.data(), kPageSize) != 0)
+      bad = "content mismatch on page " + Hex(addr) +
+            " (stack diverged from the reference model)";
+  });
+  return bad;
+}
+
+namespace {
+
+void EmitStats(const ScenarioOptions& opt, const RunReport& rep, SimTime now) {
+  if (opt.tracer == nullptr) return;
+  std::string msg;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "ops=%llu blocked=%llu invariant_checks=%llu "
+                "pages_verified=%llu fails=%llu stalls=%llu",
+                static_cast<unsigned long long>(rep.stats.ops_executed),
+                static_cast<unsigned long long>(rep.stats.blocked_ops),
+                static_cast<unsigned long long>(rep.stats.invariant_checks),
+                static_cast<unsigned long long>(rep.stats.pages_verified),
+                static_cast<unsigned long long>(rep.faults.total_fails()),
+                static_cast<unsigned long long>(rep.faults.total_stalls()));
+  msg = head;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    if (rep.faults.fails[i] == 0 && rep.faults.stalls[i] == 0) continue;
+    char site[64];
+    std::snprintf(site, sizeof site, " %s=%llu/%llu",
+                  FaultSiteName(static_cast<FaultSite>(i)).data(),
+                  static_cast<unsigned long long>(rep.faults.fails[i]),
+                  static_cast<unsigned long long>(rep.faults.stalls[i]));
+    msg += site;
+  }
+  opt.tracer->Record(now, "chaos_stats", msg);
+}
+
+}  // namespace
+
+RunReport RunOps(const ScenarioOptions& opt, std::span<const Op> ops,
+                 std::unique_ptr<Stack>* out_stack) {
+  RunReport rep;
+  rep.seed = opt.seed;
+  rep.plan = opt.plan;
+
+  auto stack_owner = std::make_unique<Stack>(opt);
+  Stack& stack = *stack_owner;
+  SimTime now = 0;
+  std::uint32_t last_id = 0;
+  std::size_t since_quiesce = 0;
+  std::array<std::byte, kPageSize> buf;
+
+  const auto fail = [&](std::uint32_t id, std::string what) {
+    rep.ok = false;
+    rep.failure = Failure{id, std::move(what)};
+  };
+
+  for (const Op& op : ops) {
+    if (!rep.ok) break;
+    last_id = op.id;
+    stack.injector->BeginStep(op.id);
+    switch (op.kind) {
+      case OpKind::kWrite: {
+        const VirtAddr page_base = stack.AddrOfPage(op.page);
+        const std::size_t offset = (op.value % (kPageSize / 8)) * 8;
+        if (!EnsureResident(stack, page_base, /*is_write=*/true, now)) {
+          ++rep.stats.blocked_ops;
+          break;
+        }
+        const std::uint64_t v = op.value;
+        const auto bytes =
+            std::as_bytes(std::span<const std::uint64_t, 1>(&v, 1));
+        const Status s = stack.region->WriteBytes(page_base + offset, bytes);
+        if (!s.ok()) {
+          fail(op.id, "write to resident page " + Hex(page_base) +
+                          " failed: " + s.ToString());
+          break;
+        }
+        stack.shadow.Write(page_base + offset, bytes);
+        break;
+      }
+      case OpKind::kRead: {
+        const VirtAddr page_base = stack.AddrOfPage(op.page);
+        if (!EnsureResident(stack, page_base, /*is_write=*/false, now)) {
+          ++rep.stats.blocked_ops;
+          break;
+        }
+        const Status s = stack.region->ReadBytes(page_base, buf);
+        if (!s.ok()) {
+          fail(op.id, "read of resident page " + Hex(page_base) +
+                          " failed: " + s.ToString());
+          break;
+        }
+        ++rep.stats.pages_verified;
+        if (!stack.shadow.Matches(page_base, buf))
+          fail(op.id, "differential mismatch reading page " + Hex(page_base));
+        break;
+      }
+      case OpKind::kDrain:
+        now = stack.monitor->DrainWrites(now);
+        break;
+      case OpKind::kPump:
+        stack.monitor->PumpBackground(now);
+        now += 20 * kMicrosecond;
+        break;
+      case OpKind::kResize: {
+        // Clamp well above kvm_min_resident so a shrink can always finish.
+        const std::size_t cap = 8 + op.value % (2 * opt.lru_capacity);
+        now = stack.monitor->SetLruCapacity(cap, now);
+        break;
+      }
+      case OpKind::kBugUnregister:
+        // The re-introduced PR-1 bug; the next quiesce must catch what it
+        // leaves behind (orphaned write-list entries for a dead region).
+        (void)fm::MonitorTestPeer::BuggyUnregister(*stack.monitor, stack.rid,
+                                                   now);
+        break;
+    }
+    ++rep.stats.ops_executed;
+    if (rep.ok && ++since_quiesce >= opt.quiesce_every) {
+      since_quiesce = 0;
+      if (auto violation = VerifyStack(stack, now, &rep.stats))
+        fail(op.id, *violation);
+    }
+  }
+  if (rep.ok) {
+    if (auto violation = VerifyStack(stack, now, &rep.stats))
+      fail(last_id, *violation);
+  }
+
+  rep.faults = stack.injector->stats();
+  EmitStats(opt, rep, now);
+  if (out_stack != nullptr) *out_stack = std::move(stack_owner);
+  return rep;
+}
+
+RunReport RunScenario(const ScenarioOptions& opt) {
+  const std::vector<Op> ops = GenerateOps(opt);
+  return RunOps(opt, ops);
+}
+
+std::string RunReport::Report() const {
+  std::string s = ok ? "chaos run OK: " : "chaos run FAILED: ";
+  s += "seed=" + std::to_string(seed) + " " + plan.ToString();
+  if (failure)
+    s += "\n  at op " + std::to_string(failure->op_id) + ": " + failure->what;
+  char tail[160];
+  std::snprintf(tail, sizeof tail,
+                "\n  ops=%llu blocked=%llu checks=%llu pages=%llu "
+                "fails=%llu stalls=%llu",
+                static_cast<unsigned long long>(stats.ops_executed),
+                static_cast<unsigned long long>(stats.blocked_ops),
+                static_cast<unsigned long long>(stats.invariant_checks),
+                static_cast<unsigned long long>(stats.pages_verified),
+                static_cast<unsigned long long>(faults.total_fails()),
+                static_cast<unsigned long long>(faults.total_stalls()));
+  s += tail;
+  return s;
+}
+
+// --- shrinking ---------------------------------------------------------------
+
+ShrinkResult ShrinkFailure(const ScenarioOptions& opt,
+                           std::span<const Op> failing_ops,
+                           int max_iterations) {
+  ShrinkResult res;
+  res.ops.assign(failing_ops.begin(), failing_ops.end());
+
+  RunReport current = RunOps(opt, res.ops);
+  res.iterations = 1;
+  if (current.ok) {
+    // Nothing to shrink: caller gave us a passing sequence.
+    res.report = std::move(current);
+    return res;
+  }
+
+  // ddmin-style chunk removal: repeatedly try dropping one of
+  // `granularity` chunks; any candidate that still fails becomes the new
+  // sequence. Op ids are never renumbered, so retained ops keep their
+  // exact fault decisions and the search space is deterministic.
+  std::size_t granularity = 2;
+  while (res.ops.size() >= 2 && granularity <= res.ops.size() &&
+         res.iterations < max_iterations) {
+    const std::size_t chunk = (res.ops.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < res.ops.size() && res.iterations < max_iterations;
+         start += chunk) {
+      std::vector<Op> candidate;
+      candidate.reserve(res.ops.size());
+      for (std::size_t i = 0; i < res.ops.size(); ++i)
+        if (i < start || i >= start + chunk) candidate.push_back(res.ops[i]);
+      if (candidate.empty()) continue;
+      RunReport r = RunOps(opt, candidate);
+      ++res.iterations;
+      if (!r.ok) {
+        res.ops = std::move(candidate);
+        current = std::move(r);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= res.ops.size()) break;
+      granularity = std::min(res.ops.size(), granularity * 2);
+    }
+  }
+  if (opt.tracer != nullptr) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "shrink iterations=%d minimal_ops=%zu",
+                  res.iterations, res.ops.size());
+    opt.tracer->Record(0, "chaos_stats", msg);
+  }
+  res.report = std::move(current);
+  return res;
+}
+
+}  // namespace fluid::chaos

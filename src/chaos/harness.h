@@ -1,0 +1,167 @@
+// The chaos scenario driver.
+//
+// A scenario is (workload seed, FaultPlan): the seed generates a
+// deterministic op sequence (GenerateOps) and the plan drives one
+// FaultInjector installed behind every layer of a freshly built stack
+// (RunOps). While the ops run, every workload write is mirrored into a
+// ShadowMemory oracle; every read is differentially checked against it,
+// and at periodic quiesce points the harness sweeps ALL touched pages —
+// wherever the stack currently keeps them (VM frame, write-list frame,
+// remote store) — and runs the global bookkeeping invariants
+// (invariants.h).
+//
+// Every failure is replayable: RunReport::Report() prints the (seed, plan)
+// pair, and re-running the same ScenarioOptions reproduces the identical
+// failing step, because all randomness (workload, stack models, injection)
+// derives from those two values. ShrinkFailure then ddmin-reduces the op
+// sequence to a minimal reproducer — op ids are preserved under shrinking,
+// so retained ops keep their exact fault behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
+#include "chaos/invariants.h"
+#include "chaos/oracle.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/kvstore.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+#include "sim/trace.h"
+
+namespace fluid::chaos {
+
+// Which backend the scenario stack talks to.
+enum class StoreKind {
+  kLocalDram,   // InjectedStore over LocalDramStore
+  kRamcloud,    // InjectedStore over RamcloudStore (log cleaner in play)
+  kReplicated,  // ReplicatedStore over 3x InjectedStore(LocalDramStore)
+};
+
+struct ScenarioOptions {
+  std::uint64_t seed = 1;  // workload seed (ops, model RNGs)
+  FaultPlan plan;          // injection seed + per-site fault schedule
+  StoreKind store = StoreKind::kLocalDram;
+  std::size_t pages = 96;         // region size (pages)
+  std::size_t lru_capacity = 24;  // DRAM budget (pages)
+  std::size_t write_batch = 8;
+  std::size_t prefetch_depth = 0;
+  std::size_t num_ops = 300;
+  std::size_t quiesce_every = 64;  // ops between full oracle sweeps
+  Tracer* tracer = nullptr;        // optional chaos_stats sink
+};
+
+// One deterministic workload operation. `id` is the op's ORIGINAL index in
+// the generated sequence; the injector keys fault decisions on it, so a
+// shrunk subsequence replays the same faults on the ops it keeps.
+enum class OpKind : std::uint8_t {
+  kWrite,   // touch a page, write 8 bytes, mirror into the shadow
+  kRead,    // touch a page, differentially check it against the shadow
+  kDrain,   // Monitor::DrainWrites
+  kPump,    // Monitor::PumpBackground
+  kResize,  // Monitor::SetLruCapacity (shrink/grow the DRAM budget)
+  // Deliberately re-introduce the pre-fix UnregisterRegion shutdown bug
+  // (MonitorTestPeer::BuggyUnregister). Never emitted by GenerateOps —
+  // acceptance tests append it to prove the harness catches the bug and
+  // that ShrinkFailure reduces around it.
+  kBugUnregister,
+};
+
+struct Op {
+  std::uint32_t id = 0;
+  OpKind kind = OpKind::kWrite;
+  std::uint32_t page = 0;     // page index within the region
+  std::uint64_t value = 0;    // written payload / resize argument
+};
+
+std::vector<Op> GenerateOps(const ScenarioOptions& opt);
+
+// A fully wired scenario stack. Exposed so targeted tests (quorum crash,
+// migration, the BuggyUnregister acceptance test) can drive the same
+// components by hand while reusing the harness's construction.
+struct Stack {
+  explicit Stack(const ScenarioOptions& opt);
+
+  VirtAddr AddrOfPage(std::uint32_t page) const {
+    return base + static_cast<VirtAddr>(page) * kPageSize;
+  }
+  StackView View();
+
+  static constexpr VirtAddr kBase = 0x5000'0000;
+  static constexpr PartitionId kPartition = 1;
+
+  VirtAddr base = kBase;
+  mem::FramePool pool;
+  std::shared_ptr<FaultInjector> injector;
+  std::unique_ptr<kv::KvStore> store;
+  kv::ReplicatedStore* replicated = nullptr;  // set when store == kReplicated
+  std::unique_ptr<mem::UffdRegion> region;
+  std::unique_ptr<fm::Monitor> monitor;
+  fm::RegionId rid = 0;
+  ShadowMemory shadow;
+};
+
+struct ChaosStats {
+  std::uint64_t ops_executed = 0;
+  std::uint64_t blocked_ops = 0;  // faults that stayed failed after retries
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t pages_verified = 0;  // differential page comparisons
+};
+
+struct Failure {
+  std::uint32_t op_id = 0;  // original id of the op the failure surfaced at
+  std::string what;
+};
+
+struct RunReport {
+  bool ok = true;
+  std::uint64_t seed = 0;  // workload seed, echoed for Report()
+  FaultPlan plan;
+  std::optional<Failure> failure;
+  ChaosStats stats;
+  InjectorStats faults;
+
+  // Human-readable reproduction recipe: always names the (seed, plan)
+  // pair; on failure also the failing op and what went wrong.
+  std::string Report() const;
+};
+
+// Build a fresh stack and run the full generated sequence / a given
+// subsequence. RunOps hands the stack over for post-mortem inspection
+// when the caller provides a slot for it (`out_stack`).
+RunReport RunScenario(const ScenarioOptions& opt);
+RunReport RunOps(const ScenarioOptions& opt, std::span<const Op> ops,
+                 std::unique_ptr<Stack>* out_stack = nullptr);
+
+// Ensure `addr` is accessible in `stack`'s region, retrying the fault a
+// bounded number of times under injected store failures. Returns false if
+// the op stayed blocked (deterministically, for the given plan).
+bool EnsureResident(Stack& stack, VirtAddr addr, bool is_write, SimTime& now);
+
+// Run the quiesce-point verification (differential sweep of every shadow
+// page + global invariants) against an arbitrary caller-built stack.
+// Injection is paused for the duration. Returns the first discrepancy.
+std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
+                                       ChaosStats* stats = nullptr);
+
+struct ShrinkResult {
+  std::vector<Op> ops;  // minimal failing subsequence (original ids kept)
+  RunReport report;     // report from the final (minimal) run
+  int iterations = 0;   // candidate runs executed
+};
+
+// Delta-debug a failing sequence down to a locally-minimal reproducer.
+// Every candidate runs on a fresh stack; determinism makes the search
+// sound. Caps at `max_iterations` candidate runs.
+ShrinkResult ShrinkFailure(const ScenarioOptions& opt,
+                           std::span<const Op> failing_ops,
+                           int max_iterations = 200);
+
+}  // namespace fluid::chaos

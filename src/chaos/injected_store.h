@@ -1,0 +1,94 @@
+// InjectedStore: KvStore decorator that routes every store operation
+// through the scenario's FaultInjector.
+//
+// This supersedes FlakyStore for chaos runs: FlakyStore draws from its own
+// private RNG, so its faults depend on call ORDER and cannot be replayed
+// or shrunk; InjectedStore's faults are keyed on (seed, plan, op id, call)
+// via the shared hook. FlakyStore remains for the simple targeted tests.
+//
+// Several InjectedStores may share one injector (e.g. the three replicas
+// of a ReplicatedStore): the injector's per-site call counter advances per
+// consultation, so each replica draws an independent decision for the same
+// logical op.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "common/fault_hook.h"
+#include "kvstore/kvstore.h"
+
+namespace fluid::chaos {
+
+class InjectedStore final : public kv::KvStore {
+ public:
+  InjectedStore(std::unique_ptr<kv::KvStore> inner, FaultHookPtr hook)
+      : inner_(std::move(inner)), hook_(std::move(hook)) {}
+
+  kv::KvStore& inner() noexcept { return *inner_; }
+
+  std::string_view name() const override { return "injected"; }
+  bool has_native_partitions() const override {
+    return inner_->has_native_partitions();
+  }
+
+  kv::OpResult Put(PartitionId partition, kv::Key key,
+                   std::span<const std::byte, kPageSize> value,
+                   SimTime now) override {
+    auto [fail, stall] = Consult(FaultSite::kStorePut, now);
+    if (fail) return Unavailable(now);
+    return Stalled(inner_->Put(partition, key, value, now), stall);
+  }
+  kv::OpResult Get(PartitionId partition, kv::Key key,
+                   std::span<std::byte, kPageSize> out, SimTime now) override {
+    auto [fail, stall] = Consult(FaultSite::kStoreGet, now);
+    if (fail) return Unavailable(now);
+    return Stalled(inner_->Get(partition, key, out, now), stall);
+  }
+  kv::OpResult Remove(PartitionId partition, kv::Key key, SimTime now) override {
+    auto [fail, stall] = Consult(FaultSite::kStoreRemove, now);
+    if (fail) return Unavailable(now);
+    return Stalled(inner_->Remove(partition, key, now), stall);
+  }
+  kv::OpResult MultiPut(PartitionId partition,
+                        std::span<const kv::KvWrite> writes,
+                        SimTime now) override {
+    auto [fail, stall] = Consult(FaultSite::kStoreMultiPut, now);
+    if (fail) return Unavailable(now);
+    return Stalled(inner_->MultiPut(partition, writes, now), stall);
+  }
+  kv::OpResult DropPartition(PartitionId partition, SimTime now) override {
+    auto [fail, stall] = Consult(FaultSite::kStoreDropPartition, now);
+    if (fail) return Unavailable(now);
+    return Stalled(inner_->DropPartition(partition, now), stall);
+  }
+
+  // Metadata introspection used by invariant checks; never injected.
+  bool Contains(PartitionId partition, kv::Key key) const override {
+    return inner_->Contains(partition, key);
+  }
+  std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_->BytesStored(); }
+  const kv::StoreStats& stats() const override { return inner_->stats(); }
+
+ private:
+  FaultDecision Consult(FaultSite site, SimTime now) {
+    return hook_ ? hook_->OnOp(site, now) : FaultDecision{};
+  }
+  static kv::OpResult Unavailable(SimTime now) {
+    // Same timeout-ish cost model as FlakyStore: the caller learns of the
+    // failure only after a 50 us RPC deadline.
+    const SimTime at = now + 50 * kMicrosecond;
+    return kv::OpResult{Status::Unavailable("injected store failure"), at, at};
+  }
+  static kv::OpResult Stalled(kv::OpResult r, SimDuration stall) {
+    r.complete_at += stall;
+    return r;
+  }
+
+  std::unique_ptr<kv::KvStore> inner_;
+  FaultHookPtr hook_;
+};
+
+}  // namespace fluid::chaos

@@ -1,0 +1,102 @@
+// FaultInjector: the imperative half of the chaos harness.
+//
+// One injector is installed behind every FaultHook site in a scenario
+// stack. Each decision is a pure function of
+//   (plan seed, fault site, current op id, per-site call counter)
+// so a run is bit-replayable from its (seed, plan) pair alone, and —
+// because the harness calls BeginStep with the op's ORIGINAL id even
+// after shrinking removed its neighbours — a shrunk subsequence sees the
+// exact same faults on the ops it retains. That property is what makes
+// ddmin converge on real minimal reproducers instead of chasing a moving
+// fault schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "chaos/fault_plan.h"
+#include "common/fault_hook.h"
+#include "common/rng.h"
+
+namespace fluid::chaos {
+
+struct InjectorStats {
+  std::array<std::uint64_t, kFaultSiteCount> fails{};
+  std::array<std::uint64_t, kFaultSiteCount> stalls{};
+
+  std::uint64_t total_fails() const {
+    std::uint64_t n = 0;
+    for (auto v : fails) n += v;
+    return n;
+  }
+  std::uint64_t total_stalls() const {
+    std::uint64_t n = 0;
+    for (auto v : stalls) n += v;
+    return n;
+  }
+};
+
+class FaultInjector final : public FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // The harness calls this before executing each workload op. Resets the
+  // per-site call counters so a given op always sees the same decision
+  // sequence no matter what ran before it.
+  void BeginStep(std::uint32_t op_id) noexcept {
+    step_ = op_id;
+    calls_.fill(0);
+  }
+
+  // Quiesce-time verification must observe the stack, not perturb it:
+  // the oracle pauses injection while it sweeps memory contents.
+  void set_paused(bool paused) noexcept { paused_ = paused; }
+  bool paused() const noexcept { return paused_; }
+
+  const InjectorStats& stats() const noexcept { return stats_; }
+
+  FaultDecision OnOp(FaultSite site, SimTime /*now*/) override {
+    const auto idx = static_cast<std::size_t>(site);
+    const std::uint32_t call = calls_[idx]++;
+    if (paused_) return {};
+    const SiteFaults& f = plan_.site[idx];
+    if (!f.active()) return {};
+
+    FaultDecision d;
+    if (step_ >= f.outage_from && step_ < f.outage_to) {
+      d.fail = true;
+    } else if (f.fail_p > 0.0 &&
+               HashToUnit(site, call, /*salt=*/0x4661696cULL) < f.fail_p) {
+      d.fail = true;
+    }
+    if (!d.fail && f.stall_p > 0.0 &&
+        HashToUnit(site, call, /*salt=*/0x5374616cULL) < f.stall_p) {
+      d.extra_latency = f.stall;
+      ++stats_.stalls[idx];
+    }
+    if (d.fail) ++stats_.fails[idx];
+    return d;
+  }
+
+ private:
+  // Deterministic uniform in [0,1) from (seed, site, step, call, salt).
+  double HashToUnit(FaultSite site, std::uint32_t call,
+                    std::uint64_t salt) const noexcept {
+    std::uint64_t s = plan_.seed ^ salt;
+    s ^= SplitMix64(s) + static_cast<std::uint64_t>(site);
+    s ^= SplitMix64(s) + step_;
+    s ^= SplitMix64(s) + call;
+    const std::uint64_t bits = SplitMix64(s);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+
+  FaultPlan plan_;
+  std::uint32_t step_ = 0;
+  std::array<std::uint32_t, kFaultSiteCount> calls_{};
+  bool paused_ = false;
+  InjectorStats stats_;
+};
+
+}  // namespace fluid::chaos

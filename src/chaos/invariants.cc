@@ -1,0 +1,131 @@
+#include "chaos/invariants.h"
+
+#include <cstdio>
+
+#include "kvstore/key_codec.h"
+
+namespace fluid::chaos {
+
+namespace {
+
+std::string Describe(const fm::PageRef& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "page{region=%u addr=0x%llx}", p.region,
+                static_cast<unsigned long long>(p.addr));
+  return buf;
+}
+
+const char* LocationName(fm::PageLocation loc) {
+  switch (loc) {
+    case fm::PageLocation::kResident: return "resident";
+    case fm::PageLocation::kWriteList: return "write-list";
+    case fm::PageLocation::kInFlight: return "in-flight";
+    case fm::PageLocation::kRemote: return "remote";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<std::string> CheckInvariants(const StackView& view) {
+  fm::Monitor& m = *view.monitor;
+  const fm::PageTracker& tracker = m.tracker();
+  const fm::WriteList& wl = m.write_list();
+  const fm::LruBuffer& lru = fm::MonitorTestPeer::lru(m);
+
+  // 1. Frame conservation. Every allocated frame must be either mapped in
+  // a region's page table or buffered on the write list; a mismatch means
+  // a frame leaked (e.g. a forgotten region's buffered writes) or was
+  // double-freed.
+  std::size_t region_frames = 0;
+  for (const auto& [rid, region] : view.regions)
+    region_frames += region->ResidentFrames();
+  std::size_t wl_frames = 0;
+  wl.ForEachPending([&](const fm::PendingWrite&) { ++wl_frames; });
+  wl.ForEachInFlight([&](const fm::PendingWrite&, bool) { ++wl_frames; });
+  if (view.pool->in_use() != region_frames + wl_frames) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "frame conservation: pool in_use=%zu but regions hold %zu "
+                  "and write list holds %zu (leak or double-free)",
+                  view.pool->in_use(), region_frames, wl_frames);
+    return std::string(buf);
+  }
+
+  // 2. Write-list sanity: buffered writes belong to live regions and the
+  // tracker agrees on where each page is.
+  std::optional<std::string> violation;
+  wl.ForEachPending([&](const fm::PendingWrite& w) {
+    if (violation) return;
+    if (m.region_of(w.page.region) == nullptr)
+      violation = "write list holds pending " + Describe(w.page) +
+                  " for an inactive region";
+    else if (tracker.LocationOf(w.page) != fm::PageLocation::kWriteList)
+      violation = "pending " + Describe(w.page) + " tracked as " +
+                  LocationName(tracker.LocationOf(w.page));
+  });
+  if (violation) return violation;
+  wl.ForEachInFlight([&](const fm::PendingWrite& w, bool) {
+    if (violation) return;
+    if (m.region_of(w.page.region) == nullptr)
+      violation = "write list holds in-flight " + Describe(w.page) +
+                  " for an inactive region";
+    else if (tracker.LocationOf(w.page) != fm::PageLocation::kInFlight)
+      violation = "in-flight " + Describe(w.page) + " tracked as " +
+                  LocationName(tracker.LocationOf(w.page));
+  });
+  if (violation) return violation;
+
+  // 3. LRU residency: every LRU entry is a tracked-resident page actually
+  // present in its region's page table.
+  lru.ForEach([&](const fm::PageRef& p) {
+    if (violation) return;
+    if (!tracker.Seen(p)) {
+      violation = "LRU entry " + Describe(p) + " unknown to the tracker";
+      return;
+    }
+    if (tracker.LocationOf(p) != fm::PageLocation::kResident) {
+      violation = "LRU entry " + Describe(p) + " tracked as " +
+                  LocationName(tracker.LocationOf(p));
+      return;
+    }
+    mem::UffdRegion* region = m.region_of(p.region);
+    if (region == nullptr)
+      violation = "LRU entry " + Describe(p) + " for an inactive region";
+    else if (!region->IsPresent(p.addr))
+      violation = "LRU entry " + Describe(p) + " not present in the VM";
+  });
+  if (violation) return violation;
+
+  // 4. Tracker sweep: each claimed location is backed by the structure
+  // that owns it. kRemote is only checkable against a store snapshot.
+  tracker.ForEach([&](const fm::PageRef& p, fm::PageLocation loc) {
+    if (violation) return;
+    switch (loc) {
+      case fm::PageLocation::kResident:
+        if (!lru.Contains(p))
+          violation = "tracked-resident " + Describe(p) + " missing from LRU";
+        break;
+      case fm::PageLocation::kWriteList:
+        if (!wl.ContainsPending(p))
+          violation = "tracked-write-list " + Describe(p) +
+                      " missing from the pending write list";
+        break;
+      case fm::PageLocation::kInFlight:
+        if (!wl.InFlightCompletion(p).has_value())
+          violation = "tracked-in-flight " + Describe(p) +
+                      " missing from the posted batches";
+        break;
+      case fm::PageLocation::kRemote:
+        if (view.store != nullptr &&
+            !view.store->Contains(m.partition_of(p.region),
+                                  kv::MakePageKey(p.addr)))
+          violation = "tracked-remote " + Describe(p) +
+                      " absent from the key-value store";
+        break;
+    }
+  });
+  return violation;
+}
+
+}  // namespace fluid::chaos

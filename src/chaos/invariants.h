@@ -1,0 +1,49 @@
+// Quiesce-point global invariants over the whole FluidMem stack.
+//
+// The differential oracle (oracle.h) checks page *contents*; these checks
+// cover the *bookkeeping*: whatever faults were injected, at any quiesce
+// point the monitor's four views of the world — frame pool, LRU buffer,
+// page tracker, write list — must still agree with each other and with the
+// uffd regions' page tables. The PR-1 shutdown bug (UnregisterRegion
+// flushing a dying region's writes and then forgetting them when the store
+// is down) is exactly a violation of invariants 1 and 2 below, and the
+// acceptance test re-introduces it via MonitorTestPeer::BuggyUnregister to
+// prove these checks catch it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fluidmem/monitor.h"
+#include "fluidmem/test_peer.h"
+#include "kvstore/kvstore.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+
+namespace fluid::chaos {
+
+// Everything the invariant sweep needs to see. `store` may be null when
+// the store's Contains() is not meaningful (e.g. mid-outage checks).
+struct StackView {
+  fm::Monitor* monitor = nullptr;
+  mem::FramePool* pool = nullptr;
+  std::vector<std::pair<fm::RegionId, mem::UffdRegion*>> regions;
+  const kv::KvStore* store = nullptr;
+};
+
+// Returns a description of the first violated invariant, or nullopt when
+// the stack is consistent. Checked families:
+//   1. frame conservation — every pool frame is accounted for by exactly
+//      the regions' resident frames plus the write list's buffered frames;
+//   2. write-list sanity — every buffered write belongs to an ACTIVE
+//      region and the tracker agrees on its location
+//      (pending -> kWriteList, posted -> kInFlight);
+//   3. LRU residency — every LRU entry is tracked kResident and actually
+//      present in its region's page table;
+//   4. tracker sweep — every tracked page's location is backed by the
+//      structure that location names (LRU / write list / store).
+std::optional<std::string> CheckInvariants(const StackView& view);
+
+}  // namespace fluid::chaos

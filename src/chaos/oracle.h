@@ -1,0 +1,67 @@
+// ShadowMemory: the reference-model oracle.
+//
+// A flat map from page number to the bytes the workload believes that page
+// holds. The harness mirrors every workload write into the shadow and,
+// on every read and at every quiesce point, compares what the real stack
+// serves (resident frame, buffered write-list frame, or remote store copy)
+// against the shadow. The stack under test moves pages through uffd
+// faults, eviction, asynchronous writeback, failover and migration; the
+// oracle is the fixed point all of that machinery must be equivalent to.
+//
+// Pages never written are implicitly zero — matching the kernel's
+// zero-page semantics for first-touch faults.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace fluid::chaos {
+
+class ShadowMemory {
+ public:
+  // Mirror a workload write of `bytes` at byte offset `offset` within the
+  // page containing `addr`.
+  void Write(VirtAddr addr, std::span<const std::byte> bytes) {
+    auto& page = pages_[PageOf(addr)];
+    const std::size_t offset = addr & (kPageSize - 1);
+    std::memcpy(page.data() + offset, bytes.data(),
+                std::min(bytes.size(), kPageSize - offset));
+  }
+
+  // Expected contents of the page containing `addr`; nullptr means the
+  // page was never written and must read as all zeroes.
+  const std::array<std::byte, kPageSize>* Lookup(VirtAddr addr) const {
+    auto it = pages_.find(PageOf(addr));
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
+  // True iff `got` matches the expected contents of `addr`'s page.
+  bool Matches(VirtAddr addr,
+               std::span<const std::byte, kPageSize> got) const {
+    if (const auto* page = Lookup(addr))
+      return std::memcmp(got.data(), page->data(), kPageSize) == 0;
+    for (std::byte b : got)
+      if (b != std::byte{0}) return false;
+    return true;
+  }
+
+  void Forget(VirtAddr addr) { pages_.erase(PageOf(addr)); }
+  void Clear() { pages_.clear(); }
+  std::size_t TouchedPages() const { return pages_.size(); }
+
+  // Iterate all pages ever written: f(VirtAddr page_base, const array&).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [pn, bytes] : pages_) f(AddrOf(pn), bytes);
+  }
+
+ private:
+  std::unordered_map<PageNum, std::array<std::byte, kPageSize>> pages_;
+};
+
+}  // namespace fluid::chaos

@@ -1,0 +1,73 @@
+// Fault-injection hook points shared by every layer of the stack.
+//
+// Disaggregated-memory correctness lives or dies on how the monitor reacts
+// when the remote tier misbehaves (paper §III replication, §IV partition
+// recovery). Each injectable layer — net transports, block devices, the
+// coordination table, key-value stores — consults an optional FaultHook at
+// its operation sites; the chaos harness (src/chaos) installs one seeded
+// injector behind every site so an entire run is replayable from a
+// (seed, FaultPlan) pair. With no hook installed the fast paths are a null
+// pointer check, so production-style benches are unperturbed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace fluid {
+
+// Where in the stack an operation is about to run. One enumerator per
+// injectable operation class, across every layer.
+enum class FaultSite : std::uint8_t {
+  kNetRtt = 0,          // one transport round trip (latency spikes only)
+  kBlockRead,           // block device read command
+  kBlockWrite,          // block device write command
+  kCoordOp,             // a client op against the replicated table
+  kCoordAck,            // one replica's commit acknowledgement
+  kStoreGet,
+  kStorePut,
+  kStoreMultiPut,
+  kStoreRemove,
+  kStoreDropPartition,
+};
+inline constexpr std::size_t kFaultSiteCount = 10;
+
+constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kNetRtt: return "net.rtt";
+    case FaultSite::kBlockRead: return "blk.read";
+    case FaultSite::kBlockWrite: return "blk.write";
+    case FaultSite::kCoordOp: return "coord.op";
+    case FaultSite::kCoordAck: return "coord.ack";
+    case FaultSite::kStoreGet: return "store.get";
+    case FaultSite::kStorePut: return "store.put";
+    case FaultSite::kStoreMultiPut: return "store.multiput";
+    case FaultSite::kStoreRemove: return "store.remove";
+    case FaultSite::kStoreDropPartition: return "store.drop";
+  }
+  return "?";
+}
+
+struct FaultDecision {
+  bool fail = false;             // operation fails (kUnavailable / dropped ack)
+  SimDuration extra_latency = 0; // added service/queue delay (stall, spike)
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Called immediately before the operation executes. `now` is the
+  // caller's virtual time where known, 0 where the layer has no clock of
+  // its own (transport RTT sampling).
+  virtual FaultDecision OnOp(FaultSite site, SimTime now) = 0;
+};
+
+// Layers hold the hook by shared_ptr: transports are copied by value into
+// stores and devices, and every copy must keep consulting the same
+// injector.
+using FaultHookPtr = std::shared_ptr<FaultHook>;
+
+}  // namespace fluid

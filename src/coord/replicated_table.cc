@@ -4,25 +4,69 @@
 
 namespace fluid::coord {
 
-StatusOr<SimTime> ReplicatedTable::Commit(const std::string& key, SimTime now) {
+StatusOr<SimTime> ReplicatedTable::Commit(const std::string& key, SimTime now,
+                                          const Versioned* prior) {
   if (!HasQuorum()) return Status::Unavailable("quorum lost");
   // Fan out to all alive replicas; the op commits when the median (majority)
-  // acknowledgement arrives.
+  // acknowledgement arrives. An injected kCoordAck failure drops the
+  // proposal on the wire: that replica neither applies nor acknowledges.
   std::vector<SimDuration> acks;
+  std::vector<Replica*> applied;
   auto it = committed_.find(key);
   for (Replica& r : replicas_) {
     if (!r.alive) continue;
+    SimDuration extra = 0;
+    if (hook_) {
+      const FaultDecision fd = hook_->OnOp(FaultSite::kCoordAck, now);
+      if (fd.fail) {
+        ++dropped_acks_;
+        continue;
+      }
+      extra = fd.extra_latency;
+    }
     if (it == committed_.end())
       r.state.erase(key);
     else
       r.state[key] = it->second;
-    acks.push_back(config_.replica_rtt.Sample(rng_));
+    applied.push_back(&r);
+    acks.push_back(config_.replica_rtt.Sample(rng_) + extra);
   }
   const std::size_t majority =
       static_cast<std::size_t>(config_.replica_count / 2 + 1);
+  if (acks.size() < majority) {
+    // The proposal failed to commit: replicas that did apply it must not
+    // keep an uncommitted value, or the ensemble would diverge from the
+    // caller's rollback of the primary state.
+    for (Replica* r : applied) {
+      if (prior != nullptr)
+        r->state[key] = *prior;
+      else
+        r->state.erase(key);
+    }
+    return Status::Unavailable("commit lost quorum of acks");
+  }
   std::sort(acks.begin(), acks.end());
-  // acks.size() >= majority guaranteed by HasQuorum().
   return now + acks[majority - 1];
+}
+
+StatusOr<SimDuration> ReplicatedTable::OpGate(SimTime now) {
+  if (InElection(now))
+    return Status::Unavailable("leader election in progress");
+  if (!hook_) return SimDuration{0};
+  const FaultDecision fd = hook_->OnOp(FaultSite::kCoordOp, now);
+  if (fd.fail) return Status::Unavailable("injected coordinator failure");
+  return fd.extra_latency;
+}
+
+int ReplicatedTable::CrashPrimary(SimTime now) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!replicas_[i].alive) continue;
+    CrashReplica(static_cast<int>(i));
+    election_done_ = now + config_.election_time;
+    ++elections_;
+    return static_cast<int>(i);
+  }
+  return -1;
 }
 
 SessionId ReplicatedTable::OpenSession(SimTime now) {
@@ -76,6 +120,13 @@ TableOpResult ReplicatedTable::Create(const std::string& key,
                                       std::string value, SimTime now,
                                       SessionId session) {
   TableOpResult r;
+  auto gate = OpGate(now);
+  if (!gate.ok()) {
+    r.status = gate.status();
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  now += *gate;
   if (session != kNoSession && !SessionAlive(session, now)) {
     r.status = Status::FailedPrecondition("session expired or unknown");
     r.complete_at = now;
@@ -87,7 +138,7 @@ TableOpResult ReplicatedTable::Create(const std::string& key,
     return r;
   }
   committed_[key] = Versioned{std::move(value), 1};
-  auto commit = Commit(key, now);
+  auto commit = Commit(key, now, /*prior=*/nullptr);
   if (!commit.ok()) {
     committed_.erase(key);  // not durable; roll back
     r.status = commit.status();
@@ -103,6 +154,13 @@ TableOpResult ReplicatedTable::Create(const std::string& key,
 
 TableOpResult ReplicatedTable::Read(const std::string& key, SimTime now) {
   TableOpResult r;
+  auto gate = OpGate(now);
+  if (!gate.ok()) {
+    r.status = gate.status();
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  now += *gate;
   r.complete_at = now + config_.replica_rtt.Sample(rng_);
   auto it = committed_.find(key);
   if (it == committed_.end()) {
@@ -124,6 +182,13 @@ TableOpResult ReplicatedTable::Update(const std::string& key,
                                       std::uint64_t expected_version,
                                       SimTime now) {
   TableOpResult r;
+  auto gate = OpGate(now);
+  if (!gate.ok()) {
+    r.status = gate.status();
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  now += *gate;
   auto it = committed_.find(key);
   if (it == committed_.end()) {
     r.status = Status::NotFound(key);
@@ -137,7 +202,7 @@ TableOpResult ReplicatedTable::Update(const std::string& key,
   }
   const Versioned saved = it->second;
   it->second = Versioned{std::move(value), expected_version + 1};
-  auto commit = Commit(key, now);
+  auto commit = Commit(key, now, &saved);
   if (!commit.ok()) {
     it->second = saved;
     r.status = commit.status();
@@ -152,6 +217,13 @@ TableOpResult ReplicatedTable::Update(const std::string& key,
 
 TableOpResult ReplicatedTable::Delete(const std::string& key, SimTime now) {
   TableOpResult r;
+  auto gate = OpGate(now);
+  if (!gate.ok()) {
+    r.status = gate.status();
+    r.complete_at = now + config_.replica_rtt.Sample(rng_);
+    return r;
+  }
+  now += *gate;
   auto it = committed_.find(key);
   if (it == committed_.end()) {
     r.status = Status::NotFound(key);
@@ -160,7 +232,7 @@ TableOpResult ReplicatedTable::Delete(const std::string& key, SimTime now) {
   }
   const Versioned saved = it->second;
   committed_.erase(it);
-  auto commit = Commit(key, now);
+  auto commit = Commit(key, now, &saved);
   if (!commit.ok()) {
     committed_[key] = saved;
     r.status = commit.status();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/dist.h"
+#include "common/fault_hook.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -43,6 +44,10 @@ struct ReplicatedTableConfig {
   // this long loses its session, and every ephemeral key it created is
   // deleted — how ZooKeeper cleans up after crashed FluidMem monitors.
   SimDuration session_timeout = 10 * kSecond;
+  // How long a leader election blackout lasts after CrashPrimary: every
+  // client op fails kUnavailable until it ends (ZooKeeper elections are
+  // observed as a window of connection loss, typically sub-second).
+  SimDuration election_time = 300 * kMillisecond;
   std::uint64_t seed = 45;
 };
 
@@ -92,9 +97,24 @@ class ReplicatedTable {
 
   // --- fault injection -------------------------------------------------------
 
+  // Seeded chaos hook. kCoordOp is consulted once per client operation
+  // (fail → the op returns kUnavailable; extra_latency delays it) and
+  // kCoordAck once per replica per commit (fail → that replica never sees
+  // the proposal and contributes no acknowledgement).
+  void set_fault_hook(FaultHookPtr hook) noexcept { hook_ = std::move(hook); }
+
   void CrashReplica(int idx);
   // A restarted replica re-syncs from the primary's committed state.
   void RestoreReplica(int idx);
+  // Crash the current primary: one alive replica dies and a leader
+  // election begins. Every client op until now + election_time fails
+  // kUnavailable("leader election in progress"). Committed state survives
+  // on the surviving quorum; restore the replica with RestoreReplica.
+  // Returns the crashed replica index, or -1 if none was alive.
+  int CrashPrimary(SimTime now);
+  bool InElection(SimTime now) const noexcept { return now < election_done_; }
+  std::uint64_t elections() const noexcept { return elections_; }
+  std::uint64_t dropped_acks() const noexcept { return dropped_acks_; }
   int AliveReplicas() const;
   bool HasQuorum() const {
     return AliveReplicas() >= config_.replica_count / 2 + 1;
@@ -112,11 +132,24 @@ class ReplicatedTable {
   };
 
   // Replicate the committed state of `key` (or its absence) to a majority;
-  // returns the commit completion time, or kUnavailable if below quorum.
-  StatusOr<SimTime> Commit(const std::string& key, SimTime now);
+  // returns the commit completion time, or kUnavailable if below quorum or
+  // if injected ack drops leave the proposal under-acknowledged. `prior`
+  // is the value the key held before the caller's mutation (nullptr if
+  // absent): replicas that applied an uncommitted proposal are rolled back
+  // to it so the ensemble stays consistent with the caller's own rollback.
+  StatusOr<SimTime> Commit(const std::string& key, SimTime now,
+                           const Versioned* prior);
+
+  // Election-window and kCoordOp gate shared by every client op: returns
+  // the injected extra latency to absorb, or the failure status.
+  StatusOr<SimDuration> OpGate(SimTime now);
 
   ReplicatedTableConfig config_;
   Rng rng_;
+  FaultHookPtr hook_;
+  SimTime election_done_ = 0;
+  std::uint64_t elections_ = 0;
+  std::uint64_t dropped_acks_ = 0;
   std::map<std::string, Versioned> committed_;  // the primary's state
   std::vector<Replica> replicas_;
 

@@ -140,6 +140,13 @@ class LruBuffer {
     }
   }
 
+  // Visit every buffered page, in no particular order (chaos invariant
+  // sweeps need membership, not recency).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [p, n] : nodes_) f(p);
+  }
+
  private:
   struct GlobalTag {};
   struct RegionTag {};

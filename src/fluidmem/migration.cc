@@ -98,6 +98,14 @@ MigrationResult PreCopyMigrator::Finalize(Monitor& target,
 
   // Any pages still buffered on the source's write list must be durable.
   t = source_->DrainWrites(t);
+  if (source_->write_list().HasRegionEntries(rid_)) {
+    // Store outage mid-handoff: the only copies of some pages are still in
+    // the source's write list. Abort before the destination adopts any
+    // metadata; the source VM resumes where it was.
+    out.status = Status::Unavailable("source writeback not durable");
+    out.resumed_at = t;
+    return out;
+  }
 
   // Metadata: every page the source ever tracked, plus the pages that were
   // only ever resident (never evicted) and thus unknown to the tracker's
@@ -148,6 +156,14 @@ MigrationResult MigrateRegion(Monitor& source, RegionId source_region_id,
   SimTime t = source.FlushRegion(source_region_id, now);
   // Conservative: count what left this region (other VMs' pages stayed).
   out.pages_flushed = resident_before - source.ResidentPages();
+  if (source.write_list().HasRegionEntries(source_region_id)) {
+    // FlushRegion's drain gave up (store outage): some pages exist only in
+    // the source's write list. Registering the destination now would hand
+    // it a partition missing those pages — abort instead.
+    out.status = Status::Unavailable("source writeback not durable");
+    out.resumed_at = t;
+    return out;
+  }
 
   // 2. Transfer the pagetracker metadata (page numbers only).
   std::vector<VirtAddr> tracked;

@@ -34,9 +34,13 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
     RetireCompleted(now);
   } else {
     // Migration hand-off: the destination inherits the partition, so the
-    // region's buffered writes must become durable first.
+    // region's buffered writes must become durable first. If the store
+    // would not take them (outage), refuse to unregister — forgetting the
+    // region now would strand its only copies in the write list.
     now = DrainWrites(now);
     RetireCompleted(now);
+    if (write_list_.HasRegionEntries(id))
+      return Status::Unavailable("buffered writes for region not durable");
   }
   // Extract the region's pages from the LRU without evicting to the store
   // (the VM is gone; its memory is discarded). Survivors never move.
@@ -88,9 +92,19 @@ SimTime Monitor::ChargeProfiled(SimTime t, const LatencyDist& d,
 }
 
 void Monitor::RetireCompleted(SimTime now) {
-  for (const PendingWrite& w : write_list_.RetireCompleted(now)) {
+  RetiredWrites done = write_list_.RetireCompleted(now);
+  for (const PendingWrite& w : done.durable) {
     pool_->Free(w.frame);
     tracker_.MarkRemote(w.page);
+  }
+  // A failed batch never reached the store: the frame still holds the only
+  // copy of each page. Put them back on the write list for a later flush
+  // (or a steal) instead of marking them remote — that would turn a
+  // transient outage into permanent data loss.
+  for (const PendingWrite& w : done.failed) {
+    write_list_.Enqueue(w.page, w.frame, now);
+    tracker_.MarkWriteList(w.page);
+    ++stats_.writeback_requeues;
   }
 }
 
@@ -133,10 +147,11 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
       profiler_.Record(
           CodePath::kWritePage,
           (mp.complete_at - start) / std::max<std::size_t>(1, j - i));
-      if (!mp.status.ok()) ++stats_.lost_page_errors;
+      if (!mp.status.ok()) ++stats_.writeback_errors;
 
       InFlightBatch posted;
       posted.complete_at = mp.complete_at;
+      posted.ok = mp.status.ok();
       for (std::size_t k = i; k < j; ++k) {
         posted.writes.push_back(batch[k]);
         tracker_.MarkInFlight(batch[k].page);
@@ -200,7 +215,15 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
       std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
   t = put.complete_at;
   profiler_.Record(CodePath::kWritePage, t - start);
-  if (!put.status.ok()) ++stats_.lost_page_errors;
+  if (!put.status.ok()) {
+    // The store refused the page; the frame holds its only copy. Fall back
+    // to the write list so a later flush (or a steal) can still save it.
+    ++stats_.writeback_errors;
+    ++stats_.writeback_requeues;
+    write_list_.Enqueue(victim, *frame, t);
+    tracker_.MarkWriteList(victim);
+    return t;
+  }
   pool_->Free(*frame);
   tracker_.MarkRemote(victim);
   return t;
@@ -415,7 +438,13 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         kv::OpResult rd = store_->Get(
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
         if (!rd.status.ok()) {
-          ++stats_.lost_page_errors;
+          // kNotFound on a believed-remote page means the store lost data
+          // it acknowledged; anything else (outage, injected fault) is
+          // transient — the page stays kRemote and the fault can retry.
+          if (rd.status.code() == StatusCode::kNotFound)
+            ++stats_.lost_page_errors;
+          else
+            ++stats_.transient_read_errors;
           return Fail(rd.status, rd.complete_at);
         }
         t = rd.issue_done;
@@ -455,7 +484,10 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         kv::OpResult rd = store_->Get(
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
         if (!rd.status.ok()) {
-          ++stats_.lost_page_errors;
+          if (rd.status.code() == StatusCode::kNotFound)
+            ++stats_.lost_page_errors;
+          else
+            ++stats_.transient_read_errors;
           return Fail(rd.status, rd.complete_at);
         }
         t = rd.complete_at;
@@ -622,9 +654,20 @@ void Monitor::PumpBackground(SimTime now) {
 }
 
 SimTime Monitor::DrainWrites(SimTime now) {
-  FlushIfNeeded(now, /*force=*/true);
-  SimTime done = std::max(now, write_list_.LatestCompletion());
-  RetireCompleted(done);
+  // Failed batches re-enqueue on retirement, so a single flush pass is not
+  // enough under store faults: keep re-posting until the list is empty or
+  // the retry budget runs out (persistent outage — the writes stay
+  // buffered rather than being dropped).
+  constexpr int kMaxDrainRounds = 8;
+  SimTime done = now;
+  for (int round = 0; round < kMaxDrainRounds; ++round) {
+    FlushIfNeeded(done, /*force=*/true);
+    if (write_list_.InFlightCount() == 0 && write_list_.PendingCount() == 0)
+      break;
+    done = std::max(done, write_list_.LatestCompletion());
+    RetireCompleted(done);
+    if (write_list_.PendingCount() == 0) break;
+  }
   return done;
 }
 

@@ -85,7 +85,18 @@ struct MonitorStats {
   std::uint64_t flush_batches = 0;
   std::uint64_t flushed_pages = 0;
   std::uint64_t prefetched_pages = 0;
-  std::uint64_t lost_page_errors = 0;  // store lost an evicted page
+  // The store *lost* a page it had acknowledged: a believed-remote page
+  // came back kNotFound. Genuine data loss — never incremented for
+  // transient unavailability, which is retryable.
+  std::uint64_t lost_page_errors = 0;
+  // A read of a believed-remote page failed with a retryable error
+  // (backend outage / injected fault). The page stays kRemote; the caller
+  // may re-issue the fault once the backend recovers.
+  std::uint64_t transient_read_errors = 0;
+  // Writeback batches (or sync eviction Puts) the store rejected. The
+  // affected pages were re-enqueued on the write list, never dropped.
+  std::uint64_t writeback_errors = 0;
+  std::uint64_t writeback_requeues = 0;  // pages sent back to the write list
   // Tracker said write-list/in-flight but the write list had no entry; the
   // fault fell back to a remote read instead of crashing (release-UB fix).
   std::uint64_t tracker_desyncs = 0;
@@ -105,7 +116,10 @@ class Monitor {
 
   // Stop watching: all tracking state is forgotten. With `drop_partition`
   // (the default; VM shutdown) the store's objects are deleted too;
-  // migration passes false so the destination monitor inherits them.
+  // migration passes false so the destination monitor inherits them — in
+  // that case every buffered write for the region must first become
+  // durable, and kUnavailable is returned (region stays registered) if the
+  // store will not take them within the drain retry budget.
   Status UnregisterRegion(RegionId id, SimTime now,
                           bool drop_partition = true);
 
@@ -156,7 +170,9 @@ class Monitor {
   void PumpBackground(SimTime now);
 
   // Force every pending write out to the store and wait; used on shutdown
-  // and by tests asserting durability.
+  // and by tests asserting durability. Failed batches are re-posted up to
+  // a bounded number of rounds; under a persistent store outage the
+  // un-durable writes stay buffered (check write_list().PendingCount()).
   SimTime DrainWrites(SimTime now);
 
   // Introspection used by the migration machinery.

@@ -70,6 +70,12 @@ class PageTracker {
       if (p.region == region) f(p, loc);
   }
 
+  // Visit every tracked page (chaos invariant sweeps).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [p, loc] : map_) f(p, loc);
+  }
+
   std::size_t CountIn(PageLocation loc) const {
     std::size_t n = 0;
     for (const auto& [p, l] : map_)

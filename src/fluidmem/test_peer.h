@@ -1,0 +1,41 @@
+// White-box access to the Monitor for tests and the chaos harness.
+//
+// Two jobs: (1) reach internal structures the invariant checks must sweep
+// (tracker/LRU/write-list mutual consistency) without widening the
+// Monitor's public API, and (2) deliberately re-introduce fixed bugs so
+// the chaos harness can demonstrate it catches them (regression-catching
+// acceptance tests). Never used by production code paths.
+#pragma once
+
+#include "fluidmem/monitor.h"
+
+namespace fluid::fm {
+
+struct MonitorTestPeer {
+  static PageTracker& tracker(Monitor& m) { return m.tracker_; }
+  static LruBuffer& lru(Monitor& m) { return m.lru_; }
+  static WriteList& write_list(Monitor& m) { return m.write_list_; }
+  static mem::FramePool& pool(Monitor& m) { return *m.pool_; }
+
+  // Re-creates the pre-fix UnregisterRegion shutdown path: drain (pay for)
+  // the dying region's buffered writes instead of discarding them, then
+  // drop the partition. Healthy stores make this merely wasteful; under a
+  // store outage the bounded drain gives up and the region's write-list
+  // entries — and their frames — dangle forever after the region is
+  // forgotten. The chaos invariants (active-region write list, frame-pool
+  // conservation) must catch exactly that.
+  static Status BuggyUnregister(Monitor& m, RegionId id, SimTime now) {
+    if (id >= m.regions_.size() || !m.regions_[id].active)
+      return Status::InvalidArgument("unknown region");
+    now = m.DrainWrites(now);
+    m.RetireCompleted(now);
+    (void)m.lru_.ExtractRegion(id);
+    m.tracker_.ForgetRegion(id);
+    (void)m.store_->DropPartition(m.regions_[id].partition, now);
+    m.regions_[id].active = false;
+    m.regions_[id].region = nullptr;
+    return Status::Ok();
+  }
+};
+
+}  // namespace fluid::fm

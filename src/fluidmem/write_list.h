@@ -37,6 +37,17 @@ struct PendingWrite {
 struct InFlightBatch {
   std::vector<PendingWrite> writes;
   SimTime complete_at = 0;
+  // Whether the posted multi-write succeeded. A failed batch still holds
+  // its frames: the pages are NOT durable and must be re-enqueued when the
+  // batch retires, never marked remote.
+  bool ok = true;
+};
+
+// RetireCompleted's split result: `durable` pages may release their frames
+// and become kRemote; `failed` pages must go back on the write list.
+struct RetiredWrites {
+  std::vector<PendingWrite> durable;
+  std::vector<PendingWrite> failed;
 };
 
 class WriteList {
@@ -108,14 +119,17 @@ class WriteList {
     return it->second;
   }
 
-  // Retire batches whose completion time has passed; the caller recycles
-  // the frames into the zero-copy buffer pool and marks pages kRemote.
-  std::vector<PendingWrite> RetireCompleted(SimTime now) {
-    std::vector<PendingWrite> done;
+  // Retire batches whose completion time has passed. Writes from
+  // successful batches come back as `durable` (caller recycles the frames
+  // and marks pages kRemote); writes from failed batches come back as
+  // `failed` (caller re-enqueues them — the store never stored the bytes,
+  // so dropping the frame would lose the page).
+  RetiredWrites RetireCompleted(SimTime now) {
+    RetiredWrites done;
     for (auto it = inflight_.begin(); it != inflight_.end();) {
       if (it->complete_at <= now) {
         for (const PendingWrite& w : it->writes) {
-          done.push_back(w);
+          (it->ok ? done.durable : done.failed).push_back(w);
           inflight_index_.erase(w.page);
         }
         it = inflight_.erase(it);
@@ -190,6 +204,31 @@ class WriteList {
     return latest;
   }
   std::uint64_t StealCount() const noexcept { return steals_; }
+
+  // --- read-only introspection (chaos invariants, durability checks) -----------
+
+  template <typename Fn>  // Fn(const PendingWrite&)
+  void ForEachPending(Fn&& fn) const {
+    for (const PendingWrite& w : pending_) fn(w);
+  }
+
+  template <typename Fn>  // Fn(const PendingWrite&, bool batch_ok)
+  void ForEachInFlight(Fn&& fn) const {
+    for (const InFlightBatch& b : inflight_)
+      for (const PendingWrite& w : b.writes) fn(w, b.ok);
+  }
+
+  // Does any buffered write (pending or in-flight) belong to `region`?
+  // Shutdown/migration must not forget a region while this holds: those
+  // pages are not durable anywhere else.
+  bool HasRegionEntries(RegionId region) const {
+    for (const PendingWrite& w : pending_)
+      if (w.page.region == region) return true;
+    for (const InFlightBatch& b : inflight_)
+      for (const PendingWrite& w : b.writes)
+        if (w.page.region == region) return true;
+    return false;
+  }
 
  private:
   std::deque<PendingWrite> pending_;

@@ -135,8 +135,23 @@ bool CompressedStore::Contains(PartitionId partition, Key key) const {
 // --- ReplicatedStore --------------------------------------------------------------------
 
 ReplicatedStore::ReplicatedStore(
-    std::vector<std::unique_ptr<KvStore>> replicas, int write_quorum)
-    : replicas_(std::move(replicas)), write_quorum_(write_quorum) {}
+    std::vector<std::unique_ptr<KvStore>> replicas, int write_quorum,
+    SimDuration probe_interval)
+    : replicas_(std::move(replicas)),
+      write_quorum_(write_quorum),
+      probe_interval_(probe_interval),
+      suspect_(replicas_.size(), false),
+      retry_at_(replicas_.size(), 0) {}
+
+void ReplicatedStore::NoteResult(std::size_t i, const OpResult& r) {
+  if (r.status.ok() || r.status.code() == StatusCode::kNotFound) {
+    // The replica answered; it is alive (kNotFound is a healthy answer).
+    suspect_[i] = false;
+  } else if (r.status.code() == StatusCode::kUnavailable) {
+    suspect_[i] = true;
+    retry_at_[i] = r.complete_at + probe_interval_;
+  }
+}
 
 bool ReplicatedStore::has_native_partitions() const {
   for (const auto& r : replicas_)
@@ -152,8 +167,9 @@ OpResult ReplicatedStore::Put(PartitionId partition, Key key,
   agg.issue_done = now;
   agg.complete_at = now;
   int acks = 0;
-  for (auto& r : replicas_) {
-    OpResult one = r->Put(partition, key, value, now);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    OpResult one = replicas_[i]->Put(partition, key, value, now);
+    NoteResult(i, one);
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
     if (one.status.ok()) ++acks;
@@ -173,10 +189,19 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
                               SimTime now) {
   ++agg_stats_.gets;
   // Try replicas in order; cumulative time reflects failover attempts.
+  // Replicas suspected dead are skipped until their probe time, so a dead
+  // primary's timeout is paid once per probe interval, not once per read.
   SimTime t = now;
   OpResult last;
+  bool attempted = false;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (suspect_[i] && t < retry_at_[i]) {
+      ++rstats_.suspect_skips;
+      continue;
+    }
     last = replicas_[i]->Get(partition, key, out, t);
+    attempted = true;
+    NoteResult(i, last);
     if (last.status.ok()) {
       if (i > 0) ++rstats_.failovers;
       return last;
@@ -185,6 +210,13 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
     // healthy; on kUnavailable, keep trying.
     if (last.status.code() == StatusCode::kNotFound) return last;
     t = last.complete_at;
+  }
+  if (!attempted) {
+    // Every replica is in its suspect window: fail fast without charging
+    // any network time — the failure detector already knows the answer.
+    last.status = Status::Unavailable("all replicas suspected down");
+    last.issue_done = now;
+    last.complete_at = now;
   }
   return last;
 }
@@ -214,8 +246,9 @@ OpResult ReplicatedStore::MultiPut(PartitionId partition,
   agg.issue_done = now;
   agg.complete_at = now;
   int acks = 0;
-  for (auto& r : replicas_) {
-    OpResult one = r->MultiPut(partition, writes, now);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    OpResult one = replicas_[i]->MultiPut(partition, writes, now);
+    NoteResult(i, one);
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
     if (one.status.ok()) ++acks;

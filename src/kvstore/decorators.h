@@ -175,14 +175,24 @@ struct ReplicatedStoreStats {
   std::uint64_t failovers = 0;        // reads served by a non-primary
   std::uint64_t degraded_writes = 0;  // writes that missed >=1 replica
   std::uint64_t write_failures = 0;   // writes below the ack quorum
+  // Reads that skipped a suspected-dead replica instead of re-paying its
+  // timeout (the failover-accounting fix this struct exists to witness).
+  std::uint64_t suspect_skips = 0;
 };
 
 // Mirrors writes to every replica; a write succeeds if at least
 // `write_quorum` replicas acknowledge. Reads try replicas in order.
+//
+// Failover accounting: a replica whose op fails kUnavailable is marked
+// SUSPECT and reads skip it until `probe_interval` has elapsed — without
+// this, every read after a replica death re-paid the dead replica's full
+// timeout before failing over. A successful op (read probe or mirrored
+// write) clears the suspicion.
 class ReplicatedStore final : public KvStore {
  public:
   ReplicatedStore(std::vector<std::unique_ptr<KvStore>> replicas,
-                  int write_quorum = 1);
+                  int write_quorum = 1,
+                  SimDuration probe_interval = 2 * kMillisecond);
 
   std::string_view name() const override { return "replicated"; }
   bool has_native_partitions() const override;
@@ -204,13 +214,20 @@ class ReplicatedStore final : public KvStore {
 
   KvStore& replica(std::size_t i) noexcept { return *replicas_[i]; }
   std::size_t replica_count() const noexcept { return replicas_.size(); }
+  bool replica_suspect(std::size_t i) const noexcept { return suspect_[i]; }
   const ReplicatedStoreStats& replication_stats() const noexcept {
     return rstats_;
   }
 
  private:
+  void NoteResult(std::size_t i, const OpResult& r);
+
   std::vector<std::unique_ptr<KvStore>> replicas_;
   int write_quorum_;
+  SimDuration probe_interval_;
+  // Per-replica failure-detector state: suspected-dead + next probe time.
+  std::vector<bool> suspect_;
+  std::vector<SimTime> retry_at_;
   ReplicatedStoreStats rstats_;
   mutable StoreStats agg_stats_;
 };

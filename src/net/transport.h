@@ -17,8 +17,10 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/dist.h"
+#include "common/fault_hook.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -40,6 +42,12 @@ class Transport {
 
   std::string_view name() const noexcept { return params_.name; }
 
+  // Chaos harness: every sampled round trip consults the hook and absorbs
+  // its extra latency (congestion spike, link flap). Copies of the
+  // transport (stores take it by value) share the same hook.
+  void set_fault_hook(FaultHookPtr hook) noexcept { hook_ = std::move(hook); }
+  const FaultHookPtr& fault_hook() const noexcept { return hook_; }
+
   // Wire time for `bytes` at the link bandwidth.
   SimDuration SerializationTime(std::size_t bytes) const noexcept {
     const double ns = static_cast<double>(bytes) * 8.0 / params_.gbps;
@@ -50,7 +58,8 @@ class Transport {
   SimDuration SampleRtt(std::size_t req_bytes, std::size_t resp_bytes,
                         Rng& rng) const noexcept {
     return params_.base_rtt.Sample(rng) + SerializationTime(req_bytes) +
-           SerializationTime(resp_bytes) + params_.host_cpu.Sample(rng);
+           SerializationTime(resp_bytes) + params_.host_cpu.Sample(rng) +
+           InjectedDelay();
   }
 
   // RTT of a batch of `n` objects of `obj_bytes` each in one direction.
@@ -60,7 +69,7 @@ class Transport {
                              Rng& rng) const noexcept {
     if (n == 0) return 0;
     SimDuration t = params_.base_rtt.Sample(rng) + params_.host_cpu.Sample(rng) +
-                    SerializationTime(n * obj_bytes);
+                    SerializationTime(n * obj_bytes) + InjectedDelay();
     for (std::size_t i = 1; i < n; ++i) t += params_.per_object_extra.Sample(rng);
     return t;
   }
@@ -71,7 +80,15 @@ class Transport {
   }
 
  private:
+  // A transport models durations, not success/failure, so only the
+  // latency half of the decision applies here; outright failures are
+  // injected at the store/device/coordinator layers that own status codes.
+  SimDuration InjectedDelay() const noexcept {
+    return hook_ ? hook_->OnOp(FaultSite::kNetRtt, 0).extra_latency : 0;
+  }
+
   TransportParams params_;
+  FaultHookPtr hook_;
 };
 
 // --- Calibrated instances ----------------------------------------------------

@@ -180,6 +180,59 @@ TEST(ReplicatedStore, ReadsFailOverWhenPrimaryDies) {
   EXPECT_GT(store->replication_stats().failovers, 0u);
 }
 
+TEST(ReplicatedStore, FailoverDoesNotRechargeDeadReplicaTimeout) {
+  // Regression: after a replica dies, the first read pays its timeout and
+  // fails over, but SUBSEQUENT reads must skip the suspect replica instead
+  // of re-paying the full timeout every time. Before the suspect-marking
+  // fix, every read charged the dead primary's 50 us penalty forever.
+  auto store = MakeTriplicated();
+  const auto page = PatternPage(11);
+  (void)store->Put(1, KeyAt(0), page, 0);
+  static_cast<FlakyStore&>(store->replica(0)).set_down(true);
+
+  std::array<std::byte, kPageSize> out{};
+  SimTime now = kMillisecond;
+  auto first = store->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(first.status.ok());
+  const SimDuration first_latency = first.complete_at - now;
+  // The first read discovered the death the hard way: timeout + failover.
+  EXPECT_GE(first_latency, 50 * kMicrosecond);
+  EXPECT_TRUE(store->replica_suspect(0));
+
+  now = first.complete_at;
+  auto second = store->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(second.status.ok());
+  // Within the probe interval the dead replica is skipped outright: the
+  // read costs only the healthy replica's service, far below the timeout.
+  EXPECT_LT(second.complete_at - now, 50 * kMicrosecond);
+  EXPECT_GT(store->replication_stats().suspect_skips, 0u);
+
+  // Past the probe time the primary is retried; once it answers again the
+  // suspicion clears and reads return to it.
+  static_cast<FlakyStore&>(store->replica(0)).set_down(false);
+  now += 10 * kMillisecond;  // beyond the 2 ms probe interval
+  auto third = store->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_FALSE(store->replica_suspect(0));
+}
+
+TEST(ReplicatedStore, AllReplicasSuspectFailsFast) {
+  auto store = MakeTriplicated();
+  (void)store->Put(1, KeyAt(0), PatternPage(12), 0);
+  for (std::size_t i = 0; i < 3; ++i)
+    static_cast<FlakyStore&>(store->replica(i)).set_down(true);
+  std::array<std::byte, kPageSize> out{};
+  SimTime now = kMillisecond;
+  auto first = store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(first.status.code(), StatusCode::kUnavailable);
+  // Every replica is now suspect: the next read fails immediately with no
+  // network charge at all.
+  now = first.complete_at;
+  auto second = store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(second.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(second.complete_at, now);
+}
+
 TEST(ReplicatedStore, WritesDegradeThenFailBelowQuorum) {
   auto store = MakeTriplicated();
   static_cast<FlakyStore&>(store->replica(0)).set_down(true);

@@ -12,6 +12,7 @@
 #include "fluidmem/lru_buffer.h"
 #include "fluidmem/monitor.h"
 #include "fluidmem/page_tracker.h"
+#include "fluidmem/test_peer.h"
 #include "fluidmem/write_list.h"
 #include "kvstore/local_store.h"
 #include "kvstore/memcached.h"
@@ -19,13 +20,6 @@
 #include "mem/uffd.h"
 
 namespace fluid::fm {
-
-// Reaches the monitor's internals to corrupt state no public path can (the
-// desync regression tests must make the tracker disagree with the write
-// list).
-struct MonitorTestPeer {
-  static PageTracker& tracker(Monitor& m) { return m.tracker_; }
-};
 
 namespace {
 
@@ -214,9 +208,10 @@ TEST(WriteList, InFlightWaitAndRetire) {
   EXPECT_EQ(wl.InFlightCompletion(Ref(0)).value(), 5000u);
   EXPECT_EQ(wl.LatestCompletion(), 5000u);
   // Nothing retires before completion.
-  EXPECT_TRUE(wl.RetireCompleted(4000).empty());
+  EXPECT_TRUE(wl.RetireCompleted(4000).durable.empty());
   auto done = wl.RetireCompleted(5000);
-  EXPECT_EQ(done.size(), 2u);
+  EXPECT_EQ(done.durable.size(), 2u);
+  EXPECT_TRUE(done.failed.empty());
   EXPECT_EQ(wl.InFlightCount(), 0u);
 }
 
@@ -233,8 +228,8 @@ TEST(WriteList, StealInFlightDetachesOneWrite) {
   EXPECT_EQ(steal->second, 3u);
   // The stolen write must not retire again.
   auto done = wl.RetireCompleted(6000);
-  ASSERT_EQ(done.size(), 1u);
-  EXPECT_EQ(done[0].page, Ref(1));
+  ASSERT_EQ(done.durable.size(), 1u);
+  EXPECT_EQ(done.durable[0].page, Ref(1));
 }
 
 TEST(WriteList, OldestPendingAge) {
@@ -279,8 +274,8 @@ TEST(WriteList, DiscardRegionDropsPendingAndInFlight) {
   EXPECT_EQ(wl.PendingCount(), 1u);
   EXPECT_EQ(wl.InFlightCount(), 1u);
   auto done = wl.RetireCompleted(100);
-  ASSERT_EQ(done.size(), 1u);
-  EXPECT_EQ(done[0].page, Ref(4, 2));
+  ASSERT_EQ(done.durable.size(), 1u);
+  EXPECT_EQ(done.durable[0].page, Ref(4, 2));
 }
 
 // --- Monitor fixture -------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 
+#include "chaos/harness.h"
 #include "fluidmem/monitor.h"
 #include "kvstore/decorators.h"
 #include "kvstore/local_store.h"
@@ -195,112 +196,56 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- Monitor fuzz: faults, resizes, quotas, drains — nothing breaks ----------------
 
+// Ported onto the chaos harness (src/chaos): the hand-rolled driver, inline
+// reference map, and per-step frame-accounting asserts now live behind
+// chaos::RunScenario — which additionally runs the full invariant family
+// (LRU/tracker/write-list mutual consistency, store residency) and the
+// ShadowMemory differential sweep at every quiesce point, and replays from
+// (seed, FaultPlan) when it fails. Quota toggling keeps its own dedicated
+// coverage in quota_test.
 class MonitorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MonitorFuzz, RandomDriverPreservesEveryInvariant) {
-  mem::FramePool pool{4096};
-  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
-  fm::MonitorConfig cfg;
-  cfg.lru_capacity_pages = 64;
-  cfg.write_batch_pages = 8;
-  fm::Monitor monitor{cfg, store, pool};
-  constexpr std::size_t kPages = 256;
-  mem::UffdRegion region{1, kBase, kPages, pool};
-  const fm::RegionId rid = monitor.RegisterRegion(region, 3);
+  chaos::ScenarioOptions opt;
+  opt.seed = GetParam();
+  opt.store = chaos::StoreKind::kRamcloud;  // log cleaner in play
+  opt.pages = 256;
+  opt.lru_capacity = 64;
+  opt.write_batch = 8;
+  opt.num_ops = 1500;
+  opt.quiesce_every = 100;
+  std::unique_ptr<chaos::Stack> stack;
+  const chaos::RunReport rep = chaos::RunOps(opt, GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  EXPECT_EQ(rep.stats.blocked_ops, 0u);  // no faults -> nothing may block
+  EXPECT_GT(rep.stats.pages_verified, 0u);
+  EXPECT_EQ(stack->monitor->stats().lost_page_errors, 0u);
+}
 
-  Rng rng{GetParam()};
-  std::map<std::size_t, std::uint64_t> ref;  // page -> last written value
-  SimTime now = 0;
-
-  for (int step = 0; step < 3000; ++step) {
-    switch (rng.NextBounded(8)) {
-      case 0:
-      case 1:
-      case 2: {  // write a page
-        const std::size_t page = rng.NextBounded(kPages);
-        auto a = region.Access(PageAddr(page), true);
-        if (a.kind == mem::AccessKind::kUffdFault) {
-          auto out = monitor.HandleFault(rid, PageAddr(page), now);
-          ASSERT_TRUE(out.status.ok()) << step;
-          now = out.wake_at;
-          (void)region.Access(PageAddr(page), true);
-        }
-        const std::uint64_t v = (static_cast<std::uint64_t>(step) << 20) | page;
-        ASSERT_TRUE(region
-                        .WriteBytes(PageAddr(page) + 24,
-                                    std::as_bytes(std::span{&v, 1}))
-                        .ok());
-        ref[page] = v;
-        break;
-      }
-      case 3:
-      case 4: {  // read + verify a page
-        const std::size_t page = rng.NextBounded(kPages);
-        auto a = region.Access(PageAddr(page), false);
-        if (a.kind == mem::AccessKind::kUffdFault) {
-          auto out = monitor.HandleFault(rid, PageAddr(page), now);
-          ASSERT_TRUE(out.status.ok()) << step;
-          now = out.wake_at;
-        }
-        std::uint64_t got = 0;
-        ASSERT_TRUE(region
-                        .ReadBytes(PageAddr(page) + 24,
-                                   std::as_writable_bytes(std::span{&got, 1}))
-                        .ok());
-        auto it = ref.find(page);
-        ASSERT_EQ(got, it == ref.end() ? 0u : it->second)
-            << "page " << page << " step " << step;
-        break;
-      }
-      case 5: {  // resize the buffer
-        const std::size_t cap = 8 + rng.NextBounded(128);
-        now = monitor.SetLruCapacity(cap, now);
-        ASSERT_LE(monitor.ResidentPages(), cap) << step;
-        break;
-      }
-      case 6: {  // toggle a quota
-        const std::size_t q = rng.NextBounded(2) == 0
-                                  ? 0
-                                  : 4 + rng.NextBounded(64);
-        now = monitor.SetRegionQuota(rid, q, now);
-        if (q != 0) ASSERT_LE(monitor.RegionResidentPages(rid), q) << step;
-        break;
-      }
-      case 7: {  // background pump / drain
-        if (rng.NextBounded(4) == 0)
-          now = monitor.DrainWrites(now);
-        else
-          monitor.PumpBackground(now);
-        break;
-      }
-    }
-    // INVARIANTS (every step):
-    ASSERT_LE(monitor.ResidentPages(), monitor.LruCapacity()) << step;
-    ASSERT_EQ(monitor.stats().lost_page_errors, 0u) << step;
-    // Frame accounting: frames in use = region-resident frames + write
-    // buffers (pending + in-flight).
-    ASSERT_EQ(pool.in_use(),
-              region.ResidentFrames() + monitor.write_list().PendingCount() +
-                  monitor.write_list().InFlightCount())
-        << "frame accounting broke at step " << step;
+TEST_P(MonitorFuzz, SurvivesInjectedStoreFaults) {
+  // Same random driver, but every store path flakes and stalls: reads on
+  // the fault path, sync eviction puts, async flush batches. The monitor
+  // must retry/requeue its way through with zero lost pages and the oracle
+  // must still match on every sweep.
+  chaos::ScenarioOptions opt;
+  opt.seed = GetParam();
+  opt.pages = 128;
+  opt.lru_capacity = 32;
+  opt.num_ops = 1000;
+  opt.quiesce_every = 100;
+  opt.plan.seed = GetParam() ^ 0xfa51ULL;
+  for (FaultSite s : {FaultSite::kStoreGet, FaultSite::kStorePut,
+                      FaultSite::kStoreMultiPut}) {
+    opt.plan.at(s).fail_p = 0.05;
+    opt.plan.at(s).stall_p = 0.1;
+    opt.plan.at(s).stall = 200 * kMicrosecond;
   }
-
-  // Final sweep: every page ever written still holds its value.
-  now = monitor.DrainWrites(now);
-  for (const auto& [page, v] : ref) {
-    auto a = region.Access(PageAddr(page), false);
-    if (a.kind == mem::AccessKind::kUffdFault) {
-      auto out = monitor.HandleFault(rid, PageAddr(page), now);
-      ASSERT_TRUE(out.status.ok());
-      now = out.wake_at;
-    }
-    std::uint64_t got = 0;
-    ASSERT_TRUE(region
-                    .ReadBytes(PageAddr(page) + 24,
-                               std::as_writable_bytes(std::span{&got, 1}))
-                    .ok());
-    ASSERT_EQ(got, v) << "final sweep page " << page;
-  }
+  std::unique_ptr<chaos::Stack> stack;
+  const chaos::RunReport rep =
+      chaos::RunOps(opt, GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  EXPECT_GT(rep.faults.total_fails(), 0u);
+  EXPECT_EQ(stack->monitor->stats().lost_page_errors, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorFuzz,
