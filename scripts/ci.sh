@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 test suite plus a bounded chaos sweep.
 #
-# 1. RelWithDebInfo build, full ctest         (the tier-1 gate)
-# 2. ASan+UBSan build, `chaos`-labeled suites (fault injection + oracle)
+# 1. RelWithDebInfo build, full ctest              (the tier-1 gate)
+# 2. ASan+UBSan build, `chaos`-labeled suites      (fault injection + oracle)
+# 3. same build, `resilience`-labeled suites       (retry/hedge/breaker/spill)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -26,5 +27,8 @@ cmake --build --preset sanitize -j "${jobs}"
 
 echo "==> chaos: fixed-seed sweep under sanitizers (label: chaos)"
 ctest --preset chaos-sanitize -j "${jobs}"
+
+echo "==> resilience: outage/divergence/recovery sweep (label: resilience)"
+ctest --preset resilience-sanitize -j "${jobs}"
 
 echo "==> CI green"

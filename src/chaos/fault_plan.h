@@ -31,6 +31,15 @@ struct SiteFaults {
   // site. from == to (default) disables the window.
   std::uint32_t outage_from = 0;
   std::uint32_t outage_to = 0;
+  // Restrict the outage to a subset of the site's per-op consultations:
+  // only calls with (call_index % stride == phase) fail. Several stores
+  // sharing one injector consult a site in a fixed order (e.g. the three
+  // replicas of a ReplicatedStore draw calls 0,1,2 per op), so stride 3 /
+  // phase 1 takes down exactly replica 1 while its peers stay up. The
+  // stride applies to the outage window only; fail_p/stall_p stay
+  // unconditional. stride <= 1 disables the filter.
+  std::uint32_t outage_call_stride = 1;
+  std::uint32_t outage_call_phase = 0;
 
   bool active() const noexcept {
     return fail_p > 0.0 || stall_p > 0.0 || outage_to > outage_from;
@@ -75,6 +84,9 @@ struct FaultPlan {
         sep();
         out += "outage=" + std::to_string(f.outage_from) + ".." +
                std::to_string(f.outage_to);
+        if (f.outage_call_stride > 1)
+          out += "/s" + std::to_string(f.outage_call_stride) + "p" +
+                 std::to_string(f.outage_call_phase);
       }
       out += ']';
     }

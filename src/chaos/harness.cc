@@ -44,8 +44,11 @@ Stack::Stack(const ScenarioOptions& opt)
     case StoreKind::kRamcloud: {
       kv::RamcloudConfig rc;
       rc.seed = opt.seed ^ 0x4ac10dULL;
-      store = std::make_unique<InjectedStore>(
-          std::make_unique<kv::RamcloudStore>(rc), injector);
+      rc.backup_count = opt.ramcloud_backups;
+      rc.auto_recover = opt.ramcloud_auto_recover;
+      auto rcs = std::make_unique<kv::RamcloudStore>(rc);
+      ramcloud = rcs.get();
+      store = std::make_unique<InjectedStore>(std::move(rcs), injector);
       break;
     }
     case StoreKind::kReplicated: {
@@ -68,12 +71,32 @@ Stack::Stack(const ScenarioOptions& opt)
     }
   }
 
+  if (opt.resilient_store) {
+    // The resilience layer wraps the injected store, so its retries and
+    // hedges consult the injector like any other request (and therefore
+    // replay deterministically).
+    kv::ResilientStoreConfig rsc;
+    rsc.seed = opt.seed ^ 0x4e511eULL;
+    auto res = std::make_unique<kv::ResilientStore>(std::move(store), rsc);
+    resilient = res.get();
+    store = std::move(res);
+  }
+
   fm::MonitorConfig mc;
   mc.lru_capacity_pages = opt.lru_capacity;
   mc.write_batch_pages = opt.write_batch;
   mc.prefetch_depth = opt.prefetch_depth;
   mc.seed = opt.seed ^ 0xc0ffeeULL;
   monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
+  if (opt.attach_spill) {
+    // Local swap device for graceful degradation; it shares the scenario
+    // injector, so kBlockRead/kBlockWrite faults can hit the spill path too.
+    spill_device = std::make_unique<blk::BlockDevice>(
+        blk::MakePmemDevice(opt.spill_capacity));
+    spill_device->set_fault_hook(injector);
+    spill = std::make_unique<swap::SwapSpace>(*spill_device);
+    monitor->AttachLocalSpill(*spill);
+  }
   region = std::make_unique<mem::UffdRegion>(/*pid=*/100, kBase, opt.pages,
                                              pool);
   rid = monitor->RegisterRegion(*region, kPartition);
@@ -213,6 +236,16 @@ std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
         if (!r.status.ok()) {
           bad = "remote page " + Hex(addr) +
                 " unreadable with injection paused: " + r.status.ToString();
+          return;
+        }
+        break;
+      }
+      case fm::PageLocation::kSpilled: {
+        // Degraded to the local swap device; the monitor's slot map knows
+        // where. Peek has no timing or injection side effects.
+        const Status s = stack.monitor->PeekSpilled(p, buf);
+        if (!s.ok()) {
+          bad = "spilled page " + Hex(addr) + " unreadable: " + s.ToString();
           return;
         }
         break;

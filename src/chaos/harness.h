@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "blockdev/block_device.h"
 #include "chaos/fault_plan.h"
 #include "chaos/injector.h"
 #include "chaos/invariants.h"
@@ -32,9 +33,12 @@
 #include "fluidmem/monitor.h"
 #include "kvstore/decorators.h"
 #include "kvstore/kvstore.h"
+#include "kvstore/ramcloud.h"
+#include "kvstore/resilient.h"
 #include "mem/frame_pool.h"
 #include "mem/uffd.h"
 #include "sim/trace.h"
+#include "swap/swap_space.h"
 
 namespace fluid::chaos {
 
@@ -56,6 +60,17 @@ struct ScenarioOptions {
   std::size_t num_ops = 300;
   std::size_t quiesce_every = 64;  // ops between full oracle sweeps
   Tracer* tracer = nullptr;        // optional chaos_stats sink
+
+  // --- resilience layer (all opt-in: legacy scenarios replay bit-identically) --
+  // Wrap the injected store in a ResilientStore (deadline/retry/hedging).
+  bool resilient_store = false;
+  // Attach a local swap device so the monitor can degrade gracefully when
+  // the store's breakers trip (spill + fast-fail + migrate-back).
+  bool attach_spill = false;
+  std::size_t spill_capacity = 256;  // spill device size, pages
+  // kRamcloud only: backup servers + coordinator-driven crash recovery.
+  int ramcloud_backups = 0;
+  bool ramcloud_auto_recover = false;
 };
 
 // One deterministic workload operation. `id` is the op's ORIGINAL index in
@@ -102,6 +117,10 @@ struct Stack {
   std::shared_ptr<FaultInjector> injector;
   std::unique_ptr<kv::KvStore> store;
   kv::ReplicatedStore* replicated = nullptr;  // set when store == kReplicated
+  kv::RamcloudStore* ramcloud = nullptr;      // set when store == kRamcloud
+  kv::ResilientStore* resilient = nullptr;    // set when opt.resilient_store
+  std::unique_ptr<blk::BlockDevice> spill_device;  // set when opt.attach_spill
+  std::unique_ptr<swap::SwapSpace> spill;
   std::unique_ptr<mem::UffdRegion> region;
   std::unique_ptr<fm::Monitor> monitor;
   fm::RegionId rid = 0;

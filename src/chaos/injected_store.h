@@ -63,6 +63,12 @@ class InjectedStore final : public kv::KvStore {
     if (fail) return Unavailable(now);
     return Stalled(inner_->DropPartition(partition, now), stall);
   }
+  // Maintenance is control-plane work (coordinator recovery, anti-entropy
+  // repair driving); the repair's own data ops go through the injected
+  // verbs above, so the tick itself is never injected.
+  SimTime PumpMaintenance(SimTime now) override {
+    return inner_->PumpMaintenance(now);
+  }
 
   // Metadata introspection used by invariant checks; never injected.
   bool Contains(PartitionId partition, kv::Key key) const override {

@@ -65,7 +65,9 @@ class FaultInjector final : public FaultHook {
     if (!f.active()) return {};
 
     FaultDecision d;
-    if (step_ >= f.outage_from && step_ < f.outage_to) {
+    if (step_ >= f.outage_from && step_ < f.outage_to &&
+        (f.outage_call_stride <= 1 ||
+         call % f.outage_call_stride == f.outage_call_phase)) {
       d.fail = true;
     } else if (f.fail_p > 0.0 &&
                HashToUnit(site, call, /*salt=*/0x4661696cULL) < f.fail_p) {

@@ -21,6 +21,7 @@ const char* LocationName(fm::PageLocation loc) {
     case fm::PageLocation::kWriteList: return "write-list";
     case fm::PageLocation::kInFlight: return "in-flight";
     case fm::PageLocation::kRemote: return "remote";
+    case fm::PageLocation::kSpilled: return "spilled";
   }
   return "?";
 }
@@ -122,6 +123,11 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
                                   kv::MakePageKey(p.addr)))
           violation = "tracked-remote " + Describe(p) +
                       " absent from the key-value store";
+        break;
+      case fm::PageLocation::kSpilled:
+        if (!m.HasSpillSlot(p))
+          violation = "tracked-spilled " + Describe(p) +
+                      " has no local swap slot";
         break;
     }
   });

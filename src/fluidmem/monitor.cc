@@ -14,7 +14,36 @@ Monitor::Monitor(MonitorConfig config, kv::KvStore& store,
       store_(&store),
       pool_(&pool),
       rng_(config.seed),
-      lru_(config.lru_capacity_pages, config.true_lru) {}
+      lru_(config.lru_capacity_pages, config.true_lru),
+      read_health_(kv::HealthConfig{config.breaker_trip_after,
+                                    config.breaker_open_duration}),
+      write_health_(kv::HealthConfig{config.breaker_trip_after,
+                                     config.breaker_open_duration}) {}
+
+Status Monitor::PeekSpilled(const PageRef& p,
+                            std::span<std::byte, kPageSize> out) const {
+  auto it = spill_slots_.find(p);
+  if (spill_ == nullptr || it == spill_slots_.end())
+    return Status::NotFound("page not in local spill");
+  return spill_->device().Peek(it->second, out);
+}
+
+void Monitor::NoteStoreRead(const kv::OpResult& r) {
+  // kNotFound is a healthy answer; only transport-level failure counts.
+  if (r.status.ok() || r.status.code() == StatusCode::kNotFound)
+    read_health_.RecordSuccess(r.complete_at);
+  else if (r.status.code() == StatusCode::kUnavailable ||
+           r.status.code() == StatusCode::kDeadlineExceeded)
+    read_health_.RecordFailure(r.complete_at);
+}
+
+void Monitor::NoteStoreWrite(const kv::OpResult& r) {
+  if (r.status.ok())
+    write_health_.RecordSuccess(r.complete_at);
+  else if (r.status.code() == StatusCode::kUnavailable ||
+           r.status.code() == StatusCode::kDeadlineExceeded)
+    write_health_.RecordFailure(r.complete_at);
+}
 
 RegionId Monitor::RegisterRegion(mem::UffdRegion& region,
                                  PartitionId partition) {
@@ -29,9 +58,20 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
   if (drop_partition) {
     // VM shutdown: the partition is deleted below, so any write still
     // buffered for this region is writing dead data — discard the entries
-    // and recycle their frames instead of paying store round trips.
+    // and recycle their frames instead of paying store round trips. Pages
+    // spilled to the local swap device are dead data too: free the slots.
     for (FrameId f : write_list_.DiscardRegion(id)) pool_->Free(f);
     RetireCompleted(now);
+    if (spill_ != nullptr) {
+      for (auto it = spill_slots_.begin(); it != spill_slots_.end();) {
+        if (it->first.region == id) {
+          spill_->Release(it->second);
+          it = spill_slots_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   } else {
     // Migration hand-off: the destination inherits the partition, so the
     // region's buffered writes must become durable first. If the store
@@ -41,6 +81,38 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
     RetireCompleted(now);
     if (write_list_.HasRegionEntries(id))
       return Status::Unavailable("buffered writes for region not durable");
+    // Same durability bar for pages that degraded to the local spill
+    // device: the destination cannot see our swap, so push them to the
+    // store first; refuse if the store still will not take them.
+    if (spill_ != nullptr) {
+      std::vector<std::pair<PageRef, blk::BlockNum>> mine;
+      for (const auto& [p, slot] : spill_slots_)
+        if (p.region == id) mine.emplace_back(p, slot);
+      std::sort(mine.begin(), mine.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first.addr < b.first.addr;
+                });
+      for (const auto& [p, slot] : mine) {
+        auto si = spill_->ReadKeep(
+            slot, std::span<std::byte, kPageSize>{scratch_}, now);
+        if (!si.status.ok()) {
+          ++stats_.spill_errors;
+          return Status::Unavailable("spilled page unreadable for migration");
+        }
+        now = si.io_complete_at;
+        kv::OpResult put = store_->Put(
+            regions_[id].partition, KeyFor(p),
+            std::span<const std::byte, kPageSize>{scratch_}, now);
+        NoteStoreWrite(put);
+        if (!put.status.ok())
+          return Status::Unavailable("spilled pages for region not durable");
+        now = put.complete_at;
+        spill_->Release(slot);
+        spill_slots_.erase(p);
+        tracker_.MarkRemote(p);
+        ++stats_.spill_migrated_back;
+      }
+    }
   }
   // Extract the region's pages from the LRU without evicting to the store
   // (the VM is gone; its memory is discarded). Survivors never move.
@@ -114,6 +186,15 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
   while (write_list_.PendingCount() > 0 &&
          (force || write_list_.PendingCount() >= config_.write_batch_pages ||
           write_list_.OldestPendingAge(now) >= config_.flush_max_age)) {
+    // Graceful degradation: with the write breaker open (store down) and a
+    // local spill device attached, divert the batch to local swap instead
+    // of posting a MultiPut that is known to fail. AllowRequest doubles as
+    // the half-open gate — once the open window elapses it admits one
+    // MultiPut probe whose outcome decides whether the breaker closes.
+    if (spill_ != nullptr && !write_health_.AllowRequest(now)) {
+      if (!SpillPending(now)) break;  // spill device full/failing: stop
+      continue;
+    }
     std::vector<PendingWrite> batch =
         write_list_.TakeBatch(config_.write_batch_pages);
     if (batch.empty()) break;
@@ -147,6 +228,7 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
       profiler_.Record(
           CodePath::kWritePage,
           (mp.complete_at - start) / std::max<std::size_t>(1, j - i));
+      NoteStoreWrite(mp);
       if (!mp.status.ok()) ++stats_.writeback_errors;
 
       InFlightBatch posted;
@@ -215,6 +297,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
       std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
   t = put.complete_at;
   profiler_.Record(CodePath::kWritePage, t - start);
+  NoteStoreWrite(put);
   if (!put.status.ok()) {
     // The store refused the page; the frame holds its only copy. Fall back
     // to the write list so a later flush (or a steal) can still save it.
@@ -352,6 +435,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
   PageLocation location = tracker_.LocationOf(p);
   std::optional<FrameId> stolen_frame;
   std::optional<std::pair<SimTime, FrameId>> inflight_steal;
+  blk::BlockNum spill_slot = 0;
   if (location == PageLocation::kWriteList) {
     stolen_frame = write_list_.Steal(p);
     if (!stolen_frame.has_value()) {
@@ -363,6 +447,14 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
     if (!inflight_steal.has_value()) {
       ++stats_.tracker_desyncs;
       location = PageLocation::kRemote;
+    }
+  } else if (location == PageLocation::kSpilled) {
+    auto it = spill_slots_.find(p);
+    if (spill_ == nullptr || it == spill_slots_.end()) {
+      ++stats_.tracker_desyncs;
+      location = PageLocation::kRemote;
+    } else {
+      spill_slot = it->second;
     }
   }
 
@@ -424,8 +516,48 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       return Finish(t);
     }
 
+    case PageLocation::kSpilled: {
+      // Degradation refault: the page went to local swap while the store
+      // was down. Served entirely locally — no store round trip, no
+      // dependence on the outage ending.
+      t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      ++stats_.spill_refaults;
+      auto si = spill_->ReadKeep(
+          spill_slot, std::span<std::byte, kPageSize>{scratch_}, t);
+      if (!si.status.ok()) {
+        // Device hiccup: the slot still holds the only copy — keep it so
+        // the fault can retry (ReadIn would have freed it).
+        ++stats_.spill_errors;
+        return Fail(si.status, si.io_complete_at);
+      }
+      t = si.io_complete_at;
+      spill_->Release(spill_slot);
+      spill_slots_.erase(p);
+      if (need_evict && !config_.async_write)
+        t = EvictOneFor(id, t, /*sync_write=*/true,
+                        /*remap_overlapped=*/false);
+      t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+      (void)ri.region->Copy(
+          addr, std::span<const std::byte, kPageSize>{scratch_});
+      t = ChargeProfiled(t, config_.costs.insert_lru,
+                         CodePath::kInsertLruCacheNode);
+      lru_.Insert(p);
+      tracker_.MarkResident(p);
+      t = Charge(t, config_.costs.wake);
+      return Finish(t);
+    }
+
     case PageLocation::kRemote: {
       const kv::Key key = KeyFor(p);
+      // Bounded per-fault stall during an outage: with the read breaker
+      // open (and local spill attached, i.e. degradation is on), refuse
+      // the read immediately instead of paying the dead store's timeout.
+      // The page stays kRemote; the fault retries once the breaker lets a
+      // probe through.
+      if (spill_ != nullptr && !read_health_.AllowRequest(t)) {
+        ++stats_.breaker_fast_fails;
+        return Fail(Status::Unavailable("remote store breaker open"), t);
+      }
       const SimTime read_start = t;
       bool evict_deferred_flag = false;
       if (config_.async_read) {
@@ -437,6 +569,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         t = Charge(t, config_.costs.read_page_overhead);
         kv::OpResult rd = store_->Get(
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
+        NoteStoreRead(rd);
         if (!rd.status.ok()) {
           // kNotFound on a believed-remote page means the store lost data
           // it acknowledged; anything else (outage, injected fault) is
@@ -483,6 +616,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         t = Charge(t, config_.costs.read_page_overhead);
         kv::OpResult rd = store_->Get(
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
+        NoteStoreRead(rd);
         if (!rd.status.ok()) {
           if (rd.status.code() == StatusCode::kNotFound)
             ++stats_.lost_page_errors;
@@ -649,24 +783,120 @@ SimTime Monitor::SetRegionQuota(RegionId id, std::size_t pages,
 }
 
 void Monitor::PumpBackground(SimTime now) {
+  // Store-side maintenance first (RAMCloud coordinator recovery, replica
+  // anti-entropy repair) — recovering the backend may unblock the flush.
+  now = std::max(now, store_->PumpMaintenance(now));
   RetireCompleted(now);
   FlushIfNeeded(now);
+  MigrateSpillBack(now);
+}
+
+bool Monitor::SpillPending(SimTime now) {
+  if (spill_ == nullptr) return false;
+  std::vector<PendingWrite> batch =
+      write_list_.TakeBatch(config_.write_batch_pages);
+  if (batch.empty()) return false;
+  bool progressed = false;
+  SimTime t = flusher_.EarliestStart(now);
+  const SimTime start = t;
+  for (const PendingWrite& w : batch) {
+    auto so = spill_->WriteOut(
+        std::span<const std::byte, kPageSize>{pool_->Data(w.frame)}, t);
+    if (!so.status.ok()) {
+      // Device write error still consumed a slot (full pool did not);
+      // either way the frame keeps the only copy — back to the list.
+      if (so.status.code() != StatusCode::kResourceExhausted)
+        spill_->Release(so.slot);
+      ++stats_.spill_errors;
+      write_list_.Enqueue(w.page, w.frame, t);
+      tracker_.MarkWriteList(w.page);
+      continue;
+    }
+    t = std::max(t, so.io_complete_at);
+    pool_->Free(w.frame);
+    spill_slots_[w.page] = so.slot;
+    tracker_.MarkSpilled(w.page);
+    ++stats_.spilled_pages;
+    progressed = true;
+  }
+  flusher_.Occupy(start, t > start ? t - start : 0);
+  return progressed;
+}
+
+void Monitor::MigrateSpillBack(SimTime now) {
+  if (spill_ == nullptr || spill_slots_.empty()) return;
+  // Never while the breaker is open. In the half-open window the first Put
+  // below doubles as the probe (AllowRequest takes the probe token), so
+  // rebalancing does not depend on fresh write traffic to close the
+  // breaker first.
+  if (write_health_.StateAt(now) == kv::BreakerState::kOpen) return;
+  if (write_health_.tripped() && !write_health_.AllowRequest(now)) return;
+
+  // Deterministic order regardless of hash-map iteration.
+  std::vector<std::pair<PageRef, blk::BlockNum>> entries(spill_slots_.begin(),
+                                                         spill_slots_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.region != b.first.region)
+                return a.first.region < b.first.region;
+              return a.first.addr < b.first.addr;
+            });
+  SimTime t = flusher_.EarliestStart(now);
+  const SimTime start = t;
+  std::size_t moved = 0;
+  for (const auto& [p, slot] : entries) {
+    if (moved >= config_.spill_migrate_batch) break;
+    auto si = spill_->ReadKeep(
+        slot, std::span<std::byte, kPageSize>{scratch_}, t);
+    if (!si.status.ok()) {
+      ++stats_.spill_errors;  // transient device error: retry next pump
+      continue;
+    }
+    t = si.io_complete_at;
+    kv::OpResult put = store_->Put(
+        regions_[p.region].partition, KeyFor(p),
+        std::span<const std::byte, kPageSize>{scratch_}, t);
+    NoteStoreWrite(put);
+    if (!put.status.ok()) break;  // store went away again; breaker re-arms
+    t = put.complete_at;
+    spill_->Release(slot);
+    spill_slots_.erase(p);
+    tracker_.MarkRemote(p);
+    ++stats_.spill_migrated_back;
+    ++moved;
+  }
+  flusher_.Occupy(start, t > start ? t - start : 0);
 }
 
 SimTime Monitor::DrainWrites(SimTime now) {
   // Failed batches re-enqueue on retirement, so a single flush pass is not
   // enough under store faults: keep re-posting until the list is empty or
   // the retry budget runs out (persistent outage — the writes stay
-  // buffered rather than being dropped).
-  constexpr int kMaxDrainRounds = 8;
+  // buffered rather than being dropped). Each failed round feeds the
+  // write breaker, so under a real outage the later rounds divert to the
+  // local spill device instead of hammering the dead store.
+  const int max_rounds =
+      static_cast<int>(std::max<std::size_t>(1, config_.max_drain_rounds));
   SimTime done = now;
-  for (int round = 0; round < kMaxDrainRounds; ++round) {
+  for (int round = 0; round < max_rounds; ++round) {
     FlushIfNeeded(done, /*force=*/true);
     if (write_list_.InFlightCount() == 0 && write_list_.PendingCount() == 0)
       break;
     done = std::max(done, write_list_.LatestCompletion());
     RetireCompleted(done);
     if (write_list_.PendingCount() == 0) break;
+  }
+  if (write_list_.PendingCount() > 0 || write_list_.InFlightCount() > 0) {
+    ++stats_.drain_budget_exhausted;
+    // Last resort before leaving writes buffered: if degradation is armed
+    // and the breaker agrees the store is gone, spill the remainder so
+    // the caller (shutdown, migration prep) sees a bounded drain.
+    if (spill_ != nullptr && write_health_.tripped()) {
+      done = std::max(done, write_list_.LatestCompletion());
+      RetireCompleted(done);
+      while (SpillPending(done)) {
+      }
+    }
   }
   return done;
 }

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,10 +29,12 @@
 #include "fluidmem/page_tracker.h"
 #include "fluidmem/page_key.h"
 #include "fluidmem/write_list.h"
+#include "kvstore/health.h"
 #include "kvstore/kvstore.h"
 #include "mem/frame_pool.h"
 #include "mem/uffd.h"
 #include "sim/timeline.h"
+#include "swap/swap_space.h"
 
 namespace fluid::fm {
 
@@ -61,6 +64,22 @@ struct MonitorConfig {
   // 1-page row requires full virtualisation).
   bool kvm_mode = true;
   std::size_t kvm_min_resident = 4;
+
+  // DrainWrites retry budget: rounds of (flush, wait, retire) before the
+  // drain gives up on a store that keeps rejecting batches. Exhaustion is
+  // counted in MonitorStats::drain_budget_exhausted.
+  std::size_t max_drain_rounds = 8;
+
+  // Graceful-degradation breakers for the remote store (only active once
+  // AttachLocalSpill provides somewhere to degrade to). Consecutive
+  // kUnavailable results trip the breaker; while it is open, remote reads
+  // fail fast and the write path spills to the local swap device instead
+  // of stalling vCPUs on a dead store.
+  int breaker_trip_after = 3;
+  SimDuration breaker_open_duration = 1 * kMillisecond;
+  // Pages migrated back from local spill to the store per PumpBackground
+  // tick once the breaker closes (bounds the pump's work).
+  std::size_t spill_migrate_batch = 8;
 
   MonitorCostModel costs;
   std::uint64_t seed = 7;
@@ -100,6 +119,20 @@ struct MonitorStats {
   // Tracker said write-list/in-flight but the write list had no entry; the
   // fault fell back to a remote read instead of crashing (release-UB fix).
   std::uint64_t tracker_desyncs = 0;
+  // --- resilience / graceful degradation ---------------------------------------
+  // DrainWrites ran out of rounds with writes still buffered.
+  std::uint64_t drain_budget_exhausted = 0;
+  // Pages diverted to the local swap device while the store was down.
+  std::uint64_t spilled_pages = 0;
+  // Faults served from the local spill device.
+  std::uint64_t spill_refaults = 0;
+  // Spilled pages pushed back to the store after the breaker closed.
+  std::uint64_t spill_migrated_back = 0;
+  // Local spill IO failures (device error or swap space full).
+  std::uint64_t spill_errors = 0;
+  // Remote reads refused without a network charge while the breaker was
+  // open (bounded per-fault stall during an outage).
+  std::uint64_t breaker_fast_fails = 0;
 };
 
 class Monitor {
@@ -165,9 +198,34 @@ class Monitor {
     lru_.Touch(PageRef{id, PageAlignDown(addr)});
   }
 
-  // Drive background work (flush stale writes, retire batches) without a
-  // fault; the real flush thread wakes periodically.
+  // Drive background work (flush stale writes, retire batches, store
+  // maintenance, spill migrate-back) without a fault; the real flush
+  // thread wakes periodically.
   void PumpBackground(SimTime now);
+
+  // --- graceful degradation ------------------------------------------------------
+
+  // Provide a local swap device to degrade onto. While the write breaker
+  // is open, evictions/writebacks spill here instead of stalling on the
+  // dead store; while the read breaker is open, remote faults fail fast.
+  // Spilled pages migrate back via PumpBackground once the store recovers.
+  // The SwapSpace must outlive the monitor.
+  void AttachLocalSpill(swap::SwapSpace& spill) { spill_ = &spill; }
+  bool HasLocalSpill() const noexcept { return spill_ != nullptr; }
+  std::size_t SpilledPageCount() const noexcept { return spill_slots_.size(); }
+  bool HasSpillSlot(const PageRef& p) const {
+    return spill_slots_.contains(p);
+  }
+  // Oracle access for tests: read a spilled page's bytes without timing or
+  // fault-injection side effects.
+  Status PeekSpilled(const PageRef& p,
+                     std::span<std::byte, kPageSize> out) const;
+  const kv::HealthTracker& read_health() const noexcept {
+    return read_health_;
+  }
+  const kv::HealthTracker& write_health() const noexcept {
+    return write_health_;
+  }
 
   // Force every pending write out to the store and wait; used on shutdown
   // and by tests asserting durability. Failed batches are re-posted up to
@@ -236,6 +294,16 @@ class Monitor {
   // Post pending writes as multi-write batches when full or stale.
   void FlushIfNeeded(SimTime now, bool force = false);
 
+  // Degradation path: move one batch of pending writes to the local swap
+  // device (breaker open / store down). Returns true if any page spilled.
+  bool SpillPending(SimTime now);
+  // Recovery path: push spilled pages back to the store (bounded by
+  // config_.spill_migrate_batch; requires the write breaker closed).
+  void MigrateSpillBack(SimTime now);
+  // Feed a store op outcome to one of the degradation breakers.
+  void NoteStoreRead(const kv::OpResult& r);
+  void NoteStoreWrite(const kv::OpResult& r);
+
   // Fault-ahead: fetch up to prefetch_depth pages following `addr` that
   // currently live in the store; runs on the background thread.
   void PrefetchAfter(RegionId id, VirtAddr addr, SimTime now);
@@ -251,6 +319,15 @@ class Monitor {
   LruBuffer lru_;
   PageTracker tracker_;
   WriteList write_list_;
+
+  // Graceful degradation: local swap spill + per-direction store breakers.
+  // Read and write health are tracked separately so a write-only outage
+  // (store accepts reads, rejects writes) cannot be masked by read
+  // successes resetting the failure count, and vice versa.
+  swap::SwapSpace* spill_ = nullptr;
+  std::unordered_map<PageRef, blk::BlockNum, PageRefHash> spill_slots_;
+  kv::HealthTracker read_health_;
+  kv::HealthTracker write_health_;
 
   Timeline monitor_;  // the epoll/fault-handling thread
   Timeline flusher_;  // the writeback thread

@@ -10,7 +10,9 @@
 //   kResident   — mapped in the VM (zero page or private frame);
 //   kWriteList  — evicted, buffered, awaiting the flush thread;
 //   kInFlight   — inside a multi-write batch the flush thread has posted;
-//   kRemote     — safely in the key-value store.
+//   kRemote     — safely in the key-value store;
+//   kSpilled    — on the local swap device (graceful degradation while the
+//                 remote store is down; migrates back when it recovers).
 #pragma once
 
 #include <cstddef>
@@ -26,6 +28,7 @@ enum class PageLocation : std::uint8_t {
   kWriteList,
   kInFlight,
   kRemote,
+  kSpilled,
 };
 
 class PageTracker {
@@ -44,6 +47,7 @@ class PageTracker {
   void MarkWriteList(const PageRef& p) { map_[p] = PageLocation::kWriteList; }
   void MarkInFlight(const PageRef& p) { map_[p] = PageLocation::kInFlight; }
   void MarkRemote(const PageRef& p) { map_[p] = PageLocation::kRemote; }
+  void MarkSpilled(const PageRef& p) { map_[p] = PageLocation::kSpilled; }
 
   void Forget(const PageRef& p) { map_.erase(p); }
 

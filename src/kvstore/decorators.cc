@@ -140,17 +140,49 @@ ReplicatedStore::ReplicatedStore(
     : replicas_(std::move(replicas)),
       write_quorum_(write_quorum),
       probe_interval_(probe_interval),
-      suspect_(replicas_.size(), false),
-      retry_at_(replicas_.size(), 0) {}
+      health_(replicas_.size(),
+              HealthTracker{HealthConfig{/*trip_after=*/1,
+                                         /*open_duration=*/probe_interval}}),
+      dirty_(replicas_.size()),
+      dirty_partitions_(replicas_.size()) {}
 
 void ReplicatedStore::NoteResult(std::size_t i, const OpResult& r) {
   if (r.status.ok() || r.status.code() == StatusCode::kNotFound) {
     // The replica answered; it is alive (kNotFound is a healthy answer).
-    suspect_[i] = false;
+    health_[i].RecordSuccess(r.complete_at);
   } else if (r.status.code() == StatusCode::kUnavailable) {
-    suspect_[i] = true;
-    retry_at_[i] = r.complete_at + probe_interval_;
+    health_[i].RecordFailure(r.complete_at);
   }
+}
+
+void ReplicatedStore::NoteWrite(std::size_t i, PartitionId partition, Key key,
+                                bool ok) {
+  if (ok) {
+    // A fresh write overwrites whatever stale value the replica held.
+    auto it = dirty_[i].find(partition);
+    if (it != dirty_[i].end()) {
+      it->second.erase(key);
+      if (it->second.empty()) dirty_[i].erase(it);
+    }
+  } else {
+    dirty_[i][partition].insert(key);
+  }
+}
+
+bool ReplicatedStore::ReplicaDirty(std::size_t i, PartitionId partition,
+                                   Key key) const {
+  if (dirty_partitions_[i].contains(partition)) return true;
+  auto it = dirty_[i].find(partition);
+  return it != dirty_[i].end() && it->second.contains(key);
+}
+
+std::size_t ReplicatedStore::DirtyObjectCount() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    n += dirty_partitions_[i].size();
+    for (const auto& [partition, keys] : dirty_[i]) n += keys.size();
+  }
+  return n;
 }
 
 bool ReplicatedStore::has_native_partitions() const {
@@ -170,6 +202,7 @@ OpResult ReplicatedStore::Put(PartitionId partition, Key key,
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     OpResult one = replicas_[i]->Put(partition, key, value, now);
     NoteResult(i, one);
+    NoteWrite(i, partition, key, one.status.ok());
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
     if (one.status.ok()) ++acks;
@@ -195,7 +228,15 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
   OpResult last;
   bool attempted = false;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (suspect_[i] && t < retry_at_[i]) {
+    if (ReplicaDirty(i, partition, key)) {
+      // The replica missed a write for this key while down: its copy is
+      // stale (or a removed key it would resurrect). Never serve it.
+      // Checked before the breaker so a stale replica cannot burn the
+      // half-open probe token on a request that was never sent.
+      ++rstats_.stale_skips;
+      continue;
+    }
+    if (!health_[i].AllowRequest(t)) {
       ++rstats_.suspect_skips;
       continue;
     }
@@ -228,8 +269,13 @@ OpResult ReplicatedStore::Remove(PartitionId partition, Key key,
   agg.issue_done = now;
   agg.complete_at = now;
   agg.status = Status::NotFound("");
-  for (auto& r : replicas_) {
-    OpResult one = r->Remove(partition, key, now);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    OpResult one = replicas_[i]->Remove(partition, key, now);
+    NoteResult(i, one);
+    // A replica that missed the remove would resurrect the key on
+    // failover; kNotFound means it never had it (equally gone).
+    NoteWrite(i, partition, key,
+              one.status.ok() || one.status.code() == StatusCode::kNotFound);
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
     if (one.status.ok()) agg.status = Status::Ok();
@@ -249,6 +295,8 @@ OpResult ReplicatedStore::MultiPut(PartitionId partition,
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     OpResult one = replicas_[i]->MultiPut(partition, writes, now);
     NoteResult(i, one);
+    for (const KvWrite& w : writes)
+      NoteWrite(i, partition, w.key, one.status.ok());
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
     if (one.status.ok()) ++acks;
@@ -268,11 +316,109 @@ OpResult ReplicatedStore::DropPartition(PartitionId partition, SimTime now) {
   agg.issue_done = now;
   agg.complete_at = now;
   agg.status = Status::Ok();
-  for (auto& r : replicas_) {
-    OpResult one = r->DropPartition(partition, now);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    OpResult one = replicas_[i]->DropPartition(partition, now);
+    NoteResult(i, one);
+    if (one.status.ok()) {
+      // The whole partition is gone on this replica; per-key divergence
+      // within it is moot.
+      dirty_partitions_[i].erase(partition);
+      dirty_[i].erase(partition);
+    } else {
+      // The replica still holds objects of a dropped partition — mark the
+      // whole partition dirty so reads skip it and repair retries the drop.
+      dirty_partitions_[i].insert(partition);
+      dirty_[i].erase(partition);
+    }
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
   }
   return agg;
+}
+
+SimTime ReplicatedStore::PumpMaintenance(SimTime now) {
+  SimTime t = now;
+  for (auto& r : replicas_) t = std::max(t, r->PumpMaintenance(t));
+  return RepairPass(t);
+}
+
+SimTime ReplicatedStore::RepairPass(SimTime now, std::size_t budget) {
+  SimTime t = now;
+  for (std::size_t i = 0; i < replicas_.size() && budget > 0; ++i) {
+    if (dirty_partitions_[i].empty() && dirty_[i].empty()) continue;
+    // Don't batter a replica whose breaker is open; a half-open repair op
+    // doubles as the probe (its result feeds the breaker via NoteResult).
+    if (health_[i].StateAt(t) == BreakerState::kOpen) continue;
+
+    // Missed partition drops first: retry the drop wholesale.
+    while (budget > 0 && !dirty_partitions_[i].empty()) {
+      const PartitionId partition = *dirty_partitions_[i].begin();
+      OpResult one = replicas_[i]->DropPartition(partition, t);
+      NoteResult(i, one);
+      --budget;
+      t = std::max(t, one.complete_at);
+      if (!one.status.ok()) {
+        ++rstats_.repair_failures;
+        break;  // replica still unhealthy; try again next pass
+      }
+      dirty_partitions_[i].erase(partition);
+      ++rstats_.repairs;
+    }
+    if (health_[i].StateAt(t) == BreakerState::kOpen) continue;
+
+    // Then per-key divergence: copy from the first clean, closed peer.
+    bool replica_failed = false;
+    for (auto pit = dirty_[i].begin();
+         pit != dirty_[i].end() && budget > 0 && !replica_failed;) {
+      const PartitionId partition = pit->first;
+      std::set<Key>& keys = pit->second;
+      for (auto kit = keys.begin(); kit != keys.end() && budget > 0;) {
+        const Key key = *kit;
+        // Find a source holding the authoritative copy.
+        alignas(16) std::array<std::byte, kPageSize> page{};
+        OpResult src;
+        src.status = Status::Unavailable("no clean source replica");
+        bool not_found = false;
+        for (std::size_t j = 0; j < replicas_.size(); ++j) {
+          if (j == i || ReplicaDirty(j, partition, key)) continue;
+          if (health_[j].StateAt(t) != BreakerState::kClosed) continue;
+          src = replicas_[j]->Get(partition, key, page, t);
+          NoteResult(j, src);
+          t = std::max(t, src.complete_at);
+          if (src.status.ok()) break;
+          if (src.status.code() == StatusCode::kNotFound) {
+            not_found = true;  // authoritative: the object was removed
+            break;
+          }
+        }
+        --budget;
+        if (!src.status.ok() && !not_found) {
+          ++rstats_.repair_failures;
+          ++kit;
+          continue;
+        }
+        OpResult fix = not_found
+                           ? replicas_[i]->Remove(partition, key, t)
+                           : replicas_[i]->Put(partition, key, page, t);
+        NoteResult(i, fix);
+        t = std::max(t, fix.complete_at);
+        const bool fixed =
+            fix.status.ok() ||
+            (not_found && fix.status.code() == StatusCode::kNotFound);
+        if (!fixed) {
+          ++rstats_.repair_failures;
+          replica_failed = true;  // replica went away again mid-repair
+          break;
+        }
+        ++rstats_.repairs;
+        kit = keys.erase(kit);
+      }
+      if (keys.empty())
+        pit = dirty_[i].erase(pit);
+      else
+        ++pit;
+    }
+  }
+  return t;
 }
 
 bool ReplicatedStore::Contains(PartitionId partition, Key key) const {

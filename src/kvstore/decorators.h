@@ -21,9 +21,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+#include <set>
+
 #include "common/compress.h"
 #include "common/dist.h"
 #include "common/rng.h"
+#include "kvstore/health.h"
 #include "kvstore/kvstore.h"
 #include "net/transport.h"
 #include "sim/timeline.h"
@@ -112,6 +116,11 @@ class FlakyStore final : public KvStore {
 
   void set_down(bool down) noexcept { down_ = down; }
   bool down() const noexcept { return down_; }
+  // Scheduled outage window: every op issued before `t` (virtual time)
+  // fails with kUnavailable, then the store recovers by itself. Lets
+  // chaos scripts stage outage/recovery without hand-toggling set_down.
+  void FailUntil(SimTime t) noexcept { down_until_ = t; }
+  SimTime down_until() const noexcept { return down_until_; }
   // Probability that any single operation fails with kUnavailable.
   void set_failure_probability(double p) noexcept { fail_p_ = p; }
   KvStore& inner() noexcept { return *inner_; }
@@ -124,26 +133,29 @@ class FlakyStore final : public KvStore {
   OpResult Put(PartitionId partition, Key key,
                std::span<const std::byte, kPageSize> value,
                SimTime now) override {
-    if (ShouldFail()) return Unavailable(now);
+    if (ShouldFail(now)) return Unavailable(now);
     return inner_->Put(partition, key, value, now);
   }
   OpResult Get(PartitionId partition, Key key,
                std::span<std::byte, kPageSize> out, SimTime now) override {
-    if (ShouldFail()) return Unavailable(now);
+    if (ShouldFail(now)) return Unavailable(now);
     return inner_->Get(partition, key, out, now);
   }
   OpResult Remove(PartitionId partition, Key key, SimTime now) override {
-    if (ShouldFail()) return Unavailable(now);
+    if (ShouldFail(now)) return Unavailable(now);
     return inner_->Remove(partition, key, now);
   }
   OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
                     SimTime now) override {
-    if (ShouldFail()) return Unavailable(now);
+    if (ShouldFail(now)) return Unavailable(now);
     return inner_->MultiPut(partition, writes, now);
   }
   OpResult DropPartition(PartitionId partition, SimTime now) override {
-    if (ShouldFail()) return Unavailable(now);
+    if (ShouldFail(now)) return Unavailable(now);
     return inner_->DropPartition(partition, now);
+  }
+  SimTime PumpMaintenance(SimTime now) override {
+    return inner_->PumpMaintenance(now);
   }
 
   bool Contains(PartitionId partition, Key key) const override {
@@ -154,8 +166,12 @@ class FlakyStore final : public KvStore {
   const StoreStats& stats() const override { return inner_->stats(); }
 
  private:
-  bool ShouldFail() {
-    return down_ || (fail_p_ > 0.0 && rng_.NextDouble() < fail_p_);
+  bool ShouldFail(SimTime now) {
+    // Order matters for determinism: the probabilistic draw happens on
+    // every op that is not already doomed, so adding an outage window
+    // does not shift the RNG sequence of healthy runs.
+    return down_ || now < down_until_ ||
+           (fail_p_ > 0.0 && rng_.NextDouble() < fail_p_);
   }
   static OpResult Unavailable(SimTime now) {
     // A failed RPC still costs a timeout-ish delay before the caller knows.
@@ -166,6 +182,7 @@ class FlakyStore final : public KvStore {
   std::unique_ptr<KvStore> inner_;
   Rng rng_;
   bool down_ = false;
+  SimTime down_until_ = 0;
   double fail_p_ = 0.0;
 };
 
@@ -178,16 +195,27 @@ struct ReplicatedStoreStats {
   // Reads that skipped a suspected-dead replica instead of re-paying its
   // timeout (the failover-accounting fix this struct exists to witness).
   std::uint64_t suspect_skips = 0;
+  // Reads that skipped a replica known to have missed a write for the key
+  // (or a partition drop) while it was down — without this, a recovered
+  // replica silently serves stale pages on failover.
+  std::uint64_t stale_skips = 0;
+  std::uint64_t repairs = 0;          // objects resynced by anti-entropy
+  std::uint64_t repair_failures = 0;  // repair ops that failed
 };
 
 // Mirrors writes to every replica; a write succeeds if at least
 // `write_quorum` replicas acknowledge. Reads try replicas in order.
 //
-// Failover accounting: a replica whose op fails kUnavailable is marked
-// SUSPECT and reads skip it until `probe_interval` has elapsed — without
-// this, every read after a replica death re-paid the dead replica's full
-// timeout before failing over. A successful op (read probe or mirrored
-// write) clears the suspicion.
+// Failure handling, per replica:
+//   * a HealthTracker circuit breaker (trip on the first kUnavailable,
+//     half-open probe after `probe_interval`) — reads skip a tripped
+//     replica instead of re-paying the dead replica's full timeout; any
+//     successful op (read probe or mirrored write) closes the breaker.
+//   * a dirty set of keys/partitions whose mirrored writes the replica
+//     missed while down. Reads never route to a replica dirty for the
+//     key, and a background anti-entropy pass (`RepairPass`, driven by
+//     `PumpMaintenance`) resyncs dirty objects from a clean replica, so
+//     a recovered replica converges instead of serving stale data.
 class ReplicatedStore final : public KvStore {
  public:
   ReplicatedStore(std::vector<std::unique_ptr<KvStore>> replicas,
@@ -206,6 +234,8 @@ class ReplicatedStore final : public KvStore {
   OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
                     SimTime now) override;
   OpResult DropPartition(PartitionId partition, SimTime now) override;
+  // Forwards to every replica, then runs one bounded RepairPass.
+  SimTime PumpMaintenance(SimTime now) override;
 
   bool Contains(PartitionId partition, Key key) const override;
   std::size_t ObjectCount() const override;
@@ -214,20 +244,37 @@ class ReplicatedStore final : public KvStore {
 
   KvStore& replica(std::size_t i) noexcept { return *replicas_[i]; }
   std::size_t replica_count() const noexcept { return replicas_.size(); }
-  bool replica_suspect(std::size_t i) const noexcept { return suspect_[i]; }
+  bool replica_suspect(std::size_t i) const noexcept {
+    return health_[i].tripped();
+  }
+  const HealthTracker& replica_health(std::size_t i) const noexcept {
+    return health_[i];
+  }
   const ReplicatedStoreStats& replication_stats() const noexcept {
     return rstats_;
   }
 
+  // Anti-entropy: resync up to `budget` dirty objects per replica from a
+  // clean peer. Returns the virtual time when the pass finishes.
+  SimTime RepairPass(SimTime now, std::size_t budget = 16);
+  // Outstanding divergence (missed writes + missed partition drops).
+  std::size_t DirtyObjectCount() const;
+  bool ReplicaDirty(std::size_t i, PartitionId partition, Key key) const;
+
  private:
   void NoteResult(std::size_t i, const OpResult& r);
+  void NoteWrite(std::size_t i, PartitionId partition, Key key, bool ok);
 
   std::vector<std::unique_ptr<KvStore>> replicas_;
   int write_quorum_;
   SimDuration probe_interval_;
-  // Per-replica failure-detector state: suspected-dead + next probe time.
-  std::vector<bool> suspect_;
-  std::vector<SimTime> retry_at_;
+  // Per-replica failure-detector state (circuit breaker).
+  std::vector<HealthTracker> health_;
+  // Per-replica divergence: keys whose mirrored write/remove failed, and
+  // partitions whose drop failed. Ordered containers so RepairPass walks
+  // them deterministically.
+  std::vector<std::map<PartitionId, std::set<Key>>> dirty_;
+  std::vector<std::set<PartitionId>> dirty_partitions_;
   ReplicatedStoreStats rstats_;
   mutable StoreStats agg_stats_;
 };

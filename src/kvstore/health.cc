@@ -1,0 +1,61 @@
+#include "kvstore/health.h"
+
+namespace fluid::kv {
+
+bool HealthTracker::AllowRequest(SimTime now) {
+  if (!tripped_) return true;
+  if (now < probe_at_) {
+    ++stats_.fast_rejects;
+    return false;
+  }
+  // Half-open: one probe per window. The probe slot is released by the
+  // probe's own RecordSuccess/RecordFailure.
+  if (probe_inflight_) {
+    ++stats_.fast_rejects;
+    return false;
+  }
+  probe_inflight_ = true;
+  ++stats_.probes;
+  return true;
+}
+
+void HealthTracker::RecordSuccess(SimTime) {
+  ++stats_.successes;
+  consecutive_failures_ = 0;
+  tripped_ = false;
+  probe_inflight_ = false;
+}
+
+void HealthTracker::RecordFailure(SimTime now) {
+  ++stats_.failures;
+  if (tripped_) {
+    // A failed half-open probe (or a straggling in-flight op): re-arm the
+    // Open window from the failure's completion time.
+    probe_inflight_ = false;
+    probe_at_ = now + config_.open_duration;
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.trip_after) {
+    tripped_ = true;
+    probe_inflight_ = false;
+    probe_at_ = now + config_.open_duration;
+    ++stats_.trips;
+  }
+}
+
+BreakerState HealthTracker::StateAt(SimTime now) const {
+  if (!tripped_) return BreakerState::kClosed;
+  return now >= probe_at_ ? BreakerState::kHalfOpen : BreakerState::kOpen;
+}
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace fluid::kv

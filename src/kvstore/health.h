@@ -1,0 +1,77 @@
+// Per-backend health tracking: a circuit breaker in virtual time.
+//
+// Failure handling in the stack used to be a scattered pair of
+// `suspect_` / `retry_at_` vectors inside ReplicatedStore; this pulls the
+// state machine out so the monitor's degradation path and the replicated
+// store's read routing share one implementation:
+//
+//       Closed ──(trip_after consecutive failures)──▶ Open
+//         ▲                                            │
+//         │ success                    open_duration elapses
+//         │                                            ▼
+//         └───────────(probe succeeds)────────── Half-open
+//                        (probe fails → Open again, timer re-armed)
+//
+// Closed passes every request through. Open fast-rejects everything —
+// callers fail over or degrade without paying the dead backend's timeout.
+// Half-open admits exactly one probe per window; its outcome decides
+// whether the breaker closes or re-opens. All transitions are driven by
+// the virtual-time stamps of observed op results, so the whole machine is
+// deterministic under (seed, FaultPlan).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fluid::kv {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+struct HealthConfig {
+  // Consecutive kUnavailable results before the breaker trips.
+  int trip_after = 3;
+  // How long Open lasts before a half-open probe is admitted.
+  SimDuration open_duration = 1 * kMillisecond;
+};
+
+struct HealthStats {
+  std::uint64_t trips = 0;         // Closed -> Open transitions
+  std::uint64_t probes = 0;        // half-open probes admitted
+  std::uint64_t fast_rejects = 0;  // requests refused while Open
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+};
+
+class HealthTracker {
+ public:
+  HealthTracker() = default;
+  explicit HealthTracker(HealthConfig config) : config_(config) {}
+
+  // Gate a request at `now`. Closed: always true. Open: false (counted as
+  // a fast reject). Half-open: true for the first caller in the window
+  // (the probe), false for the rest until the probe's result lands.
+  bool AllowRequest(SimTime now);
+
+  // Feed back an op outcome observed at `now` (use the op's complete_at).
+  void RecordSuccess(SimTime now);
+  void RecordFailure(SimTime now);
+
+  BreakerState StateAt(SimTime now) const;
+  bool tripped() const noexcept { return tripped_; }
+  int consecutive_failures() const noexcept { return consecutive_failures_; }
+  SimTime probe_at() const noexcept { return probe_at_; }
+  const HealthStats& stats() const noexcept { return stats_; }
+
+ private:
+  HealthConfig config_;
+  int consecutive_failures_ = 0;
+  bool tripped_ = false;
+  bool probe_inflight_ = false;
+  SimTime probe_at_ = 0;  // when Open ends and a probe is admitted
+  HealthStats stats_;
+};
+
+const char* BreakerStateName(BreakerState s);
+
+}  // namespace fluid::kv

@@ -29,6 +29,11 @@ struct OpResult {
   Status status;
   SimTime issue_done = 0;
   SimTime complete_at = 0;
+  // Resilience telemetry (filled by ResilientStore; plain stores leave the
+  // defaults): how many attempts the op took and whether a hedged request
+  // was issued.
+  int attempts = 1;
+  bool hedged = false;
 };
 
 struct KvWrite {
@@ -51,6 +56,11 @@ struct StoreStats {
   std::uint64_t multi_write_batches = 0;
   std::uint64_t multi_write_objects = 0;
   std::uint64_t evictions = 0;  // store-internal (Memcached slab LRU)
+  // Resilience telemetry (only ResilientStore populates these).
+  std::uint64_t retries = 0;            // re-issued attempts after a failure
+  std::uint64_t hedged_reads = 0;       // Gets that issued a hedge request
+  std::uint64_t hedge_wins = 0;         // hedges that beat the first request
+  std::uint64_t deadline_exceeded = 0;  // ops abandoned at their deadline
 };
 
 class KvStore {
@@ -98,6 +108,13 @@ class KvStore {
 
   // Drop every object in a partition (VM shutdown).
   virtual OpResult DropPartition(PartitionId partition, SimTime now) = 0;
+
+  // Background maintenance hook, called off the fault path (the monitor's
+  // PumpBackground). Stores that need periodic work — RAMCloud failure
+  // detection + crash recovery, ReplicatedStore anti-entropy repair — do it
+  // here; the default is a no-op. Returns the time the caller's clock
+  // should advance to (>= now).
+  virtual SimTime PumpMaintenance(SimTime now) { return now; }
 
   virtual bool Contains(PartitionId partition, Key key) const = 0;
   virtual std::size_t ObjectCount() const = 0;

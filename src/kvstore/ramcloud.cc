@@ -41,8 +41,9 @@ SimDuration RamcloudStore::BackupAckDelay() {
   return worst;
 }
 
-void RamcloudStore::CrashMaster() {
+void RamcloudStore::CrashMaster(SimTime now) {
   crashed_ = true;
+  crashed_at_ = now;
   segments_.clear();
   free_segments_.clear();
   hash_.clear();
@@ -50,6 +51,17 @@ void RamcloudStore::CrashMaster() {
   allocated_bytes_ = 0;
   object_count_ = 0;
   head_segment_ = 0;
+}
+
+SimTime RamcloudStore::PumpMaintenance(SimTime now) {
+  if (!crashed_ || !config_.auto_recover) return now;
+  // The coordinator's failure detector needs a few missed heartbeats
+  // before it declares the master dead and starts recovery.
+  if (now < crashed_at_ + config_.failure_detection_delay) return now;
+  auto done = Recover(now);
+  if (!done.ok()) return now;  // no surviving backup; keep limping
+  ++auto_recoveries_;
+  return *done;
 }
 
 void RamcloudStore::CrashBackup(int index) {

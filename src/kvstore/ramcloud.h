@@ -54,6 +54,12 @@ struct RamcloudConfig {
   LatencyDist backup_rtt = LatencyDist::Lognormal(9.5, 0.2, 5.0);
   // Replay cost per log record during crash recovery.
   LatencyDist replay_per_record = LatencyDist::Normal(0.35, 0.05, 0.15);
+  // Coordinator-driven crash recovery (Ousterhout et al. §3.4: the
+  // coordinator detects a dead master and starts recovery on its own).
+  // When on, PumpMaintenance() triggers Recover() automatically once
+  // `failure_detection_delay` has elapsed since the crash; no manual call.
+  bool auto_recover = false;
+  SimDuration failure_detection_delay = 500 * kMicrosecond;
   std::uint64_t seed = 42;
 };
 
@@ -86,10 +92,15 @@ class RamcloudStore final : public KvStore {
 
   // --- crash recovery ----------------------------------------------------------
 
-  // Simulate a master crash: all DRAM state (log + hash table) is lost.
-  // Subsequent operations fail with kUnavailable until Recover().
-  void CrashMaster();
+  // Simulate a master crash at `now`: all DRAM state (log + hash table) is
+  // lost. Subsequent operations fail with kUnavailable until Recover() —
+  // called manually, or by PumpMaintenance when config.auto_recover is on
+  // and the coordinator's failure-detection delay has elapsed.
+  void CrashMaster(SimTime now = 0);
   bool crashed() const noexcept { return crashed_; }
+  // Coordinator tick: drives automatic crash recovery (see RamcloudConfig).
+  SimTime PumpMaintenance(SimTime now) override;
+  std::uint64_t auto_recoveries() const noexcept { return auto_recoveries_; }
   // Rebuild the log by replaying a backup (requires backup_count > 0 at
   // construction and at least one surviving backup). Returns the recovery
   // completion time.
@@ -188,6 +199,8 @@ class RamcloudStore final : public KvStore {
   StoreStats stats_;
 
   bool crashed_ = false;
+  SimTime crashed_at_ = 0;
+  std::uint64_t auto_recoveries_ = 0;
   std::uint64_t next_seq_ = 1;
   std::vector<Backup> backups_;
 };

@@ -1,0 +1,136 @@
+#include "kvstore/resilient.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fluid::kv {
+
+ResilientStore::ResilientStore(std::unique_ptr<KvStore> inner,
+                               ResilientStoreConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+SimDuration ResilientStore::BackoffDelay(int attempt) {
+  double d = static_cast<double>(config_.backoff_base);
+  for (int i = 1; i < attempt; ++i) d *= config_.backoff_mult;
+  const double jitter =
+      1.0 + config_.jitter_frac * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<SimDuration>(d * jitter);
+}
+
+template <typename Op>
+OpResult ResilientStore::RetryLoop(SimTime now, Op&& op) {
+  const SimTime deadline = now + config_.op_deadline;
+  SimTime start = now;
+  for (int attempt = 1;; ++attempt) {
+    OpResult r = op(start);
+    r.attempts = attempt;
+    if (!Retryable(r.status) || attempt >= config_.max_attempts) return r;
+    // The retry budget is deadline-aware: if the next attempt cannot even
+    // start before the deadline, give up now — the caller learns at the
+    // failed attempt's completion, never later than it has to.
+    const SimTime next = r.complete_at + BackoffDelay(attempt);
+    if (next >= deadline) {
+      ++stats_.deadline_exceeded;
+      r.status = Status::DeadlineExceeded("retry budget exhausted");
+      return r;
+    }
+    ++stats_.retries;
+    start = next;
+  }
+}
+
+SimDuration ResilientStore::CurrentHedgeDelay() const {
+  if (read_samples_ < config_.hedge_min_samples) return config_.hedge_floor;
+  const double q = read_latency_.QuantileNs(config_.hedge_percentile);
+  // Never hedge instantly, even if the store is very fast: a duplicate of
+  // every read would double load for no tail benefit.
+  return std::max<SimDuration>(static_cast<SimDuration>(q),
+                               10 * kMicrosecond);
+}
+
+void ResilientStore::ObserveRead(SimTime start, const OpResult& r) {
+  if (!r.status.ok() || r.complete_at < start) return;
+  read_latency_.Record(r.complete_at - start);
+  ++read_samples_;
+}
+
+OpResult ResilientStore::Put(PartitionId partition, Key key,
+                             std::span<const std::byte, kPageSize> value,
+                             SimTime now) {
+  ++stats_.puts;
+  return RetryLoop(now, [&](SimTime start) {
+    return inner_->Put(partition, key, value, start);
+  });
+}
+
+OpResult ResilientStore::Get(PartitionId partition, Key key,
+                             std::span<std::byte, kPageSize> out,
+                             SimTime now) {
+  ++stats_.gets;
+  return RetryLoop(now, [&](SimTime start) {
+    OpResult first = inner_->Get(partition, key, out, start);
+    const SimTime hedge_at = start + CurrentHedgeDelay();
+    const bool late = first.complete_at > hedge_at;
+    // kNotFound is an authoritative answer, not a slow store.
+    if (!config_.hedge_reads || !late ||
+        first.status.code() == StatusCode::kNotFound) {
+      ObserveRead(start, first);
+      return first;
+    }
+    // The first request is still outstanding at hedge_at (or will fail
+    // slowly): issue a duplicate and take the earlier success. Data
+    // effects are eager, so the duplicate lands in scratch and is copied
+    // out only when it is the winner.
+    ++stats_.hedged_reads;
+    alignas(16) std::array<std::byte, kPageSize> scratch{};
+    OpResult second = inner_->Get(partition, key, scratch, hedge_at);
+
+    OpResult r;
+    r.hedged = true;
+    r.issue_done = std::max(first.issue_done, second.issue_done);
+    const bool second_wins =
+        second.status.ok() &&
+        (!first.status.ok() || second.complete_at < first.complete_at);
+    if (second_wins) {
+      ++stats_.hedge_wins;
+      std::memcpy(out.data(), scratch.data(), kPageSize);
+      r.status = second.status;
+      r.complete_at = second.complete_at;
+    } else if (first.status.ok() ||
+               second.status.code() == StatusCode::kNotFound) {
+      r.status = first.status.ok() ? first.status : second.status;
+      r.complete_at = first.status.ok()
+                          ? first.complete_at
+                          : std::max(first.complete_at, second.complete_at);
+    } else {
+      // Both failed: the caller waited on both before learning.
+      r.status = first.status;
+      r.complete_at = std::max(first.complete_at, second.complete_at);
+    }
+    if (r.status.ok()) ObserveRead(start, r);
+    return r;
+  });
+}
+
+OpResult ResilientStore::Remove(PartitionId partition, Key key, SimTime now) {
+  ++stats_.removes;
+  return RetryLoop(
+      now, [&](SimTime start) { return inner_->Remove(partition, key, start); });
+}
+
+OpResult ResilientStore::MultiPut(PartitionId partition,
+                                  std::span<const KvWrite> writes,
+                                  SimTime now) {
+  ++stats_.multi_write_batches;
+  stats_.multi_write_objects += writes.size();
+  return RetryLoop(now, [&](SimTime start) {
+    return inner_->MultiPut(partition, writes, start);
+  });
+}
+
+OpResult ResilientStore::DropPartition(PartitionId partition, SimTime now) {
+  return RetryLoop(
+      now, [&](SimTime start) { return inner_->DropPartition(partition, start); });
+}
+
+}  // namespace fluid::kv

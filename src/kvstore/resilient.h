@@ -1,0 +1,110 @@
+// ResilientStore — deadline / retry / hedging decorator for any KvStore.
+//
+// The paper's monitor talks to remote memory over RPC; in production that
+// path sees transient kUnavailable blips and latency outliers. This
+// decorator gives every remote op:
+//
+//   * a per-op deadline — the caller is never stalled unboundedly; an op
+//     that cannot finish in time returns kDeadlineExceeded at the deadline;
+//   * bounded retries with exponential backoff + jitter — transient
+//     failures are absorbed below the monitor instead of surfacing as
+//     transient_read_errors / writeback requeue churn;
+//   * hedged reads — on the fault path, if the first Get has not completed
+//     by a calibrated percentile of observed read latency, a second copy
+//     of the request is issued and the earlier success wins (the classic
+//     tail-at-scale trick).
+//
+// Everything is deterministic: backoff jitter comes from a seeded Rng, the
+// hedge delay is calibrated from a latency histogram of this store's own
+// successful reads, and all scheduling is in virtual time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "kvstore/kvstore.h"
+
+namespace fluid::kv {
+
+struct ResilientStoreConfig {
+  // Hard per-op budget measured from the caller's `now`. Ops that would
+  // finish (or retry) past it fail with kDeadlineExceeded at the deadline.
+  SimDuration op_deadline = 2 * kMillisecond;
+  // Total attempts (first try + retries). Retryable failure: kUnavailable.
+  int max_attempts = 4;
+  SimDuration backoff_base = 50 * kMicrosecond;
+  double backoff_mult = 2.0;
+  // Each backoff is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter_frac = 0.25;
+
+  // Hedged Gets: issue a duplicate request once the first has been
+  // outstanding for the calibrated percentile of observed read latency.
+  bool hedge_reads = true;
+  double hedge_percentile = 0.95;
+  // Until this many successful reads are observed, use hedge_floor.
+  std::uint32_t hedge_min_samples = 32;
+  SimDuration hedge_floor = 200 * kMicrosecond;
+
+  std::uint64_t seed = 61;
+};
+
+class ResilientStore final : public KvStore {
+ public:
+  ResilientStore(std::unique_ptr<KvStore> inner, ResilientStoreConfig config);
+
+  std::string_view name() const override { return "resilient"; }
+  bool has_native_partitions() const override {
+    return inner_->has_native_partitions();
+  }
+
+  OpResult Put(PartitionId partition, Key key,
+               std::span<const std::byte, kPageSize> value,
+               SimTime now) override;
+  OpResult Get(PartitionId partition, Key key,
+               std::span<std::byte, kPageSize> out, SimTime now) override;
+  OpResult Remove(PartitionId partition, Key key, SimTime now) override;
+  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+                    SimTime now) override;
+  // MultiGet deliberately NOT overridden: the base-class adapter loops over
+  // the virtual Get, so batched reads inherit per-key retry + hedging.
+  OpResult DropPartition(PartitionId partition, SimTime now) override;
+  SimTime PumpMaintenance(SimTime now) override {
+    return inner_->PumpMaintenance(now);
+  }
+
+  bool Contains(PartitionId partition, Key key) const override {
+    return inner_->Contains(partition, key);
+  }
+  std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_->BytesStored(); }
+  const StoreStats& stats() const override { return stats_; }
+
+  KvStore& inner() noexcept { return *inner_; }
+  // The hedge delay a Get issued at this instant would use.
+  SimDuration CurrentHedgeDelay() const;
+
+ private:
+  // Runs `op(attempt_start)` up to max_attempts times; `op` must return an
+  // OpResult. Shared by every verb.
+  template <typename Op>
+  OpResult RetryLoop(SimTime now, Op&& op);
+
+  SimDuration BackoffDelay(int attempt);
+  void ObserveRead(SimTime start, const OpResult& r);
+  static bool Retryable(const Status& s) {
+    return s.code() == StatusCode::kUnavailable;
+  }
+
+  std::unique_ptr<KvStore> inner_;
+  ResilientStoreConfig config_;
+  Rng rng_;
+  LatencyHistogram read_latency_;
+  std::uint32_t read_samples_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace fluid::kv

@@ -62,6 +62,19 @@ class SwapSpace {
     return {io.status, io.complete_at};
   }
 
+  // Read without releasing the slot. For callers that must keep the
+  // on-disk copy live until they know the read succeeded (ReadIn frees
+  // the slot even on an IO error, after which it could be reallocated
+  // and overwritten); pair with Release() once the data is safe.
+  SwapIn ReadKeep(blk::BlockNum slot, std::span<std::byte, kPageSize> out,
+                  SimTime now) {
+    auto io = device_->Read(slot, out, now);
+    return {io.status, io.complete_at};
+  }
+
+  // Return a slot to the free pool without reading it.
+  void Release(blk::BlockNum slot) { free_slots_.push_back(slot); }
+
   blk::BlockDevice& device() noexcept { return *device_; }
 
  private:

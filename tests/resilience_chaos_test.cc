@@ -1,0 +1,229 @@
+// Resilience chaos scenarios: the graceful-degradation acceptance tests.
+// Each scenario opts into the resilience layer (local spill device,
+// ResilientStore wrapper, RAMCloud auto-recovery) on top of the shared
+// fault-injection harness and runs under >= 4 seeds. All runs replay
+// byte-identically from the (seed, plan) pair the report prints.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "chaos/injector.h"
+#include "kvstore/key_codec.h"
+
+namespace fluid {
+namespace {
+
+using chaos::FaultPlan;
+using chaos::GenerateOps;
+using chaos::RunOps;
+using chaos::RunReport;
+using chaos::ScenarioOptions;
+using chaos::StoreKind;
+
+class ResilienceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Pump the monitor's background path until all spilled pages migrated back
+// (or the bound is hit). Returns the advanced virtual time.
+SimTime PumpUntilRebalanced(chaos::Stack& stack, SimTime now) {
+  for (int i = 0; i < 96 && stack.monitor->SpilledPageCount() > 0; ++i) {
+    stack.monitor->PumpBackground(now);
+    now += 200 * kMicrosecond;
+  }
+  return now;
+}
+
+// --- scenario A: persistent store outage -> degrade to local swap ------------------
+
+ScenarioOptions OutageSpillOptions(std::uint64_t seed) {
+  ScenarioOptions opt;
+  opt.seed = seed;
+  opt.num_ops = 400;
+  opt.lru_capacity = 16;  // steady eviction traffic
+  opt.attach_spill = true;
+  opt.resilient_store = true;  // retries first, then the breaker gives up
+  opt.plan.seed = seed ^ 0xdead5011ULL;
+  // Hard outage of every store verb for ops [60, 180): writebacks and
+  // refault reads all fail until the window closes.
+  for (FaultSite s : {FaultSite::kStoreGet, FaultSite::kStorePut,
+                      FaultSite::kStoreMultiPut}) {
+    opt.plan.at(s).outage_from = 60;
+    opt.plan.at(s).outage_to = 180;
+  }
+  return opt;
+}
+
+TEST_P(ResilienceSeeds, StoreOutageDegradesToLocalSwapWithoutLosingPages) {
+  const ScenarioOptions opt = OutageSpillOptions(GetParam());
+  std::unique_ptr<chaos::Stack> stack;
+  const RunReport rep = RunOps(opt, GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+
+  const fm::MonitorStats& ms = stack->monitor->stats();
+  EXPECT_GT(rep.faults.total_fails(), 0u);
+  EXPECT_GT(ms.spilled_pages, 0u) << rep.Report();
+  EXPECT_EQ(ms.lost_page_errors, 0u);
+
+  // The store is healthy again after the outage window: a drain empties
+  // the write list (steady-state buffered writes are normal at run end),
+  // and background pumps migrate every spilled page back.
+  SimTime now = 2000 * kMillisecond;
+  now = stack->monitor->DrainWrites(now);
+  EXPECT_EQ(stack->monitor->write_list().PendingCount(), 0u);
+  now = PumpUntilRebalanced(*stack, now);
+  EXPECT_EQ(stack->monitor->SpilledPageCount(), 0u);
+  EXPECT_GT(stack->monitor->stats().spill_migrated_back, 0u);
+  EXPECT_FALSE(stack->monitor->write_health().tripped());
+
+  // Full differential sweep: every page the workload ever wrote still
+  // reads back byte-identical to the ShadowMemory oracle.
+  const auto bad = chaos::VerifyStack(*stack, now);
+  EXPECT_FALSE(bad.has_value()) << *bad << "\n" << rep.Report();
+}
+
+TEST_P(ResilienceSeeds, StoreOutageReplaysByteIdentically) {
+  const ScenarioOptions opt = OutageSpillOptions(GetParam());
+  std::unique_ptr<chaos::Stack> a, b;
+  const RunReport ra = RunOps(opt, GenerateOps(opt), &a);
+  const RunReport rb = RunOps(opt, GenerateOps(opt), &b);
+  EXPECT_EQ(ra.Report(), rb.Report());
+  EXPECT_EQ(ra.stats.ops_executed, rb.stats.ops_executed);
+  EXPECT_EQ(ra.stats.blocked_ops, rb.stats.blocked_ops);
+  EXPECT_EQ(ra.faults.fails, rb.faults.fails);
+  EXPECT_EQ(ra.faults.stalls, rb.faults.stalls);
+  EXPECT_EQ(a->monitor->stats().spilled_pages, b->monitor->stats().spilled_pages);
+  EXPECT_EQ(a->monitor->stats().breaker_fast_fails,
+            b->monitor->stats().breaker_fast_fails);
+}
+
+// --- scenario B: one replica down and back -> repair, never a stale read -----------
+
+TEST_P(ResilienceSeeds, DivergedReplicaIsRepairedAndNeverServesStale) {
+  ScenarioOptions opt;
+  opt.seed = GetParam();
+  opt.store = StoreKind::kReplicated;
+  opt.num_ops = 400;
+  opt.lru_capacity = 16;
+  opt.plan.seed = GetParam() ^ 0x4e9a14ULL;
+  // Replica 1 alone loses its writes for ops [80, 200): the three replicas
+  // consult the write sites in order per op, so stride 3 / phase 1 is a
+  // single-replica outage. Reads flake everywhere to exercise failover.
+  for (FaultSite s : {FaultSite::kStorePut, FaultSite::kStoreMultiPut}) {
+    opt.plan.at(s).outage_from = 80;
+    opt.plan.at(s).outage_to = 200;
+    opt.plan.at(s).outage_call_stride = 3;
+    opt.plan.at(s).outage_call_phase = 1;
+  }
+  opt.plan.at(FaultSite::kStoreGet).fail_p = 0.1;
+
+  std::unique_ptr<chaos::Stack> stack;
+  const RunReport rep = RunOps(opt, GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  ASSERT_NE(stack->replicated, nullptr);
+  kv::ReplicatedStore& rs = *stack->replicated;
+  // Writes really were degraded during the outage, and anti-entropy repair
+  // ran (kPump ops reach RepairPass through the maintenance path).
+  EXPECT_GT(rs.replication_stats().degraded_writes, 0u) << rep.Report();
+
+  // Finish the repair with injection quiesced, then nothing stays dirty.
+  stack->injector->set_paused(true);
+  SimTime now = 2000 * kMillisecond;
+  for (int i = 0; i < 64 && rs.DirtyObjectCount() > 0; ++i)
+    now = std::max(now + 100 * kMicrosecond, rs.PumpMaintenance(now));
+  EXPECT_EQ(rs.DirtyObjectCount(), 0u);
+  EXPECT_GT(rs.replication_stats().repairs, 0u);
+
+  // Post-repair the replicas are mutually byte-identical: every key any
+  // replica holds is held by all of them with the same bytes. (A store
+  // copy may legitimately trail the oracle — the newest version can still
+  // sit dirty in the LRU — but no replica may trail its peers.)
+  std::size_t checked = 0;
+  std::array<std::byte, kPageSize> want{};
+  std::array<std::byte, kPageSize> got{};
+  stack->shadow.ForEach([&](VirtAddr addr,
+                            const std::array<std::byte, kPageSize>&) {
+    const kv::Key key = kv::MakePageKey(addr);
+    if (!rs.replica(0).Contains(chaos::Stack::kPartition, key)) {
+      for (std::size_t i = 1; i < rs.replica_count(); ++i)
+        EXPECT_FALSE(rs.replica(i).Contains(chaos::Stack::kPartition, key))
+            << "replica " << i << " resurrects a key its peers dropped\n"
+            << rep.Report();
+      return;
+    }
+    ASSERT_TRUE(
+        rs.replica(0).Get(chaos::Stack::kPartition, key, want, now).status.ok());
+    for (std::size_t i = 1; i < rs.replica_count(); ++i) {
+      ASSERT_TRUE(rs.replica(i).Contains(chaos::Stack::kPartition, key))
+          << "replica " << i << " still misses a repaired key\n"
+          << rep.Report();
+      ASSERT_TRUE(
+          rs.replica(i).Get(chaos::Stack::kPartition, key, got, now).status.ok());
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), kPageSize), 0)
+          << "replica " << i << " diverges from its peers post-repair\n"
+          << rep.Report();
+    }
+    ++checked;
+  });
+  EXPECT_GT(checked, 0u);
+
+  // And the stack as a whole still matches the oracle.
+  const auto bad = chaos::VerifyStack(*stack, now);
+  EXPECT_FALSE(bad.has_value()) << *bad << "\n" << rep.Report();
+}
+
+// --- scenario C: RAMCloud master crash -> coordinator-driven auto recovery ---------
+
+TEST_P(ResilienceSeeds, RamcloudMasterCrashRecoversWithoutManualIntervention) {
+  ScenarioOptions opt;
+  opt.seed = GetParam();
+  opt.store = StoreKind::kRamcloud;
+  opt.lru_capacity = 12;
+  opt.ramcloud_backups = 1;
+  opt.ramcloud_auto_recover = true;
+
+  chaos::Stack stack{opt};
+  ASSERT_NE(stack.ramcloud, nullptr);
+  SimTime now = kMillisecond;
+
+  // Build up remote state: more pages than the DRAM budget, then a drain
+  // so evicted pages live only in the (backed-up) master log.
+  constexpr std::uint32_t kPages = 40;
+  for (std::uint32_t p = 0; p < kPages; ++p) {
+    stack.injector->BeginStep(p);
+    const VirtAddr addr = stack.AddrOfPage(p);
+    ASSERT_TRUE(chaos::EnsureResident(stack, addr, /*is_write=*/true, now));
+    const std::uint64_t marker = 0xfeed0000ULL + p;
+    const auto bytes = std::as_bytes(std::span{&marker, 1});
+    ASSERT_TRUE(stack.region->WriteBytes(addr + 24, bytes).ok());
+    stack.shadow.Write(addr + 24, bytes);
+  }
+  now = stack.monitor->DrainWrites(now);
+  ASSERT_EQ(stack.monitor->write_list().PendingCount(), 0u);
+
+  // The master crashes. Nobody calls Recover(): the next maintenance pumps
+  // past the failure-detection delay must bring it back by themselves.
+  stack.ramcloud->CrashMaster(now);
+  ASSERT_TRUE(stack.ramcloud->crashed());
+  for (int i = 0; i < 16 && stack.ramcloud->crashed(); ++i) {
+    now += 100 * kMicrosecond;
+    stack.monitor->PumpBackground(now);
+  }
+  EXPECT_FALSE(stack.ramcloud->crashed());
+  EXPECT_EQ(stack.ramcloud->auto_recoveries(), 1u);
+
+  // Every page — including ones only the recovered master held — reads
+  // back byte-identical to the oracle.
+  const auto bad = chaos::VerifyStack(stack, now);
+  EXPECT_FALSE(bad.has_value()) << *bad;
+  EXPECT_EQ(stack.monitor->stats().lost_page_errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceSeeds,
+                         ::testing::Values(9ULL, 88ULL, 707ULL, 6006ULL));
+
+}  // namespace
+}  // namespace fluid

@@ -1,0 +1,664 @@
+// Resilience layer tests: the HealthTracker circuit breaker, the
+// ResilientStore deadline/retry/hedging decorator, FlakyStore scheduled
+// outages, ReplicatedStore divergence repair (a recovered replica must
+// never serve stale data), RAMCloud coordinator-driven crash recovery,
+// and the monitor's graceful degradation to a local swap device.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/health.h"
+#include "kvstore/key_codec.h"
+#include "kvstore/kvstore.h"
+#include "kvstore/local_store.h"
+#include "kvstore/ramcloud.h"
+#include "kvstore/resilient.h"
+#include "mem/uffd.h"
+#include "swap/swap_space.h"
+
+namespace fluid {
+namespace {
+
+using kv::BreakerState;
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr PartitionId kPart = 5;
+
+VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+kv::Key KeyAt(std::size_t i) { return kv::MakePageKey(PageAddr(i)); }
+
+std::array<std::byte, kPageSize> PatternPage(std::uint64_t seed) {
+  std::array<std::byte, kPageSize> page{};
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 8 <= kPageSize; i += 8) {
+    const std::uint64_t v = rng();
+    std::memcpy(page.data() + i, &v, 8);
+  }
+  return page;
+}
+
+// --- HealthTracker -----------------------------------------------------------------
+
+TEST(HealthTracker, TripsOnlyAfterConsecutiveFailures) {
+  kv::HealthTracker h{kv::HealthConfig{/*trip_after=*/3,
+                                       /*open_duration=*/1 * kMillisecond}};
+  EXPECT_EQ(h.StateAt(0), BreakerState::kClosed);
+  h.RecordFailure(100);
+  h.RecordFailure(200);
+  EXPECT_FALSE(h.tripped());
+  h.RecordSuccess(300);  // success resets the consecutive count
+  EXPECT_EQ(h.consecutive_failures(), 0);
+  h.RecordFailure(400);
+  h.RecordFailure(500);
+  EXPECT_FALSE(h.tripped());
+  h.RecordFailure(600);
+  EXPECT_TRUE(h.tripped());
+  EXPECT_EQ(h.stats().trips, 1u);
+  EXPECT_EQ(h.StateAt(700), BreakerState::kOpen);
+  EXPECT_EQ(h.StateAt(600 + 1 * kMillisecond), BreakerState::kHalfOpen);
+}
+
+TEST(HealthTracker, OpenFastRejectsAndHalfOpenAdmitsOneProbe) {
+  kv::HealthTracker h{kv::HealthConfig{/*trip_after=*/1,
+                                       /*open_duration=*/1 * kMillisecond}};
+  h.RecordFailure(0);
+  ASSERT_TRUE(h.tripped());
+  // Open: every request is refused without touching the backend.
+  EXPECT_FALSE(h.AllowRequest(100));
+  EXPECT_FALSE(h.AllowRequest(500 * kMicrosecond));
+  EXPECT_EQ(h.stats().fast_rejects, 2u);
+  // Half-open: exactly one probe per window.
+  const SimTime probe_time = 1 * kMillisecond;
+  EXPECT_TRUE(h.AllowRequest(probe_time));
+  EXPECT_FALSE(h.AllowRequest(probe_time));  // probe already in flight
+  EXPECT_EQ(h.stats().probes, 1u);
+  // Probe fails: Open again with the timer re-armed (no second trip).
+  h.RecordFailure(probe_time + 50 * kMicrosecond);
+  EXPECT_EQ(h.stats().trips, 1u);
+  EXPECT_EQ(h.StateAt(probe_time + 100 * kMicrosecond), BreakerState::kOpen);
+  // Next window's probe succeeds: Closed.
+  const SimTime next = probe_time + 50 * kMicrosecond + 1 * kMillisecond;
+  EXPECT_TRUE(h.AllowRequest(next));
+  h.RecordSuccess(next + 10 * kMicrosecond);
+  EXPECT_FALSE(h.tripped());
+  EXPECT_EQ(h.StateAt(next + 20 * kMicrosecond), BreakerState::kClosed);
+  EXPECT_TRUE(h.AllowRequest(next + 30 * kMicrosecond));
+}
+
+// --- FlakyStore scheduled outages ---------------------------------------------------
+
+TEST(FlakyStore, FailUntilExpiresOnItsOwn) {
+  kv::FlakyStore store{std::make_unique<kv::LocalDramStore>(), 53};
+  const auto page = PatternPage(7);
+  store.FailUntil(500 * kMicrosecond);
+  EXPECT_EQ(store.down_until(), 500 * kMicrosecond);
+
+  auto during = store.Put(kPart, KeyAt(0), page, 100 * kMicrosecond);
+  EXPECT_EQ(during.status.code(), StatusCode::kUnavailable);
+
+  // Past the window the store recovers without anyone toggling set_down.
+  auto after = store.Put(kPart, KeyAt(0), page, 600 * kMicrosecond);
+  ASSERT_TRUE(after.status.ok());
+  std::array<std::byte, kPageSize> out{};
+  auto rd = store.Get(kPart, KeyAt(0), out, after.complete_at);
+  ASSERT_TRUE(rd.status.ok());
+  EXPECT_EQ(std::memcmp(out.data(), page.data(), kPageSize), 0);
+}
+
+// --- ResilientStore ----------------------------------------------------------------
+
+struct ResilientRig {
+  kv::FlakyStore* flaky = nullptr;
+  std::unique_ptr<kv::ResilientStore> store;
+
+  explicit ResilientRig(kv::ResilientStoreConfig cfg = {},
+                        std::uint64_t flaky_seed = 53) {
+    auto inner =
+        std::make_unique<kv::FlakyStore>(std::make_unique<kv::LocalDramStore>(),
+                                         flaky_seed);
+    flaky = inner.get();
+    store = std::make_unique<kv::ResilientStore>(std::move(inner), cfg);
+  }
+};
+
+TEST(ResilientStore, RetriesAbsorbATransientOutage) {
+  ResilientRig rig;
+  const auto page = PatternPage(11);
+  // The outage outlives the first attempt (which fails at +50us) but not
+  // the backoff schedule: a retry lands after 120us and succeeds.
+  rig.flaky->FailUntil(120 * kMicrosecond);
+  auto put = rig.store->Put(kPart, KeyAt(0), page, 0);
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+  EXPECT_GT(put.attempts, 1);
+  EXPECT_GT(rig.store->stats().retries, 0u);
+  // The caller saw one op; the data really landed.
+  std::array<std::byte, kPageSize> out{};
+  auto rd = rig.store->Get(kPart, KeyAt(0), out, put.complete_at);
+  ASSERT_TRUE(rd.status.ok());
+  EXPECT_EQ(std::memcmp(out.data(), page.data(), kPageSize), 0);
+}
+
+TEST(ResilientStore, PermanentOutageExhaustsTheAttemptBudget) {
+  kv::ResilientStoreConfig cfg;
+  cfg.max_attempts = 4;
+  ResilientRig rig{cfg};
+  rig.flaky->set_down(true);
+  std::array<std::byte, kPageSize> out{};
+  auto rd = rig.store->Get(kPart, KeyAt(0), out, 0);
+  EXPECT_EQ(rd.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rd.attempts, 4);
+  EXPECT_EQ(rig.store->stats().retries, 3u);
+}
+
+TEST(ResilientStore, DeadlineBoundsTheRetrySchedule) {
+  kv::ResilientStoreConfig cfg;
+  cfg.op_deadline = 150 * kMicrosecond;  // first retry would land past it
+  ResilientRig rig{cfg};
+  rig.flaky->set_down(true);
+  const SimTime start = 1 * kMillisecond;
+  std::array<std::byte, kPageSize> out{};
+  auto rd = rig.store->Get(kPart, KeyAt(0), out, start);
+  EXPECT_EQ(rd.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rig.store->stats().deadline_exceeded, 1u);
+  // The deadline gates starting new attempts; the attempt already in
+  // flight still runs to its RPC timeout, so completion overshoots the
+  // budget by at most one failed-attempt latency.
+  EXPECT_LE(rd.complete_at, start + cfg.op_deadline + 50 * kMicrosecond);
+}
+
+TEST(ResilientStore, NotFoundIsAuthoritativeNoRetryNoHedge) {
+  ResilientRig rig;
+  std::array<std::byte, kPageSize> out{};
+  auto rd = rig.store->Get(kPart, KeyAt(99), out, 0);
+  EXPECT_EQ(rd.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(rd.attempts, 1);
+  EXPECT_FALSE(rd.hedged);
+  EXPECT_EQ(rig.store->stats().retries, 0u);
+  EXPECT_EQ(rig.store->stats().hedged_reads, 0u);
+}
+
+// Test double for the hedging path: a store whose next N Gets are slow by a
+// fixed amount. Data is served correctly either way.
+class SlowGetStore final : public kv::KvStore {
+ public:
+  SlowGetStore() : inner_(kv::LocalStoreConfig{}) {}
+
+  void SlowNextGets(int n, SimDuration extra) {
+    slow_left_ = n;
+    extra_ = extra;
+  }
+
+  std::string_view name() const override { return "slow-get"; }
+  bool has_native_partitions() const override {
+    return inner_.has_native_partitions();
+  }
+  kv::OpResult Put(PartitionId p, kv::Key k,
+                   std::span<const std::byte, kPageSize> v,
+                   SimTime now) override {
+    return inner_.Put(p, k, v, now);
+  }
+  kv::OpResult Get(PartitionId p, kv::Key k,
+                   std::span<std::byte, kPageSize> out, SimTime now) override {
+    auto r = inner_.Get(p, k, out, now);
+    if (slow_left_ > 0) {
+      --slow_left_;
+      r.complete_at += extra_;
+    }
+    return r;
+  }
+  kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
+    return inner_.Remove(p, k, now);
+  }
+  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+                        SimTime now) override {
+    return inner_.MultiPut(p, w, now);
+  }
+  kv::OpResult DropPartition(PartitionId p, SimTime now) override {
+    return inner_.DropPartition(p, now);
+  }
+  bool Contains(PartitionId p, kv::Key k) const override {
+    return inner_.Contains(p, k);
+  }
+  std::size_t ObjectCount() const override { return inner_.ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_.BytesStored(); }
+  const kv::StoreStats& stats() const override { return inner_.stats(); }
+
+ private:
+  kv::LocalDramStore inner_;
+  int slow_left_ = 0;
+  SimDuration extra_ = 0;
+};
+
+TEST(ResilientStore, HedgedReadCutsAStragglersLatency) {
+  auto slow_owner = std::make_unique<SlowGetStore>();
+  SlowGetStore* slow = slow_owner.get();
+  kv::ResilientStoreConfig cfg;
+  cfg.hedge_min_samples = 16;
+  kv::ResilientStore store{std::move(slow_owner), cfg};
+
+  const auto page = PatternPage(21);
+  SimTime now = kMillisecond;
+  now = store.Put(kPart, KeyAt(0), page, now).complete_at;
+
+  // Calibrate: enough fast reads for the percentile hedge delay to engage.
+  std::array<std::byte, kPageSize> out{};
+  for (int i = 0; i < 24; ++i)
+    now = store.Get(kPart, KeyAt(0), out, now).complete_at;
+  const SimDuration hedge_delay = store.CurrentHedgeDelay();
+  EXPECT_LT(hedge_delay, 100 * kMicrosecond);  // calibrated, not the floor
+
+  // One straggler: the first request crawls, the hedge does not.
+  const SimDuration kStall = 800 * kMicrosecond;
+  slow->SlowNextGets(1, kStall);
+  std::memset(out.data(), 0, kPageSize);
+  auto rd = store.Get(kPart, KeyAt(0), out, now);
+  ASSERT_TRUE(rd.status.ok());
+  EXPECT_TRUE(rd.hedged);
+  EXPECT_EQ(store.stats().hedged_reads, 1u);
+  EXPECT_EQ(store.stats().hedge_wins, 1u);
+  // The caller rides the hedge, not the straggler.
+  EXPECT_LT(rd.complete_at, now + kStall);
+  EXPECT_EQ(std::memcmp(out.data(), page.data(), kPageSize), 0);
+}
+
+TEST(ResilientStore, ReplaysByteIdenticallyFromItsSeed) {
+  const auto run = [] {
+    kv::ResilientStoreConfig cfg;
+    cfg.seed = 77;
+    ResilientRig rig{cfg, /*flaky_seed=*/99};
+    rig.flaky->set_failure_probability(0.4);
+    const auto page = PatternPage(3);
+    std::array<std::byte, kPageSize> out{};
+    std::vector<SimTime> stamps;
+    SimTime now = 0;
+    for (std::size_t i = 0; i < 24; ++i) {
+      auto w = rig.store->Put(kPart, KeyAt(i % 4), page, now);
+      now = w.complete_at;
+      stamps.push_back(now);
+      auto r = rig.store->Get(kPart, KeyAt(i % 4), out, now);
+      now = r.complete_at;
+      stamps.push_back(now);
+    }
+    stamps.push_back(static_cast<SimTime>(rig.store->stats().retries));
+    stamps.push_back(static_cast<SimTime>(rig.store->stats().hedged_reads));
+    return stamps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- ReplicatedStore divergence (regression: stale reads after recovery) -----------
+
+struct Triplicated {
+  std::array<kv::FlakyStore*, 3> flaky{};
+  std::unique_ptr<kv::ReplicatedStore> store;
+
+  explicit Triplicated(int quorum = 2) {
+    std::vector<std::unique_ptr<kv::KvStore>> reps;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      auto f = std::make_unique<kv::FlakyStore>(
+          std::make_unique<kv::LocalDramStore>(), 60 + i);
+      flaky[i] = f.get();
+      reps.push_back(std::move(f));
+    }
+    store = std::make_unique<kv::ReplicatedStore>(std::move(reps), quorum);
+  }
+};
+
+TEST(ReplicatedStore, RecoveredReplicaNeverServesAStaleRead) {
+  Triplicated t;
+  const auto old_page = PatternPage(0xAA);
+  const auto new_page = PatternPage(0xBB);
+  SimTime now = kMillisecond;
+
+  // Everyone holds the old value.
+  now = t.store->Put(kPart, KeyAt(0), old_page, now).complete_at;
+
+  // Replica 0 misses the overwrite while down.
+  t.flaky[0]->set_down(true);
+  auto put = t.store->Put(kPart, KeyAt(0), new_page, now);
+  ASSERT_TRUE(put.status.ok());  // quorum of 2 still met
+  now = put.complete_at;
+  EXPECT_GT(t.store->replication_stats().degraded_writes, 0u);
+  EXPECT_TRUE(t.store->ReplicaDirty(0, kPart, KeyAt(0)));
+
+  // Replica 0 comes back, well past its probe window — but it still holds
+  // the OLD page. The read must not touch it.
+  t.flaky[0]->set_down(false);
+  now += 10 * kMillisecond;
+  std::array<std::byte, kPageSize> out{};
+  auto rd = t.store->Get(kPart, KeyAt(0), out, now);
+  ASSERT_TRUE(rd.status.ok());
+  now = rd.complete_at;
+  EXPECT_EQ(std::memcmp(out.data(), new_page.data(), kPageSize), 0)
+      << "recovered replica served a stale page";
+  EXPECT_GT(t.store->replication_stats().stale_skips, 0u);
+
+  // Anti-entropy repair resyncs the diverged replica from a clean peer.
+  EXPECT_GT(t.store->DirtyObjectCount(), 0u);
+  now = t.store->PumpMaintenance(now);
+  EXPECT_EQ(t.store->DirtyObjectCount(), 0u);
+  EXPECT_GT(t.store->replication_stats().repairs, 0u);
+  EXPECT_FALSE(t.store->ReplicaDirty(0, kPart, KeyAt(0)));
+
+  // Replica 0's copy is now byte-identical to the authoritative value.
+  std::memset(out.data(), 0, kPageSize);
+  auto direct = t.store->replica(0).Get(kPart, KeyAt(0), out, now);
+  ASSERT_TRUE(direct.status.ok());
+  EXPECT_EQ(std::memcmp(out.data(), new_page.data(), kPageSize), 0);
+}
+
+TEST(ReplicatedStore, MissedRemoveCannotResurrectTheKey) {
+  Triplicated t;
+  const auto page = PatternPage(0xCC);
+  SimTime now = kMillisecond;
+  now = t.store->Put(kPart, KeyAt(1), page, now).complete_at;
+
+  t.flaky[0]->set_down(true);
+  auto rm = t.store->Remove(kPart, KeyAt(1), now);
+  ASSERT_TRUE(rm.status.ok());
+  now = rm.complete_at;
+  EXPECT_TRUE(t.store->ReplicaDirty(0, kPart, KeyAt(1)));
+
+  t.flaky[0]->set_down(false);
+  now += 10 * kMillisecond;
+  // Replica 0 still holds the zombie copy; the read must report the
+  // authoritative answer: gone.
+  std::array<std::byte, kPageSize> out{};
+  auto rd = t.store->Get(kPart, KeyAt(1), out, now);
+  EXPECT_EQ(rd.status.code(), StatusCode::kNotFound);
+  now = rd.complete_at;
+
+  // Repair deletes the zombie from the recovered replica.
+  now = t.store->PumpMaintenance(now);
+  EXPECT_EQ(t.store->DirtyObjectCount(), 0u);
+  EXPECT_FALSE(t.store->replica(0).Contains(kPart, KeyAt(1)));
+}
+
+TEST(ReplicatedStore, RepairWaitsOutAnOpenBreaker) {
+  Triplicated t;
+  const auto page = PatternPage(0xDD);
+  SimTime now = kMillisecond;
+  t.flaky[2]->set_down(true);
+  now = t.store->Put(kPart, KeyAt(2), page, now).complete_at;
+  ASSERT_TRUE(t.store->ReplicaDirty(2, kPart, KeyAt(2)));
+
+  // Breaker for replica 2 is freshly open: the pass must not batter it.
+  now = t.store->PumpMaintenance(now);
+  EXPECT_GT(t.store->DirtyObjectCount(), 0u);
+
+  // Once the replica is back and its probe window elapsed, repair lands —
+  // and its success is what closes the breaker again.
+  t.flaky[2]->set_down(false);
+  now += 10 * kMillisecond;
+  now = t.store->PumpMaintenance(now);
+  EXPECT_EQ(t.store->DirtyObjectCount(), 0u);
+  EXPECT_FALSE(t.store->replica_suspect(2));
+}
+
+// --- RAMCloud coordinator-driven recovery ------------------------------------------
+
+TEST(RamcloudStore, PumpMaintenanceRecoversACrashedMasterOnItsOwn) {
+  kv::RamcloudConfig rc;
+  rc.backup_count = 1;
+  rc.auto_recover = true;
+  kv::RamcloudStore store{rc};
+
+  SimTime now = kMillisecond;
+  const auto page = PatternPage(0x5A);
+  for (std::size_t i = 0; i < 8; ++i)
+    now = store.Put(kPart, KeyAt(i), page, now).complete_at;
+
+  store.CrashMaster(now);
+  ASSERT_TRUE(store.crashed());
+  std::array<std::byte, kPageSize> out{};
+  EXPECT_EQ(store.Get(kPart, KeyAt(0), out, now).status.code(),
+            StatusCode::kUnavailable);
+
+  // The coordinator has not noticed yet: pumping inside the detection
+  // window does nothing.
+  EXPECT_EQ(store.PumpMaintenance(now + 100 * kMicrosecond),
+            now + 100 * kMicrosecond);
+  EXPECT_TRUE(store.crashed());
+
+  // Past the failure-detection delay the pump triggers Recover() itself.
+  const SimTime later = now + rc.failure_detection_delay + 1;
+  const SimTime recovered = store.PumpMaintenance(later);
+  EXPECT_GE(recovered, later);
+  EXPECT_FALSE(store.crashed());
+  EXPECT_EQ(store.auto_recoveries(), 1u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto rd = store.Get(kPart, KeyAt(i), out, recovered);
+    ASSERT_TRUE(rd.status.ok()) << "key " << i;
+    EXPECT_EQ(std::memcmp(out.data(), page.data(), kPageSize), 0);
+  }
+}
+
+// --- Monitor graceful degradation ---------------------------------------------------
+
+struct DegradedFixture {
+  mem::FramePool pool{512};
+  kv::FlakyStore store;
+  blk::BlockDevice spill_dev = blk::MakePmemDevice(128);
+  swap::SwapSpace spill{spill_dev};
+  std::unique_ptr<fm::Monitor> monitor;
+  std::unique_ptr<mem::UffdRegion> region;
+  fm::RegionId rid = 0;
+
+  explicit DegradedFixture(bool attach_spill = true,
+                           std::size_t max_drain_rounds = 8)
+      : store(std::make_unique<kv::LocalDramStore>(), 91) {
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = 8;
+    cfg.write_batch_pages = 4;
+    cfg.max_drain_rounds = max_drain_rounds;
+    monitor = std::make_unique<fm::Monitor>(cfg, store, pool);
+    if (attach_spill) monitor->AttachLocalSpill(spill);
+    region = std::make_unique<mem::UffdRegion>(77, kBase, 64, pool);
+    rid = monitor->RegisterRegion(*region, kPart);
+  }
+
+  bool Touch(std::size_t page, SimTime& now, bool is_write) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (region->Access(PageAddr(page), is_write).kind !=
+          mem::AccessKind::kUffdFault)
+        return true;
+      auto out = monitor->HandleFault(rid, PageAddr(page), now);
+      now = std::max(now, out.wake_at);
+      if (!out.status.ok()) now += 200 * kMicrosecond;
+    }
+    return region->Access(PageAddr(page), is_write).kind !=
+           mem::AccessKind::kUffdFault;
+  }
+
+  void WriteMarker(std::size_t page, std::uint64_t marker) {
+    ASSERT_TRUE(region
+                    ->WriteBytes(PageAddr(page) + 16,
+                                 std::as_bytes(std::span{&marker, 1}))
+                    .ok());
+  }
+
+  std::uint64_t ReadMarker(std::size_t page) {
+    std::uint64_t got = 0;
+    EXPECT_TRUE(region
+                    ->ReadBytes(PageAddr(page) + 16,
+                                std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    return got;
+  }
+};
+
+TEST(MonitorDegradation, SpillsToLocalSwapDuringAStoreOutage) {
+  DegradedFixture f;
+  f.store.FailUntil(50 * kMillisecond);
+  SimTime now = kMillisecond;
+
+  // Write enough pages to overflow the 8-page LRU many times over; with
+  // the store down, flush batches fail until the breaker trips, then the
+  // write path diverts to the local swap device.
+  for (std::size_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true)) << "page " << p;
+    f.WriteMarker(p, 0xabc000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+
+  const fm::MonitorStats& ms = f.monitor->stats();
+  EXPECT_GT(ms.spilled_pages, 0u);
+  EXPECT_EQ(ms.lost_page_errors, 0u);
+  EXPECT_EQ(f.monitor->write_list().PendingCount(), 0u);
+  EXPECT_EQ(f.monitor->write_list().InFlightCount(), 0u);
+  EXPECT_GT(f.monitor->SpilledPageCount(), 0u);
+  EXPECT_TRUE(f.monitor->write_health().tripped());
+
+  // Every page — resident or spilled — still reads back its marker, with
+  // the store still dead. Refaults on spilled pages are served locally.
+  for (std::size_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/false)) << "page " << p;
+    EXPECT_EQ(f.ReadMarker(p), 0xabc000ULL + p) << "page " << p;
+  }
+  EXPECT_GT(f.monitor->stats().spill_refaults, 0u);
+  EXPECT_EQ(f.monitor->stats().lost_page_errors, 0u);
+}
+
+TEST(MonitorDegradation, SpilledPagesMigrateBackAfterRecovery) {
+  DegradedFixture f;
+  f.store.FailUntil(20 * kMillisecond);
+  SimTime now = kMillisecond;
+  for (std::size_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true));
+    f.WriteMarker(p, 0xdef000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+  ASSERT_GT(f.monitor->SpilledPageCount(), 0u);
+
+  // The store comes back; PumpBackground's migrate-back path probes the
+  // breaker itself and rebalances a bounded batch per tick.
+  now = std::max(now, SimTime{21 * kMillisecond});
+  int pumps = 0;
+  while (f.monitor->SpilledPageCount() > 0 && pumps < 64) {
+    f.monitor->PumpBackground(now);
+    now += 100 * kMicrosecond;
+    ++pumps;
+  }
+  EXPECT_EQ(f.monitor->SpilledPageCount(), 0u);
+  EXPECT_GT(f.monitor->stats().spill_migrated_back, 0u);
+  EXPECT_FALSE(f.monitor->write_health().tripped());
+  // The rebalanced pages are durable in the store again.
+  std::size_t remote_found = 0;
+  for (std::size_t p = 0; p < 24; ++p)
+    if (f.store.Contains(kPart, KeyAt(p))) ++remote_found;
+  EXPECT_GT(remote_found, 0u);
+  // And all spill slots were handed back.
+  EXPECT_EQ(f.spill.UsedSlots(), 0u);
+}
+
+TEST(MonitorDegradation, ReadBreakerFastFailsInsteadOfPayingTimeouts) {
+  DegradedFixture f;
+  SimTime now = kMillisecond;
+  // Make pages 0..3 remote while the store is healthy.
+  for (std::size_t p = 0; p < 12; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true));
+    f.WriteMarker(p, 0x111000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+  ASSERT_EQ(f.monitor->stats().lost_page_errors, 0u);
+
+  f.store.set_down(true);
+  // Each failed remote read costs the injected 50us timeout and feeds the
+  // read breaker; after it trips, faults are refused at zero added cost.
+  std::size_t timeout_faults = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (f.region->Access(PageAddr(0), false).kind !=
+        mem::AccessKind::kUffdFault)
+      break;
+    auto out = f.monitor->HandleFault(f.rid, PageAddr(0), now);
+    EXPECT_FALSE(out.status.ok());
+    if (f.monitor->stats().breaker_fast_fails == 0) ++timeout_faults;
+    now = std::max(now, out.wake_at) + 10 * kMicrosecond;
+  }
+  EXPECT_GT(f.monitor->stats().transient_read_errors, 0u);
+  EXPECT_GT(f.monitor->stats().breaker_fast_fails, 0u);
+  EXPECT_EQ(f.monitor->stats().lost_page_errors, 0u);
+  EXPECT_LE(timeout_faults, 4u);  // bounded stall: only pre-trip faults paid
+
+  // Recovery: past the open window the next fault is the probe and serves
+  // the page again.
+  f.store.set_down(false);
+  now += 5 * kMillisecond;
+  ASSERT_TRUE(f.Touch(0, now, /*is_write=*/false));
+  EXPECT_EQ(f.ReadMarker(0), 0x111000ULL);
+}
+
+TEST(MonitorDegradation, DrainBudgetIsConfigurableAndCounted) {
+  // No spill: a dead store leaves the writes buffered after the budget.
+  DegradedFixture f{/*attach_spill=*/false, /*max_drain_rounds=*/2};
+  f.store.set_down(true);
+  SimTime now = kMillisecond;
+  for (std::size_t p = 0; p < 16; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true));
+    f.WriteMarker(p, 0x222000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+  EXPECT_EQ(f.monitor->stats().drain_budget_exhausted, 1u);
+  EXPECT_GT(f.monitor->write_list().PendingCount(), 0u);  // buffered, not lost
+  EXPECT_EQ(f.monitor->stats().lost_page_errors, 0u);
+  EXPECT_EQ(f.monitor->stats().spilled_pages, 0u);  // nowhere to degrade to
+}
+
+TEST(MonitorDegradation, UnregisterWithDropFreesSpillSlots) {
+  DegradedFixture f;
+  f.store.FailUntil(50 * kMillisecond);
+  SimTime now = kMillisecond;
+  for (std::size_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true));
+    f.WriteMarker(p, 0x333000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+  ASSERT_GT(f.monitor->SpilledPageCount(), 0u);
+  const std::size_t used_before = f.spill.UsedSlots();
+  ASSERT_GT(used_before, 0u);
+
+  ASSERT_TRUE(f.monitor->UnregisterRegion(f.rid, now).ok());
+  EXPECT_EQ(f.monitor->SpilledPageCount(), 0u);
+  EXPECT_EQ(f.spill.UsedSlots(), 0u);
+  EXPECT_EQ(f.pool.in_use(), f.region->ResidentFrames());
+}
+
+TEST(MonitorDegradation, MigrationUnregisterMakesSpilledPagesDurableFirst) {
+  DegradedFixture f;
+  f.store.FailUntil(10 * kMillisecond);
+  SimTime now = kMillisecond;
+  for (std::size_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(f.Touch(p, now, /*is_write=*/true));
+    f.WriteMarker(p, 0x444000ULL + p);
+  }
+  now = f.monitor->DrainWrites(now);
+  ASSERT_GT(f.monitor->SpilledPageCount(), 0u);
+
+  // While the store is still down, a migration-style unregister must
+  // refuse: the spilled pages cannot become durable yet.
+  auto refused = f.monitor->UnregisterRegion(f.rid, now,
+                                             /*drop_partition=*/false);
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_NE(f.monitor->region_of(f.rid), nullptr);  // still registered
+
+  // After recovery the same call pushes every spilled page to the store.
+  now = 11 * kMillisecond;
+  const std::size_t spilled = f.monitor->SpilledPageCount();
+  ASSERT_TRUE(f.monitor->UnregisterRegion(f.rid, now,
+                                          /*drop_partition=*/false)
+                  .ok());
+  EXPECT_EQ(f.monitor->SpilledPageCount(), 0u);
+  EXPECT_GE(f.monitor->stats().spill_migrated_back, spilled);
+  EXPECT_EQ(f.spill.UsedSlots(), 0u);
+}
+
+}  // namespace
+}  // namespace fluid
