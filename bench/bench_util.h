@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace fluid::bench {
 
@@ -24,5 +27,67 @@ inline void Note(std::string_view text) {
 inline double RelErr(double measured, double paper) {
   return paper == 0 ? 0.0 : (measured - paper) / paper * 100.0;
 }
+
+// Machine-readable bench output: collects scalar metrics plus an array of
+// per-configuration rows and writes them as `BENCH_<name>.json` in the
+// working directory, so the perf trajectory (throughput, p50/p99) can be
+// tracked PR-over-PR by diffing the JSON instead of scraping stdout.
+//
+// Values are emitted with %.17g (round-trippable doubles); keys are plain
+// identifiers, so no string escaping is needed.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& Metric(std::string_view key, double value) {
+    metrics_.emplace_back(std::string(key), value);
+    return *this;
+  }
+
+  // One row of the "rows" array — a flat object of numeric fields.
+  JsonReport& Row(
+      std::initializer_list<std::pair<std::string_view, double>> fields) {
+    rows_.emplace_back();
+    for (const auto& [k, v] : fields) rows_.back().emplace_back(k, v);
+    return *this;
+  }
+
+  // Returns false (after printing why) if the file cannot be written —
+  // callers should exit nonzero so CI notices.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [k, v] : metrics_)
+      std::fprintf(f, ",\n  \"%s\": %.17g", k.c_str(), v);
+    std::fprintf(f, ",\n  \"rows\": [");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i)
+        std::fprintf(f, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str(), rows_[r][i].second);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "JsonReport: write to %s failed\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Field = std::pair<std::string, double>;
+  std::string name_;
+  std::vector<Field> metrics_;
+  std::vector<std::vector<Field>> rows_;
+};
 
 }  // namespace fluid::bench

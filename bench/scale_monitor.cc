@@ -1,0 +1,211 @@
+// Monitor scalability: fault throughput and tail latency of the sharded
+// fault-handling engine across (#regions x #handler shards).
+//
+// Each configuration registers R uffd regions against one monitor, makes a
+// working set of pages remote, then replays a backlogged fault storm: every
+// evicted page's fault is queued on its region's userfaultfd and the
+// engine's batched pump drains them — K=1/batch=1 is bit-identical to the
+// serial monitor the Table I/II benches measure (tested by
+// FaultEngine.SerialPumpMatchesDirectHandleFaultExactly), so the K=1 row IS
+// "today's numbers". Higher K adds parallel handlers, batched dequeue,
+// shard-group MultiGets, and the bounded outstanding-read window.
+//
+// Output: a human-readable scaling table plus BENCH_scale_monitor.json
+// (throughput + p50/p99 per configuration) for PR-over-PR tracking.
+// `--smoke` runs a reduced sweep for CI; the exit code is nonzero if the
+// JSON cannot be written.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "fluidmem/fault_engine.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/ramcloud.h"
+#include "mem/uffd.h"
+
+using namespace fluid;
+
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr kRegionStride = 1ULL << 32;
+
+struct RunResult {
+  std::size_t regions = 0;
+  std::size_t shards = 0;
+  std::size_t batch = 0;
+  std::uint64_t faults = 0;
+  double elapsed_ms = 0;       // virtual time from storm start to last wake
+  double faults_per_ms = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t batched_reads = 0;
+  std::uint64_t work_steals = 0;
+  std::uint64_t window_waits = 0;
+};
+
+RunResult RunConfig(std::size_t regions, std::size_t shards,
+                    std::size_t pages_per_region) {
+  mem::FramePool pool{regions * pages_per_region + 4096};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+
+  fm::MonitorConfig cfg;
+  // Half of each region's pages fit in DRAM: the rest become the remote
+  // working set whose refaults the storm replays.
+  cfg.lru_capacity_pages = regions * pages_per_region / 2;
+  cfg.write_batch_pages = 32;
+  cfg.fault_shards = shards;
+  cfg.uffd_read_batch = shards == 1 ? 1 : 8;
+  cfg.io_window = 4;
+  fm::Monitor monitor{cfg, store, pool};
+
+  std::vector<std::unique_ptr<mem::UffdRegion>> region_objs;
+  std::vector<fm::RegionId> rids;
+  for (std::size_t r = 0; r < regions; ++r) {
+    region_objs.push_back(std::make_unique<mem::UffdRegion>(
+        100 + r, kBase + r * kRegionStride, pages_per_region, pool));
+    rids.push_back(monitor.RegisterRegion(*region_objs.back(),
+                                          static_cast<PartitionId>(r + 1)));
+  }
+
+  // Populate: touch and dirty every page of every region; the over-commit
+  // evicts roughly half of them to the store.
+  SimTime now = kMillisecond;
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (std::size_t i = 0; i < pages_per_region; ++i) {
+      const VirtAddr addr = kBase + r * kRegionStride + i * kPageSize;
+      (void)region_objs[r]->Access(addr, true);
+      auto out = monitor.HandleFault(rids[r], addr, now);
+      if (!out.status.ok()) {
+        std::fprintf(stderr, "populate fault failed: %s\n",
+                     out.status.ToString().c_str());
+        std::exit(1);
+      }
+      now = out.wake_at;
+      (void)region_objs[r]->Access(addr, true);  // dirty the frame
+    }
+  }
+  now = monitor.DrainWrites(now);
+
+  // The storm: queue every evicted page's refault up front (a backlogged
+  // userfaultfd), then drain region by region.
+  const SimTime storm_start = now;
+  std::uint64_t storm_faults = 0;
+  LatencyHistogram latency{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                           /*buckets_per_decade=*/60};
+  SimTime last_wake = now;
+  for (std::size_t r = 0; r < regions; ++r) {
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < pages_per_region; ++i) {
+      const VirtAddr addr = kBase + r * kRegionStride + i * kPageSize;
+      auto a = region_objs[r]->Access(addr, false);
+      if (a.kind != mem::AccessKind::kUffdFault) continue;
+      region_objs[r]->QueueEvent(a.event, storm_start);
+      ++queued;
+    }
+    auto outs = monitor.fault_engine().PumpQueuedFaults(rids[r], storm_start);
+    for (const auto& o : outs) {
+      if (!o.status.ok()) {
+        std::fprintf(stderr, "storm fault failed: %s\n",
+                     o.status.ToString().c_str());
+        std::exit(1);
+      }
+      last_wake = std::max(last_wake, o.wake_at);
+      if (o.wake_at > storm_start) latency.Record(o.wake_at - storm_start);
+    }
+    storm_faults += outs.size();
+    (void)queued;
+  }
+
+  RunResult res;
+  res.regions = regions;
+  res.shards = shards;
+  res.batch = cfg.uffd_read_batch;
+  res.faults = storm_faults;
+  res.elapsed_ms =
+      static_cast<double>(last_wake - storm_start) / kMillisecond;
+  res.faults_per_ms =
+      res.elapsed_ms > 0 ? static_cast<double>(storm_faults) / res.elapsed_ms
+                         : 0.0;
+  res.p50_us = latency.QuantileUs(0.50);
+  res.p99_us = latency.QuantileUs(0.99);
+  const fm::EngineShardStats es = monitor.fault_engine().TotalStats();
+  res.batched_reads = es.batched_reads;
+  res.work_steals = es.work_steals;
+  res.window_waits = es.io_window_waits;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::Header("Monitor scalability: fault throughput vs handler shards");
+  bench::Note("backlogged fault storm over the remote working set; "
+              "K=1/batch=1 is the exact serial monitor (legacy path)");
+
+  const std::size_t pages_per_region = smoke ? 256 : 1024;
+  const std::vector<std::size_t> region_counts =
+      smoke ? std::vector<std::size_t>{4} : std::vector<std::size_t>{1, 4};
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  bench::JsonReport report{"scale_monitor"};
+  std::printf("\n%7s %7s %6s %8s %11s %12s %9s %9s %8s %7s\n", "regions",
+              "shards", "batch", "faults", "elapsed_ms", "faults_per_ms",
+              "p50_us", "p99_us", "grp_rds", "steals");
+
+  double worst_speedup_k8 = 1e9;
+  bool have_k8 = false;
+  for (std::size_t regions : region_counts) {
+    double k1_rate = 0;
+    for (std::size_t shards : shard_counts) {
+      const RunResult r = RunConfig(regions, shards, pages_per_region);
+      if (shards == 1) k1_rate = r.faults_per_ms;
+      const double speedup = k1_rate > 0 ? r.faults_per_ms / k1_rate : 0.0;
+      std::printf(
+          "%7zu %7zu %6zu %8llu %11.3f %12.1f %9.2f %9.2f %8llu %7llu"
+          "   (%.2fx)\n",
+          r.regions, r.shards, r.batch, (unsigned long long)r.faults,
+          r.elapsed_ms, r.faults_per_ms, r.p50_us, r.p99_us,
+          (unsigned long long)r.batched_reads,
+          (unsigned long long)r.work_steals, speedup);
+      report.Row({{"regions", static_cast<double>(r.regions)},
+                  {"shards", static_cast<double>(r.shards)},
+                  {"uffd_read_batch", static_cast<double>(r.batch)},
+                  {"faults", static_cast<double>(r.faults)},
+                  {"elapsed_ms", r.elapsed_ms},
+                  {"faults_per_ms", r.faults_per_ms},
+                  {"p50_us", r.p50_us},
+                  {"p99_us", r.p99_us},
+                  {"batched_reads", static_cast<double>(r.batched_reads)},
+                  {"work_steals", static_cast<double>(r.work_steals)},
+                  {"io_window_waits", static_cast<double>(r.window_waits)},
+                  {"speedup_vs_k1", speedup}});
+      if (r.shards == 8 && regions > 1) {
+        worst_speedup_k8 = std::min(worst_speedup_k8, speedup);
+        have_k8 = true;
+      }
+    }
+  }
+  if (have_k8) {
+    std::printf("\nmulti-region K=8 speedup vs K=1: %.2fx (target >= 2.5x)\n",
+                worst_speedup_k8);
+    report.Metric("k8_multi_region_speedup", worst_speedup_k8);
+  }
+  bench::Note("speedup comes from parallel handlers + batched dequeue + "
+              "shard-group MultiGets overlapping the batch RTT; the p99 "
+              "column shows queueing under the backlog, not per-fault cost");
+
+  if (!report.Write()) return 1;
+  return 0;
+}

@@ -4,6 +4,8 @@
 # 1. RelWithDebInfo build, full ctest              (the tier-1 gate)
 # 2. ASan+UBSan build, `chaos`-labeled suites      (fault injection + oracle)
 # 3. same build, `resilience`-labeled suites       (retry/hedge/breaker/spill)
+# 4. same build, `perf`-labeled suites             (sharded fault engine)
+# 5. scale_monitor --smoke                         (scaling bench + JSON emission)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -30,5 +32,11 @@ ctest --preset chaos-sanitize -j "${jobs}"
 
 echo "==> resilience: outage/divergence/recovery sweep (label: resilience)"
 ctest --preset resilience-sanitize -j "${jobs}"
+
+echo "==> fault engine: shard/determinism sweep under sanitizers (label: perf)"
+ctest --preset scale-sanitize -j "${jobs}"
+
+echo "==> fault engine: scaling smoke (exits nonzero if the JSON report fails)"
+(cd build && ./bench/scale_monitor --smoke)
 
 echo "==> CI green"

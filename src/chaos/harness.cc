@@ -86,6 +86,8 @@ Stack::Stack(const ScenarioOptions& opt)
   mc.lru_capacity_pages = opt.lru_capacity;
   mc.write_batch_pages = opt.write_batch;
   mc.prefetch_depth = opt.prefetch_depth;
+  mc.fault_shards = opt.fault_shards;
+  mc.uffd_read_batch = opt.uffd_read_batch;
   mc.seed = opt.seed ^ 0xc0ffeeULL;
   monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
   if (opt.attach_spill) {

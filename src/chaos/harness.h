@@ -71,6 +71,11 @@ struct ScenarioOptions {
   // kRamcloud only: backup servers + coordinator-driven crash recovery.
   int ramcloud_backups = 0;
   bool ramcloud_auto_recover = false;
+
+  // --- sharded fault engine (opt-in: 1 = the serial monitor, so every
+  // legacy scenario/seed replays bit-identically) ------------------------------
+  std::size_t fault_shards = 1;
+  std::size_t uffd_read_batch = 1;
 };
 
 // One deterministic workload operation. `id` is the op's ORIGINAL index in

@@ -92,6 +92,22 @@ struct MonitorCostModel {
   // Full-virtualisation (TCG) slowdown factor on every fault-path component
   // when KVM is disabled (Table III's 1-page configuration).
   double full_virt_factor = 12.0;
+
+  // --- parallel-engine costs (sharded monitor only; never sampled at K=1) ----
+  // Lock-hold windows a handler may contend on, calibrated against Table I's
+  // cache-management rows: the write-list/tracker critical section is the
+  // INSERT_PAGE_HASH_NODE-scale bookkeeping done under the shared lock
+  // (~1.2 us), the frame-pool allocation/free window is shorter (~0.6 us).
+  // A fault's contention surcharge is one hold per *busy* peer handler —
+  // the worst-case convoy through both shared sections.
+  LatencyDist wl_lock_hold = LatencyDist::Normal(1.2, 0.2, 0.5);
+  LatencyDist pool_lock_hold = LatencyDist::Normal(0.6, 0.1, 0.25);
+  // Event 2..N of one batched read(2) skips the epoll wakeup and the
+  // syscall: only the msg parse + queue hand-off remains.
+  LatencyDist batched_dispatch = LatencyDist::Normal(0.7, 0.1, 0.3);
+  // The read(2) on the uffd descriptor that drains a batch of events;
+  // charged once per batch to the handler that performed it.
+  LatencyDist uffd_read_syscall = LatencyDist::Normal(1.8, 0.25, 0.8);
 };
 
 // Per-codepath latency recorder backing Table I.

@@ -1,0 +1,215 @@
+#include "fluidmem/fault_engine.h"
+
+#include <algorithm>
+
+namespace fluid::fm {
+
+FaultEngine::FaultEngine(Monitor& monitor, std::size_t shards,
+                         std::size_t io_window, std::size_t read_batch,
+                         std::uint64_t seed)
+    : monitor_(&monitor),
+      exec_(shards == 0 ? 1 : shards),
+      io_window_(io_window == 0 ? 1 : io_window),
+      read_batch_(read_batch == 0 ? 1 : read_batch),
+      rng_(seed),
+      shards_(exec_.size()) {}
+
+FaultOutcome FaultEngine::Handle(RegionId id, VirtAddr addr,
+                                 SimTime fault_time) {
+  return HandleOne(id, addr, fault_time, /*batch_follower=*/false);
+}
+
+FaultOutcome FaultEngine::HandleOne(RegionId id, VirtAddr addr,
+                                    SimTime fault_time, bool batch_follower) {
+  FaultSchedule sched;
+  sched.batch_follower = batch_follower;
+  std::size_t s = 0;
+  if (exec_.size() > 1) {
+    const PageRef p{id, PageAlignDown(addr)};
+    s = ShardOf(p);
+    sched.engine = this;
+    sched.shard = s;
+    sched.worker = &exec_.at(s);
+  }
+  const FaultOutcome out =
+      monitor_->HandleFaultScheduled(id, addr, fault_time, sched);
+  Shard& sh = shards_[s];
+  ++sh.stats.faults;
+  if (out.status.ok() && out.wake_at >= fault_time)
+    sh.latency.Record(out.wake_at - fault_time);
+  return out;
+}
+
+std::vector<FaultOutcome> FaultEngine::PumpQueuedFaults(RegionId id,
+                                                        SimTime now) {
+  std::vector<FaultOutcome> out;
+  mem::UffdRegion* reg = monitor_->region_of(id);
+  if (reg == nullptr) return out;
+  while (reg->QueuedEventCount() > 0) {
+    const std::vector<mem::QueuedEvent> batch = reg->ReadEvents(read_batch_);
+    if (exec_.size() > 1 && batch.size() > 1) PostGroupReads(id, batch, now);
+    bool first = true;
+    for (const mem::QueuedEvent& qe : batch) {
+      const SimTime ft = std::max(now, qe.raised_at);
+      out.push_back(
+          HandleOne(id, qe.event.addr, ft, /*batch_follower=*/!first));
+      first = false;
+    }
+    // Unclaimed group bytes (install race, failed fault) are dropped; the
+    // pages stay kRemote and a later fault simply re-reads them.
+    group_reads_.clear();
+  }
+  return out;
+}
+
+void FaultEngine::PostGroupReads(RegionId id,
+                                 const std::vector<mem::QueuedEvent>& batch,
+                                 SimTime now) {
+  // Collect each shard's remote candidates, deduped, in event order.
+  std::vector<std::vector<PageRef>> per_shard(exec_.size());
+  for (const mem::QueuedEvent& qe : batch) {
+    const PageRef p{id, PageAlignDown(qe.event.addr)};
+    if (!monitor_->tracker_.Seen(p) ||
+        monitor_->tracker_.LocationOf(p) != PageLocation::kRemote)
+      continue;
+    if (group_reads_.contains(p) || outstanding_reads_.contains(p)) continue;
+    std::vector<PageRef>& v = per_shard[ShardOf(p)];
+    if (std::find(v.begin(), v.end(), p) == v.end()) v.push_back(p);
+  }
+  const PartitionId partition = monitor_->partition_of(id);
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    std::vector<PageRef>& pages = per_shard[s];
+    if (pages.size() < 2) continue;  // a lone read pays its RTT either way
+    // Same degradation gate as the per-fault path: never hammer a store
+    // the read breaker says is down.
+    if (monitor_->spill_ != nullptr &&
+        !monitor_->read_health_.AllowRequest(now))
+      continue;
+    Timeline& worker = exec_.at(s);
+    SimTime t = worker.EarliestStart(now);
+    const SimTime start = t;
+    t = GateWindow(s, t);
+    t = monitor_->Charge(t, monitor_->config_.costs.read_page_overhead);
+    std::vector<std::array<std::byte, kPageSize>> bufs(pages.size());
+    std::vector<kv::KvRead> reads;
+    reads.reserve(pages.size());
+    for (std::size_t i = 0; i < pages.size(); ++i)
+      reads.push_back(kv::KvRead{monitor_->KeyFor(pages[i]), bufs[i], {}});
+    const kv::OpResult mg = monitor_->store_->MultiGet(partition, reads, t);
+    monitor_->NoteStoreRead(mg);
+    // The worker is busy only for the issue work; the RTT itself overlaps
+    // with the batch's fault handling.
+    worker.Occupy(start, mg.issue_done > start ? mg.issue_done - start : 0);
+    bool posted = false;
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      if (!reads[i].status.ok()) continue;  // per-key miss: fault falls back
+      GroupRead g;
+      g.bytes = bufs[i];
+      g.available_at = mg.complete_at;
+      group_reads_.emplace(pages[i], g);
+      outstanding_reads_[pages[i]] = mg.complete_at;
+      posted = true;
+    }
+    // One MultiGet is one op on the wire regardless of object count.
+    if (posted) shards_[s].window.push_back(mg.complete_at);
+  }
+}
+
+SimDuration FaultEngine::ChargeLockContention(std::size_t shard, SimTime at) {
+  SimDuration d = 0;
+  for (std::size_t i = 0; i < exec_.size(); ++i) {
+    if (i == shard || exec_.at(i).free_at() <= at) continue;
+    d += monitor_->SampleCost(monitor_->config_.costs.wl_lock_hold) +
+         monitor_->SampleCost(monitor_->config_.costs.pool_lock_hold);
+  }
+  shards_[shard].stats.lock_wait_total += d;
+  return d;
+}
+
+SimTime FaultEngine::GateWindow(std::size_t shard, SimTime t) {
+  std::vector<SimTime>& w = shards_[shard].window;
+  std::erase_if(w, [&](SimTime c) { return c <= t; });
+  while (w.size() >= io_window_) {
+    const auto oldest = std::min_element(w.begin(), w.end());
+    t = std::max(t, *oldest);
+    w.erase(oldest);
+    ++shards_[shard].stats.io_window_waits;
+    std::erase_if(w, [&](SimTime c) { return c <= t; });
+  }
+  return t;
+}
+
+void FaultEngine::NoteReadPosted(std::size_t shard, const PageRef& p,
+                                 SimTime complete_at) {
+  shards_[shard].window.push_back(complete_at);
+  outstanding_reads_[p] = complete_at;
+}
+
+std::optional<SimTime> FaultEngine::OutstandingReadCompletion(const PageRef& p,
+                                                              SimTime now) {
+  auto it = outstanding_reads_.find(p);
+  if (it == outstanding_reads_.end()) return std::nullopt;
+  if (it->second <= now) {
+    outstanding_reads_.erase(it);
+    return std::nullopt;
+  }
+  const SimTime ready = it->second;
+  ++shards_[ShardOf(p)].stats.coalesced_reads;
+  return ready;
+}
+
+std::optional<FaultEngine::GroupRead> FaultEngine::TakeGroupRead(
+    const PageRef& p) {
+  auto it = group_reads_.find(p);
+  if (it == group_reads_.end()) return std::nullopt;
+  GroupRead g = it->second;
+  group_reads_.erase(it);
+  ++shards_[ShardOf(p)].stats.batched_reads;
+  return g;
+}
+
+bool FaultEngine::PopVictim(RegionId faulting_region, std::size_t shard,
+                            PageRef* out) {
+  Monitor& m = *monitor_;
+  // Per-tenant quota first — identical policy to the serial monitor.
+  if (faulting_region < m.regions_.size()) {
+    const Monitor::RegionInfo& ri = m.regions_[faulting_region];
+    if (ri.quota_pages != 0 &&
+        m.lru_.RegionCount(faulting_region) >= ri.quota_pages &&
+        m.lru_.PopVictimOfRegion(faulting_region, out))
+      return true;
+  }
+  // Evict from the handler's own slice while it holds its fair share of
+  // the budget; a cold slice steals the hottest slice's oldest page so one
+  // shard's burst cannot squeeze the others out of DRAM.
+  const std::size_t fair =
+      std::max<std::size_t>(1, m.lru_.capacity() / exec_.size());
+  if (m.lru_.ShardSize(shard) >= fair)
+    return m.lru_.PopVictimOfShard(shard, out);
+  const std::size_t hot = m.lru_.LargestShard();
+  if (m.lru_.ShardSize(hot) == 0) return false;
+  if (hot != shard) ++shards_[shard].stats.work_steals;
+  return m.lru_.PopVictimOfShard(hot, out);
+}
+
+EngineShardStats FaultEngine::TotalStats() const {
+  EngineShardStats total;
+  for (const Shard& s : shards_) {
+    total.faults += s.stats.faults;
+    total.batched_reads += s.stats.batched_reads;
+    total.coalesced_reads += s.stats.coalesced_reads;
+    total.work_steals += s.stats.work_steals;
+    total.io_window_waits += s.stats.io_window_waits;
+    total.lock_wait_total += s.stats.lock_wait_total;
+  }
+  return total;
+}
+
+LatencyHistogram FaultEngine::MergedLatency() const {
+  LatencyHistogram merged{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                          /*buckets_per_decade=*/60};
+  for (const Shard& s : shards_) merged.Merge(s.latency);
+  return merged;
+}
+
+}  // namespace fluid::fm

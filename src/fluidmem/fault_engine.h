@@ -1,0 +1,166 @@
+// The sharded fault-handling engine: K parallel monitor handler shards in
+// deterministic virtual time.
+//
+// FluidMem's production monitor services userfaultfd events from a pool of
+// handler threads; the serial Timeline model in Monitor reproduces Table I
+// faithfully but hides the scaling axis entirely. The engine models that
+// pool:
+//
+//   * K handler workers (an Executor of K Timelines). Every fault is routed
+//     to the worker owning its page — ShardOf(page) is a pure hash — so the
+//     assignment needs no shared queue state and replays identically.
+//   * The page tracker and LRU buffer are partitioned into per-shard slices
+//     by the same hash (see LruBuffer/PageTracker shard support); a handler
+//     evicts from its own slice while it holds at least its fair share of
+//     the budget, and WORK-STEALS the hottest slice's oldest page when its
+//     own slice runs cold — one tenant's burst cannot monopolize DRAM.
+//   * A contention model for the structures that stay shared (frame pool,
+//     write list): each fault pays one sampled lock-hold window (calibrated
+//     against Table I's cache-management rows, see MonitorCostModel) per
+//     handler that is busy when it dispatches — the convoy a real striped
+//     monitor pays on its shared locks.
+//   * Batched uffd dequeue: UffdRegion queues concurrent vCPU faults and
+//     ReadEvents(max_n) drains up to N per virtual read(2), as the real
+//     libuserfaultfd loop does. Events 2..N of a batch skip the epoll
+//     wakeup (batched_dispatch). Remote faults of one batch that share a
+//     shard are fetched with ONE MultiGet, paying the transport's batch RTT
+//     once instead of N full RTTs.
+//   * A bounded outstanding-op window per shard: posted remote reads
+//     overlap up to `io_window` deep; past that the poster waits for the
+//     oldest op, bounding both memory and tail latency.
+//   * Read coalescing: a refault on a page whose async read is still in
+//     flight on a peer handler becomes a second waiter on the same Get
+//     instead of issuing a duplicate.
+//
+// Determinism: workers are picked by page hash (not load), ties in every
+// scan break toward the lowest index, and all randomness comes from seeded
+// Rngs — with one shard no engine-only distribution is ever sampled, so
+// serial runs (all existing tests, chaos seeds, Table I/II benches) are
+// bit-identical to the pre-engine monitor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "fluidmem/monitor.h"
+#include "fluidmem/page_key.h"
+#include "mem/uffd.h"
+#include "sim/executor.h"
+
+namespace fluid::fm {
+
+// Scheduling context for one HandleFaultScheduled call. The default value
+// (null engine/worker) selects the legacy serial path: the fault runs on
+// Monitor::monitor_, samples nothing extra, and consults no engine hook.
+struct FaultSchedule {
+  FaultEngine* engine = nullptr;  // null => serial path, no engine hooks
+  std::size_t shard = 0;
+  Timeline* worker = nullptr;     // null => Monitor::monitor_
+  // Event 2..N of one batched read(2): charge batched_dispatch instead of
+  // the full epoll-wakeup dispatch.
+  bool batch_follower = false;
+};
+
+// Per-shard telemetry; merged on read by FaultEngine::TotalStats.
+struct EngineShardStats {
+  std::uint64_t faults = 0;
+  std::uint64_t batched_reads = 0;    // served from a shard-group MultiGet
+  std::uint64_t coalesced_reads = 0;  // refaults folded onto a pending read
+  std::uint64_t work_steals = 0;      // victim taken from another slice
+  std::uint64_t io_window_waits = 0;  // posts gated by the outstanding window
+  SimDuration lock_wait_total = 0;    // contention surcharge paid
+};
+
+class FaultEngine {
+ public:
+  FaultEngine(Monitor& monitor, std::size_t shards, std::size_t io_window,
+              std::size_t read_batch, std::uint64_t seed);
+
+  std::size_t shard_count() const noexcept { return exec_.size(); }
+  std::size_t ShardOf(const PageRef& p) const noexcept {
+    return exec_.size() == 1 ? 0 : PageRefHash{}(p) % exec_.size();
+  }
+
+  // Route one fault. Shard count 1 sends it down the exact legacy path.
+  FaultOutcome Handle(RegionId id, VirtAddr addr, SimTime fault_time);
+
+  // Drain the region's queued uffd events in batches of up to
+  // `uffd_read_batch` per virtual read(2), routing each fault to its shard
+  // and group-fetching each shard's remote pages with one MultiGet.
+  // Returns outcomes in dequeue order.
+  std::vector<FaultOutcome> PumpQueuedFaults(RegionId id, SimTime now);
+
+  // --- merged-on-read telemetry ---------------------------------------------
+  const EngineShardStats& shard_stats(std::size_t s) const {
+    return shards_[s].stats;
+  }
+  EngineShardStats TotalStats() const;
+  const LatencyHistogram& shard_latency(std::size_t s) const {
+    return shards_[s].latency;
+  }
+  // End-to-end fault latency (fault raise -> vCPU wake) across all shards.
+  LatencyHistogram MergedLatency() const;
+  const Executor& executor() const noexcept { return exec_; }
+
+ private:
+  friend class Monitor;  // fault-path hooks below
+
+  struct GroupRead {
+    alignas(16) std::array<std::byte, kPageSize> bytes;
+    SimTime available_at = 0;
+  };
+
+  struct Shard {
+    EngineShardStats stats;
+    LatencyHistogram latency{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                             /*buckets_per_decade=*/60};
+    std::vector<SimTime> window;  // completion times of outstanding reads
+  };
+
+  FaultOutcome HandleOne(RegionId id, VirtAddr addr, SimTime fault_time,
+                         bool batch_follower);
+
+  // Shard-group remote fetch for one dequeued batch (engine mode only).
+  void PostGroupReads(RegionId id, const std::vector<mem::QueuedEvent>& batch,
+                      SimTime now);
+
+  // --- hooks consulted by Monitor::HandleFaultScheduled ---------------------
+  // One sampled (write-list + frame-pool) lock-hold window per busy peer
+  // handler at dispatch time. Never called with one shard.
+  SimDuration ChargeLockContention(std::size_t shard, SimTime at);
+  // Block until the shard's outstanding-read window has a free slot.
+  SimTime GateWindow(std::size_t shard, SimTime t);
+  // Record a posted async read (window slot + coalescing map).
+  void NoteReadPosted(std::size_t shard, const PageRef& p,
+                      SimTime complete_at);
+  // If `p` has an async read still in flight, its completion time (the
+  // refault coalesces onto it); expired entries are lazily dropped.
+  std::optional<SimTime> OutstandingReadCompletion(const PageRef& p,
+                                                   SimTime now);
+  // Claim bytes fetched by a shard-group MultiGet for `p`, if any.
+  std::optional<GroupRead> TakeGroupRead(const PageRef& p);
+  // Engine-mode victim selection: quota first (same policy as the serial
+  // monitor), then the handler's own slice while it holds its fair share,
+  // else steal the hottest slice's oldest page.
+  bool PopVictim(RegionId faulting_region, std::size_t shard, PageRef* out);
+
+  Monitor* monitor_;
+  Executor exec_;
+  std::size_t io_window_;
+  std::size_t read_batch_;
+  Rng rng_;  // engine-only draws (never consulted with one shard)
+  std::vector<Shard> shards_;
+  // Async reads still in flight, keyed by page (coalescing).
+  std::unordered_map<PageRef, SimTime, PageRefHash> outstanding_reads_;
+  // Bytes group-fetched for the current batch, claimed per fault.
+  std::unordered_map<PageRef, GroupRead, PageRefHash> group_reads_;
+};
+
+}  // namespace fluid::fm

@@ -21,9 +21,20 @@
 // walk only the region's own sublist, so PopVictimOfRegion is O(1) and
 // ExtractRegion is O(pages-in-region) regardless of how many pages other
 // tenants hold.
+//
+// Sharding: for the parallel fault engine the insertion-order list is
+// partitioned into `shards` slices by hash of the page key, mirroring how a
+// multi-threaded monitor stripes its LRU lock. Each node carries a global
+// insertion sequence number, so with S slices the global-oldest victim is
+// still exact: PopVictim scans the S slice heads (each slice is internally
+// insertion-ordered) and takes the minimum sequence, lowest slice index on
+// ties. With shards == 1 (the default, and all legacy callers) this
+// degenerates to the original single-list behaviour — same victims, same
+// order, bit-identical runs.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -36,16 +47,37 @@ namespace fluid::fm {
 
 class LruBuffer {
  public:
-  explicit LruBuffer(std::size_t capacity, bool true_lru = false)
-      : capacity_(capacity), true_lru_(true_lru) {}
+  explicit LruBuffer(std::size_t capacity, bool true_lru = false,
+                     std::size_t shards = 1)
+      : capacity_(capacity),
+        true_lru_(true_lru),
+        lists_(shards == 0 ? 1 : shards) {}
 
   LruBuffer(const LruBuffer&) = delete;
   LruBuffer& operator=(const LruBuffer&) = delete;
   ~LruBuffer() { Clear(); }
 
   std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t size() const noexcept { return list_.size(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::size_t shard_count() const noexcept { return lists_.size(); }
   bool Contains(const PageRef& p) const { return nodes_.contains(p); }
+
+  // Slice a page belongs to: pure hash of the page key, so any handler
+  // computes the same assignment with no shared state.
+  std::size_t ShardOf(const PageRef& p) const noexcept {
+    return lists_.size() == 1 ? 0 : PageRefHash{}(p) % lists_.size();
+  }
+  std::size_t ShardSize(std::size_t s) const noexcept {
+    return lists_[s].size();
+  }
+  // The slice holding the most pages (ties: lowest index). Work-stealing
+  // victim source when a handler's own slice runs dry or cold.
+  std::size_t LargestShard() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lists_.size(); ++i)
+      if (lists_[i].size() > lists_[best].size()) best = i;
+    return best;
+  }
 
   // The cloud operator resizes the buffer at runtime (near-zero-footprint
   // experiments); the monitor then evicts until size() <= capacity().
@@ -53,15 +85,16 @@ class LruBuffer {
 
   // True when inserting one more page would exceed capacity.
   bool NeedsEvictionBeforeInsert() const noexcept {
-    return list_.size() >= capacity_;
+    return nodes_.size() >= capacity_;
   }
-  bool OverCapacity() const noexcept { return list_.size() > capacity_; }
+  bool OverCapacity() const noexcept { return nodes_.size() > capacity_; }
 
   // Insert a newly-seen page at the MRU end. Must not already be present.
   void Insert(const PageRef& p) {
     auto n = std::make_unique<Node>();
     n->page = p;
-    list_.PushBack(*n);
+    n->seq = next_seq_++;
+    lists_[ShardOf(p)].PushBack(*n);
     region_lists_[p.region].PushBack(*n);
     nodes_.emplace(p, std::move(n));
   }
@@ -73,15 +106,38 @@ class LruBuffer {
     if (!true_lru_) return;
     auto it = nodes_.find(p);
     if (it == nodes_.end()) return;
-    list_.MoveToBack(*it->second);
+    it->second->seq = next_seq_++;
+    lists_[ShardOf(p)].MoveToBack(*it->second);
     region_lists_[p.region].MoveToBack(*it->second);
   }
 
-  // Pop the eviction candidate (the list head = oldest insertion), or
-  // return false if empty.
+  // Pop the eviction candidate (the globally oldest insertion), or return
+  // false if empty. With S slices this scans the S heads for the minimum
+  // insertion sequence — exact global order, O(S).
   bool PopVictim(PageRef* out) {
-    Node* n = list_.PopFront();
+    Node* best = nullptr;
+    std::size_t best_shard = 0;
+    for (std::size_t i = 0; i < lists_.size(); ++i) {
+      Node* n = lists_[i].Front();
+      if (n != nullptr && (best == nullptr || n->seq < best->seq)) {
+        best = n;
+        best_shard = i;
+      }
+    }
+    if (best == nullptr) return false;
+    lists_[best_shard].Remove(*best);
+    *out = best->page;
+    Erase(best);
+    return true;
+  }
+
+  // Pop the oldest page OF ONE SLICE (parallel engine: a handler evicting
+  // from the slice it owns, or stealing from a hot neighbour). Exact
+  // insertion order within the slice, O(1).
+  bool PopVictimOfShard(std::size_t shard, PageRef* out) {
+    Node* n = lists_[shard].Front();
     if (n == nullptr) return false;
+    lists_[shard].Remove(*n);
     *out = n->page;
     Erase(n);
     return true;
@@ -95,7 +151,7 @@ class LruBuffer {
     if (it == region_lists_.end()) return false;
     Node* n = it->second.Front();
     if (n == nullptr) return false;
-    list_.Remove(*n);
+    lists_[ShardOf(n->page)].Remove(*n);
     *out = n->page;
     Erase(n);
     return true;
@@ -111,7 +167,7 @@ class LruBuffer {
     out.reserve(it->second.size());
     while (Node* n = it->second.Front()) {
       out.push_back(n->page);
-      list_.Remove(*n);
+      lists_[ShardOf(n->page)].Remove(*n);
       it->second.Remove(*n);
       nodes_.erase(n->page);
     }
@@ -129,7 +185,7 @@ class LruBuffer {
   bool Remove(const PageRef& p) {
     auto it = nodes_.find(p);
     if (it == nodes_.end()) return false;
-    list_.Remove(*it->second);
+    lists_[ShardOf(p)].Remove(*it->second);
     Erase(it->second.get());
     return true;
   }
@@ -153,10 +209,13 @@ class LruBuffer {
 
   struct Node : ListHook<GlobalTag>, ListHook<RegionTag> {
     PageRef page;
+    // Global insertion order; lets sliced lists agree on the exact
+    // globally-oldest victim.
+    std::uint64_t seq = 0;
   };
 
   // Drop `n` from its region sublist and the node map; the caller has
-  // already unlinked it from the global list.
+  // already unlinked it from its slice list.
   void Erase(Node* n) {
     auto rit = region_lists_.find(n->page.region);
     rit->second.Remove(*n);
@@ -166,7 +225,9 @@ class LruBuffer {
 
   std::size_t capacity_;
   bool true_lru_;
-  IntrusiveList<Node, GlobalTag> list_;
+  std::uint64_t next_seq_ = 0;
+  // One insertion-ordered list per slice; one list total by default.
+  std::vector<IntrusiveList<Node, GlobalTag>> lists_;
   // Node-based map: sublists are self-referential and must never move.
   std::unordered_map<RegionId, IntrusiveList<Node, RegionTag>> region_lists_;
   std::unordered_map<PageRef, std::unique_ptr<Node>, PageRefHash> nodes_;

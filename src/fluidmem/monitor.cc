@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "fluidmem/fault_engine.h"
+
 namespace fluid::fm {
 
 Monitor::Monitor(MonitorConfig config, kv::KvStore& store,
@@ -14,11 +16,19 @@ Monitor::Monitor(MonitorConfig config, kv::KvStore& store,
       store_(&store),
       pool_(&pool),
       rng_(config.seed),
-      lru_(config.lru_capacity_pages, config.true_lru),
+      lru_(config.lru_capacity_pages, config.true_lru,
+           std::max<std::size_t>(1, config.fault_shards)),
+      tracker_(std::max<std::size_t>(1, config.fault_shards)),
       read_health_(kv::HealthConfig{config.breaker_trip_after,
                                     config.breaker_open_duration}),
       write_health_(kv::HealthConfig{config.breaker_trip_after,
-                                     config.breaker_open_duration}) {}
+                                     config.breaker_open_duration}),
+      engine_(std::make_unique<FaultEngine>(
+          *this, std::max<std::size_t>(1, config.fault_shards),
+          config.io_window, config.uffd_read_batch,
+          config.seed ^ 0x5eed5eedULL)) {}
+
+Monitor::~Monitor() = default;
 
 Status Monitor::PeekSpilled(const PageRef& p,
                             std::span<std::byte, kPageSize> out) const {
@@ -260,9 +270,16 @@ bool Monitor::PopVictimFor(RegionId faulting_region, PageRef* victim) {
 }
 
 SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
-                             bool sync_write, bool remap_overlapped) {
+                             bool sync_write, bool remap_overlapped,
+                             const FaultSchedule* sched) {
   PageRef victim;
-  if (!PopVictimFor(faulting_region, &victim)) return t;
+  // Engine mode: the handler evicts from its own LRU slice (or steals from
+  // the hottest one); the serial path scans the global insertion order.
+  const bool popped =
+      (sched != nullptr && sched->engine != nullptr)
+          ? sched->engine->PopVictim(faulting_region, sched->shard, &victim)
+          : PopVictimFor(faulting_region, &victim);
+  if (!popped) return t;
   if (!sync_write) return EvictToWriteList(victim, t, remap_overlapped);
 
   RegionInfo& ri = regions_[victim.region];
@@ -337,6 +354,18 @@ SimTime Monitor::EvictToWriteList(const PageRef& victim, SimTime t,
 
 FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
                                   SimTime fault_time) {
+  return engine_->Handle(id, addr, fault_time);
+}
+
+FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
+                                           SimTime fault_time,
+                                           const FaultSchedule& sched) {
+  // Engine mode runs the fault on the hash-assigned handler worker and
+  // consults the engine's hooks (contention, I/O window, group reads,
+  // coalescing). The default schedule is the serial monitor thread with
+  // every hook disabled — the exact pre-engine path.
+  Timeline& worker = sched.worker != nullptr ? *sched.worker : monitor_;
+  const bool engine_mode = sched.engine != nullptr && sched.worker != nullptr;
   FaultOutcome out;
   if (id >= regions_.size() || !regions_[id].active) {
     out.status = Status::InvalidArgument("unknown region");
@@ -362,8 +391,16 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
   SimTime t = fault_time;
   if (config_.kvm_mode) t = Charge(t, config_.costs.kvm_exit_entry);
   t = Charge(t, config_.costs.uffd_event_delivery);
-  const SimTime mon_start = monitor_.EarliestStart(t);
-  t = Charge(mon_start, config_.costs.dispatch);
+  const SimTime mon_start = worker.EarliestStart(t);
+  // Events 2..N of one batched read(2) skip the epoll wakeup and the
+  // syscall; only the msg parse + hand-off remains.
+  t = Charge(mon_start, sched.batch_follower ? config_.costs.batched_dispatch
+                                             : config_.costs.dispatch);
+  if (engine_mode) {
+    // Contention on the shared frame pool and write list: one sampled
+    // lock-hold window per peer handler busy at dispatch time.
+    t += sched.engine->ChargeLockContention(sched.shard, mon_start);
+  }
 
   RetireCompleted(t);
 
@@ -385,17 +422,17 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       // take the next fault immediately.
       const SimTime ev_start = flusher_.EarliestStart(wake);
       const SimTime ev_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
-                                          /*remap_overlapped=*/false);
+                                          /*remap_overlapped=*/false, &sched);
       flusher_.Occupy(ev_start, ev_done > ev_start ? ev_done - ev_start : 0);
       FlushIfNeeded(ev_done);
     }
-    monitor_.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
+    worker.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
     out.status = Status::Ok();
     out.wake_at = wake;
     return out;
   };
   auto Fail = [&](Status s, SimTime at) -> FaultOutcome {
-    monitor_.Occupy(mon_start, at > mon_start ? at - mon_start : 0);
+    worker.Occupy(mon_start, at > mon_start ? at - mon_start : 0);
     out.status = std::move(s);
     out.wake_at = at;
     return out;
@@ -408,7 +445,8 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
     t = ChargeProfiled(t, config_.costs.insert_page_hash,
                        CodePath::kInsertPageHashNode);
     if (need_evict && !config_.async_write)
-      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
+                      &sched);
     t = ChargeProfiled(t, config_.costs.uffd_zeropage, CodePath::kUffdZeropage);
     Status zp = ri.region->ZeroPage(addr);
     if (!zp.ok() && zp.code() != StatusCode::kAlreadyExists)
@@ -464,9 +502,22 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       // duplicate event; nothing to install.
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
       lru_.Touch(p);
+      if (engine_mode) {
+        // An async read for this page may still have been in flight when
+        // this fault was RAISED (the eager install made the page resident
+        // before its data actually arrived): this fault is a second waiter
+        // on that Get (read dedup) — it must not wake before the data
+        // lands. Expiry is judged at raise time, not handler-dispatch
+        // time, since the handler may only get to the event afterwards.
+        if (const auto ready =
+                sched.engine->OutstandingReadCompletion(p, fault_time)) {
+          out.waited_in_flight = true;
+          t = std::max(t, *ready);
+        }
+      }
       t = Charge(t, config_.costs.wake);
       // No LRU insert happened; cancel any deferred eviction.
-      monitor_.Occupy(mon_start, t > mon_start ? t - mon_start : 0);
+      worker.Occupy(mon_start, t > mon_start ? t - mon_start : 0);
       out.status = Status::Ok();
       out.wake_at = t;
       return out;
@@ -479,7 +530,8 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       ++stats_.steals;
       out.stolen = true;
       if (need_evict && !config_.async_write)
-      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+        t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
+                        &sched);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr, std::span<const std::byte, kPageSize>{pool_->Data(*frame)});
@@ -502,7 +554,8 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       out.waited_in_flight = true;
       t = std::max(t, steal->first);
       if (need_evict && !config_.async_write)
-      t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false);
+        t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
+                        &sched);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr,
@@ -535,7 +588,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       spill_slots_.erase(p);
       if (need_evict && !config_.async_write)
         t = EvictOneFor(id, t, /*sync_write=*/true,
-                        /*remap_overlapped=*/false);
+                        /*remap_overlapped=*/false, &sched);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr, std::span<const std::byte, kPageSize>{scratch_});
@@ -560,25 +613,51 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
       }
       const SimTime read_start = t;
       bool evict_deferred_flag = false;
+      // Engine mode frees the worker between posting the read and the
+      // data's arrival (split occupancy); the serial monitor blocks.
+      bool split_occupancy = false;
+      SimTime bh_start = 0;
       if (config_.async_read) {
         // Top half: post the read, then run the eviction *and* the fault's
         // bookkeeping (LRU insert, tracker update, buffer prep) during the
         // network wait (§V-B "asynchronous reads": UFFD_REMAP executes
         // while the vCPU thread is already suspended and the read is in
         // flight). Only UFFDIO_COPY truly needs the data.
-        t = Charge(t, config_.costs.read_page_overhead);
-        kv::OpResult rd = store_->Get(
-            ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
-        NoteStoreRead(rd);
-        if (!rd.status.ok()) {
-          // kNotFound on a believed-remote page means the store lost data
-          // it acknowledged; anything else (outage, injected fault) is
-          // transient — the page stays kRemote and the fault can retry.
-          if (rd.status.code() == StatusCode::kNotFound)
-            ++stats_.lost_page_errors;
-          else
-            ++stats_.transient_read_errors;
-          return Fail(rd.status, rd.complete_at);
+        kv::OpResult rd;
+        bool from_group = false;
+        if (engine_mode) {
+          // Bytes already fetched by the shard's batched MultiGet: claim
+          // them instead of issuing a duplicate Get. The group read paid
+          // the batch RTT (and the client overhead) once for the whole
+          // shard batch.
+          if (auto g = sched.engine->TakeGroupRead(p)) {
+            scratch_ = g->bytes;
+            rd.status = Status::Ok();
+            rd.issue_done = t;
+            rd.complete_at = std::max(t, g->available_at);
+            from_group = true;
+          }
+        }
+        if (!from_group) {
+          t = Charge(t, config_.costs.read_page_overhead);
+          // Bounded outstanding-op window: a shard with io_window reads in
+          // flight waits for the oldest before posting another.
+          if (engine_mode) t = sched.engine->GateWindow(sched.shard, t);
+          rd = store_->Get(ri.partition, key,
+                           std::span<std::byte, kPageSize>{scratch_}, t);
+          NoteStoreRead(rd);
+          if (!rd.status.ok()) {
+            // kNotFound on a believed-remote page means the store lost data
+            // it acknowledged; anything else (outage, injected fault) is
+            // transient — the page stays kRemote and the fault can retry.
+            if (rd.status.code() == StatusCode::kNotFound)
+              ++stats_.lost_page_errors;
+            else
+              ++stats_.transient_read_errors;
+            return Fail(rd.status, rd.complete_at);
+          }
+          if (engine_mode)
+            sched.engine->NoteReadPosted(sched.shard, p, rd.complete_at);
         }
         t = rd.issue_done;
         t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
@@ -587,11 +666,11 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
             // Sync writeback: the eviction (and its store write) stays on
             // the fault path, overlapping the read wait.
             t = EvictOneFor(id, t, /*sync_write=*/true,
-                            /*remap_overlapped=*/true);
+                            /*remap_overlapped=*/true, &sched);
           } else if (t < rd.complete_at) {
             // The read is still in flight: evict for free in its shadow.
             t = EvictOneFor(id, t, /*sync_write=*/false,
-                            /*remap_overlapped=*/true);
+                            /*remap_overlapped=*/true, &sched);
           } else {
             // Data already arrived (fast backend): do not delay the wake;
             // evict after the guest resumes.
@@ -602,12 +681,29 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
                            CodePath::kInsertLruCacheNode);
         lru_.Insert(p);
         tracker_.MarkResident(p);
-        // Bottom half: wait for the data if it has not arrived yet.
-        t = std::max(t, rd.complete_at);
         // READ_PAGE profiles the store read itself (top half through data
         // arrival), not whatever work overlapped it.
-        profiler_.Record(CodePath::kReadPage, rd.complete_at - read_start);
-        t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+        profiler_.Record(CodePath::kReadPage,
+                         rd.complete_at > read_start
+                             ? rd.complete_at - read_start
+                             : 0);
+        if (engine_mode) {
+          // Top half done: release the worker for the data wait so it can
+          // take the next fault — the concurrency a handler pool actually
+          // buys. The bottom half (copy + wake) re-queues on the worker
+          // when the data lands.
+          const SimTime top_end = t;
+          worker.Occupy(mon_start,
+                        top_end > mon_start ? top_end - mon_start : 0);
+          bh_start = worker.EarliestStart(std::max(top_end, rd.complete_at));
+          split_occupancy = true;
+          t = ChargeProfiled(bh_start, config_.costs.uffd_copy,
+                             CodePath::kUffdCopy);
+        } else {
+          // Bottom half: wait for the data if it has not arrived yet.
+          t = std::max(t, rd.complete_at);
+          t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+        }
         (void)ri.region->Copy(
             addr, std::span<const std::byte, kPageSize>{scratch_});
       } else {
@@ -631,7 +727,7 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         // blue path), handled below.
         if (need_evict && !config_.async_write)
           t = EvictOneFor(id, t, /*sync_write=*/true,
-                          /*remap_overlapped=*/false);
+                          /*remap_overlapped=*/false, &sched);
         t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
         (void)ri.region->Copy(
             addr, std::span<const std::byte, kPageSize>{scratch_});
@@ -651,12 +747,15 @@ FaultOutcome Monitor::HandleFault(RegionId id, VirtAddr addr,
         // guest resumed (Fig. 2's blue path), off the monitor's fault loop.
         const SimTime ev_start = flusher_.EarliestStart(wake);
         background_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
-                                      /*remap_overlapped=*/false);
+                                      /*remap_overlapped=*/false, &sched);
         flusher_.Occupy(ev_start, background_done > ev_start
                                       ? background_done - ev_start
                                       : 0);
       }
-      monitor_.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
+      if (split_occupancy)
+        worker.Occupy(bh_start, wake > bh_start ? wake - bh_start : 0);
+      else
+        worker.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
       FlushIfNeeded(background_done);
       PrefetchAfter(id, addr, wake);
       out.status = Status::Ok();

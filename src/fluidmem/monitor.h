@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,9 @@
 #include "swap/swap_space.h"
 
 namespace fluid::fm {
+
+class FaultEngine;
+struct FaultSchedule;
 
 struct MonitorConfig {
   // Pages held in DRAM across all registered VMs (the resizable LRU).
@@ -80,6 +84,18 @@ struct MonitorConfig {
   // Pages migrated back from local spill to the store per PumpBackground
   // tick once the breaker closes (bounds the pump's work).
   std::size_t spill_migrate_batch = 8;
+
+  // --- sharded fault engine ------------------------------------------------
+  // Parallel handler shards serving faults (hash-of-page-key routing).
+  // 1 = the paper's serial monitor: the engine then sends every fault down
+  // the exact legacy path, so existing runs replay bit-identically.
+  std::size_t fault_shards = 1;
+  // Max userfaultfd events drained per virtual read(2) by the engine's
+  // batched pump (1 = one event per wakeup, the legacy epoll loop).
+  std::size_t uffd_read_batch = 1;
+  // Bounded outstanding remote-read window per shard (engine mode only):
+  // reads past the window wait for the oldest posted op to complete.
+  std::size_t io_window = 4;
 
   MonitorCostModel costs;
   std::uint64_t seed = 7;
@@ -138,6 +154,7 @@ struct MonitorStats {
 class Monitor {
  public:
   Monitor(MonitorConfig config, kv::KvStore& store, mem::FramePool& pool);
+  ~Monitor();
 
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
@@ -171,7 +188,16 @@ class Monitor {
 
   // Handle one userfaultfd event that fired at `fault_time`. Returns the
   // outcome with the vCPU wake time; the caller re-issues the access.
+  // Routed through the fault engine: with fault_shards == 1 this is the
+  // paper's serial handler, bit for bit; with more shards the fault runs on
+  // the hash-assigned handler worker.
   FaultOutcome HandleFault(RegionId id, VirtAddr addr, SimTime fault_time);
+
+  // The sharded fault-handling engine (always present; one shard by
+  // default). Exposes the batched pump, per-shard stats and latency
+  // histograms, and the worker executor for the scalability bench.
+  FaultEngine& fault_engine() noexcept { return *engine_; }
+  const FaultEngine& fault_engine() const noexcept { return *engine_; }
 
   // --- management ----------------------------------------------------------------
 
@@ -262,6 +288,14 @@ class Monitor {
     std::uint32_t seq_streak = 0;
   };
 
+  // The fault path proper, parameterized by a FaultSchedule (which worker
+  // timeline runs it, contention surcharge, batch-dispatch discount, group
+  // read / coalescing hooks). The default schedule reproduces the serial
+  // monitor exactly — same RNG draws, same arithmetic.
+  FaultOutcome HandleFaultScheduled(RegionId id, VirtAddr addr,
+                                    SimTime fault_time,
+                                    const FaultSchedule& sched);
+
   // Sample a cost (scaled for full virtualisation) and record it.
   SimDuration SampleCost(const LatencyDist& d);
   SimTime Charge(SimTime t, const LatencyDist& d);
@@ -279,9 +313,12 @@ class Monitor {
   // "Async Read" rows); else the page goes on the write list.
   // `remap_overlapped` means the REMAP runs while the faulting vCPU is
   // suspended on an in-flight read (cheap TLB sync, §V-B). Returns the
-  // caller-visible finish time.
+  // caller-visible finish time. With an engine-mode `sched`, the victim
+  // comes from the handler's own LRU slice (or is work-stolen from the
+  // hottest slice) instead of the global scan.
   SimTime EvictOneFor(RegionId faulting_region, SimTime t, bool sync_write,
-                      bool remap_overlapped);
+                      bool remap_overlapped,
+                      const FaultSchedule* sched = nullptr);
 
   // Remap an already-chosen victim out of its VM and onto the write list
   // (the asynchronous-writeback half of EvictOneFor). The management paths
@@ -329,8 +366,13 @@ class Monitor {
   kv::HealthTracker read_health_;
   kv::HealthTracker write_health_;
 
-  Timeline monitor_;  // the epoll/fault-handling thread
+  Timeline monitor_;  // the epoll/fault-handling thread (serial mode)
   Timeline flusher_;  // the writeback thread
+
+  // The sharded handler pool; owns the per-shard worker timelines, stats,
+  // contention model and I/O windows. One shard by default, in which case
+  // it routes faults straight down the legacy path above.
+  std::unique_ptr<FaultEngine> engine_;
 
   MonitorStats stats_;
   Profiler profiler_;
@@ -340,6 +382,7 @@ class Monitor {
   // White-box access for regression tests that must corrupt internal state
   // (e.g. force a tracker/write-list desync) through no public path.
   friend struct MonitorTestPeer;
+  friend class FaultEngine;
 };
 
 }  // namespace fluid::fm

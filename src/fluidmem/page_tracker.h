@@ -13,10 +13,16 @@
 //   kRemote     — safely in the key-value store;
 //   kSpilled    — on the local swap device (graceful degradation while the
 //                 remote store is down; migrates back when it recovers).
+//
+// Sharding: the parallel fault engine partitions the hash by page key so
+// each handler shard owns a slice (mirroring a striped-lock hash table).
+// The partition is internal — every public operation behaves identically
+// at any shard count; ShardSize exposes slice occupancy for balance stats.
 #pragma once
 
 #include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "fluidmem/page_key.h"
@@ -33,62 +39,88 @@ enum class PageLocation : std::uint8_t {
 
 class PageTracker {
  public:
-  // Returns true if the page was already known (i.e. NOT a first access).
-  bool Seen(const PageRef& p) const { return map_.contains(p); }
+  explicit PageTracker(std::size_t shards = 1)
+      : maps_(shards == 0 ? 1 : shards) {}
 
-  PageLocation LocationOf(const PageRef& p) const {
-    auto it = map_.find(p);
-    // Unknown pages are "resident by zero-page" only after MarkResident;
-    // callers must check Seen() first. Defensive default:
-    return it == map_.end() ? PageLocation::kRemote : it->second;
+  std::size_t shard_count() const noexcept { return maps_.size(); }
+  std::size_t ShardOf(const PageRef& p) const noexcept {
+    return maps_.size() == 1 ? 0 : PageRefHash{}(p) % maps_.size();
+  }
+  std::size_t ShardSize(std::size_t s) const noexcept {
+    return maps_[s].size();
   }
 
-  void MarkResident(const PageRef& p) { map_[p] = PageLocation::kResident; }
-  void MarkWriteList(const PageRef& p) { map_[p] = PageLocation::kWriteList; }
-  void MarkInFlight(const PageRef& p) { map_[p] = PageLocation::kInFlight; }
-  void MarkRemote(const PageRef& p) { map_[p] = PageLocation::kRemote; }
-  void MarkSpilled(const PageRef& p) { map_[p] = PageLocation::kSpilled; }
+  // Returns true if the page was already known (i.e. NOT a first access).
+  bool Seen(const PageRef& p) const { return Of(p).contains(p); }
 
-  void Forget(const PageRef& p) { map_.erase(p); }
+  PageLocation LocationOf(const PageRef& p) const {
+    const Map& m = Of(p);
+    auto it = m.find(p);
+    // Unknown pages are "resident by zero-page" only after MarkResident;
+    // callers must check Seen() first. Defensive default:
+    return it == m.end() ? PageLocation::kRemote : it->second;
+  }
+
+  void MarkResident(const PageRef& p) { Of(p)[p] = PageLocation::kResident; }
+  void MarkWriteList(const PageRef& p) { Of(p)[p] = PageLocation::kWriteList; }
+  void MarkInFlight(const PageRef& p) { Of(p)[p] = PageLocation::kInFlight; }
+  void MarkRemote(const PageRef& p) { Of(p)[p] = PageLocation::kRemote; }
+  void MarkSpilled(const PageRef& p) { Of(p)[p] = PageLocation::kSpilled; }
+
+  void Forget(const PageRef& p) { Of(p).erase(p); }
 
   // Drop every page belonging to `region` (VM shutdown); returns count.
   std::size_t ForgetRegion(RegionId region) {
     std::size_t n = 0;
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (it->first.region == region) {
-        it = map_.erase(it);
-        ++n;
-      } else {
-        ++it;
+    for (Map& m : maps_) {
+      for (auto it = m.begin(); it != m.end();) {
+        if (it->first.region == region) {
+          it = m.erase(it);
+          ++n;
+        } else {
+          ++it;
+        }
       }
     }
     return n;
   }
 
-  std::size_t Size() const noexcept { return map_.size(); }
+  std::size_t Size() const noexcept {
+    std::size_t n = 0;
+    for (const Map& m : maps_) n += m.size();
+    return n;
+  }
 
   // Visit every tracked page of one region (migration metadata scan).
   template <typename F>
   void ForEachInRegion(RegionId region, F&& f) const {
-    for (const auto& [p, loc] : map_)
-      if (p.region == region) f(p, loc);
+    for (const Map& m : maps_)
+      for (const auto& [p, loc] : m)
+        if (p.region == region) f(p, loc);
   }
 
   // Visit every tracked page (chaos invariant sweeps).
   template <typename F>
   void ForEach(F&& f) const {
-    for (const auto& [p, loc] : map_) f(p, loc);
+    for (const Map& m : maps_)
+      for (const auto& [p, loc] : m) f(p, loc);
   }
 
   std::size_t CountIn(PageLocation loc) const {
     std::size_t n = 0;
-    for (const auto& [p, l] : map_)
-      if (l == loc) ++n;
+    for (const Map& m : maps_)
+      for (const auto& [p, l] : m)
+        if (l == loc) ++n;
     return n;
   }
 
  private:
-  std::unordered_map<PageRef, PageLocation, PageRefHash> map_;
+  using Map = std::unordered_map<PageRef, PageLocation, PageRefHash>;
+
+  Map& Of(const PageRef& p) { return maps_[ShardOf(p)]; }
+  const Map& Of(const PageRef& p) const { return maps_[ShardOf(p)]; }
+
+  std::vector<Map> maps_;
 };
 
 }  // namespace fluid::fm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace fluid::kv {
 
@@ -110,6 +111,54 @@ OpResult ResilientStore::Get(PartitionId partition, Key key,
     if (r.status.ok()) ObserveRead(start, r);
     return r;
   });
+}
+
+OpResult ResilientStore::MultiGet(PartitionId partition,
+                                  std::span<KvRead> reads, SimTime now) {
+  stats_.gets += reads.size();
+  const SimTime deadline = now + config_.op_deadline;
+  OpResult agg = inner_->MultiGet(partition, reads, now);
+  agg.attempts = 1;
+  SimTime t = agg.complete_at;
+  for (int attempt = 1; attempt < config_.max_attempts; ++attempt) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < reads.size(); ++i)
+      if (Retryable(reads[i].status)) failed.push_back(i);
+    if (failed.empty()) break;
+    const SimTime next = t + BackoffDelay(attempt);
+    if (next >= deadline) {
+      ++stats_.deadline_exceeded;
+      for (std::size_t i : failed)
+        reads[i].status = Status::DeadlineExceeded("retry budget exhausted");
+      break;
+    }
+    ++stats_.retries;
+    // Re-issue ONLY the failed subset as its own (smaller) batch; keys that
+    // already succeeded keep their data and are not re-fetched.
+    std::vector<KvRead> sub;
+    sub.reserve(failed.size());
+    for (std::size_t i : failed)
+      sub.push_back(KvRead{reads[i].key, reads[i].out, {}});
+    const OpResult r = inner_->MultiGet(partition, sub, next);
+    agg.attempts = attempt + 1;
+    agg.issue_done = std::max(agg.issue_done, r.issue_done);
+    agg.complete_at = std::max(agg.complete_at, r.complete_at);
+    t = r.complete_at;
+    for (std::size_t j = 0; j < failed.size(); ++j)
+      reads[failed[j]].status = sub[j].status;
+  }
+  // The batch-level status mirrors the base adapter's contract: the batch
+  // "succeeds" as a transport op even when individual keys did not; callers
+  // consult per-key statuses.
+  bool all_failed = !reads.empty();
+  for (const KvRead& r : reads)
+    if (r.status.ok() || r.status.code() == StatusCode::kNotFound)
+      all_failed = false;
+  if (all_failed)
+    agg.status = reads[0].status;
+  else if (agg.status.code() == StatusCode::kUnavailable)
+    agg.status = Status::Ok();
+  return agg;
 }
 
 OpResult ResilientStore::Remove(PartitionId partition, Key key, SimTime now) {

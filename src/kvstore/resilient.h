@@ -69,8 +69,15 @@ class ResilientStore final : public KvStore {
   OpResult Remove(PartitionId partition, Key key, SimTime now) override;
   OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
                     SimTime now) override;
-  // MultiGet deliberately NOT overridden: the base-class adapter loops over
-  // the virtual Get, so batched reads inherit per-key retry + hedging.
+  // Batched read with SUBSET retry: the whole batch goes to the inner
+  // store's native MultiGet (one batch RTT), then only the keys that came
+  // back kUnavailable are re-issued as a smaller batch, with the same
+  // backoff/deadline budget as single ops. kNotFound is authoritative and
+  // never retried. Batches are not hedged: a duplicate batch would double
+  // the largest requests on the wire for a tail benefit the per-key
+  // subset-retry already provides.
+  OpResult MultiGet(PartitionId partition, std::span<KvRead> reads,
+                    SimTime now) override;
   OpResult DropPartition(PartitionId partition, SimTime now) override;
   SimTime PumpMaintenance(SimTime now) override {
     return inner_->PumpMaintenance(now);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -61,6 +62,14 @@ struct AccessResult {
   FaultEvent event;  // valid only when kind == kUffdFault
 };
 
+// A fault event sitting in the uffd file descriptor's queue, stamped with
+// the virtual time the vCPU raised it (the kernel-side delivery work is
+// charged by the reader's cost model, not here).
+struct QueuedEvent {
+  FaultEvent event;
+  SimTime raised_at = 0;
+};
+
 class UffdRegion {
  public:
   // Registers [base, base + page_count * kPageSize) for the process `pid`.
@@ -90,6 +99,28 @@ class UffdRegion {
   // Model one memory access. On kUffdFault the caller must halt the vCPU,
   // deliver the event to the monitor, and re-issue the access after wake.
   AccessResult Access(VirtAddr addr, bool is_write);
+
+  // ---- fault-event queue (batched dequeue) ----------------------------------
+  //
+  // The real userfaultfd is a file descriptor: concurrent vCPU faults pile
+  // up in its queue and one read(2) returns as many uffd_msg records as the
+  // caller's buffer holds — the libuserfaultfd handler loop drains them in
+  // batches. Drivers that model concurrent vCPUs park each kUffdFault here
+  // (Access itself stays side-effect free, so single-fault callers are
+  // untouched) and the fault engine drains up to `max_n` per virtual read
+  // syscall. FIFO, like the kernel's queue.
+  void QueueEvent(const FaultEvent& e, SimTime raised_at) {
+    queue_.push_back(QueuedEvent{e, raised_at});
+  }
+  std::vector<QueuedEvent> ReadEvents(std::size_t max_n) {
+    std::vector<QueuedEvent> out;
+    while (!queue_.empty() && out.size() < max_n) {
+      out.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    return out;
+  }
+  std::size_t QueuedEventCount() const noexcept { return queue_.size(); }
 
   // Read/write page contents through the mapping (valid only when present).
   // Writes mark the PTE dirty, as the MMU would.
@@ -148,6 +179,7 @@ class UffdRegion {
   std::size_t page_count_;
   FramePool* pool_;
   std::unordered_map<PageNum, Pte> ptes_;
+  std::deque<QueuedEvent> queue_;
   std::size_t resident_frames_ = 0;
   std::size_t present_pages_ = 0;
 };

@@ -324,6 +324,135 @@ TEST_P(ChaosSeeds, DocstoreSurvivesDeviceStallsAndOnlySlowsDown) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
                          ::testing::Values(2ull, 33ull, 444ull, 5555ull));
 
+// --- sharded fault engine under chaos ----------------------------------------------
+//
+// The same scenarios, rerun with fault_shards=4 and batched uffd dequeue:
+// the parallel engine must keep the oracle sweep and the frame-conservation
+// invariants green under injected faults, and — because the engine is pure
+// virtual time — every run must replay bit-identically.
+
+class ShardedChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+ScenarioOptions ShardedOptions(std::uint64_t seed) {
+  ScenarioOptions opt;
+  opt.seed = seed;
+  opt.fault_shards = 4;
+  opt.uffd_read_batch = 4;
+  return opt;
+}
+
+TEST_P(ShardedChaosSeeds, CleanRunPassesDifferentialAndInvariantChecks) {
+  std::unique_ptr<chaos::Stack> stack;
+  const ScenarioOptions opt = ShardedOptions(GetParam());
+  const RunReport rep = RunOps(opt, chaos::GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  EXPECT_GT(rep.stats.pages_verified, 0u);
+  EXPECT_GT(rep.stats.invariant_checks, 0u);
+  EXPECT_EQ(rep.stats.blocked_ops, 0u);
+  EXPECT_EQ(rep.faults.total_fails(), 0u);
+  EXPECT_EQ(stack->monitor->stats().lost_page_errors, 0u);
+}
+
+TEST_P(ShardedChaosSeeds, WritebackOutageRecoversWithoutLosingPages) {
+  ScenarioOptions opt = ShardedOptions(GetParam());
+  opt.num_ops = 400;
+  opt.lru_capacity = 16;  // force steady eviction traffic
+  opt.plan.seed = GetParam() * 31 + 7;
+  for (FaultSite s : {FaultSite::kStoreMultiPut, FaultSite::kStorePut}) {
+    opt.plan.at(s).outage_from = 80;
+    opt.plan.at(s).outage_to = 200;
+  }
+  std::unique_ptr<chaos::Stack> stack;
+  const RunReport rep = RunOps(opt, chaos::GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  const fm::MonitorStats& ms = stack->monitor->stats();
+  EXPECT_GT(ms.writeback_errors, 0u) << rep.Report();
+  EXPECT_GT(ms.writeback_requeues, 0u);
+  EXPECT_EQ(ms.lost_page_errors, 0u);
+  EXPECT_GT(rep.faults.total_fails(), 0u);
+}
+
+TEST_P(ShardedChaosSeeds, ReplicaFailoverServesReadsThroughFaults) {
+  ScenarioOptions opt = ShardedOptions(GetParam());
+  opt.store = StoreKind::kReplicated;
+  opt.num_ops = 400;
+  opt.lru_capacity = 16;
+  opt.plan.seed = GetParam() ^ 0xf41157ULL;
+  opt.plan.at(FaultSite::kStoreGet).fail_p = 0.2;
+  std::unique_ptr<chaos::Stack> stack;
+  const RunReport rep = RunOps(opt, chaos::GenerateOps(opt), &stack);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  ASSERT_NE(stack->replicated, nullptr);
+  EXPECT_GT(stack->replicated->replication_stats().failovers, 0u);
+  EXPECT_EQ(stack->monitor->stats().lost_page_errors, 0u);
+}
+
+// Every monitor stat and injector counter matches between two runs of the
+// same sharded scenario: the parallel engine is deterministic virtual
+// time, not a thread schedule.
+TEST_P(ShardedChaosSeeds, ShardedReplayIsDeterministic) {
+  ScenarioOptions opt = ShardedOptions(GetParam());
+  opt.num_ops = 400;
+  opt.lru_capacity = 16;
+  opt.plan.seed = GetParam() * 31 + 7;
+  opt.plan.at(FaultSite::kStoreGet).fail_p = 0.1;
+  const std::vector<Op> ops = chaos::GenerateOps(opt);
+  std::unique_ptr<chaos::Stack> s1, s2;
+  const RunReport first = RunOps(opt, ops, &s1);
+  const RunReport second = RunOps(opt, ops, &s2);
+  ASSERT_EQ(first.ok, second.ok) << first.Report() << second.Report();
+  EXPECT_EQ(first.stats.ops_executed, second.stats.ops_executed);
+  EXPECT_EQ(first.stats.pages_verified, second.stats.pages_verified);
+  EXPECT_EQ(first.stats.blocked_ops, second.stats.blocked_ops);
+  EXPECT_EQ(first.faults.fails, second.faults.fails);
+  EXPECT_EQ(first.faults.stalls, second.faults.stalls);
+  const fm::MonitorStats &m1 = s1->monitor->stats(),
+                         &m2 = s2->monitor->stats();
+  EXPECT_EQ(m1.faults, m2.faults);
+  EXPECT_EQ(m1.refaults, m2.refaults);
+  EXPECT_EQ(m1.evictions, m2.evictions);
+  EXPECT_EQ(m1.flushed_pages, m2.flushed_pages);
+  EXPECT_EQ(m1.transient_read_errors, m2.transient_read_errors);
+  EXPECT_EQ(m1.writeback_errors, m2.writeback_errors);
+}
+
+// fault_shards=1 must be THE legacy serial monitor, not a one-worker
+// approximation of it: a run with the explicit engine default produces the
+// exact same stats as a run that never mentions the engine at all.
+TEST_P(ShardedChaosSeeds, SingleShardMatchesLegacySerialRunExactly) {
+  ScenarioOptions legacy;
+  legacy.seed = GetParam();
+  legacy.num_ops = 400;
+  legacy.lru_capacity = 16;
+  legacy.plan.seed = GetParam() * 31 + 7;
+  legacy.plan.at(FaultSite::kStoreGet).fail_p = 0.1;
+  ScenarioOptions k1 = legacy;
+  k1.fault_shards = 1;  // explicit — still the serial path
+  k1.uffd_read_batch = 1;
+  const std::vector<Op> ops = chaos::GenerateOps(legacy);
+  std::unique_ptr<chaos::Stack> s1, s2;
+  const RunReport a = RunOps(legacy, ops, &s1);
+  const RunReport b = RunOps(k1, ops, &s2);
+  ASSERT_TRUE(a.ok) << a.Report();
+  ASSERT_TRUE(b.ok) << b.Report();
+  EXPECT_EQ(a.stats.ops_executed, b.stats.ops_executed);
+  EXPECT_EQ(a.stats.pages_verified, b.stats.pages_verified);
+  EXPECT_EQ(a.faults.fails, b.faults.fails);
+  EXPECT_EQ(a.faults.stalls, b.faults.stalls);
+  const fm::MonitorStats &m1 = s1->monitor->stats(),
+                         &m2 = s2->monitor->stats();
+  EXPECT_EQ(m1.faults, m2.faults);
+  EXPECT_EQ(m1.refaults, m2.refaults);
+  EXPECT_EQ(m1.steals, m2.steals);
+  EXPECT_EQ(m1.evictions, m2.evictions);
+  EXPECT_EQ(m1.flush_batches, m2.flush_batches);
+  EXPECT_EQ(m1.flushed_pages, m2.flushed_pages);
+  EXPECT_EQ(m1.transient_read_errors, m2.transient_read_errors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChaosSeeds,
+                         ::testing::Values(2ull, 33ull, 444ull, 5555ull));
+
 // --- the re-introduced PR-1 bug is caught by the default sweep ---------------------
 
 class BuggyUnregisterSweep : public ::testing::TestWithParam<std::uint64_t> {};

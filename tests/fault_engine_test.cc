@@ -1,0 +1,414 @@
+// Tests for the sharded fault-handling engine: the executor's deterministic
+// worker selection, sharded LRU/tracker slices, the batched uffd event
+// queue, shard-group MultiGet fetches, in-flight read coalescing (dedup),
+// cross-shard eviction work-stealing, replay determinism, and the
+// parallel-handler speedup itself.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fluidmem/fault_engine.h"
+#include "fluidmem/lru_buffer.h"
+#include "fluidmem/monitor.h"
+#include "fluidmem/page_tracker.h"
+#include "fluidmem/test_peer.h"
+#include "kvstore/local_store.h"
+#include "mem/uffd.h"
+#include "sim/executor.h"
+
+namespace fluid::fm {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+PageRef Ref(std::size_t i, RegionId r = 0) { return PageRef{r, PageAddr(i)}; }
+
+// --- Executor ----------------------------------------------------------------------
+
+TEST(Executor, PicksEarliestFreeWorkerLowestIndexOnTies) {
+  Executor ex{3};
+  EXPECT_EQ(ex.size(), 3u);
+  // All idle: index 0 wins the tie.
+  EXPECT_EQ(ex.PickWorker(100), 0u);
+  ex.at(0).Occupy(100, 50);
+  ex.at(1).Occupy(100, 10);
+  // Worker 2 is idle, the others busy.
+  EXPECT_EQ(ex.PickWorker(100), 2u);
+  ex.at(2).Occupy(100, 100);
+  // Now 1 frees first.
+  EXPECT_EQ(ex.PickWorker(100), 1u);
+  EXPECT_EQ(ex.BusyCount(105), 3u);
+  EXPECT_EQ(ex.BusyCount(160), 1u);
+  EXPECT_EQ(ex.MaxFreeAt(), SimTime{200});
+  ex.Reset();
+  EXPECT_EQ(ex.BusyCount(0), 0u);
+}
+
+// --- Sharded LruBuffer -------------------------------------------------------------
+
+TEST(LruBufferSharded, GlobalVictimOrderMatchesUnsharded) {
+  // The per-slice lists plus insertion sequence numbers must reproduce the
+  // exact global insertion order a single list gives.
+  LruBuffer flat{64};
+  LruBuffer sharded{64, /*true_lru=*/false, /*shards=*/4};
+  for (std::size_t i = 0; i < 32; ++i) {
+    flat.Insert(Ref(i * 7 + 3));
+    sharded.Insert(Ref(i * 7 + 3));
+  }
+  PageRef a, b;
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(flat.PopVictim(&a));
+    ASSERT_TRUE(sharded.PopVictim(&b));
+    EXPECT_EQ(a, b) << "victim " << i;
+  }
+  EXPECT_FALSE(sharded.PopVictim(&b));
+}
+
+TEST(LruBufferSharded, SlicesPartitionAndPopInInsertionOrder) {
+  LruBuffer lru{64, /*true_lru=*/false, /*shards=*/4};
+  for (std::size_t i = 0; i < 24; ++i) lru.Insert(Ref(i));
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < lru.shard_count(); ++s)
+    total += lru.ShardSize(s);
+  EXPECT_EQ(total, lru.size());
+  // Popping a slice yields that slice's pages oldest-first, and the pages
+  // really hash there.
+  const std::size_t hot = lru.LargestShard();
+  const std::size_t hot_size = lru.ShardSize(hot);
+  ASSERT_GT(hot_size, 0u);
+  std::uint64_t prev_seq_ok = 0;
+  (void)prev_seq_ok;
+  PageRef v;
+  std::vector<PageRef> popped;
+  while (lru.PopVictimOfShard(hot, &v)) popped.push_back(v);
+  EXPECT_EQ(popped.size(), hot_size);
+  for (std::size_t i = 1; i < popped.size(); ++i)
+    EXPECT_LT(popped[i - 1].addr, popped[i].addr);  // inserted in addr order
+  EXPECT_EQ(lru.ShardSize(hot), 0u);
+}
+
+// --- Sharded PageTracker -----------------------------------------------------------
+
+TEST(PageTrackerSharded, BehavesIdenticallyToUnsharded) {
+  PageTracker flat;
+  PageTracker sharded{4};
+  for (std::size_t i = 0; i < 32; ++i) {
+    flat.MarkResident(Ref(i));
+    sharded.MarkResident(Ref(i));
+  }
+  flat.MarkRemote(Ref(3));
+  sharded.MarkRemote(Ref(3));
+  flat.Forget(Ref(5));
+  sharded.Forget(Ref(5));
+  EXPECT_EQ(flat.Size(), sharded.Size());
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(flat.Seen(Ref(i)), sharded.Seen(Ref(i))) << i;
+    if (flat.Seen(Ref(i))) {
+      EXPECT_EQ(flat.LocationOf(Ref(i)), sharded.LocationOf(Ref(i))) << i;
+    }
+  }
+  EXPECT_EQ(flat.CountIn(PageLocation::kResident),
+            sharded.CountIn(PageLocation::kResident));
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s)
+    total += sharded.ShardSize(s);
+  EXPECT_EQ(total, sharded.Size());
+}
+
+// --- Batched uffd dequeue ----------------------------------------------------------
+
+TEST(UffdQueue, ReadEventsDrainsFifoInBoundedBatches) {
+  mem::FramePool pool{16};
+  mem::UffdRegion region{1, kBase, 16, pool};
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto a = region.Access(PageAddr(i), false);
+    ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    region.QueueEvent(a.event, 100 + i);
+  }
+  EXPECT_EQ(region.QueuedEventCount(), 5u);
+  auto first = region.ReadEvents(3);
+  ASSERT_EQ(first.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[i].event.addr, PageAddr(i));
+    EXPECT_EQ(first[i].raised_at, 100 + i);
+  }
+  auto rest = region.ReadEvents(8);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].event.addr, PageAddr(3));
+  EXPECT_EQ(region.QueuedEventCount(), 0u);
+}
+
+// --- Engine fixture ----------------------------------------------------------------
+
+struct EngineFixture {
+  mem::FramePool pool;
+  kv::LocalDramStore store;
+  Monitor monitor;
+  mem::UffdRegion region;
+  RegionId rid;
+
+  explicit EngineFixture(MonitorConfig cfg, std::size_t region_pages = 1024)
+      : pool(4096),
+        store(kv::LocalStoreConfig{}),
+        monitor(cfg, store, pool),
+        region(77, kBase, region_pages, pool),
+        rid(monitor.RegisterRegion(region, /*partition=*/3)) {}
+
+  static MonitorConfig Config(std::size_t shards, std::size_t read_batch = 1,
+                              std::size_t lru_pages = 8) {
+    MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru_pages;
+    cfg.write_batch_pages = 4;
+    cfg.fault_shards = shards;
+    cfg.uffd_read_batch = read_batch;
+    return cfg;
+  }
+
+  FaultOutcome Fault(std::size_t page, SimTime now, bool is_write = false) {
+    auto a = region.Access(PageAddr(page), is_write);
+    EXPECT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    return monitor.HandleFault(rid, PageAddr(page), now);
+  }
+
+  void WriteMarker(std::size_t page, std::uint64_t marker) {
+    (void)region.Access(PageAddr(page), true);
+    ASSERT_TRUE(region
+                    .WriteBytes(PageAddr(page) + 16,
+                                std::as_bytes(std::span{&marker, 1}))
+                    .ok());
+  }
+
+  std::uint64_t ReadMarker(std::size_t page) {
+    std::uint64_t got = 0;
+    EXPECT_TRUE(region
+                    .ReadBytes(PageAddr(page) + 16,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    return got;
+  }
+
+  // Make pages [0, n) remote with markers: fault+dirty them, then evict by
+  // faulting n filler pages past the LRU capacity, then drain writebacks.
+  SimTime MakeRemote(std::size_t n, SimTime now) {
+    for (std::size_t i = 0; i < n; ++i) {
+      now = Fault(i, now, true).wake_at;
+      WriteMarker(i, 0xFACE000ULL + i);
+    }
+    // Evict them: filler faults cycle the LRU until every data page has
+    // been pushed out, whatever victim-selection policy is active (the
+    // engine's own-slice/steal order differs from the serial global order).
+    std::size_t filler = 512;
+    for (int round = 0; round < 64 && !AllRemote(n); ++round) {
+      const std::size_t cap = MonitorTestPeer::lru(monitor).capacity();
+      for (std::size_t j = 0; j < cap; ++j)
+        now = Fault(filler++, now, true).wake_at;
+      now = monitor.DrainWrites(now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(MonitorTestPeer::tracker(monitor).LocationOf(Ref(i, rid)),
+                PageLocation::kRemote)
+          << "page " << i;
+    }
+    return now;
+  }
+
+  bool AllRemote(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (MonitorTestPeer::tracker(monitor).LocationOf(Ref(i, rid)) !=
+          PageLocation::kRemote)
+        return false;
+    return true;
+  }
+};
+
+// --- In-flight read dedup (regression) ---------------------------------------------
+
+// Two vCPUs fault the same remote page before the handler pool services
+// either event. The first fault posts the async store read; the second must
+// COALESCE onto it — one remote Get, two waiters — and must not wake before
+// the shared read's data has actually arrived.
+TEST(FaultEngine, RefaultCoalescesOntoOutstandingRead) {
+  EngineFixture f{EngineFixture::Config(/*shards=*/2, /*read_batch=*/8)};
+  SimTime now = kMillisecond;
+  now = f.MakeRemote(4, now);
+
+  auto a = f.region.Access(PageAddr(0), false);
+  ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+  f.region.QueueEvent(a.event, now);
+  f.region.QueueEvent(a.event, now + 1);  // second vCPU, same page
+
+  const auto gets_before = f.store.stats().gets;
+  auto outs = f.monitor.fault_engine().PumpQueuedFaults(f.rid, now);
+  ASSERT_EQ(outs.size(), 2u);
+  ASSERT_TRUE(outs[0].status.ok());
+  ASSERT_TRUE(outs[1].status.ok());
+  // Exactly ONE store read serviced both faults.
+  EXPECT_EQ(f.store.stats().gets, gets_before + 1);
+  EXPECT_TRUE(outs[1].waited_in_flight);
+  EXPECT_EQ(f.monitor.fault_engine().TotalStats().coalesced_reads, 1u);
+  // The second waiter cannot wake before the shared read completed; the
+  // first waiter's wake already includes the full read, so the coalesced
+  // wake is at or after the point the data existed.
+  EXPECT_GE(outs[1].wake_at, now);
+  EXPECT_EQ(f.ReadMarker(0), 0xFACE000ULL);
+}
+
+// --- Shard-group batched fetch -----------------------------------------------------
+
+TEST(FaultEngine, BatchedDequeueGroupFetchesSameShardRemotePages) {
+  EngineFixture f{EngineFixture::Config(/*shards=*/2, /*read_batch=*/16,
+                                        /*lru_pages=*/64)};
+  SimTime now = kMillisecond;
+  now = f.MakeRemote(16, now);
+
+  const std::uint64_t faults_before =
+      f.monitor.fault_engine().TotalStats().faults;
+  for (std::size_t i = 0; i < 16; ++i) {
+    auto a = f.region.Access(PageAddr(i), false);
+    ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    f.region.QueueEvent(a.event, now);
+  }
+  auto outs = f.monitor.fault_engine().PumpQueuedFaults(f.rid, now);
+  ASSERT_EQ(outs.size(), 16u);
+  SimTime end = now;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    EXPECT_TRUE(outs[i].status.ok()) << "fault " << i;
+    end = std::max(end, outs[i].wake_at);
+  }
+  // 16 remote pages across 2 shards: each shard's slice of the batch is
+  // large enough that group MultiGets must have formed.
+  const EngineShardStats total = f.monitor.fault_engine().TotalStats();
+  EXPECT_GE(total.batched_reads, 4u);
+  EXPECT_EQ(total.faults - faults_before, 16u);
+  // Group-fetched bytes are the real page contents.
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (f.region.IsPresent(PageAddr(i))) {
+      EXPECT_EQ(f.ReadMarker(i), 0xFACE000ULL + i) << "page " << i;
+    }
+  }
+  // Frame conservation survives the concurrent handlers (drain first: the
+  // write list legitimately holds frames for in-flight writebacks).
+  (void)f.monitor.DrainWrites(end);
+  EXPECT_EQ(f.pool.in_use(), f.region.ResidentFrames());
+}
+
+// --- Work stealing -----------------------------------------------------------------
+
+TEST(FaultEngine, ColdSliceStealsEvictionVictimFromHotSlice) {
+  EngineFixture f{EngineFixture::Config(/*shards=*/4, /*read_batch=*/1,
+                                        /*lru_pages=*/8)};
+  auto& eng = f.monitor.fault_engine();
+  // Build the imbalance deterministically from the engine's own hash: fill
+  // the whole LRU with shard-0 pages, then fault one shard-1 page — its
+  // slice is empty (below the fair share of 2), so its eviction must steal
+  // the hot slice's oldest page.
+  std::vector<std::size_t> shard0;
+  std::size_t shard1_page = SIZE_MAX;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    const std::size_t s = eng.ShardOf(Ref(i, f.rid));
+    if (s == 0 && shard0.size() < 8) shard0.push_back(i);
+    if (s == 1 && shard1_page == SIZE_MAX) shard1_page = i;
+    if (shard0.size() == 8 && shard1_page != SIZE_MAX) break;
+  }
+  ASSERT_EQ(shard0.size(), 8u);
+  ASSERT_NE(shard1_page, SIZE_MAX);
+
+  SimTime now = kMillisecond;
+  for (std::size_t p : shard0) now = f.Fault(p, now, /*is_write=*/true).wake_at;
+  ASSERT_EQ(eng.TotalStats().work_steals, 0u);
+  now = f.Fault(shard1_page, now, /*is_write=*/true).wake_at;
+  EXPECT_GT(eng.TotalStats().work_steals, 0u);
+  EXPECT_GT(f.monitor.stats().evictions, 0u);
+  (void)f.monitor.DrainWrites(now);
+  EXPECT_EQ(f.pool.in_use(), f.region.ResidentFrames());
+}
+
+// --- Determinism -------------------------------------------------------------------
+
+// Same seed, same ops => bit-identical wake times and stats, at K=4 with
+// batching — the engine keeps the chaos-replay guarantee.
+TEST(FaultEngine, ShardedRunsReplayBitIdentically) {
+  const auto run = [] {
+    EngineFixture f{EngineFixture::Config(/*shards=*/4, /*read_batch=*/8)};
+    SimTime now = kMillisecond;
+    std::vector<SimTime> stamps;
+    for (std::size_t i = 0; i < 24; ++i) {
+      now = f.Fault(i % 12, now, i % 3 == 0).wake_at;
+      stamps.push_back(now);
+    }
+    for (std::size_t i = 0; i < 12; ++i) {
+      auto a = f.region.Access(PageAddr(i), false);
+      if (a.kind != mem::AccessKind::kUffdFault) continue;
+      f.region.QueueEvent(a.event, now);
+    }
+    for (const auto& o : f.monitor.fault_engine().PumpQueuedFaults(f.rid, now))
+      stamps.push_back(o.wake_at);
+    const auto t = f.monitor.fault_engine().TotalStats();
+    stamps.push_back(static_cast<SimTime>(t.faults));
+    stamps.push_back(static_cast<SimTime>(t.batched_reads));
+    stamps.push_back(static_cast<SimTime>(t.work_steals));
+    stamps.push_back(static_cast<SimTime>(t.lock_wait_total));
+    return stamps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The engine's pump at K=1 / batch=1 is the legacy serial monitor, exactly:
+// same wake times, same store traffic, same stats as direct HandleFault.
+TEST(FaultEngine, SerialPumpMatchesDirectHandleFaultExactly) {
+  EngineFixture direct{EngineFixture::Config(1, 1)};
+  EngineFixture pumped{EngineFixture::Config(1, 1)};
+  SimTime now_d = kMillisecond;
+  SimTime now_p = kMillisecond;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bool w = i % 2 == 0;
+    now_d = direct.Fault(i % 10, now_d, w).wake_at;
+
+    auto a = pumped.region.Access(PageAddr(i % 10), w);
+    ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    pumped.region.QueueEvent(a.event, now_p);
+    auto outs = pumped.monitor.fault_engine().PumpQueuedFaults(pumped.rid,
+                                                               now_p);
+    ASSERT_EQ(outs.size(), 1u);
+    now_p = outs[0].wake_at;
+    EXPECT_EQ(now_d, now_p) << "fault " << i;
+  }
+  EXPECT_EQ(direct.store.stats().gets, pumped.store.stats().gets);
+  EXPECT_EQ(direct.monitor.stats().faults, pumped.monitor.stats().faults);
+  EXPECT_EQ(direct.monitor.stats().evictions,
+            pumped.monitor.stats().evictions);
+}
+
+// --- The speedup itself ------------------------------------------------------------
+
+// Eight handler shards with batched dequeue must finish a backlogged fault
+// storm well faster (virtual time) than the serial monitor — this is the
+// perf-labeled guard for the scaling claim the bench quantifies.
+TEST(FaultEngine, ParallelShardsBeatSerialOnABackloggedFaultStorm) {
+  const auto elapsed = [](std::size_t shards, std::size_t batch) {
+    EngineFixture f{EngineFixture::Config(shards, batch, /*lru_pages=*/64)};
+    SimTime now = kMillisecond;
+    now = f.MakeRemote(48, now);
+    for (std::size_t i = 0; i < 48; ++i) {
+      auto a = f.region.Access(PageAddr(i), false);
+      EXPECT_EQ(a.kind, mem::AccessKind::kUffdFault);
+      f.region.QueueEvent(a.event, now);
+    }
+    SimTime last = now;
+    for (const auto& o : f.monitor.fault_engine().PumpQueuedFaults(f.rid, now)) {
+      EXPECT_TRUE(o.status.ok());
+      last = std::max(last, o.wake_at);
+    }
+    return last - now;
+  };
+  const SimDuration serial = elapsed(1, 1);
+  const SimDuration sharded = elapsed(8, 8);
+  EXPECT_LT(sharded * 2, serial)
+      << "K=8 batched: " << sharded << " ns, serial: " << serial << " ns";
+}
+
+}  // namespace
+}  // namespace fluid::fm

@@ -5,6 +5,7 @@
 // and the monitor's graceful degradation to a local swap device.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <memory>
@@ -292,6 +293,180 @@ TEST(ResilientStore, ReplaysByteIdenticallyFromItsSeed) {
     return stamps;
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- ResilientStore::MultiGet subset retry -----------------------------------------
+
+// Test double for the batched-read path: records the key list of every
+// MultiGet call and can mark a chosen key set kUnavailable for the first N
+// batch calls (the data itself is still written — only the status lies, as
+// a dropped response would).
+class RecordingBatchStore final : public kv::KvStore {
+ public:
+  RecordingBatchStore() : inner_(kv::LocalStoreConfig{}) {}
+
+  void FailKeysForCalls(std::vector<kv::Key> keys, int calls) {
+    flaky_keys_ = std::move(keys);
+    fail_calls_ = calls;
+  }
+  const std::vector<std::vector<kv::Key>>& batch_calls() const {
+    return calls_;
+  }
+
+  std::string_view name() const override { return "recording-batch"; }
+  bool has_native_partitions() const override {
+    return inner_.has_native_partitions();
+  }
+  kv::OpResult Put(PartitionId p, kv::Key k,
+                   std::span<const std::byte, kPageSize> v,
+                   SimTime now) override {
+    return inner_.Put(p, k, v, now);
+  }
+  kv::OpResult Get(PartitionId p, kv::Key k,
+                   std::span<std::byte, kPageSize> out, SimTime now) override {
+    return inner_.Get(p, k, out, now);
+  }
+  kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
+    return inner_.Remove(p, k, now);
+  }
+  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+                        SimTime now) override {
+    return inner_.MultiPut(p, w, now);
+  }
+  kv::OpResult MultiGet(PartitionId p, std::span<kv::KvRead> reads,
+                        SimTime now) override {
+    std::vector<kv::Key> keys;
+    keys.reserve(reads.size());
+    for (const kv::KvRead& r : reads) keys.push_back(r.key);
+    calls_.push_back(std::move(keys));
+    kv::OpResult agg = inner_.MultiGet(p, reads, now);
+    if (static_cast<int>(calls_.size()) <= fail_calls_) {
+      for (kv::KvRead& r : reads)
+        if (std::find(flaky_keys_.begin(), flaky_keys_.end(), r.key) !=
+            flaky_keys_.end())
+          r.status = Status::Unavailable("dropped response");
+    }
+    return agg;
+  }
+  kv::OpResult DropPartition(PartitionId p, SimTime now) override {
+    return inner_.DropPartition(p, now);
+  }
+  bool Contains(PartitionId p, kv::Key k) const override {
+    return inner_.Contains(p, k);
+  }
+  std::size_t ObjectCount() const override { return inner_.ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_.BytesStored(); }
+  const kv::StoreStats& stats() const override { return inner_.stats(); }
+
+ private:
+  kv::LocalDramStore inner_;
+  std::vector<std::vector<kv::Key>> calls_;
+  std::vector<kv::Key> flaky_keys_;
+  int fail_calls_ = 0;
+};
+
+TEST(ResilientStore, MultiGetRetriesOnlyTheFailedSubset) {
+  auto rec_owner = std::make_unique<RecordingBatchStore>();
+  RecordingBatchStore* rec = rec_owner.get();
+  kv::ResilientStore store{std::move(rec_owner), {}};
+  const auto page = PatternPage(31);
+  SimTime now = kMillisecond;
+  for (std::size_t i = 0; i < 4; ++i)
+    now = store.Put(kPart, KeyAt(i), page, now).complete_at;
+  rec->FailKeysForCalls({KeyAt(1), KeyAt(3)}, /*calls=*/1);
+
+  std::array<std::array<std::byte, kPageSize>, 5> bufs{};
+  std::vector<kv::KvRead> reads;
+  for (std::size_t i = 0; i < 4; ++i)
+    reads.push_back(kv::KvRead{KeyAt(i), bufs[i], {}});
+  reads.push_back(kv::KvRead{KeyAt(9), bufs[4], {}});  // never written
+
+  auto r = store.MultiGet(kPart, reads, now);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(store.stats().retries, 1u);
+  ASSERT_EQ(rec->batch_calls().size(), 2u);
+  EXPECT_EQ(rec->batch_calls()[0].size(), 5u);
+  // Only the two kUnavailable keys went back out; the successes keep their
+  // data and the kNotFound key is authoritative — no retry for it.
+  EXPECT_EQ(rec->batch_calls()[1], (std::vector<kv::Key>{KeyAt(1), KeyAt(3)}));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(reads[i].status.ok()) << "key " << i;
+    EXPECT_EQ(std::memcmp(bufs[i].data(), page.data(), kPageSize), 0);
+  }
+  EXPECT_EQ(reads[4].status.code(), StatusCode::kNotFound);
+  EXPECT_GE(r.complete_at, now);
+}
+
+TEST(ResilientStore, MultiGetExhaustsBudgetWhenKeysStayDown) {
+  kv::ResilientStoreConfig cfg;
+  cfg.max_attempts = 3;
+  ResilientRig rig{cfg};
+  const auto page = PatternPage(33);
+  SimTime now = kMillisecond;
+  for (std::size_t i = 0; i < 3; ++i)
+    now = rig.store->Put(kPart, KeyAt(i), page, now).complete_at;
+  rig.flaky->set_down(true);
+
+  std::array<std::array<std::byte, kPageSize>, 3> bufs{};
+  std::vector<kv::KvRead> reads;
+  for (std::size_t i = 0; i < 3; ++i)
+    reads.push_back(kv::KvRead{KeyAt(i), bufs[i], {}});
+  auto r = rig.store->MultiGet(kPart, reads, now);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(rig.store->stats().retries, 2u);
+  for (const kv::KvRead& rd : reads)
+    EXPECT_EQ(rd.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(ResilientStore, MultiGetPaysOneBatchRttNotNSequentialGets) {
+  // Three RAMCloud stores with identical seeds and identical Put history:
+  // one wrapped in ResilientStore, one bare (exact-cost reference), one for
+  // the sequential-Get comparison.
+  kv::RamcloudConfig rc;
+  auto inner_owner = std::make_unique<kv::RamcloudStore>(rc);
+  kv::RamcloudStore* inner = inner_owner.get();
+  kv::RamcloudStore bare{rc};
+  kv::RamcloudStore seq{rc};
+
+  const auto page = PatternPage(37);
+  constexpr std::size_t kN = 8;
+  SimTime now = kMillisecond;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto w = inner->Put(kPart, KeyAt(i), page, now);
+    bare.Put(kPart, KeyAt(i), page, now);
+    seq.Put(kPart, KeyAt(i), page, now);
+    now = w.complete_at;
+  }
+  kv::ResilientStore store{std::move(inner_owner), {}};
+
+  std::array<std::array<std::byte, kPageSize>, kN> bufs{};
+  std::vector<kv::KvRead> reads, reads_ref;
+  for (std::size_t i = 0; i < kN; ++i) {
+    reads.push_back(kv::KvRead{KeyAt(i), bufs[i], {}});
+    reads_ref.push_back(kv::KvRead{KeyAt(i), bufs[i], {}});
+  }
+  // With no failures the decorator's batch costs EXACTLY what the inner
+  // store's native MultiGet costs — one batch RTT, no extra samples.
+  auto batched = store.MultiGet(kPart, reads, now);
+  auto reference = bare.MultiGet(kPart, reads_ref, now);
+  ASSERT_TRUE(batched.status.ok());
+  EXPECT_EQ(batched.attempts, 1);
+  EXPECT_EQ(batched.issue_done, reference.issue_done);
+  EXPECT_EQ(batched.complete_at, reference.complete_at);
+
+  // And far below N dependent single-key Gets.
+  SimTime t = now;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto g = seq.Get(kPart, KeyAt(i), bufs[i], t);
+    ASSERT_TRUE(g.status.ok());
+    t = g.complete_at;
+  }
+  const SimDuration batch_cost = batched.complete_at - now;
+  const SimDuration seq_cost = t - now;
+  EXPECT_LT(batch_cost, seq_cost / 2)
+      << "batch=" << batch_cost << " sequential=" << seq_cost;
 }
 
 // --- ReplicatedStore divergence (regression: stale reads after recovery) -----------
