@@ -5,10 +5,22 @@
 // reproduction preserves the WSS:DRAM ratio (4:1) at 1/64 scale and prints
 // each configuration's mean latency against the paper's (the parenthesised
 // values in Fig. 3) plus CDF sample points for plotting.
+//
+// Flags:
+//   --smoke   shortened run (CI): fewer accesses, shorter virtual duration
+//   --trace   attach the observability layer to the canonical FluidMem
+//             configuration (RAMCloud backend) and export a Chrome-trace
+//             JSON (TRACE_fig3_pmbench_cdf.json, Perfetto-loadable) plus a
+//             metrics snapshot (METRICS_fig3_pmbench_cdf.json)
+#include <cctype>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "workloads/pmbench.h"
 #include "workloads/testbed.h"
 
@@ -27,13 +39,40 @@ constexpr Row kRows[] = {
     {wl::Backend::kSwapNvmeof, 41.73},   {wl::Backend::kSwapSsd, 106.56},
 };
 
+// The configuration the traced run instruments: FluidMem over RAMCloud is
+// the paper's headline setup.
+constexpr wl::Backend kTracedBackend = wl::Backend::kFluidRamcloud;
+
+std::string MetricName(std::string_view backend, std::string_view what) {
+  std::string s{backend};
+  for (char& c : s) {
+    if (c == ' ') c = '_';
+    else c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  s += "_";
+  s += what;
+  return s;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
+
   bench::Header(
       "Figure 3: pmbench access-latency CDFs (6 configurations)");
   bench::Note("scale: 1/64 of the paper (WSS 64 MB : DRAM 16 MB = 4:1, as "
               "4 GB : 1 GB); 50% reads; virtual time");
+  if (smoke) bench::Note("smoke run: shortened for CI");
+  if (trace)
+    bench::Note("traced run: observability attached to FluidMem RAMCloud");
+
+  bench::JsonReport report{"fig3_pmbench_cdf"};
 
   std::printf("\n%-22s %14s %14s %14s %14s %9s\n", "configuration",
               "mean read(us)", "mean write(us)", "mean all(us)",
@@ -47,11 +86,21 @@ int main() {
     wl::Testbed bed{row.backend, cfg};
     SimTime now = bed.Boot(0);
 
+    // The hub's gauges reference the testbed's monitor, so all observability
+    // export happens inside this iteration while `bed` is alive.
+    obs::Observability obs;
+    const bool traced_config = trace && row.backend == kTracedBackend;
+    if (traced_config) {
+      obs.Enable();
+      obs.metrics().EnableSampling(100 * kMillisecond);
+      bed.monitor()->AttachObservability(obs);
+    }
+
     wl::PmbenchConfig pm;
     pm.base = bed.layout().app_base;
     pm.wss_pages = 16384;          // "4 GB"
-    pm.duration = 10 * kSecond;    // enough samples for stable tails
-    pm.max_accesses = 600'000;
+    pm.duration = smoke ? 2 * kSecond : 10 * kSecond;
+    pm.max_accesses = smoke ? 40'000 : 600'000;
     wl::PmbenchResult r = wl::RunPmbench(bed.memory(), pm, now);
     if (!r.status.ok()) {
       std::printf("%-22s FAILED: %s\n", wl::BackendName(row.backend).data(),
@@ -68,6 +117,28 @@ int main() {
                 wl::BackendName(row.backend).data(), r.read_latency.MeanUs(),
                 r.write_latency.MeanUs(), r.MeanUs(), row.paper_mean_us,
                 bench::RelErr(r.MeanUs(), row.paper_mean_us));
+    report.Metric(MetricName(wl::BackendName(row.backend), "mean_us"),
+                  r.MeanUs());
+
+    if (traced_config) {
+      std::printf("  [trace] %llu spans recorded (%llu failed, %llu "
+                  "dropped from the window)\n",
+                  (unsigned long long)obs.spans_finished(),
+                  (unsigned long long)obs.spans_failed(),
+                  (unsigned long long)obs.spans_dropped());
+      if (obs.spans_finished() == 0) {
+        std::fprintf(stderr, "traced run recorded no spans\n");
+        return 1;
+      }
+      if (!obs::WriteChromeTrace(obs, "TRACE_fig3_pmbench_cdf.json") ||
+          !obs::WriteMetricsJson(obs, "METRICS_fig3_pmbench_cdf.json")) {
+        std::fprintf(stderr, "trace/metrics export failed\n");
+        return 1;
+      }
+      std::printf("  [trace] wrote TRACE_fig3_pmbench_cdf.json and "
+                  "METRICS_fig3_pmbench_cdf.json\n");
+      report.Metric("traced_spans", static_cast<double>(obs.spans_finished()));
+    }
     results.emplace_back(&row, std::move(r));
   }
 
@@ -87,5 +158,6 @@ int main() {
   bench::Note("expected shape: FluidMem DRAM ~= FluidMem RAMCloud < Swap "
               "DRAM < Swap NVMeoF < FluidMem Memcached < Swap SSD; ~25% of "
               "accesses resolve under 10 us (the local-DRAM fraction)");
+  report.Write();
   return 0;
 }

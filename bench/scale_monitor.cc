@@ -15,6 +15,7 @@
 // `--smoke` runs a reduced sweep for CI; the exit code is nonzero if the
 // JSON cannot be written.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -27,6 +28,8 @@
 #include "fluidmem/monitor.h"
 #include "kvstore/ramcloud.h"
 #include "mem/uffd.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 
 using namespace fluid;
 
@@ -141,12 +144,142 @@ RunResult RunConfig(std::size_t regions, std::size_t shards,
   return res;
 }
 
+// --trace: one fully observed run (spans + metrics + exporters). The same
+// storm as RunConfig, but with the observability hub attached from monitor
+// construction so every fault — populate and storm — opens a span. Emits
+// the "where does a p99 fault go?" per-stage table, writes a Perfetto-
+// loadable Chrome trace + the metrics snapshot, and cross-checks that the
+// span stage sums reconcile with the engine's end-to-end fault histogram
+// (within 1%; they agree exactly by construction, the tolerance only
+// absorbs floating-point accumulation in the histogram's running sum).
+// Returns nonzero on emission or reconciliation failure.
+int RunTraced(std::size_t regions, std::size_t shards,
+              std::size_t pages_per_region, bench::JsonReport& report) {
+  mem::FramePool pool{regions * pages_per_region + 4096};
+  kv::RamcloudStore store{kv::RamcloudConfig{.memory_cap_bytes = 1ULL << 30}};
+
+  fm::MonitorConfig cfg;
+  cfg.lru_capacity_pages = regions * pages_per_region / 2;
+  cfg.write_batch_pages = 32;
+  cfg.fault_shards = shards;
+  cfg.uffd_read_batch = shards == 1 ? 1 : 8;
+  cfg.io_window = 4;
+  fm::Monitor monitor{cfg, store, pool};
+
+  obs::Observability obs;
+  obs.Enable();
+  obs.metrics().EnableSampling(kMillisecond);  // Figure-5-style time series
+  monitor.AttachObservability(obs);
+
+  std::vector<std::unique_ptr<mem::UffdRegion>> region_objs;
+  std::vector<fm::RegionId> rids;
+  for (std::size_t r = 0; r < regions; ++r) {
+    region_objs.push_back(std::make_unique<mem::UffdRegion>(
+        100 + r, kBase + r * kRegionStride, pages_per_region, pool));
+    rids.push_back(monitor.RegisterRegion(*region_objs.back(),
+                                          static_cast<PartitionId>(r + 1)));
+  }
+
+  SimTime now = kMillisecond;
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (std::size_t i = 0; i < pages_per_region; ++i) {
+      const VirtAddr addr = kBase + r * kRegionStride + i * kPageSize;
+      (void)region_objs[r]->Access(addr, true);
+      auto out = monitor.HandleFault(rids[r], addr, now);
+      if (!out.status.ok()) {
+        std::fprintf(stderr, "populate fault failed: %s\n",
+                     out.status.ToString().c_str());
+        return 1;
+      }
+      now = out.wake_at;
+      (void)region_objs[r]->Access(addr, true);
+    }
+  }
+  now = monitor.DrainWrites(now);
+
+  const SimTime storm_start = now;
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (std::size_t i = 0; i < pages_per_region; ++i) {
+      const VirtAddr addr = kBase + r * kRegionStride + i * kPageSize;
+      auto a = region_objs[r]->Access(addr, false);
+      if (a.kind != mem::AccessKind::kUffdFault) continue;
+      region_objs[r]->QueueEvent(a.event, storm_start);
+    }
+    auto outs = monitor.fault_engine().PumpQueuedFaults(rids[r], storm_start);
+    for (const auto& o : outs) {
+      if (!o.status.ok()) {
+        std::fprintf(stderr, "storm fault failed: %s\n",
+                     o.status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // "Where does a p99 fault go?": aggregate stage totals over every
+  // successful span, reconciled against the engine's fault histogram.
+  const LatencyHistogram merged = monitor.fault_engine().MergedLatency();
+  const double hist_sum_ns =
+      merged.MeanNs() * static_cast<double>(merged.Count());
+  const double stage_sum_ns = static_cast<double>(obs.StageTotalSumNs());
+  std::printf("\nper-stage fault latency (%llu spans, %llu ok):\n",
+              (unsigned long long)obs.spans_finished(),
+              (unsigned long long)(obs.spans_finished() - obs.spans_failed()));
+  std::printf("  %-16s %12s %7s %12s\n", "stage", "total_ms", "share",
+              "avg_us/fault");
+  const double ok_spans = static_cast<double>(merged.Count());
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const double ns = static_cast<double>(obs.StageTotalNs(stage));
+    if (ns == 0) continue;
+    std::printf("  %-16s %12.3f %6.1f%% %12.2f\n",
+                std::string(obs::StageName(stage)).c_str(), ns / kMillisecond,
+                stage_sum_ns > 0 ? 100.0 * ns / stage_sum_ns : 0.0,
+                ok_spans > 0 ? ns / ok_spans / 1000.0 : 0.0);
+    report.Metric("stage_" + std::string(obs::StageName(stage)) + "_ns", ns);
+  }
+  const double rel_err =
+      hist_sum_ns > 0 ? std::abs(stage_sum_ns - hist_sum_ns) / hist_sum_ns
+                      : 0.0;
+  std::printf("  stage sum %.3f ms vs histogram sum %.3f ms (err %.4f%%)\n",
+              stage_sum_ns / kMillisecond, hist_sum_ns / kMillisecond,
+              rel_err * 100.0);
+  report.Metric("stage_sum_ns", stage_sum_ns);
+  report.Metric("histogram_sum_ns", hist_sum_ns);
+  report.Metric("stage_reconciliation_rel_err", rel_err);
+  if (rel_err > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: stage sums diverge from the fault histogram by "
+                 "%.3f%% (> 1%%)\n",
+                 rel_err * 100.0);
+    return 1;
+  }
+
+  for (const auto& [name, value] : obs.metrics().Snapshot())
+    report.Metric("obs." + name, value);
+
+  if (!obs::WriteChromeTrace(obs, "TRACE_scale_monitor.json")) {
+    std::fprintf(stderr, "FAIL: could not write TRACE_scale_monitor.json\n");
+    return 1;
+  }
+  if (!obs::WriteMetricsJson(obs, "METRICS_scale_monitor.json")) {
+    std::fprintf(stderr, "FAIL: could not write METRICS_scale_monitor.json\n");
+    return 1;
+  }
+  std::printf("  wrote TRACE_scale_monitor.json (%zu spans) and "
+              "METRICS_scale_monitor.json (%zu series points)\n",
+              obs.spans().size(), obs.metrics().series().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
 
   bench::Header("Monitor scalability: fault throughput vs handler shards");
   bench::Note("backlogged fault storm over the remote working set; "
@@ -205,6 +338,12 @@ int main(int argc, char** argv) {
   bench::Note("speedup comes from parallel handlers + batched dequeue + "
               "shard-group MultiGets overlapping the batch RTT; the p99 "
               "column shows queueing under the backlog, not per-fault cost");
+
+  if (trace) {
+    bench::Note("traced run: spans + stage table + Chrome trace export");
+    const int rc = RunTraced(4, 8, pages_per_region, report);
+    if (rc != 0) return rc;
+  }
 
   if (!report.Write()) return 1;
   return 0;

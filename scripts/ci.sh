@@ -6,6 +6,7 @@
 # 3. same build, `resilience`-labeled suites       (retry/hedge/breaker/spill)
 # 4. same build, `perf`-labeled suites             (sharded fault engine)
 # 5. scale_monitor --smoke                         (scaling bench + JSON emission)
+# 6. traced fig3 smoke + Chrome-trace validation   (observability exporters)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -38,5 +39,21 @@ ctest --preset scale-sanitize -j "${jobs}"
 
 echo "==> fault engine: scaling smoke (exits nonzero if the JSON report fails)"
 (cd build && ./bench/scale_monitor --smoke)
+
+echo "==> observability: traced pmbench smoke (exits nonzero on emission error)"
+(cd build && ./bench/fig3_pmbench_cdf --smoke --trace)
+python3 - <<'PY'
+import json, sys
+with open("build/TRACE_fig3_pmbench_cdf.json") as f:
+    trace = json.load(f)
+events = trace.get("traceEvents", [])
+if not events:
+    sys.exit("Chrome trace has no traceEvents")
+if not any(e.get("ph") == "X" for e in events):
+    sys.exit("Chrome trace has no complete ('X') events")
+with open("build/METRICS_fig3_pmbench_cdf.json") as f:
+    json.load(f)
+print(f"    trace OK: {len(events)} events")
+PY
 
 echo "==> CI green"

@@ -9,6 +9,7 @@
 
 #include "chaos/injected_store.h"
 #include "common/rng.h"
+#include "obs/trace_export.h"
 #include "kvstore/key_codec.h"
 #include "kvstore/local_store.h"
 #include "kvstore/ramcloud.h"
@@ -90,6 +91,12 @@ Stack::Stack(const ScenarioOptions& opt)
   mc.uffd_read_batch = opt.uffd_read_batch;
   mc.seed = opt.seed ^ 0xc0ffeeULL;
   monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
+  if (opt.observe) {
+    // Spans/metrics only observe (no rng draws, no time charges), so an
+    // observed run replays byte-identically to an unobserved one.
+    obs.Enable();
+    monitor->AttachObservability(obs);
+  }
   if (opt.attach_spill) {
     // Local swap device for graceful degradation; it shares the scenario
     // injector, so kBlockRead/kBlockWrite faults can hit the spill path too.
@@ -383,6 +390,11 @@ RunReport RunOps(const ScenarioOptions& opt, std::span<const Op> ops,
   }
 
   rep.faults = stack.injector->stats();
+  // On failure, dump the flight recorder next to the (seed, plan)
+  // reproducer: the last spans (with stage breakdowns) and trace events
+  // leading up to the violation.
+  if (!rep.ok && stack.obs.enabled())
+    rep.flight_dump = obs::DumpFlightRecorder(stack.obs);
   EmitStats(opt, rep, now);
   if (out_stack != nullptr) *out_stack = std::move(stack_owner);
   return rep;
@@ -409,6 +421,7 @@ std::string RunReport::Report() const {
                 static_cast<unsigned long long>(faults.total_fails()),
                 static_cast<unsigned long long>(faults.total_stalls()));
   s += tail;
+  if (!flight_dump.empty()) s += "\n" + flight_dump;
   return s;
 }
 

@@ -37,6 +37,7 @@
 #include "kvstore/resilient.h"
 #include "mem/frame_pool.h"
 #include "mem/uffd.h"
+#include "obs/span.h"
 #include "sim/trace.h"
 #include "swap/swap_space.h"
 
@@ -76,6 +77,11 @@ struct ScenarioOptions {
   // legacy scenario/seed replays bit-identically) ------------------------------
   std::size_t fault_shards = 1;
   std::size_t uffd_read_batch = 1;
+
+  // --- observability (opt-in). Spans/metrics only record — enabling them
+  // never changes a replay; on an oracle/invariant failure the flight
+  // recorder is dumped into RunReport next to the (seed, plan) reproducer. --
+  bool observe = false;
 };
 
 // One deterministic workload operation. `id` is the op's ORIGINAL index in
@@ -127,6 +133,9 @@ struct Stack {
   std::unique_ptr<blk::BlockDevice> spill_device;  // set when opt.attach_spill
   std::unique_ptr<swap::SwapSpace> spill;
   std::unique_ptr<mem::UffdRegion> region;
+  // Declared before `monitor`: the monitor registers gauges over its stats
+  // in here, so the hub must outlive it (destruction runs in reverse).
+  obs::Observability obs;
   std::unique_ptr<fm::Monitor> monitor;
   fm::RegionId rid = 0;
   ShadowMemory shadow;
@@ -151,9 +160,13 @@ struct RunReport {
   std::optional<Failure> failure;
   ChaosStats stats;
   InjectorStats faults;
+  // Flight-recorder dump captured at failure time (opt.observe only):
+  // the last spans with stage breakdowns + the event ring.
+  std::string flight_dump;
 
   // Human-readable reproduction recipe: always names the (seed, plan)
-  // pair; on failure also the failing op and what went wrong.
+  // pair; on failure also the failing op and what went wrong, followed by
+  // the flight-recorder dump when one was captured.
   std::string Report() const;
 };
 

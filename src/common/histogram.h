@@ -8,11 +8,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace fluid {
@@ -41,15 +43,29 @@ class LatencyHistogram {
     max_seen_ = std::max(max_seen_, v);
   }
 
-  void Merge(const LatencyHistogram& other) {
-    // Requires identical bucket layout; used to combine per-thread stats.
-    for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i)
+  // Combine per-thread/per-shard stats. The two histograms must share a
+  // bucket layout: merging mismatched layouts used to silently drop the
+  // excess buckets while still summing the exact moments, skewing every
+  // quantile read off the merged result. Now it is a hard error — the
+  // histogram is left untouched and an InvalidArgument Status is returned
+  // (with an assert so debug/sanitize builds trap at the call site).
+  [[nodiscard]] Status Merge(const LatencyHistogram& other) {
+    const bool same_layout = min_ns_ == other.min_ns_ &&
+                             scale_ == other.scale_ &&
+                             counts_.size() == other.counts_.size();
+    assert(same_layout && "LatencyHistogram::Merge: mismatched bucket layouts");
+    if (!same_layout) {
+      return Status::InvalidArgument(
+          "LatencyHistogram::Merge: mismatched bucket layouts");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
       counts_[i] += other.counts_[i];
     n_ += other.n_;
     sum_ += other.sum_;
     sum_sq_ += other.sum_sq_;
     min_seen_ = std::min(min_seen_, other.min_seen_);
     max_seen_ = std::max(max_seen_, other.max_seen_);
+    return Status::Ok();
   }
 
   std::uint64_t Count() const noexcept { return n_; }
@@ -67,7 +83,10 @@ class LatencyHistogram {
   }
   double StdevUs() const noexcept { return StdevNs() / 1000.0; }
 
-  // Approximate p-quantile (0 < p <= 1) from bucket boundaries.
+  // Approximate p-quantile (0 < p <= 1) from bucket boundaries. The raw
+  // bucket upper edge can exceed the largest value ever recorded (or fall
+  // below the smallest, for low p), so the estimate is clamped to the exact
+  // observed range — a reported p99 is never larger than MaxNs().
   double QuantileNs(double p) const noexcept {
     if (n_ == 0) return 0.0;
     const auto target = static_cast<std::uint64_t>(
@@ -75,7 +94,8 @@ class LatencyHistogram {
     std::uint64_t acc = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       acc += counts_[i];
-      if (acc >= target) return BucketUpperNs(i);
+      if (acc >= target)
+        return std::clamp(BucketUpperNs(i), min_seen_, max_seen_);
     }
     return max_seen_;
   }

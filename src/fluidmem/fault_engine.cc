@@ -1,6 +1,7 @@
 #include "fluidmem/fault_engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace fluid::fm {
 
@@ -31,12 +32,29 @@ FaultOutcome FaultEngine::HandleOne(RegionId id, VirtAddr addr,
     sched.shard = s;
     sched.worker = &exec_.at(s);
   }
+  // Span lifecycle: exactly one span per fault, opened at dequeue and
+  // closed at wake (or failure). Spans only observe — no rng draws, no
+  // time charges — so traced runs replay byte-identically.
+  obs::Observability* obs = monitor_->observability();
+  obs::FaultSpan span_storage;
+  obs::SpanCursor cursor;
+  const bool tracing =
+      obs != nullptr &&
+      obs->StartSpan(&span_storage, &cursor, id, PageAlignDown(addr),
+                     static_cast<std::uint32_t>(s), batch_follower,
+                     fault_time);
+  if (tracing) sched.span = &cursor;
   const FaultOutcome out =
       monitor_->HandleFaultScheduled(id, addr, fault_time, sched);
   Shard& sh = shards_[s];
   ++sh.stats.faults;
   if (out.status.ok() && out.wake_at >= fault_time)
     sh.latency.Record(out.wake_at - fault_time);
+  if (tracing) {
+    const SimTime end = out.wake_at >= fault_time ? out.wake_at : fault_time;
+    obs->FinishSpan(&span_storage, &cursor, end, out.status.ok());
+    obs->MaybeSample(end);
+  }
   return out;
 }
 
@@ -208,7 +226,13 @@ EngineShardStats FaultEngine::TotalStats() const {
 LatencyHistogram FaultEngine::MergedLatency() const {
   LatencyHistogram merged{/*min_ns=*/50.0, /*max_ns=*/1e9,
                           /*buckets_per_decade=*/60};
-  for (const Shard& s : shards_) merged.Merge(s.latency);
+  for (const Shard& s : shards_) {
+    // Every shard histogram is built with the layout above, so a mismatch
+    // here is a programming error, not a runtime condition.
+    const Status st = merged.Merge(s.latency);
+    assert(st.ok());
+    (void)st;
+  }
   return merged;
 }
 

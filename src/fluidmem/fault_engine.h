@@ -52,6 +52,7 @@
 #include "fluidmem/monitor.h"
 #include "fluidmem/page_key.h"
 #include "mem/uffd.h"
+#include "obs/span.h"
 #include "sim/executor.h"
 
 namespace fluid::fm {
@@ -66,6 +67,9 @@ struct FaultSchedule {
   // Event 2..N of one batched read(2): charge batched_dispatch instead of
   // the full epoll-wakeup dispatch.
   bool batch_follower = false;
+  // Bound span cursor when observability is enabled; null otherwise. The
+  // fault path advances it at every stage transition (no-op when null).
+  obs::SpanCursor* span = nullptr;
 };
 
 // Per-shard telemetry; merged on read by FaultEngine::TotalStats.

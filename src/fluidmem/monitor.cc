@@ -271,7 +271,10 @@ bool Monitor::PopVictimFor(RegionId faulting_region, PageRef* victim) {
 
 SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
                              bool sync_write, bool remap_overlapped,
-                             const FaultSchedule* sched) {
+                             const FaultSchedule* sched,
+                             obs::SpanCursor* span) {
+  obs::SpanCursor inert;
+  obs::SpanCursor& sp = span != nullptr ? *span : inert;
   PageRef victim;
   // Engine mode: the handler evicts from its own LRU slice (or steals from
   // the hottest one); the serial path scans the global insertion order.
@@ -280,7 +283,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
           ? sched->engine->PopVictim(faulting_region, sched->shard, &victim)
           : PopVictimFor(faulting_region, &victim);
   if (!popped) return t;
-  if (!sync_write) return EvictToWriteList(victim, t, remap_overlapped);
+  if (!sync_write) return EvictToWriteList(victim, t, remap_overlapped, span);
 
   RegionInfo& ri = regions_[victim.region];
   assert(ri.active);
@@ -294,6 +297,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
                      remap_overlapped ? config_.costs.uffd_remap_async
                                       : config_.costs.uffd_remap_sync,
                      CodePath::kUffdRemap);
+  sp.Advance(obs::Stage::kEviction, t);
   auto frame = ri.region->Remap(victim.addr);
   if (!frame.ok()) {
     // The page vanished from the region (duplicate event race); nothing to
@@ -305,6 +309,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
   // Bookkeeping for the evicted page's new location in the pagetracker.
   t = ChargeProfiled(t, config_.costs.insert_page_hash,
                      CodePath::kInsertPageHashNode);
+  sp.Advance(obs::Stage::kEviction, t);
 
   // Table II "Default"/"Async Read": WRITE_PAGE on the critical path.
   const SimTime start = t;
@@ -313,6 +318,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
       ri.partition, KeyFor(victim),
       std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
   t = put.complete_at;
+  sp.Advance(obs::Stage::kWriteback, t);
   profiler_.Record(CodePath::kWritePage, t - start);
   NoteStoreWrite(put);
   if (!put.status.ok()) {
@@ -330,13 +336,17 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
 }
 
 SimTime Monitor::EvictToWriteList(const PageRef& victim, SimTime t,
-                                  bool remap_overlapped) {
+                                  bool remap_overlapped,
+                                  obs::SpanCursor* span) {
+  obs::SpanCursor inert;
+  obs::SpanCursor& sp = span != nullptr ? *span : inert;
   RegionInfo& ri = regions_[victim.region];
   assert(ri.active);
   t = ChargeProfiled(t,
                      remap_overlapped ? config_.costs.uffd_remap_async
                                       : config_.costs.uffd_remap_sync,
                      CodePath::kUffdRemap);
+  sp.Advance(obs::Stage::kEviction, t);
   auto frame = ri.region->Remap(victim.addr);
   if (!frame.ok()) {
     // The page vanished from the region (duplicate event race); nothing to
@@ -347,6 +357,7 @@ SimTime Monitor::EvictToWriteList(const PageRef& victim, SimTime t,
   ++stats_.evictions;
   t = ChargeProfiled(t, config_.costs.insert_page_hash,
                      CodePath::kInsertPageHashNode);
+  sp.Advance(obs::Stage::kEviction, t);
   write_list_.Enqueue(victim, *frame, t);
   tracker_.MarkWriteList(victim);
   return t;
@@ -386,20 +397,31 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     return out;
   }
 
+  // Span stage attribution (observability). The cursor only records time
+  // windows already computed by the path below — it never charges, samples
+  // or branches on anything, so traced runs replay identically. An unbound
+  // cursor (tracing off) makes every Advance a single null check.
+  obs::SpanCursor inert_cursor;
+  obs::SpanCursor& span = sched.span != nullptr ? *sched.span : inert_cursor;
+
   // Guest exit + kernel userfaultfd handling + event delivery (Fig. 2,
   // steps 1-3), then FIFO onto the monitor thread.
   SimTime t = fault_time;
   if (config_.kvm_mode) t = Charge(t, config_.costs.kvm_exit_entry);
   t = Charge(t, config_.costs.uffd_event_delivery);
+  span.Advance(obs::Stage::kKernelDelivery, t);
   const SimTime mon_start = worker.EarliestStart(t);
+  span.Advance(obs::Stage::kQueueWait, mon_start);
   // Events 2..N of one batched read(2) skip the epoll wakeup and the
   // syscall; only the msg parse + hand-off remains.
   t = Charge(mon_start, sched.batch_follower ? config_.costs.batched_dispatch
                                              : config_.costs.dispatch);
+  span.Advance(obs::Stage::kDispatch, t);
   if (engine_mode) {
     // Contention on the shared frame pool and write list: one sampled
     // lock-hold window per peer handler busy at dispatch time.
     t += sched.engine->ChargeLockContention(sched.shard, mon_start);
+    span.Advance(obs::Stage::kLockWait, t);
   }
 
   RetireCompleted(t);
@@ -440,19 +462,22 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
 
   if (first) {
     ++stats_.first_access_faults;
+    span.SetKind(obs::FaultKind::kFirstAccess);
     // Pagetracker feature (Fig. 2 step 4): never read the store for a
     // first-time access — install the zero page.
     t = ChargeProfiled(t, config_.costs.insert_page_hash,
                        CodePath::kInsertPageHashNode);
+    span.Advance(obs::Stage::kClassify, t);
     if (need_evict && !config_.async_write)
       t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
-                      &sched);
+                      &sched, &span);
     t = ChargeProfiled(t, config_.costs.uffd_zeropage, CodePath::kUffdZeropage);
     Status zp = ri.region->ZeroPage(addr);
     if (!zp.ok() && zp.code() != StatusCode::kAlreadyExists)
       return Fail(std::move(zp), t);
     t = ChargeProfiled(t, config_.costs.insert_lru,
                        CodePath::kInsertLruCacheNode);
+    span.Advance(obs::Stage::kInstall, t);
     lru_.Insert(p);
     tracker_.MarkResident(p);
     t = Charge(t, config_.costs.wake);
@@ -500,7 +525,9 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     case PageLocation::kResident: {
       // Raced with in-kernel resolution (zero-page write upgrade) or a
       // duplicate event; nothing to install.
+      span.SetKind(obs::FaultKind::kResident);
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      span.Advance(obs::Stage::kClassify, t);
       lru_.Touch(p);
       if (engine_mode) {
         // An async read for this page may still have been in flight when
@@ -513,6 +540,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
                 sched.engine->OutstandingReadCompletion(p, fault_time)) {
           out.waited_in_flight = true;
           t = std::max(t, *ready);
+          span.Advance(obs::Stage::kRemoteRead, t);
         }
       }
       t = Charge(t, config_.costs.wake);
@@ -525,19 +553,22 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
 
     case PageLocation::kWriteList: {
       // Steal: shortcut both round trips (§V-B).
+      span.SetKind(obs::FaultKind::kSteal);
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      span.Advance(obs::Stage::kClassify, t);
       const std::optional<FrameId>& frame = stolen_frame;
       ++stats_.steals;
       out.stolen = true;
       if (need_evict && !config_.async_write)
         t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
-                        &sched);
+                        &sched, &span);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr, std::span<const std::byte, kPageSize>{pool_->Data(*frame)});
       pool_->Free(*frame);
       t = ChargeProfiled(t, config_.costs.insert_lru,
                          CodePath::kInsertLruCacheNode);
+      span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
       t = Charge(t, config_.costs.wake);
@@ -548,14 +579,17 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       // "There is no other choice than to wait for the write to complete.
       //  However, the critical path will resume immediately once the
       //  pending write has completed." — then copy from the buffered frame.
+      span.SetKind(obs::FaultKind::kInFlightWait);
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      span.Advance(obs::Stage::kClassify, t);
       const auto& steal = inflight_steal;
       ++stats_.inflight_waits;
       out.waited_in_flight = true;
       t = std::max(t, steal->first);
+      span.Advance(obs::Stage::kWriteback, t);
       if (need_evict && !config_.async_write)
         t = EvictOneFor(id, t, /*sync_write=*/true, /*remap_overlapped=*/false,
-                        &sched);
+                        &sched, &span);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr,
@@ -563,6 +597,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       pool_->Free(steal->second);
       t = ChargeProfiled(t, config_.costs.insert_lru,
                          CodePath::kInsertLruCacheNode);
+      span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
       t = Charge(t, config_.costs.wake);
@@ -573,7 +608,9 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       // Degradation refault: the page went to local swap while the store
       // was down. Served entirely locally — no store round trip, no
       // dependence on the outage ending.
+      span.SetKind(obs::FaultKind::kSpilled);
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      span.Advance(obs::Stage::kClassify, t);
       ++stats_.spill_refaults;
       auto si = spill_->ReadKeep(
           spill_slot, std::span<std::byte, kPageSize>{scratch_}, t);
@@ -581,19 +618,22 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
         // Device hiccup: the slot still holds the only copy — keep it so
         // the fault can retry (ReadIn would have freed it).
         ++stats_.spill_errors;
+        span.Advance(obs::Stage::kLocalSpillIo, si.io_complete_at);
         return Fail(si.status, si.io_complete_at);
       }
       t = si.io_complete_at;
+      span.Advance(obs::Stage::kLocalSpillIo, t);
       spill_->Release(spill_slot);
       spill_slots_.erase(p);
       if (need_evict && !config_.async_write)
         t = EvictOneFor(id, t, /*sync_write=*/true,
-                        /*remap_overlapped=*/false, &sched);
+                        /*remap_overlapped=*/false, &sched, &span);
       t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
       (void)ri.region->Copy(
           addr, std::span<const std::byte, kPageSize>{scratch_});
       t = ChargeProfiled(t, config_.costs.insert_lru,
                          CodePath::kInsertLruCacheNode);
+      span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
       t = Charge(t, config_.costs.wake);
@@ -601,6 +641,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     }
 
     case PageLocation::kRemote: {
+      span.SetKind(obs::FaultKind::kRemote);
       const kv::Key key = KeyFor(p);
       // Bounded per-fault stall during an outage: with the read breaker
       // open (and local spill attached, i.e. degradation is on), refuse
@@ -654,23 +695,26 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
               ++stats_.lost_page_errors;
             else
               ++stats_.transient_read_errors;
+            span.Advance(obs::Stage::kRemoteRead, rd.complete_at);
             return Fail(rd.status, rd.complete_at);
           }
           if (engine_mode)
             sched.engine->NoteReadPosted(sched.shard, p, rd.complete_at);
         }
         t = rd.issue_done;
+        span.Advance(obs::Stage::kRemoteRead, t);
         t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+        span.Advance(obs::Stage::kClassify, t);
         if (need_evict) {
           if (!config_.async_write) {
             // Sync writeback: the eviction (and its store write) stays on
             // the fault path, overlapping the read wait.
             t = EvictOneFor(id, t, /*sync_write=*/true,
-                            /*remap_overlapped=*/true, &sched);
+                            /*remap_overlapped=*/true, &sched, &span);
           } else if (t < rd.complete_at) {
             // The read is still in flight: evict for free in its shadow.
             t = EvictOneFor(id, t, /*sync_write=*/false,
-                            /*remap_overlapped=*/true, &sched);
+                            /*remap_overlapped=*/true, &sched, &span);
           } else {
             // Data already arrived (fast backend): do not delay the wake;
             // evict after the guest resumes.
@@ -679,6 +723,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
         }
         t = ChargeProfiled(t, config_.costs.insert_lru,
                            CodePath::kInsertLruCacheNode);
+        span.Advance(obs::Stage::kInstall, t);
         lru_.Insert(p);
         tracker_.MarkResident(p);
         // READ_PAGE profiles the store read itself (top half through data
@@ -697,18 +742,27 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
                         top_end > mon_start ? top_end - mon_start : 0);
           bh_start = worker.EarliestStart(std::max(top_end, rd.complete_at));
           split_occupancy = true;
+          // The data wait is remote-read time; any further delay until the
+          // worker can take the bottom half is queueing.
+          span.Advance(obs::Stage::kRemoteRead,
+                       std::max(top_end, rd.complete_at));
+          span.Advance(obs::Stage::kQueueWait, bh_start);
           t = ChargeProfiled(bh_start, config_.costs.uffd_copy,
                              CodePath::kUffdCopy);
+          span.Advance(obs::Stage::kInstall, t);
         } else {
           // Bottom half: wait for the data if it has not arrived yet.
           t = std::max(t, rd.complete_at);
+          span.Advance(obs::Stage::kRemoteRead, t);
           t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+          span.Advance(obs::Stage::kInstall, t);
         }
         (void)ri.region->Copy(
             addr, std::span<const std::byte, kPageSize>{scratch_});
       } else {
         // Synchronous read, then (optionally synchronous) eviction.
         t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+        span.Advance(obs::Stage::kClassify, t);
         t = Charge(t, config_.costs.read_page_overhead);
         kv::OpResult rd = store_->Get(
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
@@ -718,21 +772,24 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
             ++stats_.lost_page_errors;
           else
             ++stats_.transient_read_errors;
+          span.Advance(obs::Stage::kRemoteRead, rd.complete_at);
           return Fail(rd.status, rd.complete_at);
         }
         t = rd.complete_at;
+        span.Advance(obs::Stage::kRemoteRead, t);
         profiler_.Record(CodePath::kReadPage, t - read_start);
         // With synchronous writeback the eviction blocks the fault; with
         // the write list it is deferred until after the wake (Fig. 2's
         // blue path), handled below.
         if (need_evict && !config_.async_write)
           t = EvictOneFor(id, t, /*sync_write=*/true,
-                          /*remap_overlapped=*/false, &sched);
+                          /*remap_overlapped=*/false, &sched, &span);
         t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
         (void)ri.region->Copy(
             addr, std::span<const std::byte, kPageSize>{scratch_});
         t = ChargeProfiled(t, config_.costs.insert_lru,
                            CodePath::kInsertLruCacheNode);
+        span.Advance(obs::Stage::kInstall, t);
         lru_.Insert(p);
         tracker_.MarkResident(p);
       }
@@ -888,6 +945,75 @@ void Monitor::PumpBackground(SimTime now) {
   RetireCompleted(now);
   FlushIfNeeded(now);
   MigrateSpillBack(now);
+  if (obs_ != nullptr) obs_->MaybeSample(now);
+}
+
+void Monitor::AttachObservability(obs::Observability& obs) {
+  obs_ = &obs;
+  // Gauges are cheap callbacks over the stats structs the subsystems
+  // already maintain — the structs stay the source of truth and the hot
+  // paths touch nothing new. Evaluated only at Snapshot()/MaybeSample().
+  obs::MetricsRegistry& m = obs.metrics();
+  auto g = [&m](std::string_view name, std::function<double()> fn) {
+    m.Gauge(name, std::move(fn));
+  };
+  const MonitorStats& st = stats_;
+  g("monitor.faults", [&st] { return double(st.faults); });
+  g("monitor.first_access_faults",
+    [&st] { return double(st.first_access_faults); });
+  g("monitor.refaults", [&st] { return double(st.refaults); });
+  g("monitor.steals", [&st] { return double(st.steals); });
+  g("monitor.inflight_waits", [&st] { return double(st.inflight_waits); });
+  g("monitor.evictions", [&st] { return double(st.evictions); });
+  g("monitor.flush_batches", [&st] { return double(st.flush_batches); });
+  g("monitor.flushed_pages", [&st] { return double(st.flushed_pages); });
+  g("monitor.prefetched_pages",
+    [&st] { return double(st.prefetched_pages); });
+  g("monitor.writeback_errors",
+    [&st] { return double(st.writeback_errors); });
+  g("monitor.transient_read_errors",
+    [&st] { return double(st.transient_read_errors); });
+  g("monitor.spilled_pages", [&st] { return double(st.spilled_pages); });
+  g("monitor.spill_refaults", [&st] { return double(st.spill_refaults); });
+  g("monitor.breaker_fast_fails",
+    [&st] { return double(st.breaker_fast_fails); });
+  g("monitor.resident_pages", [this] { return double(lru_.size()); });
+  g("monitor.write_list_pending",
+    [this] { return double(write_list_.PendingCount()); });
+  const FaultEngine* eng = engine_.get();
+  g("engine.faults", [eng] { return double(eng->TotalStats().faults); });
+  g("engine.batched_reads",
+    [eng] { return double(eng->TotalStats().batched_reads); });
+  g("engine.coalesced_reads",
+    [eng] { return double(eng->TotalStats().coalesced_reads); });
+  g("engine.work_steals",
+    [eng] { return double(eng->TotalStats().work_steals); });
+  g("engine.io_window_waits",
+    [eng] { return double(eng->TotalStats().io_window_waits); });
+  g("engine.lock_wait_ns",
+    [eng] { return double(eng->TotalStats().lock_wait_total); });
+  const kv::StoreStats* ss = &store_->stats();
+  g("store.gets", [ss] { return double(ss->gets); });
+  g("store.puts", [ss] { return double(ss->puts); });
+  g("store.retries", [ss] { return double(ss->retries); });
+  g("store.hedged_reads", [ss] { return double(ss->hedged_reads); });
+  g("store.hedge_wins", [ss] { return double(ss->hedge_wins); });
+  g("store.deadline_exceeded",
+    [ss] { return double(ss->deadline_exceeded); });
+  g("uffd.total_queued", [this] {
+    std::uint64_t n = 0;
+    for (const RegionInfo& ri : regions_)
+      if (ri.active && ri.region != nullptr)
+        n += ri.region->TotalQueuedEvents();
+    return double(n);
+  });
+  g("uffd.peak_queue_depth", [this] {
+    std::size_t peak = 0;
+    for (const RegionInfo& ri : regions_)
+      if (ri.active && ri.region != nullptr)
+        peak = std::max(peak, ri.region->PeakQueueDepth());
+    return double(peak);
+  });
 }
 
 bool Monitor::SpillPending(SimTime now) {

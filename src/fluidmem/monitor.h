@@ -34,6 +34,7 @@
 #include "kvstore/kvstore.h"
 #include "mem/frame_pool.h"
 #include "mem/uffd.h"
+#include "obs/span.h"
 #include "sim/timeline.h"
 #include "swap/swap_space.h"
 
@@ -253,6 +254,16 @@ class Monitor {
     return write_health_;
   }
 
+  // --- observability --------------------------------------------------------------
+
+  // Attach the observability hub: per-fault spans open/close around the
+  // fault path (see FaultEngine::HandleOne) and the monitor registers
+  // gauges over its existing stats structs in the hub's MetricsRegistry.
+  // Purely an observer — attaching (or enabling) never changes a replay.
+  // The Observability must outlive the monitor.
+  void AttachObservability(obs::Observability& obs);
+  obs::Observability* observability() noexcept { return obs_; }
+
   // Force every pending write out to the store and wait; used on shutdown
   // and by tests asserting durability. Failed batches are re-posted up to
   // a bounded number of rounds; under a persistent store outage the
@@ -316,9 +327,13 @@ class Monitor {
   // caller-visible finish time. With an engine-mode `sched`, the victim
   // comes from the handler's own LRU slice (or is work-stolen from the
   // hottest slice) instead of the global scan.
+  // `span` (when non-null) attributes the eviction/writeback time to the
+  // faulting span's stages; deferred evictions that run after the vCPU
+  // woke pass null so stage sums keep matching end-to-end latency.
   SimTime EvictOneFor(RegionId faulting_region, SimTime t, bool sync_write,
                       bool remap_overlapped,
-                      const FaultSchedule* sched = nullptr);
+                      const FaultSchedule* sched = nullptr,
+                      obs::SpanCursor* span = nullptr);
 
   // Remap an already-chosen victim out of its VM and onto the write list
   // (the asynchronous-writeback half of EvictOneFor). The management paths
@@ -326,7 +341,8 @@ class Monitor {
   // run this in a loop, then post the whole set as multi-write batches with
   // one FlushIfNeeded pass.
   SimTime EvictToWriteList(const PageRef& victim, SimTime t,
-                           bool remap_overlapped);
+                           bool remap_overlapped,
+                           obs::SpanCursor* span = nullptr);
 
   // Post pending writes as multi-write batches when full or stale.
   void FlushIfNeeded(SimTime now, bool force = false);
@@ -376,6 +392,10 @@ class Monitor {
 
   MonitorStats stats_;
   Profiler profiler_;
+
+  // Observability hub (null until attached; checked via enabled() before
+  // any span is opened). Not owned.
+  obs::Observability* obs_ = nullptr;
 
   alignas(16) std::array<std::byte, kPageSize> scratch_{};
 

@@ -42,6 +42,10 @@ OpResult ResilientStore::RetryLoop(SimTime now, Op&& op) {
 
 SimDuration ResilientStore::CurrentHedgeDelay() const {
   if (read_samples_ < config_.hedge_min_samples) return config_.hedge_floor;
+  // read_latency_ holds first-attempt latencies only (see Get) and
+  // QuantileNs clamps to the observed range, so the delay can no longer be
+  // pushed above the largest service time ever seen by a bucket edge, nor
+  // dragged down by hedge winners.
   const double q = read_latency_.QuantileNs(config_.hedge_percentile);
   // Never hedge instantly, even if the store is very fast: a duplicate of
   // every read would double load for no tail benefit.
@@ -108,7 +112,13 @@ OpResult ResilientStore::Get(PartitionId partition, Key key,
       r.status = first.status;
       r.complete_at = std::max(first.complete_at, second.complete_at);
     }
-    if (r.status.ok()) ObserveRead(start, r);
+    // Calibration must see the UNHEDGED service-time distribution. Feeding
+    // the winner's (shortened) latency back into read_latency_ ratchets the
+    // p95 hedge delay downward: each hedge win lowers the delay, which
+    // triggers more hedges, which record still-shorter latencies. Record
+    // only the first attempt, and only when it completed successfully on
+    // its own; a failed first attempt says nothing about service time.
+    ObserveRead(start, first);
     return r;
   });
 }

@@ -18,6 +18,7 @@
 // so the same region can be driven synchronously in unit tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -111,6 +112,8 @@ class UffdRegion {
   // syscall. FIFO, like the kernel's queue.
   void QueueEvent(const FaultEvent& e, SimTime raised_at) {
     queue_.push_back(QueuedEvent{e, raised_at});
+    ++total_queued_;
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   }
   std::vector<QueuedEvent> ReadEvents(std::size_t max_n) {
     std::vector<QueuedEvent> out;
@@ -121,6 +124,10 @@ class UffdRegion {
     return out;
   }
   std::size_t QueuedEventCount() const noexcept { return queue_.size(); }
+  // Queue telemetry (observability gauges): lifetime events queued and the
+  // deepest the queue ever got — how far behind the handlers fell.
+  std::uint64_t TotalQueuedEvents() const noexcept { return total_queued_; }
+  std::size_t PeakQueueDepth() const noexcept { return peak_queue_depth_; }
 
   // Read/write page contents through the mapping (valid only when present).
   // Writes mark the PTE dirty, as the MMU would.
@@ -180,6 +187,8 @@ class UffdRegion {
   FramePool* pool_;
   std::unordered_map<PageNum, Pte> ptes_;
   std::deque<QueuedEvent> queue_;
+  std::uint64_t total_queued_ = 0;
+  std::size_t peak_queue_depth_ = 0;
   std::size_t resident_frames_ = 0;
   std::size_t present_pages_ = 0;
 };

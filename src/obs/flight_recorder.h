@@ -1,0 +1,118 @@
+// Bounded flight recorder: the crash-dump half of the observability layer.
+//
+// A FlightRecorder is a fixed-capacity ring of (virtual time, category,
+// message) entries with drop-oldest overwrite, plus an intern table that
+// maps category strings to small stable ids. Recording an event costs one
+// ring-slot write and one O(1) counter bump — no per-event category
+// allocation and no unbounded growth, so it can stay attached through a
+// multi-hour chaos soak and still hold the last N events when an oracle or
+// invariant check fails. Tracer (sim/trace.h) is a thin shim over this
+// class; the chaos harness dumps the ring next to its (seed, plan)
+// reproducer on failure.
+//
+// Determinism: the recorder only observes. It draws no randomness and
+// never feeds back into virtual time, so runs are byte-identical whether
+// or not one is attached.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fluid::obs {
+
+class FlightRecorder {
+ public:
+  using CategoryId = std::uint32_t;
+
+  struct Entry {
+    std::uint64_t seq = 0;  // monotone record index (survives drops)
+    SimTime at = 0;
+    CategoryId category = 0;
+    std::string message;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  // Map a category name to its stable small id, creating it on first use.
+  CategoryId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<CategoryId>(names_.size());
+    names_.emplace_back(name);
+    counts_.push_back(0);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Lookup without creating; nullopt when the category was never recorded.
+  std::optional<CategoryId> FindCategory(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string_view CategoryName(CategoryId id) const {
+    return id < names_.size() ? std::string_view{names_[id]} : "?";
+  }
+
+  void Record(SimTime at, CategoryId category, std::string message) {
+    Entry& slot = ring_[static_cast<std::size_t>(seq_ % capacity_)];
+    if (size_ == capacity_) ++dropped_;
+    slot.seq = seq_;
+    slot.at = at;
+    slot.category = category;
+    slot.message = std::move(message);
+    ++seq_;
+    if (size_ < capacity_) ++size_;
+    if (category < counts_.size()) ++counts_[category];
+  }
+
+  // Entries still in the ring, oldest first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::uint64_t first = seq_ - size_;
+    for (std::uint64_t s = first; s < seq_; ++s)
+      fn(ring_[static_cast<std::size_t>(s % capacity_)]);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t total_recorded() const noexcept { return seq_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // Events recorded in this category since the last Clear(), O(1). Counts
+  // include entries that have since rotated out of the ring.
+  std::uint64_t CountCategory(CategoryId id) const noexcept {
+    return id < counts_.size() ? counts_[id] : 0;
+  }
+
+  // Forget all entries and counters; interned category ids stay valid.
+  void Clear() noexcept {
+    size_ = 0;
+    seq_ = 0;
+    dropped_ = 0;
+    for (auto& c : counts_) c = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> ring_;
+  std::uint64_t seq_ = 0;      // next slot to write == total recorded
+  std::size_t size_ = 0;       // live entries in the ring
+  std::uint64_t dropped_ = 0;  // entries overwritten by newer ones
+
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> counts_;  // per-category lifetime counts
+  std::unordered_map<std::string, CategoryId> ids_;
+};
+
+}  // namespace fluid::obs

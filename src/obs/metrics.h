@@ -1,0 +1,112 @@
+// Central metrics registry: named counters, gauges and latency histograms.
+//
+// Before this layer every subsystem grew its own stats struct
+// (MonitorStats, EngineShardStats, StoreStats, InjectorStats, ...) and
+// every bench hand-plumbed the fields it wanted into its output. The
+// registry gives them one namespace: subsystems register *gauges* — cheap
+// callbacks over the stats structs they already maintain, so the structs
+// stay the source of truth and the hot paths touch nothing new — while
+// cross-cutting code (the observability span aggregator, benches) can own
+// counters and histograms directly.
+//
+// Snapshot() materialises every counter and gauge as (name, value) pairs in
+// deterministic (lexicographic) order; MaybeSample() appends snapshots on a
+// virtual-time cadence for Figure-5-style time series. Nothing here draws
+// randomness or advances time: attaching a registry never perturbs a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace fluid::obs {
+
+class MetricsRegistry {
+ public:
+  // Create-or-get a counter owned by the registry.
+  std::uint64_t& Counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+
+  // Register (or replace) a gauge: a callback evaluated at snapshot time.
+  // The callback must outlive the registry's last Snapshot() call — the
+  // usual pattern is a lambda over a stats struct owned by the subsystem
+  // that registered it.
+  void Gauge(std::string_view name, std::function<double()> fn) {
+    gauges_[std::string(name)] = std::move(fn);
+  }
+
+  // Create-or-get a named histogram (created with the given layout).
+  LatencyHistogram& Histogram(std::string_view name, double min_ns = 10.0,
+                              double max_ns = 1e10,
+                              int buckets_per_decade = 40) {
+    auto it = histograms_.find(std::string(name));
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(std::string(name),
+                        LatencyHistogram{min_ns, max_ns, buckets_per_decade})
+               .first;
+    }
+    return it->second;
+  }
+
+  // Every counter and gauge as (name, value), lexicographically ordered.
+  std::vector<std::pair<std::string, double>> Snapshot() const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto& [k, v] : counters_)
+      out.emplace_back(k, static_cast<double>(v));
+    for (const auto& [k, fn] : gauges_) out.emplace_back(k, fn());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  const std::map<std::string, LatencyHistogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  // --- virtual-time sampling (time-series output) ---------------------------
+
+  struct SeriesPoint {
+    SimTime at = 0;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  // 0 disables sampling (the default).
+  void EnableSampling(SimDuration interval) {
+    sample_interval_ = interval;
+    next_sample_ = 0;
+  }
+
+  // Append a snapshot if the cadence is due; callers invoke this from
+  // convenient virtual-time hooks (fault completion, background pump).
+  // Deterministic: depends only on `now` and the configured interval.
+  void MaybeSample(SimTime now) {
+    if (sample_interval_ == 0 || now < next_sample_) return;
+    series_.push_back(SeriesPoint{now, Snapshot()});
+    // Skip ahead past quiet gaps instead of emitting catch-up samples.
+    next_sample_ = now + sample_interval_;
+  }
+
+  const std::vector<SeriesPoint>& series() const noexcept { return series_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+
+  SimDuration sample_interval_ = 0;
+  SimTime next_sample_ = 0;
+  std::vector<SeriesPoint> series_;
+};
+
+}  // namespace fluid::obs

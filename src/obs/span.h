@@ -1,0 +1,264 @@
+// Per-fault spans: stage-attributed latency tracing for the fault path.
+//
+// A FaultSpan is opened when the fault engine dequeues a userfaultfd event
+// and closed when the vCPU wakes (or the fault fails). Between the two, a
+// SpanCursor rides the fault path's virtual-time variable `t`: every time
+// the path advances `t` it tells the cursor which *stage* the elapsed
+// window belongs to (queue wait, dispatch, remote read, eviction, ...).
+// Because the cursor charges exactly the delta since its previous position,
+// the per-stage durations of a span sum to its end-to-end latency by
+// construction — the "where did this p99 fault go?" breakdown reconciles
+// with the fault histogram exactly, not approximately.
+//
+// Cost model: a cursor bound to no span is a null check per Advance; an
+// Observability that is disabled opens no spans at all. Recording draws no
+// randomness and never moves `t`, so replays are byte-identical with
+// observability enabled, disabled, or absent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace fluid::obs {
+
+// The span stage taxonomy (DESIGN.md §11). Stages follow Fig. 2's hand-off
+// order; a fault touches the subset its resolution path visits.
+enum class Stage : std::uint8_t {
+  kKernelDelivery = 0,  // guest exit + kernel uffd handling + event delivery
+  kQueueWait,           // fault queued behind the handler's earlier work
+  kDispatch,            // epoll wakeup + read(2) + msg parse (or batched)
+  kLockWait,            // shared write-list/frame-pool lock contention
+  kClassify,            // tracker lookup + page-cache bookkeeping (UPC/IPH)
+  kRemoteRead,          // KV-store read: post, window gate, RTT wait
+  kLocalSpillIo,        // local swap device read (degraded mode)
+  kEviction,            // UFFD_REMAP + tracker insert for the victim
+  kWriteback,           // victim store write, or wait on an in-flight batch
+  kInstall,             // UFFDIO_COPY / ZEROPAGE + LRU insert
+  kWake,                // UFFDIO_WAKE + scheduler + VM entry
+  kCount,
+};
+
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount);
+
+constexpr std::string_view StageName(Stage s) noexcept {
+  switch (s) {
+    case Stage::kKernelDelivery: return "kernel_delivery";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kDispatch: return "dispatch";
+    case Stage::kLockWait: return "lock_wait";
+    case Stage::kClassify: return "classify";
+    case Stage::kRemoteRead: return "remote_read";
+    case Stage::kLocalSpillIo: return "local_spill_io";
+    case Stage::kEviction: return "eviction";
+    case Stage::kWriteback: return "writeback";
+    case Stage::kInstall: return "install";
+    case Stage::kWake: return "wake";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+// How the fault was resolved (which arm of the monitor's switch ran).
+enum class FaultKind : std::uint8_t {
+  kUnknown = 0,   // failed before classification (bad region, deadlock, ...)
+  kFirstAccess,   // zero-page install, no store read
+  kResident,      // duplicate/raced event; page already present
+  kSteal,         // served from the pending write list
+  kInFlightWait,  // waited on a posted writeback batch
+  kSpilled,       // served from the local swap device
+  kRemote,        // read back from the KV store
+  kCount,
+};
+
+constexpr std::string_view FaultKindName(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kUnknown: return "unknown";
+    case FaultKind::kFirstAccess: return "first_access";
+    case FaultKind::kResident: return "resident";
+    case FaultKind::kSteal: return "steal";
+    case FaultKind::kInFlightWait: return "inflight_wait";
+    case FaultKind::kSpilled: return "spilled";
+    case FaultKind::kRemote: return "remote";
+    case FaultKind::kCount: break;
+  }
+  return "?";
+}
+
+struct FaultSpan {
+  std::uint64_t id = 0;
+  std::uint32_t region = 0;
+  VirtAddr addr = 0;
+  std::uint32_t shard = 0;
+  bool batch_follower = false;
+  bool ok = false;
+  FaultKind kind = FaultKind::kUnknown;
+  SimTime start = 0;  // fault raise time
+  SimTime end = 0;    // vCPU wake (or failure surfaced)
+  std::array<SimDuration, kStageCount> stage_ns{};
+
+  SimDuration DurationNs() const noexcept {
+    return end > start ? end - start : 0;
+  }
+  SimDuration StageSumNs() const noexcept {
+    SimDuration s = 0;
+    for (const SimDuration d : stage_ns) s += d;
+    return s;
+  }
+};
+
+// Rides the fault path's time variable and attributes each advance to a
+// stage. Unbound cursors (span_ == nullptr) no-op — the fault path calls
+// Advance unconditionally and pays one branch when tracing is off.
+class SpanCursor {
+ public:
+  SpanCursor() = default;
+
+  void Bind(FaultSpan* span) noexcept {
+    span_ = span;
+    last_ = span != nullptr ? span->start : 0;
+  }
+  bool active() const noexcept { return span_ != nullptr; }
+
+  void Advance(Stage s, SimTime t) noexcept {
+    if (span_ == nullptr) return;
+    if (t > last_) {
+      span_->stage_ns[static_cast<std::size_t>(s)] += t - last_;
+      last_ = t;
+    }
+  }
+
+  void SetKind(FaultKind k) noexcept {
+    if (span_ != nullptr) span_->kind = k;
+  }
+
+  // Attribute everything not yet accounted for to `tail` and stamp the end.
+  void Close(SimTime end, bool ok, Stage tail = Stage::kWake) noexcept {
+    if (span_ == nullptr) return;
+    Advance(tail, end);
+    span_->end = end > span_->start ? end : span_->start;
+    span_->ok = ok;
+  }
+
+ private:
+  FaultSpan* span_ = nullptr;
+  SimTime last_ = 0;
+};
+
+// The per-process observability hub: span aggregation, the central metrics
+// registry, and the crash flight recorder. Subsystems hold a pointer and
+// check enabled(); everything is inert (and allocation-free on the fault
+// path) until Enable() is called.
+class Observability {
+ public:
+  explicit Observability(std::size_t span_capacity = 65536,
+                         std::size_t recorder_capacity = 1024)
+      : span_capacity_(span_capacity == 0 ? 1 : span_capacity),
+        recorder_(recorder_capacity) {}
+
+  void Enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  FlightRecorder& recorder() noexcept { return recorder_; }
+  const FlightRecorder& recorder() const noexcept { return recorder_; }
+
+  // --- span lifecycle (called by the fault engine) --------------------------
+
+  // Initialise `span`, bind `cursor` to it. Returns false (and binds
+  // nothing) when disabled.
+  bool StartSpan(FaultSpan* span, SpanCursor* cursor, std::uint32_t region,
+                 VirtAddr addr, std::uint32_t shard, bool batch_follower,
+                 SimTime start) {
+    if (!enabled_) return false;
+    *span = FaultSpan{};
+    span->id = next_span_id_++;
+    span->region = region;
+    span->addr = addr;
+    span->shard = shard;
+    span->batch_follower = batch_follower;
+    span->start = start;
+    cursor->Bind(span);
+    ++spans_started_;
+    return true;
+  }
+
+  // Close the cursor and fold the span into the retained ring + aggregates.
+  void FinishSpan(FaultSpan* span, SpanCursor* cursor, SimTime end, bool ok) {
+    cursor->Close(end, ok);
+    ++spans_finished_;
+    if (span->ok) {
+      for (std::size_t s = 0; s < kStageCount; ++s)
+        stage_total_ns_[s] += span->stage_ns[s];
+      end_to_end_.Record(span->DurationNs());
+    } else {
+      ++spans_failed_;
+    }
+    spans_.push_back(*span);
+    if (spans_.size() > span_capacity_) {
+      spans_.pop_front();
+      ++spans_dropped_;
+    }
+  }
+
+  // Retained spans, oldest first (bounded ring; see spans_dropped()).
+  const std::deque<FaultSpan>& spans() const noexcept { return spans_; }
+
+  std::uint64_t spans_started() const noexcept { return spans_started_; }
+  std::uint64_t spans_finished() const noexcept { return spans_finished_; }
+  std::uint64_t spans_failed() const noexcept { return spans_failed_; }
+  std::uint64_t spans_dropped() const noexcept { return spans_dropped_; }
+
+  // Aggregate stage totals over all *successful* spans ever finished (not
+  // just the retained ring), in ns — the per-stage latency table.
+  SimDuration StageTotalNs(Stage s) const noexcept {
+    return stage_total_ns_[static_cast<std::size_t>(s)];
+  }
+  SimDuration StageTotalSumNs() const noexcept {
+    SimDuration total = 0;
+    for (const SimDuration d : stage_total_ns_) total += d;
+    return total;
+  }
+
+  // End-to-end latency of successful spans; same layout as the fault
+  // engine's per-shard histograms so the two can be cross-checked.
+  const LatencyHistogram& end_to_end() const noexcept { return end_to_end_; }
+
+  // Virtual-time series hook; forwards to the registry's cadence.
+  void MaybeSample(SimTime now) {
+    if (enabled_) metrics_.MaybeSample(now);
+  }
+
+  void ClearSpans() {
+    spans_.clear();
+    spans_started_ = spans_finished_ = spans_failed_ = spans_dropped_ = 0;
+    stage_total_ns_.fill(0);
+    end_to_end_ = LatencyHistogram{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                                   /*buckets_per_decade=*/60};
+  }
+
+ private:
+  bool enabled_ = false;
+  std::size_t span_capacity_;
+  std::deque<FaultSpan> spans_;
+  std::uint64_t next_span_id_ = 1;
+  std::uint64_t spans_started_ = 0;
+  std::uint64_t spans_finished_ = 0;
+  std::uint64_t spans_failed_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+  std::array<SimDuration, kStageCount> stage_total_ns_{};
+  LatencyHistogram end_to_end_{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                               /*buckets_per_decade=*/60};
+  MetricsRegistry metrics_;
+  FlightRecorder recorder_;
+};
+
+}  // namespace fluid::obs

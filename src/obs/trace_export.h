@@ -1,0 +1,205 @@
+// Exporters for the observability layer.
+//
+//  * WriteChromeTrace  — Chrome trace_event JSON ("X" complete events), one
+//    row per fault-engine shard, one slice per span plus child slices for
+//    its non-zero stages. Loads in chrome://tracing and ui.perfetto.dev.
+//  * WriteMetricsJson  — counters/gauges snapshot + histogram summaries +
+//    the sampled time series, as a standalone JSON document.
+//  * DumpFlightRecorder — human-readable dump of the last N spans and ring
+//    events; the chaos harness appends this to its failure report next to
+//    the (seed, plan) reproducer.
+//
+// All output uses virtual time (ts/dur in microseconds as trace_event
+// requires); nothing here mutates the observed structures.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/span.h"
+
+namespace fluid::obs {
+
+namespace detail {
+
+inline void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string Us(SimTime ns) {  // trace_event wants microseconds
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace detail
+
+// One complete event per retained span (name = fault kind, tid = shard),
+// with child slices tiling the span for each stage it spent time in. Child
+// slices are laid out sequentially from the span start; because stage
+// durations sum to the span duration by construction, they tile it exactly.
+inline bool WriteChromeTrace(const Observability& obs,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << ev;
+  };
+
+  // Thread-name metadata so Perfetto labels rows "shard N".
+  std::uint32_t max_shard = 0;
+  for (const FaultSpan& sp : obs.spans())
+    if (sp.shard > max_shard) max_shard = sp.shard;
+  for (std::uint32_t s = 0; s <= max_shard; ++s) {
+    std::ostringstream md;
+    md << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << (s + 1)
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"fault shard " << s
+       << "\"}}";
+    emit(md.str());
+  }
+
+  for (const FaultSpan& sp : obs.spans()) {
+    const std::uint32_t tid = sp.shard + 1;
+    {
+      std::ostringstream ev;
+      ev << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+         << detail::Us(sp.start) << ",\"dur\":" << detail::Us(sp.DurationNs())
+         << ",\"name\":\"" << FaultKindName(sp.kind)
+         << "\",\"cat\":\"fault\",\"args\":{\"span_id\":" << sp.id
+         << ",\"region\":" << sp.region << ",\"addr\":\"0x" << std::hex
+         << sp.addr << std::dec << "\",\"ok\":" << (sp.ok ? "true" : "false")
+         << ",\"batch_follower\":" << (sp.batch_follower ? "true" : "false")
+         << "}}";
+      emit(ev.str());
+    }
+    SimTime cursor = sp.start;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const SimDuration d = sp.stage_ns[i];
+      if (d == 0) continue;
+      std::ostringstream ev;
+      ev << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+         << detail::Us(cursor) << ",\"dur\":" << detail::Us(d)
+         << ",\"name\":\"" << StageName(static_cast<Stage>(i))
+         << "\",\"cat\":\"stage\",\"args\":{\"span_id\":" << sp.id << "}}";
+      emit(ev.str());
+      cursor += d;
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// Counters + gauges + histogram summaries + sampled series as JSON.
+inline bool WriteMetricsJson(const Observability& obs,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : obs.metrics().Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    std::string esc;
+    detail::AppendJsonEscaped(esc, name);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << "\n    \"" << esc << "\": " << buf;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : obs.metrics().histograms()) {
+    if (!first) out << ",";
+    first = false;
+    std::string esc;
+    detail::AppendJsonEscaped(esc, name);
+    out << "\n    \"" << esc << "\": {\"count\": " << h.Count()
+        << ", \"mean_ns\": " << h.MeanNs() << ", \"p50_ns\": "
+        << h.QuantileNs(0.5) << ", \"p99_ns\": " << h.QuantileNs(0.99)
+        << ", \"max_ns\": " << h.MaxNs() << "}";
+  }
+  out << "\n  },\n  \"series\": [";
+  first = true;
+  for (const auto& point : obs.metrics().series()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"at_ns\": " << point.at << ", \"values\": {";
+    bool inner_first = true;
+    for (const auto& [name, value] : point.values) {
+      if (!inner_first) out << ", ";
+      inner_first = false;
+      std::string esc;
+      detail::AppendJsonEscaped(esc, name);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out << "\"" << esc << "\": " << buf;
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// Human-readable crash dump: the last `max_spans` spans with their stage
+// breakdowns, then the flight-recorder ring. Returned as a string so the
+// chaos harness can fold it into RunReport::Report().
+inline std::string DumpFlightRecorder(const Observability& obs,
+                                      std::size_t max_spans = 32) {
+  std::ostringstream out;
+  out << "--- flight recorder ---\n";
+  out << "spans: started=" << obs.spans_started()
+      << " finished=" << obs.spans_finished()
+      << " failed=" << obs.spans_failed()
+      << " retained=" << obs.spans().size()
+      << " dropped=" << obs.spans_dropped() << "\n";
+  const auto& spans = obs.spans();
+  const std::size_t n = spans.size();
+  const std::size_t begin = n > max_spans ? n - max_spans : 0;
+  for (std::size_t i = begin; i < n; ++i) {
+    const FaultSpan& sp = spans[i];
+    out << "  span#" << sp.id << " " << FaultKindName(sp.kind)
+        << (sp.ok ? " ok" : " FAIL") << " region=" << sp.region << " addr=0x"
+        << std::hex << sp.addr << std::dec << " shard=" << sp.shard
+        << " [" << sp.start << ".." << sp.end << "] dur=" << sp.DurationNs()
+        << "ns";
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      if (sp.stage_ns[s] == 0) continue;
+      out << " " << StageName(static_cast<Stage>(s)) << "="
+          << sp.stage_ns[s];
+    }
+    out << "\n";
+  }
+  const FlightRecorder& rec = obs.recorder();
+  out << "events: recorded=" << rec.total_recorded()
+      << " retained=" << rec.size() << " dropped=" << rec.dropped() << "\n";
+  rec.ForEach([&](const FlightRecorder::Entry& e) {
+    out << "  [" << e.at << "] " << rec.CategoryName(e.category) << ": "
+        << e.message << "\n";
+  });
+  out << "--- end flight recorder ---\n";
+  return out.str();
+}
+
+}  // namespace fluid::obs

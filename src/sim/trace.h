@@ -1,10 +1,17 @@
 // Optional event tracing.
 //
 // A Tracer records (virtual time, category, message) triples when enabled.
-// It is intentionally dumb: experiments and tests that want to assert on
-// event ordering (e.g. "eviction overlapped the network read") attach one
-// and inspect the log; production-style benchmark runs leave it disabled so
-// tracing never perturbs results.
+// Experiments and tests that want to assert on event ordering (e.g.
+// "eviction overlapped the network read") attach one and inspect the log;
+// production-style benchmark runs leave it disabled so tracing never
+// perturbs results.
+//
+// Tracer is now a thin shim over obs::FlightRecorder: the event log is a
+// bounded drop-oldest ring (it no longer grows without bound through a long
+// chaos soak), category strings are interned once instead of allocated per
+// event, and CountCategory is an O(1) counter read instead of a scan. The
+// original API is preserved — events() materialises the live ring as the
+// old vector-of-Event shape so existing ordering tests work unmodified.
 #pragma once
 
 #include <string>
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/flight_recorder.h"
 
 namespace fluid {
 
@@ -23,28 +31,43 @@ class Tracer {
     std::string message;
   };
 
+  explicit Tracer(std::size_t capacity = 4096) : recorder_(capacity) {}
+
   void Enable(bool on = true) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
 
   void Record(SimTime at, std::string_view category, std::string_view message) {
     if (!enabled_) return;
-    events_.push_back(Event{at, std::string{category}, std::string{message}});
+    recorder_.Record(at, recorder_.Intern(category), std::string{message});
   }
 
-  const std::vector<Event>& events() const noexcept { return events_; }
-  void Clear() noexcept { events_.clear(); }
+  // Events still retained in the ring, oldest first. Materialised on demand;
+  // returned by value (callers binding a const& get lifetime extension).
+  std::vector<Event> events() const {
+    std::vector<Event> out;
+    out.reserve(recorder_.size());
+    recorder_.ForEach([&](const obs::FlightRecorder::Entry& e) {
+      out.push_back(Event{e.at, std::string{recorder_.CategoryName(e.category)},
+                          e.message});
+    });
+    return out;
+  }
 
-  // Count events in a category; convenience for tests.
+  void Clear() noexcept { recorder_.Clear(); }
+
+  // Events recorded in a category since the last Clear(), O(1). Includes
+  // events that have rotated out of the bounded ring.
   std::size_t CountCategory(std::string_view category) const noexcept {
-    std::size_t n = 0;
-    for (const auto& e : events_)
-      if (e.category == category) ++n;
-    return n;
+    const auto id = recorder_.FindCategory(category);
+    return id ? static_cast<std::size_t>(recorder_.CountCategory(*id)) : 0;
   }
+
+  obs::FlightRecorder& recorder() noexcept { return recorder_; }
+  const obs::FlightRecorder& recorder() const noexcept { return recorder_; }
 
  private:
   bool enabled_ = false;
-  std::vector<Event> events_;
+  obs::FlightRecorder recorder_;
 };
 
 }  // namespace fluid

@@ -587,5 +587,76 @@ TEST(ChaosStats, SummaryIsEmittedThroughTracer) {
   EXPECT_NE(it->message.find("store.get="), std::string::npos);
 }
 
+// --- observability under chaos -----------------------------------------------------
+
+// On an oracle/invariant failure with observe=true, the report carries the
+// flight-recorder dump next to the (seed, plan) reproducer: the last spans
+// with their stage breakdowns, so a p99 straggler or a wedged stage is
+// visible without re-running.
+TEST(ChaosObservability, FailureReportCarriesTheFlightRecorderDump) {
+  ScenarioOptions opt = BugSweepOptions(11);
+  opt.observe = true;
+  const RunReport rep = RunOps(opt, BugSweepOps());
+  ASSERT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.flight_dump.empty());
+  const std::string report = rep.Report();
+  EXPECT_NE(report.find("flight recorder"), std::string::npos);
+  EXPECT_NE(report.find("span"), std::string::npos);
+  // The reproduction recipe is still the headline.
+  EXPECT_NE(report.find("seed=" + std::to_string(opt.seed)),
+            std::string::npos);
+}
+
+TEST(ChaosObservability, PassingRunEmitsNoDump) {
+  ScenarioOptions opt;
+  opt.seed = 7;
+  opt.lru_capacity = 16;
+  opt.plan.seed = 8;
+  opt.observe = true;
+  const RunReport rep = RunScenario(opt);
+  ASSERT_TRUE(rep.ok) << rep.Report();
+  EXPECT_TRUE(rep.flight_dump.empty());
+}
+
+// The cardinal invariant at the harness level: observe=true never changes a
+// replay. Identical scenario, with and without observability — identical
+// ops executed, fault decisions, and monitor stats.
+TEST(ChaosObservability, ObservedRunReplaysByteIdenticallyToUnobserved) {
+  for (std::uint64_t seed : {3ull, 77ull, 901ull}) {
+    ScenarioOptions off;
+    off.seed = seed;
+    off.num_ops = 400;
+    off.lru_capacity = 16;
+    off.fault_shards = 4;
+    off.uffd_read_batch = 4;
+    off.plan.seed = seed * 31 + 7;
+    off.plan.at(FaultSite::kStoreGet).fail_p = 0.1;
+    off.plan.at(FaultSite::kStoreMultiPut).fail_p = 0.1;
+    ScenarioOptions on = off;
+    on.observe = true;
+    const std::vector<Op> ops = chaos::GenerateOps(off);
+    std::unique_ptr<chaos::Stack> s_off, s_on;
+    const RunReport a = RunOps(off, ops, &s_off);
+    const RunReport b = RunOps(on, ops, &s_on);
+    ASSERT_EQ(a.ok, b.ok) << a.Report() << b.Report();
+    EXPECT_EQ(a.stats.ops_executed, b.stats.ops_executed);
+    EXPECT_EQ(a.stats.pages_verified, b.stats.pages_verified);
+    EXPECT_EQ(a.stats.blocked_ops, b.stats.blocked_ops);
+    EXPECT_EQ(a.faults.fails, b.faults.fails);
+    EXPECT_EQ(a.faults.stalls, b.faults.stalls);
+    const fm::MonitorStats &m1 = s_off->monitor->stats(),
+                           &m2 = s_on->monitor->stats();
+    EXPECT_EQ(m1.faults, m2.faults) << "seed " << seed;
+    EXPECT_EQ(m1.refaults, m2.refaults);
+    EXPECT_EQ(m1.steals, m2.steals);
+    EXPECT_EQ(m1.evictions, m2.evictions);
+    EXPECT_EQ(m1.flushed_pages, m2.flushed_pages);
+    EXPECT_EQ(m1.transient_read_errors, m2.transient_read_errors);
+    // And the observed run really observed: one closed span per fault.
+    EXPECT_EQ(s_on->obs.spans_finished(), m2.faults);
+    EXPECT_EQ(s_off->obs.spans_finished(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace fluid

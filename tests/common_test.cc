@@ -189,9 +189,47 @@ TEST(LatencyHistogram, MergeCombinesCounts) {
   LatencyHistogram a, b;
   a.Record(1000);
   b.Record(3000);
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_EQ(a.Count(), 2u);
   EXPECT_DOUBLE_EQ(a.MeanNs(), 2000.0);
+}
+
+// Regression: quantiles used to report a bucket's upper edge verbatim, so a
+// single 1234ns sample produced p99 ~= 1258ns — outside the observed range.
+// QuantileNs must clamp into [MinNs, MaxNs].
+TEST(LatencyHistogram, QuantileClampsToObservedRange) {
+  LatencyHistogram h;
+  h.Record(1234);
+  EXPECT_DOUBLE_EQ(h.QuantileNs(0.5), 1234.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNs(0.99), 1234.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNs(1.0), 1234.0);
+  LatencyHistogram many;
+  Rng r{29};
+  for (int i = 0; i < 5000; ++i) many.Record(100 + r.NextBounded(900000));
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_GE(many.QuantileNs(q), many.MinNs()) << "q=" << q;
+    EXPECT_LE(many.QuantileNs(q), many.MaxNs()) << "q=" << q;
+  }
+}
+
+// Regression: merging histograms with different bucket layouts used to
+// silently add bucket counts index-by-index, corrupting every quantile.
+// Now it is a hard error: the target histogram must be left untouched.
+TEST(LatencyHistogram, MergeRejectsMismatchedLayouts) {
+  LatencyHistogram a{50.0, 1e9, 60};
+  a.Record(1000);
+  LatencyHistogram b{10.0, 1e10, 40};
+  b.Record(3000);
+#ifdef NDEBUG
+  const Status st = a.Merge(b);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // No partial mutation.
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_DOUBLE_EQ(a.MeanNs(), 1000.0);
+#else
+  EXPECT_DEATH_IF_SUPPORTED((void)a.Merge(b), "mismatched bucket layouts");
+#endif
 }
 
 // --- status ------------------------------------------------------------------------

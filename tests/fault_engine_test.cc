@@ -410,5 +410,43 @@ TEST(FaultEngine, ParallelShardsBeatSerialOnABackloggedFaultStorm) {
       << "K=8 batched: " << sharded << " ns, serial: " << serial << " ns";
 }
 
+// --- MergedLatency -----------------------------------------------------------------
+
+// The engine-wide fault histogram must be the exact union of the per-shard
+// histograms: identical counts and identical total mass. (Guards the merge
+// path now that LatencyHistogram::Merge hard-fails on layout mismatches.)
+TEST(FaultEngine, MergedLatencyIsTheUnionOfShardHistograms) {
+  EngineFixture f{EngineFixture::Config(4, 4, /*lru_pages=*/16)};
+  SimTime now = kMillisecond;
+  now = f.MakeRemote(24, now);
+  for (std::size_t i = 0; i < 24; ++i) {
+    auto a = f.region.Access(PageAddr(i), false);
+    ASSERT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    f.region.QueueEvent(a.event, now);
+  }
+  for (const auto& o : f.monitor.fault_engine().PumpQueuedFaults(f.rid, now))
+    ASSERT_TRUE(o.status.ok());
+
+  const auto& eng = f.monitor.fault_engine();
+  const LatencyHistogram merged = eng.MergedLatency();
+  std::uint64_t count = 0;
+  double sum_ns = 0.0;
+  std::size_t populated_shards = 0;
+  for (std::size_t s = 0; s < eng.shard_count(); ++s) {
+    const LatencyHistogram& h = eng.shard_latency(s);
+    count += h.Count();
+    sum_ns += h.MeanNs() * static_cast<double>(h.Count());
+    populated_shards += h.Count() > 0 ? 1 : 0;
+  }
+  EXPECT_GT(populated_shards, 1u) << "storm stayed on one shard";
+  EXPECT_GT(count, 0u);
+  EXPECT_EQ(merged.Count(), count);
+  EXPECT_NEAR(merged.MeanNs() * static_cast<double>(merged.Count()), sum_ns,
+              1e-6);
+  // Quantiles of the union stay inside the union's observed range.
+  EXPECT_GE(merged.QuantileNs(0.99), merged.MinNs());
+  EXPECT_LE(merged.QuantileNs(0.99), merged.MaxNs());
+}
+
 }  // namespace
 }  // namespace fluid::fm

@@ -1,0 +1,366 @@
+// Tests for the fault-path observability layer: span lifecycle (every fault
+// closes exactly one span; per-span stage sums equal the end-to-end duration
+// exactly), the metrics registry (counters, gauges, snapshots, virtual-time
+// sampling), the bounded flight recorder, the Chrome-trace/metrics
+// exporters, and the cardinal invariant that enabling observability never
+// changes a replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fluidmem/monitor.h"
+#include "kvstore/local_store.h"
+#include "mem/uffd.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
+namespace fluid::obs {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+
+// --- SpanCursor --------------------------------------------------------------------
+
+TEST(SpanCursor, AdvanceChargesElapsedTimeToStages) {
+  FaultSpan span;
+  span.start = 1000;
+  SpanCursor c;
+  c.Bind(&span);
+  ASSERT_TRUE(c.active());
+  c.Advance(Stage::kKernelDelivery, 1200);
+  c.Advance(Stage::kDispatch, 1500);
+  c.Advance(Stage::kDispatch, 1400);  // time never runs backwards: no-op
+  c.Close(2000, /*ok=*/true);
+  EXPECT_EQ(span.stage_ns[static_cast<std::size_t>(Stage::kKernelDelivery)],
+            200u);
+  EXPECT_EQ(span.stage_ns[static_cast<std::size_t>(Stage::kDispatch)], 300u);
+  // Close absorbs the remainder into the wake stage.
+  EXPECT_EQ(span.stage_ns[static_cast<std::size_t>(Stage::kWake)], 500u);
+  EXPECT_EQ(span.end, 2000u);
+  EXPECT_TRUE(span.ok);
+  EXPECT_EQ(span.StageSumNs(), span.DurationNs());
+}
+
+TEST(SpanCursor, UnboundCursorIsInertAndCheap) {
+  SpanCursor c;
+  EXPECT_FALSE(c.active());
+  c.Advance(Stage::kInstall, 500);  // must not crash
+  c.SetKind(FaultKind::kRemote);
+  c.Close(900, true);
+}
+
+TEST(SpanNames, EveryStageAndKindHasAName) {
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    EXPECT_FALSE(
+        std::string_view{StageName(static_cast<Stage>(i))}.empty());
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(FaultKind::kCount); ++i)
+    EXPECT_FALSE(
+        std::string_view{FaultKindName(static_cast<FaultKind>(i))}.empty());
+}
+
+// --- MetricsRegistry ---------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterIsCreateOrGet) {
+  MetricsRegistry reg;
+  reg.Counter("a.faults") += 3;
+  reg.Counter("a.faults") += 4;
+  EXPECT_EQ(reg.Counter("a.faults"), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotMergesCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.Counter("z.counter") = 5;
+  double live = 1.5;
+  reg.Gauge("a.gauge", [&live] { return live; });
+  live = 2.5;
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Sorted by name; the gauge is evaluated at snapshot time.
+  EXPECT_EQ(snap[0].first, "a.gauge");
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.5);
+  EXPECT_EQ(snap[1].first, "z.counter");
+  EXPECT_DOUBLE_EQ(snap[1].second, 5.0);
+}
+
+TEST(MetricsRegistry, SamplesOnVirtualTimeCadence) {
+  MetricsRegistry reg;
+  reg.Counter("n") = 0;
+  reg.MaybeSample(100);  // sampling disabled: no series point
+  EXPECT_TRUE(reg.series().empty());
+  reg.EnableSampling(1000);
+  reg.Counter("n") = 1;
+  reg.MaybeSample(0);  // first eligible instant samples immediately
+  reg.Counter("n") = 2;
+  reg.MaybeSample(500);  // before the next cadence point: skipped
+  reg.MaybeSample(1000);
+  ASSERT_EQ(reg.series().size(), 2u);
+  EXPECT_EQ(reg.series()[0].at, 0u);
+  EXPECT_EQ(reg.series()[1].at, 1000u);
+  EXPECT_DOUBLE_EQ(reg.series()[0].values[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(reg.series()[1].values[0].second, 2.0);
+}
+
+// --- FlightRecorder ----------------------------------------------------------------
+
+TEST(FlightRecorder, InternedCategoriesAreStable) {
+  FlightRecorder fr{8};
+  const auto a = fr.Intern("evict");
+  const auto b = fr.Intern("fault");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fr.Intern("evict"), a);
+  EXPECT_EQ(fr.CategoryName(a), "evict");
+  ASSERT_TRUE(fr.FindCategory("fault").has_value());
+  EXPECT_EQ(*fr.FindCategory("fault"), b);
+  EXPECT_FALSE(fr.FindCategory("nope").has_value());
+}
+
+TEST(FlightRecorder, RingDropsOldestAndKeepsLifetimeCounts) {
+  FlightRecorder fr{3};
+  const auto cat = fr.Intern("op");
+  for (int i = 0; i < 5; ++i)
+    fr.Record(100 + i, cat, "msg" + std::to_string(i));
+  EXPECT_EQ(fr.size(), 3u);
+  EXPECT_EQ(fr.total_recorded(), 5u);
+  EXPECT_EQ(fr.dropped(), 2u);
+  // Lifetime category count includes the rotated-out entries.
+  EXPECT_EQ(fr.CountCategory(cat), 5u);
+  std::vector<std::string> kept;
+  fr.ForEach([&](const FlightRecorder::Entry& e) {
+    kept.push_back(e.message);
+  });
+  ASSERT_EQ(kept.size(), 3u);  // oldest-first: msg2, msg3, msg4
+  EXPECT_EQ(kept.front(), "msg2");
+  EXPECT_EQ(kept.back(), "msg4");
+  fr.Clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.CountCategory(cat), 0u);
+  EXPECT_EQ(fr.CategoryName(cat), "op");  // interning survives Clear
+}
+
+// --- Span lifecycle through the monitor --------------------------------------------
+
+struct Rig {
+  mem::FramePool pool;
+  kv::LocalDramStore store;
+  fm::Monitor monitor;
+  mem::UffdRegion region;
+  fm::RegionId rid;
+
+  explicit Rig(std::size_t lru_pages = 8, std::size_t shards = 1)
+      : pool(4096),
+        store(kv::LocalStoreConfig{}),
+        monitor(Config(lru_pages, shards), store, pool),
+        region(7, kBase, 1024, pool),
+        rid(monitor.RegisterRegion(region, /*partition=*/3)) {}
+
+  static fm::MonitorConfig Config(std::size_t lru_pages, std::size_t shards) {
+    fm::MonitorConfig cfg;
+    cfg.lru_capacity_pages = lru_pages;
+    cfg.write_batch_pages = 4;
+    cfg.fault_shards = shards;
+    return cfg;
+  }
+
+  SimTime Fault(std::size_t page, SimTime now, bool is_write = false) {
+    auto a = region.Access(PageAddr(page), is_write);
+    EXPECT_EQ(a.kind, mem::AccessKind::kUffdFault);
+    auto out = monitor.HandleFault(rid, PageAddr(page), now);
+    EXPECT_TRUE(out.status.ok());
+    return out.wake_at;
+  }
+
+  // Cycle 24 pages through an 8-page LRU with writebacks and refaults, so
+  // the span stream covers first-access, eviction, writeback, steal,
+  // spilled-in-write-list, and remote-read fault kinds.
+  SimTime Storm(SimTime now) {
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t p = 0; p < 24; ++p) now = Fault(p, now, true);
+      now = monitor.DrainWrites(now);
+    }
+    return now;
+  }
+};
+
+TEST(SpanLifecycle, EveryFaultClosesExactlyOneSpan) {
+  Rig rig;
+  Observability obs;
+  obs.Enable();
+  rig.monitor.AttachObservability(obs);
+  const SimTime end = rig.Storm(0);
+  (void)end;
+  const auto& st = rig.monitor.stats();
+  EXPECT_GT(st.faults, 0u);
+  EXPECT_EQ(obs.spans_started(), st.faults);
+  EXPECT_EQ(obs.spans_finished(), st.faults);
+  EXPECT_EQ(obs.spans_failed(), 0u);
+  EXPECT_EQ(obs.spans().size() + obs.spans_dropped(), st.faults);
+}
+
+TEST(SpanLifecycle, StageSumsEqualEndToEndExactly) {
+  Rig rig;
+  Observability obs;
+  obs.Enable();
+  rig.monitor.AttachObservability(obs);
+  rig.Storm(0);
+  ASSERT_FALSE(obs.spans().empty());
+  std::uint64_t kinds_seen = 0;
+  for (const FaultSpan& s : obs.spans()) {
+    EXPECT_EQ(s.StageSumNs(), s.DurationNs())
+        << "span " << s.id << " kind " << FaultKindName(s.kind);
+    EXPECT_GE(s.end, s.start);
+    EXPECT_NE(s.kind, FaultKind::kUnknown) << "span " << s.id;
+    kinds_seen |= 1ull << static_cast<unsigned>(s.kind);
+  }
+  // The storm must exercise at least first-access and remote-read faults.
+  EXPECT_TRUE(kinds_seen & (1ull << static_cast<unsigned>(
+                                FaultKind::kFirstAccess)));
+  EXPECT_TRUE(kinds_seen &
+              (1ull << static_cast<unsigned>(FaultKind::kRemote)));
+  // And the aggregate view reconciles: sum over stages == histogram sum.
+  std::uint64_t stage_sum = 0;
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    stage_sum += obs.StageTotalNs(static_cast<Stage>(i));
+  EXPECT_EQ(stage_sum, obs.StageTotalSumNs());
+  EXPECT_EQ(obs.end_to_end().Count(), obs.spans_finished());
+}
+
+TEST(SpanLifecycle, DisabledObservabilityRecordsNothing) {
+  Rig rig;
+  Observability obs;  // never enabled
+  rig.monitor.AttachObservability(obs);
+  rig.Storm(0);
+  EXPECT_EQ(obs.spans_started(), 0u);
+  EXPECT_EQ(obs.spans_finished(), 0u);
+  EXPECT_TRUE(obs.spans().empty());
+  EXPECT_EQ(obs.end_to_end().Count(), 0u);
+}
+
+// The cardinal invariant: observability only *records*. The same fault
+// sequence replays byte-identically with tracing enabled, disabled, and
+// absent — identical wake times and identical monitor stats.
+TEST(SpanLifecycle, EnablingObservabilityNeverChangesTheReplay) {
+  auto run = [](int mode, std::vector<SimTime>& wakes) {
+    Rig rig;
+    Observability obs;
+    if (mode == 1) rig.monitor.AttachObservability(obs);  // attached, off
+    if (mode == 2) {
+      obs.Enable();
+      obs.metrics().EnableSampling(10 * kMicrosecond);
+      rig.monitor.AttachObservability(obs);
+    }
+    SimTime now = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t p = 0; p < 24; ++p) {
+        now = rig.Fault(p, now, true);
+        wakes.push_back(now);
+      }
+      now = rig.monitor.DrainWrites(now);
+      wakes.push_back(now);
+    }
+    return rig.monitor.stats();
+  };
+  std::vector<SimTime> w0, w1, w2;
+  const auto s0 = run(0, w0);
+  const auto s1 = run(1, w1);
+  const auto s2 = run(2, w2);
+  EXPECT_EQ(w0, w1);
+  EXPECT_EQ(w0, w2);
+  EXPECT_EQ(s0.faults, s2.faults);
+  EXPECT_EQ(s0.evictions, s2.evictions);
+  EXPECT_EQ(s0.flushed_pages, s2.flushed_pages);
+  EXPECT_EQ(s0.refaults, s2.refaults);
+  EXPECT_EQ(s0.steals, s2.steals);
+}
+
+TEST(SpanLifecycle, ShardedEngineTagsShardsAndStaysReconciled) {
+  Rig rig{/*lru_pages=*/8, /*shards=*/4};
+  Observability obs;
+  obs.Enable();
+  rig.monitor.AttachObservability(obs);
+  rig.Storm(0);
+  ASSERT_FALSE(obs.spans().empty());
+  bool nonzero_shard = false;
+  for (const FaultSpan& s : obs.spans()) {
+    EXPECT_LT(s.shard, 4u);
+    nonzero_shard |= s.shard != 0;
+    EXPECT_EQ(s.StageSumNs(), s.DurationNs());
+  }
+  EXPECT_TRUE(nonzero_shard);
+}
+
+TEST(SpanLifecycle, BoundedSpanWindowDropsOldest) {
+  Rig rig;
+  Observability obs{/*span_capacity=*/16};
+  obs.Enable();
+  rig.monitor.AttachObservability(obs);
+  rig.Storm(0);
+  EXPECT_EQ(obs.spans().size(), 16u);
+  EXPECT_GT(obs.spans_dropped(), 0u);
+  // The histogram still saw every span, only the detail window is bounded.
+  EXPECT_EQ(obs.end_to_end().Count(), obs.spans_finished());
+}
+
+// --- Exporters ---------------------------------------------------------------------
+
+TEST(TraceExport, WritesParsableChromeTraceAndMetrics) {
+  Rig rig;
+  Observability obs;
+  obs.Enable();
+  obs.metrics().EnableSampling(10 * kMicrosecond);
+  rig.monitor.AttachObservability(obs);
+  rig.Storm(0);
+
+  const std::string trace_path = "obs_test_trace.json";
+  const std::string metrics_path = "obs_test_metrics.json";
+  ASSERT_TRUE(WriteChromeTrace(obs, trace_path));
+  ASSERT_TRUE(WriteMetricsJson(obs, metrics_path));
+
+  auto slurp = [](const std::string& p) {
+    std::string out;
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    if (f == nullptr) return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+  };
+  const std::string trace = slurp(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("first_access"), std::string::npos);
+  EXPECT_NE(trace.find("remote_read"), std::string::npos);
+  EXPECT_EQ(trace.find("\n\n"), std::string::npos);
+  const std::string metrics = slurp(metrics_path);
+  EXPECT_NE(metrics.find("monitor.faults"), std::string::npos);
+  EXPECT_NE(metrics.find("\"series\""), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(TraceExport, FlightRecorderDumpNamesSpansAndEvents) {
+  Rig rig;
+  Observability obs;
+  obs.Enable();
+  rig.monitor.AttachObservability(obs);
+  const auto cat = obs.recorder().Intern("test_event");
+  obs.recorder().Record(42, cat, "something happened");
+  rig.Storm(0);
+  const std::string dump = DumpFlightRecorder(obs, /*max_spans=*/4);
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("test_event"), std::string::npos);
+  EXPECT_NE(dump.find("something happened"), std::string::npos);
+  EXPECT_NE(dump.find("span"), std::string::npos);
+  EXPECT_NE(dump.find("end flight recorder"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluid::obs

@@ -270,6 +270,98 @@ TEST(ResilientStore, HedgedReadCutsAStragglersLatency) {
   EXPECT_EQ(std::memcmp(out.data(), page.data(), kPageSize), 0);
 }
 
+// Test double for hedge calibration: every `period`-th Get call is slow by
+// a fixed amount — a bimodal service-time distribution (fast common case +
+// a heavy tail), the shape hedging exists for.
+class BimodalGetStore final : public kv::KvStore {
+ public:
+  BimodalGetStore(int period, SimDuration extra)
+      : inner_(kv::LocalStoreConfig{}), period_(period), extra_(extra) {}
+
+  std::string_view name() const override { return "bimodal-get"; }
+  bool has_native_partitions() const override {
+    return inner_.has_native_partitions();
+  }
+  kv::OpResult Put(PartitionId p, kv::Key k,
+                   std::span<const std::byte, kPageSize> v,
+                   SimTime now) override {
+    return inner_.Put(p, k, v, now);
+  }
+  kv::OpResult Get(PartitionId p, kv::Key k,
+                   std::span<std::byte, kPageSize> out, SimTime now) override {
+    auto r = inner_.Get(p, k, out, now);
+    if (++calls_ % period_ == 0) r.complete_at += extra_;
+    return r;
+  }
+  kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
+    return inner_.Remove(p, k, now);
+  }
+  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+                        SimTime now) override {
+    return inner_.MultiPut(p, w, now);
+  }
+  kv::OpResult DropPartition(PartitionId p, SimTime now) override {
+    return inner_.DropPartition(p, now);
+  }
+  bool Contains(PartitionId p, kv::Key k) const override {
+    return inner_.Contains(p, k);
+  }
+  std::size_t ObjectCount() const override { return inner_.ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_.BytesStored(); }
+  const kv::StoreStats& stats() const override { return inner_.stats(); }
+
+ private:
+  kv::LocalDramStore inner_;
+  int period_;
+  SimDuration extra_;
+  std::uint64_t calls_ = 0;
+};
+
+// Regression: the hedging path used to record the WINNER's latency into the
+// calibration histogram. On a bimodal store that is a ratchet — every hedge
+// win feeds a shortened sample back in, which drags the p95 delay down,
+// which triggers more hedges, forever. With the fix the histogram sees only
+// first-attempt service times, so the calibrated delay climbs to the slow
+// mode and hedging stops once it no longer helps.
+TEST(ResilientStore, HedgeRateStabilisesOnABimodalStore) {
+  auto bimodal_owner =
+      std::make_unique<BimodalGetStore>(/*period=*/10, /*extra=*/2 * kMillisecond);
+  kv::ResilientStoreConfig cfg;
+  cfg.hedge_min_samples = 16;
+  cfg.op_deadline = 10 * kMillisecond;  // the slow mode must not hit it
+  kv::ResilientStore store{std::move(bimodal_owner), cfg};
+
+  const auto page = PatternPage(31);
+  SimTime now = kMillisecond;
+  now = store.Put(kPart, KeyAt(0), page, now).complete_at;
+
+  std::array<std::byte, kPageSize> out{};
+  auto drive = [&](int reads) {
+    for (int i = 0; i < reads; ++i) {
+      auto r = store.Get(kPart, KeyAt(0), out, now);
+      ASSERT_TRUE(r.status.ok());
+      now = r.complete_at;
+    }
+  };
+
+  // Warm-up: while the delay sits at the 200us floor, every slow read
+  // (1 in 10) trips a hedge — the mechanism is genuinely active.
+  drive(100);
+  const std::uint64_t hedges_first_half = store.stats().hedged_reads;
+  EXPECT_GT(hedges_first_half, 0u);
+
+  // Once calibrated on first-attempt latencies, the p95 sits in the slow
+  // mode: ~2ms, far above the floor.
+  EXPECT_GE(store.CurrentHedgeDelay(), 1900 * kMicrosecond);
+
+  // Steady state: the delay now covers the slow mode, so hedging all but
+  // stops (a slow call whose jittered base sets a new record can still
+  // trip one). With the winner-feedback bug the delay stays ratcheted near
+  // the floor and every slow read hedges: ~10 more per 100 reads.
+  drive(100);
+  EXPECT_LE(store.stats().hedged_reads - hedges_first_half, 2u);
+}
+
 TEST(ResilientStore, ReplaysByteIdenticallyFromItsSeed) {
   const auto run = [] {
     kv::ResilientStoreConfig cfg;
