@@ -5,8 +5,9 @@
 # 2. ASan+UBSan build, `chaos`-labeled suites      (fault injection + oracle)
 # 3. same build, `resilience`-labeled suites       (retry/hedge/breaker/spill)
 # 4. same build, `perf`-labeled suites             (sharded fault engine)
-# 5. scale_monitor --smoke                         (scaling bench + JSON emission)
-# 6. traced fig3 smoke + Chrome-trace validation   (observability exporters)
+# 5. same build, `writeback`-labeled suites        (eviction/writeback pipeline)
+# 6. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
+# 7. traced fig3 smoke + Chrome-trace validation   (observability exporters)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -37,8 +38,37 @@ ctest --preset resilience-sanitize -j "${jobs}"
 echo "==> fault engine: shard/determinism sweep under sanitizers (label: perf)"
 ctest --preset scale-sanitize -j "${jobs}"
 
-echo "==> fault engine: scaling smoke (exits nonzero if the JSON report fails)"
-(cd build && ./bench/scale_monitor --smoke)
+echo "==> writeback: eviction/writeback pipeline sweep (label: writeback)"
+ctest --preset writeback-sanitize -j "${jobs}"
+
+echo "==> fault engine: scaling smoke + pipeline trace (exits nonzero if the JSON report fails)"
+(cd build && ./bench/scale_monitor --smoke --trace)
+python3 - <<'PY'
+import json, sys
+with open("build/BENCH_scale_monitor.json") as f:
+    bench = json.load(f)
+speedup = bench.get("k16_multi_region_speedup")
+if speedup is None:
+    sys.exit("scale_monitor JSON is missing the K=16 speedup metric")
+if speedup < 5.0:
+    sys.exit(f"K=16 multi-region speedup regressed: {speedup:.2f}x < 5x")
+for stage in ("pipe_victim_queue", "pipe_evict", "pipe_coalesce_wait",
+              "pipe_store_write"):
+    if f"{stage}_ns" not in bench or f"{stage}_count" not in bench:
+        sys.exit(f"scale_monitor JSON is missing {stage} pipeline metrics")
+rel_err = bench.get("stage_reconciliation_rel_err")
+if rel_err is None or rel_err > 0.01:
+    sys.exit(f"fault-span stages no longer reconcile with MergedLatency(): "
+             f"rel_err={rel_err}")
+with open("build/TRACE_scale_monitor.json") as f:
+    trace = json.load(f)
+pipe = [e for e in trace.get("traceEvents", [])
+        if e.get("cat") == "pipeline" and e.get("ph") == "X"]
+if not pipe:
+    sys.exit("scale_monitor trace has no pipeline-stage spans")
+print(f"    scale OK: K=16 speedup {speedup:.2f}x, "
+      f"{len(pipe)} pipeline spans in trace")
+PY
 
 echo "==> observability: traced pmbench smoke (exits nonzero on emission error)"
 (cd build && ./bench/fig3_pmbench_cdf --smoke --trace)

@@ -89,6 +89,7 @@ Stack::Stack(const ScenarioOptions& opt)
   mc.prefetch_depth = opt.prefetch_depth;
   mc.fault_shards = opt.fault_shards;
   mc.uffd_read_batch = opt.uffd_read_batch;
+  mc.pipelined_writeback = opt.pipelined_writeback;
   mc.seed = opt.seed ^ 0xc0ffeeULL;
   monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
   if (opt.observe) {

@@ -77,6 +77,11 @@ struct ScenarioOptions {
   // legacy scenario/seed replays bit-identically) ------------------------------
   std::size_t fault_shards = 1;
   std::size_t uffd_read_batch = 1;
+  // Completion-driven eviction/writeback pipeline. Enabled by default but
+  // structurally inert with fault_shards == 1 (the serial monitor path),
+  // so every legacy (seed, plan) pair replays bit-identically; scenarios
+  // with shards can flip it off to A/B the pipeline under faults.
+  bool pipelined_writeback = true;
 
   // --- observability (opt-in). Spans/metrics only record — enabling them
   // never changes a replay; on an oracle/invariant failure the flight

@@ -12,9 +12,11 @@
 // logical op.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "common/fault_hook.h"
 #include "kvstore/kvstore.h"
@@ -52,11 +54,46 @@ class InjectedStore final : public kv::KvStore {
     return Stalled(inner_->Remove(partition, key, now), stall);
   }
   kv::OpResult MultiPut(PartitionId partition,
-                        std::span<const kv::KvWrite> writes,
+                        std::span<kv::KvWrite> writes,
                         SimTime now) override {
+    // Whole-batch consultation first (legacy site, one call per MultiPut —
+    // the call-counter sequence legacy plans replay against is unchanged).
     auto [fail, stall] = Consult(FaultSite::kStoreMultiPut, now);
-    if (fail) return Unavailable(now);
-    return Stalled(inner_->MultiPut(partition, writes, now), stall);
+    if (fail) {
+      for (kv::KvWrite& w : writes)
+        w.status = Status::Unavailable("injected store failure");
+      return Unavailable(now);
+    }
+    // Then one per-object consultation: rejected elements fail without
+    // reaching the inner store, the surviving subset goes down as its own
+    // (smaller) batch. Plans that never arm kStoreMultiPutKey take the
+    // fast path below and the inner store sees the original span.
+    std::vector<std::size_t> accepted;
+    bool any_rejected = false;
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      auto [kfail, kstall] = Consult(FaultSite::kStoreMultiPutKey, now);
+      stall += kstall;
+      if (kfail) {
+        writes[i].status = Status::Unavailable("injected object failure");
+        any_rejected = true;
+      } else {
+        accepted.push_back(i);
+      }
+    }
+    if (!any_rejected)
+      return Stalled(inner_->MultiPut(partition, writes, now), stall);
+    if (accepted.empty()) return Unavailable(now);
+    std::vector<kv::KvWrite> sub;
+    sub.reserve(accepted.size());
+    for (std::size_t i : accepted) sub.push_back(writes[i]);
+    kv::OpResult r = inner_->MultiPut(partition, sub, now);
+    for (std::size_t j = 0; j < accepted.size(); ++j)
+      writes[accepted[j]].status = sub[j].status;
+    // At least one object was dropped on the floor: the batch as a whole
+    // reports the injected failure even if the survivors landed.
+    r.status = Status::Unavailable("injected object failure");
+    r.complete_at = std::max(r.complete_at, now + 50 * kMicrosecond);
+    return Stalled(r, stall);
   }
   kv::OpResult DropPartition(PartitionId partition, SimTime now) override {
     auto [fail, stall] = Consult(FaultSite::kStoreDropPartition, now);

@@ -31,8 +31,14 @@ enum class FaultSite : std::uint8_t {
   kStoreMultiPut,
   kStoreRemove,
   kStoreDropPartition,
+  // Per-object failure inside a multi-write batch: consulted once per
+  // element AFTER the whole-batch kStoreMultiPut consultation, so a plan
+  // can fail individual keys (exercising subset retry) without taking down
+  // the batch as a transport op. Appended last: per-site call counters are
+  // independent, so legacy (seed, plan) pairs replay unchanged.
+  kStoreMultiPutKey,
 };
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 11;
 
 constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -46,6 +52,7 @@ constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
     case FaultSite::kStoreMultiPut: return "store.multiput";
     case FaultSite::kStoreRemove: return "store.remove";
     case FaultSite::kStoreDropPartition: return "store.drop";
+    case FaultSite::kStoreMultiPutKey: return "store.multiput.key";
   }
   return "?";
 }

@@ -81,8 +81,14 @@ class IntrusiveList {
   T* Front() noexcept {
     return empty() ? nullptr : static_cast<T*>(head_.next);
   }
+  const T* Front() const noexcept {
+    return empty() ? nullptr : static_cast<const T*>(head_.next);
+  }
   T* Back() noexcept {
     return empty() ? nullptr : static_cast<T*>(head_.prev);
+  }
+  const T* Back() const noexcept {
+    return empty() ? nullptr : static_cast<const T*>(head_.prev);
   }
 
   T* PopFront() noexcept {

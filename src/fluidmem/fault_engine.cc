@@ -17,7 +17,11 @@ FaultEngine::FaultEngine(Monitor& monitor, std::size_t shards,
 
 FaultOutcome FaultEngine::Handle(RegionId id, VirtAddr addr,
                                  SimTime fault_time) {
-  return HandleOne(id, addr, fault_time, /*batch_follower=*/false);
+  FaultOutcome out = HandleOne(id, addr, fault_time, /*batch_follower=*/false);
+  // Individually-driven faults (chaos harness, direct callers) drain their
+  // deferred eviction right away; the batched pump drains once per batch.
+  DrainEvictions();
+  return out;
 }
 
 FaultOutcome FaultEngine::HandleOne(RegionId id, VirtAddr addr,
@@ -76,6 +80,11 @@ std::vector<FaultOutcome> FaultEngine::PumpQueuedFaults(RegionId id,
     // Unclaimed group bytes (install race, failed fault) are dropped; the
     // pages stay kRemote and a later fault simply re-reads them.
     group_reads_.clear();
+    // Deferred evictions run now, on the per-shard evictor timelines —
+    // overlapping the NEXT batch's dequeue and fault handling, which stay
+    // on the worker timelines. This is the pipeline's de-serialization:
+    // the fault loop never waits on an eviction or a writeback post.
+    DrainEvictions();
   }
   return out;
 }
@@ -103,8 +112,12 @@ void FaultEngine::PostGroupReads(RegionId id,
     if (monitor_->spill_ != nullptr &&
         !monitor_->read_health_.AllowRequest(now))
       continue;
-    Timeline& worker = exec_.at(s);
-    SimTime t = worker.EarliestStart(now);
+    // The PUMP thread posts the group read at dequeue time: the batch RTT
+    // runs while the handlers are still finishing the previous batch, so
+    // consecutive batches overlap their reads instead of serializing a
+    // full RTT per shard per batch. The per-shard outstanding window still
+    // gates the post, bounding reads in flight.
+    SimTime t = pump_.EarliestStart(now);
     const SimTime start = t;
     t = GateWindow(s, t);
     t = monitor_->Charge(t, monitor_->config_.costs.read_page_overhead);
@@ -115,9 +128,9 @@ void FaultEngine::PostGroupReads(RegionId id,
       reads.push_back(kv::KvRead{monitor_->KeyFor(pages[i]), bufs[i], {}});
     const kv::OpResult mg = monitor_->store_->MultiGet(partition, reads, t);
     monitor_->NoteStoreRead(mg);
-    // The worker is busy only for the issue work; the RTT itself overlaps
-    // with the batch's fault handling.
-    worker.Occupy(start, mg.issue_done > start ? mg.issue_done - start : 0);
+    // The pump is busy only for the issue work; the RTT itself overlaps
+    // with the handlers' fault processing.
+    pump_.Occupy(start, mg.issue_done > start ? mg.issue_done - start : 0);
     bool posted = false;
     for (std::size_t i = 0; i < pages.size(); ++i) {
       if (!reads[i].status.ok()) continue;  // per-key miss: fault falls back
@@ -134,12 +147,24 @@ void FaultEngine::PostGroupReads(RegionId id,
 }
 
 SimDuration FaultEngine::ChargeLockContention(std::size_t shard, SimTime at) {
+  // In pipelined-writeback mode the fault path only CLASSIFIES under the
+  // write-list lock (steal probe); eviction and flush posting — the long
+  // write-list critical sections — moved to the background evictors. A
+  // busy peer therefore convoys the handler on the frame-pool lock as
+  // before, but the write-list hold is paid once per dispatch, not once
+  // per peer.
+  const bool pipelined = monitor_->PipelineActive();
   SimDuration d = 0;
+  bool any_busy = false;
   for (std::size_t i = 0; i < exec_.size(); ++i) {
     if (i == shard || exec_.at(i).free_at() <= at) continue;
-    d += monitor_->SampleCost(monitor_->config_.costs.wl_lock_hold) +
-         monitor_->SampleCost(monitor_->config_.costs.pool_lock_hold);
+    any_busy = true;
+    if (!pipelined)
+      d += monitor_->SampleCost(monitor_->config_.costs.wl_lock_hold);
+    d += monitor_->SampleCost(monitor_->config_.costs.pool_lock_hold);
   }
+  if (pipelined && any_busy)
+    d += monitor_->SampleCost(monitor_->config_.costs.wl_lock_hold);
   shards_[shard].stats.lock_wait_total += d;
   return d;
 }
@@ -210,6 +235,46 @@ bool FaultEngine::PopVictim(RegionId faulting_region, std::size_t shard,
   return m.lru_.PopVictimOfShard(hot, out);
 }
 
+void FaultEngine::DeferEviction(std::size_t shard, RegionId region,
+                                SimTime ready_at) {
+  shards_[shard].evict_queue.push_back(DeferredEviction{region, ready_at});
+  ++shards_[shard].stats.deferred_evictions;
+}
+
+void FaultEngine::DrainEvictions() {
+  obs::Observability* obs = monitor_->observability();
+  SimTime latest = 0;
+  bool any = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = shards_[s];
+    if (sh.evict_queue.empty()) continue;
+    FaultSchedule sched;
+    sched.engine = this;
+    sched.shard = s;
+    sched.worker = &exec_.at(s);
+    for (const DeferredEviction& e : sh.evict_queue) {
+      const SimTime start = sh.evictor.EarliestStart(e.ready_at);
+      const SimTime done = monitor_->EvictOneFor(
+          e.region, start, /*sync_write=*/false, /*remap_overlapped=*/false,
+          &sched);
+      sh.evictor.Occupy(start, done > start ? done - start : 0);
+      if (obs != nullptr && obs->enabled()) {
+        const auto lane = static_cast<std::uint32_t>(s);
+        obs->RecordPipeline(obs::PipeStage::kVictimQueue, lane, e.ready_at,
+                            start > e.ready_at ? start - e.ready_at : 0);
+        obs->RecordPipeline(obs::PipeStage::kEvict, lane, start,
+                            done > start ? done - start : 0);
+      }
+      latest = std::max(latest, done);
+      any = true;
+    }
+    sh.evict_queue.clear();
+  }
+  // Evictions put dirty pages on the write list; let the coalescer post
+  // any partition group that just reached its size/age trigger.
+  if (any) monitor_->FlushIfNeeded(latest);
+}
+
 EngineShardStats FaultEngine::TotalStats() const {
   EngineShardStats total;
   for (const Shard& s : shards_) {
@@ -218,6 +283,7 @@ EngineShardStats FaultEngine::TotalStats() const {
     total.coalesced_reads += s.stats.coalesced_reads;
     total.work_steals += s.stats.work_steals;
     total.io_window_waits += s.stats.io_window_waits;
+    total.deferred_evictions += s.stats.deferred_evictions;
     total.lock_wait_total += s.stats.lock_wait_total;
   }
   return total;

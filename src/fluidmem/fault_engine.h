@@ -79,6 +79,7 @@ struct EngineShardStats {
   std::uint64_t coalesced_reads = 0;  // refaults folded onto a pending read
   std::uint64_t work_steals = 0;      // victim taken from another slice
   std::uint64_t io_window_waits = 0;  // posts gated by the outstanding window
+  std::uint64_t deferred_evictions = 0;  // victims handed to the bg evictor
   SimDuration lock_wait_total = 0;    // contention surcharge paid
 };
 
@@ -121,11 +122,23 @@ class FaultEngine {
     SimTime available_at = 0;
   };
 
+  // An eviction decided on the fault path but executed by the shard's
+  // background evictor (pipelined-writeback mode).
+  struct DeferredEviction {
+    RegionId region = 0;   // faulting region (quota policy input)
+    SimTime ready_at = 0;  // earliest time the evictor may start
+  };
+
   struct Shard {
     EngineShardStats stats;
     LatencyHistogram latency{/*min_ns=*/50.0, /*max_ns=*/1e9,
                              /*buckets_per_decade=*/60};
     std::vector<SimTime> window;  // completion times of outstanding reads
+    // Background eviction/writeback worker for this shard: deferred
+    // evictions run here and the coalescing flusher posts this shard's
+    // partition batches here, off every fault worker's critical path.
+    Timeline evictor;
+    std::vector<DeferredEviction> evict_queue;
   };
 
   FaultOutcome HandleOne(RegionId id, VirtAddr addr, SimTime fault_time,
@@ -155,10 +168,33 @@ class FaultEngine {
   // else steal the hottest slice's oldest page.
   bool PopVictim(RegionId faulting_region, std::size_t shard, PageRef* out);
 
+  // --- background eviction/writeback pipeline (pipelined mode only) ---------
+  // Queue one eviction decided on the fault path; the shard's background
+  // evictor performs it when the dequeue batch is drained.
+  void DeferEviction(std::size_t shard, RegionId region, SimTime ready_at);
+  // Run every queued eviction on its shard's evictor timeline (overlapping
+  // the next dequeue batch's fault handling on the worker timelines), then
+  // give the coalescing flusher a chance to post the batches that filled.
+  void DrainEvictions();
+  // Timeline the coalescing flusher posts one partition's batches on.
+  // Keyed by partition so same-partition writes retain their post order
+  // (the eager-data model makes the last MultiPut authoritative).
+  Timeline& EvictorTimelineFor(PartitionId partition) noexcept {
+    return shards_[static_cast<std::size_t>(partition) % shards_.size()]
+        .evictor;
+  }
+
   Monitor* monitor_;
   Executor exec_;
   std::size_t io_window_;
   std::size_t read_batch_;
+  // The dequeue/pump thread: reads each event batch and posts the shard-
+  // group MultiGets at DEQUEUE time, before any handler touches the batch.
+  // Posting here (not on the first handler's worker) is what overlaps one
+  // batch's read RTT with the previous batch's fault handling — otherwise
+  // every batch pays a full un-overlapped RTT per shard and the sweep
+  // flatlines at the RTT/batch ratio regardless of K.
+  Timeline pump_;
   Rng rng_;  // engine-only draws (never consulted with one shard)
   std::vector<Shard> shards_;
   // Async reads still in flight, keyed by page (coalescing).

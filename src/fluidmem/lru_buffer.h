@@ -131,6 +131,21 @@ class LruBuffer {
     return true;
   }
 
+  // Non-mutating twin of PopVictim: report the page PopVictim would evict
+  // next without removing it. The prefetch installer uses this to detect
+  // self-eviction churn — a batch about to evict a page it installed
+  // moments earlier should stop installing instead.
+  bool PeekVictim(PageRef* out) const {
+    const Node* best = nullptr;
+    for (std::size_t i = 0; i < lists_.size(); ++i) {
+      const Node* n = lists_[i].Front();
+      if (n != nullptr && (best == nullptr || n->seq < best->seq)) best = n;
+    }
+    if (best == nullptr) return false;
+    *out = best->page;
+    return true;
+  }
+
   // Pop the oldest page OF ONE SLICE (parallel engine: a handler evicting
   // from the slice it owns, or stealing from a hot neighbour). Exact
   // insertion order within the slice, O(1).
@@ -154,6 +169,16 @@ class LruBuffer {
     lists_[ShardOf(n->page)].Remove(*n);
     *out = n->page;
     Erase(n);
+    return true;
+  }
+
+  // Non-mutating twin of PopVictimOfRegion.
+  bool PeekVictimOfRegion(RegionId region, PageRef* out) const {
+    auto it = region_lists_.find(region);
+    if (it == region_lists_.end()) return false;
+    const Node* n = it->second.Front();
+    if (n == nullptr) return false;
+    *out = n->page;
     return true;
   }
 

@@ -190,7 +190,16 @@ void Monitor::RetireCompleted(SimTime now) {
   }
 }
 
+bool Monitor::PipelineActive() const noexcept {
+  return config_.pipelined_writeback && engine_ != nullptr &&
+         engine_->shard_count() > 1;
+}
+
 void Monitor::FlushIfNeeded(SimTime now, bool force) {
+  if (PipelineActive()) {
+    FlushCoalesced(now, force);
+    return;
+  }
   // Lazy model of the periodic flush thread: post batches while the list
   // has a full batch, anything stale, or we are draining.
   while (write_list_.PendingCount() > 0 &&
@@ -245,6 +254,10 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
       posted.complete_at = mp.complete_at;
       posted.ok = mp.status.ok();
       for (std::size_t k = i; k < j; ++k) {
+        // Per-object durability: only the objects the store actually
+        // rejected re-enqueue at retirement; acknowledged objects from a
+        // partially-failed batch stay durable instead of being re-flushed.
+        batch[k].posted_ok = writes[k - i].status.ok();
         posted.writes.push_back(batch[k]);
         tracker_.MarkInFlight(batch[k].page);
       }
@@ -253,6 +266,98 @@ void Monitor::FlushIfNeeded(SimTime now, bool force) {
       stats_.flushed_pages += j - i;
       i = j;
     }
+  }
+}
+
+void Monitor::FlushCoalesced(SimTime now, bool force) {
+  while (write_list_.PendingCount() > 0) {
+    // Same degradation gate as the serial flusher: a tripped write breaker
+    // diverts pending pages to the local spill device instead of posting
+    // batches the store is known to reject.
+    if (spill_ != nullptr && !write_health_.AllowRequest(now)) {
+      if (!SpillPending(now)) return;
+      continue;
+    }
+    // One scan of the pending FIFO: per-partition population and the age
+    // of each partition's oldest entry (groups keep first-seen order, so
+    // tie-breaks follow FIFO order of each partition's oldest write).
+    struct Group {
+      PartitionId partition = 0;
+      std::size_t count = 0;
+      SimTime oldest = 0;
+    };
+    std::vector<Group> groups;
+    write_list_.ForEachPending([&](const PendingWrite& w) {
+      const PartitionId part = regions_[w.page.region].partition;
+      for (Group& g : groups) {
+        if (g.partition == part) {
+          ++g.count;
+          return;
+        }
+      }
+      groups.push_back(Group{part, 1, w.enqueued_at});
+    });
+    // Coalescing flush triggers, mirroring the read-side grouping: a
+    // partition flushes when it fills a batch, when its oldest entry goes
+    // stale, or when the caller is draining.
+    const Group* pick = nullptr;
+    for (const Group& g : groups) {
+      const SimTime age = g.oldest >= now ? 0 : now - g.oldest;
+      if (force || g.count >= config_.write_batch_pages ||
+          age >= config_.flush_max_age) {
+        pick = &g;
+        break;
+      }
+    }
+    if (pick == nullptr) return;
+    const PartitionId partition = pick->partition;
+    std::vector<PendingWrite> batch = write_list_.TakeBatchIf(
+        config_.write_batch_pages, [&](const PendingWrite& w) {
+          return regions_[w.page.region].partition == partition;
+        });
+    if (batch.empty()) return;
+
+    std::vector<kv::KvWrite> writes;
+    writes.reserve(batch.size());
+    for (const PendingWrite& w : batch)
+      writes.push_back(kv::KvWrite{
+          KeyFor(w.page),
+          std::span<const std::byte, kPageSize>{pool_->Data(w.frame)}});
+    // Post on the partition's evictor timeline: same-partition batches
+    // keep their post order (the eager data model makes the last MultiPut
+    // authoritative for a key), while different partitions' writebacks
+    // proceed in parallel instead of serializing on one flusher thread.
+    Timeline& tl = engine_->EvictorTimelineFor(partition);
+    const SimTime start = tl.EarliestStart(now);
+    kv::OpResult mp = store_->MultiPut(partition, writes, start);
+    tl.Occupy(start, mp.issue_done > start ? mp.issue_done - start : 0);
+    profiler_.Record(CodePath::kWritePage,
+                     (mp.complete_at - start) /
+                         std::max<std::size_t>(1, batch.size()));
+    NoteStoreWrite(mp);
+    if (!mp.status.ok()) ++stats_.writeback_errors;
+    if (obs_ != nullptr && obs_->enabled()) {
+      const auto lane = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(partition) % engine_->shard_count());
+      for (const PendingWrite& w : batch)
+        obs_->RecordPipeline(
+            obs::PipeStage::kCoalesceWait, lane, w.enqueued_at,
+            start > w.enqueued_at ? start - w.enqueued_at : 0);
+      obs_->RecordPipeline(obs::PipeStage::kStoreWrite, lane, start,
+                           mp.complete_at > start ? mp.complete_at - start
+                                                  : 0);
+    }
+    InFlightBatch posted;
+    posted.complete_at = mp.complete_at;
+    posted.ok = mp.status.ok();
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      batch[k].posted_ok = writes[k].status.ok();
+      posted.writes.push_back(batch[k]);
+      tracker_.MarkInFlight(batch[k].page);
+    }
+    write_list_.AddInFlight(std::move(posted));
+    ++stats_.flush_batches;
+    stats_.flushed_pages += batch.size();
   }
 }
 
@@ -435,18 +540,29 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       lru_.NeedsEvictionBeforeInsert() ||
       (ri.quota_pages != 0 && lru_.RegionCount(id) >= ri.quota_pages);
 
+  // Completion-driven pipeline (engine mode, K > 1, flag on): the fault
+  // path only DECIDES an eviction is needed; the victim pop, remap and
+  // writeback all run on the shard's background evictor after the dequeue
+  // batch — the fault loop never serializes on the shared flusher thread.
+  const bool pipelined = engine_mode && PipelineActive();
+
   // Completes the fault at wake time `wake`, then runs deferred eviction
   // work on the monitor thread and reserves the monitor's busy window.
   auto Finish = [&](SimTime wake) -> FaultOutcome {
     if (need_evict && config_.async_write) {
-      // Asynchronous (blue) path of Fig. 2: the eviction happens after the
-      // guest resumed, on the background (flush) thread so the monitor can
-      // take the next fault immediately.
-      const SimTime ev_start = flusher_.EarliestStart(wake);
-      const SimTime ev_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
-                                          /*remap_overlapped=*/false, &sched);
-      flusher_.Occupy(ev_start, ev_done > ev_start ? ev_done - ev_start : 0);
-      FlushIfNeeded(ev_done);
+      if (pipelined) {
+        sched.engine->DeferEviction(sched.shard, id, wake);
+      } else {
+        // Asynchronous (blue) path of Fig. 2: the eviction happens after
+        // the guest resumed, on the background (flush) thread so the
+        // monitor can take the next fault immediately.
+        const SimTime ev_start = flusher_.EarliestStart(wake);
+        const SimTime ev_done =
+            EvictOneFor(id, ev_start, /*sync_write=*/false,
+                        /*remap_overlapped=*/false, &sched);
+        flusher_.Occupy(ev_start, ev_done > ev_start ? ev_done - ev_start : 0);
+        FlushIfNeeded(ev_done);
+      }
     }
     worker.Occupy(mon_start, wake > mon_start ? wake - mon_start : 0);
     out.status = Status::Ok();
@@ -711,6 +827,12 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
             // the fault path, overlapping the read wait.
             t = EvictOneFor(id, t, /*sync_write=*/true,
                             /*remap_overlapped=*/true, &sched, &span);
+          } else if (pipelined) {
+            // Pipelined mode keeps ALL async evictions off the fault span:
+            // even an in-shadow eviction can outlast the read on a fast
+            // backend, and the victim pop contends on the shared LRU. The
+            // background evictor handles it after the batch.
+            evict_deferred_flag = true;
           } else if (t < rd.complete_at) {
             // The read is still in flight: evict for free in its shadow.
             t = EvictOneFor(id, t, /*sync_write=*/false,
@@ -800,14 +922,19 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
           need_evict && config_.async_write &&
           (!config_.async_read || evict_deferred_flag);
       if (deferred_evict_pending) {
-        // The eviction could not overlap anything useful: run it after the
-        // guest resumed (Fig. 2's blue path), off the monitor's fault loop.
-        const SimTime ev_start = flusher_.EarliestStart(wake);
-        background_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
-                                      /*remap_overlapped=*/false, &sched);
-        flusher_.Occupy(ev_start, background_done > ev_start
-                                      ? background_done - ev_start
-                                      : 0);
+        if (pipelined) {
+          sched.engine->DeferEviction(sched.shard, id, wake);
+        } else {
+          // The eviction could not overlap anything useful: run it after
+          // the guest resumed (Fig. 2's blue path), off the monitor's
+          // fault loop.
+          const SimTime ev_start = flusher_.EarliestStart(wake);
+          background_done = EvictOneFor(id, ev_start, /*sync_write=*/false,
+                                        /*remap_overlapped=*/false, &sched);
+          flusher_.Occupy(ev_start, background_done > ev_start
+                                        ? background_done - ev_start
+                                        : 0);
+        }
       }
       if (split_occupancy)
         worker.Occupy(bh_start, wake > bh_start ? wake - bh_start : 0);
@@ -850,6 +977,15 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
   }
   if (candidates.empty()) return;
 
+  // Same degradation gate as the demand-read paths (PostGroupReads, the
+  // kRemote arm): with the read breaker open, speculative readahead must
+  // not hammer the dead store — or spend the half-open window's single
+  // probe token on a read nobody is waiting for.
+  if (spill_ != nullptr && !read_health_.AllowRequest(now)) {
+    ++stats_.prefetch_breaker_skips;
+    return;
+  }
+
   SimTime t = flusher_.EarliestStart(now);
   const SimTime start = t;
 
@@ -861,10 +997,22 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
   for (std::size_t i = 0; i < candidates.size(); ++i)
     reads.push_back(kv::KvRead{KeyFor(candidates[i]), bufs[i], {}});
   kv::OpResult mg = store_->MultiGet(ri.partition, reads, t);
+  NoteStoreRead(mg);
   t = mg.issue_done;
+  if (!mg.status.ok()) {
+    // Wholesale batch failure: a transport-level failure stamps every
+    // per-key slot, so the slots are not install-grade evidence. Skip the
+    // installs — but the background thread still paid for the round trip,
+    // so charge through the batch's completion.
+    ++stats_.prefetch_failed_batches;
+    t = std::max(t, mg.complete_at);
+    flusher_.Occupy(start, t > start ? t - start : 0);
+    return;
+  }
 
   PageRef last_installed{};
   bool any = false;
+  std::vector<PageRef> installed_this_batch;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (!reads[i].status.ok()) continue;  // lost race or store hiccup: skip
     // Make room first so the insert cannot overflow the budget — neither
@@ -875,14 +1023,31 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
     // quota is the binding constraint.
     const bool over_quota =
         ri.quota_pages != 0 && lru_.RegionCount(id) >= ri.quota_pages;
-    if (lru_.NeedsEvictionBeforeInsert() || over_quota)
+    if (lru_.NeedsEvictionBeforeInsert() || over_quota) {
+      // Self-eviction churn guard: if the page the eviction below would
+      // pick was installed by THIS batch (a quota-bound region installing
+      // more candidates than it has room for), installing further pages
+      // just cycles them straight back out through the write list. Stop;
+      // the rest of the window stays remote for a later demand fault.
+      PageRef would_evict{};
+      const bool peeked = over_quota
+                              ? lru_.PeekVictimOfRegion(id, &would_evict)
+                              : lru_.PeekVictim(&would_evict);
+      if (peeked &&
+          std::find(installed_this_batch.begin(), installed_this_batch.end(),
+                    would_evict) != installed_this_batch.end()) {
+        ++stats_.prefetch_churn_stops;
+        break;
+      }
       t = EvictOneFor(id, t, /*sync_write=*/false, /*remap_overlapped=*/true);
+    }
     Status cp = ri.region->Copy(
         candidates[i].addr, std::span<const std::byte, kPageSize>{bufs[i]});
     if (!cp.ok()) continue;  // raced with an in-kernel install
     lru_.Insert(candidates[i]);
     tracker_.MarkResident(candidates[i]);
     ++stats_.prefetched_pages;
+    installed_this_batch.push_back(candidates[i]);
     last_installed = candidates[i];
     any = true;
   }
@@ -942,6 +1107,10 @@ void Monitor::PumpBackground(SimTime now) {
   // Store-side maintenance first (RAMCloud coordinator recovery, replica
   // anti-entropy repair) — recovering the backend may unblock the flush.
   now = std::max(now, store_->PumpMaintenance(now));
+  // Pipelined mode: any evictions still queued from the last dequeue batch
+  // run now, so a quiescent monitor converges to the same steady state as
+  // the serial one (LRU at budget, dirty pages on the write list).
+  if (PipelineActive()) engine_->DrainEvictions();
   RetireCompleted(now);
   FlushIfNeeded(now);
   MigrateSpillBack(now);
@@ -969,6 +1138,12 @@ void Monitor::AttachObservability(obs::Observability& obs) {
   g("monitor.flushed_pages", [&st] { return double(st.flushed_pages); });
   g("monitor.prefetched_pages",
     [&st] { return double(st.prefetched_pages); });
+  g("monitor.prefetch_failed_batches",
+    [&st] { return double(st.prefetch_failed_batches); });
+  g("monitor.prefetch_breaker_skips",
+    [&st] { return double(st.prefetch_breaker_skips); });
+  g("monitor.prefetch_churn_stops",
+    [&st] { return double(st.prefetch_churn_stops); });
   g("monitor.writeback_errors",
     [&st] { return double(st.writeback_errors); });
   g("monitor.transient_read_errors",
@@ -990,6 +1165,8 @@ void Monitor::AttachObservability(obs::Observability& obs) {
     [eng] { return double(eng->TotalStats().work_steals); });
   g("engine.io_window_waits",
     [eng] { return double(eng->TotalStats().io_window_waits); });
+  g("engine.deferred_evictions",
+    [eng] { return double(eng->TotalStats().deferred_evictions); });
   g("engine.lock_wait_ns",
     [eng] { return double(eng->TotalStats().lock_wait_total); });
   const kv::StoreStats* ss = &store_->stats();
@@ -1102,6 +1279,9 @@ SimTime Monitor::DrainWrites(SimTime now) {
   // local spill device instead of hammering the dead store.
   const int max_rounds =
       static_cast<int>(std::max<std::size_t>(1, config_.max_drain_rounds));
+  // Deferred evictions hold pages that belong on the write list; a drain
+  // must see them or it under-reports what needs flushing.
+  if (PipelineActive()) engine_->DrainEvictions();
   SimTime done = now;
   for (int round = 0; round < max_rounds; ++round) {
     FlushIfNeeded(done, /*force=*/true);

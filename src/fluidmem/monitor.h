@@ -97,6 +97,13 @@ struct MonitorConfig {
   // Bounded outstanding remote-read window per shard (engine mode only):
   // reads past the window wait for the oldest posted op to complete.
   std::size_t io_window = 4;
+  // Completion-driven eviction/writeback pipeline (engine mode only, needs
+  // fault_shards > 1). Faults hand their victims to per-shard background
+  // evictors instead of running the eviction inline on the shared flusher
+  // thread, and dirty pages coalesce into same-partition multi-write
+  // batches posted on per-shard evictor timelines. With one shard the flag
+  // is inert and the serial monitor path runs unchanged, byte for byte.
+  bool pipelined_writeback = true;
 
   MonitorCostModel costs;
   std::uint64_t seed = 7;
@@ -121,6 +128,15 @@ struct MonitorStats {
   std::uint64_t flush_batches = 0;
   std::uint64_t flushed_pages = 0;
   std::uint64_t prefetched_pages = 0;
+  // Prefetch batches whose wholesale MultiGet failed: installs are skipped
+  // (the per-key statuses are not trustworthy) but the background thread
+  // still pays the batch's completion time.
+  std::uint64_t prefetch_failed_batches = 0;
+  // Prefetch batches suppressed because the read breaker was open.
+  std::uint64_t prefetch_breaker_skips = 0;
+  // Prefetch installs abandoned because the next eviction victim would
+  // have been a page installed by this same batch (self-eviction churn).
+  std::uint64_t prefetch_churn_stops = 0;
   // The store *lost* a page it had acknowledged: a believed-remote page
   // came back kNotFound. Genuine data loss — never incremented for
   // transient unavailability, which is retryable.
@@ -345,7 +361,18 @@ class Monitor {
                            obs::SpanCursor* span = nullptr);
 
   // Post pending writes as multi-write batches when full or stale.
+  // Delegates to FlushCoalesced when the writeback pipeline is active.
   void FlushIfNeeded(SimTime now, bool force = false);
+
+  // True when the completion-driven eviction/writeback pipeline is on:
+  // engine mode with more than one shard and the config flag set.
+  bool PipelineActive() const noexcept;
+
+  // Pipelined flusher: group pending writes by partition and post each
+  // group as one same-partition multi-write on that partition's evictor
+  // timeline. A group flushes when it reaches write_batch_pages, when its
+  // oldest entry exceeds flush_max_age, or on `force`.
+  void FlushCoalesced(SimTime now, bool force);
 
   // Degradation path: move one batch of pending writes to the local swap
   // device (breaker open / store down). Returns true if any page spilled.

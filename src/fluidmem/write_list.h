@@ -32,6 +32,10 @@ struct PendingWrite {
   PageRef page;
   FrameId frame = kInvalidFrame;
   SimTime enqueued_at = 0;
+  // Per-object durability verdict, stamped when the write is posted (from
+  // the store's per-KvWrite status). A batch can now partially succeed:
+  // only the objects the store actually rejected re-enqueue on retirement.
+  bool posted_ok = true;
 };
 
 struct InFlightBatch {
@@ -104,6 +108,26 @@ class WriteList {
     return batch;
   }
 
+  // Pull up to `max_batch` entries MATCHING `pred`, preserving FIFO order
+  // among the matches; non-matching entries keep their positions. The
+  // coalescing flusher uses this to lift one partition's writes out of the
+  // shared list as a single same-partition multi-write batch.
+  template <typename Pred>  // bool(const PendingWrite&)
+  std::vector<PendingWrite> TakeBatchIf(std::size_t max_batch, Pred&& pred) {
+    std::vector<PendingWrite> batch;
+    for (auto it = pending_.begin();
+         it != pending_.end() && batch.size() < max_batch;) {
+      if (pred(*it)) {
+        batch.push_back(*it);
+        pending_index_.erase(it->page);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return batch;
+  }
+
   // --- in-flight (posted, awaiting completion) ----------------------------------
 
   void AddInFlight(InFlightBatch batch) {
@@ -129,7 +153,12 @@ class WriteList {
     for (auto it = inflight_.begin(); it != inflight_.end();) {
       if (it->complete_at <= now) {
         for (const PendingWrite& w : it->writes) {
-          (it->ok ? done.durable : done.failed).push_back(w);
+          // Per-object verdict: a batch that partially failed only
+          // re-enqueues the objects the store actually rejected — the
+          // acknowledged ones are durable and must NOT be re-flushed
+          // (write amplification). Whole-batch failures stamp every
+          // object failed, reproducing the old batch-level split exactly.
+          (w.posted_ok ? done.durable : done.failed).push_back(w);
           inflight_index_.erase(w.page);
         }
         it = inflight_.erase(it);

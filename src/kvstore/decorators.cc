@@ -85,20 +85,23 @@ OpResult CompressedStore::Remove(PartitionId partition, Key key,
 }
 
 OpResult CompressedStore::MultiPut(PartitionId partition,
-                                   std::span<const KvWrite> writes,
+                                   std::span<KvWrite> writes,
                                    SimTime now) {
   ++stats_.multi_write_batches;
   stats_.multi_write_objects += writes.size();
   Status s = Status::Ok();
   std::size_t wire_total = 0;
   SimDuration cpu = 0;
-  for (const KvWrite& w : writes) {
+  for (KvWrite& w : writes) {
     cpu += config_.compress_cpu.Sample(rng_);
     auto wire = StoreObject(FoldPartition(w.key, partition), w.value);
-    if (!wire.ok())
+    if (!wire.ok()) {
+      w.status = wire.status();
       s = wire.status();
-    else
+    } else {
+      w.status = Status::Ok();
       wire_total += *wire + 40;
+    }
   }
   OpResult r;
   r.status = std::move(s);
@@ -284,29 +287,53 @@ OpResult ReplicatedStore::Remove(PartitionId partition, Key key,
 }
 
 OpResult ReplicatedStore::MultiPut(PartitionId partition,
-                                   std::span<const KvWrite> writes,
+                                   std::span<KvWrite> writes,
                                    SimTime now) {
   ++agg_stats_.multi_write_batches;
   agg_stats_.multi_write_objects += writes.size();
   OpResult agg;
   agg.issue_done = now;
   agg.complete_at = now;
-  int acks = 0;
+  // Each replica stamps per-object statuses into its own copy of the batch
+  // (a shared span would let replica i overwrite replica i-1's verdicts);
+  // quorum is then counted per KEY, so a batch where different replicas
+  // miss different keys degrades per-object instead of wholesale.
+  std::vector<int> key_acks(writes.size(), 0);
+  std::vector<KvWrite> mirror(writes.begin(), writes.end());
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    OpResult one = replicas_[i]->MultiPut(partition, writes, now);
+    for (std::size_t k = 0; k < writes.size(); ++k) {
+      mirror[k] = writes[k];
+      mirror[k].status = Status::Ok();
+    }
+    OpResult one = replicas_[i]->MultiPut(partition, mirror, now);
     NoteResult(i, one);
-    for (const KvWrite& w : writes)
-      NoteWrite(i, partition, w.key, one.status.ok());
+    for (std::size_t k = 0; k < mirror.size(); ++k) {
+      const bool ok = mirror[k].status.ok();
+      NoteWrite(i, partition, mirror[k].key, ok);
+      if (ok) ++key_acks[k];
+    }
     agg.issue_done = std::max(agg.issue_done, one.issue_done);
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
-    if (one.status.ok()) ++acks;
   }
-  if (acks >= write_quorum_) {
-    if (acks < static_cast<int>(replicas_.size())) ++rstats_.degraded_writes;
+  bool all_quorate = true;
+  bool degraded = false;
+  for (std::size_t k = 0; k < writes.size(); ++k) {
+    if (key_acks[k] >= write_quorum_) {
+      writes[k].status = Status::Ok();
+      if (key_acks[k] < static_cast<int>(replicas_.size())) degraded = true;
+    } else {
+      writes[k].status = Status::Unavailable("below write quorum");
+      all_quorate = false;
+    }
+  }
+  if (all_quorate && !writes.empty()) {
+    if (degraded) ++rstats_.degraded_writes;
     agg.status = Status::Ok();
-  } else {
+  } else if (!writes.empty()) {
     ++rstats_.write_failures;
     agg.status = Status::Unavailable("below write quorum");
+  } else {
+    agg.status = Status::Ok();
   }
   return agg;
 }

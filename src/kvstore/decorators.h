@@ -61,7 +61,7 @@ class CompressedStore final : public KvStore {
   OpResult Get(PartitionId partition, Key key,
                std::span<std::byte, kPageSize> out, SimTime now) override;
   OpResult Remove(PartitionId partition, Key key, SimTime now) override;
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override;
   OpResult DropPartition(PartitionId partition, SimTime now) override;
 
@@ -145,9 +145,12 @@ class FlakyStore final : public KvStore {
     if (ShouldFail(now)) return Unavailable(now);
     return inner_->Remove(partition, key, now);
   }
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override {
-    if (ShouldFail(now)) return Unavailable(now);
+    if (ShouldFail(now)) {
+      for (KvWrite& w : writes) w.status = Status::Unavailable("injected failure");
+      return Unavailable(now);
+    }
     return inner_->MultiPut(partition, writes, now);
   }
   OpResult DropPartition(PartitionId partition, SimTime now) override {
@@ -231,7 +234,7 @@ class ReplicatedStore final : public KvStore {
   OpResult Get(PartitionId partition, Key key,
                std::span<std::byte, kPageSize> out, SimTime now) override;
   OpResult Remove(PartitionId partition, Key key, SimTime now) override;
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override;
   OpResult DropPartition(PartitionId partition, SimTime now) override;
   // Forwards to every replica, then runs one bounded RepairPass.

@@ -36,9 +36,14 @@ struct OpResult {
   bool hedged = false;
 };
 
+// One slot of a batched write (RAMCloud multiWrite). `status` is per-object
+// and mirrors KvRead: stores stamp every slot on every path — including
+// wholesale transport failures — so retry layers can re-issue exactly the
+// failed subset instead of amplifying the whole batch.
 struct KvWrite {
   Key key = 0;
   std::span<const std::byte, kPageSize> value;
+  Status status;
 };
 
 // One slot of a batched read (RAMCloud multiRead). `status` is per-object:
@@ -61,6 +66,11 @@ struct StoreStats {
   std::uint64_t hedged_reads = 0;       // Gets that issued a hedge request
   std::uint64_t hedge_wins = 0;         // hedges that beat the first request
   std::uint64_t deadline_exceeded = 0;  // ops abandoned at their deadline
+  // Objects re-issued inside MultiPut subset retries. A whole-batch retry
+  // of an N-object batch would add N here per attempt; the subset-retry
+  // contract keeps this at (number of actually-failed objects) per attempt,
+  // which is how the chaos harness asserts no write is double-charged.
+  std::uint64_t multi_write_retried_objects = 0;
 };
 
 class KvStore {
@@ -83,8 +93,11 @@ class KvStore {
 
   // Batched write (RAMCloud multiWrite). All writes must target one
   // partition — the batching FluidMem performs groups by uffd region.
-  virtual OpResult MultiPut(PartitionId partition,
-                            std::span<const KvWrite> writes, SimTime now) = 0;
+  // Per-object status lands in each KvWrite (a batch can fail as a
+  // transport op while earlier writes stuck, and vice versa); the batch
+  // status stays Ok only when every object landed.
+  virtual OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
+                            SimTime now) = 0;
 
   // Batched read (RAMCloud multiRead). The default adapter issues
   // sequential Gets; stores with native batch support (RAMCloud) override

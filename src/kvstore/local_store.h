@@ -60,16 +60,17 @@ class LocalDramStore final : public KvStore {
     return Done(now, erased ? Status::Ok() : Status::NotFound(""));
   }
 
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override {
     ++stats_.multi_write_batches;
     stats_.multi_write_objects += writes.size();
     Status s = Status::Ok();
     SimTime t = now;
-    for (const KvWrite& w : writes) {
+    for (KvWrite& w : writes) {
       OpResult one = Put(partition, w.key, w.value, t);
       --stats_.puts;
       t = one.complete_at;
+      w.status = one.status;
       if (!one.status.ok()) s = one.status;
     }
     return OpResult{std::move(s), t, t};

@@ -87,7 +87,7 @@ OpResult MemcachedStore::Remove(PartitionId partition, Key key, SimTime now) {
 }
 
 OpResult MemcachedStore::MultiPut(PartitionId partition,
-                                  std::span<const KvWrite> writes,
+                                  std::span<KvWrite> writes,
                                   SimTime now) {
   // No server-side batching: issue pipelined singles. The client pays one
   // issue cost per write but requests overlap in flight; completion is the
@@ -101,13 +101,14 @@ OpResult MemcachedStore::MultiPut(PartitionId partition,
   agg.issue_done = now;
   agg.complete_at = now;
   SimTime issue_cursor = now;
-  for (const KvWrite& w : writes) {
+  for (KvWrite& w : writes) {
     OpResult one = Put(partition, w.key, w.value, issue_cursor);
     // Puts through this path should not double-count in stats_.puts; undo.
     --stats_.puts;
     issue_cursor = one.issue_done;
     agg.issue_done = one.issue_done;
     agg.complete_at = std::max(agg.complete_at, one.complete_at);
+    w.status = one.status;
     if (!one.status.ok()) agg.status = one.status;
   }
   return agg;

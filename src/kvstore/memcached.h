@@ -57,7 +57,7 @@ class MemcachedStore final : public KvStore {
   // memcached has no multi-write; FluidMem's flush path falls back to
   // pipelined singles (one client issue, per-op RTTs overlapping on the
   // server timeline).
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override;
   OpResult DropPartition(PartitionId partition, SimTime now) override;
 

@@ -13,7 +13,10 @@ constexpr std::size_t kLoggedSize = kPageSize + kObjectOverhead;
 }  // namespace
 
 RamcloudStore::RamcloudStore(RamcloudConfig config, net::Transport transport)
-    : config_(config), transport_(std::move(transport)), rng_(config.seed) {
+    : config_(config),
+      transport_(std::move(transport)),
+      server_(config.service_lanes),
+      rng_(config.seed) {
   OpenNewHead();
   backups_.resize(static_cast<std::size_t>(
       config.backup_count < 0 ? 0 : config.backup_count));
@@ -234,7 +237,8 @@ OpResult RamcloudStore::TimedOp(SimTime now, std::size_t req_bytes,
   r.issue_done = now + config_.client_issue.Sample(rng_);
   const SimDuration rtt = transport_.SampleRtt(req_bytes, resp_bytes, rng_);
   const SimDuration half_out = rtt / 2;
-  const auto svc = server_.Occupy(r.issue_done + half_out, service);
+  const SimTime arrive = r.issue_done + half_out;
+  const auto svc = server_.at(server_.PickWorker(arrive)).Occupy(arrive, service);
   r.complete_at = svc.end + (rtt - half_out);
   return r;
 }
@@ -289,18 +293,19 @@ OpResult RamcloudStore::Remove(PartitionId partition, Key key, SimTime now) {
 }
 
 OpResult RamcloudStore::MultiPut(PartitionId partition,
-                                 std::span<const KvWrite> writes,
+                                 std::span<KvWrite> writes,
                                  SimTime now) {
   if (crashed_) {
     ++stats_.multi_write_batches;
+    for (KvWrite& w : writes) w.status = Status::Unavailable("master crashed");
     return OpResult{Status::Unavailable("master crashed"), now, now};
   }
   ++stats_.multi_write_batches;
   stats_.multi_write_objects += writes.size();
   Status s = Status::Ok();
-  for (const KvWrite& w : writes) {
-    Status one = AppendObject(partition, w.key, w.value);
-    if (!one.ok()) s = one;  // report last failure; earlier writes stick
+  for (KvWrite& w : writes) {
+    w.status = AppendObject(partition, w.key, w.value);
+    if (!w.status.ok()) s = w.status;  // report last failure; earlier writes stick
   }
   OpResult r;
   r.status = std::move(s);
@@ -311,7 +316,8 @@ OpResult RamcloudStore::MultiPut(PartitionId partition,
   const SimDuration rtt =
       transport_.SampleBatchRtt(writes.size(), kLoggedSize, rng_);
   const SimDuration half_out = rtt / 2;
-  const auto svc = server_.Occupy(r.issue_done + half_out, service);
+  const SimTime arrive = r.issue_done + half_out;
+  const auto svc = server_.at(server_.PickWorker(arrive)).Occupy(arrive, service);
   r.complete_at = svc.end + (rtt - half_out) + BackupAckDelay();
   return r;
 }
@@ -344,7 +350,8 @@ OpResult RamcloudStore::MultiGet(PartitionId partition,
   const SimDuration rtt = transport_.SampleBatchRtt(
       std::max<std::size_t>(1, found), kLoggedSize, rng_);
   const SimDuration half_out = rtt / 2;
-  const auto svc = server_.Occupy(agg.issue_done + half_out, service);
+  const SimTime arrive = agg.issue_done + half_out;
+  const auto svc = server_.at(server_.PickWorker(arrive)).Occupy(arrive, service);
   agg.complete_at = svc.end + (rtt - half_out);
   return agg;
 }

@@ -31,6 +31,7 @@
 #include "common/types.h"
 #include "kvstore/kvstore.h"
 #include "net/transport.h"
+#include "sim/executor.h"
 #include "sim/timeline.h"
 
 namespace fluid::kv {
@@ -46,6 +47,16 @@ struct RamcloudConfig {
   LatencyDist service = LatencyDist::Normal(0.8, 0.15, 0.3);
   // Client-side cost to build/post one RPC (the top half).
   LatencyDist client_issue = LatencyDist::Normal(0.5, 0.1, 0.2);
+  // Server-side request concurrency. A RAMCloud master runs a polling
+  // dispatch thread that hands RPCs to a pool of worker cores (Ousterhout
+  // et al. §4.1), so requests posted while an earlier one is still being
+  // serviced do not queue behind it unless every core is busy. 1 models a
+  // single-core server: one serially-occupied timeline, which additionally
+  // serializes ops in POST order — an op posted early for a future ready
+  // time blocks later-posted ops with earlier ready times. Keep 1 for the
+  // calibrated Table I/II latency runs; raise it when clients genuinely
+  // overlap requests (the monitor's pipelined writeback path).
+  std::size_t service_lanes = 1;
   // Durability (Ongaro et al., SOSP'11): mirror every log record to this
   // many backup servers so a crashed master can rebuild its DRAM log.
   // 0 = off, matching the paper's evaluation ("replication ... not turned
@@ -77,7 +88,7 @@ class RamcloudStore final : public KvStore {
   OpResult Get(PartitionId partition, Key key,
                std::span<std::byte, kPageSize> out, SimTime now) override;
   OpResult Remove(PartitionId partition, Key key, SimTime now) override;
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override;
   // Native multiRead: the whole batch pays one round trip (Ousterhout et
   // al. §4); FluidMem's prefetcher leans on this.
@@ -119,7 +130,10 @@ class RamcloudStore final : public KvStore {
                : static_cast<double>(live_bytes_) /
                      static_cast<double>(allocated_bytes_);
   }
-  const Timeline& server_timeline() const noexcept { return server_; }
+  // Aggregate across service lanes (lane 0 is the whole server when
+  // service_lanes == 1, the default).
+  const Executor& server_lanes() const noexcept { return server_; }
+  const Timeline& server_timeline() const noexcept { return server_.at(0); }
 
  private:
   struct Entry {
@@ -184,7 +198,7 @@ class RamcloudStore final : public KvStore {
 
   RamcloudConfig config_;
   net::Transport transport_;
-  Timeline server_;
+  Executor server_;
   Rng rng_;
 
   std::deque<Segment> segments_;

@@ -178,13 +178,55 @@ OpResult ResilientStore::Remove(PartitionId partition, Key key, SimTime now) {
 }
 
 OpResult ResilientStore::MultiPut(PartitionId partition,
-                                  std::span<const KvWrite> writes,
+                                  std::span<KvWrite> writes,
                                   SimTime now) {
   ++stats_.multi_write_batches;
   stats_.multi_write_objects += writes.size();
-  return RetryLoop(now, [&](SimTime start) {
-    return inner_->MultiPut(partition, writes, start);
-  });
+  const SimTime deadline = now + config_.op_deadline;
+  OpResult agg = inner_->MultiPut(partition, writes, now);
+  agg.attempts = 1;
+  SimTime t = agg.complete_at;
+  for (int attempt = 1; attempt < config_.max_attempts; ++attempt) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < writes.size(); ++i)
+      if (Retryable(writes[i].status)) failed.push_back(i);
+    if (failed.empty()) break;
+    const SimTime next = t + BackoffDelay(attempt);
+    if (next >= deadline) {
+      ++stats_.deadline_exceeded;
+      for (std::size_t i : failed)
+        writes[i].status = Status::DeadlineExceeded("retry budget exhausted");
+      break;
+    }
+    ++stats_.retries;
+    // Re-issue ONLY the failed subset as its own (smaller) batch; objects
+    // that already landed are never re-sent, so a one-key blip costs one
+    // subset RTT instead of re-charging the store for the whole batch.
+    // Terminal statuses (kNotFound-style, kResourceExhausted, ...) are
+    // authoritative and excluded by Retryable above.
+    stats_.multi_write_retried_objects += failed.size();
+    std::vector<KvWrite> sub;
+    sub.reserve(failed.size());
+    for (std::size_t i : failed)
+      sub.push_back(KvWrite{writes[i].key, writes[i].value, {}});
+    const OpResult r = inner_->MultiPut(partition, sub, next);
+    agg.attempts = attempt + 1;
+    agg.issue_done = std::max(agg.issue_done, r.issue_done);
+    agg.complete_at = std::max(agg.complete_at, r.complete_at);
+    t = r.complete_at;
+    for (std::size_t j = 0; j < failed.size(); ++j)
+      writes[failed[j]].status = sub[j].status;
+  }
+  // Batch-level contract (matches the plain stores): Ok only when every
+  // object landed, otherwise the last failed object's status. Under a
+  // wholesale transport failure every slot carries the same status, so
+  // callers that only look at the batch status see exactly what the old
+  // whole-batch retry reported.
+  Status s = Status::Ok();
+  for (const KvWrite& w : writes)
+    if (!w.status.ok()) s = w.status;
+  agg.status = std::move(s);
+  return agg;
 }
 
 OpResult ResilientStore::DropPartition(PartitionId partition, SimTime now) {

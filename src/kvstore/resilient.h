@@ -67,7 +67,7 @@ class ResilientStore final : public KvStore {
   OpResult Get(PartitionId partition, Key key,
                std::span<std::byte, kPageSize> out, SimTime now) override;
   OpResult Remove(PartitionId partition, Key key, SimTime now) override;
-  OpResult MultiPut(PartitionId partition, std::span<const KvWrite> writes,
+  OpResult MultiPut(PartitionId partition, std::span<KvWrite> writes,
                     SimTime now) override;
   // Batched read with SUBSET retry: the whole batch goes to the inner
   // store's native MultiGet (one batch RTT), then only the keys that came

@@ -66,6 +66,35 @@ constexpr std::string_view StageName(Stage s) noexcept {
   return "?";
 }
 
+// Stages of the BACKGROUND eviction/writeback pipeline (DESIGN.md §11.5).
+// These are deliberately separate from the fault-span Stage taxonomy: fault
+// spans account the vCPU-visible critical path and must reconcile exactly
+// with the end-to-end histogram; pipeline stages account work the pipeline
+// moved OFF that path (victim queueing, background eviction, coalescing
+// dwell, the store write itself) and reconcile against nothing — they
+// overlap fault handling by design.
+enum class PipeStage : std::uint8_t {
+  kVictimQueue = 0,  // fault handed off victim -> background evictor picked it up
+  kEvict,            // UFFD_REMAP + tracker insert on the evictor worker
+  kCoalesceWait,     // dirty page dwelling in the coalescing buffer
+  kStoreWrite,       // posted multi-write: issue through completion
+  kCount,
+};
+
+inline constexpr std::size_t kPipeStageCount =
+    static_cast<std::size_t>(PipeStage::kCount);
+
+constexpr std::string_view PipeStageName(PipeStage s) noexcept {
+  switch (s) {
+    case PipeStage::kVictimQueue: return "pipe_victim_queue";
+    case PipeStage::kEvict: return "pipe_evict";
+    case PipeStage::kCoalesceWait: return "pipe_coalesce_wait";
+    case PipeStage::kStoreWrite: return "pipe_store_write";
+    case PipeStage::kCount: break;
+  }
+  return "?";
+}
+
 // How the fault was resolved (which arm of the monitor's switch ran).
 enum class FaultKind : std::uint8_t {
   kUnknown = 0,   // failed before classification (bad region, deadlock, ...)
@@ -91,6 +120,17 @@ constexpr std::string_view FaultKindName(FaultKind k) noexcept {
   }
   return "?";
 }
+
+// One retained background-pipeline interval, kept so the trace exporter
+// can draw the evictor-lane rows next to the fault shards. The flat
+// per-stage totals in Observability remain the source of truth for the
+// stage table; this is presentation-layer detail on a bounded ring.
+struct PipeEvent {
+  PipeStage stage = PipeStage::kVictimQueue;
+  std::uint32_t lane = 0;  // evictor lane (shard index the work ran on)
+  SimTime start = 0;
+  SimDuration dur = 0;
+};
 
 struct FaultSpan {
   std::uint64_t id = 0;
@@ -232,6 +272,43 @@ class Observability {
   // engine's per-shard histograms so the two can be cross-checked.
   const LatencyHistogram& end_to_end() const noexcept { return end_to_end_; }
 
+  // --- background pipeline accounting ---------------------------------------
+
+  // Attribute `d` of background-pipeline work to `s`. Unlike span stages
+  // this is a flat total: pipeline work is per-victim/per-write, overlaps
+  // fault handling, and is charged where it happens.
+  void RecordPipeline(PipeStage s, SimDuration d) noexcept {
+    if (!enabled_) return;
+    pipe_total_ns_[static_cast<std::size_t>(s)] += d;
+    ++pipe_count_[static_cast<std::size_t>(s)];
+  }
+  // Interval-aware variant: aggregates exactly like the overload above and
+  // additionally retains the [start, start+d) interval (bounded ring) so
+  // WriteChromeTrace can render the pipeline's evictor-lane rows.
+  void RecordPipeline(PipeStage s, std::uint32_t lane, SimTime start,
+                      SimDuration d) {
+    RecordPipeline(s, d);
+    if (!enabled_) return;
+    pipe_events_.push_back(PipeEvent{s, lane, start, d});
+    if (pipe_events_.size() > span_capacity_) {
+      pipe_events_.pop_front();
+      ++pipe_events_dropped_;
+    }
+  }
+  // Retained pipeline intervals, oldest first (bounded ring).
+  const std::deque<PipeEvent>& pipe_events() const noexcept {
+    return pipe_events_;
+  }
+  std::uint64_t pipe_events_dropped() const noexcept {
+    return pipe_events_dropped_;
+  }
+  SimDuration PipelineTotalNs(PipeStage s) const noexcept {
+    return pipe_total_ns_[static_cast<std::size_t>(s)];
+  }
+  std::uint64_t PipelineCount(PipeStage s) const noexcept {
+    return pipe_count_[static_cast<std::size_t>(s)];
+  }
+
   // Virtual-time series hook; forwards to the registry's cadence.
   void MaybeSample(SimTime now) {
     if (enabled_) metrics_.MaybeSample(now);
@@ -241,6 +318,10 @@ class Observability {
     spans_.clear();
     spans_started_ = spans_finished_ = spans_failed_ = spans_dropped_ = 0;
     stage_total_ns_.fill(0);
+    pipe_total_ns_.fill(0);
+    pipe_count_.fill(0);
+    pipe_events_.clear();
+    pipe_events_dropped_ = 0;
     end_to_end_ = LatencyHistogram{/*min_ns=*/50.0, /*max_ns=*/1e9,
                                    /*buckets_per_decade=*/60};
   }
@@ -255,6 +336,10 @@ class Observability {
   std::uint64_t spans_failed_ = 0;
   std::uint64_t spans_dropped_ = 0;
   std::array<SimDuration, kStageCount> stage_total_ns_{};
+  std::array<SimDuration, kPipeStageCount> pipe_total_ns_{};
+  std::array<std::uint64_t, kPipeStageCount> pipe_count_{};
+  std::deque<PipeEvent> pipe_events_;
+  std::uint64_t pipe_events_dropped_ = 0;
   LatencyHistogram end_to_end_{/*min_ns=*/50.0, /*max_ns=*/1e9,
                                /*buckets_per_decade=*/60};
   MetricsRegistry metrics_;

@@ -106,6 +106,33 @@ inline bool WriteChromeTrace(const Observability& obs,
       cursor += d;
     }
   }
+
+  // Background eviction/writeback pipeline: one row per evictor lane,
+  // slices for victim-queue dwell, the eviction itself, coalescing dwell,
+  // and each posted multi-write. These rows overlap the fault rows above —
+  // that overlap is the pipeline working as intended, visible at a glance.
+  if (!obs.pipe_events().empty()) {
+    constexpr std::uint32_t kEvictorTidBase = 1000;
+    std::uint32_t max_lane = 0;
+    for (const PipeEvent& pe : obs.pipe_events())
+      if (pe.lane > max_lane) max_lane = pe.lane;
+    for (std::uint32_t l = 0; l <= max_lane; ++l) {
+      std::ostringstream md;
+      md << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << (kEvictorTidBase + l)
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"evictor lane "
+         << l << "\"}}";
+      emit(md.str());
+    }
+    for (const PipeEvent& pe : obs.pipe_events()) {
+      if (pe.dur == 0) continue;
+      std::ostringstream ev;
+      ev << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << (kEvictorTidBase + pe.lane)
+         << ",\"ts\":" << detail::Us(pe.start) << ",\"dur\":"
+         << detail::Us(pe.dur) << ",\"name\":\""
+         << PipeStageName(pe.stage) << "\",\"cat\":\"pipeline\"}";
+      emit(ev.str());
+    }
+  }
   out << "\n]}\n";
   out.flush();
   return static_cast<bool>(out);

@@ -218,7 +218,7 @@ class SlowGetStore final : public kv::KvStore {
   kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
     return inner_.Remove(p, k, now);
   }
-  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+  kv::OpResult MultiPut(PartitionId p, std::span<kv::KvWrite> w,
                         SimTime now) override {
     return inner_.MultiPut(p, w, now);
   }
@@ -296,7 +296,7 @@ class BimodalGetStore final : public kv::KvStore {
   kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
     return inner_.Remove(p, k, now);
   }
-  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+  kv::OpResult MultiPut(PartitionId p, std::span<kv::KvWrite> w,
                         SimTime now) override {
     return inner_.MultiPut(p, w, now);
   }
@@ -421,7 +421,7 @@ class RecordingBatchStore final : public kv::KvStore {
   kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
     return inner_.Remove(p, k, now);
   }
-  kv::OpResult MultiPut(PartitionId p, std::span<const kv::KvWrite> w,
+  kv::OpResult MultiPut(PartitionId p, std::span<kv::KvWrite> w,
                         SimTime now) override {
     return inner_.MultiPut(p, w, now);
   }
