@@ -1,0 +1,194 @@
+// Multi-tenant YCSB evaluation: N tenants (steady server, bursty
+// antagonist, scan-heavy batch job, extra steady readers) share one
+// monitor while a scripted production drill runs against the stack. For
+// every (steady mix x tenant count x drill) cell the driver reports each
+// tenant's p50/p99 access latency (arrival -> completion, queueing
+// included) and an explicit SLO pass/fail verdict, and proves the drill
+// replays byte-identically by running every cell twice and comparing
+// MultiTenantResult fingerprints.
+//
+// Output: a per-drill table plus BENCH_ycsb_tenants.json — one row per
+// (mix, tenants, drill, tenant) with p50/p99, SLO bounds, verdict, fault
+// counts, and the replay/oracle bits — so capacity planning can diff SLO
+// headroom PR-over-PR. `--smoke` runs the reduced CI sweep (steady mix B,
+// 3 tenants, all drills); the exit code is nonzero if any drill fails to
+// replay, the oracle trips, the no-drill baseline violates an SLO, or the
+// JSON cannot be written.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/drills.h"
+#include "workloads/tenants.h"
+
+using namespace fluid;
+
+namespace {
+
+struct Cell {
+  wl::YcsbMix mix;
+  std::size_t tenant_count = 0;
+  chaos::DrillKind drill;
+  wl::MultiTenantResult result;
+  bool replay_identical = false;
+};
+
+Cell RunCell(wl::YcsbMix mix, std::size_t tenant_count,
+             chaos::DrillKind kind, std::uint64_t seed, double scale) {
+  Cell cell;
+  cell.mix = mix;
+  cell.tenant_count = tenant_count;
+  cell.drill = kind;
+
+  wl::MultiTenantConfig cfg;
+  cfg.tenants = wl::StandardTenants(tenant_count, mix, scale);
+  const wl::TrafficShape shape = wl::MeasureTraffic(cfg.tenants, seed);
+  cfg.drill =
+      chaos::MakeDrill(kind, seed, shape.total_accesses, shape.horizon);
+
+  cell.result = wl::RunTenants(cfg);
+  const wl::MultiTenantResult again = wl::RunTenants(cfg);
+  cell.replay_identical =
+      cell.result.Fingerprint() == again.Fingerprint();
+  return cell;
+}
+
+void PrintCell(const Cell& cell) {
+  std::printf("\n[mix %s, %zu tenants, drill %s]  accesses=%llu  %s%s\n",
+              wl::MixName(cell.mix).data(), cell.tenant_count,
+              chaos::DrillName(cell.drill).data(),
+              static_cast<unsigned long long>(cell.result.total_accesses),
+              cell.replay_identical ? "replay=identical" : "REPLAY DIVERGED",
+              cell.result.status.ok() ? "" : "  ORACLE/INVARIANT FAILURE");
+  if (!cell.result.status.ok())
+    std::printf("    failure: %s\n", cell.result.failure.c_str());
+  std::printf("    %-12s %-10s %8s %9s %9s %11s %11s  %s\n", "tenant",
+              "role", "faults", "p50(us)", "p99(us)", "slo_p50", "slo_p99",
+              "verdict");
+  for (const wl::TenantResult& t : cell.result.tenants) {
+    std::printf("    %-12s %-10s %8llu %9.1f %9.1f %11.0f %11.0f  %s\n",
+                t.name.c_str(), wl::RoleName(t.role).data(),
+                static_cast<unsigned long long>(t.faults), t.p50_us,
+                t.p99_us, t.slo_p50_us, t.slo_p99_us,
+                t.slo_pass ? "PASS" : "FAIL");
+  }
+}
+
+// JsonReport only speaks numbers; the SLO table needs the mix/drill/tenant
+// names, so the report is written directly in the same shape (metrics +
+// a "rows" array). Names are plain identifiers — no escaping needed.
+bool WriteJson(const std::vector<Cell>& cells, bool baseline_ok,
+               bool all_replays_ok) {
+  const char* path = "BENCH_ycsb_tenants.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::size_t drills_covered = 0;
+  for (std::size_t d = 0; d < chaos::kDrillCount; ++d)
+    for (const Cell& c : cells)
+      if (c.drill == static_cast<chaos::DrillKind>(d)) {
+        ++drills_covered;
+        break;
+      }
+  std::fprintf(f, "{\n  \"bench\": \"ycsb_tenants\"");
+  std::fprintf(f, ",\n  \"drills_covered\": %zu", drills_covered);
+  std::fprintf(f, ",\n  \"baseline_all_slos_pass\": %d", baseline_ok ? 1 : 0);
+  std::fprintf(f, ",\n  \"all_replays_identical\": %d",
+               all_replays_ok ? 1 : 0);
+  std::fprintf(f, ",\n  \"rows\": [");
+  bool first = true;
+  for (const Cell& c : cells) {
+    for (const wl::TenantResult& t : c.result.tenants) {
+      std::fprintf(f, "%s\n    {", first ? "" : ",");
+      first = false;
+      std::fprintf(f, "\"mix\": \"%s\"", wl::MixName(c.mix).data());
+      std::fprintf(f, ", \"tenants\": %zu", c.tenant_count);
+      std::fprintf(f, ", \"drill\": \"%s\"",
+                   chaos::DrillName(c.drill).data());
+      std::fprintf(f, ", \"tenant\": \"%s\"", t.name.c_str());
+      std::fprintf(f, ", \"role\": \"%s\"", wl::RoleName(t.role).data());
+      std::fprintf(f, ", \"accesses\": %llu",
+                   static_cast<unsigned long long>(t.accesses));
+      std::fprintf(f, ", \"faults\": %llu",
+                   static_cast<unsigned long long>(t.faults));
+      std::fprintf(f, ", \"blocked\": %llu",
+                   static_cast<unsigned long long>(t.blocked));
+      std::fprintf(f, ", \"p50_us\": %.17g", t.p50_us);
+      std::fprintf(f, ", \"p99_us\": %.17g", t.p99_us);
+      std::fprintf(f, ", \"fault_p50_us\": %.17g", t.fault_p50_us);
+      std::fprintf(f, ", \"fault_p99_us\": %.17g", t.fault_p99_us);
+      std::fprintf(f, ", \"slo_p50_us\": %.17g", t.slo_p50_us);
+      std::fprintf(f, ", \"slo_p99_us\": %.17g", t.slo_p99_us);
+      std::fprintf(f, ", \"slo_pass\": %d", t.slo_pass ? 1 : 0);
+      std::fprintf(f, ", \"replay_identical\": %d",
+                   c.replay_identical ? 1 : 0);
+      std::fprintf(f, ", \"oracle_ok\": %d", c.result.status.ok() ? 1 : 0);
+      std::fprintf(f, "}");
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "write to %s failed\n", path);
+    return false;
+  }
+  std::printf("\nwrote %s\n", path);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::Header(smoke ? "YCSB multi-tenant SLO drills (smoke sweep)"
+                      : "YCSB multi-tenant SLO drills");
+  bench::Note("p50/p99 are end-to-end access latency (arrival->completion,"
+              " queueing included); every cell runs twice to prove replay");
+
+  constexpr std::uint64_t kSeed = 42;
+  const double scale = smoke ? 0.5 : 1.0;
+  const std::vector<wl::YcsbMix> mixes =
+      smoke ? std::vector<wl::YcsbMix>{wl::YcsbMix::kB}
+            : std::vector<wl::YcsbMix>{wl::YcsbMix::kA, wl::YcsbMix::kB,
+                                       wl::YcsbMix::kC, wl::YcsbMix::kD,
+                                       wl::YcsbMix::kE, wl::YcsbMix::kF};
+  const std::vector<std::size_t> tenant_counts =
+      smoke ? std::vector<std::size_t>{3} : std::vector<std::size_t>{3, 5};
+  const chaos::DrillKind kAllDrills[] = {
+      chaos::DrillKind::kNone, chaos::DrillKind::kNoisyNeighbor,
+      chaos::DrillKind::kStoreFailover, chaos::DrillKind::kRollingUpgrade,
+      chaos::DrillKind::kQuotaCut};
+
+  std::vector<Cell> cells;
+  bool baseline_ok = true;
+  bool all_replays_ok = true;
+  bool oracle_ok = true;
+  for (const wl::YcsbMix mix : mixes) {
+    for (const std::size_t count : tenant_counts) {
+      for (const chaos::DrillKind drill : kAllDrills) {
+        Cell cell = RunCell(mix, count, drill, kSeed, scale);
+        PrintCell(cell);
+        if (!cell.replay_identical) all_replays_ok = false;
+        if (!cell.result.status.ok()) oracle_ok = false;
+        if (cell.drill == chaos::DrillKind::kNone &&
+            !cell.result.AllSlosPass())
+          baseline_ok = false;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  const bool json_ok = WriteJson(cells, baseline_ok, all_replays_ok);
+  if (!all_replays_ok) std::fprintf(stderr, "FAIL: a drill replay diverged\n");
+  if (!oracle_ok) std::fprintf(stderr, "FAIL: oracle/invariant violation\n");
+  if (!baseline_ok)
+    std::fprintf(stderr, "FAIL: no-drill baseline violates an SLO\n");
+  return (json_ok && all_replays_ok && oracle_ok && baseline_ok) ? 0 : 1;
+}

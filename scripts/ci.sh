@@ -6,8 +6,10 @@
 # 3. same build, `resilience`-labeled suites       (retry/hedge/breaker/spill)
 # 4. same build, `perf`-labeled suites             (sharded fault engine)
 # 5. same build, `writeback`-labeled suites        (eviction/writeback pipeline)
-# 6. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
-# 7. traced fig3 smoke + Chrome-trace validation   (observability exporters)
+# 6. same build, `ycsb`-labeled suites             (workload family + drills)
+# 7. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
+# 8. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills)
+# 9. traced fig3 smoke + Chrome-trace validation   (observability exporters)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -41,6 +43,9 @@ ctest --preset scale-sanitize -j "${jobs}"
 echo "==> writeback: eviction/writeback pipeline sweep (label: writeback)"
 ctest --preset writeback-sanitize -j "${jobs}"
 
+echo "==> ycsb: workload family + multi-tenant drill sweep (label: ycsb)"
+ctest --preset ycsb-sanitize -j "${jobs}"
+
 echo "==> fault engine: scaling smoke + pipeline trace (exits nonzero if the JSON report fails)"
 (cd build && ./bench/scale_monitor --smoke --trace)
 python3 - <<'PY'
@@ -68,6 +73,43 @@ if not pipe:
     sys.exit("scale_monitor trace has no pipeline-stage spans")
 print(f"    scale OK: K=16 speedup {speedup:.2f}x, "
       f"{len(pipe)} pipeline spans in trace")
+PY
+
+echo "==> multi-tenant: YCSB drill smoke + SLO verdict validation (exits nonzero on SLO/replay/oracle failure)"
+(cd build && ./bench/ycsb_tenants --smoke)
+python3 - <<'PY'
+import json, sys
+with open("build/BENCH_ycsb_tenants.json") as f:
+    bench = json.load(f)
+rows = bench.get("rows", [])
+drills = {"none", "noisy_neighbor", "store_failover", "rolling_upgrade",
+          "quota_cut"}
+seen = {r.get("drill") for r in rows}
+missing = drills - seen
+if missing:
+    sys.exit(f"ycsb_tenants JSON is missing drills: {sorted(missing)}")
+for d in drills:
+    cells = [r for r in rows if r["drill"] == d]
+    if len(cells) < 3:
+        sys.exit(f"drill {d} has {len(cells)} tenant cells, want >= 3")
+    for r in cells:
+        for key in ("p50_us", "p99_us", "slo_pass", "replay_identical",
+                    "oracle_ok"):
+            if key not in r:
+                sys.exit(f"drill {d} cell {r.get('tenant')} missing {key}")
+        if not r["replay_identical"]:
+            sys.exit(f"drill {d} did not replay byte-identically")
+        if not r["oracle_ok"]:
+            sys.exit(f"drill {d} failed the oracle sweep")
+baseline = [r for r in rows if r["drill"] == "none"]
+bad = [r["tenant"] for r in baseline if not r["slo_pass"]]
+if bad:
+    sys.exit(f"no-drill baseline violates SLOs for: {bad}")
+if not bench.get("baseline_all_slos_pass"):
+    sys.exit("baseline_all_slos_pass flag is unset")
+n_pass = sum(1 for r in rows if r["slo_pass"])
+print(f"    ycsb OK: {len(rows)} tenant/drill cells, {len(seen)} drills, "
+      f"{n_pass} SLO passes, baseline green")
 PY
 
 echo "==> observability: traced pmbench smoke (exits nonzero on emission error)"

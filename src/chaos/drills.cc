@@ -1,0 +1,69 @@
+#include "chaos/drills.h"
+
+namespace fluid::chaos {
+
+Drill MakeDrill(DrillKind kind, std::uint64_t seed,
+                std::size_t total_accesses, SimTime horizon) {
+  Drill d;
+  d.kind = kind;
+  d.options.seed = seed;
+  d.options.plan.seed = seed ^ 0xd9117ULL;
+  // Sharded engine + observability are the composer's production shape;
+  // spans carry the per-tenant attribution the SLO verdicts are built on.
+  d.options.fault_shards = 4;
+  d.options.observe = true;
+
+  switch (kind) {
+    case DrillKind::kNone:
+    case DrillKind::kNoisyNeighbor:
+      // No injected faults: the only adversary is the antagonist tenant's
+      // amplified burst pattern, contending for DRAM and handler time.
+      if (kind == DrillKind::kNoisyNeighbor) d.antagonist_burst_boost = 4.0;
+      break;
+
+    case DrillKind::kStoreFailover: {
+      // Blackhole every store verb for ~8% of the merged op-id space,
+      // starting at 40% — mid-run, when the working set is established and
+      // bursts are in flight. The op-id keying makes the window land on
+      // the same logical accesses in every replay.
+      const auto from = static_cast<std::uint32_t>(total_accesses * 2 / 5);
+      const auto to =
+          static_cast<std::uint32_t>(from + total_accesses * 2 / 25);
+      for (const FaultSite s :
+           {FaultSite::kStoreGet, FaultSite::kStorePut,
+            FaultSite::kStoreMultiPut, FaultSite::kStoreMultiPutKey}) {
+        d.options.plan.at(s).outage_from = from;
+        d.options.plan.at(s).outage_to = to;
+      }
+      // Survival gear: retries/hedging in front of the store, a local swap
+      // device behind the write breaker.
+      d.options.resilient_store = true;
+      d.options.attach_spill = true;
+      d.options.spill_capacity = 2048;
+      break;
+    }
+
+    case DrillKind::kRollingUpgrade:
+      // Three replicas, quorum 2; each is taken down for one maintenance
+      // window in turn. Windows are disjoint, so the quorum holds and no
+      // data is ever unreachable — the drill measures the latency cost of
+      // failover reads + anti-entropy repair, not data loss.
+      d.upgrade_replicas = 3;
+      d.upgrade_start = horizon / 4;
+      d.upgrade_window = horizon / 6;
+      break;
+
+    case DrillKind::kQuotaCut:
+      // Slash the antagonist tenant's DRAM share a third of the way in:
+      // a regional capacity give-back. Its resident pages evict down to
+      // the new quota; correctness must hold, and the freed DRAM should
+      // help, not hurt, its neighbours.
+      d.quota_cut_tenant = 1;
+      d.quota_cut_pages = 16;
+      d.quota_cut_at = horizon / 3;
+      break;
+  }
+  return d;
+}
+
+}  // namespace fluid::chaos

@@ -1,0 +1,86 @@
+// Scripted production drills: the four outage/contention exercises an
+// operator runs against a shared memory pool before trusting it with
+// tenant SLOs.
+//
+// A drill is a ScenarioOptions preset — the chaos (seed, plan) replay
+// contract carries over unchanged — plus a handful of scripted events the
+// multi-tenant composer (workloads/tenants.h) applies at fixed points in
+// virtual time or in the merged access-id space:
+//
+//   noisy neighbor    the bursty antagonist tenant amplifies its bursts;
+//                     nothing else fails. Tests that region quotas alone
+//                     hold the steady tenant's SLO.
+//   store failover    every store verb blackholes for a window of the
+//                     merged op-id space mid-run; the stack must ride it
+//                     out on retries + breakers + local spill.
+//   rolling upgrade   a replicated store's replicas are taken down one
+//                     after another via staggered FlakyStore::FailUntil
+//                     windows — at most one replica down at a time, the
+//                     quorum always available.
+//   quota cut         a tenant's DRAM quota is slashed mid-run
+//                     (SetRegionQuota), simulating a regional capacity
+//                     give-back; its pages must spill to the store without
+//                     disturbing the other tenants' correctness.
+//
+// Every drill replays byte-identically from (kind, seed, geometry): all
+// randomness flows from ScenarioOptions::seed and the plan.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "chaos/harness.h"
+
+namespace fluid::chaos {
+
+enum class DrillKind : std::uint8_t {
+  kNone = 0,  // baseline: no faults, no scripted events
+  kNoisyNeighbor,
+  kStoreFailover,
+  kRollingUpgrade,
+  kQuotaCut,
+};
+
+inline constexpr std::size_t kDrillCount = 5;  // including the baseline
+
+constexpr std::string_view DrillName(DrillKind d) noexcept {
+  switch (d) {
+    case DrillKind::kNone: return "none";
+    case DrillKind::kNoisyNeighbor: return "noisy_neighbor";
+    case DrillKind::kStoreFailover: return "store_failover";
+    case DrillKind::kRollingUpgrade: return "rolling_upgrade";
+    case DrillKind::kQuotaCut: return "quota_cut";
+  }
+  return "?";
+}
+
+struct Drill {
+  DrillKind kind = DrillKind::kNone;
+  // Stack geometry + the chaos (seed, plan) pair. The composer builds its
+  // multi-region stack from these exactly as Stack does for one region.
+  ScenarioOptions options;
+
+  // kNoisyNeighbor: multiply antagonist tenants' burst length by this.
+  double antagonist_burst_boost = 1.0;
+
+  // kRollingUpgrade: replica count and the staggered maintenance windows —
+  // replica i is down for [upgrade_start + i*w, upgrade_start + (i+1)*w).
+  int upgrade_replicas = 0;
+  SimTime upgrade_start = 0;
+  SimDuration upgrade_window = 0;
+
+  // kQuotaCut: at `quota_cut_at`, tenant `quota_cut_tenant`'s region quota
+  // drops to `quota_cut_pages`.
+  std::size_t quota_cut_tenant = 0;
+  std::size_t quota_cut_pages = 0;
+  SimTime quota_cut_at = 0;
+};
+
+// Build the canonical preset for `kind`. `total_accesses` sizes the
+// failover outage window in the merged op-id space (chaos-style, so the
+// window is hit regardless of time dilation); `horizon` is the run's
+// approximate virtual duration and anchors the time-scripted events.
+Drill MakeDrill(DrillKind kind, std::uint64_t seed,
+                std::size_t total_accesses, SimTime horizon);
+
+}  // namespace fluid::chaos

@@ -177,21 +177,12 @@ bool EnsureResident(Stack& stack, VirtAddr addr, bool is_write, SimTime& now) {
          mem::AccessKind::kUffdFault;
 }
 
-std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
-                                       ChaosStats* stats) {
-  // Verification observes; it must not perturb. Pause injection for the
-  // duration (per-site call counters still advance, preserving replay).
-  stack.injector->set_paused(true);
-  struct Unpause {
-    FaultInjector* inj;
-    ~Unpause() { inj->set_paused(false); }
-  } unpause{stack.injector.get()};
-
-  if (stats) ++stats->invariant_checks;
-  if (auto violation = CheckInvariants(stack.View())) return violation;
-
-  const fm::PageTracker& tracker = stack.monitor->tracker();
-  const fm::WriteList& wl = stack.monitor->write_list();
+std::optional<std::string> VerifyRegionAgainstShadow(
+    fm::Monitor& monitor, mem::UffdRegion& region, fm::RegionId rid,
+    kv::KvStore& store, mem::FramePool& pool, const ShadowMemory& shadow,
+    SimTime& now, ChaosStats* stats) {
+  const fm::PageTracker& tracker = monitor.tracker();
+  const fm::WriteList& wl = monitor.write_list();
   std::unordered_map<fm::PageRef, FrameId, fm::PageRefHash> buffered;
   wl.ForEachPending(
       [&](const fm::PendingWrite& w) { buffered[w.page] = w.frame; });
@@ -200,17 +191,17 @@ std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
 
   std::optional<std::string> bad;
   std::array<std::byte, kPageSize> buf;
-  stack.shadow.ForEach([&](VirtAddr addr,
-                           const std::array<std::byte, kPageSize>& want) {
+  shadow.ForEach([&](VirtAddr addr,
+                     const std::array<std::byte, kPageSize>& want) {
     if (bad) return;
-    const fm::PageRef p{stack.rid, addr};
+    const fm::PageRef p{rid, addr};
     if (!tracker.Seen(p)) {
       bad = "written page " + Hex(addr) + " unknown to the tracker";
       return;
     }
     switch (tracker.LocationOf(p)) {
       case fm::PageLocation::kResident: {
-        const Status s = stack.region->ReadBytes(addr, buf);
+        const Status s = region.ReadBytes(addr, buf);
         if (!s.ok()) {
           bad = "resident page " + Hex(addr) + " unreadable: " + s.ToString();
           return;
@@ -226,21 +217,21 @@ std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
           bad = "buffered page " + Hex(addr) + " has no write-list frame";
           return;
         }
-        const auto data = stack.pool.Data(it->second);
+        const auto data = pool.Data(it->second);
         std::memcpy(buf.data(), data.data(), kPageSize);
         break;
       }
       case fm::PageLocation::kRemote: {
-        auto r = stack.store->Get(stack.monitor->partition_of(stack.rid),
-                                  kv::MakePageKey(addr), buf, now);
+        auto r = store.Get(monitor.partition_of(rid), kv::MakePageKey(addr),
+                           buf, now);
         now = std::max(now, r.complete_at);
         if (r.status.code() == StatusCode::kUnavailable) {
           // A replicated store's failure detector may still be inside its
           // suspect window from pre-quiesce faults; step past it and probe
           // again before declaring the page unreadable.
           now += 5 * kMillisecond;
-          r = stack.store->Get(stack.monitor->partition_of(stack.rid),
-                               kv::MakePageKey(addr), buf, now);
+          r = store.Get(monitor.partition_of(rid), kv::MakePageKey(addr),
+                        buf, now);
           now = std::max(now, r.complete_at);
         }
         if (!r.status.ok()) {
@@ -253,7 +244,7 @@ std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
       case fm::PageLocation::kSpilled: {
         // Degraded to the local swap device; the monitor's slot map knows
         // where. Peek has no timing or injection side effects.
-        const Status s = stack.monitor->PeekSpilled(p, buf);
+        const Status s = monitor.PeekSpilled(p, buf);
         if (!s.ok()) {
           bad = "spilled page " + Hex(addr) + " unreadable: " + s.ToString();
           return;
@@ -267,6 +258,24 @@ std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
             " (stack diverged from the reference model)";
   });
   return bad;
+}
+
+std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
+                                       ChaosStats* stats) {
+  // Verification observes; it must not perturb. Pause injection for the
+  // duration (per-site call counters still advance, preserving replay).
+  stack.injector->set_paused(true);
+  struct Unpause {
+    FaultInjector* inj;
+    ~Unpause() { inj->set_paused(false); }
+  } unpause{stack.injector.get()};
+
+  if (stats) ++stats->invariant_checks;
+  if (auto violation = CheckInvariants(stack.View())) return violation;
+
+  return VerifyRegionAgainstShadow(*stack.monitor, *stack.region, stack.rid,
+                                   *stack.store, stack.pool, stack.shadow,
+                                   now, stats);
 }
 
 namespace {

@@ -193,6 +193,17 @@ bool EnsureResident(Stack& stack, VirtAddr addr, bool is_write, SimTime& now);
 std::optional<std::string> VerifyStack(Stack& stack, SimTime& now,
                                        ChaosStats* stats = nullptr);
 
+// The location-aware differential sweep for ONE region: every page the
+// shadow knows is fetched from wherever the stack currently keeps it
+// (resident frame, write-list/in-flight frame, remote store, local spill)
+// and byte-compared against the reference model. Core of VerifyStack,
+// exposed so multi-region drivers (the multi-tenant composer) can sweep
+// per tenant. The caller is responsible for pausing injection.
+std::optional<std::string> VerifyRegionAgainstShadow(
+    fm::Monitor& monitor, mem::UffdRegion& region, fm::RegionId rid,
+    kv::KvStore& store, mem::FramePool& pool, const ShadowMemory& shadow,
+    SimTime& now, ChaosStats* stats = nullptr);
+
 struct ShrinkResult {
   std::vector<Op> ops;  // minimal failing subsequence (original ids kept)
   RunReport report;     // report from the final (minimal) run

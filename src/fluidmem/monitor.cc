@@ -56,8 +56,12 @@ void Monitor::NoteStoreWrite(const kv::OpResult& r) {
 }
 
 RegionId Monitor::RegisterRegion(mem::UffdRegion& region,
-                                 PartitionId partition) {
-  regions_.push_back(RegionInfo{&region, partition, true});
+                                 PartitionId partition,
+                                 std::size_t quota_pages) {
+  RegionInfo info{&region, partition, true};
+  info.quota_pages =
+      quota_pages != 0 ? quota_pages : config_.default_region_quota_pages;
+  regions_.push_back(info);
   return static_cast<RegionId>(regions_.size() - 1);
 }
 

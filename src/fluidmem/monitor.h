@@ -105,6 +105,12 @@ struct MonitorConfig {
   // is inert and the serial monitor path runs unchanged, byte for byte.
   bool pipelined_writeback = true;
 
+  // Per-region DRAM quota applied at registration when RegisterRegion is
+  // not given an explicit one. 0 = unlimited (the global budget alone).
+  // Multi-tenant stacks set this so a quota is in force before a region's
+  // first fault, not only after a later SetRegionQuota call.
+  std::size_t default_region_quota_pages = 0;
+
   MonitorCostModel costs;
   std::uint64_t seed = 7;
 };
@@ -179,7 +185,11 @@ class Monitor {
   // --- region lifecycle --------------------------------------------------------
 
   // Watch a region's userfaultfd; pages are stored under `partition`.
-  RegionId RegisterRegion(mem::UffdRegion& region, PartitionId partition);
+  // `quota_pages` caps this region's LRU share from the first fault on
+  // (0 defers to MonitorConfig::default_region_quota_pages; see
+  // SetRegionQuota for the semantics and later adjustment).
+  RegionId RegisterRegion(mem::UffdRegion& region, PartitionId partition,
+                          std::size_t quota_pages = 0);
 
   // Stop watching: all tracking state is forgotten. With `drop_partition`
   // (the default; VM shutdown) the store's objects are deleted too;

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string_view>
 
 #include "common/histogram.h"
@@ -154,6 +155,18 @@ struct FaultSpan {
   }
 };
 
+// Aggregate span accounting for one region (= one tenant in multi-tenant
+// runs). Unlike the retained span ring this never drops: counts and the
+// latency histogram cover every span finished for the region, so per-tenant
+// fault attribution reconciles exactly with the engine's MergedLatency()
+// totals (both record successful faults only, same histogram layout).
+struct RegionSpanStats {
+  std::uint64_t spans = 0;  // finished, ok or not
+  std::uint64_t ok = 0;
+  LatencyHistogram latency{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                           /*buckets_per_decade=*/60};
+};
+
 // Rides the fault path's time variable and attributes each advance to a
 // stage. Unbound cursors (span_ == nullptr) no-op — the fault path calls
 // Advance unconditionally and pays one branch when tracing is off.
@@ -235,7 +248,11 @@ class Observability {
   void FinishSpan(FaultSpan* span, SpanCursor* cursor, SimTime end, bool ok) {
     cursor->Close(end, ok);
     ++spans_finished_;
+    RegionSpanStats& rs = region_stats_[span->region];
+    ++rs.spans;
     if (span->ok) {
+      ++rs.ok;
+      rs.latency.Record(span->DurationNs());
       for (std::size_t s = 0; s < kStageCount; ++s)
         stage_total_ns_[s] += span->stage_ns[s];
       end_to_end_.Record(span->DurationNs());
@@ -271,6 +288,17 @@ class Observability {
   // End-to-end latency of successful spans; same layout as the fault
   // engine's per-shard histograms so the two can be cross-checked.
   const LatencyHistogram& end_to_end() const noexcept { return end_to_end_; }
+
+  // Per-region (per-tenant) span aggregates, keyed by region id. Ordered
+  // map: iteration order is deterministic for reporting.
+  const std::map<std::uint32_t, RegionSpanStats>& region_span_stats()
+      const noexcept {
+    return region_stats_;
+  }
+  const RegionSpanStats* RegionStats(std::uint32_t region) const noexcept {
+    const auto it = region_stats_.find(region);
+    return it == region_stats_.end() ? nullptr : &it->second;
+  }
 
   // --- background pipeline accounting ---------------------------------------
 
@@ -316,6 +344,7 @@ class Observability {
 
   void ClearSpans() {
     spans_.clear();
+    region_stats_.clear();
     spans_started_ = spans_finished_ = spans_failed_ = spans_dropped_ = 0;
     stage_total_ns_.fill(0);
     pipe_total_ns_.fill(0);
@@ -330,6 +359,7 @@ class Observability {
   bool enabled_ = false;
   std::size_t span_capacity_;
   std::deque<FaultSpan> spans_;
+  std::map<std::uint32_t, RegionSpanStats> region_stats_;
   std::uint64_t next_span_id_ = 1;
   std::uint64_t spans_started_ = 0;
   std::uint64_t spans_finished_ = 0;

@@ -1,0 +1,517 @@
+#include "workloads/tenants.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "blockdev/block_device.h"
+#include "chaos/injected_store.h"
+#include "chaos/invariants.h"
+#include "chaos/oracle.h"
+#include "fluidmem/fault_engine.h"
+#include "kvstore/decorators.h"
+#include "kvstore/local_store.h"
+#include "kvstore/resilient.h"
+#include "mem/frame_pool.h"
+#include "mem/uffd.h"
+#include "obs/span.h"
+#include "swap/swap_space.h"
+
+namespace fluid::wl {
+
+namespace {
+
+// Stamp value for (page, generation) — same construction as the trace
+// replayer's, private to each: only self-consistency matters.
+std::uint64_t Stamp(std::size_t page, std::uint64_t gen) noexcept {
+  std::uint64_t x = page * 0x9e3779b97f4a7c15ULL + gen * 0x165667b19e3779f9ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+std::uint64_t TenantSeed(std::uint64_t seed, std::size_t tenant) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (tenant + 1));
+}
+
+// Fixed CPU-side cost of one completed access (TLB/cache path after the
+// page is mapped); keeps hit latency non-zero so quantiles are meaningful.
+constexpr SimDuration kAccessCost = 150;  // ns
+
+// Stamp one tenant's stream with arrival times per its ArrivalModel.
+// `burst_boost` (>= 1) multiplies burst length — the noisy-neighbor knob.
+std::vector<TimedAccess> StampArrivals(const std::vector<TraceAccess>& accs,
+                                       std::uint32_t stream,
+                                       const ArrivalModel& m,
+                                       double burst_boost) {
+  if (m.burst_len == 0) return StampTrace(accs, stream, m.start, m.gap);
+  const auto burst_len = static_cast<std::size_t>(
+      static_cast<double>(m.burst_len) * std::max(1.0, burst_boost));
+  std::vector<TimedAccess> out;
+  out.reserve(accs.size());
+  SimTime at = m.start;
+  std::size_t in_burst = 0;
+  for (const TraceAccess& a : accs) {
+    out.push_back(TimedAccess{at, stream, a});
+    if (++in_burst >= burst_len) {
+      in_burst = 0;
+      at += m.idle_between_bursts;
+    } else {
+      at += m.burst_gap;
+    }
+  }
+  return out;
+}
+
+std::vector<TimedAccess> MergedArrivals(
+    const std::vector<TenantSpec>& tenants, std::uint64_t seed,
+    double antagonist_burst_boost) {
+  std::vector<std::vector<TimedAccess>> streams;
+  streams.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantSpec& spec = tenants[t];
+    const auto accs = GenerateYcsb(spec.workload, TenantSeed(seed, t));
+    const double boost = spec.role == TenantRole::kAntagonist
+                             ? antagonist_burst_boost
+                             : 1.0;
+    streams.push_back(StampArrivals(accs, static_cast<std::uint32_t>(t),
+                                    spec.arrival, boost));
+  }
+  return MergeByTimestamp(streams);
+}
+
+// A scripted drill event, applied when the merged replay reaches `at`.
+struct DrillEvent {
+  SimTime at = 0;
+  enum class What : std::uint8_t { kReplicaDown, kQuotaCut } what;
+  std::size_t index = 0;   // replica or tenant
+  SimTime until = 0;       // kReplicaDown: FailUntil argument
+  std::size_t pages = 0;   // kQuotaCut: new quota
+};
+
+void HistStats(const LatencyHistogram& h, double& p50, double& p99,
+               double* mean = nullptr) {
+  p50 = h.Count() ? h.QuantileUs(0.50) : 0.0;
+  p99 = h.Count() ? h.QuantileUs(0.99) : 0.0;
+  if (mean != nullptr) *mean = h.Count() ? h.MeanUs() : 0.0;
+}
+
+void Mix64(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+TrafficShape MeasureTraffic(const std::vector<TenantSpec>& tenants,
+                            std::uint64_t seed) {
+  const auto merged = MergedArrivals(tenants, seed, /*boost=*/1.0);
+  TrafficShape shape;
+  shape.total_accesses = merged.size();
+  shape.horizon = merged.empty() ? 0 : merged.back().at;
+  for (const TimedAccess& a : merged)
+    shape.horizon = std::max(shape.horizon, a.at);
+  return shape;
+}
+
+MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
+  const chaos::ScenarioOptions& opt = cfg.drill.options;
+  MultiTenantResult res;
+  res.status = Status::Ok();
+
+  // --- the merged arrival timeline -----------------------------------------
+  const auto merged = MergedArrivals(cfg.tenants, opt.seed,
+                                     cfg.drill.antagonist_burst_boost);
+  res.total_accesses = merged.size();
+
+  // --- stack construction (multi-region analogue of chaos::Stack) ----------
+  std::size_t total_fp = 0;
+  std::size_t quota_sum = 0;
+  for (const TenantSpec& spec : cfg.tenants) {
+    total_fp += YcsbFootprintPages(spec.workload);
+    quota_sum += spec.quota_pages;
+  }
+  const std::size_t lru_capacity = cfg.lru_capacity_pages != 0
+                                       ? cfg.lru_capacity_pages
+                                       : quota_sum + 32;
+  mem::FramePool pool(total_fp + lru_capacity + 256);
+
+  auto injector = std::make_shared<chaos::FaultInjector>(opt.plan);
+
+  std::unique_ptr<kv::KvStore> store;
+  std::vector<kv::FlakyStore*> flaky;  // rolling-upgrade replicas
+  if (cfg.drill.upgrade_replicas > 0) {
+    // Replicated store whose replicas each sit behind a FlakyStore, so the
+    // upgrade script can take them down one at a time with FailUntil.
+    std::vector<std::unique_ptr<kv::KvStore>> reps;
+    for (int i = 0; i < cfg.drill.upgrade_replicas; ++i) {
+      kv::LocalStoreConfig lc;
+      lc.seed = opt.seed * 5 + static_cast<std::uint64_t>(i);
+      auto f = std::make_unique<kv::FlakyStore>(
+          std::make_unique<chaos::InjectedStore>(
+              std::make_unique<kv::LocalDramStore>(lc), injector),
+          /*seed=*/opt.seed ^ (0xf1a6ULL + i));
+      flaky.push_back(f.get());
+      reps.push_back(std::move(f));
+    }
+    store = std::make_unique<kv::ReplicatedStore>(std::move(reps),
+                                                  /*write_quorum=*/2);
+  } else {
+    kv::LocalStoreConfig lc;
+    lc.seed = opt.seed ^ 0x10c41ULL;
+    store = std::make_unique<chaos::InjectedStore>(
+        std::make_unique<kv::LocalDramStore>(lc), injector);
+  }
+  if (opt.resilient_store) {
+    kv::ResilientStoreConfig rsc;
+    rsc.seed = opt.seed ^ 0x4e511eULL;
+    store = std::make_unique<kv::ResilientStore>(std::move(store), rsc);
+  }
+
+  fm::MonitorConfig mc;
+  mc.lru_capacity_pages = lru_capacity;
+  mc.write_batch_pages = cfg.write_batch_pages;
+  mc.fault_shards = opt.fault_shards;
+  mc.uffd_read_batch = opt.uffd_read_batch;
+  mc.pipelined_writeback = opt.pipelined_writeback;
+  mc.seed = opt.seed ^ 0xc0ffeeULL;
+  // Declared before the monitor (gauge registration), destroyed after.
+  obs::Observability obs;
+  obs.Enable();
+  auto monitor = std::make_unique<fm::Monitor>(mc, *store, pool);
+  monitor->AttachObservability(obs);
+
+  std::unique_ptr<blk::BlockDevice> spill_device;
+  std::unique_ptr<swap::SwapSpace> spill;
+  if (opt.attach_spill) {
+    spill_device = std::make_unique<blk::BlockDevice>(
+        blk::MakePmemDevice(opt.spill_capacity));
+    spill_device->set_fault_hook(injector);
+    spill = std::make_unique<swap::SwapSpace>(*spill_device);
+    monitor->AttachLocalSpill(*spill);
+  }
+
+  // One region + partition + shadow per tenant. Region bases are 4 GiB
+  // apart: tenant address spaces cannot collide.
+  struct TenantRt {
+    VirtAddr base = 0;
+    fm::RegionId rid = 0;
+    std::unique_ptr<mem::UffdRegion> region;
+    chaos::ShadowMemory shadow;
+    std::vector<std::uint64_t> generation;
+    std::vector<bool> written;
+    LatencyHistogram latency{/*min_ns=*/50.0, /*max_ns=*/1e9,
+                             /*buckets_per_decade=*/60};
+    std::uint64_t accesses = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t blocked = 0;
+    std::uint64_t verify_failures = 0;
+  };
+  constexpr VirtAddr kTenantBase = 0x6000'0000ULL;
+  constexpr VirtAddr kTenantStride = 1ULL << 32;
+  std::vector<TenantRt> rt(cfg.tenants.size());
+  for (std::size_t t = 0; t < cfg.tenants.size(); ++t) {
+    const std::size_t fp = YcsbFootprintPages(cfg.tenants[t].workload);
+    rt[t].base = kTenantBase + static_cast<VirtAddr>(t) * kTenantStride;
+    rt[t].region = std::make_unique<mem::UffdRegion>(
+        /*pid=*/static_cast<ProcessId>(100 + t), rt[t].base, fp, pool);
+    rt[t].rid = monitor->RegisterRegion(
+        *rt[t].region, static_cast<PartitionId>(t + 1),
+        cfg.tenants[t].quota_pages);
+    rt[t].generation.assign(fp, 0);
+    rt[t].written.assign(fp, false);
+  }
+
+  // --- the drill's scripted events -----------------------------------------
+  std::vector<DrillEvent> events;
+  if (cfg.drill.upgrade_replicas > 0) {
+    for (int i = 0; i < cfg.drill.upgrade_replicas; ++i) {
+      DrillEvent ev;
+      ev.what = DrillEvent::What::kReplicaDown;
+      ev.index = static_cast<std::size_t>(i);
+      ev.at = cfg.drill.upgrade_start + i * cfg.drill.upgrade_window;
+      ev.until = ev.at + cfg.drill.upgrade_window;
+      events.push_back(ev);
+    }
+  }
+  if (cfg.drill.kind == chaos::DrillKind::kQuotaCut &&
+      cfg.drill.quota_cut_tenant < rt.size()) {
+    DrillEvent ev;
+    ev.what = DrillEvent::What::kQuotaCut;
+    ev.index = cfg.drill.quota_cut_tenant;
+    ev.pages = cfg.drill.quota_cut_pages;
+    ev.at = cfg.drill.quota_cut_at;
+    events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DrillEvent& a, const DrillEvent& b) { return a.at < b.at; });
+
+  // --- open-loop replay ------------------------------------------------------
+  SimTime now = 0;
+  SimTime next_pump = cfg.pump_every;
+  std::size_t next_event = 0;
+  std::array<std::byte, 8> buf8;
+
+  const auto apply_event = [&](const DrillEvent& ev) {
+    switch (ev.what) {
+      case DrillEvent::What::kReplicaDown:
+        if (ev.index < flaky.size()) flaky[ev.index]->FailUntil(ev.until);
+        break;
+      case DrillEvent::What::kQuotaCut:
+        now = std::max(now, monitor->SetRegionQuota(rt[ev.index].rid,
+                                                    ev.pages,
+                                                    std::max(now, ev.at)));
+        break;
+    }
+  };
+
+  // Bounded retry under injected faults, as the guest would: back off
+  // 100us after a failed fault and re-issue (chaos::EnsureResident's
+  // policy, on this stack's regions).
+  const auto ensure_resident = [&](TenantRt& tr, VirtAddr addr, bool is_write,
+                                   SimTime& t, bool& faulted) -> bool {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto access = tr.region->Access(addr, is_write);
+      if (access.kind != mem::AccessKind::kUffdFault) return true;
+      faulted = true;
+      const auto outcome = monitor->HandleFault(tr.rid, addr, t);
+      t = std::max(t, outcome.wake_at);
+      if (outcome.deadlocked) return false;
+      if (!outcome.status.ok()) t += 100 * kMicrosecond;
+    }
+    return tr.region->Access(addr, is_write).kind !=
+           mem::AccessKind::kUffdFault;
+  };
+
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const TimedAccess& ta = merged[i];
+    injector->BeginStep(static_cast<std::uint32_t>(i));
+
+    while (next_event < events.size() && events[next_event].at <= ta.at)
+      apply_event(events[next_event++]);
+    while (next_pump <= ta.at) {
+      monitor->PumpBackground(std::max(now, next_pump));
+      next_pump += cfg.pump_every;
+    }
+
+    TenantRt& tr = rt[ta.stream];
+    const TenantSpec& spec = cfg.tenants[ta.stream];
+    const std::size_t page = ta.access.page;
+    const VirtAddr addr = tr.base + static_cast<VirtAddr>(page) * kPageSize;
+
+    // Open loop: service starts when the stack is free AND the request has
+    // arrived; latency is measured from ARRIVAL, so queueing behind other
+    // tenants' work is charged to this access.
+    SimTime t = std::max(now, ta.at);
+    bool faulted = false;
+    const bool resident =
+        ensure_resident(tr, addr, ta.access.is_write, t, faulted);
+    ++tr.accesses;
+    if (faulted) ++tr.faults;
+    if (!resident) {
+      ++tr.blocked;
+      now = t;
+      tr.latency.Record(now + kAccessCost - ta.at);
+      continue;
+    }
+    if (ta.access.is_write) {
+      const std::uint64_t stamp = Stamp(page, ++tr.generation[page]);
+      std::memcpy(buf8.data(), &stamp, 8);
+      const Status s = tr.region->WriteBytes(addr, buf8);
+      if (!s.ok()) {
+        res.status = s;
+        res.failure = "write to resident page failed: " + s.ToString();
+        break;
+      }
+      tr.written[page] = true;
+      tr.shadow.Write(addr, buf8);
+    } else {
+      const Status s = tr.region->ReadBytes(addr, buf8);
+      if (!s.ok()) {
+        res.status = s;
+        res.failure = "read of resident page failed: " + s.ToString();
+        break;
+      }
+      std::uint64_t got;
+      std::memcpy(&got, buf8.data(), 8);
+      const std::uint64_t expect =
+          tr.written[page] ? Stamp(page, tr.generation[page]) : 0;
+      if (got != expect) ++tr.verify_failures;
+    }
+    now = t + kAccessCost;
+    tr.latency.Record(now - ta.at);
+    (void)spec;
+  }
+
+  // Late-scripted events (an anchor past the last arrival) still apply.
+  while (next_event < events.size()) apply_event(events[next_event++]);
+
+  // --- quiesce: drain, settle, sweep ---------------------------------------
+  now = monitor->DrainWrites(now);
+  for (int round = 0; round < 8; ++round) {
+    monitor->PumpBackground(now);
+    now += 50 * kMicrosecond;
+  }
+  now = monitor->DrainWrites(now);
+
+  if (res.status.ok()) {
+    injector->set_paused(true);
+    chaos::StackView view;
+    view.monitor = monitor.get();
+    view.pool = &pool;
+    view.store = store.get();
+    for (TenantRt& tr : rt) view.regions.push_back({tr.rid, tr.region.get()});
+    if (auto violation = chaos::CheckInvariants(view)) {
+      res.status = Status::Internal("invariant violation");
+      res.failure = *violation;
+    }
+    for (std::size_t t = 0; res.status.ok() && t < rt.size(); ++t) {
+      if (auto bad = chaos::VerifyRegionAgainstShadow(
+              *monitor, *rt[t].region, rt[t].rid, *store, pool, rt[t].shadow,
+              now)) {
+        res.status = Status::Internal("oracle violation");
+        res.failure = "tenant " + cfg.tenants[t].name + ": " + *bad;
+      }
+    }
+    injector->set_paused(false);
+  }
+
+  // --- results ---------------------------------------------------------------
+  res.finished = now;
+  res.merged_latency_count = monitor->fault_engine().MergedLatency().Count();
+  for (std::size_t t = 0; t < rt.size(); ++t) {
+    const TenantSpec& spec = cfg.tenants[t];
+    TenantRt& tr = rt[t];
+    TenantResult out;
+    out.name = spec.name;
+    out.role = spec.role;
+    out.mix = spec.workload.mix;
+    out.accesses = tr.accesses;
+    out.faults = tr.faults;
+    out.blocked = tr.blocked;
+    out.verify_failures = tr.verify_failures;
+    HistStats(tr.latency, out.p50_us, out.p99_us, &out.mean_us);
+    if (const obs::RegionSpanStats* rs = obs.RegionStats(tr.rid)) {
+      out.span_faults = rs->spans;
+      out.span_ok = rs->ok;
+      HistStats(rs->latency, out.fault_p50_us, out.fault_p99_us);
+      res.span_ok_total += rs->ok;
+    }
+    out.slo_p50_us = spec.slo_p50_us;
+    out.slo_p99_us = spec.slo_p99_us;
+    out.slo_pass =
+        (spec.slo_p50_us <= 0 || out.p50_us <= spec.slo_p50_us) &&
+        (spec.slo_p99_us <= 0 || out.p99_us <= spec.slo_p99_us) &&
+        out.verify_failures == 0;
+    res.blocked_total += tr.blocked;
+    res.tenants.push_back(std::move(out));
+  }
+  return res;
+}
+
+std::uint64_t MultiTenantResult::Fingerprint() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  Mix64(h, status.ok() ? 1 : 0);
+  Mix64(h, total_accesses);
+  Mix64(h, blocked_total);
+  Mix64(h, merged_latency_count);
+  Mix64(h, span_ok_total);
+  Mix64(h, static_cast<std::uint64_t>(finished));
+  for (const TenantResult& t : tenants) {
+    Mix64(h, t.accesses);
+    Mix64(h, t.faults);
+    Mix64(h, t.blocked);
+    Mix64(h, t.verify_failures);
+    Mix64(h, t.span_faults);
+    Mix64(h, t.span_ok);
+    Mix64(h, std::bit_cast<std::uint64_t>(t.p50_us));
+    Mix64(h, std::bit_cast<std::uint64_t>(t.p99_us));
+    Mix64(h, std::bit_cast<std::uint64_t>(t.mean_us));
+    Mix64(h, std::bit_cast<std::uint64_t>(t.fault_p50_us));
+    Mix64(h, std::bit_cast<std::uint64_t>(t.fault_p99_us));
+    Mix64(h, t.slo_pass ? 1 : 0);
+  }
+  return h;
+}
+
+std::vector<TenantSpec> StandardTenants(std::size_t count, YcsbMix steady_mix,
+                                        double scale) {
+  const auto scaled = [&](std::uint64_t ops) -> std::uint64_t {
+    return std::max<std::uint64_t>(
+        50, static_cast<std::uint64_t>(static_cast<double>(ops) * scale));
+  };
+  std::vector<TenantSpec> out;
+
+  // Tenant 0: the latency-sensitive steady server. Quota'd to half the
+  // default 256-page budget; its SLO is the line the drills defend.
+  // Arrival rates are calibrated against the serial fault handler: one
+  // fault costs ~28us of handler time (uffd dispatch + remote read +
+  // eviction), so the family's aggregate fault arrival rate is kept near
+  // ~50% utilization at baseline — SLO headroom exists, and the drills
+  // (amplified bursts, outages, quota cuts) are what consume it.
+  TenantSpec steady;
+  steady.name = "steady";
+  steady.role = TenantRole::kSteady;
+  steady.workload.mix = steady_mix;
+  steady.workload.records = 192;
+  steady.workload.ops = scaled(2400);
+  steady.arrival.gap = 50 * kMicrosecond;
+  steady.quota_pages = 96;
+  steady.slo_p50_us = 80;
+  steady.slo_p99_us = 2000;
+  out.push_back(steady);
+  if (count < 2) return out;
+
+  // Tenant 1: the bursty antagonist — update-heavy YCSB-A in tight bursts.
+  TenantSpec antagonist;
+  antagonist.name = "antagonist";
+  antagonist.role = TenantRole::kAntagonist;
+  antagonist.workload.mix = YcsbMix::kA;
+  antagonist.workload.records = 256;
+  antagonist.workload.ops = scaled(1600);
+  antagonist.arrival.start = 100 * kMicrosecond;
+  antagonist.arrival.burst_len = 8;
+  antagonist.arrival.burst_gap = 2 * kMicrosecond;
+  antagonist.arrival.idle_between_bursts = kMillisecond;
+  antagonist.quota_pages = 64;
+  antagonist.slo_p99_us = 20'000;
+  out.push_back(antagonist);
+  if (count < 3) return out;
+
+  // Tenant 2: the scan-heavy batch job (YCSB-E); cares about finishing,
+  // not tails — its SLO is deliberately loose.
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.role = TenantRole::kBatch;
+  batch.workload.mix = YcsbMix::kE;
+  batch.workload.records = 320;
+  batch.workload.ops = scaled(400);
+  batch.workload.max_scan_len = 16;
+  batch.arrival.start = 500 * kMicrosecond;
+  batch.arrival.gap = 40 * kMicrosecond;
+  batch.quota_pages = 64;
+  batch.slo_p99_us = 50'000;
+  out.push_back(batch);
+
+  // Tenants 3+: additional steady readers, alternating read-only C and
+  // read-latest D.
+  for (std::size_t t = 3; t < count; ++t) {
+    TenantSpec extra;
+    extra.name = "steady" + std::to_string(t);
+    extra.role = TenantRole::kSteady;
+    extra.workload.mix = (t % 2 == 1) ? YcsbMix::kC : YcsbMix::kD;
+    extra.workload.records = 96;
+    extra.workload.ops = scaled(800);
+    extra.arrival.start = static_cast<SimTime>(t) * 50 * kMicrosecond;
+    extra.arrival.gap = 120 * kMicrosecond;
+    extra.quota_pages = 48;
+    extra.slo_p50_us = 150;
+    extra.slo_p99_us = 2500;
+    out.push_back(extra);
+  }
+  return out;
+}
+
+}  // namespace fluid::wl

@@ -1,0 +1,174 @@
+// Multi-tenant traffic composer: N YCSB tenants on one monitor, in virtual
+// time, with per-tenant attribution and SLO verdicts.
+//
+// Each tenant gets its own uffd region (its "VM"), its own store partition,
+// an optional DRAM quota, and a YCSB stream stamped with open-loop arrival
+// times from its ArrivalModel (steady pacing, bursts, or a delayed batch
+// job). The per-tenant timelines are merged by timestamp into one global
+// arrival order and replayed against the shared stack: an access's latency
+// is completion minus ARRIVAL, so time spent queued behind another tenant's
+// burst is charged where the user feels it — that is the noisy-neighbor
+// effect the drills probe.
+//
+// Attribution is double-entry: the replay loop's own histogram (per tenant,
+// from its region's accesses) and the obs spans' per-region aggregation
+// (opened inside the fault engine, keyed by region id). The two are
+// reconciled in tests — sum of per-tenant ok spans must equal the engine's
+// MergedLatency() count exactly.
+//
+// Correctness rides along: every write is mirrored into a per-tenant
+// ShadowMemory and the run ends with the chaos harness's location-aware
+// differential sweep per tenant plus the global invariant check, so a drill
+// that corrupts a page fails the run, not just the SLO.
+//
+// Determinism: a (MultiTenantConfig) value fully determines the run —
+// workload streams, arrival jitter, injector decisions, and scripted drill
+// events all derive from drill.options.{seed, plan} and the specs. Two runs
+// of the same config produce identical MultiTenantResult::Fingerprint()s.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/drills.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "workloads/trace.h"
+#include "workloads/ycsb.h"
+
+namespace fluid::wl {
+
+enum class TenantRole : std::uint8_t {
+  kSteady,      // latency-sensitive serving tenant (the SLO protagonist)
+  kAntagonist,  // bursty neighbor contending for DRAM + handler time
+  kBatch,       // scan-heavy batch job (throughput over latency)
+};
+
+constexpr std::string_view RoleName(TenantRole r) noexcept {
+  switch (r) {
+    case TenantRole::kSteady: return "steady";
+    case TenantRole::kAntagonist: return "antagonist";
+    case TenantRole::kBatch: return "batch";
+  }
+  return "?";
+}
+
+// Open-loop arrival process. burst_len == 0: constant rate (one access per
+// `gap`). burst_len > 0: bursts of `burst_len` accesses spaced `burst_gap`
+// apart, with `idle_between_bursts` of silence after each burst.
+struct ArrivalModel {
+  SimTime start = 0;
+  SimDuration gap = 10 * kMicrosecond;
+  std::size_t burst_len = 0;
+  SimDuration burst_gap = kMicrosecond;
+  SimDuration idle_between_bursts = 2 * kMillisecond;
+};
+
+struct TenantSpec {
+  std::string name;
+  TenantRole role = TenantRole::kSteady;
+  YcsbConfig workload;
+  ArrivalModel arrival;
+  // DRAM quota (pages); 0 = share the global budget unbounded.
+  std::size_t quota_pages = 0;
+  // SLO bounds on end-to-end ACCESS latency (arrival -> completion), in
+  // microseconds; 0 disables a bound.
+  double slo_p50_us = 0;
+  double slo_p99_us = 0;
+};
+
+struct TenantResult {
+  std::string name;
+  TenantRole role = TenantRole::kSteady;
+  YcsbMix mix = YcsbMix::kA;
+
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;   // accesses that took at least one uffd fault
+  std::uint64_t blocked = 0;  // stayed inaccessible after bounded retries
+  std::uint64_t verify_failures = 0;  // stamp mismatches on reads
+
+  // Access latency (arrival -> completion, queueing included).
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+
+  // Span-attributed fault-path view (obs, keyed by this tenant's region).
+  std::uint64_t span_faults = 0;     // spans finished for the region
+  std::uint64_t span_ok = 0;         // successful ones (in fault_p* below)
+  double fault_p50_us = 0;
+  double fault_p99_us = 0;
+
+  double slo_p50_us = 0;  // echoed bounds
+  double slo_p99_us = 0;
+  bool slo_pass = true;   // latency quantiles within bounds
+};
+
+struct MultiTenantConfig {
+  std::vector<TenantSpec> tenants;
+  // Drill preset (chaos::MakeDrill) or default-constructed for a clean
+  // baseline. Carries the (seed, plan) pair all randomness derives from.
+  chaos::Drill drill;
+  // Global DRAM budget. 0 = auto: the sum of the tenants' quotas plus a
+  // small unquota'd headroom, so adding tenants scales the pool the way a
+  // capacity planner would provision it instead of silently overcommitting.
+  std::size_t lru_capacity_pages = 0;
+  std::size_t write_batch_pages = 16;
+  // Background pump cadence (flush retirement, spill migrate-back, store
+  // maintenance) in virtual time.
+  SimDuration pump_every = 200 * kMicrosecond;
+};
+
+struct MultiTenantResult {
+  Status status;        // not-ok on oracle/invariant violation
+  std::string failure;  // first violation, human-readable
+  std::vector<TenantResult> tenants;
+
+  SimTime finished = 0;
+  std::uint64_t total_accesses = 0;
+  std::uint64_t blocked_total = 0;
+  // Attribution reconciliation inputs: the engine's merged ok-fault count
+  // vs the sum of per-region ok span counts.
+  std::uint64_t merged_latency_count = 0;
+  std::uint64_t span_ok_total = 0;
+
+  bool AllSlosPass() const {
+    for (const TenantResult& t : tenants)
+      if (!t.slo_pass) return false;
+    return status.ok();
+  }
+  bool RolePasses(TenantRole role) const {
+    for (const TenantResult& t : tenants)
+      if (t.role == role && !t.slo_pass) return false;
+    return status.ok();
+  }
+
+  // Replay-identity hash over every count and the bit patterns of every
+  // latency statistic: two runs of the same config must match exactly.
+  std::uint64_t Fingerprint() const;
+};
+
+MultiTenantResult RunTenants(const MultiTenantConfig& cfg);
+
+// The canonical tenant family the drill catalog runs against: tenant 0 is
+// the steady server (mix `steady_mix`, quota'd, tight SLO), tenant 1 the
+// bursty antagonist (YCSB-A), tenant 2 the scan-heavy batch job (YCSB-E);
+// tenants 3+ are additional steady readers (YCSB-C/D alternating). `scale`
+// in (0, 1] shrinks every tenant's op count for fast test configs.
+std::vector<TenantSpec> StandardTenants(std::size_t count, YcsbMix steady_mix,
+                                        double scale = 1.0);
+
+// Shape of the specs' combined traffic, computed by generating and
+// stamping every stream (pure in (tenants, seed)). The drill factory needs
+// both numbers up front: total_accesses keys the failover outage window in
+// op-id space, horizon anchors the time-scripted events. Measured WITHOUT
+// any antagonist boost, so a drill's anchors do not depend on the drill.
+struct TrafficShape {
+  std::size_t total_accesses = 0;
+  SimTime horizon = 0;  // arrival time of the last access
+};
+TrafficShape MeasureTraffic(const std::vector<TenantSpec>& tenants,
+                            std::uint64_t seed);
+
+}  // namespace fluid::wl

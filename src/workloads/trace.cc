@@ -78,6 +78,40 @@ std::vector<TraceAccess> GeneratePhase(const TracePhase& phase,
   return out;
 }
 
+std::vector<TimedAccess> StampTrace(const std::vector<TraceAccess>& accesses,
+                                    std::uint32_t stream, SimTime start,
+                                    SimDuration gap) {
+  std::vector<TimedAccess> out;
+  out.reserve(accesses.size());
+  SimTime at = start;
+  for (const TraceAccess& a : accesses) {
+    out.push_back(TimedAccess{at, stream, a});
+    at += gap;
+  }
+  return out;
+}
+
+std::vector<TimedAccess> MergeByTimestamp(
+    std::span<const std::vector<TimedAccess>> streams) {
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  std::vector<TimedAccess> out;
+  out.reserve(total);
+  std::vector<std::size_t> pos(streams.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = streams.size();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (pos[s] >= streams[s].size()) continue;
+      if (best == streams.size() ||
+          streams[s][pos[s]].at < streams[best][pos[best]].at)
+        best = s;
+    }
+    out.push_back(streams[best][pos[best]]);
+    ++pos[best];
+  }
+  return out;
+}
+
 TraceResult ReplayTrace(paging::PagedMemory& memory, VirtAddr base,
                         const std::vector<TracePhase>& phases,
                         SimTime start, std::uint64_t seed) {

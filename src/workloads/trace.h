@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +61,27 @@ struct TraceAccess {
 // Generate the flat access list for a phase (deterministic in `seed`).
 std::vector<TraceAccess> GeneratePhase(const TracePhase& phase,
                                        std::uint64_t seed);
+
+// One access of a timestamped stream: `at` is the virtual arrival time and
+// `stream` identifies the source trace after merging (the tenant index, in
+// the multi-tenant composer).
+struct TimedAccess {
+  SimTime at = 0;
+  std::uint32_t stream = 0;
+  TraceAccess access;
+};
+
+// Stamp a flat access list with fixed-rate arrivals: access i arrives at
+// start + i * gap (an open-loop client issuing at a constant rate).
+std::vector<TimedAccess> StampTrace(const std::vector<TraceAccess>& accesses,
+                                    std::uint32_t stream, SimTime start,
+                                    SimDuration gap);
+
+// Merge per-stream timelines (each non-decreasing in `at`) into one global
+// arrival order. Stable: ties break toward the lower stream index, so the
+// merged order is a pure function of the inputs and replays identically.
+std::vector<TimedAccess> MergeByTimestamp(
+    std::span<const std::vector<TimedAccess>> streams);
 
 struct PhaseResult {
   AccessPattern pattern;

@@ -1,0 +1,89 @@
+#include "workloads/ycsb.h"
+
+#include <algorithm>
+
+namespace fluid::wl {
+
+namespace {
+
+std::size_t EffectiveMaxRecords(const YcsbConfig& cfg) {
+  if (cfg.max_records != 0)
+    return std::max(cfg.max_records, cfg.records);
+  return cfg.records + static_cast<std::size_t>(cfg.ops / 10);
+}
+
+}  // namespace
+
+std::size_t YcsbFootprintPages(const YcsbConfig& cfg) {
+  return cfg.first_page + EffectiveMaxRecords(cfg);
+}
+
+std::vector<TraceAccess> GenerateYcsb(const YcsbConfig& cfg,
+                                      std::uint64_t seed,
+                                      YcsbOpStats* stats) {
+  const YcsbMixRatios mix = RatiosOf(cfg.mix);
+  const std::size_t cap = EffectiveMaxRecords(cfg);
+  const std::size_t initial = std::max<std::size_t>(1, cfg.records);
+
+  Rng rng{seed};
+  ZipfGenerator zipf{initial, cfg.theta};
+  LatestGenerator latest{initial, cfg.theta};
+
+  std::vector<TraceAccess> out;
+  out.reserve(cfg.ops + (mix.scan > 0 ? cfg.ops * cfg.max_scan_len / 2 : 0));
+  YcsbOpStats st;
+  std::size_t live = initial;  // current key space [0, live)
+
+  // Zipfian rank maps to key directly: rank 0 (hottest) is page 0, the
+  // same convention as the kZipfian trace phase.
+  const auto zipf_key = [&]() -> std::size_t {
+    return static_cast<std::size_t>(zipf.Next(rng));
+  };
+  const auto latest_key = [&]() -> std::size_t {
+    const std::uint64_t off = latest.NextOffset(rng, live);
+    return static_cast<std::size_t>(live - 1 - off);
+  };
+  const auto push = [&](std::size_t key, bool is_write) {
+    out.push_back(TraceAccess{cfg.first_page + key, is_write});
+  };
+
+  for (std::uint64_t i = 0; i < cfg.ops; ++i) {
+    const double r = rng.NextDouble();
+    if (r < mix.read) {
+      push(mix.latest ? latest_key() : zipf_key(), /*is_write=*/false);
+      ++st.reads;
+    } else if (r < mix.read + mix.update) {
+      push(zipf_key(), /*is_write=*/true);
+      ++st.updates;
+    } else if (r < mix.read + mix.update + mix.insert) {
+      // Append at the end of the key space; once the cap is hit, inserts
+      // degrade to updates of the newest key (the footprint stays bounded).
+      const std::size_t key = live < cap ? live++ : live - 1;
+      push(key, /*is_write=*/true);
+      ++st.inserts;
+    } else if (r < mix.read + mix.update + mix.insert + mix.scan) {
+      const std::size_t start = zipf_key();
+      const std::size_t want =
+          1 + static_cast<std::size_t>(
+                  rng.NextBounded(std::max<std::size_t>(1, cfg.max_scan_len)));
+      const std::size_t end = std::min(start + want, live);
+      for (std::size_t k = start; k < end; ++k) {
+        push(k, /*is_write=*/false);
+        ++st.scanned_pages;
+      }
+      st.max_scan_run = std::max<std::uint64_t>(st.max_scan_run, end - start);
+      ++st.scans;
+    } else {
+      const std::size_t key = zipf_key();
+      push(key, /*is_write=*/false);
+      push(key, /*is_write=*/true);
+      ++st.rmws;
+    }
+  }
+
+  st.final_records = live;
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+}  // namespace fluid::wl

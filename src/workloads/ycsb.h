@@ -1,0 +1,125 @@
+// The six canonical YCSB core workload mixes, emitted as deterministic
+// page-access streams.
+//
+// Each "record" is one page of VM memory: a read touches it, an
+// update/insert dirties it, a scan walks a short run of consecutive pages,
+// and a read-modify-write does a read immediately followed by a write of
+// the same page. Key choice follows the YCSB core distributions — zipfian
+// (Gray's sampler in common/zipf.h, theta 0.99, rank 0 hottest) for A/B/C/E/F
+// and the "latest" distribution (zipfian over recency: offset 0 = the
+// newest inserted record) for D. Inserts append new pages at the end of the
+// key space, so D and E grow their footprint as they run, exactly like the
+// reference implementation's SkewedLatestGenerator + insert key chooser.
+//
+// Output goes through the existing workloads::Trace vocabulary
+// (TraceAccess), so anything that replays traces — including the
+// multi-tenant composer in tenants.h — consumes YCSB streams unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workloads/trace.h"
+
+namespace fluid::wl {
+
+enum class YcsbMix : std::uint8_t {
+  kA,  // update heavy: 50% read / 50% update, zipfian
+  kB,  // read mostly: 95% read / 5% update, zipfian
+  kC,  // read only: 100% read, zipfian
+  kD,  // read latest: 95% read (latest) / 5% insert
+  kE,  // short scans: 95% scan / 5% insert, zipfian start, uniform length
+  kF,  // read-modify-write: 50% read / 50% RMW, zipfian
+};
+
+inline constexpr std::size_t kYcsbMixCount = 6;
+
+constexpr std::string_view MixName(YcsbMix m) noexcept {
+  switch (m) {
+    case YcsbMix::kA: return "A";
+    case YcsbMix::kB: return "B";
+    case YcsbMix::kC: return "C";
+    case YcsbMix::kD: return "D";
+    case YcsbMix::kE: return "E";
+    case YcsbMix::kF: return "F";
+  }
+  return "?";
+}
+
+// Operation fractions for a mix (sum to 1). `latest` marks mixes whose read
+// keys follow the latest distribution instead of zipfian-over-rank.
+struct YcsbMixRatios {
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+  bool latest = false;
+};
+
+constexpr YcsbMixRatios RatiosOf(YcsbMix m) noexcept {
+  switch (m) {
+    case YcsbMix::kA: return {.read = 0.5, .update = 0.5};
+    case YcsbMix::kB: return {.read = 0.95, .update = 0.05};
+    case YcsbMix::kC: return {.read = 1.0};
+    case YcsbMix::kD: return {.read = 0.95, .insert = 0.05, .latest = true};
+    case YcsbMix::kE: return {.insert = 0.05, .scan = 0.95};
+    case YcsbMix::kF: return {.read = 0.5, .rmw = 0.5};
+  }
+  return {};
+}
+
+// The YCSB "latest" distribution: a zipfian sample reinterpreted as an
+// offset back from the most recently inserted key, so freshly written
+// records are the hottest. The underlying zipfian is sized once (to the
+// initial record count) and offsets are folded into the live key range,
+// matching YCSB's SkewedLatestGenerator behaviour under inserts.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(std::uint64_t n, double theta = 0.99)
+      : zipf_(n < 1 ? 1 : n, theta) {}
+
+  // Offset back from the newest key, in [0, live_records).
+  std::uint64_t NextOffset(Rng& rng, std::uint64_t live_records) const {
+    if (live_records == 0) return 0;
+    const std::uint64_t off = zipf_.Next(rng);
+    return off < live_records ? off : off % live_records;
+  }
+
+ private:
+  ZipfGenerator zipf_;
+};
+
+struct YcsbConfig {
+  YcsbMix mix = YcsbMix::kA;
+  std::size_t records = 1024;  // initial key space (pages)
+  std::uint64_t ops = 10'000;  // operations (not accesses: scans/RMW expand)
+  std::size_t max_scan_len = 16;  // scan length drawn uniform in [1, this]
+  double theta = 0.99;            // zipfian skew
+  // Hard cap on the key space under inserts; 0 = records + ops/10 (2x the
+  // expected 5% insert volume). Once full, inserts update the newest key.
+  std::size_t max_records = 0;
+  std::size_t first_page = 0;  // pages are offset by this in the stream
+};
+
+// Pages the stream can touch: first_page + the insert-capped key space.
+// Callers size regions/shadows with this.
+std::size_t YcsbFootprintPages(const YcsbConfig& cfg);
+
+struct YcsbOpStats {
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t scanned_pages = 0;  // total pages touched by scans
+  std::uint64_t max_scan_run = 0;   // longest single scan emitted (pages)
+  std::size_t final_records = 0;    // key space after inserts
+};
+
+// Generate the flat access stream for `cfg`. Pure function of (cfg, seed):
+// the same pair always yields the same stream, byte for byte.
+std::vector<TraceAccess> GenerateYcsb(const YcsbConfig& cfg,
+                                      std::uint64_t seed,
+                                      YcsbOpStats* stats = nullptr);
+
+}  // namespace fluid::wl

@@ -1,0 +1,227 @@
+// Multi-tenant composer: merge-by-timestamp iterator, per-tenant
+// isolation under the noisy-neighbor drill, span-based latency
+// attribution reconciliation, and byte-identical replay of all four
+// production drills (x 4 seeds) with the ShadowMemory oracle sweep.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/drills.h"
+#include "workloads/tenants.h"
+#include "workloads/trace.h"
+#include "workloads/ycsb.h"
+
+namespace fluid::wl {
+namespace {
+
+// Fast config for drill tests: the standard three-tenant family at
+// reduced op counts. Deterministic in `seed` only.
+MultiTenantConfig DrillConfig(chaos::DrillKind kind, std::uint64_t seed,
+                              double scale = 0.25) {
+  MultiTenantConfig cfg;
+  cfg.tenants = StandardTenants(3, YcsbMix::kB, scale);
+  const TrafficShape shape = MeasureTraffic(cfg.tenants, seed);
+  cfg.drill = chaos::MakeDrill(kind, seed, shape.total_accesses,
+                               shape.horizon);
+  return cfg;
+}
+
+const TenantResult* FindRole(const MultiTenantResult& res, TenantRole role) {
+  for (const TenantResult& t : res.tenants)
+    if (t.role == role) return &t;
+  return nullptr;
+}
+
+// --- merge-by-timestamp iterator (the Trace fix) ----------------------------
+
+TEST(TraceMerge, StampTraceSpacesArrivalsAtFixedRate) {
+  const std::vector<TraceAccess> accs = {{0, false}, {1, true}, {2, false}};
+  const auto timed = StampTrace(accs, /*stream=*/3, /*start=*/100, /*gap=*/7);
+  ASSERT_EQ(timed.size(), 3u);
+  EXPECT_EQ(timed[0].at, 100);
+  EXPECT_EQ(timed[1].at, 107);
+  EXPECT_EQ(timed[2].at, 114);
+  for (const TimedAccess& a : timed) EXPECT_EQ(a.stream, 3u);
+  EXPECT_TRUE(timed[1].access.is_write);
+  EXPECT_EQ(timed[2].access.page, 2u);
+}
+
+TEST(TraceMerge, MergesTwoStreamsIntoGlobalArrivalOrder) {
+  const std::vector<TraceAccess> a = {{10, false}, {11, false}, {12, false}};
+  const std::vector<TraceAccess> b = {{20, true}, {21, true}};
+  std::vector<std::vector<TimedAccess>> streams;
+  streams.push_back(StampTrace(a, 0, /*start=*/0, /*gap=*/10));   // 0,10,20
+  streams.push_back(StampTrace(b, 1, /*start=*/5, /*gap=*/10));   // 5,15
+  const auto merged = MergeByTimestamp(streams);
+  ASSERT_EQ(merged.size(), 5u);
+  const std::size_t want_pages[] = {10, 20, 11, 21, 12};
+  const std::uint32_t want_stream[] = {0, 1, 0, 1, 0};
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].access.page, want_pages[i]) << "i=" << i;
+    EXPECT_EQ(merged[i].stream, want_stream[i]) << "i=" << i;
+    if (i > 0) EXPECT_GE(merged[i].at, merged[i - 1].at);
+  }
+}
+
+TEST(TraceMerge, TiesBreakTowardLowerStreamIndexStably) {
+  const std::vector<TraceAccess> a = {{1, false}, {2, false}};
+  const std::vector<TraceAccess> b = {{3, false}, {4, false}};
+  std::vector<std::vector<TimedAccess>> streams;
+  // Identical timelines: every arrival ties. Stream 0 must win every tie,
+  // and within a stream the original order is preserved.
+  streams.push_back(StampTrace(a, 0, 0, 10));
+  streams.push_back(StampTrace(b, 1, 0, 10));
+  const auto merged = MergeByTimestamp(streams);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].access.page, 1u);
+  EXPECT_EQ(merged[1].access.page, 3u);
+  EXPECT_EQ(merged[2].access.page, 2u);
+  EXPECT_EQ(merged[3].access.page, 4u);
+}
+
+TEST(TraceMerge, HandlesEmptyStreamsAndUnbalancedLengths) {
+  const std::vector<TraceAccess> a = {{1, false}, {2, false}, {3, false}};
+  std::vector<std::vector<TimedAccess>> streams;
+  streams.push_back({});
+  streams.push_back(StampTrace(a, 1, 50, 1));
+  streams.push_back({});
+  const auto merged = MergeByTimestamp(streams);
+  ASSERT_EQ(merged.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(merged[i].access.page, i + 1);
+    EXPECT_EQ(merged[i].stream, 1u);
+  }
+  EXPECT_TRUE(MergeByTimestamp(std::vector<std::vector<TimedAccess>>{})
+                  .empty());
+}
+
+// --- per-tenant isolation + attribution -------------------------------------
+
+TEST(TenantIsolation, QuotasHoldSteadySloUnderNoisyNeighbor) {
+  // The antagonist's bursts are amplified 4x and region quotas are in
+  // force (StandardTenants sets them): the steady tenant's SLO must hold.
+  const MultiTenantConfig cfg =
+      DrillConfig(chaos::DrillKind::kNoisyNeighbor, /*seed=*/42, 0.5);
+  const MultiTenantResult res = RunTenants(cfg);
+  ASSERT_TRUE(res.status.ok()) << res.failure;
+  const TenantResult* steady = FindRole(res, TenantRole::kSteady);
+  ASSERT_NE(steady, nullptr);
+  EXPECT_TRUE(steady->slo_pass)
+      << "steady p50=" << steady->p50_us << "us p99=" << steady->p99_us
+      << "us vs SLO " << steady->slo_p50_us << "/" << steady->slo_p99_us;
+  EXPECT_EQ(steady->verify_failures, 0u);
+  // The drill is not a no-op: the antagonist's own latency visibly
+  // degrades vs the clean baseline.
+  const MultiTenantResult base =
+      RunTenants(DrillConfig(chaos::DrillKind::kNone, 42, 0.5));
+  const TenantResult* ant_drill = FindRole(res, TenantRole::kAntagonist);
+  const TenantResult* ant_base = FindRole(base, TenantRole::kAntagonist);
+  ASSERT_NE(ant_drill, nullptr);
+  ASSERT_NE(ant_base, nullptr);
+  EXPECT_GT(ant_drill->p99_us, ant_base->p99_us);
+}
+
+TEST(TenantIsolation, SpanAttributionReconcilesWithMergedLatency) {
+  // Double-entry check: the sum of per-region ok spans (obs) must equal
+  // the engine's merged ok-fault count, exactly — no fault is lost or
+  // double-attributed across tenants.
+  for (const chaos::DrillKind kind :
+       {chaos::DrillKind::kNone, chaos::DrillKind::kNoisyNeighbor,
+        chaos::DrillKind::kQuotaCut}) {
+    const MultiTenantResult res = RunTenants(DrillConfig(kind, 7, 0.25));
+    ASSERT_TRUE(res.status.ok()) << res.failure;
+    EXPECT_EQ(res.span_ok_total, res.merged_latency_count)
+        << "drill " << chaos::DrillName(kind);
+    // Every tenant that faulted has span-attributed latency.
+    std::uint64_t span_sum = 0;
+    for (const TenantResult& t : res.tenants) {
+      span_sum += t.span_ok;
+      if (t.faults > 0) {
+        EXPECT_GT(t.span_faults, 0u) << t.name;
+        EXPECT_GT(t.fault_p99_us, 0.0) << t.name;
+      }
+    }
+    EXPECT_EQ(span_sum, res.span_ok_total);
+  }
+}
+
+TEST(TenantIsolation, BaselinePassesEveryTenantSlo) {
+  const MultiTenantResult res =
+      RunTenants(DrillConfig(chaos::DrillKind::kNone, 42, 0.5));
+  ASSERT_TRUE(res.status.ok()) << res.failure;
+  EXPECT_TRUE(res.AllSlosPass());
+  for (const TenantResult& t : res.tenants) {
+    EXPECT_TRUE(t.slo_pass) << t.name;
+    EXPECT_EQ(t.verify_failures, 0u) << t.name;
+    EXPECT_GT(t.accesses, 0u) << t.name;
+  }
+}
+
+// --- drill replay + oracle ---------------------------------------------------
+
+class DrillReplay : public ::testing::TestWithParam<chaos::DrillKind> {};
+
+TEST_P(DrillReplay, ReplaysByteIdenticallyAndPassesOracleAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 42ull, 137ull, 901ull}) {
+    const MultiTenantConfig cfg = DrillConfig(GetParam(), seed);
+    const MultiTenantResult first = RunTenants(cfg);
+    ASSERT_TRUE(first.status.ok())
+        << "seed " << seed << ": " << first.failure;
+    const MultiTenantResult second = RunTenants(cfg);
+    ASSERT_TRUE(second.status.ok())
+        << "seed " << seed << ": " << second.failure;
+    // Byte-identical replay: every count and latency statistic matches.
+    EXPECT_EQ(first.Fingerprint(), second.Fingerprint()) << "seed " << seed;
+    EXPECT_EQ(first.total_accesses, second.total_accesses);
+    EXPECT_EQ(first.finished, second.finished);
+    // The oracle swept every tenant (status.ok above) and no tenant saw a
+    // stale read mid-run.
+    for (const TenantResult& t : first.tenants)
+      EXPECT_EQ(t.verify_failures, 0u) << t.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDrills, DrillReplay,
+    ::testing::Values(chaos::DrillKind::kNoisyNeighbor,
+                      chaos::DrillKind::kStoreFailover,
+                      chaos::DrillKind::kRollingUpgrade,
+                      chaos::DrillKind::kQuotaCut),
+    [](const ::testing::TestParamInfo<chaos::DrillKind>& info) {
+      return std::string(chaos::DrillName(info.param));
+    });
+
+TEST(DrillPresets, EveryDrillHasANameAndDistinctFingerprint) {
+  // Different drills over the same seed produce different runs (except
+  // rolling upgrade vs none may only differ in store internals, so compare
+  // against the baseline where an observable difference is guaranteed).
+  const std::uint64_t seed = 42;
+  const MultiTenantResult base =
+      RunTenants(DrillConfig(chaos::DrillKind::kNone, seed));
+  const MultiTenantResult noisy =
+      RunTenants(DrillConfig(chaos::DrillKind::kNoisyNeighbor, seed));
+  const MultiTenantResult cut =
+      RunTenants(DrillConfig(chaos::DrillKind::kQuotaCut, seed));
+  EXPECT_NE(base.Fingerprint(), noisy.Fingerprint());
+  EXPECT_NE(base.Fingerprint(), cut.Fingerprint());
+  EXPECT_NE(noisy.Fingerprint(), cut.Fingerprint());
+}
+
+TEST(DrillPresets, QuotaCutForcesEvictionsOnTheCutTenant) {
+  const std::uint64_t seed = 42;
+  const MultiTenantResult base =
+      RunTenants(DrillConfig(chaos::DrillKind::kNone, seed, 0.5));
+  const MultiTenantResult cut =
+      RunTenants(DrillConfig(chaos::DrillKind::kQuotaCut, seed, 0.5));
+  ASSERT_TRUE(cut.status.ok()) << cut.failure;
+  // The cut tenant (the antagonist, per MakeDrill) refaults more after
+  // losing DRAM.
+  const TenantResult* ant_base = FindRole(base, TenantRole::kAntagonist);
+  const TenantResult* ant_cut = FindRole(cut, TenantRole::kAntagonist);
+  ASSERT_NE(ant_base, nullptr);
+  ASSERT_NE(ant_cut, nullptr);
+  EXPECT_GT(ant_cut->faults, ant_base->faults);
+}
+
+}  // namespace
+}  // namespace fluid::wl

@@ -1,0 +1,232 @@
+// YCSB workload-family generators: per-mix op-ratio convergence, key-
+// frequency shape of the zipfian and latest distributions, deterministic
+// replay, scan-length bounds, and footprint accounting.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workloads/ycsb.h"
+
+namespace fluid::wl {
+namespace {
+
+YcsbOpStats StatsFor(YcsbMix mix, std::uint64_t ops, std::uint64_t seed = 7) {
+  YcsbConfig cfg;
+  cfg.mix = mix;
+  cfg.records = 1024;
+  cfg.ops = ops;
+  YcsbOpStats st;
+  GenerateYcsb(cfg, seed, &st);
+  return st;
+}
+
+double Frac(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+// --- op-ratio convergence ----------------------------------------------------
+
+TEST(YcsbMixes, AUpdateHeavyConvergesToFiftyFifty) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kA, 100'000);
+  const std::uint64_t total = st.reads + st.updates;
+  EXPECT_EQ(total, 100'000u);
+  EXPECT_NEAR(Frac(st.reads, total), 0.50, 0.01);
+  EXPECT_NEAR(Frac(st.updates, total), 0.50, 0.01);
+  EXPECT_EQ(st.inserts + st.scans + st.rmws, 0u);
+}
+
+TEST(YcsbMixes, BReadMostlyConvergesToNinetyFiveFive) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kB, 100'000);
+  EXPECT_NEAR(Frac(st.reads, 100'000), 0.95, 0.01);
+  EXPECT_NEAR(Frac(st.updates, 100'000), 0.05, 0.01);
+}
+
+TEST(YcsbMixes, CIsReadOnly) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kC, 50'000);
+  EXPECT_EQ(st.reads, 50'000u);
+  EXPECT_EQ(st.updates + st.inserts + st.scans + st.rmws, 0u);
+}
+
+TEST(YcsbMixes, DReadLatestConvergesToNinetyFiveFive) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kD, 100'000);
+  EXPECT_NEAR(Frac(st.reads, 100'000), 0.95, 0.01);
+  EXPECT_NEAR(Frac(st.inserts, 100'000), 0.05, 0.01);
+  // Inserts grew the key space (up to the cap).
+  EXPECT_GT(st.final_records, 1024u);
+}
+
+TEST(YcsbMixes, EShortScansConvergesToNinetyFiveFive) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kE, 100'000);
+  EXPECT_NEAR(Frac(st.scans, 100'000), 0.95, 0.01);
+  EXPECT_NEAR(Frac(st.inserts, 100'000), 0.05, 0.01);
+  EXPECT_GT(st.scanned_pages, st.scans);  // scans expand to multiple pages
+}
+
+TEST(YcsbMixes, FReadModifyWriteConvergesToFiftyFifty) {
+  const YcsbOpStats st = StatsFor(YcsbMix::kF, 100'000);
+  EXPECT_NEAR(Frac(st.reads, 100'000), 0.50, 0.01);
+  EXPECT_NEAR(Frac(st.rmws, 100'000), 0.50, 0.01);
+}
+
+TEST(YcsbMixes, RatiosOfEveryMixSumToOne) {
+  for (std::size_t m = 0; m < kYcsbMixCount; ++m) {
+    const YcsbMixRatios r = RatiosOf(static_cast<YcsbMix>(m));
+    EXPECT_NEAR(r.read + r.update + r.insert + r.scan + r.rmw, 1.0, 1e-12)
+        << "mix " << MixName(static_cast<YcsbMix>(m));
+  }
+}
+
+// --- key-frequency shape -----------------------------------------------------
+
+TEST(YcsbKeys, ZipfianRankZeroIsHottest) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kC;
+  cfg.records = 1024;
+  cfg.ops = 100'000;
+  const auto accs = GenerateYcsb(cfg, 11);
+  std::map<std::size_t, std::uint64_t> freq;
+  for (const TraceAccess& a : accs) ++freq[a.page];
+  // Rank 0 is the single hottest key and far above the uniform share.
+  const std::uint64_t hottest =
+      std::max_element(freq.begin(), freq.end(), [](auto& a, auto& b) {
+        return a.second < b.second;
+      })->second;
+  EXPECT_EQ(freq[0], hottest);
+  EXPECT_GT(freq[0], 10 * (100'000 / 1024));
+  // Zipf theta 0.99: the hottest ~10% of ranks draw the majority of
+  // accesses.
+  std::uint64_t head = 0;
+  for (std::size_t k = 0; k < 102; ++k) head += freq.count(k) ? freq[k] : 0;
+  EXPECT_GT(Frac(head, accs.size()), 0.5);
+}
+
+TEST(YcsbKeys, LatestDistributionFavorsRecentOffsets) {
+  LatestGenerator latest(1024);
+  Rng rng{3};
+  std::map<std::uint64_t, std::uint64_t> freq;
+  for (int i = 0; i < 100'000; ++i) ++freq[latest.NextOffset(rng, 1000)];
+  // Offset 0 (the newest record) is the hottest; small offsets dominate.
+  const std::uint64_t hottest =
+      std::max_element(freq.begin(), freq.end(), [](auto& a, auto& b) {
+        return a.second < b.second;
+      })->second;
+  EXPECT_EQ(freq[0], hottest);
+  std::uint64_t recent = 0;
+  for (std::uint64_t off = 0; off < 100; ++off)
+    recent += freq.count(off) ? freq[off] : 0;
+  EXPECT_GT(Frac(recent, 100'000), 0.5);
+  // Every offset stays within the live range.
+  EXPECT_LT(freq.rbegin()->first, 1000u);
+}
+
+TEST(YcsbKeys, DMixReadsConcentrateOnNewestKeys) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kD;
+  cfg.records = 512;
+  cfg.ops = 50'000;
+  YcsbOpStats st;
+  const auto accs = GenerateYcsb(cfg, 5, &st);
+  // Reads (non-inserts) should cluster near the top of the key space:
+  // the mean read key sits well above the midpoint.
+  double sum = 0;
+  std::uint64_t reads = 0;
+  for (const TraceAccess& a : accs)
+    if (!a.is_write) {
+      sum += static_cast<double>(a.page);
+      ++reads;
+    }
+  ASSERT_GT(reads, 0u);
+  EXPECT_GT(sum / static_cast<double>(reads),
+            static_cast<double>(st.final_records) * 0.5);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(YcsbDeterminism, SameSeedReplaysByteIdentically) {
+  for (std::size_t m = 0; m < kYcsbMixCount; ++m) {
+    YcsbConfig cfg;
+    cfg.mix = static_cast<YcsbMix>(m);
+    cfg.records = 256;
+    cfg.ops = 20'000;
+    const auto a = GenerateYcsb(cfg, 99);
+    const auto b = GenerateYcsb(cfg, 99);
+    ASSERT_EQ(a.size(), b.size()) << "mix " << MixName(cfg.mix);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].page, b[i].page) << "mix " << MixName(cfg.mix);
+      ASSERT_EQ(a[i].is_write, b[i].is_write) << "mix " << MixName(cfg.mix);
+    }
+  }
+}
+
+TEST(YcsbDeterminism, DifferentSeedsDiverge) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kA;
+  cfg.records = 256;
+  cfg.ops = 1'000;
+  const auto a = GenerateYcsb(cfg, 1);
+  const auto b = GenerateYcsb(cfg, 2);
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i)
+    differ = a[i].page != b[i].page || a[i].is_write != b[i].is_write;
+  EXPECT_TRUE(differ);
+}
+
+// --- scan bounds + footprint -------------------------------------------------
+
+TEST(YcsbScans, RunLengthsRespectMaxScanLen) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kE;
+  cfg.records = 512;
+  cfg.ops = 20'000;
+  cfg.max_scan_len = 7;
+  YcsbOpStats st;
+  GenerateYcsb(cfg, 21, &st);
+  // No single scan exceeds max_scan_len, and with 20k ops the bound is
+  // actually reached. (Adjacent ascending reads in the flat stream can
+  // chain two scans together, so the generator tracks the per-scan max.)
+  EXPECT_EQ(st.max_scan_run, cfg.max_scan_len);
+  // Average scan length lands mid-range (uniform in [1, 7] clipped at the
+  // key-space edge).
+  const double mean_len =
+      Frac(st.scanned_pages, st.scans);
+  EXPECT_GT(mean_len, 2.0);
+  EXPECT_LT(mean_len, 7.0);
+}
+
+TEST(YcsbScans, EveryAccessStaysInsideFootprint) {
+  for (std::size_t m = 0; m < kYcsbMixCount; ++m) {
+    YcsbConfig cfg;
+    cfg.mix = static_cast<YcsbMix>(m);
+    cfg.records = 128;
+    cfg.ops = 30'000;
+    cfg.first_page = 10;
+    const std::size_t fp = YcsbFootprintPages(cfg);
+    YcsbOpStats st;
+    const auto accs = GenerateYcsb(cfg, 17, &st);
+    for (const TraceAccess& a : accs) {
+      ASSERT_GE(a.page, cfg.first_page) << "mix " << MixName(cfg.mix);
+      ASSERT_LT(a.page, fp) << "mix " << MixName(cfg.mix);
+    }
+    ASSERT_LE(cfg.first_page + st.final_records, fp)
+        << "mix " << MixName(cfg.mix);
+  }
+}
+
+TEST(YcsbScans, InsertsStopGrowingAtMaxRecords) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kD;
+  cfg.records = 64;
+  cfg.ops = 50'000;
+  cfg.max_records = 80;
+  YcsbOpStats st;
+  GenerateYcsb(cfg, 13, &st);
+  EXPECT_EQ(st.final_records, 80u);
+  EXPECT_EQ(YcsbFootprintPages(cfg), 80u);
+}
+
+}  // namespace
+}  // namespace fluid::wl
