@@ -64,6 +64,14 @@ void PrintCell(const Cell& cell) {
               cell.result.status.ok() ? "" : "  ORACLE/INVARIANT FAILURE");
   if (!cell.result.status.ok())
     std::printf("    failure: %s\n", cell.result.failure.c_str());
+  if (cell.result.corruptions_detected > 0 || cell.result.wrong_bytes > 0)
+    std::printf("    integrity: detected=%llu repairs=%llu rf_restored=%llu"
+                " wrong_bytes=%llu\n",
+                static_cast<unsigned long long>(
+                    cell.result.corruptions_detected),
+                static_cast<unsigned long long>(cell.result.repairs),
+                static_cast<unsigned long long>(cell.result.rf_restored),
+                static_cast<unsigned long long>(cell.result.wrong_bytes));
   std::printf("    %-12s %-10s %8s %9s %9s %11s %11s  %s\n", "tenant",
               "role", "faults", "p50(us)", "p99(us)", "slo_p50", "slo_p99",
               "verdict");
@@ -127,6 +135,20 @@ bool WriteJson(const std::vector<Cell>& cells, bool baseline_ok,
       std::fprintf(f, ", \"replay_identical\": %d",
                    c.replay_identical ? 1 : 0);
       std::fprintf(f, ", \"oracle_ok\": %d", c.result.status.ok() ? 1 : 0);
+      // Integrity verdict (cell-level, repeated per tenant row): how much
+      // corruption the drill planted/caught, and the zero-wrong-bytes bit
+      // the bit_rot/store_failover drills are judged on.
+      std::fprintf(f, ", \"corruptions_detected\": %llu",
+                   static_cast<unsigned long long>(
+                       c.result.corruptions_detected));
+      std::fprintf(f, ", \"repairs\": %llu",
+                   static_cast<unsigned long long>(c.result.repairs));
+      std::fprintf(f, ", \"rf_restored\": %llu",
+                   static_cast<unsigned long long>(c.result.rf_restored));
+      std::fprintf(f, ", \"wrong_bytes\": %llu",
+                   static_cast<unsigned long long>(c.result.wrong_bytes));
+      std::fprintf(f, ", \"zero_wrong_bytes\": %d",
+                   c.result.wrong_bytes == 0 ? 1 : 0);
       std::fprintf(f, "}");
     }
   }
@@ -162,9 +184,9 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> tenant_counts =
       smoke ? std::vector<std::size_t>{3} : std::vector<std::size_t>{3, 5};
   const chaos::DrillKind kAllDrills[] = {
-      chaos::DrillKind::kNone, chaos::DrillKind::kNoisyNeighbor,
-      chaos::DrillKind::kStoreFailover, chaos::DrillKind::kRollingUpgrade,
-      chaos::DrillKind::kQuotaCut};
+      chaos::DrillKind::kNone,           chaos::DrillKind::kNoisyNeighbor,
+      chaos::DrillKind::kStoreFailover,  chaos::DrillKind::kRollingUpgrade,
+      chaos::DrillKind::kQuotaCut,       chaos::DrillKind::kBitRot};
 
   std::vector<Cell> cells;
   bool baseline_ok = true;
@@ -177,6 +199,9 @@ int main(int argc, char** argv) {
         PrintCell(cell);
         if (!cell.replay_identical) all_replays_ok = false;
         if (!cell.result.status.ok()) oracle_ok = false;
+        // Corrupt bytes reaching any VM fail the sweep no matter the drill:
+        // detection is only a win if it is total.
+        if (cell.result.wrong_bytes != 0) oracle_ok = false;
         if (cell.drill == chaos::DrillKind::kNone &&
             !cell.result.AllSlosPass())
           baseline_ok = false;

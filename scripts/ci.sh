@@ -7,9 +7,12 @@
 # 4. same build, `perf`-labeled suites             (sharded fault engine)
 # 5. same build, `writeback`-labeled suites        (eviction/writeback pipeline)
 # 6. same build, `ycsb`-labeled suites             (workload family + drills)
-# 7. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
-# 8. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills)
-# 9. traced fig3 smoke + Chrome-trace validation   (observability exporters)
+# 7. same build, `integrity`-labeled suites        (envelopes + decoder fuzz)
+# 8. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
+# 9. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills,
+#    including the bit_rot scrub-and-repair smoke: every corruption detected
+#    and repaired, zero wrong bytes reach any VM)
+# 10. traced fig3 smoke + Chrome-trace validation  (observability exporters)
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -45,6 +48,9 @@ ctest --preset writeback-sanitize -j "${jobs}"
 
 echo "==> ycsb: workload family + multi-tenant drill sweep (label: ycsb)"
 ctest --preset ycsb-sanitize -j "${jobs}"
+
+echo "==> integrity: envelope/scrub/repair + decoder-fuzz sweep (label: integrity)"
+ctest --preset integrity-sanitize -j "${jobs}"
 
 echo "==> fault engine: scaling smoke + pipeline trace (exits nonzero if the JSON report fails)"
 (cd build && ./bench/scale_monitor --smoke --trace)
@@ -83,7 +89,7 @@ with open("build/BENCH_ycsb_tenants.json") as f:
     bench = json.load(f)
 rows = bench.get("rows", [])
 drills = {"none", "noisy_neighbor", "store_failover", "rolling_upgrade",
-          "quota_cut"}
+          "quota_cut", "bit_rot"}
 seen = {r.get("drill") for r in rows}
 missing = drills - seen
 if missing:
@@ -107,9 +113,33 @@ if bad:
     sys.exit(f"no-drill baseline violates SLOs for: {bad}")
 if not bench.get("baseline_all_slos_pass"):
     sys.exit("baseline_all_slos_pass flag is unset")
+
+# Scrub-and-repair smoke: the drills that arm silent corruption must report
+# the full detect -> repair pipeline, and NO drill may leak wrong bytes.
+for r in rows:
+    for key in ("corruptions_detected", "repairs", "rf_restored",
+                "wrong_bytes", "zero_wrong_bytes"):
+        if key not in r:
+            sys.exit(f"drill {r['drill']} cell {r.get('tenant')} missing {key}")
+    if r["wrong_bytes"] != 0 or not r["zero_wrong_bytes"]:
+        sys.exit(f"drill {r['drill']}: corrupt bytes reached a VM "
+                 f"(wrong_bytes={r['wrong_bytes']})")
+for d in ("store_failover", "bit_rot"):
+    cells = [r for r in rows if r["drill"] == d]
+    if not any(r["corruptions_detected"] > 0 for r in cells):
+        sys.exit(f"drill {d} planted corruption but detected none")
+bit_rot = [r for r in rows if r["drill"] == "bit_rot"]
+if not any(r["repairs"] > 0 for r in bit_rot):
+    sys.exit("bit_rot drill repaired nothing — anti-entropy is not running")
+if not any(r["rf_restored"] > 0 for r in bit_rot):
+    sys.exit("bit_rot drill never re-replicated the dead replica's pages")
+
 n_pass = sum(1 for r in rows if r["slo_pass"])
+n_det = sum(r["corruptions_detected"] for r in rows
+            if r["tenant"] == rows[0]["tenant"])
 print(f"    ycsb OK: {len(rows)} tenant/drill cells, {len(seen)} drills, "
-      f"{n_pass} SLO passes, baseline green")
+      f"{n_pass} SLO passes, baseline green, "
+      f"{n_det} corruptions detected, zero wrong bytes")
 PY
 
 echo "==> observability: traced pmbench smoke (exits nonzero on emission error)"

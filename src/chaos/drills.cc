@@ -40,6 +40,14 @@ Drill MakeDrill(DrillKind kind, std::uint64_t seed,
       d.options.resilient_store = true;
       d.options.attach_spill = true;
       d.options.spill_capacity = 2048;
+      // Plus wire rot: ~1% of reads come back bit-flipped. With a single
+      // store there is no replica to repair from, so only TRANSIENT read
+      // corruption is planted (no torn writes — those poison the stored
+      // bytes permanently); the envelope turns each flip into DataLoss and
+      // the resilient retry re-reads clean bytes.
+      d.options.integrity_store = true;
+      d.options.scrub_budget = 4;
+      d.options.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.01;
       break;
     }
 
@@ -61,6 +69,30 @@ Drill MakeDrill(DrillKind kind, std::uint64_t seed,
       d.quota_cut_tenant = 1;
       d.quota_cut_pages = 16;
       d.quota_cut_at = horizon / 3;
+      break;
+
+    case DrillKind::kBitRot:
+      // Silent corruption across the board: ~1% of replica reads serve
+      // bit-flipped payloads, 0.5% of writes tear mid-page, 0.5% of reads
+      // on a recovering replica serve the previous version. Three
+      // integrity-enveloped replicas (quorum 2) detect every event as
+      // DataLoss, fail over to a clean peer, and dirty the rotten copy for
+      // anti-entropy repair; a budgeted scrubber hunts rot on cold pages.
+      d.options.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.01;
+      d.options.plan.at(FaultSite::kStoreTornWrite).fail_p = 0.005;
+      d.options.plan.at(FaultSite::kStoreStaleGet).fail_p = 0.005;
+      d.replicas = 3;
+      d.options.integrity_store = true;
+      d.options.scrub_budget = 8;
+      d.options.resilient_store = true;
+      // Replica death: replica 2 goes down hard mid-run for a quarter of
+      // the horizon — past the declare-dead threshold, so the store must
+      // re-replicate its full key set from the surviving peers and restore
+      // RF by the time the outage ends.
+      d.options.replica_dead_after = horizon / 8;
+      d.replica_down_index = 2;
+      d.replica_down_at = horizon / 2;
+      d.replica_down_for = horizon / 4;
       break;
   }
   return d;

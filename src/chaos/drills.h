@@ -21,6 +21,14 @@
 //                     (SetRegionQuota), simulating a regional capacity
 //                     give-back; its pages must spill to the store without
 //                     disturbing the other tenants' correctness.
+//   bit rot           silent corruption: ~1% of store reads serve
+//                     bit-flipped payloads, a smaller share of writes are
+//                     torn, recovering replicas occasionally serve stale
+//                     versions — and one replica dies outright mid-run.
+//                     Integrity envelopes + scrubbing + anti-entropy repair
+//                     + re-replication must turn every event into
+//                     detection-and-repair: zero wrong bytes may reach any
+//                     tenant's VM.
 //
 // Every drill replays byte-identically from (kind, seed, geometry): all
 // randomness flows from ScenarioOptions::seed and the plan.
@@ -39,9 +47,10 @@ enum class DrillKind : std::uint8_t {
   kStoreFailover,
   kRollingUpgrade,
   kQuotaCut,
+  kBitRot,
 };
 
-inline constexpr std::size_t kDrillCount = 5;  // including the baseline
+inline constexpr std::size_t kDrillCount = 6;  // including the baseline
 
 constexpr std::string_view DrillName(DrillKind d) noexcept {
   switch (d) {
@@ -50,6 +59,7 @@ constexpr std::string_view DrillName(DrillKind d) noexcept {
     case DrillKind::kStoreFailover: return "store_failover";
     case DrillKind::kRollingUpgrade: return "rolling_upgrade";
     case DrillKind::kQuotaCut: return "quota_cut";
+    case DrillKind::kBitRot: return "bit_rot";
   }
   return "?";
 }
@@ -74,6 +84,19 @@ struct Drill {
   std::size_t quota_cut_tenant = 0;
   std::size_t quota_cut_pages = 0;
   SimTime quota_cut_at = 0;
+
+  // kBitRot: replicated store (quorum 2) with per-replica integrity
+  // envelopes; the silent-corruption sites are armed in options.plan and
+  // options.{integrity_store, scrub_budget, replica_dead_after} configure
+  // detection/repair. Independently of the rolling-upgrade windows, one
+  // replica is taken down HARD at `replica_down_at` for `replica_down_for`
+  // — longer than replica_dead_after, so the store declares it dead and
+  // re-replicates its key set. replica_down_for == 0 disables the event.
+  int replicas = 0;  // replicated store when > 0 (kRollingUpgrade uses
+                     // upgrade_replicas; either enables the same path)
+  std::size_t replica_down_index = 0;
+  SimTime replica_down_at = 0;
+  SimDuration replica_down_for = 0;
 };
 
 // Build the canonical preset for `kind`. `total_accesses` sizes the

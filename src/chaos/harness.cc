@@ -60,16 +60,47 @@ Stack::Stack(const ScenarioOptions& opt)
       for (std::uint64_t i = 0; i < 3; ++i) {
         kv::LocalStoreConfig lc;
         lc.seed = opt.seed * 3 + i;
-        reps.push_back(std::make_unique<InjectedStore>(
-            std::make_unique<kv::LocalDramStore>(lc), injector));
+        std::unique_ptr<kv::KvStore> rep = std::make_unique<InjectedStore>(
+            std::make_unique<kv::LocalDramStore>(lc), injector);
+        if (opt.integrity_store) {
+          // Per-replica envelopes, wrapped INSIDE ReplicatedStore: each
+          // replica verifies its own copy, so a rotten replica fails loudly
+          // while its peers still serve clean bytes.
+          auto integ = std::make_unique<kv::IntegrityStore>(std::move(rep),
+                                                            opt.scrub_budget);
+          integrity.push_back(integ.get());
+          rep = std::move(integ);
+        }
+        reps.push_back(std::move(rep));
       }
       auto rs =
           std::make_unique<kv::ReplicatedStore>(std::move(reps),
                                                 /*write_quorum=*/2);
       replicated = rs.get();
+      if (opt.replica_dead_after > 0)
+        replicated->set_dead_after(opt.replica_dead_after);
+      // Detection feeds repair: a corruption found by replica i (read path
+      // or scrubber) dirties (i, key) so the next anti-entropy pass
+      // re-copies the page from a clean peer.
+      for (std::size_t i = 0; i < integrity.size(); ++i) {
+        kv::ReplicatedStore* r = replicated;
+        integrity[i]->set_on_corruption([r, i](PartitionId p, kv::Key k) {
+          r->ReportCorruption(i, p, k);
+        });
+      }
       store = std::move(rs);
       break;
     }
+  }
+
+  if (opt.integrity_store && integrity.empty()) {
+    // Single-store kinds: one envelope layer over the injected store. With
+    // no replica to repair from, detections surface as DataLoss and the
+    // monitor quarantines the page instead of serving wrong bytes.
+    auto integ = std::make_unique<kv::IntegrityStore>(std::move(store),
+                                                      opt.scrub_budget);
+    integrity.push_back(integ.get());
+    store = std::move(integ);
   }
 
   if (opt.resilient_store) {
@@ -97,6 +128,29 @@ Stack::Stack(const ScenarioOptions& opt)
     // observed run replays byte-identically to an unobserved one.
     obs.Enable();
     monitor->AttachObservability(obs);
+    if (!integrity.empty()) {
+      obs.metrics().Gauge("integrity.corruptions_detected", [this] {
+        return double(IntegrityTotals().corruptions_detected);
+      });
+      obs.metrics().Gauge("integrity.scrub_pages", [this] {
+        return double(IntegrityTotals().scrub_pages);
+      });
+      obs.metrics().Gauge("integrity.scrub_corruptions", [this] {
+        return double(IntegrityTotals().scrub_corruptions);
+      });
+    }
+    if (replicated != nullptr) {
+      const kv::ReplicatedStore* rs = replicated;
+      obs.metrics().Gauge("replicated.repairs", [rs] {
+        return double(rs->replication_stats().repairs);
+      });
+      obs.metrics().Gauge("replicated.corruption_failovers", [rs] {
+        return double(rs->replication_stats().corruption_failovers);
+      });
+      obs.metrics().Gauge("replicated.rf_restored", [rs] {
+        return double(rs->replication_stats().rf_restored);
+      });
+    }
   }
   if (opt.attach_spill) {
     // Local swap device for graceful degradation; it shares the scenario
@@ -110,6 +164,20 @@ Stack::Stack(const ScenarioOptions& opt)
   region = std::make_unique<mem::UffdRegion>(/*pid=*/100, kBase, opt.pages,
                                              pool);
   rid = monitor->RegisterRegion(*region, kPartition);
+}
+
+kv::IntegrityStoreStats Stack::IntegrityTotals() const {
+  kv::IntegrityStoreStats t;
+  for (const kv::IntegrityStore* s : integrity) {
+    const kv::IntegrityStoreStats& is = s->integrity_stats();
+    t.envelopes_written += is.envelopes_written;
+    t.verified_reads += is.verified_reads;
+    t.corruptions_detected += is.corruptions_detected;
+    t.unverified_reads += is.unverified_reads;
+    t.scrub_pages += is.scrub_pages;
+    t.scrub_corruptions += is.scrub_corruptions;
+  }
+  return t;
 }
 
 StackView Stack::View() {

@@ -32,6 +32,7 @@
 #include "chaos/oracle.h"
 #include "fluidmem/monitor.h"
 #include "kvstore/decorators.h"
+#include "kvstore/integrity.h"
 #include "kvstore/kvstore.h"
 #include "kvstore/ramcloud.h"
 #include "kvstore/resilient.h"
@@ -72,6 +73,20 @@ struct ScenarioOptions {
   // kRamcloud only: backup servers + coordinator-driven crash recovery.
   int ramcloud_backups = 0;
   bool ramcloud_auto_recover = false;
+
+  // --- integrity layer (all opt-in: legacy scenarios replay bit-identically) --
+  // Wrap the store (each replica, for kReplicated) in an IntegrityStore:
+  // every page gets a checksummed envelope on Put, verified on Get, so
+  // injected silent corruption (kStoreCorruptBits / kStoreTornWrite /
+  // kStoreStaleGet) surfaces as Status::DataLoss instead of wrong bytes.
+  bool integrity_store = false;
+  // Pages the IntegrityStore scrubber re-verifies per PumpMaintenance
+  // tick, off the fault path (0 = scrubbing disabled).
+  std::size_t scrub_budget = 0;
+  // kReplicated only: declare a replica permanently dead once it has been
+  // failing continuously for this long; its full key set is then
+  // re-replicated from healthy peers (0 = detection off).
+  SimDuration replica_dead_after = 0;
 
   // --- sharded fault engine (opt-in: 1 = the serial monitor, so every
   // legacy scenario/seed replays bit-identically) ------------------------------
@@ -135,6 +150,11 @@ struct Stack {
   kv::ReplicatedStore* replicated = nullptr;  // set when store == kReplicated
   kv::RamcloudStore* ramcloud = nullptr;      // set when store == kRamcloud
   kv::ResilientStore* resilient = nullptr;    // set when opt.resilient_store
+  // Integrity decorators (opt.integrity_store): the single store's, or one
+  // per replica under kReplicated.
+  std::vector<kv::IntegrityStore*> integrity;
+  // Sum of per-store integrity stats (detections, scrub work).
+  kv::IntegrityStoreStats IntegrityTotals() const;
   std::unique_ptr<blk::BlockDevice> spill_device;  // set when opt.attach_spill
   std::unique_ptr<swap::SwapSpace> spill;
   std::unique_ptr<mem::UffdRegion> region;

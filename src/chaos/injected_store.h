@@ -12,13 +12,18 @@
 // logical op.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/fault_hook.h"
+#include "common/rng.h"
+#include "kvstore/key_codec.h"
 #include "kvstore/kvstore.h"
 
 namespace fluid::chaos {
@@ -38,28 +43,62 @@ class InjectedStore final : public kv::KvStore {
   kv::OpResult Put(PartitionId partition, kv::Key key,
                    std::span<const std::byte, kPageSize> value,
                    SimTime now) override {
-    auto [fail, stall] = Consult(FaultSite::kStorePut, now);
-    if (fail) return Unavailable(now);
-    return Stalled(inner_->Put(partition, key, value, now), stall);
+    const FaultDecision fd = Consult(FaultSite::kStorePut, now);
+    if (fd.fail) return Unavailable(now);
+    // Torn-write consultation happens at verb entry on EVERY Put so the
+    // per-site call sequence is uniform across plans; the effect — the
+    // tail of the payload silently lost, as if the store crashed mid-write
+    // — only applies when the site fires. The op still reports success:
+    // that is what makes the fault silent.
+    const FaultDecision torn = Consult(FaultSite::kStoreTornWrite, now);
+    std::array<std::byte, kPageSize> scratch;
+    std::span<const std::byte, kPageSize> payload = value;
+    if (torn.fail) {
+      payload = Tear(value, scratch, torn.entropy);
+      ++torn_writes_;
+    }
+    kv::OpResult r = Stalled(inner_->Put(partition, key, payload, now),
+                             fd.extra_latency + torn.extra_latency);
+    if (r.status.ok()) RecordWrite(partition, key, payload);
+    return r;
   }
   kv::OpResult Get(PartitionId partition, kv::Key key,
                    std::span<std::byte, kPageSize> out, SimTime now) override {
-    auto [fail, stall] = Consult(FaultSite::kStoreGet, now);
-    if (fail) return Unavailable(now);
-    return Stalled(inner_->Get(partition, key, out, now), stall);
+    const FaultDecision fd = Consult(FaultSite::kStoreGet, now);
+    if (fd.fail) return Unavailable(now);
+    // Corruption consultations at verb entry, fixed order, every Get.
+    const FaultDecision stale = Consult(FaultSite::kStoreStaleGet, now);
+    const FaultDecision rot = Consult(FaultSite::kStoreCorruptBits, now);
+    kv::OpResult r = Stalled(
+        inner_->Get(partition, key, out, now),
+        fd.extra_latency + stale.extra_latency + rot.extra_latency);
+    if (r.status.ok()) {
+      // Stale first, bit rot second: a wire flip can hit an old version.
+      if (stale.fail && ServeStale(partition, key, out)) ++stale_serves_;
+      if (rot.fail) {
+        FlipBits(out, rot.entropy);
+        ++bit_corruptions_;
+      }
+    }
+    return r;
   }
   kv::OpResult Remove(PartitionId partition, kv::Key key, SimTime now) override {
-    auto [fail, stall] = Consult(FaultSite::kStoreRemove, now);
-    if (fail) return Unavailable(now);
-    return Stalled(inner_->Remove(partition, key, now), stall);
+    const FaultDecision fd = Consult(FaultSite::kStoreRemove, now);
+    if (fd.fail) return Unavailable(now);
+    kv::OpResult r = Stalled(inner_->Remove(partition, key, now),
+                             fd.extra_latency);
+    if (r.status.ok() && !history_.empty())
+      history_.erase(kv::FoldPartition(key, partition));
+    return r;
   }
   kv::OpResult MultiPut(PartitionId partition,
                         std::span<kv::KvWrite> writes,
                         SimTime now) override {
     // Whole-batch consultation first (legacy site, one call per MultiPut —
     // the call-counter sequence legacy plans replay against is unchanged).
-    auto [fail, stall] = Consult(FaultSite::kStoreMultiPut, now);
-    if (fail) {
+    const FaultDecision bd = Consult(FaultSite::kStoreMultiPut, now);
+    SimDuration stall = bd.extra_latency;
+    if (bd.fail) {
       for (kv::KvWrite& w : writes)
         w.status = Status::Unavailable("injected store failure");
       return Unavailable(now);
@@ -68,27 +107,48 @@ class InjectedStore final : public kv::KvStore {
     // reaching the inner store, the surviving subset goes down as its own
     // (smaller) batch. Plans that never arm kStoreMultiPutKey take the
     // fast path below and the inner store sees the original span.
+    // Each element also draws a torn-write decision (new site, independent
+    // counter — legacy replay untouched): torn elements persist a
+    // truncated payload yet still report per-object success.
     std::vector<std::size_t> accepted;
+    std::vector<FaultDecision> torn(writes.size());
+    std::vector<std::array<std::byte, kPageSize>> scratch;
     bool any_rejected = false;
+    bool any_torn = false;
     for (std::size_t i = 0; i < writes.size(); ++i) {
-      auto [kfail, kstall] = Consult(FaultSite::kStoreMultiPutKey, now);
-      stall += kstall;
-      if (kfail) {
+      const FaultDecision kd = Consult(FaultSite::kStoreMultiPutKey, now);
+      torn[i] = Consult(FaultSite::kStoreTornWrite, now);
+      stall += kd.extra_latency + torn[i].extra_latency;
+      if (kd.fail) {
         writes[i].status = Status::Unavailable("injected object failure");
+        torn[i].fail = false;  // never reaches the store; nothing to tear
         any_rejected = true;
       } else {
         accepted.push_back(i);
+        any_torn |= torn[i].fail;
       }
     }
-    if (!any_rejected)
-      return Stalled(inner_->MultiPut(partition, writes, now), stall);
+    if (any_torn) scratch.resize(writes.size());
+    auto payload_of = [&](std::size_t i) {
+      if (!torn[i].fail) return writes[i].value;
+      ++torn_writes_;
+      return Tear(writes[i].value, scratch[i], torn[i].entropy);
+    };
+    if (!any_rejected && !any_torn) {
+      kv::OpResult r = Stalled(inner_->MultiPut(partition, writes, now), stall);
+      RecordBatch(partition, writes);
+      return r;
+    }
     if (accepted.empty()) return Unavailable(now);
     std::vector<kv::KvWrite> sub;
     sub.reserve(accepted.size());
-    for (std::size_t i : accepted) sub.push_back(writes[i]);
+    for (std::size_t i : accepted)
+      sub.push_back(kv::KvWrite{writes[i].key, payload_of(i), writes[i].status});
     kv::OpResult r = inner_->MultiPut(partition, sub, now);
     for (std::size_t j = 0; j < accepted.size(); ++j)
       writes[accepted[j]].status = sub[j].status;
+    RecordBatch(partition, sub);
+    if (!any_rejected) return Stalled(r, stall);
     // At least one object was dropped on the floor: the batch as a whole
     // reports the injected failure even if the survivors landed.
     r.status = Status::Unavailable("injected object failure");
@@ -96,9 +156,19 @@ class InjectedStore final : public kv::KvStore {
     return Stalled(r, stall);
   }
   kv::OpResult DropPartition(PartitionId partition, SimTime now) override {
-    auto [fail, stall] = Consult(FaultSite::kStoreDropPartition, now);
-    if (fail) return Unavailable(now);
-    return Stalled(inner_->DropPartition(partition, now), stall);
+    const FaultDecision fd = Consult(FaultSite::kStoreDropPartition, now);
+    if (fd.fail) return Unavailable(now);
+    kv::OpResult r = Stalled(inner_->DropPartition(partition, now),
+                             fd.extra_latency);
+    if (r.status.ok() && !history_.empty()) {
+      for (auto it = history_.begin(); it != history_.end();) {
+        if (kv::KeyPartition(it->first) == partition)
+          it = history_.erase(it);
+        else
+          ++it;
+      }
+    }
+    return r;
   }
   // Maintenance is control-plane work (coordinator recovery, anti-entropy
   // repair driving); the repair's own data ops go through the injected
@@ -111,13 +181,75 @@ class InjectedStore final : public kv::KvStore {
   bool Contains(PartitionId partition, kv::Key key) const override {
     return inner_->Contains(partition, key);
   }
+  void ForEachKey(
+      const std::function<void(PartitionId, kv::Key)>& fn) const override {
+    inner_->ForEachKey(fn);
+  }
   std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
   std::size_t BytesStored() const override { return inner_->BytesStored(); }
   const kv::StoreStats& stats() const override { return inner_->stats(); }
 
+  // Corruption telemetry: how many silent faults were actually planted.
+  // Tests use these to assert detection counts match injection counts.
+  std::uint64_t bit_corruptions() const noexcept { return bit_corruptions_; }
+  std::uint64_t torn_writes() const noexcept { return torn_writes_; }
+  std::uint64_t stale_serves() const noexcept { return stale_serves_; }
+
  private:
   FaultDecision Consult(FaultSite site, SimTime now) {
     return hook_ ? hook_->OnOp(site, now) : FaultDecision{};
+  }
+  bool StaleArmed() const {
+    return hook_ && hook_->SiteArmed(FaultSite::kStoreStaleGet);
+  }
+  // Version history backing kStoreStaleGet: the previous committed payload
+  // per key. Maintained only when the site is armed, so legacy plans pay
+  // nothing; reads NEVER touch the inner store here (an extra inner Get
+  // would advance the store's cost RNG and break legacy replay).
+  void RecordWrite(PartitionId partition, kv::Key key,
+                   std::span<const std::byte, kPageSize> value) {
+    if (!StaleArmed()) return;
+    Versions& v = history_[kv::FoldPartition(key, partition)];
+    if (v.has_last) {
+      v.prev = v.last;
+      v.has_prev = true;
+    }
+    std::memcpy(v.last.data(), value.data(), kPageSize);
+    v.has_last = true;
+  }
+  void RecordBatch(PartitionId partition, std::span<const kv::KvWrite> writes) {
+    if (!StaleArmed()) return;
+    for (const kv::KvWrite& w : writes)
+      if (w.status.ok()) RecordWrite(partition, w.key, w.value);
+  }
+  bool ServeStale(PartitionId partition, kv::Key key,
+                  std::span<std::byte, kPageSize> out) {
+    auto it = history_.find(kv::FoldPartition(key, partition));
+    if (it == history_.end() || !it->second.has_prev) return false;
+    std::memcpy(out.data(), it->second.prev.data(), kPageSize);
+    return true;
+  }
+  // Flip three deterministic bits of the payload. Three, not one: a single
+  // flip is the easy case for any checksum; three spread across the page
+  // exercises independence of the CRC from flip position.
+  static void FlipBits(std::span<std::byte, kPageSize> out,
+                       std::uint64_t entropy) {
+    std::uint64_t e = entropy;
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t bit = SplitMix64(e) % (kPageSize * 8);
+      out[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    }
+  }
+  // Torn write: the tail beyond a deterministic cut point is lost (reads
+  // back as zeros, as a freshly-allocated slab would). At least one byte
+  // survives and at least one byte is torn.
+  static std::span<const std::byte, kPageSize> Tear(
+      std::span<const std::byte, kPageSize> value,
+      std::array<std::byte, kPageSize>& scratch, std::uint64_t entropy) {
+    const std::size_t cut = 1 + entropy % (kPageSize - 1);
+    std::memcpy(scratch.data(), value.data(), cut);
+    std::memset(scratch.data() + cut, 0, kPageSize - cut);
+    return std::span<const std::byte, kPageSize>{scratch};
   }
   static kv::OpResult Unavailable(SimTime now) {
     // Same timeout-ish cost model as FlakyStore: the caller learns of the
@@ -130,8 +262,19 @@ class InjectedStore final : public kv::KvStore {
     return r;
   }
 
+  struct Versions {
+    std::array<std::byte, kPageSize> last{};
+    std::array<std::byte, kPageSize> prev{};
+    bool has_last = false;
+    bool has_prev = false;
+  };
+
   std::unique_ptr<kv::KvStore> inner_;
   FaultHookPtr hook_;
+  std::map<kv::Key, Versions> history_;  // folded key -> versions (stale site)
+  std::uint64_t bit_corruptions_ = 0;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t stale_serves_ = 0;
 };
 
 }  // namespace fluid::chaos

@@ -78,20 +78,34 @@ class FaultInjector final : public FaultHook {
       d.extra_latency = f.stall;
       ++stats_.stalls[idx];
     }
-    if (d.fail) ++stats_.fails[idx];
+    if (d.fail) {
+      ++stats_.fails[idx];
+      // Corruption details (bit index, torn-write cut point) come from the
+      // same pure-hash family as the decision, under a distinct salt, so a
+      // replay reproduces not just THAT a page rotted but HOW.
+      d.entropy = HashBits(site, call, /*salt=*/0x456e7472ULL);
+    }
     return d;
   }
 
+  bool SiteArmed(FaultSite site) const override {
+    return plan_.site[static_cast<std::size_t>(site)].active();
+  }
+
  private:
-  // Deterministic uniform in [0,1) from (seed, site, step, call, salt).
-  double HashToUnit(FaultSite site, std::uint32_t call,
-                    std::uint64_t salt) const noexcept {
+  // Deterministic 64-bit hash of (seed, site, step, call, salt).
+  std::uint64_t HashBits(FaultSite site, std::uint32_t call,
+                         std::uint64_t salt) const noexcept {
     std::uint64_t s = plan_.seed ^ salt;
     s ^= SplitMix64(s) + static_cast<std::uint64_t>(site);
     s ^= SplitMix64(s) + step_;
     s ^= SplitMix64(s) + call;
-    const std::uint64_t bits = SplitMix64(s);
-    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+    return SplitMix64(s);
+  }
+  // Deterministic uniform in [0,1) from (seed, site, step, call, salt).
+  double HashToUnit(FaultSite site, std::uint32_t call,
+                    std::uint64_t salt) const noexcept {
+    return static_cast<double>(HashBits(site, call, salt) >> 11) * 0x1.0p-53;
   }
 
   FaultPlan plan_;

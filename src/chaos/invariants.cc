@@ -131,6 +131,30 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
         break;
     }
   });
+  if (violation) return violation;
+
+  // 5. Quarantine consistency: a poisoned page (integrity verification
+  // failed on every copy) must belong to an active region, stay tracked
+  // kRemote, and never be present in the VM's page table — quarantine
+  // exists precisely so corrupt bytes cannot be cached in DRAM.
+  m.ForEachPoisoned([&](fm::RegionId rid, VirtAddr addr) {
+    if (violation) return;
+    const fm::PageRef p{rid, addr};
+    mem::UffdRegion* region = m.region_of(rid);
+    if (region == nullptr) {
+      violation = "poisoned " + Describe(p) + " for an inactive region";
+      return;
+    }
+    if (region->IsPresent(addr)) {
+      violation = "poisoned " + Describe(p) + " is present in the VM";
+      return;
+    }
+    if (tracker.Seen(p) &&
+        tracker.LocationOf(p) != fm::PageLocation::kRemote)
+      violation = "poisoned " + Describe(p) + " tracked as " +
+                  LocationName(tracker.LocationOf(p)) +
+                  " (quarantined pages must stay remote)";
+  });
   return violation;
 }
 

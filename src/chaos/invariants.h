@@ -43,7 +43,10 @@ struct StackView {
 //   3. LRU residency — every LRU entry is tracked kResident and actually
 //      present in its region's page table;
 //   4. tracker sweep — every tracked page's location is backed by the
-//      structure that location names (LRU / write list / store).
+//      structure that location names (LRU / write list / store);
+//   5. quarantine consistency — every poisoned page belongs to an active
+//      region, is tracked kRemote, and is absent from the VM's page table
+//      (corrupt bytes are never cached in DRAM).
 std::optional<std::string> CheckInvariants(const StackView& view);
 
 }  // namespace fluid::chaos

@@ -37,8 +37,18 @@ enum class FaultSite : std::uint8_t {
   // the batch as a transport op. Appended last: per-site call counters are
   // independent, so legacy (seed, plan) pairs replay unchanged.
   kStoreMultiPutKey,
+  // Silent-corruption sites (PR 8). Unlike the sites above, a `fail`
+  // decision here does not make the op report an error: the op SUCCEEDS
+  // but the data is wrong — a bit flip on the read path, a torn
+  // (truncated) write, or a stale previous version served for a read.
+  // Only an integrity layer (kvstore/integrity.h) can catch these.
+  // Appended last, one at a time: per-site call counters are independent,
+  // so legacy (seed, plan) pairs replay unchanged.
+  kStoreCorruptBits,  // Get returns payload with deterministic bit flips
+  kStoreTornWrite,    // Put/MultiPut element persists a truncated payload
+  kStoreStaleGet,     // Get is served the previous committed version
 };
-inline constexpr std::size_t kFaultSiteCount = 11;
+inline constexpr std::size_t kFaultSiteCount = 14;
 
 constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
   switch (s) {
@@ -53,6 +63,9 @@ constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
     case FaultSite::kStoreRemove: return "store.remove";
     case FaultSite::kStoreDropPartition: return "store.drop";
     case FaultSite::kStoreMultiPutKey: return "store.multiput.key";
+    case FaultSite::kStoreCorruptBits: return "store.corrupt.bits";
+    case FaultSite::kStoreTornWrite: return "store.torn.write";
+    case FaultSite::kStoreStaleGet: return "store.stale.get";
   }
   return "?";
 }
@@ -60,6 +73,11 @@ constexpr std::string_view FaultSiteName(FaultSite s) noexcept {
 struct FaultDecision {
   bool fail = false;             // operation fails (kUnavailable / dropped ack)
   SimDuration extra_latency = 0; // added service/queue delay (stall, spike)
+  // Deterministic randomness accompanying a `fail` decision at the
+  // corruption sites: selects which bits flip / where a torn write is cut.
+  // Derived from the same (seed, site, step, call) tuple as the decision
+  // itself, so corrupted bytes are bit-replayable too. Zero elsewhere.
+  std::uint64_t entropy = 0;
 };
 
 class FaultHook {
@@ -70,6 +88,13 @@ class FaultHook {
   // caller's virtual time where known, 0 where the layer has no clock of
   // its own (transport RTT sampling).
   virtual FaultDecision OnOp(FaultSite site, SimTime now) = 0;
+
+  // True when the plan behind the hook could ever fire `site`. Lets a
+  // decorator skip bookkeeping (e.g. the previous-version map backing
+  // kStoreStaleGet) that only exists to serve an armed site. Consultation
+  // via OnOp still happens unconditionally so call-counter sequences stay
+  // uniform across plans.
+  virtual bool SiteArmed(FaultSite /*site*/) const { return false; }
 };
 
 // Layers hold the hook by shared_ptr: transports are copied by value into

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kFailedPrecondition,
   kDeadlineExceeded,
   kInternal,
+  kDataLoss,  // stored bytes failed integrity verification (checksum mismatch)
 };
 
 [[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode c) noexcept {
@@ -37,6 +38,7 @@ enum class StatusCode : int {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -56,6 +58,7 @@ class [[nodiscard]] Status {
   static Status FailedPrecondition(std::string m = "") { return {StatusCode::kFailedPrecondition, std::move(m)}; }
   static Status DeadlineExceeded(std::string m = "") { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
   static Status Internal(std::string m = "") { return {StatusCode::kInternal, std::move(m)}; }
+  static Status DataLoss(std::string m = "") { return {StatusCode::kDataLoss, std::move(m)}; }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }

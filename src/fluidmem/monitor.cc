@@ -132,6 +132,11 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
   // (the VM is gone; its memory is discarded). Survivors never move.
   (void)lru_.ExtractRegion(id);
   tracker_.ForgetRegion(id);
+  // Quarantine entries die with the region (shutdown discards the pages;
+  // migration hands the partition to a monitor with its own quarantine).
+  for (auto it = poisoned_.begin(); it != poisoned_.end();) {
+    it = (it->first == id) ? poisoned_.erase(it) : std::next(it);
+  }
   if (drop_partition)
     (void)store_->DropPartition(regions_[id].partition, now);
   regions_[id].active = false;
@@ -763,6 +768,14 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     case PageLocation::kRemote: {
       span.SetKind(obs::FaultKind::kRemote);
       const kv::Key key = KeyFor(p);
+      // Quarantined page: its last read failed envelope verification on
+      // every available copy. Fail fast with DataLoss — never wrong
+      // bytes, never a wasted store round trip; the background re-probe
+      // lifts the quarantine once anti-entropy repaired the store copy.
+      if (!poisoned_.empty() && poisoned_.contains({id, p.addr})) {
+        ++stats_.poisoned_fast_fails;
+        return Fail(Status::DataLoss("page quarantined pending repair"), t);
+      }
       // Bounded per-fault stall during an outage: with the read breaker
       // open (and local spill attached, i.e. degradation is on), refuse
       // the read immediately instead of paying the dead store's timeout.
@@ -809,12 +822,19 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
           NoteStoreRead(rd);
           if (!rd.status.ok()) {
             // kNotFound on a believed-remote page means the store lost data
-            // it acknowledged; anything else (outage, injected fault) is
-            // transient — the page stays kRemote and the fault can retry.
-            if (rd.status.code() == StatusCode::kNotFound)
+            // it acknowledged; kDataLoss means no copy passed envelope
+            // verification — quarantine the page so later faults fail fast
+            // instead of re-reading rot; anything else (outage, injected
+            // fault) is transient — the page stays kRemote and the fault
+            // can retry.
+            if (rd.status.code() == StatusCode::kNotFound) {
               ++stats_.lost_page_errors;
-            else
+            } else if (rd.status.code() == StatusCode::kDataLoss) {
+              ++stats_.poisoned_page_errors;
+              poisoned_.insert({id, p.addr});
+            } else {
               ++stats_.transient_read_errors;
+            }
             span.Advance(obs::Stage::kRemoteRead, rd.complete_at);
             return Fail(rd.status, rd.complete_at);
           }
@@ -894,10 +914,14 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
             ri.partition, key, std::span<std::byte, kPageSize>{scratch_}, t);
         NoteStoreRead(rd);
         if (!rd.status.ok()) {
-          if (rd.status.code() == StatusCode::kNotFound)
+          if (rd.status.code() == StatusCode::kNotFound) {
             ++stats_.lost_page_errors;
-          else
+          } else if (rd.status.code() == StatusCode::kDataLoss) {
+            ++stats_.poisoned_page_errors;
+            poisoned_.insert({id, p.addr});
+          } else {
             ++stats_.transient_read_errors;
+          }
           span.Advance(obs::Stage::kRemoteRead, rd.complete_at);
           return Fail(rd.status, rd.complete_at);
         }
@@ -1107,10 +1131,35 @@ SimTime Monitor::SetRegionQuota(RegionId id, std::size_t pages,
   return t;
 }
 
+void Monitor::ProbePoisoned(SimTime now) {
+  if (poisoned_.empty()) return;
+  // Bounded work per tick, deterministic order (the set is sorted). A
+  // clean read means anti-entropy repaired the store copy: lift the
+  // quarantine. The probe's bytes are discarded — the page stays kRemote
+  // and the next fault re-reads (and re-verifies) the repaired copy.
+  std::size_t budget = 4;
+  for (auto it = poisoned_.begin(); it != poisoned_.end() && budget > 0;
+       --budget) {
+    const auto [id, addr] = *it;
+    kv::OpResult rd =
+        store_->Get(regions_[id].partition, kv::MakePageKey(addr),
+                    std::span<std::byte, kPageSize>{scratch_}, now);
+    if (rd.status.ok()) {
+      it = poisoned_.erase(it);
+      ++stats_.poison_cleared;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Monitor::PumpBackground(SimTime now) {
   // Store-side maintenance first (RAMCloud coordinator recovery, replica
   // anti-entropy repair) — recovering the backend may unblock the flush.
   now = std::max(now, store_->PumpMaintenance(now));
+  // Quarantine re-probes ride behind the repair pass: pages it fixed
+  // return to service on the same tick.
+  ProbePoisoned(now);
   // Pipelined mode: any evictions still queued from the last dequeue batch
   // run now, so a quiescent monitor converges to the same steady state as
   // the serial one (LRU at budget, dirty pages on the write list).
@@ -1156,6 +1205,12 @@ void Monitor::AttachObservability(obs::Observability& obs) {
   g("monitor.spill_refaults", [&st] { return double(st.spill_refaults); });
   g("monitor.breaker_fast_fails",
     [&st] { return double(st.breaker_fast_fails); });
+  g("monitor.poisoned_page_errors",
+    [&st] { return double(st.poisoned_page_errors); });
+  g("monitor.poisoned_fast_fails",
+    [&st] { return double(st.poisoned_fast_fails); });
+  g("monitor.poison_cleared", [&st] { return double(st.poison_cleared); });
+  g("monitor.poisoned_pages", [this] { return double(poisoned_.size()); });
   g("monitor.resident_pages", [this] { return double(lru_.size()); });
   g("monitor.write_list_pending",
     [this] { return double(write_list_.PendingCount()); });

@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -172,6 +174,16 @@ struct MonitorStats {
   // Remote reads refused without a network charge while the breaker was
   // open (bounded per-fault stall during an outage).
   std::uint64_t breaker_fast_fails = 0;
+  // --- page integrity (PR 8) -----------------------------------------------------
+  // A believed-remote read came back kDataLoss: every available copy failed
+  // envelope verification. The page is quarantined (poisoned) — the fault
+  // fails loudly, wrong bytes are never installed.
+  std::uint64_t poisoned_page_errors = 0;
+  // Faults on an already-quarantined page refused without a store read.
+  std::uint64_t poisoned_fast_fails = 0;
+  // Quarantined pages whose re-probe read verified clean again (anti-entropy
+  // repaired the store copy); the page returns to normal kRemote service.
+  std::uint64_t poison_cleared = 0;
 };
 
 class Monitor {
@@ -278,6 +290,20 @@ class Monitor {
   }
   const kv::HealthTracker& write_health() const noexcept {
     return write_health_;
+  }
+
+  // --- page quarantine (integrity) ------------------------------------------------
+
+  // Pages whose last remote read failed envelope verification on every
+  // available copy. Faults on them fail fast with DataLoss until a
+  // PumpBackground re-probe observes a clean read (post-repair).
+  std::size_t PoisonedPageCount() const noexcept { return poisoned_.size(); }
+  bool IsPoisoned(RegionId id, VirtAddr addr) const {
+    return poisoned_.contains({id, PageAlignDown(addr)});
+  }
+  void ForEachPoisoned(
+      const std::function<void(RegionId, VirtAddr)>& fn) const {
+    for (const auto& [id, addr] : poisoned_) fn(id, addr);
   }
 
   // --- observability --------------------------------------------------------------
@@ -394,6 +420,10 @@ class Monitor {
   void NoteStoreRead(const kv::OpResult& r);
   void NoteStoreWrite(const kv::OpResult& r);
 
+  // Re-probe a bounded number of quarantined pages per background tick;
+  // a clean verified read lifts the quarantine.
+  void ProbePoisoned(SimTime now);
+
   // Fault-ahead: fetch up to prefetch_depth pages following `addr` that
   // currently live in the store; runs on the background thread.
   void PrefetchAfter(RegionId id, VirtAddr addr, SimTime now);
@@ -418,6 +448,9 @@ class Monitor {
   std::unordered_map<PageRef, blk::BlockNum, PageRefHash> spill_slots_;
   kv::HealthTracker read_health_;
   kv::HealthTracker write_health_;
+
+  // Quarantined pages, ordered so re-probes walk deterministically.
+  std::set<std::pair<RegionId, VirtAddr>> poisoned_;
 
   Timeline monitor_;  // the epoll/fault-handling thread (serial mode)
   Timeline flusher_;  // the writeback thread

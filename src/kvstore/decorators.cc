@@ -135,6 +135,15 @@ bool CompressedStore::Contains(PartitionId partition, Key key) const {
   return map_.contains(FoldPartition(key, partition));
 }
 
+void CompressedStore::ForEachKey(
+    const std::function<void(PartitionId, Key)>& fn) const {
+  std::vector<Key> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, obj] : map_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (Key k : keys) fn(KeyPartition(k), KeyAddr(k));
+}
+
 // --- ReplicatedStore --------------------------------------------------------------------
 
 ReplicatedStore::ReplicatedStore(
@@ -147,14 +156,23 @@ ReplicatedStore::ReplicatedStore(
               HealthTracker{HealthConfig{/*trip_after=*/1,
                                          /*open_duration=*/probe_interval}}),
       dirty_(replicas_.size()),
-      dirty_partitions_(replicas_.size()) {}
+      dirty_partitions_(replicas_.size()),
+      down_since_(replicas_.size(), 0),
+      dead_marked_(replicas_.size(), false) {}
 
 void ReplicatedStore::NoteResult(std::size_t i, const OpResult& r) {
   if (r.status.ok() || r.status.code() == StatusCode::kNotFound) {
     // The replica answered; it is alive (kNotFound is a healthy answer).
     health_[i].RecordSuccess(r.complete_at);
-  } else if (r.status.code() == StatusCode::kUnavailable) {
+    down_since_[i] = 0;
+  } else if (r.status.code() == StatusCode::kUnavailable ||
+             r.status.code() == StatusCode::kDataLoss) {
+    // kDataLoss counts against the breaker too: a replica serving rotten
+    // bytes is as unfit to serve reads as one timing out — previously only
+    // op-status failures fed the failure detector, so a corrupting replica
+    // kept absorbing primary reads forever.
     health_[i].RecordFailure(r.complete_at);
+    if (down_since_[i] == 0) down_since_[i] = r.complete_at;
   }
 }
 
@@ -230,6 +248,7 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
   SimTime t = now;
   OpResult last;
   bool attempted = false;
+  bool saw_data_loss = false;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (ReplicaDirty(i, partition, key)) {
       // The replica missed a write for this key while down: its copy is
@@ -253,6 +272,15 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
     // kNotFound on the primary is authoritative only if the replica is
     // healthy; on kUnavailable, keep trying.
     if (last.status.code() == StatusCode::kNotFound) return last;
+    if (last.status.code() == StatusCode::kDataLoss) {
+      // The replica's copy failed envelope verification: its bytes are
+      // rotten, not just late. Dirty the key so reads never route back to
+      // this copy and anti-entropy rewrites it from a clean peer, then
+      // fail over exactly as for a loud read failure.
+      NoteWrite(i, partition, key, false);
+      ++rstats_.corruption_failovers;
+      saw_data_loss = true;
+    }
     t = last.complete_at;
   }
   if (!attempted) {
@@ -262,7 +290,21 @@ OpResult ReplicatedStore::Get(PartitionId partition, Key key,
     last.issue_done = now;
     last.complete_at = now;
   }
+  if (saw_data_loss && !last.status.ok() &&
+      last.status.code() != StatusCode::kNotFound) {
+    // No replica produced an intact copy and at least one is corrupt:
+    // report DataLoss, not Unavailable — the caller must quarantine, not
+    // merely retry, and must never see the rotten bytes as success.
+    last.status = Status::DataLoss("no replica holds an intact copy");
+  }
   return last;
+}
+
+void ReplicatedStore::ReportCorruption(std::size_t replica,
+                                       PartitionId partition, Key key) {
+  if (replica >= replicas_.size()) return;
+  NoteWrite(replica, partition, key, false);
+  ++rstats_.corruptions_reported;
 }
 
 OpResult ReplicatedStore::Remove(PartitionId partition, Key key,
@@ -365,7 +407,32 @@ OpResult ReplicatedStore::DropPartition(PartitionId partition, SimTime now) {
 SimTime ReplicatedStore::PumpMaintenance(SimTime now) {
   SimTime t = now;
   for (auto& r : replicas_) t = std::max(t, r->PumpMaintenance(t));
+  if (dead_after_ > 0) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!dead_marked_[i] && down_since_[i] > 0 &&
+          t >= down_since_[i] + dead_after_)
+        DeclareDead(i);
+    }
+  }
   return RepairPass(t);
+}
+
+void ReplicatedStore::DeclareDead(std::size_t i) {
+  // Enumerate the full key set from the first peer that is neither dead
+  // nor mid-re-replication, and mark every object missing from the dead
+  // replica. Anti-entropy then re-replicates the set from clean copies,
+  // restoring the replication factor once the slot starts answering
+  // again (recovered host or rebuilt replacement). Enumeration is a
+  // metadata walk on the healthy peer — no data ops, no injection.
+  for (std::size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == i || dead_marked_[j]) continue;
+    replicas_[j]->ForEachKey([&](PartitionId partition, Key key) {
+      NoteWrite(i, partition, key, false);
+    });
+    dead_marked_[i] = true;
+    ++rstats_.dead_declared;
+    return;
+  }
 }
 
 SimTime ReplicatedStore::RepairPass(SimTime now, std::size_t budget) {
@@ -416,6 +483,12 @@ SimTime ReplicatedStore::RepairPass(SimTime now, std::size_t budget) {
             not_found = true;  // authoritative: the object was removed
             break;
           }
+          if (src.status.code() == StatusCode::kDataLoss) {
+            // The would-be source is rotten too: dirty it so it stops
+            // being offered as a source and gets repaired itself.
+            NoteWrite(j, partition, key, false);
+            ++rstats_.corruption_failovers;
+          }
         }
         --budget;
         if (!src.status.ok() && !not_found) {
@@ -437,6 +510,7 @@ SimTime ReplicatedStore::RepairPass(SimTime now, std::size_t budget) {
           break;
         }
         ++rstats_.repairs;
+        if (dead_marked_[i]) ++rstats_.rf_restored;
         kit = keys.erase(kit);
       }
       if (keys.empty())
@@ -444,6 +518,9 @@ SimTime ReplicatedStore::RepairPass(SimTime now, std::size_t budget) {
       else
         ++pit;
     }
+    // Dead replica fully resynced: back to full replication factor.
+    if (dead_marked_[i] && dirty_[i].empty() && dirty_partitions_[i].empty())
+      dead_marked_[i] = false;
   }
   return t;
 }

@@ -66,6 +66,8 @@ class CompressedStore final : public KvStore {
   OpResult DropPartition(PartitionId partition, SimTime now) override;
 
   bool Contains(PartitionId partition, Key key) const override;
+  void ForEachKey(
+      const std::function<void(PartitionId, Key)>& fn) const override;
   std::size_t ObjectCount() const override { return map_.size(); }
   // Logical bytes stored (pages * 4 KB), as other stores report.
   std::size_t BytesStored() const override { return map_.size() * kPageSize; }
@@ -164,6 +166,10 @@ class FlakyStore final : public KvStore {
   bool Contains(PartitionId partition, Key key) const override {
     return !down_ && inner_->Contains(partition, key);
   }
+  void ForEachKey(
+      const std::function<void(PartitionId, Key)>& fn) const override {
+    if (!down_) inner_->ForEachKey(fn);
+  }
   std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
   std::size_t BytesStored() const override { return inner_->BytesStored(); }
   const StoreStats& stats() const override { return inner_->stats(); }
@@ -204,6 +210,14 @@ struct ReplicatedStoreStats {
   std::uint64_t stale_skips = 0;
   std::uint64_t repairs = 0;          // objects resynced by anti-entropy
   std::uint64_t repair_failures = 0;  // repair ops that failed
+  // Integrity plumbing (PR 8): reads that failed envelope verification on
+  // a replica and failed over, corruptions reported out-of-band (scrubber),
+  // replicas declared permanently dead, and objects re-replicated onto a
+  // dead-declared replica to restore replication factor.
+  std::uint64_t corruption_failovers = 0;
+  std::uint64_t corruptions_reported = 0;
+  std::uint64_t dead_declared = 0;
+  std::uint64_t rf_restored = 0;
 };
 
 // Mirrors writes to every replica; a write succeeds if at least
@@ -264,9 +278,25 @@ class ReplicatedStore final : public KvStore {
   std::size_t DirtyObjectCount() const;
   bool ReplicaDirty(std::size_t i, PartitionId partition, Key key) const;
 
+  // Out-of-band corruption report (the per-replica IntegrityStore scrubber
+  // calls this through the harness): dirty the key on that replica so
+  // reads skip its rotten copy and anti-entropy rewrites it.
+  void ReportCorruption(std::size_t replica, PartitionId partition, Key key);
+
+  // Permanent-death detection: when a replica has been failing for longer
+  // than `d`, declare it dead and mark every key the cluster holds as
+  // missing from it, so anti-entropy re-replicates the full set once the
+  // replacement (same slot, recovered or rebuilt) starts answering.
+  // 0 (the default) disables detection — legacy behavior.
+  void set_dead_after(SimDuration d) noexcept { dead_after_ = d; }
+  bool replica_dead_marked(std::size_t i) const noexcept {
+    return dead_marked_[i];
+  }
+
  private:
   void NoteResult(std::size_t i, const OpResult& r);
   void NoteWrite(std::size_t i, PartitionId partition, Key key, bool ok);
+  void DeclareDead(std::size_t i);
 
   std::vector<std::unique_ptr<KvStore>> replicas_;
   int write_quorum_;
@@ -278,6 +308,12 @@ class ReplicatedStore final : public KvStore {
   // them deterministically.
   std::vector<std::map<PartitionId, std::set<Key>>> dirty_;
   std::vector<std::set<PartitionId>> dirty_partitions_;
+  // Permanent-death bookkeeping: when each replica's current failure run
+  // started (0 = healthy), and whether it has been declared dead and is
+  // awaiting full re-replication.
+  SimDuration dead_after_ = 0;
+  std::vector<SimTime> down_since_;
+  std::vector<bool> dead_marked_;
   ReplicatedStoreStats rstats_;
   mutable StoreStats agg_stats_;
 };

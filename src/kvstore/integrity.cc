@@ -1,0 +1,170 @@
+#include "kvstore/integrity.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/compress.h"
+#include "common/rng.h"
+
+namespace fluid::kv {
+
+std::uint32_t IntegrityStore::Checksum(
+    Key folded, std::uint64_t version,
+    std::span<const std::byte, kPageSize> payload) {
+  // CRC-32C over the payload, folded with a 64->32 hash of (key, version).
+  // The fold binds the checksum to its address and write generation — a
+  // page swapped with another key's bytes, or a stale previous version,
+  // fails verification even though its payload CRC is self-consistent.
+  const std::uint32_t body = Crc32c(payload);
+  std::uint64_t s = folded ^ (version * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t h = SplitMix64(s);
+  return body ^ static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void IntegrityStore::RecordEnvelope(
+    PartitionId partition, Key key,
+    std::span<const std::byte, kPageSize> value) {
+  const Key folded = FoldPartition(key, partition);
+  Envelope& e = envelopes_[folded];
+  ++e.version;
+  e.crc = Checksum(folded, e.version, value);
+  ++istats_.envelopes_written;
+}
+
+Status IntegrityStore::Verify(PartitionId partition, Key key,
+                              std::span<const std::byte, kPageSize> out,
+                              bool scrub) {
+  const Key folded = FoldPartition(key, partition);
+  auto it = envelopes_.find(folded);
+  if (it == envelopes_.end()) {
+    // Key written before this decorator was attached (or behind its back):
+    // nothing to verify against. Pass through, but count it — a healthy
+    // stack should see zero of these.
+    ++istats_.unverified_reads;
+    return Status::Ok();
+  }
+  if (Checksum(folded, it->second.version, out) == it->second.crc) {
+    if (scrub)
+      ++istats_.scrub_pages;
+    else
+      ++istats_.verified_reads;
+    return Status::Ok();
+  }
+  if (scrub) {
+    ++istats_.scrub_pages;
+    ++istats_.scrub_corruptions;
+  } else {
+    ++istats_.corruptions_detected;
+  }
+  if (on_corruption_) on_corruption_(partition, key);
+  return Status::DataLoss("page envelope checksum mismatch");
+}
+
+OpResult IntegrityStore::Put(PartitionId partition, Key key,
+                             std::span<const std::byte, kPageSize> value,
+                             SimTime now) {
+  OpResult r = inner_->Put(partition, key, value, now);
+  if (r.status.ok()) RecordEnvelope(partition, key, value);
+  return r;
+}
+
+OpResult IntegrityStore::Get(PartitionId partition, Key key,
+                             std::span<std::byte, kPageSize> out,
+                             SimTime now) {
+  OpResult r = inner_->Get(partition, key, out, now);
+  if (!r.status.ok()) return r;
+  Status v = Verify(partition, key, out, /*scrub=*/false);
+  if (!v.ok()) r.status = std::move(v);
+  return r;
+}
+
+OpResult IntegrityStore::Remove(PartitionId partition, Key key, SimTime now) {
+  OpResult r = inner_->Remove(partition, key, now);
+  if (r.status.ok()) envelopes_.erase(FoldPartition(key, partition));
+  return r;
+}
+
+OpResult IntegrityStore::MultiPut(PartitionId partition,
+                                  std::span<KvWrite> writes, SimTime now) {
+  OpResult r = inner_->MultiPut(partition, writes, now);
+  // Per-object statuses are authoritative: envelope every write that
+  // landed, even inside a batch that failed as a whole.
+  for (const KvWrite& w : writes)
+    if (w.status.ok()) RecordEnvelope(partition, w.key, w.value);
+  return r;
+}
+
+OpResult IntegrityStore::MultiGet(PartitionId partition,
+                                  std::span<KvRead> reads, SimTime now) {
+  OpResult r = inner_->MultiGet(partition, reads, now);
+  bool any_loss = false;
+  for (KvRead& rd : reads) {
+    if (!rd.status.ok()) continue;
+    Status v = Verify(partition, rd.key, rd.out, /*scrub=*/false);
+    if (!v.ok()) {
+      rd.status = std::move(v);
+      any_loss = true;
+    }
+  }
+  // The batch itself still completed as a transport op; per-object status
+  // carries the corruption. But if the batch claimed blanket success AND
+  // every object rotted, the aggregate must not read as clean.
+  if (any_loss && r.status.ok()) {
+    bool all_bad = true;
+    for (const KvRead& rd : reads)
+      if (rd.status.ok()) all_bad = false;
+    if (all_bad) r.status = Status::DataLoss("all objects failed verification");
+  }
+  return r;
+}
+
+OpResult IntegrityStore::DropPartition(PartitionId partition, SimTime now) {
+  OpResult r = inner_->DropPartition(partition, now);
+  if (r.status.ok()) {
+    for (auto it = envelopes_.begin(); it != envelopes_.end();) {
+      if (KeyPartition(it->first) == partition)
+        it = envelopes_.erase(it);
+      else
+        ++it;
+    }
+  }
+  return r;
+}
+
+SimTime IntegrityStore::PumpMaintenance(SimTime now) {
+  SimTime t = inner_->PumpMaintenance(now);
+  if (scrub_budget_ == 0 || envelopes_.empty()) return t;
+  // One budgeted slice of the full-store scrub: resume at the cursor,
+  // re-read and re-verify pages in key order, wrap at the end. The reads
+  // go through the inner store's data path on purpose — scrubbing through
+  // the same path the monitor reads from is what lets it catch rot
+  // wherever it crept in.
+  std::array<std::byte, kPageSize> page;
+  auto it = scrub_cursor_valid_ ? envelopes_.upper_bound(scrub_cursor_)
+                                : envelopes_.begin();
+  for (std::size_t n = 0; n < scrub_budget_; ++n) {
+    if (it == envelopes_.end()) {
+      it = envelopes_.begin();
+      if (!scrub_cursor_valid_ || n > 0) break;  // wrapped: slice done
+    }
+    const Key folded = it->first;
+    const PartitionId partition = KeyPartition(folded);
+    const Key key = KeyAddr(folded);
+    OpResult r = inner_->Get(partition, key,
+                             std::span<std::byte, kPageSize>{page}, t);
+    t = r.complete_at;
+    if (r.status.code() == StatusCode::kNotFound) {
+      // Orphaned envelope (store lost the page behind our back).
+      it = envelopes_.erase(it);
+      scrub_cursor_valid_ = false;
+      continue;
+    }
+    if (r.status.ok()) (void)Verify(partition, key, page, /*scrub=*/true);
+    scrub_cursor_ = folded;
+    scrub_cursor_valid_ = true;
+    ++it;
+  }
+  return t;
+}
+
+}  // namespace fluid::kv

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <string_view>
 
@@ -128,6 +129,14 @@ class KvStore {
   // here; the default is a no-op. Returns the time the caller's clock
   // should advance to (>= now).
   virtual SimTime PumpMaintenance(SimTime now) { return now; }
+
+  // Enumerate every (partition, key) currently stored, in a deterministic
+  // order. Control-plane metadata walk (re-replication after a replica
+  // death, scrub planning) — never a data op, never injected. Stores that
+  // cannot enumerate (or decorators with nothing of their own) keep the
+  // default no-op.
+  virtual void ForEachKey(
+      const std::function<void(PartitionId, Key)>& /*fn*/) const {}
 
   virtual bool Contains(PartitionId partition, Key key) const = 0;
   virtual std::size_t ObjectCount() const = 0;

@@ -6,6 +6,7 @@
 // copy; timing comes from the local "transport" (function call + memcpy).
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <string_view>
 #include <unordered_map>
@@ -86,6 +87,16 @@ class LocalDramStore final : public KvStore {
 
   bool Contains(PartitionId partition, Key key) const override {
     return map_.contains(FoldPartition(key, partition));
+  }
+  void ForEachKey(
+      const std::function<void(PartitionId, Key)>& fn) const override {
+    // Sorted walk: map_ iteration order is hash-dependent, and callers
+    // (re-replication) need a deterministic enumeration for replay.
+    std::vector<Key> keys;
+    keys.reserve(map_.size());
+    for (const auto& [k, v] : map_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (Key k : keys) fn(KeyPartition(k), KeyAddr(k));
   }
   std::size_t ObjectCount() const override { return map_.size(); }
   std::size_t BytesStored() const override { return map_.size() * kPageSize; }

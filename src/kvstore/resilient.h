@@ -86,6 +86,10 @@ class ResilientStore final : public KvStore {
   bool Contains(PartitionId partition, Key key) const override {
     return inner_->Contains(partition, key);
   }
+  void ForEachKey(
+      const std::function<void(PartitionId, Key)>& fn) const override {
+    inner_->ForEachKey(fn);
+  }
   std::size_t ObjectCount() const override { return inner_->ObjectCount(); }
   std::size_t BytesStored() const override { return inner_->BytesStored(); }
   const StoreStats& stats() const override { return stats_; }
@@ -103,7 +107,12 @@ class ResilientStore final : public KvStore {
   SimDuration BackoffDelay(int attempt);
   void ObserveRead(SimTime start, const OpResult& r);
   static bool Retryable(const Status& s) {
-    return s.code() == StatusCode::kUnavailable;
+    // kDataLoss is retryable by design: a corruption-failed read dirties
+    // the rotten replica below (ReplicatedStore), so the retry routes to a
+    // clean copy — or, on a single store, re-reads past a transient wire
+    // flip. Only if every attempt rots does DataLoss surface to the caller.
+    return s.code() == StatusCode::kUnavailable ||
+           s.code() == StatusCode::kDataLoss;
   }
 
   std::unique_ptr<KvStore> inner_;

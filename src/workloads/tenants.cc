@@ -12,6 +12,7 @@
 #include "chaos/oracle.h"
 #include "fluidmem/fault_engine.h"
 #include "kvstore/decorators.h"
+#include "kvstore/integrity.h"
 #include "kvstore/local_store.h"
 #include "kvstore/resilient.h"
 #include "mem/frame_pool.h"
@@ -141,12 +142,19 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
   auto injector = std::make_shared<chaos::FaultInjector>(opt.plan);
 
   std::unique_ptr<kv::KvStore> store;
-  std::vector<kv::FlakyStore*> flaky;  // rolling-upgrade replicas
-  if (cfg.drill.upgrade_replicas > 0) {
+  std::vector<kv::FlakyStore*> flaky;  // replica-down script targets
+  std::vector<kv::IntegrityStore*> integrity;
+  kv::ReplicatedStore* replicated = nullptr;
+  const int replicas = cfg.drill.replicas > 0 ? cfg.drill.replicas
+                                              : cfg.drill.upgrade_replicas;
+  if (replicas > 0) {
     // Replicated store whose replicas each sit behind a FlakyStore, so the
-    // upgrade script can take them down one at a time with FailUntil.
+    // drill script can take them down with FailUntil (staggered upgrade
+    // windows, or the bit-rot drill's hard replica death). With integrity
+    // on, each replica additionally verifies its own envelopes, outermost:
+    // Integrity(Flaky(Injected(LocalDram))).
     std::vector<std::unique_ptr<kv::KvStore>> reps;
-    for (int i = 0; i < cfg.drill.upgrade_replicas; ++i) {
+    for (int i = 0; i < replicas; ++i) {
       kv::LocalStoreConfig lc;
       lc.seed = opt.seed * 5 + static_cast<std::uint64_t>(i);
       auto f = std::make_unique<kv::FlakyStore>(
@@ -154,15 +162,39 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
               std::make_unique<kv::LocalDramStore>(lc), injector),
           /*seed=*/opt.seed ^ (0xf1a6ULL + i));
       flaky.push_back(f.get());
-      reps.push_back(std::move(f));
+      std::unique_ptr<kv::KvStore> rep = std::move(f);
+      if (opt.integrity_store) {
+        auto integ = std::make_unique<kv::IntegrityStore>(std::move(rep),
+                                                          opt.scrub_budget);
+        integrity.push_back(integ.get());
+        rep = std::move(integ);
+      }
+      reps.push_back(std::move(rep));
     }
-    store = std::make_unique<kv::ReplicatedStore>(std::move(reps),
-                                                  /*write_quorum=*/2);
+    auto rs = std::make_unique<kv::ReplicatedStore>(std::move(reps),
+                                                    /*write_quorum=*/2);
+    replicated = rs.get();
+    if (opt.replica_dead_after > 0)
+      replicated->set_dead_after(opt.replica_dead_after);
+    // Detections dirty the rotten replica's copy so anti-entropy repairs it.
+    for (std::size_t i = 0; i < integrity.size(); ++i) {
+      kv::ReplicatedStore* r = replicated;
+      integrity[i]->set_on_corruption([r, i](PartitionId p, kv::Key k) {
+        r->ReportCorruption(i, p, k);
+      });
+    }
+    store = std::move(rs);
   } else {
     kv::LocalStoreConfig lc;
     lc.seed = opt.seed ^ 0x10c41ULL;
     store = std::make_unique<chaos::InjectedStore>(
         std::make_unique<kv::LocalDramStore>(lc), injector);
+    if (opt.integrity_store) {
+      auto integ = std::make_unique<kv::IntegrityStore>(std::move(store),
+                                                        opt.scrub_budget);
+      integrity.push_back(integ.get());
+      store = std::move(integ);
+    }
   }
   if (opt.resilient_store) {
     kv::ResilientStoreConfig rsc;
@@ -235,6 +267,17 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
       ev.until = ev.at + cfg.drill.upgrade_window;
       events.push_back(ev);
     }
+  }
+  if (cfg.drill.replica_down_for > 0 &&
+      cfg.drill.replica_down_index < flaky.size()) {
+    // Hard replica death (bit_rot): one replica fails every op for longer
+    // than the declare-dead threshold, forcing re-replication.
+    DrillEvent ev;
+    ev.what = DrillEvent::What::kReplicaDown;
+    ev.index = cfg.drill.replica_down_index;
+    ev.at = cfg.drill.replica_down_at;
+    ev.until = ev.at + cfg.drill.replica_down_for;
+    events.push_back(ev);
   }
   if (cfg.drill.kind == chaos::DrillKind::kQuotaCut &&
       cfg.drill.quota_cut_tenant < rt.size()) {
@@ -381,6 +424,20 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
   // --- results ---------------------------------------------------------------
   res.finished = now;
   res.merged_latency_count = monitor->fault_engine().MergedLatency().Count();
+  for (const kv::IntegrityStore* s : integrity) {
+    const kv::IntegrityStoreStats& is = s->integrity_stats();
+    res.corruptions_detected +=
+        is.corruptions_detected + is.scrub_corruptions;
+    res.scrub_pages += is.scrub_pages;
+  }
+  if (replicated != nullptr) {
+    const kv::ReplicatedStoreStats& rs = replicated->replication_stats();
+    res.repairs = rs.repairs;
+    res.corruption_failovers = rs.corruption_failovers;
+    res.dead_declared = rs.dead_declared;
+    res.rf_restored = rs.rf_restored;
+  }
+  res.poisoned_fast_fails = monitor->stats().poisoned_fast_fails;
   for (std::size_t t = 0; t < rt.size(); ++t) {
     const TenantSpec& spec = cfg.tenants[t];
     TenantRt& tr = rt[t];
@@ -406,6 +463,7 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
         (spec.slo_p99_us <= 0 || out.p99_us <= spec.slo_p99_us) &&
         out.verify_failures == 0;
     res.blocked_total += tr.blocked;
+    res.wrong_bytes += tr.verify_failures;
     res.tenants.push_back(std::move(out));
   }
   return res;
@@ -419,6 +477,14 @@ std::uint64_t MultiTenantResult::Fingerprint() const {
   Mix64(h, merged_latency_count);
   Mix64(h, span_ok_total);
   Mix64(h, static_cast<std::uint64_t>(finished));
+  Mix64(h, corruptions_detected);
+  Mix64(h, scrub_pages);
+  Mix64(h, repairs);
+  Mix64(h, corruption_failovers);
+  Mix64(h, dead_declared);
+  Mix64(h, rf_restored);
+  Mix64(h, poisoned_fast_fails);
+  Mix64(h, wrong_bytes);
   for (const TenantResult& t : tenants) {
     Mix64(h, t.accesses);
     Mix64(h, t.faults);

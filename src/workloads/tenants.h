@@ -133,6 +133,19 @@ struct MultiTenantResult {
   std::uint64_t merged_latency_count = 0;
   std::uint64_t span_ok_total = 0;
 
+  // Integrity pipeline counters (drills that arm silent corruption:
+  // bit_rot, store_failover). All zero when integrity is off.
+  std::uint64_t corruptions_detected = 0;  // envelope mismatches (read+scrub)
+  std::uint64_t scrub_pages = 0;           // pages re-verified by scrubbers
+  std::uint64_t repairs = 0;               // anti-entropy page re-copies
+  std::uint64_t corruption_failovers = 0;  // reads routed off a rotten replica
+  std::uint64_t dead_declared = 0;         // replicas declared permanently dead
+  std::uint64_t rf_restored = 0;           // pages re-replicated onto them
+  std::uint64_t poisoned_fast_fails = 0;   // monitor quarantine hits
+  // Stamp-mismatch reads summed across tenants: corrupt bytes that REACHED
+  // a VM. The integrity drills' core verdict is that this stays zero.
+  std::uint64_t wrong_bytes = 0;
+
   bool AllSlosPass() const {
     for (const TenantResult& t : tenants)
       if (!t.slo_pass) return false;

@@ -5,11 +5,15 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/compress.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "kvstore/decorators.h"
+#include "kvstore/integrity.h"
+#include "kvstore/key_codec.h"
 
 namespace fluid {
 namespace {
@@ -153,8 +157,11 @@ TEST(Decompress, RejectsStoredSizeMismatch) {
 }
 
 TEST(Decompress, SurvivesTruncationAndBitFlips) {
-  // Property: no corrupted input may crash or produce an out-of-bounds
-  // write; it must either fail cleanly or produce some page-sized output.
+  // Property: no corrupted input may crash, read or write out of bounds
+  // (ASan/UBSan builds enforce this), or return anything but a clean
+  // verdict — Ok (the flip happened to decode) or InvalidArgument. Any
+  // other code would leak a malformed-input failure into the retryable/
+  // data-loss paths above.
   Rng rng{73};
   Page p{};
   for (std::size_t i = 0; i < p.size(); ++i)
@@ -170,9 +177,89 @@ TEST(Decompress, SurvivesTruncationAndBitFlips) {
       bad[rng.NextBounded(bad.size())] ^=
           static_cast<std::byte>(1 + rng.NextBounded(255));
     }
-    (void)Decompress(bad, out);  // must not crash; status may be anything
+    const Status s = Decompress(bad, out);
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument)
+        << "trial " << trial << ": " << s.ToString();
   }
-  SUCCEED();
+}
+
+TEST(Decompress, SurvivesCorruptLzStream) {
+  // Same property aimed squarely at the LZ decoder (tag 1): random pages
+  // fall back to stored form, so the generic fuzz above mostly exercises
+  // tag 0. Compressible content + heavier mutation (flips in the match
+  // offset/length fields, truncation mid-token, appended garbage) walks
+  // the LZ copy loops with hostile inputs.
+  Rng rng{74};
+  Page p{};
+  std::size_t pos = 0;
+  while (pos < p.size()) {
+    const auto run = 1 + rng.NextBounded(24);
+    const auto v = static_cast<std::byte>(rng());
+    for (std::size_t k = 0; k < run && pos < p.size(); ++k) p[pos++] = v;
+  }
+  std::vector<std::byte> comp;
+  Compress(p, comp);
+  ASSERT_GT(comp.size(), 1u);
+  ASSERT_EQ(comp[0], std::byte{1}) << "expected the LZ form";
+  Page out{};
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::byte> bad = comp;
+    switch (trial % 3) {
+      case 0:
+        bad.resize(1 + rng.NextBounded(bad.size() - 1));
+        break;
+      case 1:
+        bad[1 + rng.NextBounded(bad.size() - 1)] ^=
+            static_cast<std::byte>(1 + rng.NextBounded(255));
+        break;
+      default:
+        for (int k = 0; k < 4; ++k)
+          bad.push_back(static_cast<std::byte>(rng()));
+        break;
+    }
+    const Status s = Decompress(bad, out);
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument)
+        << "trial " << trial << ": " << s.ToString();
+  }
+}
+
+// --- composition with the integrity envelope -------------------------------------------
+
+TEST(CompressedIntegrity, EnvelopeCoversTheCompressedPath) {
+  // IntegrityStore(CompressedStore): the envelope is computed over the
+  // UNCOMPRESSED page, so it end-to-end-verifies the whole
+  // compress -> store -> decompress round trip.
+  kv::CompressedStoreConfig cc;
+  cc.seed = 91;
+  auto comp_owned = std::make_unique<kv::CompressedStore>(cc);
+  kv::CompressedStore* comp = comp_owned.get();
+  kv::IntegrityStore store(std::move(comp_owned));
+
+  SimTime now = 0;
+  Page page{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint64_t v = 0xabc0 + i;
+    std::memcpy(page.data() + i * 256, &v, 8);
+  }
+  const kv::Key key = kv::MakePageKey(0x5000'0000ULL);
+  now = store.Put(1, key, page, now).complete_at;
+
+  // Clean round trip decompresses and verifies.
+  Page out{};
+  ASSERT_TRUE(store.Get(1, key, out, now).status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+  EXPECT_EQ(store.integrity_stats().verified_reads, 1u);
+
+  // Rewrite the object directly in the compressed store (bypassing the
+  // envelope) with different — internally consistent — bytes: the inner
+  // store's own CRC passes, only the envelope can tell the page is wrong.
+  Page other = page;
+  other[0] ^= std::byte{0x01};
+  now = comp->Put(1, key, other, now).complete_at;
+  const auto r = store.Get(1, key, out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(comp->ChecksumFailures(), 0u);
+  EXPECT_EQ(store.integrity_stats().corruptions_detected, 1u);
 }
 
 // --- property sweep over structured content -------------------------------------------

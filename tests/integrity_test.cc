@@ -1,0 +1,541 @@
+// End-to-end page integrity (PR 8): checksummed envelopes, injected
+// silent corruption (bit flips, torn writes, stale serves), detection ->
+// failover -> anti-entropy repair, the budgeted scrubber, replica
+// declare-dead + re-replication, and the monitor's poisoned-page
+// quarantine. Plus the replay contracts: corruption scenarios replay
+// byte-identically and the appended fault sites provably do not perturb
+// legacy sites' draws.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "chaos/drills.h"
+#include "chaos/harness.h"
+#include "chaos/injected_store.h"
+#include "chaos/injector.h"
+#include "fluidmem/monitor.h"
+#include "kvstore/decorators.h"
+#include "kvstore/integrity.h"
+#include "kvstore/key_codec.h"
+#include "kvstore/local_store.h"
+#include "workloads/tenants.h"
+
+namespace fluid {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr kv::Key KeyAt(std::uint64_t i) {
+  return kv::MakePageKey(kBase + i * kPageSize);
+}
+
+std::array<std::byte, kPageSize> PatternPage(std::uint32_t seed) {
+  std::array<std::byte, kPageSize> page{};
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    page[i] = static_cast<std::byte>((seed * 131 + i / 8) & 0xff);
+  return page;
+}
+
+// --- envelope basics ---------------------------------------------------------
+
+TEST(IntegrityStore, RoundTripVerifies) {
+  kv::LocalStoreConfig lc;
+  lc.seed = 11;
+  kv::IntegrityStore store(std::make_unique<kv::LocalDramStore>(lc));
+  SimTime now = 0;
+  std::array<std::byte, kPageSize> out{};
+  for (std::uint32_t i = 0; i < 16; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  EXPECT_EQ(store.integrity_stats().envelopes_written, 16u);
+  EXPECT_EQ(store.EnvelopeCount(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store.Get(1, KeyAt(i), out, now).status.ok());
+    const auto expect = PatternPage(i);
+    EXPECT_EQ(0, std::memcmp(out.data(), expect.data(), kPageSize));
+  }
+  EXPECT_EQ(store.integrity_stats().verified_reads, 16u);
+  EXPECT_EQ(store.integrity_stats().corruptions_detected, 0u);
+}
+
+TEST(IntegrityStore, RemoveAndDropForgetEnvelopes) {
+  kv::LocalStoreConfig lc;
+  lc.seed = 12;
+  kv::IntegrityStore store(std::make_unique<kv::LocalDramStore>(lc));
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  now = store.Remove(1, KeyAt(0), now).complete_at;
+  EXPECT_EQ(store.EnvelopeCount(), 7u);
+  now = store.DropPartition(1, now).complete_at;
+  EXPECT_EQ(store.EnvelopeCount(), 0u);
+}
+
+// Direct rot: bytes changed underneath the envelope (no injector) must
+// surface as DataLoss, never as wrong bytes, and fire the callback.
+TEST(IntegrityStore, DetectsBytesChangedUnderneath) {
+  kv::LocalStoreConfig lc;
+  lc.seed = 13;
+  auto local_owned = std::make_unique<kv::LocalDramStore>(lc);
+  kv::LocalDramStore* local = local_owned.get();
+  kv::IntegrityStore store(std::move(local_owned));
+  int detected = 0;
+  store.set_on_corruption([&](PartitionId, kv::Key) { ++detected; });
+
+  SimTime now = 0;
+  const auto page = PatternPage(1);
+  now = store.Put(1, KeyAt(0), page, now).complete_at;
+  auto rotten = page;
+  rotten[100] ^= std::byte{0x04};
+  now = local->Put(1, KeyAt(0), rotten, now).complete_at;
+
+  std::array<std::byte, kPageSize> out{};
+  const auto r = store.Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.integrity_stats().corruptions_detected, 1u);
+  EXPECT_EQ(detected, 1);
+}
+
+// --- injected silent corruption ---------------------------------------------
+
+struct InjectedIntegrityRig {
+  explicit InjectedIntegrityRig(const chaos::FaultPlan& plan)
+      : injector(std::make_shared<chaos::FaultInjector>(plan)) {
+    kv::LocalStoreConfig lc;
+    lc.seed = 21;
+    auto inj_owned = std::make_unique<chaos::InjectedStore>(
+        std::make_unique<kv::LocalDramStore>(lc), injector);
+    injected = inj_owned.get();
+    store = std::make_unique<kv::IntegrityStore>(std::move(inj_owned));
+  }
+  std::shared_ptr<chaos::FaultInjector> injector;
+  chaos::InjectedStore* injected = nullptr;
+  std::unique_ptr<kv::IntegrityStore> store;
+};
+
+TEST(IntegrityStore, DetectsInjectedBitFlips) {
+  chaos::FaultPlan plan;
+  plan.seed = 31;
+  plan.at(FaultSite::kStoreCorruptBits).fail_p = 1.0;
+  InjectedIntegrityRig rig(plan);
+
+  SimTime now = 0;
+  rig.injector->BeginStep(0);
+  now = rig.store->Put(1, KeyAt(0), PatternPage(3), now).complete_at;
+  std::array<std::byte, kPageSize> out{};
+  rig.injector->BeginStep(1);
+  const auto r = rig.store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+  EXPECT_GE(rig.injected->bit_corruptions(), 1u);
+  EXPECT_GE(rig.store->integrity_stats().corruptions_detected, 1u);
+}
+
+TEST(IntegrityStore, DetectsInjectedTornWrites) {
+  chaos::FaultPlan plan;
+  plan.seed = 32;
+  plan.at(FaultSite::kStoreTornWrite).fail_p = 1.0;
+  InjectedIntegrityRig rig(plan);
+
+  SimTime now = 0;
+  rig.injector->BeginStep(0);
+  // The envelope is computed over the UNTORN value; the tear happens below
+  // in the injected store, so the committed bytes no longer match it.
+  now = rig.store->Put(1, KeyAt(0), PatternPage(4), now).complete_at;
+  EXPECT_GE(rig.injected->torn_writes(), 1u);
+  std::array<std::byte, kPageSize> out{};
+  rig.injector->BeginStep(1);
+  const auto r = rig.store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+}
+
+TEST(IntegrityStore, DetectsInjectedStaleServes) {
+  chaos::FaultPlan plan;
+  plan.seed = 33;
+  plan.at(FaultSite::kStoreStaleGet).fail_p = 1.0;
+  InjectedIntegrityRig rig(plan);
+
+  SimTime now = 0;
+  rig.injector->BeginStep(0);
+  now = rig.store->Put(1, KeyAt(0), PatternPage(5), now).complete_at;
+  std::array<std::byte, kPageSize> out{};
+  // Only one version exists: a stale serve cannot fire, the read verifies.
+  rig.injector->BeginStep(1);
+  EXPECT_TRUE(rig.store->Get(1, KeyAt(0), out, now).status.ok());
+  // Overwrite; now the injected store can serve the previous version, and
+  // the envelope — bound to (key, version) — must reject those bytes even
+  // though they were valid for version 1.
+  rig.injector->BeginStep(2);
+  now = rig.store->Put(1, KeyAt(0), PatternPage(6), now).complete_at;
+  rig.injector->BeginStep(3);
+  const auto r = rig.store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+  EXPECT_GE(rig.injected->stale_serves(), 1u);
+}
+
+// --- budgeted scrubber -------------------------------------------------------
+
+TEST(IntegrityStore, ScrubFindsPlantedRotWithinBudgetedTicks) {
+  kv::LocalStoreConfig lc;
+  lc.seed = 41;
+  auto local_owned = std::make_unique<kv::LocalDramStore>(lc);
+  kv::LocalDramStore* local = local_owned.get();
+  kv::IntegrityStore store(std::move(local_owned), /*scrub_budget=*/2);
+  int detected = 0;
+  store.set_on_corruption([&](PartitionId, kv::Key) { ++detected; });
+
+  SimTime now = 0;
+  constexpr std::uint32_t kPages = 8;
+  for (std::uint32_t i = 0; i < kPages; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+  // Plant rot on a cold page no demand read will touch.
+  auto rotten = PatternPage(5);
+  rotten[9] ^= std::byte{0x80};
+  now = local->Put(1, KeyAt(5), rotten, now).complete_at;
+
+  // budget=2 over 8 envelopes: the full sweep takes ceil(8/2)+1 = 5 ticks
+  // at most (one extra for an unlucky cursor position).
+  int ticks = 0;
+  while (store.integrity_stats().scrub_corruptions == 0 && ticks < 5) {
+    now = store.PumpMaintenance(now + 1);
+    ++ticks;
+  }
+  EXPECT_EQ(store.integrity_stats().scrub_corruptions, 1u);
+  EXPECT_EQ(detected, 1);
+  EXPECT_GE(store.integrity_stats().scrub_pages, 1u);
+  EXPECT_LE(ticks, 5);
+}
+
+// --- replicated detection -> failover -> repair ------------------------------
+
+struct ReplicatedIntegrityRig {
+  ReplicatedIntegrityRig() {
+    std::vector<std::unique_ptr<kv::KvStore>> reps;
+    for (int i = 0; i < 3; ++i) {
+      kv::LocalStoreConfig lc;
+      lc.seed = 50 + static_cast<std::uint64_t>(i);
+      auto local = std::make_unique<kv::LocalDramStore>(lc);
+      locals.push_back(local.get());
+      auto ig = std::make_unique<kv::IntegrityStore>(std::move(local));
+      integrity.push_back(ig.get());
+      reps.push_back(std::move(ig));
+    }
+    store = std::make_unique<kv::ReplicatedStore>(std::move(reps),
+                                                  /*write_quorum=*/2);
+    for (std::size_t i = 0; i < integrity.size(); ++i) {
+      kv::ReplicatedStore* r = store.get();
+      integrity[i]->set_on_corruption([r, i](PartitionId p, kv::Key k) {
+        r->ReportCorruption(i, p, k);
+      });
+    }
+  }
+  std::vector<kv::LocalDramStore*> locals;
+  std::vector<kv::IntegrityStore*> integrity;
+  std::unique_ptr<kv::ReplicatedStore> store;
+};
+
+TEST(ReplicatedIntegrity, CorruptionFailsOverDirtiesAndRepairs) {
+  ReplicatedIntegrityRig rig;
+  SimTime now = 0;
+  const auto page = PatternPage(7);
+  now = rig.store->Put(1, KeyAt(0), page, now).complete_at;
+
+  // Rot replica 0's stored copy underneath its envelope.
+  auto rotten = page;
+  rotten[0] ^= std::byte{0xff};
+  now = rig.locals[0]->Put(1, KeyAt(0), rotten, now).complete_at;
+
+  // The read detects DataLoss on replica 0, charges its breaker, dirties
+  // the key, and fails over to a clean peer — the caller sees clean bytes.
+  std::array<std::byte, kPageSize> out{};
+  const auto r = rig.store->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+  EXPECT_GE(rig.store->replication_stats().corruption_failovers, 1u);
+
+  // Anti-entropy repairs the rotten copy from a clean peer; afterwards
+  // replica 0 byte-compares against the original page and verifies.
+  now = rig.store->PumpMaintenance(now + 5 * kMillisecond);
+  now = rig.store->PumpMaintenance(now + 5 * kMillisecond);
+  EXPECT_GE(rig.store->replication_stats().repairs, 1u);
+  out.fill(std::byte{0});
+  const auto r0 = rig.integrity[0]->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(r0.status.ok()) << r0.status.ToString();
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+}
+
+TEST(ReplicatedIntegrity, AllCopiesRottenSurfacesDataLossNotWrongBytes) {
+  ReplicatedIntegrityRig rig;
+  SimTime now = 0;
+  const auto page = PatternPage(8);
+  now = rig.store->Put(1, KeyAt(0), page, now).complete_at;
+  auto rotten = page;
+  rotten[1] ^= std::byte{0x01};
+  for (kv::LocalDramStore* l : rig.locals)
+    now = l->Put(1, KeyAt(0), rotten, now).complete_at;
+
+  std::array<std::byte, kPageSize> out{};
+  const auto r = rig.store->Get(1, KeyAt(0), out, now);
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss);
+}
+
+TEST(ReplicatedIntegrity, ScrubReportsFeedAntiEntropy) {
+  ReplicatedIntegrityRig rig;
+  SimTime now = 0;
+  const auto page = PatternPage(9);
+  now = rig.store->Put(1, KeyAt(0), page, now).complete_at;
+  auto rotten = page;
+  rotten[2] ^= std::byte{0x20};
+  now = rig.locals[1]->Put(1, KeyAt(0), rotten, now).complete_at;
+
+  // No demand read ever touches the rot: the scrubber must find it and the
+  // ReportCorruption callback dirties (replica 1, key) for repair.
+  rig.integrity[1]->set_scrub_budget(4);
+  for (int i = 0; i < 4; ++i)
+    now = rig.store->PumpMaintenance(now + 3 * kMillisecond);
+  EXPECT_GE(rig.store->replication_stats().corruptions_reported, 1u);
+  EXPECT_GE(rig.store->replication_stats().repairs, 1u);
+  std::array<std::byte, kPageSize> out{};
+  const auto r1 = rig.integrity[1]->Get(1, KeyAt(0), out, now);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_EQ(0, std::memcmp(out.data(), page.data(), kPageSize));
+}
+
+// --- replica death -> re-replication -----------------------------------------
+
+TEST(ReplicatedIntegrity, DeadReplicaIsReReplicated) {
+  std::vector<std::unique_ptr<kv::KvStore>> reps;
+  std::vector<kv::FlakyStore*> flaky;
+  std::vector<kv::KvStore*> inners;
+  for (int i = 0; i < 3; ++i) {
+    kv::LocalStoreConfig lc;
+    lc.seed = 60 + static_cast<std::uint64_t>(i);
+    auto local = std::make_unique<kv::LocalDramStore>(lc);
+    inners.push_back(local.get());
+    auto f = std::make_unique<kv::FlakyStore>(std::move(local),
+                                              /*seed=*/60 + i);
+    flaky.push_back(f.get());
+    reps.push_back(std::move(f));
+  }
+  kv::ReplicatedStore store(std::move(reps), /*write_quorum=*/2);
+  store.set_dead_after(5 * kMillisecond);
+
+  SimTime now = 0;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    now = store.Put(1, KeyAt(i), PatternPage(i), now).complete_at;
+
+  // Replica 0 dies hard: every op fails for 100 ms.
+  flaky[0]->FailUntil(now + 100 * kMillisecond);
+  const auto w = store.Put(1, KeyAt(8), PatternPage(8), now);
+  EXPECT_TRUE(w.status.ok());  // quorum 2 of 3 still holds
+  now = w.complete_at;
+
+  // Below the declare-dead threshold: still just a suspect.
+  now = store.PumpMaintenance(now + kMillisecond);
+  EXPECT_EQ(store.replication_stats().dead_declared, 0u);
+
+  // Past the threshold: declared dead, its whole key set marked for
+  // re-replication.
+  now = store.PumpMaintenance(now + 10 * kMillisecond);
+  EXPECT_EQ(store.replication_stats().dead_declared, 1u);
+  EXPECT_TRUE(store.replica_dead_marked(0));
+
+  // Outage ends; anti-entropy re-copies everything onto the recovered
+  // slot, restoring the replication factor.
+  now += 200 * kMillisecond;
+  for (int i = 0; i < 4; ++i)
+    now = store.PumpMaintenance(now + 5 * kMillisecond);
+  EXPECT_GE(store.replication_stats().rf_restored, 8u);
+  EXPECT_FALSE(store.replica_dead_marked(0));
+  for (std::uint32_t i = 0; i < 9; ++i)
+    EXPECT_TRUE(inners[0]->Contains(1, KeyAt(i))) << "key " << i;
+}
+
+// --- monitor quarantine ------------------------------------------------------
+
+TEST(MonitorQuarantine, PoisonFastFailProbeAndClear) {
+  chaos::ScenarioOptions opt;
+  opt.seed = 71;
+  opt.store = chaos::StoreKind::kLocalDram;
+  opt.integrity_store = true;
+  opt.pages = 16;
+  opt.lru_capacity = 8;
+  chaos::Stack stack(opt);
+  SimTime now = 0;
+
+  // Touch every page so some get evicted to the store, then flush.
+  std::array<std::byte, 8> stamp{};
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const VirtAddr addr = stack.AddrOfPage(i);
+    ASSERT_TRUE(chaos::EnsureResident(stack, addr, /*is_write=*/true, now));
+    const std::uint64_t v = 0xfeed0000ULL + i;
+    std::memcpy(stamp.data(), &v, 8);
+    ASSERT_TRUE(stack.region->WriteBytes(addr, stamp).ok());
+  }
+  now = stack.monitor->DrainWrites(now);
+
+  // Pick a page the tracker holds remotely.
+  VirtAddr victim = 0;
+  for (std::uint32_t i = 0; i < 16 && victim == 0; ++i) {
+    const fm::PageRef p{stack.rid, stack.AddrOfPage(i)};
+    if (stack.monitor->tracker().LocationOf(p) == fm::PageLocation::kRemote)
+      victim = p.addr;
+  }
+  ASSERT_NE(victim, 0u) << "no page went remote";
+  const kv::Key key = kv::MakePageKey(victim);
+
+  // Save the authoritative bytes, then rot the stored copy underneath the
+  // envelope (directly in the inner LocalDramStore).
+  std::array<std::byte, kPageSize> save{};
+  ASSERT_TRUE(
+      stack.store->Get(chaos::Stack::kPartition, key, save, now).status.ok());
+  auto& injected =
+      static_cast<chaos::InjectedStore&>(stack.integrity[0]->inner());
+  auto rotten = save;
+  rotten[17] ^= std::byte{0x10};
+  (void)injected.inner().Put(chaos::Stack::kPartition, key, rotten, now);
+
+  // The fault sees DataLoss on every copy -> the page is quarantined and
+  // the access blocks instead of mapping wrong bytes.
+  EXPECT_FALSE(chaos::EnsureResident(stack, victim, /*is_write=*/false, now));
+  EXPECT_GE(stack.monitor->stats().poisoned_page_errors, 1u);
+  EXPECT_TRUE(stack.monitor->IsPoisoned(stack.rid, victim));
+
+  // Re-faulting fast-fails out of the quarantine set (no store round trip).
+  EXPECT_FALSE(chaos::EnsureResident(stack, victim, /*is_write=*/false, now));
+  EXPECT_GE(stack.monitor->stats().poisoned_fast_fails, 1u);
+
+  // Repair the stored bytes; the background probe clears the quarantine
+  // and the page returns to service with the right contents.
+  (void)injected.inner().Put(chaos::Stack::kPartition, key, save, now);
+  stack.monitor->PumpBackground(now);
+  EXPECT_FALSE(stack.monitor->IsPoisoned(stack.rid, victim));
+  EXPECT_GE(stack.monitor->stats().poison_cleared, 1u);
+  ASSERT_TRUE(chaos::EnsureResident(stack, victim, /*is_write=*/false, now));
+  std::array<std::byte, kPageSize> got{};
+  ASSERT_TRUE(stack.region->ReadBytes(victim, got).ok());
+  EXPECT_EQ(0, std::memcmp(got.data(), save.data(), kPageSize));
+}
+
+// --- replay contracts --------------------------------------------------------
+
+// Appending the corruption sites must not perturb the legacy sites' draws:
+// per-site call counters are independent, so a plan that arms the new
+// sites (and consults them, as InjectedStore now does on every verb) sees
+// bit-identical decisions on the old sites.
+TEST(IntegrityReplay, AppendedSitesDoNotPerturbLegacyDraws) {
+  chaos::FaultPlan legacy;
+  legacy.seed = 81;
+  legacy.at(FaultSite::kStoreGet).fail_p = 0.3;
+  legacy.at(FaultSite::kStorePut).stall_p = 0.25;
+  legacy.at(FaultSite::kStorePut).stall = 10 * kMicrosecond;
+  chaos::FaultPlan extended = legacy;
+  extended.at(FaultSite::kStoreCorruptBits).fail_p = 0.5;
+  extended.at(FaultSite::kStoreTornWrite).fail_p = 0.5;
+  extended.at(FaultSite::kStoreStaleGet).fail_p = 0.5;
+
+  chaos::FaultInjector a(legacy);
+  chaos::FaultInjector b(extended);
+  for (std::uint32_t op = 0; op < 200; ++op) {
+    a.BeginStep(op);
+    b.BeginStep(op);
+    for (int call = 0; call < 3; ++call) {
+      const FaultDecision da = a.OnOp(FaultSite::kStoreGet, 0);
+      // b interleaves corruption consults exactly as InjectedStore does.
+      (void)b.OnOp(FaultSite::kStoreStaleGet, 0);
+      (void)b.OnOp(FaultSite::kStoreCorruptBits, 0);
+      const FaultDecision db = b.OnOp(FaultSite::kStoreGet, 0);
+      ASSERT_EQ(da.fail, db.fail) << "op " << op << " call " << call;
+      ASSERT_EQ(da.extra_latency, db.extra_latency);
+
+      const FaultDecision pa = a.OnOp(FaultSite::kStorePut, 0);
+      (void)b.OnOp(FaultSite::kStoreTornWrite, 0);
+      const FaultDecision pb = b.OnOp(FaultSite::kStorePut, 0);
+      ASSERT_EQ(pa.fail, pb.fail);
+      ASSERT_EQ(pa.extra_latency, pb.extra_latency);
+    }
+  }
+}
+
+TEST(IntegrityReplay, CorruptionScenariosReplayByteIdentically) {
+  for (const std::uint64_t seed : {3ULL, 5ULL, 7ULL, 11ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed ^ 0xabcULL;
+    opt.store = chaos::StoreKind::kReplicated;
+    opt.integrity_store = true;
+    opt.scrub_budget = 4;
+    opt.resilient_store = true;
+    opt.num_ops = 200;
+    opt.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.01;
+    opt.plan.at(FaultSite::kStoreTornWrite).fail_p = 0.005;
+    opt.plan.at(FaultSite::kStoreStaleGet).fail_p = 0.005;
+    const chaos::RunReport r1 = chaos::RunScenario(opt);
+    const chaos::RunReport r2 = chaos::RunScenario(opt);
+    EXPECT_TRUE(r1.ok) << r1.Report();
+    EXPECT_EQ(r1.Report(), r2.Report()) << "seed " << seed;
+  }
+}
+
+// Under seeded corruption on a replicated, integrity-enveloped stack the
+// oracle sweep must pass: every corruption was detected and repaired (or
+// routed around); zero wrong bytes ever reached the VM.
+TEST(IntegrityScenario, SeededCorruptionZeroWrongBytes) {
+  chaos::ScenarioOptions opt;
+  opt.seed = 91;
+  opt.plan.seed = 0x917ULL;
+  opt.store = chaos::StoreKind::kReplicated;
+  opt.integrity_store = true;
+  opt.scrub_budget = 8;
+  opt.resilient_store = true;
+  opt.num_ops = 400;
+  opt.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.01;
+  opt.plan.at(FaultSite::kStoreTornWrite).fail_p = 0.01;
+  opt.plan.at(FaultSite::kStoreStaleGet).fail_p = 0.01;
+  const chaos::RunReport rep = chaos::RunScenario(opt);
+  EXPECT_TRUE(rep.ok) << rep.Report();
+  EXPECT_GE(rep.faults.fails[static_cast<std::size_t>(
+                FaultSite::kStoreCorruptBits)],
+            1u)
+      << "the plan never planted corruption — the test is vacuous";
+}
+
+// Legacy plans (no corruption sites, no integrity layer) still replay
+// byte-identically — the opt-in machinery is inert by default.
+TEST(IntegrityReplay, LegacyScenarioUnchangedByDefault) {
+  chaos::ScenarioOptions opt;
+  opt.seed = 23;
+  opt.plan.seed = 0x23aULL;
+  opt.store = chaos::StoreKind::kReplicated;
+  opt.num_ops = 150;
+  opt.plan.at(FaultSite::kStoreGet).fail_p = 0.05;
+  const chaos::RunReport r1 = chaos::RunScenario(opt);
+  const chaos::RunReport r2 = chaos::RunScenario(opt);
+  EXPECT_TRUE(r1.ok) << r1.Report();
+  EXPECT_EQ(r1.Report(), r2.Report());
+}
+
+// --- the bit_rot drill -------------------------------------------------------
+
+TEST(BitRotDrill, DetectsRepairsAndRestoresRf) {
+  wl::MultiTenantConfig cfg;
+  cfg.tenants = wl::StandardTenants(3, wl::YcsbMix::kB, /*scale=*/0.25);
+  const wl::TrafficShape shape = wl::MeasureTraffic(cfg.tenants, /*seed=*/42);
+  cfg.drill = chaos::MakeDrill(chaos::DrillKind::kBitRot, /*seed=*/42,
+                               shape.total_accesses, shape.horizon);
+
+  const wl::MultiTenantResult res = wl::RunTenants(cfg);
+  EXPECT_TRUE(res.status.ok()) << res.failure;
+  EXPECT_EQ(res.wrong_bytes, 0u) << "corrupt bytes reached a VM";
+  EXPECT_GE(res.corruptions_detected, 1u);
+  EXPECT_GE(res.repairs, 1u);
+  EXPECT_EQ(res.dead_declared, 1u);
+  EXPECT_GE(res.rf_restored, 1u);
+
+  // And the whole drill replays byte-identically.
+  const wl::MultiTenantResult again = wl::RunTenants(cfg);
+  EXPECT_EQ(res.Fingerprint(), again.Fingerprint());
+}
+
+}  // namespace
+}  // namespace fluid
