@@ -31,22 +31,36 @@ struct Cell {
   wl::YcsbMix mix;
   std::size_t tenant_count = 0;
   chaos::DrillKind drill;
+  bool prefetch = false;  // majority-vote prefetch on
+  bool cold_tier = false; // NVMeoF cold tier attached
   wl::MultiTenantResult result;
   bool replay_identical = false;
 };
 
 Cell RunCell(wl::YcsbMix mix, std::size_t tenant_count,
-             chaos::DrillKind kind, std::uint64_t seed, double scale) {
+             chaos::DrillKind kind, std::uint64_t seed, double scale,
+             bool prefetch = false, bool cold_tier = false) {
   Cell cell;
   cell.mix = mix;
   cell.tenant_count = tenant_count;
   cell.drill = kind;
+  cell.prefetch = prefetch;
+  cell.cold_tier = cold_tier;
 
   wl::MultiTenantConfig cfg;
   cfg.tenants = wl::StandardTenants(tenant_count, mix, scale);
   const wl::TrafficShape shape = wl::MeasureTraffic(cfg.tenants, seed);
   cfg.drill =
       chaos::MakeDrill(kind, seed, shape.total_accesses, shape.horizon);
+  if (prefetch) {
+    cfg.drill.options.prefetch_depth = 4;
+    cfg.drill.options.prefetch_majority = true;
+    cfg.drill.options.prefetch_accuracy_floor = 40;
+  }
+  if (cold_tier) {
+    cfg.drill.options.attach_cold_tier = true;
+    cfg.drill.options.cold_tier_capacity = 4096;
+  }
 
   cell.result = wl::RunTenants(cfg);
   const wl::MultiTenantResult again = wl::RunTenants(cfg);
@@ -56,14 +70,27 @@ Cell RunCell(wl::YcsbMix mix, std::size_t tenant_count,
 }
 
 void PrintCell(const Cell& cell) {
-  std::printf("\n[mix %s, %zu tenants, drill %s]  accesses=%llu  %s%s\n",
+  std::printf("\n[mix %s, %zu tenants, drill %s%s]  accesses=%llu  %s%s\n",
               wl::MixName(cell.mix).data(), cell.tenant_count,
               chaos::DrillName(cell.drill).data(),
+              cell.prefetch && cell.cold_tier ? ", prefetch+tier"
+              : cell.prefetch                 ? ", prefetch"
+                                              : "",
               static_cast<unsigned long long>(cell.result.total_accesses),
               cell.replay_identical ? "replay=identical" : "REPLAY DIVERGED",
               cell.result.status.ok() ? "" : "  ORACLE/INVARIANT FAILURE");
   if (!cell.result.status.ok())
     std::printf("    failure: %s\n", cell.result.failure.c_str());
+  if (cell.prefetch || cell.cold_tier)
+    std::printf("    prefetch: pages=%llu hits=%llu wasted=%llu gated=%llu"
+                "  tier: demote=%llu promote=%llu\n",
+                static_cast<unsigned long long>(cell.result.prefetched_pages),
+                static_cast<unsigned long long>(cell.result.prefetch_hits),
+                static_cast<unsigned long long>(cell.result.prefetch_wasted),
+                static_cast<unsigned long long>(
+                    cell.result.prefetch_gated_skips),
+                static_cast<unsigned long long>(cell.result.tier_demotions),
+                static_cast<unsigned long long>(cell.result.tier_promotions));
   if (cell.result.corruptions_detected > 0 || cell.result.wrong_bytes > 0)
     std::printf("    integrity: detected=%llu repairs=%llu rf_restored=%llu"
                 " wrong_bytes=%llu\n",
@@ -149,6 +176,14 @@ bool WriteJson(const std::vector<Cell>& cells, bool baseline_ok,
                    static_cast<unsigned long long>(c.result.wrong_bytes));
       std::fprintf(f, ", \"zero_wrong_bytes\": %d",
                    c.result.wrong_bytes == 0 ? 1 : 0);
+      std::fprintf(f, ", \"prefetch\": %d", c.prefetch ? 1 : 0);
+      std::fprintf(f, ", \"cold_tier\": %d", c.cold_tier ? 1 : 0);
+      std::fprintf(f, ", \"prefetched_pages\": %llu",
+                   static_cast<unsigned long long>(c.result.prefetched_pages));
+      std::fprintf(f, ", \"prefetch_hits\": %llu",
+                   static_cast<unsigned long long>(c.result.prefetch_hits));
+      std::fprintf(f, ", \"tier_demotions\": %llu",
+                   static_cast<unsigned long long>(c.result.tier_demotions));
       std::fprintf(f, "}");
     }
   }
@@ -208,6 +243,21 @@ int main(int argc, char** argv) {
         cells.push_back(std::move(cell));
       }
     }
+  }
+
+  // Two cells with the new features on: majority-vote prefetch alone (the
+  // batch tenant's scans feed the vote), then prefetch + the cold tier.
+  // Both must keep the oracle green and replay byte-identically under the
+  // multi-tenant composer too.
+  for (const bool tier : {false, true}) {
+    Cell cell = RunCell(mixes.front(), tenant_counts.front(),
+                        chaos::DrillKind::kNone, kSeed, scale,
+                        /*prefetch=*/true, /*cold_tier=*/tier);
+    PrintCell(cell);
+    if (!cell.replay_identical) all_replays_ok = false;
+    if (!cell.result.status.ok() || cell.result.wrong_bytes != 0)
+      oracle_ok = false;
+    cells.push_back(std::move(cell));
   }
 
   const bool json_ok = WriteJson(cells, baseline_ok, all_replays_ok);

@@ -8,11 +8,14 @@
 # 5. same build, `writeback`-labeled suites        (eviction/writeback pipeline)
 # 6. same build, `ycsb`-labeled suites             (workload family + drills)
 # 7. same build, `integrity`-labeled suites        (envelopes + decoder fuzz)
-# 8. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
-# 9. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills,
+# 8. same build, `prefetch`-labeled suites         (majority vote + gate + tier)
+# 9. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
+# 10. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills,
 #    including the bit_rot scrub-and-repair smoke: every corruption detected
-#    and repaired, zero wrong bytes reach any VM)
-# 10. traced fig3 smoke + Chrome-trace validation  (observability exporters)
+#    and repaired, zero wrong bytes reach any VM; plus the prefetch-on cells)
+# 11. traced fig3 smoke + Chrome-trace validation  (observability exporters)
+#    + prefetcher-sweep validation: majority-vote hit rates and p50 wins on
+#    the strided/sequential traces, near-zero speculation on uniform
 #
 # Everything is deterministic — the chaos suites run fixed seeds wired into
 # tests/chaos_test.cc — so a red run here reproduces locally with the same
@@ -51,6 +54,9 @@ ctest --preset ycsb-sanitize -j "${jobs}"
 
 echo "==> integrity: envelope/scrub/repair + decoder-fuzz sweep (label: integrity)"
 ctest --preset integrity-sanitize -j "${jobs}"
+
+echo "==> prefetch: majority-vote/gate/tier sweep (label: prefetch)"
+ctest --preset prefetch-sanitize -j "${jobs}"
 
 echo "==> fault engine: scaling smoke + pipeline trace (exits nonzero if the JSON report fails)"
 (cd build && ./bench/scale_monitor --smoke --trace)
@@ -107,7 +113,8 @@ for d in drills:
             sys.exit(f"drill {d} did not replay byte-identically")
         if not r["oracle_ok"]:
             sys.exit(f"drill {d} failed the oracle sweep")
-baseline = [r for r in rows if r["drill"] == "none"]
+baseline = [r for r in rows if r["drill"] == "none"
+            and not r.get("prefetch") and not r.get("cold_tier")]
 bad = [r["tenant"] for r in baseline if not r["slo_pass"]]
 if bad:
     sys.exit(f"no-drill baseline violates SLOs for: {bad}")
@@ -134,6 +141,19 @@ if not any(r["repairs"] > 0 for r in bit_rot):
 if not any(r["rf_restored"] > 0 for r in bit_rot):
     sys.exit("bit_rot drill never re-replicated the dead replica's pages")
 
+# Prefetch-on cells: majority-vote speculation must actually fire under the
+# multi-tenant composer (the batch tenant's scans feed the vote) and both
+# feature cells must already have passed the replay/oracle checks above.
+pf = [r for r in rows if r.get("prefetch") == 1]
+if not pf:
+    sys.exit("ycsb_tenants JSON has no prefetch-on cells")
+if not any(r.get("prefetched_pages", 0) > 0 and r.get("prefetch_hits", 0) > 0
+           for r in pf):
+    sys.exit("prefetch-on cells never prefetched (or never hit)")
+tiered = [r for r in rows if r.get("cold_tier") == 1]
+if not tiered or not any(r.get("tier_demotions", 0) > 0 for r in tiered):
+    sys.exit("cold-tier cell never demoted a page")
+
 n_pass = sum(1 for r in rows if r["slo_pass"])
 n_det = sum(r["corruptions_detected"] for r in rows
             if r["tenant"] == rows[0]["tenant"])
@@ -156,6 +176,52 @@ if not any(e.get("ph") == "X" for e in events):
 with open("build/METRICS_fig3_pmbench_cdf.json") as f:
     json.load(f)
 print(f"    trace OK: {len(events)} events")
+
+# Prefetcher x tiering sweep: the majority vote must actually win where the
+# legacy detector cannot, and must not fabricate strides from noise.
+with open("build/BENCH_fig3_pmbench_cdf.json") as f:
+    bench = json.load(f)
+def m(key):
+    if key not in bench:
+        sys.exit(f"fig3 JSON is missing prefetch metric {key}")
+    return bench[key]
+# Majority catches the strided stream end-to-end; the legacy 2-in-a-row
+# detector is stride-blind there.
+if m("pf_strided_maj_notier_hits") <= 0:
+    sys.exit("majority vote scored no hits on the strided trace")
+if m("pf_strided_maj_notier_hit_rate_pct") < 50.0:
+    sys.exit(f"strided majority hit rate below 50%: "
+             f"{bench['pf_strided_maj_notier_hit_rate_pct']:.1f}")
+if m("pf_strided_seq_notier_prefetched") != 0:
+    sys.exit("legacy sequential detector unexpectedly fired on stride-4")
+# Hit-under-miss shows up as a p50 win on every trending trace, and with
+# the 4-lane store the remaining faults overlap the speculative batches,
+# so the pure-stride tails must drop too (interleaved p99 is bucket-parity).
+for t in ("sequential", "strided", "interleaved"):
+    off = m(f"pf_{t}_off_notier_p50_us")
+    maj = m(f"pf_{t}_maj_notier_p50_us")
+    if maj >= off:
+        sys.exit(f"majority prefetch did not lower {t} p50: "
+                 f"{maj:.2f} >= {off:.2f}")
+for t in ("sequential", "strided"):
+    off99 = m(f"pf_{t}_off_notier_p99_us")
+    maj99 = m(f"pf_{t}_maj_notier_p99_us")
+    if maj99 >= off99:
+        sys.exit(f"majority prefetch did not lower {t} p99: "
+                 f"{maj99:.2f} >= {off99:.2f}")
+# A random pattern must not fabricate a stride (a handful of short-history
+# fallback probes is fine, a window per fault is not).
+if m("pf_uniform_maj_notier_prefetched") > 100:
+    sys.exit(f"majority vote speculated on uniform-random: "
+             f"{bench['pf_uniform_maj_notier_prefetched']:.0f} pages")
+# The cold tier actually demotes under sweep pressure.
+if m("pf_sequential_off_tier_demotions") <= 0:
+    sys.exit("cold tier never demoted under the sequential sweep")
+print(f"    prefetch OK: strided maj hit rate "
+      f"{bench['pf_strided_maj_notier_hit_rate_pct']:.1f}%, "
+      f"sequential p50 {bench['pf_sequential_off_notier_p50_us']:.2f} -> "
+      f"{bench['pf_sequential_maj_notier_p50_us']:.2f} us, "
+      f"{bench['pf_sequential_off_tier_demotions']:.0f} tier demotions")
 PY
 
 echo "==> CI green"

@@ -118,6 +118,9 @@ Stack::Stack(const ScenarioOptions& opt)
   mc.lru_capacity_pages = opt.lru_capacity;
   mc.write_batch_pages = opt.write_batch;
   mc.prefetch_depth = opt.prefetch_depth;
+  mc.prefetch.mode = opt.prefetch_majority ? fm::PrefetchMode::kMajority
+                                           : fm::PrefetchMode::kSequential;
+  mc.prefetch.accuracy_floor_pct = opt.prefetch_accuracy_floor;
   mc.fault_shards = opt.fault_shards;
   mc.uffd_read_batch = opt.uffd_read_batch;
   mc.pipelined_writeback = opt.pipelined_writeback;
@@ -160,6 +163,15 @@ Stack::Stack(const ScenarioOptions& opt)
     spill_device->set_fault_hook(injector);
     spill = std::make_unique<swap::SwapSpace>(*spill_device);
     monitor->AttachLocalSpill(*spill);
+  }
+  if (opt.attach_cold_tier) {
+    // Cheap cold tier for heat-based demotion. Shares the injector, so
+    // kBlockRead/kBlockWrite faults exercise the demote/promote paths.
+    cold_device = std::make_unique<blk::BlockDevice>(
+        blk::MakeNvmeofDevice(opt.cold_tier_capacity));
+    cold_device->set_fault_hook(injector);
+    cold_tier = std::make_unique<swap::SwapSpace>(*cold_device);
+    monitor->AttachColdTier(*cold_tier);
   }
   region = std::make_unique<mem::UffdRegion>(/*pid=*/100, kBase, opt.pages,
                                              pool);
@@ -233,7 +245,14 @@ std::vector<Op> GenerateOps(const ScenarioOptions& opt) {
 bool EnsureResident(Stack& stack, VirtAddr addr, bool is_write, SimTime& now) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     const auto access = stack.region->Access(addr, is_write);
-    if (access.kind != mem::AccessKind::kUffdFault) return true;
+    if (access.kind != mem::AccessKind::kUffdFault) {
+      // Already-resident touch: report it like the VM layer does, so
+      // prefetched pages resolve to hits and tier heat refreshes. Pure
+      // bookkeeping — legacy stacks replay byte-identically.
+      if (access.kind == mem::AccessKind::kHit)
+        stack.monitor->NotePageTouch(stack.rid, addr);
+      return true;
+    }
     const auto outcome = stack.monitor->HandleFault(stack.rid, addr, now);
     now = std::max(now, outcome.wake_at);
     if (outcome.deadlocked) return false;
@@ -315,6 +334,15 @@ std::optional<std::string> VerifyRegionAgainstShadow(
         const Status s = monitor.PeekSpilled(p, buf);
         if (!s.ok()) {
           bad = "spilled page " + Hex(addr) + " unreadable: " + s.ToString();
+          return;
+        }
+        break;
+      }
+      case fm::PageLocation::kColdTier: {
+        // Demoted to the cold-tier device; same oracle access as spill.
+        const Status s = monitor.PeekColdTier(p, buf);
+        if (!s.ok()) {
+          bad = "cold-tier page " + Hex(addr) + " unreadable: " + s.ToString();
           return;
         }
         break;

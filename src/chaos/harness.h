@@ -59,6 +59,16 @@ struct ScenarioOptions {
   std::size_t lru_capacity = 24;  // DRAM budget (pages)
   std::size_t write_batch = 8;
   std::size_t prefetch_depth = 0;
+  // Prediction policy for the prefetcher (opt-in; the defaults reproduce
+  // the legacy sequential detector byte-identically): majority-vote stride
+  // detection, and an accuracy floor (percent) below which a region's
+  // speculation is gated. 0 floor = gate off.
+  bool prefetch_majority = false;
+  int prefetch_accuracy_floor = 0;
+  // Hot/cold tier placement (opt-in): attach a cheap NVMeoF device so
+  // cold eviction victims demote there instead of remote DRAM.
+  bool attach_cold_tier = false;
+  std::size_t cold_tier_capacity = 256;  // cold device size, pages
   std::size_t num_ops = 300;
   std::size_t quiesce_every = 64;  // ops between full oracle sweeps
   Tracer* tracer = nullptr;        // optional chaos_stats sink
@@ -157,6 +167,10 @@ struct Stack {
   kv::IntegrityStoreStats IntegrityTotals() const;
   std::unique_ptr<blk::BlockDevice> spill_device;  // set when opt.attach_spill
   std::unique_ptr<swap::SwapSpace> spill;
+  // Cold-tier device (opt.attach_cold_tier): cheap NVMeoF target for
+  // demoted cold pages, sharing the scenario injector like the spill.
+  std::unique_ptr<blk::BlockDevice> cold_device;
+  std::unique_ptr<swap::SwapSpace> cold_tier;
   std::unique_ptr<mem::UffdRegion> region;
   // Declared before `monitor`: the monitor registers gauges over its stats
   // in here, so the hub must outlive it (destruction runs in reverse).

@@ -22,6 +22,7 @@ const char* LocationName(fm::PageLocation loc) {
     case fm::PageLocation::kInFlight: return "in-flight";
     case fm::PageLocation::kRemote: return "remote";
     case fm::PageLocation::kSpilled: return "spilled";
+    case fm::PageLocation::kColdTier: return "cold-tier";
   }
   return "?";
 }
@@ -128,6 +129,11 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
         if (!m.HasSpillSlot(p))
           violation = "tracked-spilled " + Describe(p) +
                       " has no local swap slot";
+        break;
+      case fm::PageLocation::kColdTier:
+        if (!m.HasColdSlot(p))
+          violation = "tracked-cold-tier " + Describe(p) +
+                      " has no cold-tier slot";
         break;
     }
   });

@@ -26,7 +26,9 @@ Monitor::Monitor(MonitorConfig config, kv::KvStore& store,
       engine_(std::make_unique<FaultEngine>(
           *this, std::max<std::size_t>(1, config.fault_shards),
           config.io_window, config.uffd_read_batch,
-          config.seed ^ 0x5eed5eedULL)) {}
+          config.seed ^ 0x5eed5eedULL)) {
+  prefetcher_.Configure(config_.prefetch, config_.prefetch_depth);
+}
 
 Monitor::~Monitor() = default;
 
@@ -36,6 +38,14 @@ Status Monitor::PeekSpilled(const PageRef& p,
   if (spill_ == nullptr || it == spill_slots_.end())
     return Status::NotFound("page not in local spill");
   return spill_->device().Peek(it->second, out);
+}
+
+Status Monitor::PeekColdTier(const PageRef& p,
+                             std::span<std::byte, kPageSize> out) const {
+  auto it = cold_slots_.find(p);
+  if (cold_ == nullptr || it == cold_slots_.end())
+    return Status::NotFound("page not in cold tier");
+  return cold_->device().Peek(it->second, out);
 }
 
 void Monitor::NoteStoreRead(const kv::OpResult& r) {
@@ -86,6 +96,16 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
         }
       }
     }
+    if (cold_ != nullptr) {
+      for (auto it = cold_slots_.begin(); it != cold_slots_.end();) {
+        if (it->first.region == id) {
+          cold_->Release(it->second);
+          it = cold_slots_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   } else {
     // Migration hand-off: the destination inherits the partition, so the
     // region's buffered writes must become durable first. If the store
@@ -127,11 +147,43 @@ Status Monitor::UnregisterRegion(RegionId id, SimTime now,
         ++stats_.spill_migrated_back;
       }
     }
+    // Cold-tier pages face the same durability bar: the destination cannot
+    // see our local device, so promote them straight into the store.
+    if (cold_ != nullptr) {
+      std::vector<std::pair<PageRef, blk::BlockNum>> mine;
+      for (const auto& [p, slot] : cold_slots_)
+        if (p.region == id) mine.emplace_back(p, slot);
+      std::sort(mine.begin(), mine.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first.addr < b.first.addr;
+                });
+      for (const auto& [p, slot] : mine) {
+        auto ci = cold_->ReadKeep(
+            slot, std::span<std::byte, kPageSize>{scratch_}, now);
+        if (!ci.status.ok()) {
+          ++stats_.tier_io_errors;
+          return Status::Unavailable(
+              "cold-tier page unreadable for migration");
+        }
+        now = ci.io_complete_at;
+        kv::OpResult put = store_->Put(
+            regions_[id].partition, KeyFor(p),
+            std::span<const std::byte, kPageSize>{scratch_}, now);
+        NoteStoreWrite(put);
+        if (!put.status.ok())
+          return Status::Unavailable("cold-tier pages for region not durable");
+        now = put.complete_at;
+        cold_->Release(slot);
+        cold_slots_.erase(p);
+        tracker_.MarkRemote(p);
+      }
+    }
   }
   // Extract the region's pages from the LRU without evicting to the store
   // (the VM is gone; its memory is discarded). Survivors never move.
   (void)lru_.ExtractRegion(id);
   tracker_.ForgetRegion(id);
+  prefetcher_.ForgetRegion(id);
   // Quarantine entries die with the region (shutdown discards the pages;
   // migration hands the partition to a monitor with its own quarantine).
   for (auto it = poisoned_.begin(); it != poisoned_.end();) {
@@ -420,6 +472,7 @@ SimTime Monitor::EvictOneFor(RegionId faulting_region, SimTime t,
     return t;
   }
   ++stats_.evictions;
+  prefetcher_.OnEvicted(victim);
   // Bookkeeping for the evicted page's new location in the pagetracker.
   t = ChargeProfiled(t, config_.costs.insert_page_hash,
                      CodePath::kInsertPageHashNode);
@@ -469,9 +522,37 @@ SimTime Monitor::EvictToWriteList(const PageRef& victim, SimTime t,
     return t;
   }
   ++stats_.evictions;
+  prefetcher_.OnEvicted(victim);
   t = ChargeProfiled(t, config_.costs.insert_page_hash,
                      CodePath::kInsertPageHashNode);
   sp.Advance(obs::Stage::kEviction, t);
+  // Tier placement: a victim whose heat decayed to the cold threshold is
+  // not worth a remote-DRAM slot — demote it to the cheap device instead
+  // of the write list. Dirty-safe: WriteOut persists the frame's bytes
+  // before the frame is freed, and a refault promotes via ReadKeep.
+  if (cold_ != nullptr &&
+      tracker_.HeatOf(victim) <= config_.tier_cold_threshold) {
+    auto so = cold_->WriteOut(
+        std::span<const std::byte, kPageSize>{pool_->Data(*frame)}, t);
+    if (so.status.ok()) {
+      const SimTime io_done = so.io_complete_at;
+      pool_->Free(*frame);
+      cold_slots_[victim] = so.slot;
+      tracker_.MarkColdTier(victim);
+      ++stats_.tier_demotions;
+      if (obs_ != nullptr && obs_->enabled())
+        obs_->RecordPipeline(obs::PipeStage::kTierDemote,
+                             io_done > t ? io_done - t : 0);
+      t = std::max(t, io_done);
+      sp.Advance(obs::Stage::kColdTierIo, t);
+      return t;
+    }
+    // Device full or failing: the frame still holds the only copy — fall
+    // back to the normal write-list path.
+    if (so.status.code() != StatusCode::kResourceExhausted)
+      cold_->Release(so.slot);
+    ++stats_.tier_io_errors;
+  }
   write_list_.Enqueue(victim, *frame, t);
   tracker_.MarkWriteList(victim);
   return t;
@@ -605,6 +686,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     span.Advance(obs::Stage::kInstall, t);
     lru_.Insert(p);
     tracker_.MarkResident(p);
+    BumpHeatOnInstall(p);
     t = Charge(t, config_.costs.wake);
     return Finish(t);
   }
@@ -624,6 +706,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
   std::optional<FrameId> stolen_frame;
   std::optional<std::pair<SimTime, FrameId>> inflight_steal;
   blk::BlockNum spill_slot = 0;
+  blk::BlockNum cold_slot = 0;
   if (location == PageLocation::kWriteList) {
     stolen_frame = write_list_.Steal(p);
     if (!stolen_frame.has_value()) {
@@ -644,6 +727,14 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
     } else {
       spill_slot = it->second;
     }
+  } else if (location == PageLocation::kColdTier) {
+    auto it = cold_slots_.find(p);
+    if (cold_ == nullptr || it == cold_slots_.end()) {
+      ++stats_.tracker_desyncs;
+      location = PageLocation::kRemote;
+    } else {
+      cold_slot = it->second;
+    }
   }
 
   switch (location) {
@@ -654,6 +745,11 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
       span.Advance(obs::Stage::kClassify, t);
       lru_.Touch(p);
+      // A raced demand fault absorbed by a still-resident prefetched page
+      // IS the hit the speculation was for — resolve the outcome. Pure
+      // bookkeeping, so feature-off replays are untouched.
+      if (config_.prefetch_depth != 0) prefetcher_.OnResidentTouch(p);
+      BumpHeatOnInstall(p);
       if (engine_mode) {
         // An async read for this page may still have been in flight when
         // this fault was RAISED (the eager install made the page resident
@@ -696,6 +792,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
+      BumpHeatOnInstall(p);
       t = Charge(t, config_.costs.wake);
       return Finish(t);
     }
@@ -725,6 +822,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
+      BumpHeatOnInstall(p);
       t = Charge(t, config_.costs.wake);
       return Finish(t);
     }
@@ -761,6 +859,46 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
       span.Advance(obs::Stage::kInstall, t);
       lru_.Insert(p);
       tracker_.MarkResident(p);
+      BumpHeatOnInstall(p);
+      t = Charge(t, config_.costs.wake);
+      return Finish(t);
+    }
+
+    case PageLocation::kColdTier: {
+      // Tier promotion: the page's heat decayed and an eviction demoted it
+      // to the cheap device; this refault brings it back to DRAM. Served
+      // locally — no store round trip.
+      span.SetKind(obs::FaultKind::kColdTier);
+      t = ChargeProfiled(t, upc, CodePath::kUpdatePageCache);
+      span.Advance(obs::Stage::kClassify, t);
+      auto ci = cold_->ReadKeep(
+          cold_slot, std::span<std::byte, kPageSize>{scratch_}, t);
+      if (!ci.status.ok()) {
+        // Device hiccup: the slot still holds the only copy — keep it so
+        // the fault can retry.
+        ++stats_.tier_io_errors;
+        span.Advance(obs::Stage::kColdTierIo, ci.io_complete_at);
+        return Fail(ci.status, ci.io_complete_at);
+      }
+      t = ci.io_complete_at;
+      span.Advance(obs::Stage::kColdTierIo, t);
+      cold_->Release(cold_slot);
+      cold_slots_.erase(p);
+      ++stats_.tier_promotions;
+      if (need_evict && !config_.async_write)
+        t = EvictOneFor(id, t, /*sync_write=*/true,
+                        /*remap_overlapped=*/false, &sched, &span);
+      t = ChargeProfiled(t, config_.costs.uffd_copy, CodePath::kUffdCopy);
+      (void)ri.region->Copy(
+          addr, std::span<const std::byte, kPageSize>{scratch_});
+      t = ChargeProfiled(t, config_.costs.insert_lru,
+                         CodePath::kInsertLruCacheNode);
+      span.Advance(obs::Stage::kInstall, t);
+      lru_.Insert(p);
+      tracker_.MarkResident(p);
+      // A promotion is strong evidence of renewed use: re-heat to the
+      // ceiling so the page does not bounce straight back out.
+      tracker_.BumpHeat(p, config_.page_heat_max, config_.page_heat_max);
       t = Charge(t, config_.costs.wake);
       return Finish(t);
     }
@@ -872,6 +1010,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
         span.Advance(obs::Stage::kInstall, t);
         lru_.Insert(p);
         tracker_.MarkResident(p);
+        BumpHeatOnInstall(p);
         // READ_PAGE profiles the store read itself (top half through data
         // arrival), not whatever work overlapped it.
         profiler_.Record(CodePath::kReadPage,
@@ -942,6 +1081,7 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
         span.Advance(obs::Stage::kInstall, t);
         lru_.Insert(p);
         tracker_.MarkResident(p);
+        BumpHeatOnInstall(p);
       }
       t = Charge(t, config_.costs.wake);
       const SimTime wake = t;
@@ -982,22 +1122,23 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
   if (config_.prefetch_depth == 0) return;
   RegionInfo& ri = regions_[id];
 
-  // Stream detection (what hardware and OS readahead both do): only fetch
-  // ahead once the region shows consecutive-page faults; random faults
-  // must not pollute the buffer or queue useless reads on the store.
-  const bool sequential = addr == ri.last_remote_fault + kPageSize ||
-                          addr == ri.last_remote_fault;  // re-fault of the
-                                                         // window end
-  ri.seq_streak = sequential ? ri.seq_streak + 1 : 0;
-  ri.last_remote_fault = addr;
-  if (ri.seq_streak < 2) return;
+  // Ask the predictor for this fault's window: the legacy sequential
+  // stream detector or the Leap majority-vote stride, with the adaptive
+  // window and the accuracy gate applied inside. Pure bookkeeping — no
+  // RNG, no virtual time — so the decision replays with the fault stream.
+  const PrefetchDecision dec = prefetcher_.OnRemoteFault(id, addr);
+  if (dec.depth == 0) return;
 
-  // Collect the fetchable window: pages the VM has used before that are
-  // safely remote. Never-touched pages keep their first-fault (zero-fill)
-  // semantics, and write-list pages are already local.
+  // Collect the fetchable window along the predicted stride: pages the VM
+  // has used before that are safely remote. Never-touched pages keep their
+  // first-fault (zero-fill) semantics, and write-list pages are already
+  // local. Walking off the region ends the window.
+  const std::int64_t step =
+      dec.stride_pages * static_cast<std::int64_t>(kPageSize);
   std::vector<PageRef> candidates;
-  for (std::size_t d = 1; d <= config_.prefetch_depth; ++d) {
-    const VirtAddr next = addr + d * kPageSize;
+  for (std::size_t d = 1; d <= dec.depth; ++d) {
+    const VirtAddr next =
+        addr + static_cast<VirtAddr>(step * static_cast<std::int64_t>(d));
     if (!ri.region->Contains(next)) break;
     const PageRef p{id, next};
     if (tracker_.Seen(p) && tracker_.LocationOf(p) == PageLocation::kRemote)
@@ -1014,7 +1155,12 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
     return;
   }
 
-  SimTime t = flusher_.EarliestStart(now);
+  // The speculative MultiGet runs on its own readahead lane: it used to
+  // ride the flusher timeline, where a large window could push coalesced
+  // writeback (and deferred evictions) behind a read nobody is blocked on.
+  Timeline& lane = prefetch_lane_;
+  const auto lane_id = static_cast<std::uint32_t>(engine_->shard_count());
+  SimTime t = lane.EarliestStart(now);
   const SimTime start = t;
 
   // One multiRead round trip for the whole window (RAMCloud §4; other
@@ -1030,19 +1176,41 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
   if (!mg.status.ok()) {
     // Wholesale batch failure: a transport-level failure stamps every
     // per-key slot, so the slots are not install-grade evidence. Skip the
-    // installs — but the background thread still paid for the round trip,
-    // so charge through the batch's completion.
+    // installs — but the lane still paid for the round trip, so charge
+    // through the batch's completion.
     ++stats_.prefetch_failed_batches;
     t = std::max(t, mg.complete_at);
-    flusher_.Occupy(start, t > start ? t - start : 0);
+    if (obs_ != nullptr && obs_->enabled())
+      obs_->RecordPipeline(obs::PipeStage::kPrefetchRead, lane_id, start,
+                           t > start ? t - start : 0);
+    lane.Occupy(start, t > start ? t - start : 0);
     return;
   }
+  const SimTime read_done = std::max(t, mg.complete_at);
 
-  PageRef last_installed{};
+  PageRef last_considered{};
   bool any = false;
   std::vector<PageRef> installed_this_batch;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (!reads[i].status.ok()) continue;  // lost race or store hiccup: skip
+    // Continuation point for the window extension below: the last
+    // candidate the loop actually CONSIDERED — installed, skipped, or
+    // abandoned to the churn guard — not unconditionally the last
+    // installed page. A truncated batch must not pretend it covered the
+    // whole window, or the next window-end fault misses the stream.
+    last_considered = candidates[i];
+    if (!reads[i].status.ok()) {
+      // Per-key failure: the slot is not install-grade. A kDataLoss slot
+      // means no copy of that page passed envelope verification — charge
+      // the corruption path and quarantine exactly like a demand read
+      // would, so later faults fail fast into the repair flow instead of
+      // re-reading rot.
+      if (reads[i].status.code() == StatusCode::kDataLoss &&
+          !poisoned_.contains({id, candidates[i].addr})) {
+        ++stats_.poisoned_page_errors;
+        poisoned_.insert({id, candidates[i].addr});
+      }
+      continue;  // lost race, store hiccup, or rot: never installed
+    }
     // Make room first so the insert cannot overflow the budget — neither
     // the global one nor this region's quota. Prefetched pages count
     // against the faulting tenant exactly like demand-faulted ones;
@@ -1074,20 +1242,25 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
     if (!cp.ok()) continue;  // raced with an in-kernel install
     lru_.Insert(candidates[i]);
     tracker_.MarkResident(candidates[i]);
+    prefetcher_.MarkPrefetched(candidates[i]);
     ++stats_.prefetched_pages;
     installed_this_batch.push_back(candidates[i]);
-    last_installed = candidates[i];
     any = true;
   }
   if (any) {
     // Readahead-window extension: the next fault at the end of the
-    // prefetched run continues the stream rather than resetting it.
-    ri.last_remote_fault = last_installed.addr;
-    ri.seq_streak = 2;
+    // covered run continues the stream rather than resetting it.
+    prefetcher_.OnBatchEnd(id, last_considered.addr);
   }
   t = std::max(t, mg.complete_at);
   t = Charge(t, config_.costs.uffd_copy);  // batch install bookkeeping
-  flusher_.Occupy(start, t > start ? t - start : 0);
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->RecordPipeline(obs::PipeStage::kPrefetchRead, lane_id, start,
+                         read_done > start ? read_done - start : 0);
+    obs_->RecordPipeline(obs::PipeStage::kPrefetchInstall, lane_id, read_done,
+                         t > read_done ? t - read_done : 0);
+  }
+  lane.Occupy(start, t > start ? t - start : 0);
   FlushIfNeeded(t);
 }
 
@@ -1160,6 +1333,10 @@ void Monitor::PumpBackground(SimTime now) {
   // Quarantine re-probes ride behind the repair pass: pages it fixed
   // return to service on the same tick.
   ProbePoisoned(now);
+  // Tier placement: one exponential-decay sweep per background tick, so
+  // "hot" means "touched since the last couple of pumps". Gated on the
+  // cold tier being attached — heat is inert bookkeeping otherwise.
+  if (cold_ != nullptr) tracker_.DecayHeat();
   // Pipelined mode: any evictions still queued from the last dequeue batch
   // run now, so a quiescent monitor converges to the same steady state as
   // the serial one (LRU at budget, dirty pages on the write list).
@@ -1197,6 +1374,20 @@ void Monitor::AttachObservability(obs::Observability& obs) {
     [&st] { return double(st.prefetch_breaker_skips); });
   g("monitor.prefetch_churn_stops",
     [&st] { return double(st.prefetch_churn_stops); });
+  g("monitor.tier_demotions", [&st] { return double(st.tier_demotions); });
+  g("monitor.tier_promotions", [&st] { return double(st.tier_promotions); });
+  g("monitor.tier_io_errors", [&st] { return double(st.tier_io_errors); });
+  g("monitor.cold_tier_pages",
+    [this] { return double(cold_slots_.size()); });
+  const PrefetcherStats& ps = prefetcher_.stats();
+  g("prefetch.predictions", [&ps] { return double(ps.predictions); });
+  g("prefetch.no_trend", [&ps] { return double(ps.no_trend); });
+  g("prefetch.hits", [&ps] { return double(ps.hits); });
+  g("prefetch.wasted", [&ps] { return double(ps.wasted); });
+  g("prefetch.gated_skips", [&ps] { return double(ps.gated_skips); });
+  g("prefetch.gate_probes", [&ps] { return double(ps.gate_probes); });
+  g("prefetch.unused_pages",
+    [this] { return double(prefetcher_.UnusedPrefetchedPages()); });
   g("monitor.writeback_errors",
     [&st] { return double(st.writeback_errors); });
   g("monitor.transient_read_errors",

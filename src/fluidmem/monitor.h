@@ -31,6 +31,7 @@
 #include "fluidmem/lru_buffer.h"
 #include "fluidmem/page_tracker.h"
 #include "fluidmem/page_key.h"
+#include "fluidmem/prefetcher.h"
 #include "fluidmem/write_list.h"
 #include "kvstore/health.h"
 #include "kvstore/kvstore.h"
@@ -60,10 +61,24 @@ struct MonitorConfig {
   bool async_read = true;
   bool async_write = true;
 
-  // Sequential fault-ahead: on a remote fault at page p, fetch up to
-  // `prefetch_depth` following pages that are also remote, off the fault's
-  // critical path (a §III-style user-space policy; 0 disables).
+  // Fault-ahead: on a remote fault at page p, fetch up to `prefetch_depth`
+  // predicted pages that are also remote, off the fault's critical path
+  // (a §III-style user-space policy; 0 disables). The prediction policy
+  // (legacy sequential detector vs Leap majority-vote, adaptive window,
+  // accuracy gate) lives in `prefetch`.
   std::size_t prefetch_depth = 0;
+  PrefetcherConfig prefetch;
+
+  // --- hot/cold tier placement (active once AttachColdTier provides a
+  // device) -----------------------------------------------------------------
+  // Eviction victims whose decayed heat is at or below this threshold are
+  // demoted to the cold-tier device instead of the remote-DRAM write path;
+  // refaults promote them back (and re-heat them).
+  std::uint8_t tier_cold_threshold = 1;
+  // Heat added per demand install / monitor-visible touch, and the
+  // saturation ceiling. PumpBackground halves all heat each tick.
+  std::uint8_t page_heat_bump = 2;
+  std::uint8_t page_heat_max = 8;
 
   // KVM hardware-assisted virtualisation vs full (TCG) virtualisation.
   // KVM fault handling can recurse into further faults; below
@@ -184,6 +199,15 @@ struct MonitorStats {
   // Quarantined pages whose re-probe read verified clean again (anti-entropy
   // repaired the store copy); the page returns to normal kRemote service.
   std::uint64_t poison_cleared = 0;
+  // --- hot/cold tier placement ---------------------------------------------------
+  // Cold eviction victims written to the cold-tier device instead of the
+  // remote-DRAM write path.
+  std::uint64_t tier_demotions = 0;
+  // Faults served from the cold tier (the page promoted back to DRAM).
+  std::uint64_t tier_promotions = 0;
+  // Cold-tier device IO failures (demotion write fell back to the write
+  // list, or a promotion read that must be retried).
+  std::uint64_t tier_io_errors = 0;
 };
 
 class Monitor {
@@ -263,6 +287,19 @@ class Monitor {
     lru_.Touch(PageRef{id, PageAlignDown(addr)});
   }
 
+  // Demand use of an already-resident page, reported by the VM layer (a
+  // guest access that did NOT fault). Resolves prefetched-unused pages to
+  // hits and bumps tier heat. Pure bookkeeping — no randomness, no time —
+  // and an early return when neither feature is on, so legacy stacks
+  // replay byte-identically whether drivers call it or not.
+  void NotePageTouch(RegionId id, VirtAddr addr) {
+    if (cold_ == nullptr && config_.prefetch_depth == 0) return;
+    const PageRef p{id, PageAlignDown(addr)};
+    if (cold_ != nullptr)
+      tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
+    if (config_.prefetch_depth != 0) prefetcher_.OnResidentTouch(p);
+  }
+
   // Drive background work (flush stale writes, retire batches, store
   // maintenance, spill migrate-back) without a fault; the real flush
   // thread wakes periodically.
@@ -291,6 +328,24 @@ class Monitor {
   const kv::HealthTracker& write_health() const noexcept {
     return write_health_;
   }
+
+  // --- hot/cold tier placement ----------------------------------------------------
+
+  // Provide a cheaper tier (NVMeoF/SSD BlockDevice behind a SwapSpace) for
+  // cold pages: eviction victims whose heat decayed to the cold threshold
+  // are demoted here instead of the remote-DRAM write path, and refaults
+  // promote them back. The SwapSpace must outlive the monitor.
+  void AttachColdTier(swap::SwapSpace& cold) { cold_ = &cold; }
+  bool HasColdTier() const noexcept { return cold_ != nullptr; }
+  std::size_t ColdTierPageCount() const noexcept { return cold_slots_.size(); }
+  bool HasColdSlot(const PageRef& p) const { return cold_slots_.contains(p); }
+  // Oracle access for tests: read a cold-tier page's bytes without timing
+  // or fault-injection side effects.
+  Status PeekColdTier(const PageRef& p,
+                      std::span<std::byte, kPageSize> out) const;
+
+  // The prediction subsystem (hit/waste/gate accounting lives there).
+  const Prefetcher& prefetcher() const noexcept { return prefetcher_; }
 
   // --- page quarantine (integrity) ------------------------------------------------
 
@@ -345,10 +400,8 @@ class Monitor {
     PartitionId partition = 0;
     bool active = false;
     // Per-tenant DRAM quota (pages); 0 = unlimited (global budget only).
+    // (Stream-detector state moved into the Prefetcher.)
     std::size_t quota_pages = 0;
-    // Sequential-stream detector state for the prefetcher.
-    VirtAddr last_remote_fault = 0;
-    std::uint32_t seq_streak = 0;
   };
 
   // The fault path proper, parameterized by a FaultSchedule (which worker
@@ -424,9 +477,16 @@ class Monitor {
   // a clean verified read lifts the quarantine.
   void ProbePoisoned(SimTime now);
 
-  // Fault-ahead: fetch up to prefetch_depth pages following `addr` that
-  // currently live in the store; runs on the background thread.
+  // Fault-ahead: ask the Prefetcher for a predicted window after the
+  // remote fault at `addr` and fetch it on the dedicated readahead lane.
   void PrefetchAfter(RegionId id, VirtAddr addr, SimTime now);
+
+  // Demand install bookkeeping for the tier policy (heat bump; inert
+  // without a cold tier attached).
+  void BumpHeatOnInstall(const PageRef& p) {
+    if (cold_ != nullptr)
+      tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
+  }
 
   kv::Key KeyFor(const PageRef& p) const { return kv::MakePageKey(p.addr); }
 
@@ -449,11 +509,24 @@ class Monitor {
   kv::HealthTracker read_health_;
   kv::HealthTracker write_health_;
 
+  // Hot/cold tier placement: cold eviction victims demote onto this
+  // device; refaults promote. Distinct from spill_ (degradation under a
+  // store outage) — the two can coexist.
+  swap::SwapSpace* cold_ = nullptr;
+  std::unordered_map<PageRef, blk::BlockNum, PageRefHash> cold_slots_;
+
+  // The prediction subsystem (per-region stride vote, adaptive window,
+  // accuracy gate, hit/waste accounting).
+  Prefetcher prefetcher_;
+
   // Quarantined pages, ordered so re-probes walk deterministically.
   std::set<std::pair<RegionId, VirtAddr>> poisoned_;
 
   Timeline monitor_;  // the epoll/fault-handling thread (serial mode)
   Timeline flusher_;  // the writeback thread
+  // Dedicated readahead lane: speculative MultiGets no longer contend
+  // head-to-head with coalesced writeback on the flusher thread.
+  Timeline prefetch_lane_;
 
   // The sharded handler pool; owns the per-shard worker timelines, stats,
   // contention model and I/O windows. One shard by default, in which case

@@ -12,7 +12,17 @@
 //   kInFlight   — inside a multi-write batch the flush thread has posted;
 //   kRemote     — safely in the key-value store;
 //   kSpilled    — on the local swap device (graceful degradation while the
-//                 remote store is down; migrates back when it recovers).
+//                 remote store is down; migrates back when it recovers);
+//   kColdTier   — demoted to the cheap cold-tier device because the page's
+//                 heat decayed (tier placement; promotes on refault).
+//
+// Each entry also carries a coarse per-page HEAT counter for the hot/cold
+// tier policy: demand installs and monitor-visible touches bump it,
+// PumpBackground halves it, and evictions demote pages at or below the
+// cold threshold to the cold-tier device instead of remote DRAM. Heat is
+// pure bookkeeping — reading or writing it draws no randomness and charges
+// no virtual time, so stacks that never attach a cold tier replay
+// byte-identically whether the counters move or not.
 //
 // Sharding: the parallel fault engine partitions the hash by page key so
 // each handler shard owns a slice (mirroring a striped-lock hash table).
@@ -20,6 +30,7 @@
 // at any shard count; ShardSize exposes slice occupancy for balance stats.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +46,7 @@ enum class PageLocation : std::uint8_t {
   kInFlight,
   kRemote,
   kSpilled,
+  kColdTier,
 };
 
 class PageTracker {
@@ -58,14 +70,40 @@ class PageTracker {
     auto it = m.find(p);
     // Unknown pages are "resident by zero-page" only after MarkResident;
     // callers must check Seen() first. Defensive default:
-    return it == m.end() ? PageLocation::kRemote : it->second;
+    return it == m.end() ? PageLocation::kRemote : it->second.loc;
   }
 
-  void MarkResident(const PageRef& p) { Of(p)[p] = PageLocation::kResident; }
-  void MarkWriteList(const PageRef& p) { Of(p)[p] = PageLocation::kWriteList; }
-  void MarkInFlight(const PageRef& p) { Of(p)[p] = PageLocation::kInFlight; }
-  void MarkRemote(const PageRef& p) { Of(p)[p] = PageLocation::kRemote; }
-  void MarkSpilled(const PageRef& p) { Of(p)[p] = PageLocation::kSpilled; }
+  void MarkResident(const PageRef& p) { Set(p, PageLocation::kResident); }
+  void MarkWriteList(const PageRef& p) { Set(p, PageLocation::kWriteList); }
+  void MarkInFlight(const PageRef& p) { Set(p, PageLocation::kInFlight); }
+  void MarkRemote(const PageRef& p) { Set(p, PageLocation::kRemote); }
+  void MarkSpilled(const PageRef& p) { Set(p, PageLocation::kSpilled); }
+  void MarkColdTier(const PageRef& p) { Set(p, PageLocation::kColdTier); }
+
+  // --- per-page heat (hot/cold tier placement) -----------------------------
+
+  std::uint8_t HeatOf(const PageRef& p) const {
+    const Map& m = Of(p);
+    auto it = m.find(p);
+    return it == m.end() ? 0 : it->second.heat;
+  }
+
+  // Saturating bump of a tracked page's heat; unknown pages are ignored
+  // (heat exists only alongside a location entry).
+  void BumpHeat(const PageRef& p, std::uint8_t add, std::uint8_t max) {
+    Map& m = Of(p);
+    auto it = m.find(p);
+    if (it == m.end()) return;
+    it->second.heat = static_cast<std::uint8_t>(
+        std::min<unsigned>(max, unsigned(it->second.heat) + add));
+  }
+
+  // Exponential decay: halve every page's heat. One sweep per background
+  // tick keeps "hot" meaning "touched since the last couple of pumps".
+  void DecayHeat() {
+    for (Map& m : maps_)
+      for (auto& [p, s] : m) s.heat = static_cast<std::uint8_t>(s.heat >> 1);
+  }
 
   void Forget(const PageRef& p) { Of(p).erase(p); }
 
@@ -95,27 +133,35 @@ class PageTracker {
   template <typename F>
   void ForEachInRegion(RegionId region, F&& f) const {
     for (const Map& m : maps_)
-      for (const auto& [p, loc] : m)
-        if (p.region == region) f(p, loc);
+      for (const auto& [p, s] : m)
+        if (p.region == region) f(p, s.loc);
   }
 
   // Visit every tracked page (chaos invariant sweeps).
   template <typename F>
   void ForEach(F&& f) const {
     for (const Map& m : maps_)
-      for (const auto& [p, loc] : m) f(p, loc);
+      for (const auto& [p, s] : m) f(p, s.loc);
   }
 
   std::size_t CountIn(PageLocation loc) const {
     std::size_t n = 0;
     for (const Map& m : maps_)
-      for (const auto& [p, l] : m)
-        if (l == loc) ++n;
+      for (const auto& [p, s] : m)
+        if (s.loc == loc) ++n;
     return n;
   }
 
  private:
-  using Map = std::unordered_map<PageRef, PageLocation, PageRefHash>;
+  struct PageState {
+    PageLocation loc = PageLocation::kRemote;
+    std::uint8_t heat = 0;
+  };
+  using Map = std::unordered_map<PageRef, PageState, PageRefHash>;
+
+  // Location changes preserve heat: the counter tracks the page, not the
+  // place it currently lives.
+  void Set(const PageRef& p, PageLocation l) { Of(p)[p].loc = l; }
 
   Map& Of(const PageRef& p) { return maps_[ShardOf(p)]; }
   const Map& Of(const PageRef& p) const { return maps_[ShardOf(p)]; }

@@ -1,0 +1,217 @@
+#include "fluidmem/prefetcher.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fluid::fm {
+
+void Prefetcher::Configure(const PrefetcherConfig& cfg,
+                           std::size_t depth_cap) {
+  cfg_ = cfg;
+  if (cfg_.history < 2) cfg_.history = 2;
+  if (cfg_.min_window == 0) cfg_.min_window = 1;
+  if (cfg_.accuracy_window < 4) cfg_.accuracy_window = 4;
+  if (cfg_.gate_probe_period == 0) cfg_.gate_probe_period = 1;
+  depth_cap_ = depth_cap;
+  regions_.clear();
+  unused_.clear();
+  stats_ = PrefetcherStats{};
+}
+
+Prefetcher::RegionState& Prefetcher::StateOf(RegionId region) {
+  RegionState& r = regions_[region];
+  if (r.deltas.empty()) {
+    r.deltas.assign(cfg_.history, 0);
+    r.probe_countdown = cfg_.gate_probe_period;
+  }
+  return r;
+}
+
+std::size_t Prefetcher::DepthCap() const noexcept {
+  return cfg_.max_window != 0 ? std::min(cfg_.max_window, depth_cap_)
+                              : depth_cap_;
+}
+
+std::uint32_t Prefetcher::OutcomeRingLen() const noexcept {
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(cfg_.accuracy_window, 64));
+}
+
+bool Prefetcher::Gated(const RegionState& r) const {
+  if (cfg_.accuracy_floor_pct <= 0) return false;
+  const std::uint32_t ring = OutcomeRingLen();
+  // Demand evidence before judging: at least half a ring of resolved
+  // outcomes (and never fewer than 4).
+  const std::uint32_t need = std::max<std::uint32_t>(4, ring / 2);
+  if (r.outcome_len < need) return false;
+  const int pct = static_cast<int>(100 * std::popcount(r.outcome_bits) /
+                                   r.outcome_len);
+  return pct < cfg_.accuracy_floor_pct;
+}
+
+std::int64_t Prefetcher::Predict(const RegionState& r) const {
+  if (r.delta_count == 0) return 0;
+  const std::size_t cap = r.deltas.size();
+  // back == 0 is the most recent delta.
+  auto at = [&](std::size_t back) {
+    return r.deltas[(r.delta_next + cap - 1 - back) % cap];
+  };
+  // Too little history for a meaningful vote: follow the latest trend
+  // (Leap's fallback).
+  if (r.delta_count < 4) return at(0);
+  // Boyer–Moore majority over doubling suffix windows of the ring.
+  std::size_t w = 4;
+  while (true) {
+    const std::size_t use = std::min(w, r.delta_count);
+    std::int64_t cand = 0;
+    std::size_t votes = 0;
+    for (std::size_t i = 0; i < use; ++i) {
+      const std::int64_t d = at(i);
+      if (votes == 0) {
+        cand = d;
+        votes = 1;
+      } else if (d == cand) {
+        ++votes;
+      } else {
+        --votes;
+      }
+    }
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < use; ++i)
+      if (at(i) == cand) ++n;
+    if (2 * n > use) return cand;  // strict majority found at this width
+    if (use == r.delta_count || use >= cfg_.history) break;
+    w *= 2;
+  }
+  return 0;
+}
+
+PrefetchDecision Prefetcher::OnRemoteFault(RegionId region, VirtAddr addr) {
+  PrefetchDecision d;
+  if (depth_cap_ == 0) return d;
+  RegionState& r = StateOf(region);
+
+  std::int64_t stride = 0;
+  std::size_t depth = 0;
+  if (cfg_.mode == PrefetchMode::kSequential) {
+    // The legacy stream detector: consecutive next-page faults arm it;
+    // `addr == last_fault` continues a stream whose window end re-faults.
+    const bool sequential =
+        r.has_last &&
+        (addr == r.last_fault + kPageSize || addr == r.last_fault);
+    r.seq_streak = sequential ? r.seq_streak + 1 : 0;
+    r.last_fault = addr;
+    r.has_last = true;
+    if (r.seq_streak < 2) return d;
+    stride = 1;
+    depth = depth_cap_;
+  } else {
+    if (r.has_last) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(addr - r.last_fault) /
+          static_cast<std::int64_t>(kPageSize);
+      if (delta != 0) {
+        r.deltas[r.delta_next] = delta;
+        r.delta_next = (r.delta_next + 1) % r.deltas.size();
+        r.delta_count = std::min(r.delta_count + 1, r.deltas.size());
+      }
+    }
+    r.last_fault = addr;
+    r.has_last = true;
+    stride = Predict(r);
+    if (stride == 0) {
+      ++stats_.no_trend;
+      return d;
+    }
+    if (r.window == 0)
+      r.window = std::max(cfg_.min_window,
+                          std::min<std::size_t>(4, DepthCap()));
+    depth = r.window;
+  }
+
+  if (Gated(r)) {
+    if (r.probe_countdown == 0) {
+      // Probe: a minimal batch so the outcome ring keeps getting fresh
+      // evidence — without it a closed gate could never re-open.
+      r.probe_countdown = cfg_.gate_probe_period;
+      ++stats_.gate_probes;
+      depth = cfg_.min_window;
+    } else {
+      --r.probe_countdown;
+      ++stats_.gated_skips;
+      d.gated = true;
+      return d;
+    }
+  }
+
+  ++stats_.predictions;
+  d.stride_pages = stride;
+  d.depth = std::min(depth, depth_cap_);
+  return d;
+}
+
+void Prefetcher::OnBatchEnd(RegionId region, VirtAddr continuation) {
+  RegionState& r = StateOf(region);
+  r.last_fault = continuation;
+  r.has_last = true;
+  // Sequential mode: the next window-end fault continues the stream (the
+  // legacy "seq_streak = 2" re-arm). Majority mode records no delta: the
+  // continuation point only anchors the next demand fault's delta so the
+  // batch-sized jump never enters the vote.
+  if (cfg_.mode == PrefetchMode::kSequential) r.seq_streak = 2;
+}
+
+void Prefetcher::MarkPrefetched(const PageRef& p) { unused_.insert(p); }
+
+void Prefetcher::RecordOutcome(RegionId region, bool hit) {
+  RegionState& r = StateOf(region);
+  const std::uint32_t ring = OutcomeRingLen();
+  r.outcome_bits = (r.outcome_bits << 1) | (hit ? 1u : 0u);
+  if (ring < 64) r.outcome_bits &= (std::uint64_t{1} << ring) - 1;
+  r.outcome_len = std::min(r.outcome_len + 1, ring);
+  if (cfg_.mode == PrefetchMode::kMajority) {
+    if (hit)
+      r.window = std::min(DepthCap(), std::max<std::size_t>(1, r.window) + 1);
+    else
+      r.window = std::max(cfg_.min_window, std::max<std::size_t>(1, r.window) / 2);
+  }
+}
+
+void Prefetcher::OnResidentTouch(const PageRef& p) {
+  if (unused_.erase(p) == 0) return;
+  ++stats_.hits;
+  RecordOutcome(p.region, /*hit=*/true);
+}
+
+void Prefetcher::OnEvicted(const PageRef& p) {
+  if (unused_.erase(p) == 0) return;
+  ++stats_.wasted;
+  RecordOutcome(p.region, /*hit=*/false);
+}
+
+void Prefetcher::ForgetRegion(RegionId region) {
+  regions_.erase(region);
+  for (auto it = unused_.begin(); it != unused_.end();) {
+    it = (it->region == region) ? unused_.erase(it) : std::next(it);
+  }
+}
+
+int Prefetcher::TrailingAccuracyPct(RegionId region) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return -1;
+  const RegionState& r = it->second;
+  const std::uint32_t need = std::max<std::uint32_t>(4, OutcomeRingLen() / 2);
+  if (r.outcome_len < need) return -1;
+  return static_cast<int>(100 * std::popcount(r.outcome_bits) /
+                          r.outcome_len);
+}
+
+std::size_t Prefetcher::WindowOf(RegionId region) const {
+  if (cfg_.mode == PrefetchMode::kSequential) return depth_cap_;
+  auto it = regions_.find(region);
+  if (it == regions_.end() || it->second.window == 0)
+    return std::max(cfg_.min_window, std::min<std::size_t>(4, DepthCap()));
+  return it->second.window;
+}
+
+}  // namespace fluid::fm

@@ -1,0 +1,171 @@
+// Predictive prefetching for the monitor's remote-fault path.
+//
+// Replaces the inline one-stream-per-region hack that used to live in
+// RegionInfo (last_remote_fault + seq_streak): the Prefetcher owns the
+// per-region prediction state, the adaptive readahead window, and the
+// accuracy accounting, while the Monitor keeps owning the mechanics (the
+// MultiGet, budget-honouring installs, breaker/churn guards).
+//
+// Two prediction modes:
+//
+//   kSequential — the legacy detector, verbatim: fetch a fixed-depth
+//   window after two consecutive next-page (or window-end re-fault)
+//   remote faults. Strided and interleaved streams defeat it.
+//
+//   kMajority — Leap's trend detection (Al Maruf & Chowdhury, ATC'20):
+//   keep a bounded ring of recent fault deltas per region and find the
+//   MAJORITY delta with one Boyer–Moore pass, widening the vote window
+//   in doubling steps (4, 8, … up to the history bound) until a strict
+//   majority appears. A short history falls back to the most recent
+//   delta; no majority at any width emits nothing — a random pattern
+//   must not fabricate a stride. The window (depth) is adaptive: hits
+//   grow it by one page, wasted prefetches halve it.
+//
+// Accuracy-gated throttling (both modes): every prefetched page resolves
+// to exactly one of HIT (a demand touch or raced demand fault absorbed by
+// the still-resident page) or WASTED (evicted untouched). The trailing
+// outcomes feed a per-region bit-ring; once the ring has enough evidence
+// and its hit rate drops below `accuracy_floor_pct`, speculation for that
+// region is suppressed except for a small probe batch every
+// `gate_probe_period` suppressed faults — wrong guesses stop evicting
+// useful frames, but the gate can re-open when the access pattern turns
+// predictable again. The floor defaults to 0 (gate off), preserving the
+// legacy behaviour of every existing prefetch-enabled stack.
+//
+// Determinism: the Prefetcher holds no RNG and never touches virtual
+// time. Every method is pure bookkeeping over the fault sequence, so a
+// (seed, plan) replay that feeds it the same faults gets the same
+// decisions — and stacks with prefetch_depth == 0 never call it at all.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "fluidmem/page_key.h"
+
+namespace fluid::fm {
+
+enum class PrefetchMode : std::uint8_t {
+  kSequential,  // legacy next-page stream detector, fixed window
+  kMajority,    // Leap majority-vote stride detection, adaptive window
+};
+
+struct PrefetcherConfig {
+  PrefetchMode mode = PrefetchMode::kSequential;
+  // Fault deltas remembered per region (Leap's H). Vote windows double
+  // from 4 up to this bound.
+  std::size_t history = 8;
+  // Adaptive window bounds (majority mode): shrink no further than
+  // min_window; 0 max_window defers to the monitor's prefetch_depth.
+  std::size_t min_window = 1;
+  std::size_t max_window = 0;
+  // Accuracy gate: suppress speculation for a region while its trailing
+  // hit rate sits below this percentage. 0 disables the gate.
+  int accuracy_floor_pct = 0;
+  // Trailing prefetch outcomes (hit/wasted bits) per region considered by
+  // the gate; capped at 64 (one machine word).
+  std::size_t accuracy_window = 32;
+  // While gated, let one probe batch (min_window pages) through every
+  // this-many suppressed faults so fresh evidence can re-open the gate.
+  std::size_t gate_probe_period = 16;
+};
+
+struct PrefetcherStats {
+  std::uint64_t predictions = 0;   // decisions that emitted a window
+  std::uint64_t no_trend = 0;      // majority vote found no stride
+  std::uint64_t hits = 0;          // demand use absorbed by a prefetched page
+  std::uint64_t wasted = 0;        // prefetched page evicted untouched
+  std::uint64_t gated_skips = 0;   // windows suppressed by the accuracy gate
+  std::uint64_t gate_probes = 0;   // probe batches let through while gated
+};
+
+// One speculation decision for a remote fault. depth == 0 means "emit
+// nothing"; `gated` marks suppression by the accuracy gate (as opposed to
+// an unarmed stream / no majority).
+struct PrefetchDecision {
+  std::int64_t stride_pages = 0;  // signed page delta between candidates
+  std::size_t depth = 0;          // candidate count along the stride
+  bool gated = false;
+};
+
+class Prefetcher {
+ public:
+  Prefetcher() = default;
+
+  // `depth_cap` is the monitor's prefetch_depth: the hard ceiling on any
+  // emitted window (and the fixed sequential-mode depth).
+  void Configure(const PrefetcherConfig& cfg, std::size_t depth_cap);
+
+  // A demand fault on `addr` resolved via the remote store: update the
+  // region's delta history / stream detector and decide the window.
+  PrefetchDecision OnRemoteFault(RegionId region, VirtAddr addr);
+
+  // A batch finished with `continuation` the last candidate the install
+  // loop actually CONSIDERED (installed, skipped, or abandoned to the
+  // churn guard). The next fault continues the stream from there; no
+  // synthetic delta is recorded, so the predictor's history is not
+  // poisoned by the window-sized jump the batch created.
+  void OnBatchEnd(RegionId region, VirtAddr continuation);
+
+  // A speculative install landed: the page is prefetched-and-unused until
+  // a touch (hit) or an eviction (wasted) resolves it.
+  void MarkPrefetched(const PageRef& p);
+
+  // A monitor-visible demand use of a resident page (NotePageTouch, or a
+  // raced demand fault that found the page already present).
+  void OnResidentTouch(const PageRef& p);
+
+  // The page left residency (write-list eviction, sync eviction, or
+  // cold-tier demotion).
+  void OnEvicted(const PageRef& p);
+
+  // Region unregistered: drop its predictor and pending-outcome pages
+  // without charging hits or misses.
+  void ForgetRegion(RegionId region);
+
+  const PrefetcherStats& stats() const noexcept { return stats_; }
+  std::size_t UnusedPrefetchedPages() const noexcept { return unused_.size(); }
+  bool IsPrefetchedUnused(const PageRef& p) const {
+    return unused_.contains(p);
+  }
+  // Trailing hit rate of the region's outcome ring, in percent; -1 while
+  // the ring lacks the evidence the gate requires.
+  int TrailingAccuracyPct(RegionId region) const;
+  // Current adaptive window (majority mode); depth_cap in sequential mode.
+  std::size_t WindowOf(RegionId region) const;
+
+ private:
+  struct RegionState {
+    VirtAddr last_fault = 0;
+    bool has_last = false;
+    std::uint32_t seq_streak = 0;  // sequential mode only
+    std::vector<std::int64_t> deltas;  // ring, capacity = cfg.history
+    std::size_t delta_next = 0;        // ring write cursor
+    std::size_t delta_count = 0;
+    std::size_t window = 0;  // adaptive depth (majority mode); 0 = unset
+    std::uint64_t outcome_bits = 0;  // newest outcome in bit 0
+    std::uint32_t outcome_len = 0;
+    std::size_t probe_countdown = 0;
+  };
+
+  RegionState& StateOf(RegionId region);
+  std::size_t DepthCap() const noexcept;
+  std::uint32_t OutcomeRingLen() const noexcept;
+  bool Gated(const RegionState& r) const;
+  // Majority-vote stride over the delta ring; 0 = no trend.
+  std::int64_t Predict(const RegionState& r) const;
+  void RecordOutcome(RegionId region, bool hit);
+
+  PrefetcherConfig cfg_;
+  std::size_t depth_cap_ = 0;
+  std::unordered_map<RegionId, RegionState> regions_;
+  // Globally-tracked prefetched-but-unused pages (PageRef carries the
+  // region, so outcome attribution stays per-region).
+  std::unordered_set<PageRef, PageRefHash> unused_;
+  PrefetcherStats stats_;
+};
+
+}  // namespace fluid::fm

@@ -39,6 +39,7 @@ enum class Stage : std::uint8_t {
   kClassify,            // tracker lookup + page-cache bookkeeping (UPC/IPH)
   kRemoteRead,          // KV-store read: post, window gate, RTT wait
   kLocalSpillIo,        // local swap device read (degraded mode)
+  kColdTierIo,          // cold-tier device read (heat-based promotion)
   kEviction,            // UFFD_REMAP + tracker insert for the victim
   kWriteback,           // victim store write, or wait on an in-flight batch
   kInstall,             // UFFDIO_COPY / ZEROPAGE + LRU insert
@@ -58,6 +59,7 @@ constexpr std::string_view StageName(Stage s) noexcept {
     case Stage::kClassify: return "classify";
     case Stage::kRemoteRead: return "remote_read";
     case Stage::kLocalSpillIo: return "local_spill_io";
+    case Stage::kColdTierIo: return "cold_tier_io";
     case Stage::kEviction: return "eviction";
     case Stage::kWriteback: return "writeback";
     case Stage::kInstall: return "install";
@@ -79,6 +81,9 @@ enum class PipeStage : std::uint8_t {
   kEvict,            // UFFD_REMAP + tracker insert on the evictor worker
   kCoalesceWait,     // dirty page dwelling in the coalescing buffer
   kStoreWrite,       // posted multi-write: issue through completion
+  kPrefetchRead,     // speculative MultiGet: issue through completion
+  kPrefetchInstall,  // prefetched window: evictions + batch install
+  kTierDemote,       // cold victim written to the cold-tier device
   kCount,
 };
 
@@ -91,6 +96,9 @@ constexpr std::string_view PipeStageName(PipeStage s) noexcept {
     case PipeStage::kEvict: return "pipe_evict";
     case PipeStage::kCoalesceWait: return "pipe_coalesce_wait";
     case PipeStage::kStoreWrite: return "pipe_store_write";
+    case PipeStage::kPrefetchRead: return "pipe_prefetch_read";
+    case PipeStage::kPrefetchInstall: return "pipe_prefetch_install";
+    case PipeStage::kTierDemote: return "pipe_tier_demote";
     case PipeStage::kCount: break;
   }
   return "?";
@@ -104,6 +112,7 @@ enum class FaultKind : std::uint8_t {
   kSteal,         // served from the pending write list
   kInFlightWait,  // waited on a posted writeback batch
   kSpilled,       // served from the local swap device
+  kColdTier,      // promoted back from the cold-tier device
   kRemote,        // read back from the KV store
   kCount,
 };
@@ -116,6 +125,7 @@ constexpr std::string_view FaultKindName(FaultKind k) noexcept {
     case FaultKind::kSteal: return "steal";
     case FaultKind::kInFlightWait: return "inflight_wait";
     case FaultKind::kSpilled: return "spilled";
+    case FaultKind::kColdTier: return "cold_tier";
     case FaultKind::kRemote: return "remote";
     case FaultKind::kCount: break;
   }

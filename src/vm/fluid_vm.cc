@@ -8,6 +8,11 @@ paging::TouchResult FluidVm::Touch(VirtAddr addr, bool is_write, SimTime now) {
   mem::AccessResult a = region_.Access(addr, is_write);
   switch (a.kind) {
     case mem::AccessKind::kHit:
+      // A resident hit never reaches the monitor's fault path, so report
+      // it: prefetched pages resolve to hits and tier heat refreshes.
+      // NotePageTouch is pure bookkeeping (early-out when neither feature
+      // is on), so legacy stacks replay unchanged.
+      monitor_->NotePageTouch(region_id_, addr);
       out.status = Status::Ok();
       out.done = now + costs.hit.Sample(rng_);
       return out;

@@ -208,6 +208,10 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
   mc.fault_shards = opt.fault_shards;
   mc.uffd_read_batch = opt.uffd_read_batch;
   mc.pipelined_writeback = opt.pipelined_writeback;
+  mc.prefetch_depth = opt.prefetch_depth;
+  mc.prefetch.mode = opt.prefetch_majority ? fm::PrefetchMode::kMajority
+                                           : fm::PrefetchMode::kSequential;
+  mc.prefetch.accuracy_floor_pct = opt.prefetch_accuracy_floor;
   mc.seed = opt.seed ^ 0xc0ffeeULL;
   // Declared before the monitor (gauge registration), destroyed after.
   obs::Observability obs;
@@ -223,6 +227,15 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
     spill_device->set_fault_hook(injector);
     spill = std::make_unique<swap::SwapSpace>(*spill_device);
     monitor->AttachLocalSpill(*spill);
+  }
+  std::unique_ptr<blk::BlockDevice> cold_device;
+  std::unique_ptr<swap::SwapSpace> cold_tier;
+  if (opt.attach_cold_tier) {
+    cold_device = std::make_unique<blk::BlockDevice>(
+        blk::MakeNvmeofDevice(opt.cold_tier_capacity));
+    cold_device->set_fault_hook(injector);
+    cold_tier = std::make_unique<swap::SwapSpace>(*cold_device);
+    monitor->AttachColdTier(*cold_tier);
   }
 
   // One region + partition + shadow per tenant. Region bases are 4 GiB
@@ -317,7 +330,13 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
                                    SimTime& t, bool& faulted) -> bool {
     for (int attempt = 0; attempt < 4; ++attempt) {
       const auto access = tr.region->Access(addr, is_write);
-      if (access.kind != mem::AccessKind::kUffdFault) return true;
+      if (access.kind != mem::AccessKind::kUffdFault) {
+        // Resident hit: report the touch (prefetch hit resolution + tier
+        // heat). No-op on stacks with both features off.
+        if (access.kind == mem::AccessKind::kHit)
+          monitor->NotePageTouch(tr.rid, addr);
+        return true;
+      }
       faulted = true;
       const auto outcome = monitor->HandleFault(tr.rid, addr, t);
       t = std::max(t, outcome.wake_at);
@@ -438,6 +457,12 @@ MultiTenantResult RunTenants(const MultiTenantConfig& cfg) {
     res.rf_restored = rs.rf_restored;
   }
   res.poisoned_fast_fails = monitor->stats().poisoned_fast_fails;
+  res.prefetched_pages = monitor->stats().prefetched_pages;
+  res.prefetch_hits = monitor->prefetcher().stats().hits;
+  res.prefetch_wasted = monitor->prefetcher().stats().wasted;
+  res.prefetch_gated_skips = monitor->prefetcher().stats().gated_skips;
+  res.tier_demotions = monitor->stats().tier_demotions;
+  res.tier_promotions = monitor->stats().tier_promotions;
   for (std::size_t t = 0; t < rt.size(); ++t) {
     const TenantSpec& spec = cfg.tenants[t];
     TenantRt& tr = rt[t];
@@ -485,6 +510,12 @@ std::uint64_t MultiTenantResult::Fingerprint() const {
   Mix64(h, rf_restored);
   Mix64(h, poisoned_fast_fails);
   Mix64(h, wrong_bytes);
+  Mix64(h, prefetched_pages);
+  Mix64(h, prefetch_hits);
+  Mix64(h, prefetch_wasted);
+  Mix64(h, prefetch_gated_skips);
+  Mix64(h, tier_demotions);
+  Mix64(h, tier_promotions);
   for (const TenantResult& t : tenants) {
     Mix64(h, t.accesses);
     Mix64(h, t.faults);

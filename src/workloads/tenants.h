@@ -142,6 +142,13 @@ struct MultiTenantResult {
   std::uint64_t dead_declared = 0;         // replicas declared permanently dead
   std::uint64_t rf_restored = 0;           // pages re-replicated onto them
   std::uint64_t poisoned_fast_fails = 0;   // monitor quarantine hits
+  // Predictive-prefetch / tier counters (zero when the features are off).
+  std::uint64_t prefetched_pages = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_wasted = 0;
+  std::uint64_t prefetch_gated_skips = 0;
+  std::uint64_t tier_demotions = 0;
+  std::uint64_t tier_promotions = 0;
   // Stamp-mismatch reads summed across tenants: corrupt bytes that REACHED
   // a VM. The integrity drills' core verdict is that this stays zero.
   std::uint64_t wrong_bytes = 0;

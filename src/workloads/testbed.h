@@ -25,6 +25,7 @@
 #include "kvstore/ramcloud.h"
 #include "mem/frame_pool.h"
 #include "paging/paged_memory.h"
+#include "swap/swap_space.h"
 #include "vm/census.h"
 #include "vm/fluid_vm.h"
 #include "vm/swap_vm.h"
@@ -69,6 +70,14 @@ struct TestbedConfig {
   // Remote store / swap device capacity, as multiples of local DRAM.
   std::size_t store_cap_dram_multiple = 20;
   fm::MonitorConfig monitor;  // lru_capacity_pages is overwritten
+  // RAMCloud backend only: server worker cores (0 = the store's default of
+  // 1, which serializes every request — raise it when background work like
+  // speculative prefetch batches must not head-of-line-block demand reads).
+  std::size_t store_service_lanes = 0;
+  // FluidMem backends only: attach an NVMeoF cold tier of this many pages
+  // so heat-cold eviction victims demote there (0 = no cold tier, the
+  // paper's two-level hierarchy).
+  std::size_t cold_tier_pages = 0;
   swap::SwapCostModel swap_costs;
   std::uint64_t seed = 1;
 };
@@ -95,10 +104,14 @@ class Testbed {
           store_ = std::make_unique<kv::LocalDramStore>(kv::LocalStoreConfig{
               .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
           break;
-        case Backend::kFluidRamcloud:
-          store_ = std::make_unique<kv::RamcloudStore>(kv::RamcloudConfig{
-              .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
+        case Backend::kFluidRamcloud: {
+          kv::RamcloudConfig rc{.memory_cap_bytes = store_cap_bytes,
+                                .seed = config.seed};
+          if (config.store_service_lanes != 0)
+            rc.service_lanes = config.store_service_lanes;
+          store_ = std::make_unique<kv::RamcloudStore>(rc);
           break;
+        }
         default:
           store_ = std::make_unique<kv::MemcachedStore>(kv::MemcachedConfig{
               .memory_cap_bytes = store_cap_bytes, .seed = config.seed});
@@ -111,6 +124,12 @@ class Testbed {
       fm::MonitorConfig mc = config.monitor;
       mc.lru_capacity_pages = config.local_dram_pages;
       monitor_ = std::make_unique<fm::Monitor>(mc, *store_, *pool_);
+      if (config.cold_tier_pages != 0) {
+        cold_dev_ = std::make_unique<blk::BlockDevice>(
+            blk::MakeNvmeofDevice(config.cold_tier_pages));
+        cold_tier_ = std::make_unique<swap::SwapSpace>(*cold_dev_);
+        monitor_->AttachColdTier(*cold_tier_);
+      }
       fluid_vm_ = std::make_unique<vm::FluidVm>(
           census_, config.vm_app_pages, *monitor_, *pool_,
           /*pid=*/1234, /*partition=*/7, config.seed + 21);
@@ -168,6 +187,10 @@ class Testbed {
   // FluidMem side
   std::unique_ptr<kv::KvStore> store_;
   std::unique_ptr<mem::FramePool> pool_;
+  // Cold tier (config.cold_tier_pages != 0): declared before the monitor
+  // so it outlives it, like the store and the pool.
+  std::unique_ptr<blk::BlockDevice> cold_dev_;
+  std::unique_ptr<swap::SwapSpace> cold_tier_;
   std::unique_ptr<fm::Monitor> monitor_;
   std::unique_ptr<vm::FluidVm> fluid_vm_;
 

@@ -1,0 +1,228 @@
+// Chaos scenarios for the predictive prefetcher and the cold tier: the new
+// features must keep the harness's replay guarantee — a (seed, plan) pair
+// replays byte-identically with majority-vote prediction, the accuracy
+// gate, and heat-based tier demotion all active — and legacy stacks that
+// leave the features off must show zero new-feature activity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "common/fault_hook.h"
+#include "fluidmem/monitor.h"
+#include "fluidmem/prefetcher.h"
+
+namespace fluid {
+namespace {
+
+void ExpectSameStats(const fm::MonitorStats& m1, const fm::MonitorStats& m2,
+                     const fm::PrefetcherStats& p1,
+                     const fm::PrefetcherStats& p2) {
+  EXPECT_EQ(m1.faults, m2.faults);
+  EXPECT_EQ(m1.prefetched_pages, m2.prefetched_pages);
+  EXPECT_EQ(m1.prefetch_failed_batches, m2.prefetch_failed_batches);
+  EXPECT_EQ(m1.prefetch_breaker_skips, m2.prefetch_breaker_skips);
+  EXPECT_EQ(m1.prefetch_churn_stops, m2.prefetch_churn_stops);
+  EXPECT_EQ(m1.tier_demotions, m2.tier_demotions);
+  EXPECT_EQ(m1.tier_promotions, m2.tier_promotions);
+  EXPECT_EQ(m1.tier_io_errors, m2.tier_io_errors);
+  EXPECT_EQ(p1.predictions, p2.predictions);
+  EXPECT_EQ(p1.no_trend, p2.no_trend);
+  EXPECT_EQ(p1.hits, p2.hits);
+  EXPECT_EQ(p1.wasted, p2.wasted);
+  EXPECT_EQ(p1.gated_skips, p2.gated_skips);
+  EXPECT_EQ(p1.gate_probes, p2.gate_probes);
+}
+
+// Majority vote + accuracy gate + cold tier, all on at once, across four
+// seeds: two fresh stacks running the same ops must agree on every byte of
+// the report and every feature counter.
+TEST(PrefetchChaos, MajorityGateAndTierReplayByteIdentically) {
+  for (const std::uint64_t seed : {12ULL, 345ULL, 6789ULL, 424242ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed ^ 0x9e3779b9ULL;
+    opt.num_ops = 400;
+    opt.lru_capacity = 16;
+    opt.prefetch_depth = 4;
+    opt.prefetch_majority = true;
+    opt.prefetch_accuracy_floor = 40;
+    opt.attach_cold_tier = true;
+    const std::vector<chaos::Op> ops = chaos::GenerateOps(opt);
+    std::unique_ptr<chaos::Stack> a, b;
+    const chaos::RunReport ra = chaos::RunOps(opt, ops, &a);
+    const chaos::RunReport rb = chaos::RunOps(opt, ops, &b);
+    ASSERT_TRUE(ra.ok) << ra.Report();
+    EXPECT_EQ(ra.Report(), rb.Report()) << "seed " << seed;
+    ExpectSameStats(a->monitor->stats(), b->monitor->stats(),
+                    a->monitor->prefetcher().stats(),
+                    b->monitor->prefetcher().stats());
+    EXPECT_EQ(a->monitor->ColdTierPageCount(), b->monitor->ColdTierPageCount());
+  }
+}
+
+// The same workload under injected store faults: prediction and tiering
+// must not break determinism when reads fail, stall, and outage.
+TEST(PrefetchChaos, MajorityAndTierSurviveStoreFaultsDeterministically) {
+  for (const std::uint64_t seed : {7ULL, 1303ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed * 17 + 3;
+    opt.num_ops = 400;
+    opt.lru_capacity = 16;
+    opt.prefetch_depth = 4;
+    opt.prefetch_majority = true;
+    opt.prefetch_accuracy_floor = 40;
+    opt.attach_cold_tier = true;
+    opt.resilient_store = true;
+    opt.attach_spill = true;
+    opt.plan.at(FaultSite::kStoreGet).fail_p = 0.03;
+    opt.plan.at(FaultSite::kStoreMultiPutKey).fail_p = 0.03;
+    opt.plan.at(FaultSite::kBlockWrite).fail_p = 0.02;  // hits the cold tier
+    const std::vector<chaos::Op> ops = chaos::GenerateOps(opt);
+    std::unique_ptr<chaos::Stack> a, b;
+    const chaos::RunReport ra = chaos::RunOps(opt, ops, &a);
+    const chaos::RunReport rb = chaos::RunOps(opt, ops, &b);
+    ASSERT_TRUE(ra.ok) << ra.Report();
+    EXPECT_EQ(ra.Report(), rb.Report()) << "seed " << seed;
+    ExpectSameStats(a->monitor->stats(), b->monitor->stats(),
+                    a->monitor->prefetcher().stats(),
+                    b->monitor->prefetcher().stats());
+    EXPECT_EQ(a->monitor->stats().lost_page_errors, 0u);
+  }
+}
+
+// Gate on vs gate off is a policy choice, not a correctness one: both
+// settings pass the oracle sweep and replay deterministically, and the
+// floor only ever REMOVES speculation.
+TEST(PrefetchChaos, AccuracyGateOnOffBothDeterministic) {
+  for (const int floor : {0, 60}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = 99;
+    opt.plan.seed = 0x99aULL;
+    opt.num_ops = 400;
+    opt.lru_capacity = 12;
+    opt.prefetch_depth = 4;
+    opt.prefetch_majority = true;
+    opt.prefetch_accuracy_floor = floor;
+    const chaos::RunReport r1 = chaos::RunScenario(opt);
+    const chaos::RunReport r2 = chaos::RunScenario(opt);
+    ASSERT_TRUE(r1.ok) << r1.Report();
+    EXPECT_EQ(r1.Report(), r2.Report()) << "floor " << floor;
+  }
+  // Direct A/B on one stack pair: the floored run prefetches no more than
+  // the open run on the identical op sequence.
+  chaos::ScenarioOptions open;
+  open.seed = 99;
+  open.plan.seed = 0x99aULL;
+  open.num_ops = 400;
+  open.lru_capacity = 12;
+  open.prefetch_depth = 4;
+  open.prefetch_majority = true;
+  chaos::ScenarioOptions gated = open;
+  gated.prefetch_accuracy_floor = 60;
+  const std::vector<chaos::Op> ops = chaos::GenerateOps(open);
+  std::unique_ptr<chaos::Stack> a, b;
+  ASSERT_TRUE(chaos::RunOps(open, ops, &a).ok);
+  ASSERT_TRUE(chaos::RunOps(gated, ops, &b).ok);
+  EXPECT_LE(b->monitor->stats().prefetched_pages,
+            a->monitor->stats().prefetched_pages);
+}
+
+// Feature-off runs must show ZERO new-feature activity: the legacy
+// sequential detector replays as before, with no gate, vote, heat, or
+// tier machinery leaving a trace.
+TEST(PrefetchChaos, LegacyScenariosShowNoNewFeatureActivity) {
+  for (const std::uint64_t seed : {9ULL, 707ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed ^ 0xdead5011ULL;
+    opt.num_ops = 400;
+    opt.lru_capacity = 16;
+    opt.prefetch_depth = 4;  // legacy sequential prefetch, nothing else
+    std::unique_ptr<chaos::Stack> stack;
+    const chaos::RunReport r =
+        chaos::RunOps(opt, chaos::GenerateOps(opt), &stack);
+    ASSERT_TRUE(r.ok) << r.Report();
+    const fm::MonitorStats& m = stack->monitor->stats();
+    const fm::PrefetcherStats& p = stack->monitor->prefetcher().stats();
+    EXPECT_EQ(m.tier_demotions, 0u);
+    EXPECT_EQ(m.tier_promotions, 0u);
+    EXPECT_EQ(m.tier_io_errors, 0u);
+    EXPECT_EQ(stack->monitor->ColdTierPageCount(), 0u);
+    EXPECT_FALSE(stack->monitor->HasColdTier());
+    EXPECT_EQ(p.no_trend, 0u);      // the vote never ran
+    EXPECT_EQ(p.gated_skips, 0u);   // the gate never ran
+    EXPECT_EQ(p.gate_probes, 0u);
+  }
+  // prefetch_depth == 0: the prediction subsystem is never consulted.
+  chaos::ScenarioOptions off;
+  off.seed = 5;
+  off.num_ops = 300;
+  std::unique_ptr<chaos::Stack> stack;
+  ASSERT_TRUE(chaos::RunOps(off, chaos::GenerateOps(off), &stack).ok);
+  const fm::PrefetcherStats& p = stack->monitor->prefetcher().stats();
+  EXPECT_EQ(p.predictions + p.no_trend + p.hits + p.wasted, 0u);
+}
+
+// Prefetch x integrity: with seeded silent corruption on an enveloped
+// store, a corrupt page landing inside a prefetch window must be skipped
+// and quarantined, never installed — the oracle sweep (zero wrong bytes)
+// is the proof, and the whole thing still replays byte-identically.
+TEST(PrefetchChaos, CorruptionInsidePrefetchWindowNeverInstalls) {
+  for (const std::uint64_t seed : {13ULL, 2121ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed ^ 0xc0ffeeULL;
+    opt.num_ops = 400;
+    opt.lru_capacity = 12;
+    opt.prefetch_depth = 4;
+    opt.prefetch_majority = true;
+    opt.integrity_store = true;
+    opt.resilient_store = true;
+    opt.scrub_budget = 4;
+    opt.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.02;
+    const std::vector<chaos::Op> ops = chaos::GenerateOps(opt);
+    std::unique_ptr<chaos::Stack> a, b;
+    const chaos::RunReport ra = chaos::RunOps(opt, ops, &a);
+    const chaos::RunReport rb = chaos::RunOps(opt, ops, &b);
+    ASSERT_TRUE(ra.ok) << ra.Report();
+    EXPECT_EQ(ra.Report(), rb.Report()) << "seed " << seed;
+    // The plan really planted corruption somewhere (else the test is
+    // vacuous) and detection totals replay exactly.
+    EXPECT_GE(ra.faults.fails[static_cast<std::size_t>(
+                  FaultSite::kStoreCorruptBits)],
+              1u);
+    EXPECT_EQ(a->monitor->stats().poisoned_page_errors,
+              b->monitor->stats().poisoned_page_errors);
+    EXPECT_EQ(a->monitor->stats().poisoned_fast_fails,
+              b->monitor->stats().poisoned_fast_fails);
+  }
+}
+
+// Cold-tier demotion under the full workload actually happens (the heat
+// decay in kPump ops makes pages cold) and every demoted page still
+// passes the oracle's differential sweep.
+TEST(PrefetchChaos, ColdTierDemotionsHappenAndVerify) {
+  std::uint64_t total_demotions = 0;
+  for (const std::uint64_t seed : {21ULL, 88ULL, 1900ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed + 1;
+    opt.num_ops = 400;
+    opt.lru_capacity = 12;
+    opt.attach_cold_tier = true;
+    std::unique_ptr<chaos::Stack> stack;
+    const chaos::RunReport r =
+        chaos::RunOps(opt, chaos::GenerateOps(opt), &stack);
+    ASSERT_TRUE(r.ok) << r.Report();
+    total_demotions += stack->monitor->stats().tier_demotions;
+  }
+  EXPECT_GT(total_demotions, 0u)
+      << "no scenario ever demoted a page — the tier policy is inert";
+}
+
+}  // namespace
+}  // namespace fluid

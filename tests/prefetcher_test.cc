@@ -1,0 +1,651 @@
+// Tests for the predictive prefetcher (Leap-style majority-vote stride
+// detection, adaptive window, accuracy-gated throttling) and the heat-based
+// hot/cold tier placement riding the same fault path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/rng.h"
+#include "fluidmem/monitor.h"
+#include "fluidmem/prefetcher.h"
+#include "fluidmem/test_peer.h"
+#include "kvstore/kvstore.h"
+#include "kvstore/key_codec.h"
+#include "kvstore/local_store.h"
+#include "mem/uffd.h"
+#include "swap/swap_space.h"
+
+namespace fluid::fm {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr PartitionId kPart = 3;
+constexpr VirtAddr PageAddr(std::size_t i) { return kBase + i * kPageSize; }
+
+// --- Prefetcher unit: majority vote -----------------------------------------------
+
+PrefetcherConfig Majority(int floor_pct = 0) {
+  PrefetcherConfig cfg;
+  cfg.mode = PrefetchMode::kMajority;
+  cfg.accuracy_floor_pct = floor_pct;
+  return cfg;
+}
+
+TEST(PrefetcherUnit, SequentialModeReproducesLegacyStreak) {
+  Prefetcher pf;
+  pf.Configure(PrefetcherConfig{}, /*depth_cap=*/4);
+  // Two consecutive next-page faults arm the stream on the third.
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(10)).depth, 0u);
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(11)).depth, 0u);
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(12));
+  EXPECT_EQ(d.stride_pages, 1);
+  EXPECT_EQ(d.depth, 4u);  // fixed legacy window = depth cap
+  // A non-adjacent fault resets the streak.
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(40)).depth, 0u);
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(41)).depth, 0u);
+}
+
+TEST(PrefetcherUnit, MajorityDetectsConstantStride) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  // Stride-4 fault train. The first fault has no delta; the second falls
+  // back to the most recent delta (short history), and the vote confirms
+  // it once four deltas exist.
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(0)).depth, 0u);
+  for (std::size_t i = 1; i <= 5; ++i) {
+    const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(4 * i));
+    EXPECT_EQ(d.stride_pages, 4) << "fault " << i;
+    EXPECT_GT(d.depth, 0u) << "fault " << i;
+  }
+  EXPECT_EQ(pf.stats().predictions, 5u);
+}
+
+TEST(PrefetcherUnit, MajorityDetectsBackwardStride) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  EXPECT_EQ(pf.OnRemoteFault(1, PageAddr(100)).depth, 0u);
+  for (int i = 1; i <= 5; ++i) {
+    const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(100 - 2 * i));
+    EXPECT_EQ(d.stride_pages, -2) << "fault " << i;
+  }
+}
+
+TEST(PrefetcherUnit, MajoritySurvivesMinorityNoise) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  // Deltas 2,2,2,7,... — the stray jump is outvoted at window 4.
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  (void)pf.OnRemoteFault(1, PageAddr(2));
+  (void)pf.OnRemoteFault(1, PageAddr(4));
+  (void)pf.OnRemoteFault(1, PageAddr(6));
+  (void)pf.OnRemoteFault(1, PageAddr(13));  // noise: delta 7
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(15));  // delta 2
+  EXPECT_EQ(d.stride_pages, 2);
+}
+
+TEST(PrefetcherUnit, RandomPatternEmitsNoTrend) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  // All-distinct deltas: once enough history exists, no strict majority
+  // appears at any window width, and the vote must emit NOTHING — a random
+  // pattern never fabricates a stride.
+  const std::size_t pages[] = {0, 5, 2, 11, 30, 17, 90, 41, 60};
+  for (std::size_t p : pages) (void)pf.OnRemoteFault(1, PageAddr(p));
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(83));
+  EXPECT_EQ(d.depth, 0u);
+  EXPECT_FALSE(d.gated);  // suppressed by the vote, not the gate
+  EXPECT_GT(pf.stats().no_trend, 3u);
+}
+
+TEST(PrefetcherUnit, AdaptiveWindowGrowsOnHitsShrinksOnWaste) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(1));
+  EXPECT_EQ(d.depth, 4u);  // initial window: min(4, cap)
+  // Two hits grow the window by one page each.
+  pf.MarkPrefetched(PageRef{1, PageAddr(2)});
+  pf.MarkPrefetched(PageRef{1, PageAddr(3)});
+  pf.OnResidentTouch(PageRef{1, PageAddr(2)});
+  pf.OnResidentTouch(PageRef{1, PageAddr(3)});
+  EXPECT_EQ(pf.WindowOf(1), 6u);
+  EXPECT_EQ(pf.stats().hits, 2u);
+  // Wasted prefetches halve it (floored at min_window).
+  pf.MarkPrefetched(PageRef{1, PageAddr(4)});
+  pf.OnEvicted(PageRef{1, PageAddr(4)});
+  EXPECT_EQ(pf.WindowOf(1), 3u);
+  pf.MarkPrefetched(PageRef{1, PageAddr(5)});
+  pf.OnEvicted(PageRef{1, PageAddr(5)});
+  EXPECT_EQ(pf.WindowOf(1), 1u);
+  EXPECT_EQ(pf.stats().wasted, 2u);
+  // Growth saturates at the depth cap.
+  for (std::size_t i = 10; i < 30; ++i) {
+    pf.MarkPrefetched(PageRef{1, PageAddr(i)});
+    pf.OnResidentTouch(PageRef{1, PageAddr(i)});
+  }
+  EXPECT_EQ(pf.WindowOf(1), 8u);
+}
+
+TEST(PrefetcherUnit, OutcomeResolvesExactlyOnce) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  const PageRef p{1, PageAddr(9)};
+  pf.MarkPrefetched(p);
+  EXPECT_TRUE(pf.IsPrefetchedUnused(p));
+  pf.OnResidentTouch(p);
+  EXPECT_FALSE(pf.IsPrefetchedUnused(p));
+  // A later eviction of the (already used) page charges nothing.
+  pf.OnEvicted(p);
+  pf.OnResidentTouch(p);
+  EXPECT_EQ(pf.stats().hits, 1u);
+  EXPECT_EQ(pf.stats().wasted, 0u);
+}
+
+TEST(PrefetcherUnit, AccuracyGateSuppressesThenProbes) {
+  PrefetcherConfig cfg = Majority(/*floor=*/50);
+  cfg.accuracy_window = 8;      // evidence threshold: max(4, 8/2) = 4
+  cfg.gate_probe_period = 3;
+  cfg.min_window = 1;
+  Prefetcher pf;
+  pf.Configure(cfg, /*depth_cap=*/8);
+
+  // Arm a stride-1 stream, then resolve four prefetches as pure waste:
+  // trailing accuracy 0% < 50% -> the gate closes.
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  (void)pf.OnRemoteFault(1, PageAddr(1));
+  for (std::size_t i = 0; i < 4; ++i) {
+    pf.MarkPrefetched(PageRef{1, PageAddr(50 + i)});
+    pf.OnEvicted(PageRef{1, PageAddr(50 + i)});
+  }
+  EXPECT_EQ(pf.TrailingAccuracyPct(1), 0);
+
+  // The next three decisions are suppressed; the fourth is a probe batch
+  // of min_window pages so fresh evidence can re-open the gate.
+  for (int i = 0; i < 3; ++i) {
+    const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(2 + i));
+    EXPECT_TRUE(d.gated) << i;
+    EXPECT_EQ(d.depth, 0u) << i;
+  }
+  const PrefetchDecision probe = pf.OnRemoteFault(1, PageAddr(5));
+  EXPECT_FALSE(probe.gated);
+  EXPECT_EQ(probe.depth, 1u);  // min_window probe
+  EXPECT_EQ(pf.stats().gated_skips, 3u);
+  EXPECT_EQ(pf.stats().gate_probes, 1u);
+
+  // Hits refill the ring past the floor and the gate re-opens fully.
+  for (std::size_t i = 0; i < 4; ++i) {
+    pf.MarkPrefetched(PageRef{1, PageAddr(60 + i)});
+    pf.OnResidentTouch(PageRef{1, PageAddr(60 + i)});
+  }
+  EXPECT_GE(pf.TrailingAccuracyPct(1), 50);
+  const PrefetchDecision reopened = pf.OnRemoteFault(1, PageAddr(6));
+  EXPECT_FALSE(reopened.gated);
+  EXPECT_GT(reopened.depth, 1u);
+}
+
+TEST(PrefetcherUnit, GateOffByDefault) {
+  Prefetcher pf;
+  pf.Configure(Majority(/*floor=*/0), /*depth_cap=*/8);
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  (void)pf.OnRemoteFault(1, PageAddr(1));
+  // Drown the ring in waste; with floor 0 speculation must continue.
+  for (std::size_t i = 0; i < 32; ++i) {
+    pf.MarkPrefetched(PageRef{1, PageAddr(100 + i)});
+    pf.OnEvicted(PageRef{1, PageAddr(100 + i)});
+  }
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(2));
+  EXPECT_FALSE(d.gated);
+  EXPECT_GT(d.depth, 0u);
+  EXPECT_EQ(pf.stats().gated_skips, 0u);
+}
+
+TEST(PrefetcherUnit, TrailingAccuracyNeedsEvidence) {
+  PrefetcherConfig cfg = Majority(50);
+  cfg.accuracy_window = 8;  // evidence threshold: max(4, 8/2) = 4 outcomes
+  Prefetcher pf;
+  pf.Configure(cfg, /*depth_cap=*/8);
+  EXPECT_EQ(pf.TrailingAccuracyPct(1), -1);  // unknown region
+  pf.MarkPrefetched(PageRef{1, PageAddr(0)});
+  pf.OnResidentTouch(PageRef{1, PageAddr(0)});
+  EXPECT_EQ(pf.TrailingAccuracyPct(1), -1);  // 1 outcome < 4 required
+  for (std::size_t i = 1; i < 4; ++i) {
+    pf.MarkPrefetched(PageRef{1, PageAddr(i)});
+    pf.OnResidentTouch(PageRef{1, PageAddr(i)});
+  }
+  EXPECT_EQ(pf.TrailingAccuracyPct(1), 100);
+}
+
+TEST(PrefetcherUnit, BatchEndContinuesStreamWithoutPoisoningTheVote) {
+  Prefetcher pf;
+  pf.Configure(Majority(), /*depth_cap=*/8);
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  (void)pf.OnRemoteFault(1, PageAddr(1));  // delta 1, window prefetched 2..5
+  pf.OnBatchEnd(1, PageAddr(5));
+  // The demand stream resumes at the window end: the delta measured from
+  // the continuation is the true stride 1, not the batch-sized jump 4.
+  const PrefetchDecision d = pf.OnRemoteFault(1, PageAddr(6));
+  EXPECT_EQ(d.stride_pages, 1);
+  // Keep walking: the ring holds only 1s, so the vote stays unanimous.
+  (void)pf.OnRemoteFault(1, PageAddr(7));
+  (void)pf.OnRemoteFault(1, PageAddr(8));
+  const PrefetchDecision d2 = pf.OnRemoteFault(1, PageAddr(9));
+  EXPECT_EQ(d2.stride_pages, 1);
+  EXPECT_EQ(pf.stats().no_trend, 1u);  // only the very first (no-delta) fault
+}
+
+TEST(PrefetcherUnit, ForgetRegionDropsAllState) {
+  Prefetcher pf;
+  pf.Configure(Majority(50), /*depth_cap=*/8);
+  (void)pf.OnRemoteFault(1, PageAddr(0));
+  (void)pf.OnRemoteFault(1, PageAddr(1));
+  pf.MarkPrefetched(PageRef{1, PageAddr(2)});
+  pf.MarkPrefetched(PageRef{2, PageAddr(9)});
+  pf.ForgetRegion(1);
+  EXPECT_EQ(pf.UnusedPrefetchedPages(), 1u);  // region 2 survives
+  EXPECT_FALSE(pf.IsPrefetchedUnused(PageRef{1, PageAddr(2)}));
+  EXPECT_EQ(pf.TrailingAccuracyPct(1), -1);
+  // The dropped page can no longer charge an outcome.
+  pf.OnEvicted(PageRef{1, PageAddr(2)});
+  EXPECT_EQ(pf.stats().wasted, 0u);
+}
+
+// --- monitor-level: strided sweeps ------------------------------------------------
+
+struct Rig {
+  mem::FramePool pool{8192};
+  kv::LocalDramStore store{kv::LocalStoreConfig{}};
+  Monitor monitor;
+  mem::UffdRegion region;
+  RegionId rid;
+
+  explicit Rig(MonitorConfig cfg, std::size_t region_pages = 2048)
+      : monitor(cfg, store, pool),
+        region(77, kBase, region_pages, pool),
+        rid(monitor.RegisterRegion(region, kPart)) {}
+
+  SimTime Populate(std::size_t n, SimTime now) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)region.Access(PageAddr(i), true);
+      now = monitor.HandleFault(rid, PageAddr(i), now).wake_at;
+      (void)region.Access(PageAddr(i), true);
+      const std::uint64_t v = 0xF00D0000 + i;
+      EXPECT_TRUE(region
+                      .WriteBytes(PageAddr(i) + 8,
+                                  std::as_bytes(std::span{&v, 1}))
+                      .ok());
+    }
+    now = monitor.FlushRegion(rid, now);
+    return now;
+  }
+
+  // Access page i the way FluidVm::Touch does: fault when needed, report
+  // resident hits via NotePageTouch so prefetch outcomes resolve.
+  SimTime TouchPage(std::size_t i, SimTime now, std::uint64_t* faults) {
+    auto a = region.Access(PageAddr(i), false);
+    if (a.kind == mem::AccessKind::kUffdFault) {
+      if (faults != nullptr) ++*faults;
+      auto out = monitor.HandleFault(rid, PageAddr(i), now);
+      EXPECT_TRUE(out.status.ok()) << "page " << i;
+      now = out.wake_at;
+      (void)region.Access(PageAddr(i), false);
+    } else {
+      monitor.NotePageTouch(rid, PageAddr(i));
+    }
+    std::uint64_t got = 0;
+    EXPECT_TRUE(region
+                    .ReadBytes(PageAddr(i) + 8,
+                               std::as_writable_bytes(std::span{&got, 1}))
+                    .ok());
+    EXPECT_EQ(got, 0xF00D0000 + i) << "page " << i;
+    return now + 200;
+  }
+};
+
+MonitorConfig MajorityConfig(std::size_t depth, std::size_t lru = 256,
+                             int floor_pct = 0) {
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = lru;
+  cfg.prefetch_depth = depth;
+  cfg.prefetch.mode = PrefetchMode::kMajority;
+  cfg.prefetch.accuracy_floor_pct = floor_pct;
+  return cfg;
+}
+
+MonitorConfig SequentialConfig(std::size_t depth, std::size_t lru = 256) {
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = lru;
+  cfg.prefetch_depth = depth;
+  return cfg;
+}
+
+TEST(PrefetchMonitor, StridedSweepMajorityBeatsSequential) {
+  // A stride-4 scan defeats the legacy next-page detector completely but
+  // is the majority vote's bread and butter.
+  Rig seq{SequentialConfig(8)};
+  SimTime now0 = seq.Populate(1024, 0);
+  std::uint64_t seq_faults = 0;
+  now0 += kMillisecond;
+  for (std::size_t i = 0; i < 1024; i += 4)
+    now0 = seq.TouchPage(i, now0, &seq_faults);
+  EXPECT_EQ(seq.monitor.stats().prefetched_pages, 0u);
+  EXPECT_EQ(seq_faults, 256u);  // every stride lands remote
+
+  Rig maj{MajorityConfig(8)};
+  SimTime now1 = maj.Populate(1024, 0);
+  std::uint64_t maj_faults = 0;
+  now1 += kMillisecond;
+  for (std::size_t i = 0; i < 1024; i += 4)
+    now1 = maj.TouchPage(i, now1, &maj_faults);
+  EXPECT_GT(maj.monitor.stats().prefetched_pages, 150u);
+  EXPECT_LT(maj_faults, seq_faults / 3);
+  EXPECT_GT(maj.monitor.prefetcher().stats().hits, 100u);
+}
+
+TEST(PrefetchMonitor, NoisyStrideStillPrefetches) {
+  // One random detour every five strides: the stray deltas stay a strict
+  // minority, so the vote keeps emitting the stride.
+  Rig maj{MajorityConfig(8)};
+  Rig seq{SequentialConfig(8)};
+  SimTime tm = maj.Populate(1024, 0) + kMillisecond;
+  SimTime ts = seq.Populate(1024, 0) + kMillisecond;
+  Rng rng{42};
+  std::size_t stride_pos = 0;
+  for (std::size_t step = 0; step < 240; ++step) {
+    std::size_t page;
+    if (step % 5 == 4) {
+      page = rng.NextBounded(1024);
+    } else {
+      page = (stride_pos += 4) % 1024;
+    }
+    tm = maj.TouchPage(page, tm, nullptr);
+    ts = seq.TouchPage(page, ts, nullptr);
+  }
+  EXPECT_GT(maj.monitor.stats().prefetched_pages, 100u);
+  EXPECT_EQ(seq.monitor.stats().prefetched_pages, 0u);
+}
+
+TEST(PrefetchMonitor, UniformRandomSpeculatesAlmostNever) {
+  // Pure uniform-random traffic: after warmup the vote finds no majority,
+  // so the predictor emits (nearly) nothing even with the gate off.
+  Rig maj{MajorityConfig(8, /*lru=*/64)};
+  SimTime now = maj.Populate(512, 0) + kMillisecond;
+  Rng rng{1234};
+  for (int i = 0; i < 1500; ++i)
+    now = maj.TouchPage(rng.NextBounded(512), now, nullptr);
+  const PrefetcherStats& ps = maj.monitor.prefetcher().stats();
+  EXPECT_GT(ps.no_trend, ps.predictions * 4);
+  EXPECT_LT(maj.monitor.stats().prefetched_pages, 60u);
+  EXPECT_EQ(maj.monitor.stats().lost_page_errors, 0u);
+}
+
+TEST(PrefetchMonitor, AccuracyGateBoundsUselessPrefetches) {
+  // A deceptive trace: 3-page sequential bursts at random start pages. The
+  // vote arms on every burst, but the prefetched tails are never touched —
+  // pure waste. With the gate on, speculation must stop after a bounded
+  // number of useless prefetches; with it off, waste keeps accruing.
+  Rig open{MajorityConfig(8, /*lru=*/32, /*floor=*/0)};
+  Rig gated{MajorityConfig(8, /*lru=*/32, /*floor=*/60)};
+  for (Rig* rig : {&open, &gated}) {
+    SimTime now = rig->Populate(1024, 0) + kMillisecond;
+    Rng rng{777};
+    for (int burst = 0; burst < 120; ++burst) {
+      const std::size_t start = rng.NextBounded(1000);
+      for (std::size_t k = 0; k < 3; ++k) {
+        auto a = rig->region.Access(PageAddr(start + k), false);
+        if (a.kind == mem::AccessKind::kUffdFault) {
+          auto out =
+              rig->monitor.HandleFault(rig->rid, PageAddr(start + k), now);
+          ASSERT_TRUE(out.status.ok());
+          now = out.wake_at;
+        }
+        now += 200;
+      }
+    }
+  }
+  const PrefetcherStats& po = open.monitor.prefetcher().stats();
+  const PrefetcherStats& pg = gated.monitor.prefetcher().stats();
+  EXPECT_GT(pg.gated_skips, 0u);
+  EXPECT_GT(pg.gate_probes, 0u);
+  // The gate caps the damage: well under half the ungated speculation.
+  EXPECT_LT(gated.monitor.stats().prefetched_pages,
+            open.monitor.stats().prefetched_pages / 2)
+      << "open=" << open.monitor.stats().prefetched_pages
+      << " gated=" << gated.monitor.stats().prefetched_pages;
+  EXPECT_GT(po.wasted, pg.wasted);
+}
+
+// --- hot/cold tier placement ------------------------------------------------------
+
+struct TierRig {
+  mem::FramePool pool{8192};
+  kv::LocalDramStore store{kv::LocalStoreConfig{}};
+  blk::BlockDevice cold_device{blk::MakeNvmeofDevice(/*capacity=*/128)};
+  swap::SwapSpace cold{cold_device};
+  Monitor monitor;
+  mem::UffdRegion region;
+  RegionId rid;
+
+  explicit TierRig(MonitorConfig cfg)
+      : monitor(cfg, store, pool),
+        region(77, kBase, 256, pool),
+        rid(monitor.RegisterRegion(region, kPart)) {
+    monitor.AttachColdTier(cold);
+  }
+
+  SimTime FaultWrite(std::size_t i, SimTime now) {
+    (void)region.Access(PageAddr(i), true);
+    now = monitor.HandleFault(rid, PageAddr(i), now).wake_at;
+    (void)region.Access(PageAddr(i), true);
+    const std::uint64_t v = 0xBEEF0000 + i;
+    EXPECT_TRUE(region
+                    .WriteBytes(PageAddr(i) + 8,
+                                std::as_bytes(std::span{&v, 1}))
+                    .ok());
+    return now;
+  }
+};
+
+MonitorConfig TierConfig(std::size_t lru = 8) {
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = lru;
+  return cfg;
+}
+
+TEST(TierPlacement, ColdPagesDemoteToCheapTierAndPromoteBack) {
+  TierRig rig{TierConfig(/*lru=*/8)};
+  SimTime now = kMillisecond;
+  // Fill the budget: 8 dirty pages, each installed at heat 2.
+  for (std::size_t i = 0; i < 8; ++i) now = rig.FaultWrite(i, now);
+  EXPECT_EQ(rig.monitor.stats().tier_demotions, 0u);
+  // One background tick halves every heat: 2 -> 1 <= cold threshold.
+  rig.monitor.PumpBackground(now);
+  // Eight more faults evict the now-cold victims: all demote.
+  for (std::size_t i = 8; i < 16; ++i) now = rig.FaultWrite(i, now);
+  EXPECT_EQ(rig.monitor.stats().tier_demotions, 8u);
+  EXPECT_EQ(rig.monitor.ColdTierPageCount(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const PageRef p{rig.rid, PageAddr(i)};
+    ASSERT_EQ(rig.monitor.tracker().LocationOf(p), PageLocation::kColdTier)
+        << i;
+    ASSERT_TRUE(rig.monitor.HasColdSlot(p)) << i;
+    // The demoted bytes are intact on the device.
+    alignas(16) std::array<std::byte, kPageSize> buf{};
+    ASSERT_TRUE(rig.monitor.PeekColdTier(p, buf).ok()) << i;
+    std::uint64_t v = 0;
+    std::memcpy(&v, buf.data() + 8, 8);
+    EXPECT_EQ(v, 0xBEEF0000 + i) << i;
+  }
+
+  // A refault promotes the page back to DRAM with its data intact.
+  (void)rig.region.Access(PageAddr(0), false);
+  auto out = rig.monitor.HandleFault(rig.rid, PageAddr(0), now);
+  ASSERT_TRUE(out.status.ok());
+  now = out.wake_at;
+  (void)rig.region.Access(PageAddr(0), false);
+  EXPECT_EQ(rig.monitor.stats().tier_promotions, 1u);
+  EXPECT_EQ(rig.monitor.ColdTierPageCount(), 7u);
+  EXPECT_EQ(rig.monitor.tracker().LocationOf(PageRef{rig.rid, PageAddr(0)}),
+            PageLocation::kResident);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(rig.region
+                  .ReadBytes(PageAddr(0) + 8,
+                             std::as_writable_bytes(std::span{&got, 1}))
+                  .ok());
+  EXPECT_EQ(got, 0xBEEF0000u);
+  // A promoted page is hot again: the very next eviction round must not
+  // immediately demote it back (heat was reset to the maximum).
+  EXPECT_GT(rig.monitor.tracker().HeatOf(PageRef{rig.rid, PageAddr(0)}), 1);
+}
+
+TEST(TierPlacement, HotPagesStayOnTheFastPath) {
+  TierRig rig{TierConfig(/*lru=*/8)};
+  SimTime now = kMillisecond;
+  for (std::size_t i = 0; i < 8; ++i) now = rig.FaultWrite(i, now);
+  // Touch the set repeatedly: heat saturates at the ceiling (8).
+  for (int round = 0; round < 4; ++round)
+    for (std::size_t i = 0; i < 8; ++i)
+      rig.monitor.NotePageTouch(rig.rid, PageAddr(i));
+  rig.monitor.PumpBackground(now);  // decay: 8 -> 4, still above threshold
+  for (std::size_t i = 8; i < 16; ++i) now = rig.FaultWrite(i, now);
+  // Hot victims took the normal write-list path, not the cold tier.
+  EXPECT_EQ(rig.monitor.stats().tier_demotions, 0u);
+  EXPECT_EQ(rig.monitor.ColdTierPageCount(), 0u);
+  EXPECT_EQ(rig.monitor.stats().evictions, 8u);
+}
+
+TEST(TierPlacement, WithoutColdTierHeatMachineryIsInert) {
+  // No AttachColdTier: NotePageTouch early-outs and evictions never consult
+  // the heat map — the legacy path byte for byte.
+  mem::FramePool pool{1024};
+  kv::LocalDramStore store{kv::LocalStoreConfig{}};
+  Monitor monitor{TierConfig(8), store, pool};
+  mem::UffdRegion region{77, kBase, 64, pool};
+  const RegionId rid = monitor.RegisterRegion(region, kPart);
+  SimTime now = kMillisecond;
+  for (std::size_t i = 0; i < 16; ++i) {
+    (void)region.Access(PageAddr(i), true);
+    now = monitor.HandleFault(rid, PageAddr(i), now).wake_at;
+    (void)region.Access(PageAddr(i), true);
+    monitor.NotePageTouch(rid, PageAddr(i));
+  }
+  EXPECT_EQ(monitor.stats().tier_demotions, 0u);
+  EXPECT_EQ(monitor.ColdTierPageCount(), 0u);
+  EXPECT_EQ(monitor.tracker().HeatOf(PageRef{rid, PageAddr(15)}), 0);
+}
+
+// --- prefetch x integrity ---------------------------------------------------------
+
+// Test double: delegates to a LocalDramStore but stamps ONE armed key's
+// per-key MultiGet slot with kDataLoss (batch status stays OK) — the shape
+// an integrity envelope failure takes inside a prefetch batch.
+class DataLossSlotStore final : public kv::KvStore {
+ public:
+  DataLossSlotStore() : inner_(kv::LocalStoreConfig{}) {}
+
+  void ArmDataLoss(kv::Key k) { armed_key_ = k; }
+
+  std::string_view name() const override { return "dataloss-slot"; }
+  bool has_native_partitions() const override {
+    return inner_.has_native_partitions();
+  }
+  kv::OpResult Put(PartitionId p, kv::Key k,
+                   std::span<const std::byte, kPageSize> v,
+                   SimTime now) override {
+    return inner_.Put(p, k, v, now);
+  }
+  kv::OpResult Get(PartitionId p, kv::Key k,
+                   std::span<std::byte, kPageSize> out, SimTime now) override {
+    return inner_.Get(p, k, out, now);
+  }
+  kv::OpResult Remove(PartitionId p, kv::Key k, SimTime now) override {
+    return inner_.Remove(p, k, now);
+  }
+  kv::OpResult MultiPut(PartitionId p, std::span<kv::KvWrite> w,
+                        SimTime now) override {
+    return inner_.MultiPut(p, w, now);
+  }
+  kv::OpResult MultiGet(PartitionId p, std::span<kv::KvRead> reads,
+                        SimTime now) override {
+    kv::OpResult r = inner_.MultiGet(p, reads, now);
+    if (armed_key_.has_value()) {
+      for (kv::KvRead& rd : reads) {
+        if (rd.key == *armed_key_) {
+          rd.status = Status::DataLoss("all copies failed verification");
+          armed_key_.reset();
+          break;
+        }
+      }
+    }
+    return r;
+  }
+  kv::OpResult DropPartition(PartitionId p, SimTime now) override {
+    return inner_.DropPartition(p, now);
+  }
+  bool Contains(PartitionId p, kv::Key k) const override {
+    return inner_.Contains(p, k);
+  }
+  std::size_t ObjectCount() const override { return inner_.ObjectCount(); }
+  std::size_t BytesStored() const override { return inner_.BytesStored(); }
+  const kv::StoreStats& stats() const override { return inner_.stats(); }
+
+ private:
+  kv::LocalDramStore inner_;
+  std::optional<kv::Key> armed_key_;
+};
+
+TEST(PrefetchIntegrity, PerKeyDataLossSlotIsQuarantinedNeverInstalled) {
+  mem::FramePool pool{512};
+  DataLossSlotStore store;
+  MonitorConfig cfg;
+  cfg.lru_capacity_pages = 4;
+  cfg.write_batch_pages = 4;
+  cfg.prefetch_depth = 4;
+  Monitor monitor{cfg, store, pool};
+  mem::UffdRegion region{77, kBase, 64, pool};
+  const RegionId rid = monitor.RegisterRegion(region, kPart);
+
+  auto fault = [&](std::size_t page, SimTime now, bool w) {
+    (void)region.Access(PageAddr(page), w);
+    return monitor.HandleFault(rid, PageAddr(page), now);
+  };
+
+  // Populate 20..30 through the 4-page budget; 20..26 age out and flush.
+  SimTime now = kMillisecond;
+  for (std::size_t i = 20; i <= 30; ++i) now = fault(i, now, true).wake_at;
+  now = monitor.DrainWrites(now);
+
+  // Re-fault 20,21,22: the third arms the stream and prefetches 23..26.
+  // Page 24's slot comes back kDataLoss — rot must never be installed.
+  store.ArmDataLoss(kv::MakePageKey(PageAddr(24)));
+  for (std::size_t i = 20; i <= 22; ++i) {
+    auto out = fault(i, now, false);
+    ASSERT_TRUE(out.status.ok()) << i;
+    now = out.wake_at;
+  }
+  EXPECT_EQ(monitor.stats().prefetched_pages, 3u);  // 23, 25, 26
+  EXPECT_EQ(monitor.stats().poisoned_page_errors, 1u);
+  EXPECT_TRUE(monitor.IsPoisoned(rid, PageAddr(24)));
+  EXPECT_FALSE(region.IsPresent(PageAddr(24)));
+  // Quarantine keeps the tracker location kRemote (chaos invariant #5).
+  EXPECT_EQ(monitor.tracker().LocationOf(PageRef{rid, PageAddr(24)}),
+            PageLocation::kRemote);
+
+  // A demand fault on the quarantined page fast-fails into the repair
+  // flow without touching the store again.
+  auto out = fault(24, now, false);
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(monitor.stats().poisoned_fast_fails, 1u);
+
+  // The healthy neighbours are genuinely installed and readable.
+  for (std::size_t i : {23u, 25u, 26u})
+    EXPECT_TRUE(region.IsPresent(PageAddr(i))) << i;
+}
+
+}  // namespace
+}  // namespace fluid::fm
