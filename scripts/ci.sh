@@ -9,11 +9,14 @@
 # 6. same build, `ycsb`-labeled suites             (workload family + drills)
 # 7. same build, `integrity`-labeled suites        (envelopes + decoder fuzz)
 # 8. same build, `prefetch`-labeled suites         (majority vote + gate + tier)
-# 9. scale_monitor --smoke --trace                 (scaling bench + pipeline rows)
-# 10. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills,
+# 9. same build, `index`-labeled suites            (hash-vs-tree parity + replay)
+# 10. microbench_structures --smoke                (radix index scaling: flat
+#    fault-path cost, bytes/page budget, O(region) ForgetRegion)
+# 11. scale_monitor --smoke --trace                (scaling bench + pipeline rows)
+# 12. ycsb_tenants --smoke + SLO-verdict validation (multi-tenant drills,
 #    including the bit_rot scrub-and-repair smoke: every corruption detected
 #    and repaired, zero wrong bytes reach any VM; plus the prefetch-on cells)
-# 11. traced fig3 smoke + Chrome-trace validation  (observability exporters)
+# 13. traced fig3 smoke + Chrome-trace validation  (observability exporters)
 #    + prefetcher-sweep validation: majority-vote hit rates and p50 wins on
 #    the strided/sequential traces, near-zero speculation on uniform
 #
@@ -57,6 +60,37 @@ ctest --preset integrity-sanitize -j "${jobs}"
 
 echo "==> prefetch: majority-vote/gate/tier sweep (label: prefetch)"
 ctest --preset prefetch-sanitize -j "${jobs}"
+
+echo "==> page index: hash-vs-tree parity + chaos replay sweep (label: index)"
+ctest --preset index-sanitize -j "${jobs}"
+
+echo "==> page index: scaling smoke (exits nonzero if the JSON report fails)"
+(cd build && ./bench/microbench_structures --smoke)
+python3 - <<'PY'
+import json, sys
+with open("build/BENCH_microbench_structures.json") as f:
+    bench = json.load(f)
+for key in ("lookup_flat_ratio", "tree_bytes_per_page", "hash_bytes_per_page",
+            "forget_region_flat_ratio", "prefetcher_forget_flat_ratio"):
+    if key not in bench:
+        sys.exit(f"microbench_structures JSON is missing {key}")
+ratio = bench["lookup_flat_ratio"]
+if ratio > 1.5:
+    sys.exit(f"fault-path index cost is not flat: {ratio:.2f}x at "
+             f"{bench['pages_large']:.0f} pages vs {bench['pages_small']:.0f}")
+bpp = bench["tree_bytes_per_page"]
+if bpp > 48.0:
+    sys.exit(f"radix index overweight: {bpp:.2f} B/page > 48")
+# Region drops are O(region): cost flat while unrelated pages grow 100x.
+# Allow 3x headroom for timer noise on ~100us measurements.
+for key in ("forget_region_flat_ratio", "prefetcher_forget_flat_ratio"):
+    if bench[key] > 3.0:
+        sys.exit(f"{key} degraded with unrelated-region noise: "
+                 f"{bench[key]:.2f}x")
+print(f"    index OK: fault-path ratio {ratio:.2f}x at 10x pages, "
+      f"{bpp:.2f} B/page (hash baseline {bench['hash_bytes_per_page']:.1f}), "
+      f"ForgetRegion ratio {bench['forget_region_flat_ratio']:.2f}x at 100x noise")
+PY
 
 echo "==> fault engine: scaling smoke + pipeline trace (exits nonzero if the JSON report fails)"
 (cd build && ./bench/scale_monitor --smoke --trace)

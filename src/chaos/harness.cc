@@ -282,11 +282,12 @@ std::optional<std::string> VerifyRegionAgainstShadow(
                      const std::array<std::byte, kPageSize>& want) {
     if (bad) return;
     const fm::PageRef p{rid, addr};
-    if (!tracker.Seen(p)) {
+    const std::optional<fm::PageLocation> loc = tracker.Lookup(p);
+    if (!loc.has_value()) {
       bad = "written page " + Hex(addr) + " unknown to the tracker";
       return;
     }
-    switch (tracker.LocationOf(p)) {
+    switch (*loc) {
       case fm::PageLocation::kResident: {
         const Status s = region.ReadBytes(addr, buf);
         if (!s.ok()) {

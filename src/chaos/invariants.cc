@@ -59,22 +59,28 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
   std::optional<std::string> violation;
   wl.ForEachPending([&](const fm::PendingWrite& w) {
     if (violation) return;
+    const std::optional<fm::PageLocation> loc = tracker.Lookup(w.page);
     if (m.region_of(w.page.region) == nullptr)
       violation = "write list holds pending " + Describe(w.page) +
                   " for an inactive region";
-    else if (tracker.LocationOf(w.page) != fm::PageLocation::kWriteList)
+    else if (!loc.has_value())
+      violation = "pending " + Describe(w.page) + " unknown to the tracker";
+    else if (*loc != fm::PageLocation::kWriteList)
       violation = "pending " + Describe(w.page) + " tracked as " +
-                  LocationName(tracker.LocationOf(w.page));
+                  LocationName(*loc);
   });
   if (violation) return violation;
   wl.ForEachInFlight([&](const fm::PendingWrite& w, bool) {
     if (violation) return;
+    const std::optional<fm::PageLocation> loc = tracker.Lookup(w.page);
     if (m.region_of(w.page.region) == nullptr)
       violation = "write list holds in-flight " + Describe(w.page) +
                   " for an inactive region";
-    else if (tracker.LocationOf(w.page) != fm::PageLocation::kInFlight)
+    else if (!loc.has_value())
+      violation = "in-flight " + Describe(w.page) + " unknown to the tracker";
+    else if (*loc != fm::PageLocation::kInFlight)
       violation = "in-flight " + Describe(w.page) + " tracked as " +
-                  LocationName(tracker.LocationOf(w.page));
+                  LocationName(*loc);
   });
   if (violation) return violation;
 
@@ -82,13 +88,14 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
   // present in its region's page table.
   lru.ForEach([&](const fm::PageRef& p) {
     if (violation) return;
-    if (!tracker.Seen(p)) {
+    const std::optional<fm::PageLocation> loc = tracker.Lookup(p);
+    if (!loc.has_value()) {
       violation = "LRU entry " + Describe(p) + " unknown to the tracker";
       return;
     }
-    if (tracker.LocationOf(p) != fm::PageLocation::kResident) {
+    if (*loc != fm::PageLocation::kResident) {
       violation = "LRU entry " + Describe(p) + " tracked as " +
-                  LocationName(tracker.LocationOf(p));
+                  LocationName(*loc);
       return;
     }
     mem::UffdRegion* region = m.region_of(p.region);
@@ -155,10 +162,10 @@ std::optional<std::string> CheckInvariants(const StackView& view) {
       violation = "poisoned " + Describe(p) + " is present in the VM";
       return;
     }
-    if (tracker.Seen(p) &&
-        tracker.LocationOf(p) != fm::PageLocation::kRemote)
+    const std::optional<fm::PageLocation> loc = tracker.Lookup(p);
+    if (loc.has_value() && *loc != fm::PageLocation::kRemote)
       violation = "poisoned " + Describe(p) + " tracked as " +
-                  LocationName(tracker.LocationOf(p)) +
+                  LocationName(*loc) +
                   " (quarantined pages must stay remote)";
   });
   return violation;

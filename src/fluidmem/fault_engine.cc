@@ -96,9 +96,7 @@ void FaultEngine::PostGroupReads(RegionId id,
   std::vector<std::vector<PageRef>> per_shard(exec_.size());
   for (const mem::QueuedEvent& qe : batch) {
     const PageRef p{id, PageAlignDown(qe.event.addr)};
-    if (!monitor_->tracker_.Seen(p) ||
-        monitor_->tracker_.LocationOf(p) != PageLocation::kRemote)
-      continue;
+    if (monitor_->tracker_.Lookup(p) != PageLocation::kRemote) continue;
     if (group_reads_.contains(p) || outstanding_reads_.contains(p)) continue;
     std::vector<PageRef>& v = per_shard[ShardOf(p)];
     if (std::find(v.begin(), v.end(), p) == v.end()) v.push_back(p);

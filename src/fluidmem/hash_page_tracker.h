@@ -1,0 +1,168 @@
+// The pre-radix-tree PageTracker core, kept verbatim as the reference
+// model for the hash-vs-tree differential parity suite and as the
+// bytes-per-page baseline in microbench_structures. Not used on any
+// production path — PageTracker (page_tracker.h) is the real index.
+//
+// The only additions over the historical implementation are the strict
+// Lookup() (mirroring the tracker's new API so the parity driver can diff
+// both) and a counting allocator so the hash map's real memory footprint
+// — buckets, nodes, and padding, not a guess — can be reported next to
+// the tree's bytes_used().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "fluidmem/page_key.h"
+#include "fluidmem/page_state.h"
+
+namespace fluid::fm {
+
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  std::size_t* bytes = nullptr;
+
+  CountingAllocator() = default;
+  explicit CountingAllocator(std::size_t* b) : bytes(b) {}
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>& o) : bytes(o.bytes) {}
+
+  T* allocate(std::size_t n) {
+    if (bytes != nullptr) *bytes += n * sizeof(T);
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (bytes != nullptr) *bytes -= n * sizeof(T);
+    ::operator delete(p);
+  }
+  bool operator==(const CountingAllocator& o) const { return bytes == o.bytes; }
+};
+
+class HashPageTracker {
+ public:
+  explicit HashPageTracker(std::size_t shards = 1)
+      : bytes_(std::make_unique<std::size_t>(0)) {
+    const std::size_t n = shards == 0 ? 1 : shards;
+    maps_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      maps_.emplace_back(Alloc(bytes_.get()));
+  }
+
+  std::size_t shard_count() const noexcept { return maps_.size(); }
+  std::size_t ShardOf(const PageRef& p) const noexcept {
+    return maps_.size() == 1 ? 0 : PageRefHash{}(p) % maps_.size();
+  }
+  std::size_t ShardSize(std::size_t s) const noexcept {
+    return maps_[s].size();
+  }
+
+  bool Seen(const PageRef& p) const { return Of(p).contains(p); }
+
+  std::optional<PageLocation> Lookup(const PageRef& p) const {
+    const Map& m = Of(p);
+    auto it = m.find(p);
+    if (it == m.end()) return std::nullopt;
+    return it->second.loc;
+  }
+
+  PageLocation LocationOf(const PageRef& p) const {
+    return Lookup(p).value_or(PageLocation::kRemote);
+  }
+
+  void MarkResident(const PageRef& p) { Set(p, PageLocation::kResident); }
+  void MarkWriteList(const PageRef& p) { Set(p, PageLocation::kWriteList); }
+  void MarkInFlight(const PageRef& p) { Set(p, PageLocation::kInFlight); }
+  void MarkRemote(const PageRef& p) { Set(p, PageLocation::kRemote); }
+  void MarkSpilled(const PageRef& p) { Set(p, PageLocation::kSpilled); }
+  void MarkColdTier(const PageRef& p) { Set(p, PageLocation::kColdTier); }
+
+  std::uint8_t HeatOf(const PageRef& p) const {
+    const Map& m = Of(p);
+    auto it = m.find(p);
+    return it == m.end() ? 0 : it->second.heat;
+  }
+
+  void BumpHeat(const PageRef& p, std::uint8_t add, std::uint8_t max) {
+    Map& m = Of(p);
+    auto it = m.find(p);
+    if (it == m.end()) return;
+    it->second.heat = static_cast<std::uint8_t>(
+        std::min<unsigned>(max, unsigned(it->second.heat) + add));
+  }
+
+  void DecayHeat() {
+    for (Map& m : maps_)
+      for (auto& [p, s] : m) s.heat = static_cast<std::uint8_t>(s.heat >> 1);
+  }
+
+  void Forget(const PageRef& p) { Of(p).erase(p); }
+
+  std::size_t ForgetRegion(RegionId region) {
+    std::size_t n = 0;
+    for (Map& m : maps_) {
+      for (auto it = m.begin(); it != m.end();) {
+        if (it->first.region == region) {
+          it = m.erase(it);
+          ++n;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return n;
+  }
+
+  std::size_t Size() const noexcept {
+    std::size_t n = 0;
+    for (const Map& m : maps_) n += m.size();
+    return n;
+  }
+
+  template <typename F>
+  void ForEachInRegion(RegionId region, F&& f) const {
+    for (const Map& m : maps_)
+      for (const auto& [p, s] : m)
+        if (p.region == region) f(p, s.loc);
+  }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const Map& m : maps_)
+      for (const auto& [p, s] : m) f(p, s.loc);
+  }
+
+  std::size_t CountIn(PageLocation loc) const {
+    std::size_t n = 0;
+    for (const Map& m : maps_)
+      for (const auto& [p, s] : m)
+        if (s.loc == loc) ++n;
+    return n;
+  }
+
+  // Bytes currently held by the hash maps (buckets + nodes), measured at
+  // the allocator, excluding the fixed per-shard object headers.
+  std::size_t ApproxBytes() const noexcept { return *bytes_; }
+
+ private:
+  using Alloc = CountingAllocator<std::pair<const PageRef, PageState>>;
+  using Map = std::unordered_map<PageRef, PageState, PageRefHash,
+                                 std::equal_to<PageRef>, Alloc>;
+
+  void Set(const PageRef& p, PageLocation l) { Of(p)[p].loc = l; }
+
+  Map& Of(const PageRef& p) { return maps_[ShardOf(p)]; }
+  const Map& Of(const PageRef& p) const { return maps_[ShardOf(p)]; }
+
+  std::unique_ptr<std::size_t> bytes_;  // stable target for the allocators
+  std::vector<Map> maps_;
+};
+
+}  // namespace fluid::fm

@@ -702,7 +702,14 @@ FaultOutcome Monitor::HandleFaultScheduled(RegionId id, VirtAddr addr,
   // two ever desync (tracker says buffered, write list has no entry), fall
   // back to the remote-read path instead of dereferencing an empty
   // optional — in release builds that was undefined behaviour.
-  PageLocation location = tracker_.LocationOf(p);
+  const std::optional<PageLocation> looked_up = tracker_.Lookup(p);
+  if (!looked_up.has_value()) {
+    // Seen(p) held above, so a miss here means the tracker desynced
+    // mid-dispatch. Fall back to the remote-read path, but count it —
+    // the old lenient LocationOf() would have hidden this entirely.
+    ++stats_.tracker_unknown_pages;
+  }
+  PageLocation location = looked_up.value_or(PageLocation::kRemote);
   std::optional<FrameId> stolen_frame;
   std::optional<std::pair<SimTime, FrameId>> inflight_steal;
   blk::BlockNum spill_slot = 0;
@@ -1141,8 +1148,7 @@ void Monitor::PrefetchAfter(RegionId id, VirtAddr addr, SimTime now) {
         addr + static_cast<VirtAddr>(step * static_cast<std::int64_t>(d));
     if (!ri.region->Contains(next)) break;
     const PageRef p{id, next};
-    if (tracker_.Seen(p) && tracker_.LocationOf(p) == PageLocation::kRemote)
-      candidates.push_back(p);
+    if (tracker_.Lookup(p) == PageLocation::kRemote) candidates.push_back(p);
   }
   if (candidates.empty()) return;
 
@@ -1334,9 +1340,11 @@ void Monitor::PumpBackground(SimTime now) {
   // return to service on the same tick.
   ProbePoisoned(now);
   // Tier placement: one exponential-decay sweep per background tick, so
-  // "hot" means "touched since the last couple of pumps". Gated on the
-  // cold tier being attached — heat is inert bookkeeping otherwise.
-  if (cold_ != nullptr) tracker_.DecayHeat();
+  // "hot" means "touched since the last couple of pumps". Unconditional:
+  // heat is replay-neutral bookkeeping (no randomness, no time), and
+  // decaying it only when a cold tier is attached let stale warmup heat
+  // skew the first demotion choices after a mid-run AttachColdTier.
+  tracker_.DecayHeat();
   // Pipelined mode: any evictions still queued from the last dequeue batch
   // run now, so a quiescent monitor converges to the same steady state as
   // the serial one (LRU at budget, dirty pages on the write list).
@@ -1374,6 +1382,11 @@ void Monitor::AttachObservability(obs::Observability& obs) {
     [&st] { return double(st.prefetch_breaker_skips); });
   g("monitor.prefetch_churn_stops",
     [&st] { return double(st.prefetch_churn_stops); });
+  g("monitor.tracker_desyncs", [&st] { return double(st.tracker_desyncs); });
+  g("monitor.tracker_unknown_pages",
+    [&st] { return double(st.tracker_unknown_pages); });
+  g("monitor.tracker_index_bytes",
+    [this] { return double(tracker_.ApproxBytes()); });
   g("monitor.tier_demotions", [&st] { return double(st.tier_demotions); });
   g("monitor.tier_promotions", [&st] { return double(st.tier_promotions); });
   g("monitor.tier_io_errors", [&st] { return double(st.tier_io_errors); });

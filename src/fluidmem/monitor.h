@@ -175,6 +175,11 @@ struct MonitorStats {
   // Tracker said write-list/in-flight but the write list had no entry; the
   // fault fell back to a remote read instead of crashing (release-UB fix).
   std::uint64_t tracker_desyncs = 0;
+  // A strict tracker Lookup() found no entry where the fault path expected
+  // one — the case the old lenient LocationOf() silently masked as a
+  // remote read of a possibly-nonexistent key. The fallback still treats
+  // the page as remote, but the desync is now counted, not hidden.
+  std::uint64_t tracker_unknown_pages = 0;
   // --- resilience / graceful degradation ---------------------------------------
   // DrainWrites ran out of rounds with writes still buffered.
   std::uint64_t drain_budget_exhausted = 0;
@@ -290,13 +295,13 @@ class Monitor {
   // Demand use of an already-resident page, reported by the VM layer (a
   // guest access that did NOT fault). Resolves prefetched-unused pages to
   // hits and bumps tier heat. Pure bookkeeping — no randomness, no time —
-  // and an early return when neither feature is on, so legacy stacks
-  // replay byte-identically whether drivers call it or not.
+  // so legacy stacks replay byte-identically whether drivers call it or
+  // not. Heat moves even with no cold tier attached: a tier attached
+  // mid-run must see the warmup's access recency, not a blank slate
+  // (stale-heat-at-attach fix).
   void NotePageTouch(RegionId id, VirtAddr addr) {
-    if (cold_ == nullptr && config_.prefetch_depth == 0) return;
     const PageRef p{id, PageAlignDown(addr)};
-    if (cold_ != nullptr)
-      tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
+    tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
     if (config_.prefetch_depth != 0) prefetcher_.OnResidentTouch(p);
   }
 
@@ -481,11 +486,12 @@ class Monitor {
   // remote fault at `addr` and fetch it on the dedicated readahead lane.
   void PrefetchAfter(RegionId id, VirtAddr addr, SimTime now);
 
-  // Demand install bookkeeping for the tier policy (heat bump; inert
-  // without a cold tier attached).
+  // Demand install bookkeeping for the tier policy. Heat moves whether or
+  // not a cold tier is attached — it is only READ at demotion time, and
+  // keeping it current means a mid-run AttachColdTier makes its first
+  // demotion choices from real recency instead of all-zero counters.
   void BumpHeatOnInstall(const PageRef& p) {
-    if (cold_ != nullptr)
-      tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
+    tracker_.BumpHeat(p, config_.page_heat_bump, config_.page_heat_max);
   }
 
   kv::Key KeyFor(const PageRef& p) const { return kv::MakePageKey(p.addr); }

@@ -1,0 +1,45 @@
+// Per-page metadata shared by every page-index implementation.
+//
+// The tracker records where a page's contents currently live, which is what
+// makes the write-list "steal" shortcut and the in-flight wait (§V-B)
+// implementable:
+//   kResident   — mapped in the VM (zero page or private frame);
+//   kWriteList  — evicted, buffered, awaiting the flush thread;
+//   kInFlight   — inside a multi-write batch the flush thread has posted;
+//   kRemote     — safely in the key-value store;
+//   kSpilled    — on the local swap device (graceful degradation while the
+//                 remote store is down; migrates back when it recovers);
+//   kColdTier   — demoted to the cheap cold-tier device because the page's
+//                 heat decayed (tier placement; promotes on refault).
+//
+// Each entry also carries a coarse per-page HEAT counter for the hot/cold
+// tier policy: demand installs and monitor-visible touches bump it,
+// PumpBackground halves it, and evictions demote pages at or below the
+// cold threshold to the cold-tier device instead of remote DRAM. Heat is
+// pure bookkeeping — reading or writing it draws no randomness and charges
+// no virtual time, so stacks that never attach a cold tier replay
+// byte-identically whether the counters move or not.
+#pragma once
+
+#include <cstdint>
+
+namespace fluid::fm {
+
+enum class PageLocation : std::uint8_t {
+  kResident,
+  kWriteList,
+  kInFlight,
+  kRemote,
+  kSpilled,
+  kColdTier,
+};
+
+// One location enum value per slot in the per-shard location histograms.
+inline constexpr std::size_t kPageLocationCount = 6;
+
+struct PageState {
+  PageLocation loc = PageLocation::kRemote;
+  std::uint8_t heat = 0;
+};
+
+}  // namespace fluid::fm

@@ -1,76 +1,75 @@
-// The pagetracker: the monitor's hash of every page it has ever seen
+// The page tracker: the monitor's index of every page it has ever seen
 // (paper §V-A, Fig. 2 step 4).
 //
 // "The monitor keeps a list of already seen pages to avoid reads from the
 //  remote key-value store for first-time accesses."
 //
 // Beyond first-seen tracking, the tracker records where a page's contents
-// currently live, which is what makes the write-list "steal" shortcut and
-// the in-flight wait (§V-B) implementable:
-//   kResident   — mapped in the VM (zero page or private frame);
-//   kWriteList  — evicted, buffered, awaiting the flush thread;
-//   kInFlight   — inside a multi-write batch the flush thread has posted;
-//   kRemote     — safely in the key-value store;
-//   kSpilled    — on the local swap device (graceful degradation while the
-//                 remote store is down; migrates back when it recovers);
-//   kColdTier   — demoted to the cheap cold-tier device because the page's
-//                 heat decayed (tier placement; promotes on refault).
+// currently live (PageLocation, see page_state.h), which is what makes the
+// write-list "steal" shortcut and the in-flight wait (§V-B) implementable,
+// plus a coarse per-page heat counter for hot/cold tier placement.
 //
-// Each entry also carries a coarse per-page HEAT counter for the hot/cold
-// tier policy: demand installs and monitor-visible touches bump it,
-// PumpBackground halves it, and evictions demote pages at or below the
-// cold threshold to the cold-tier device instead of remote DRAM. Heat is
-// pure bookkeeping — reading or writing it draws no randomness and charges
-// no virtual time, so stacks that never attach a cold tier replay
-// byte-identically whether the counters move or not.
+// The core is a per-shard adaptive radix tree (radix_index.h) keyed by
+// (region, addr >> 12), replacing the historical per-shard hash map
+// (preserved as HashPageTracker for the differential parity suite). The
+// tree makes region-scoped work proportional to the region, not the table:
+// ForgetRegion is a subtree unlink, ForEachInRegion an in-order subtree
+// walk, and ForEachRunInRegion exposes contiguous-run detection for
+// writeback coalescing and prefetch neighborhood queries. Point ops ride a
+// per-shard hot-node cache on the fault path. Behavior of every public
+// operation is identical to the hash at any shard count; iteration order
+// is now ascending key order per shard, which no replay-visible state
+// depends on.
 //
-// Sharding: the parallel fault engine partitions the hash by page key so
-// each handler shard owns a slice (mirroring a striped-lock hash table).
-// The partition is internal — every public operation behaves identically
-// at any shard count; ShardSize exposes slice occupancy for balance stats.
+// Sharding: the parallel fault engine partitions pages by key so each
+// handler shard owns a slice (mirroring a striped-lock hash table). The
+// partition is internal — every public operation behaves identically at
+// any shard count; ShardSize exposes slice occupancy for balance stats.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
 #include "fluidmem/page_key.h"
+#include "fluidmem/page_state.h"
+#include "fluidmem/radix_index.h"
 
 namespace fluid::fm {
-
-enum class PageLocation : std::uint8_t {
-  kResident,
-  kWriteList,
-  kInFlight,
-  kRemote,
-  kSpilled,
-  kColdTier,
-};
 
 class PageTracker {
  public:
   explicit PageTracker(std::size_t shards = 1)
-      : maps_(shards == 0 ? 1 : shards) {}
+      : shards_(shards == 0 ? 1 : shards) {}
 
-  std::size_t shard_count() const noexcept { return maps_.size(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t ShardOf(const PageRef& p) const noexcept {
-    return maps_.size() == 1 ? 0 : PageRefHash{}(p) % maps_.size();
+    return shards_.size() == 1 ? 0 : PageRefHash{}(p) % shards_.size();
   }
   std::size_t ShardSize(std::size_t s) const noexcept {
-    return maps_[s].size();
+    return shards_[s].size();
   }
 
   // Returns true if the page was already known (i.e. NOT a first access).
-  bool Seen(const PageRef& p) const { return Of(p).contains(p); }
+  bool Seen(const PageRef& p) const { return Of(p).Find(p) != nullptr; }
 
+  // Strict lookup: nullopt for pages the tracker has never seen. This is
+  // the API call sites should use — an unknown page is a fact worth
+  // surfacing (tracker desync, use-after-forget), not something to paper
+  // over with a default.
+  std::optional<PageLocation> Lookup(const PageRef& p) const {
+    const PageState* st = Of(p).Find(p);
+    if (st == nullptr) return std::nullopt;
+    return st->loc;
+  }
+
+  // Legacy lenient lookup: unknown pages read as kRemote. Kept only for
+  // callers that have already established Seen(p); new code should use
+  // Lookup() and decide explicitly what an unknown page means.
   PageLocation LocationOf(const PageRef& p) const {
-    const Map& m = Of(p);
-    auto it = m.find(p);
-    // Unknown pages are "resident by zero-page" only after MarkResident;
-    // callers must check Seen() first. Defensive default:
-    return it == m.end() ? PageLocation::kRemote : it->second.loc;
+    return Lookup(p).value_or(PageLocation::kRemote);
   }
 
   void MarkResident(const PageRef& p) { Set(p, PageLocation::kResident); }
@@ -83,90 +82,135 @@ class PageTracker {
   // --- per-page heat (hot/cold tier placement) -----------------------------
 
   std::uint8_t HeatOf(const PageRef& p) const {
-    const Map& m = Of(p);
-    auto it = m.find(p);
-    return it == m.end() ? 0 : it->second.heat;
+    const PageState* st = Of(p).Find(p);
+    return st == nullptr ? 0 : st->heat;
   }
 
   // Saturating bump of a tracked page's heat; unknown pages are ignored
   // (heat exists only alongside a location entry).
   void BumpHeat(const PageRef& p, std::uint8_t add, std::uint8_t max) {
-    Map& m = Of(p);
-    auto it = m.find(p);
-    if (it == m.end()) return;
-    it->second.heat = static_cast<std::uint8_t>(
-        std::min<unsigned>(max, unsigned(it->second.heat) + add));
+    PageState* st = Of(p).FindMutable(p);
+    if (st == nullptr) return;
+    st->heat = static_cast<std::uint8_t>(
+        std::min<unsigned>(max, unsigned(st->heat) + add));
   }
 
   // Exponential decay: halve every page's heat. One sweep per background
   // tick keeps "hot" meaning "touched since the last couple of pumps".
   void DecayHeat() {
-    for (Map& m : maps_)
-      for (auto& [p, s] : m) s.heat = static_cast<std::uint8_t>(s.heat >> 1);
+    for (RadixPageIndex& s : shards_) s.DecayHeat();
   }
 
-  void Forget(const PageRef& p) { Of(p).erase(p); }
+  void Forget(const PageRef& p) { Of(p).Erase(p); }
 
   // Drop every page belonging to `region` (VM shutdown); returns count.
+  // Subtree unlink per shard: cost is O(pages in the region), never
+  // O(pages tracked).
   std::size_t ForgetRegion(RegionId region) {
     std::size_t n = 0;
-    for (Map& m : maps_) {
-      for (auto it = m.begin(); it != m.end();) {
-        if (it->first.region == region) {
-          it = m.erase(it);
-          ++n;
-        } else {
-          ++it;
-        }
-      }
-    }
+    for (RadixPageIndex& s : shards_) n += s.EraseRegion(region);
     return n;
   }
 
   std::size_t Size() const noexcept {
     std::size_t n = 0;
-    for (const Map& m : maps_) n += m.size();
+    for (const RadixPageIndex& s : shards_) n += s.size();
     return n;
   }
 
   // Visit every tracked page of one region (migration metadata scan).
+  // Ascending address order within each shard.
   template <typename F>
   void ForEachInRegion(RegionId region, F&& f) const {
-    for (const Map& m : maps_)
-      for (const auto& [p, s] : m)
-        if (p.region == region) f(p, s.loc);
+    for (const RadixPageIndex& s : shards_)
+      s.ForEachInRegion(region,
+                        [&](const PageRef& p, const PageState& st) {
+                          f(p, st.loc);
+                        });
+  }
+
+  // Maximal runs of consecutive page addresses sharing a location:
+  // f(PageRef first, std::size_t pages, PageLocation loc). With one shard
+  // this streams straight off the tree; with several, consecutive pages
+  // hash to different shards, so the per-shard (sorted) streams are
+  // collected and merged by address first.
+  template <typename F>
+  void ForEachRunInRegion(RegionId region, F&& f) const {
+    if (shards_.size() == 1) {
+      shards_[0].ForEachRunInRegion(region, std::forward<F>(f));
+      return;
+    }
+    std::vector<std::pair<VirtAddr, PageLocation>> pages;
+    for (const RadixPageIndex& s : shards_)
+      s.ForEachInRegion(region, [&](const PageRef& p, const PageState& st) {
+        pages.emplace_back(p.addr, st.loc);
+      });
+    std::sort(pages.begin(), pages.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    bool open = false;
+    VirtAddr start = 0, next = 0;
+    PageLocation loc{};
+    std::size_t len = 0;
+    for (const auto& [addr, l] : pages) {
+      if (open && addr == next && l == loc) {
+        ++len;
+        next += kPageSize;
+        continue;
+      }
+      if (open) f(PageRef{region, start}, len, loc);
+      open = true;
+      start = addr;
+      next = addr + kPageSize;
+      loc = l;
+      len = 1;
+    }
+    if (open) f(PageRef{region, start}, len, loc);
   }
 
   // Visit every tracked page (chaos invariant sweeps).
   template <typename F>
   void ForEach(F&& f) const {
-    for (const Map& m : maps_)
-      for (const auto& [p, s] : m) f(p, s.loc);
+    for (const RadixPageIndex& s : shards_)
+      s.ForEach([&](const PageRef& p, const PageState& st) { f(p, st.loc); });
   }
 
+  // O(shards): each shard keeps per-location counters.
   std::size_t CountIn(PageLocation loc) const {
     std::size_t n = 0;
-    for (const Map& m : maps_)
-      for (const auto& [p, s] : m)
-        if (s.loc == loc) ++n;
+    for (const RadixPageIndex& s : shards_) n += s.CountIn(loc);
+    return n;
+  }
+
+  // --- index accounting (bench / observability) ----------------------------
+
+  // Exact bytes of index node memory across all shards.
+  std::size_t ApproxBytes() const noexcept {
+    std::size_t n = 0;
+    for (const RadixPageIndex& s : shards_) n += s.bytes_used();
+    return n;
+  }
+  std::uint64_t HotCacheHits() const noexcept {
+    std::uint64_t n = 0;
+    for (const RadixPageIndex& s : shards_) n += s.cache_hits();
+    return n;
+  }
+  std::uint64_t HotCacheMisses() const noexcept {
+    std::uint64_t n = 0;
+    for (const RadixPageIndex& s : shards_) n += s.cache_misses();
     return n;
   }
 
  private:
-  struct PageState {
-    PageLocation loc = PageLocation::kRemote;
-    std::uint8_t heat = 0;
-  };
-  using Map = std::unordered_map<PageRef, PageState, PageRefHash>;
-
   // Location changes preserve heat: the counter tracks the page, not the
   // place it currently lives.
-  void Set(const PageRef& p, PageLocation l) { Of(p)[p].loc = l; }
+  void Set(const PageRef& p, PageLocation l) { Of(p).SetLocation(p, l); }
 
-  Map& Of(const PageRef& p) { return maps_[ShardOf(p)]; }
-  const Map& Of(const PageRef& p) const { return maps_[ShardOf(p)]; }
+  RadixPageIndex& Of(const PageRef& p) { return shards_[ShardOf(p)]; }
+  const RadixPageIndex& Of(const PageRef& p) const {
+    return shards_[ShardOf(p)];
+  }
 
-  std::vector<Map> maps_;
+  std::vector<RadixPageIndex> shards_;
 };
 
 }  // namespace fluid::fm

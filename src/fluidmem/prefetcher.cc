@@ -14,7 +14,7 @@ void Prefetcher::Configure(const PrefetcherConfig& cfg,
   if (cfg_.gate_probe_period == 0) cfg_.gate_probe_period = 1;
   depth_cap_ = depth_cap;
   regions_.clear();
-  unused_.clear();
+  unused_total_ = 0;
   stats_ = PrefetcherStats{};
 }
 
@@ -161,7 +161,9 @@ void Prefetcher::OnBatchEnd(RegionId region, VirtAddr continuation) {
   if (cfg_.mode == PrefetchMode::kSequential) r.seq_streak = 2;
 }
 
-void Prefetcher::MarkPrefetched(const PageRef& p) { unused_.insert(p); }
+void Prefetcher::MarkPrefetched(const PageRef& p) {
+  if (StateOf(p.region).unused.insert(p).second) ++unused_total_;
+}
 
 void Prefetcher::RecordOutcome(RegionId region, bool hit) {
   RegionState& r = StateOf(region);
@@ -178,22 +180,26 @@ void Prefetcher::RecordOutcome(RegionId region, bool hit) {
 }
 
 void Prefetcher::OnResidentTouch(const PageRef& p) {
-  if (unused_.erase(p) == 0) return;
+  auto it = regions_.find(p.region);
+  if (it == regions_.end() || it->second.unused.erase(p) == 0) return;
+  --unused_total_;
   ++stats_.hits;
   RecordOutcome(p.region, /*hit=*/true);
 }
 
 void Prefetcher::OnEvicted(const PageRef& p) {
-  if (unused_.erase(p) == 0) return;
+  auto it = regions_.find(p.region);
+  if (it == regions_.end() || it->second.unused.erase(p) == 0) return;
+  --unused_total_;
   ++stats_.wasted;
   RecordOutcome(p.region, /*hit=*/false);
 }
 
 void Prefetcher::ForgetRegion(RegionId region) {
-  regions_.erase(region);
-  for (auto it = unused_.begin(); it != unused_.end();) {
-    it = (it->region == region) ? unused_.erase(it) : std::next(it);
-  }
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return;
+  unused_total_ -= it->second.unused.size();
+  regions_.erase(it);
 }
 
 int Prefetcher::TrailingAccuracyPct(RegionId region) const {

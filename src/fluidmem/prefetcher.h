@@ -123,13 +123,16 @@ class Prefetcher {
   void OnEvicted(const PageRef& p);
 
   // Region unregistered: drop its predictor and pending-outcome pages
-  // without charging hits or misses.
+  // without charging hits or misses. O(1) in the number of OTHER regions'
+  // pages — the unused set lives inside the region's own state, so this is
+  // a single map erase, not a scan of every tracked speculation.
   void ForgetRegion(RegionId region);
 
   const PrefetcherStats& stats() const noexcept { return stats_; }
-  std::size_t UnusedPrefetchedPages() const noexcept { return unused_.size(); }
+  std::size_t UnusedPrefetchedPages() const noexcept { return unused_total_; }
   bool IsPrefetchedUnused(const PageRef& p) const {
-    return unused_.contains(p);
+    auto it = regions_.find(p.region);
+    return it != regions_.end() && it->second.unused.contains(p);
   }
   // Trailing hit rate of the region's outcome ring, in percent; -1 while
   // the ring lacks the evidence the gate requires.
@@ -149,6 +152,10 @@ class Prefetcher {
     std::uint64_t outcome_bits = 0;  // newest outcome in bit 0
     std::uint32_t outcome_len = 0;
     std::size_t probe_countdown = 0;
+    // This region's prefetched-but-unused pages. Keeping the set inside
+    // the region state (instead of one global set) makes ForgetRegion a
+    // single erase instead of an O(all-unused-pages) sweep.
+    std::unordered_set<PageRef, PageRefHash> unused;
   };
 
   RegionState& StateOf(RegionId region);
@@ -162,9 +169,9 @@ class Prefetcher {
   PrefetcherConfig cfg_;
   std::size_t depth_cap_ = 0;
   std::unordered_map<RegionId, RegionState> regions_;
-  // Globally-tracked prefetched-but-unused pages (PageRef carries the
-  // region, so outcome attribution stays per-region).
-  std::unordered_set<PageRef, PageRefHash> unused_;
+  // Total unused pages across all regions (the per-region sets hold the
+  // members); kept incrementally so UnusedPrefetchedPages stays O(1).
+  std::size_t unused_total_ = 0;
   PrefetcherStats stats_;
 };
 

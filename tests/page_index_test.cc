@@ -1,0 +1,431 @@
+// Differential parity suite for the radix-tree page index: PageTracker
+// (radix_index.h) must behave identically to the historical hash-map core
+// (hash_page_tracker.h) under randomized op streams at every shard count,
+// the new region-scoped ops (ForgetRegion counts, run detection, ordered
+// walks) must be exact, the hot-node cache must stay invisible to
+// correctness, and chaos (seed, plan) pairs must keep replaying
+// byte-identically with the tree underneath — including under injected
+// store faults and bit corruption.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "common/fault_hook.h"
+#include "fluidmem/hash_page_tracker.h"
+#include "fluidmem/monitor.h"
+#include "fluidmem/page_state.h"
+#include "fluidmem/page_tracker.h"
+
+namespace fluid::fm {
+namespace {
+
+constexpr VirtAddr kBase = 0x7f0000000000ULL;
+constexpr VirtAddr PageAddr(std::uint64_t i) { return kBase + i * kPageSize; }
+PageRef Ref(std::uint32_t region, std::uint64_t page) {
+  return PageRef{region, PageAddr(page)};
+}
+
+constexpr PageLocation kAllLocations[] = {
+    PageLocation::kResident, PageLocation::kWriteList,
+    PageLocation::kInFlight, PageLocation::kRemote,
+    PageLocation::kSpilled,  PageLocation::kColdTier,
+};
+
+using PageMap = std::map<std::pair<std::uint32_t, VirtAddr>, PageLocation>;
+
+PageMap Snapshot(const PageTracker& t) {
+  PageMap m;
+  t.ForEach([&](const PageRef& p, PageLocation loc) {
+    m[{p.region, p.addr}] = loc;
+  });
+  return m;
+}
+
+PageMap Snapshot(const HashPageTracker& t) {
+  PageMap m;
+  t.ForEach([&](const PageRef& p, PageLocation loc) {
+    m[{p.region, p.addr}] = loc;
+  });
+  return m;
+}
+
+PageMap RegionSnapshot(const PageTracker& t, RegionId region) {
+  PageMap m;
+  t.ForEachInRegion(region, [&](const PageRef& p, PageLocation loc) {
+    m[{p.region, p.addr}] = loc;
+  });
+  return m;
+}
+
+PageMap RegionSnapshot(const HashPageTracker& t, RegionId region) {
+  PageMap m;
+  t.ForEachInRegion(region, [&](const PageRef& p, PageLocation loc) {
+    m[{p.region, p.addr}] = loc;
+  });
+  return m;
+}
+
+// Expand the tracker's run stream back into per-page facts so it can be
+// diffed against a page-level snapshot: the runs must tile the region's
+// pages exactly (no overlap, no gap, maximal).
+PageMap RunsAsPages(const PageTracker& t, RegionId region,
+                    std::size_t* runs_out) {
+  PageMap m;
+  std::size_t runs = 0;
+  VirtAddr prev_end = 0;
+  PageLocation prev_loc{};
+  bool have_prev = false;
+  t.ForEachRunInRegion(region, [&](const PageRef& first, std::size_t pages,
+                                   PageLocation loc) {
+    ++runs;
+    EXPECT_GT(pages, 0u);
+    if (have_prev) {
+      EXPECT_GE(first.addr, prev_end) << "runs overlap or go backwards";
+      // Maximality: adjacent runs must differ in location.
+      if (first.addr == prev_end) {
+        EXPECT_NE(loc, prev_loc);
+      }
+    }
+    for (std::size_t i = 0; i < pages; ++i)
+      m[{region, first.addr + i * kPageSize}] = loc;
+    prev_end = first.addr + pages * kPageSize;
+    prev_loc = loc;
+    have_prev = true;
+  });
+  if (runs_out != nullptr) *runs_out = runs;
+  return m;
+}
+
+// Drive the tree-backed tracker and the hash reference through one
+// identical randomized op stream, diffing full state at checkpoints.
+void RunDifferential(std::uint64_t seed, std::size_t shards,
+                     std::size_t num_ops) {
+  std::mt19937_64 rng(seed);
+  PageTracker tree(shards);
+  HashPageTracker hash(shards);
+
+  constexpr std::uint32_t kRegions = 5;
+  // Mix dense low pages (block-leaf packing, runs) with sparse high pages
+  // (path compression, deep splits).
+  auto random_page = [&]() -> std::uint64_t {
+    switch (rng() % 4) {
+      case 0: return rng() % 256;                       // one dense block
+      case 1: return rng() % 4096;                      // dense-ish
+      case 2: return (rng() % 64) * 0x10000ULL;         // sparse, far apart
+      default: return rng() % (1ULL << 36);             // anywhere
+    }
+  };
+
+  std::vector<PageRef> touched;  // bias some ops toward known pages
+  auto pick = [&]() -> PageRef {
+    if (!touched.empty() && rng() % 2 == 0)
+      return touched[rng() % touched.size()];
+    PageRef p = Ref(static_cast<std::uint32_t>(rng() % kRegions),
+                    random_page());
+    touched.push_back(p);
+    return p;
+  };
+
+  auto check = [&](std::size_t at_op) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " shards=" + std::to_string(shards) +
+                 " op=" + std::to_string(at_op));
+    ASSERT_EQ(tree.Size(), hash.Size());
+    for (PageLocation loc : kAllLocations)
+      EXPECT_EQ(tree.CountIn(loc), hash.CountIn(loc));
+    EXPECT_EQ(Snapshot(tree), Snapshot(hash));
+    for (std::uint32_t r = 0; r < kRegions; ++r) {
+      const PageMap want = RegionSnapshot(hash, r);
+      EXPECT_EQ(RegionSnapshot(tree, r), want);
+      EXPECT_EQ(RunsAsPages(tree, r, nullptr), want);
+    }
+    // Point lookups (strict + legacy + heat) on a sample of known pages.
+    for (std::size_t i = 0; i < std::min<std::size_t>(64, touched.size());
+         ++i) {
+      const PageRef& p = touched[(i * 97 + at_op) % touched.size()];
+      EXPECT_EQ(tree.Seen(p), hash.Seen(p));
+      EXPECT_EQ(tree.Lookup(p), hash.Lookup(p));
+      EXPECT_EQ(tree.LocationOf(p), hash.LocationOf(p));
+      EXPECT_EQ(tree.HeatOf(p), hash.HeatOf(p));
+    }
+  };
+
+  for (std::size_t op = 0; op < num_ops; ++op) {
+    const unsigned what = static_cast<unsigned>(rng() % 100);
+    if (what < 55) {
+      const PageRef p = pick();
+      const PageLocation loc = kAllLocations[rng() % 6];
+      switch (loc) {
+        case PageLocation::kResident: tree.MarkResident(p); hash.MarkResident(p); break;
+        case PageLocation::kWriteList: tree.MarkWriteList(p); hash.MarkWriteList(p); break;
+        case PageLocation::kInFlight: tree.MarkInFlight(p); hash.MarkInFlight(p); break;
+        case PageLocation::kRemote: tree.MarkRemote(p); hash.MarkRemote(p); break;
+        case PageLocation::kSpilled: tree.MarkSpilled(p); hash.MarkSpilled(p); break;
+        case PageLocation::kColdTier: tree.MarkColdTier(p); hash.MarkColdTier(p); break;
+      }
+    } else if (what < 75) {
+      const PageRef p = pick();
+      tree.BumpHeat(p, 2, 8);
+      hash.BumpHeat(p, 2, 8);
+    } else if (what < 90) {
+      const PageRef p = pick();
+      tree.Forget(p);
+      hash.Forget(p);
+    } else if (what < 95) {
+      tree.DecayHeat();
+      hash.DecayHeat();
+    } else if (what < 99) {
+      // Re-read a recent page: exercises the hot-node cache fast path in
+      // between mutations without changing state.
+      const PageRef p = pick();
+      EXPECT_EQ(tree.Lookup(p), hash.Lookup(p));
+    } else {
+      const RegionId r = static_cast<RegionId>(rng() % kRegions);
+      EXPECT_EQ(tree.ForgetRegion(r), hash.ForgetRegion(r));
+    }
+    if (op % 2000 == 1999) check(op);
+  }
+  check(num_ops);
+}
+
+TEST(PageIndexParity, MatchesHashSingleShard) {
+  for (const std::uint64_t seed : {1ULL, 71ULL, 20260807ULL})
+    RunDifferential(seed, /*shards=*/1, /*num_ops=*/12000);
+}
+
+TEST(PageIndexParity, MatchesHashFourShards) {
+  for (const std::uint64_t seed : {2ULL, 4242ULL})
+    RunDifferential(seed, /*shards=*/4, /*num_ops=*/12000);
+}
+
+TEST(PageIndexParity, MatchesHashSixteenShards) {
+  for (const std::uint64_t seed : {3ULL, 977ULL})
+    RunDifferential(seed, /*shards=*/16, /*num_ops=*/12000);
+}
+
+// --- strict lookup ----------------------------------------------------------
+
+TEST(PageIndex, StrictLookupDistinguishesUnknownFromRemote) {
+  PageTracker t;
+  const PageRef unknown = Ref(1, 10);
+  EXPECT_EQ(t.Lookup(unknown), std::nullopt);
+  // The legacy call papers over the difference — that is exactly why it is
+  // legacy-only.
+  EXPECT_EQ(t.LocationOf(unknown), PageLocation::kRemote);
+
+  t.MarkRemote(unknown);
+  EXPECT_EQ(t.Lookup(unknown), PageLocation::kRemote);
+
+  t.Forget(unknown);
+  EXPECT_EQ(t.Lookup(unknown), std::nullopt);
+  EXPECT_FALSE(t.Seen(unknown));
+}
+
+TEST(PageIndex, LookupSurvivesRegionForget) {
+  PageTracker t(4);
+  for (std::uint64_t i = 0; i < 300; ++i) t.MarkResident(Ref(7, i));
+  for (std::uint64_t i = 0; i < 100; ++i) t.MarkSpilled(Ref(8, i));
+  EXPECT_EQ(t.ForgetRegion(7), 300u);
+  EXPECT_EQ(t.Lookup(Ref(7, 5)), std::nullopt);
+  EXPECT_EQ(t.Lookup(Ref(8, 5)), PageLocation::kSpilled);
+  EXPECT_EQ(t.Size(), 100u);
+  EXPECT_EQ(t.ForgetRegion(7), 0u);  // already gone
+}
+
+// --- region walks and runs --------------------------------------------------
+
+TEST(PageIndex, RegionWalkIsAscendingPerShard) {
+  PageTracker t;  // one shard: the walk order is the tree's key order
+  std::mt19937_64 rng(99);
+  std::vector<std::uint64_t> pages;
+  for (int i = 0; i < 500; ++i) pages.push_back(rng() % (1ULL << 30));
+  for (std::uint64_t p : pages) t.MarkResident(Ref(3, p));
+  VirtAddr prev = 0;
+  std::size_t seen = 0;
+  t.ForEachInRegion(3, [&](const PageRef& p, PageLocation) {
+    EXPECT_GT(p.addr, prev);
+    prev = p.addr;
+    ++seen;
+  });
+  EXPECT_EQ(seen, t.Size());
+}
+
+TEST(PageIndex, RunDetectionFindsMaximalRuns) {
+  PageTracker t;  // single shard: runs stream straight off the tree
+  // Layout in region 9: [0,16) resident, [16,20) write-list, gap,
+  // [40,41) resident, gap, [300,330) spilled (crosses nothing special),
+  // and one page far away.
+  for (std::uint64_t i = 0; i < 16; ++i) t.MarkResident(Ref(9, i));
+  for (std::uint64_t i = 16; i < 20; ++i) t.MarkWriteList(Ref(9, i));
+  t.MarkResident(Ref(9, 40));
+  for (std::uint64_t i = 300; i < 330; ++i) t.MarkSpilled(Ref(9, i));
+  t.MarkColdTier(Ref(9, 1'000'000));
+  // Noise in another region must not leak in.
+  for (std::uint64_t i = 0; i < 64; ++i) t.MarkResident(Ref(10, i));
+
+  std::vector<std::tuple<VirtAddr, std::size_t, PageLocation>> runs;
+  t.ForEachRunInRegion(9, [&](const PageRef& first, std::size_t pages,
+                              PageLocation loc) {
+    runs.emplace_back(first.addr, pages, loc);
+  });
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs[0], std::make_tuple(PageAddr(0), 16u, PageLocation::kResident));
+  EXPECT_EQ(runs[1], std::make_tuple(PageAddr(16), 4u, PageLocation::kWriteList));
+  EXPECT_EQ(runs[2], std::make_tuple(PageAddr(40), 1u, PageLocation::kResident));
+  EXPECT_EQ(runs[3], std::make_tuple(PageAddr(300), 30u, PageLocation::kSpilled));
+  EXPECT_EQ(runs[4],
+            std::make_tuple(PageAddr(1'000'000), 1u, PageLocation::kColdTier));
+}
+
+TEST(PageIndex, RunDetectionAcrossBlockLeafBoundary) {
+  PageTracker t;
+  // One run spanning the 256-page leaf boundary: pages 250..262.
+  for (std::uint64_t i = 250; i < 263; ++i) t.MarkResident(Ref(2, i));
+  std::size_t runs = 0;
+  t.ForEachRunInRegion(2, [&](const PageRef& first, std::size_t pages,
+                              PageLocation loc) {
+    ++runs;
+    EXPECT_EQ(first.addr, PageAddr(250));
+    EXPECT_EQ(pages, 13u);
+    EXPECT_EQ(loc, PageLocation::kResident);
+  });
+  EXPECT_EQ(runs, 1u);
+}
+
+TEST(PageIndex, MultiShardRunsMatchSingleShard) {
+  std::mt19937_64 rng(2024);
+  PageTracker one(1), eight(8);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t page = rng() % 2048;
+    const PageLocation loc = kAllLocations[rng() % 6];
+    const PageRef p = Ref(4, page);
+    for (PageTracker* t : {&one, &eight}) {
+      switch (loc) {
+        case PageLocation::kResident: t->MarkResident(p); break;
+        case PageLocation::kWriteList: t->MarkWriteList(p); break;
+        case PageLocation::kInFlight: t->MarkInFlight(p); break;
+        case PageLocation::kRemote: t->MarkRemote(p); break;
+        case PageLocation::kSpilled: t->MarkSpilled(p); break;
+        case PageLocation::kColdTier: t->MarkColdTier(p); break;
+      }
+    }
+  }
+  std::size_t runs1 = 0, runs8 = 0;
+  const PageMap m1 = RunsAsPages(one, 4, &runs1);
+  const PageMap m8 = RunsAsPages(eight, 4, &runs8);
+  EXPECT_EQ(m1, m8);
+  EXPECT_EQ(runs1, runs8);  // both streams must emit maximal runs
+  EXPECT_GT(runs1, 0u);
+}
+
+// --- hot-node cache ---------------------------------------------------------
+
+TEST(PageIndex, HotCacheAcceleratesBlockLocalLookups) {
+  PageTracker t;  // single shard so the counters aggregate one cache
+  for (std::uint64_t i = 0; i < 256; ++i) t.MarkResident(Ref(1, i));
+  const std::uint64_t miss0 = t.HotCacheMisses();
+  // Block-local stream: after the first touch primes the cache, the rest
+  // must hit it.
+  for (std::uint64_t i = 0; i < 256; ++i)
+    EXPECT_EQ(t.Lookup(Ref(1, i)), PageLocation::kResident);
+  EXPECT_GE(t.HotCacheHits(), 255u);
+  EXPECT_LE(t.HotCacheMisses() - miss0, 1u);
+}
+
+TEST(PageIndex, HotCacheStaysCorrectAcrossGrowAndErase) {
+  PageTracker t;
+  // Prime the cache inside one block while the leaf is still small…
+  for (std::uint64_t i = 0; i < 8; ++i) t.MarkResident(Ref(6, i));
+  EXPECT_EQ(t.Lookup(Ref(6, 3)), PageLocation::kResident);
+  // …then force the Leaf16 -> Leaf256 growth and keep reading through the
+  // (re-pointed) cache.
+  for (std::uint64_t i = 8; i < 64; ++i) t.MarkWriteList(Ref(6, i));
+  EXPECT_EQ(t.Lookup(Ref(6, 3)), PageLocation::kResident);
+  EXPECT_EQ(t.Lookup(Ref(6, 63)), PageLocation::kWriteList);
+  // Erase invalidates: the cached leaf must not serve stale entries.
+  t.Forget(Ref(6, 3));
+  EXPECT_EQ(t.Lookup(Ref(6, 3)), std::nullopt);
+  t.ForgetRegion(6);
+  EXPECT_EQ(t.Lookup(Ref(6, 63)), std::nullopt);
+  EXPECT_EQ(t.Size(), 0u);
+}
+
+// --- memory accounting ------------------------------------------------------
+
+TEST(PageIndex, DenseRegionStaysUnderBytesPerPageBudget) {
+  PageTracker t;
+  constexpr std::uint64_t kPages = 1 << 16;  // 64Ki pages = 256 MiB tracked
+  for (std::uint64_t i = 0; i < kPages; ++i) t.MarkResident(Ref(1, i));
+  ASSERT_EQ(t.Size(), kPages);
+  const double per_page = double(t.ApproxBytes()) / double(kPages);
+  EXPECT_LE(per_page, 48.0) << t.ApproxBytes() << " bytes total";
+  // Dense blocks should in fact land far below the ceiling.
+  EXPECT_LE(per_page, 8.0);
+}
+
+// --- chaos replay with the tree underneath ----------------------------------
+
+// The full stack under injected store faults AND bit corruption (the
+// integrity envelope path): two fresh stacks fed the same (seed, plan)
+// must agree on every byte of the report now that the tracker is a radix
+// tree. This is the "no replay-visible behavior change" acceptance test.
+TEST(PageIndexChaos, ReplaysByteIdenticallyUnderFaultsAndCorruption) {
+  for (const std::uint64_t seed : {21ULL, 1979ULL, 600613ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed * 131 + 7;
+    opt.num_ops = 400;
+    opt.lru_capacity = 16;
+    opt.resilient_store = true;
+    opt.attach_spill = true;
+    opt.integrity_store = true;
+    opt.scrub_budget = 4;
+    opt.plan.at(FaultSite::kStoreGet).fail_p = 0.03;
+    opt.plan.at(FaultSite::kStoreMultiPutKey).fail_p = 0.03;
+    opt.plan.at(FaultSite::kStoreCorruptBits).fail_p = 0.02;
+    const std::vector<chaos::Op> ops = chaos::GenerateOps(opt);
+    std::unique_ptr<chaos::Stack> a, b;
+    const chaos::RunReport ra = chaos::RunOps(opt, ops, &a);
+    const chaos::RunReport rb = chaos::RunOps(opt, ops, &b);
+    ASSERT_TRUE(ra.ok) << ra.Report();
+    EXPECT_EQ(ra.Report(), rb.Report()) << "seed " << seed;
+    EXPECT_EQ(a->monitor->stats().faults, b->monitor->stats().faults);
+    EXPECT_EQ(a->monitor->stats().tracker_desyncs,
+              b->monitor->stats().tracker_desyncs);
+    EXPECT_EQ(a->monitor->stats().tracker_unknown_pages,
+              b->monitor->stats().tracker_unknown_pages);
+  }
+}
+
+// Sharded tracker (parallel fault engine) + store faults: the per-shard
+// trees must partition pages exactly as the per-shard hash maps did
+// (ShardOf is unchanged), so multi-shard replays stay deterministic too.
+TEST(PageIndexChaos, ShardedTrackerReplaysByteIdentically) {
+  for (const std::uint64_t seed : {5ULL, 31337ULL}) {
+    chaos::ScenarioOptions opt;
+    opt.seed = seed;
+    opt.plan.seed = seed ^ 0xabcdefULL;
+    opt.num_ops = 400;
+    opt.lru_capacity = 16;
+    opt.fault_shards = 4;
+    opt.resilient_store = true;
+    opt.plan.at(FaultSite::kStoreGet).fail_p = 0.03;
+    opt.plan.at(FaultSite::kStoreMultiPutKey).fail_p = 0.03;
+    const std::vector<chaos::Op> ops = chaos::GenerateOps(opt);
+    std::unique_ptr<chaos::Stack> a, b;
+    const chaos::RunReport ra = chaos::RunOps(opt, ops, &a);
+    const chaos::RunReport rb = chaos::RunOps(opt, ops, &b);
+    ASSERT_TRUE(ra.ok) << ra.Report();
+    EXPECT_EQ(ra.Report(), rb.Report()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fluid::fm

@@ -518,9 +518,11 @@ TEST(TierPlacement, HotPagesStayOnTheFastPath) {
   EXPECT_EQ(rig.monitor.stats().evictions, 8u);
 }
 
-TEST(TierPlacement, WithoutColdTierHeatMachineryIsInert) {
-  // No AttachColdTier: NotePageTouch early-outs and evictions never consult
-  // the heat map — the legacy path byte for byte.
+TEST(TierPlacement, WithoutColdTierNothingDemotes) {
+  // No AttachColdTier: heat still TRACKS (it is replay-neutral bookkeeping,
+  // and a tier attached later must see real recency — see
+  // AttachAfterWarmupKeepsHotPagesHot) but nothing reads it: evictions take
+  // the legacy write-list path and no page can reach a cold tier.
   mem::FramePool pool{1024};
   kv::LocalDramStore store{kv::LocalStoreConfig{}};
   Monitor monitor{TierConfig(8), store, pool};
@@ -535,7 +537,54 @@ TEST(TierPlacement, WithoutColdTierHeatMachineryIsInert) {
   }
   EXPECT_EQ(monitor.stats().tier_demotions, 0u);
   EXPECT_EQ(monitor.ColdTierPageCount(), 0u);
-  EXPECT_EQ(monitor.tracker().HeatOf(PageRef{rid, PageAddr(15)}), 0);
+  // Install (+2) and touch (+2): the counter moves even with no tier.
+  EXPECT_EQ(monitor.tracker().HeatOf(PageRef{rid, PageAddr(15)}), 4);
+}
+
+TEST(TierPlacement, AttachAfterWarmupKeepsHotPagesHot) {
+  // Regression: heat used to accrue and decay only while a cold tier was
+  // attached, so a tier attached after warmup saw all-zero counters and
+  // demoted the workload's hottest pages on its first eviction round. Heat
+  // must track from the first fault so a mid-run AttachColdTier makes its
+  // demotion choices from real recency.
+  mem::FramePool pool{8192};
+  kv::LocalDramStore store{kv::LocalStoreConfig{}};
+  blk::BlockDevice cold_device{blk::MakeNvmeofDevice(/*capacity=*/128)};
+  swap::SwapSpace cold{cold_device};
+  Monitor monitor{TierConfig(/*lru=*/8), store, pool};
+  mem::UffdRegion region{77, kBase, 256, pool};
+  const RegionId rid = monitor.RegisterRegion(region, kPart);
+  SimTime now = kMillisecond;
+  auto fault_write = [&](std::size_t i) {
+    (void)region.Access(PageAddr(i), true);
+    now = monitor.HandleFault(rid, PageAddr(i), now).wake_at;
+    (void)region.Access(PageAddr(i), true);
+  };
+  // Warm up with NO tier attached: 8 resident dirty pages, touched hard.
+  for (std::size_t i = 0; i < 8; ++i) fault_write(i);
+  for (int round = 0; round < 4; ++round)
+    for (std::size_t i = 0; i < 8; ++i)
+      monitor.NotePageTouch(rid, PageAddr(i));
+  monitor.PumpBackground(now);  // decay: 8 -> 4, still above the threshold
+  EXPECT_EQ(monitor.tracker().HeatOf(PageRef{rid, PageAddr(0)}), 4);
+
+  // The tier arrives mid-run, AFTER the warmup.
+  monitor.AttachColdTier(cold);
+
+  // The next eviction round's victims are exactly the warmed-up pages:
+  // their accrued heat must keep them off the cold tier.
+  for (std::size_t i = 8; i < 16; ++i) fault_write(i);
+  EXPECT_EQ(monitor.stats().tier_demotions, 0u);
+  EXPECT_EQ(monitor.ColdTierPageCount(), 0u);
+  EXPECT_EQ(monitor.stats().evictions, 8u);
+
+  // Counter-case: pages that idle through a decay tick go genuinely cold
+  // (install heat 2 -> 1 <= threshold) and DO demote — the tier still
+  // works, it just reads real heat now.
+  monitor.PumpBackground(now);
+  for (std::size_t i = 16; i < 24; ++i) fault_write(i);
+  EXPECT_EQ(monitor.stats().tier_demotions, 8u);
+  EXPECT_EQ(monitor.ColdTierPageCount(), 8u);
 }
 
 // --- prefetch x integrity ---------------------------------------------------------
